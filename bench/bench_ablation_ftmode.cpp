@@ -1,0 +1,114 @@
+// Ablation: CM-DARE fault tolerance vs unmodified TensorFlow.
+//
+// The paper motivates transient-tensorflow with two mechanisms: chief
+// fail-over (a survivor takes over checkpointing) and avoiding the
+// IP-reuse rollback. This ablation trains the same job under repeated
+// chief revocations in both modes and compares completion time and the
+// number of rollbacks.
+#include "bench_common.hpp"
+
+using namespace cmdare;
+
+namespace {
+
+struct Outcome {
+  bool finished = false;  // vanilla TF can livelock: every rollback
+                          // discards more work than a churn period adds
+  double seconds = 0.0;
+  int rollbacks = 0;
+  std::size_t checkpoints = 0;
+};
+
+constexpr double kSimBoundSeconds = 6.0 * 3600.0;
+
+Outcome run_mode(train::FaultToleranceMode mode, double revoke_every_s,
+                 std::uint64_t seed) {
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = 40000;
+  config.checkpoint_interval_steps = 4000;
+  config.mode = mode;
+  train::TrainingSession session(sim, nn::resnet15(), config,
+                                 util::Rng(seed));
+  session.add_worker(train::worker_mix(2, 0, 0)[0]);
+  session.add_worker(train::worker_mix(2, 0, 0)[1]);
+
+  // Periodically revoke the current checkpoint owner (the worst case for
+  // vanilla TF) and add a replacement 75 s later that reuses the old IP.
+  std::function<void()> churn = [&] {
+    if (session.finished()) return;
+    const auto owner = session.checkpoint_owner();
+    if (owner && session.worker_active(*owner)) {
+      session.revoke_worker(*owner);
+      sim.schedule_after(75.6, [&] {
+        if (!session.finished()) {
+          session.add_worker(train::worker_mix(1, 0, 0)[0], 0.0,
+                             /*reuse_chief_ip=*/true);
+        }
+      });
+    } else if (session.active_worker_count() < 2 && !session.finished()) {
+      session.add_worker(train::worker_mix(1, 0, 0)[0]);
+    }
+    sim.schedule_after(revoke_every_s, churn);
+  };
+  sim.schedule_after(revoke_every_s, churn);
+  sim.run_until(kSimBoundSeconds);
+
+  Outcome outcome;
+  outcome.finished = session.finished();
+  outcome.seconds =
+      outcome.finished ? session.trace().time_of_step(40000) : sim.now();
+  for (const auto& e : session.trace().events()) {
+    if (e.type == train::SessionEventType::kRollback) ++outcome.rollbacks;
+  }
+  outcome.checkpoints = session.trace().checkpoints().size();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: fault-tolerance mode",
+      "CM-DARE chief fail-over vs vanilla TensorFlow IP-reuse rollback");
+
+  util::Table table({"chief revoked every", "mode", "time to 40K steps",
+                     "rollbacks", "checkpoints", "overhead vs CM-DARE"});
+  std::uint64_t seed = 800;
+  for (double period : {1200.0, 600.0, 300.0}) {
+    const Outcome cmdare_run =
+        run_mode(train::FaultToleranceMode::kCmDare, period, seed);
+    const Outcome vanilla =
+        run_mode(train::FaultToleranceMode::kVanillaTf, period, seed);
+    seed += 2;
+    const auto label = util::format_duration(period);
+    table.add_row({label, "CM-DARE",
+                   util::format_duration(cmdare_run.seconds),
+                   std::to_string(cmdare_run.rollbacks),
+                   std::to_string(cmdare_run.checkpoints), "—"});
+    table.add_row(
+        {"", "vanilla TF",
+         vanilla.finished
+             ? util::format_duration(vanilla.seconds)
+             : "DNF (> " + util::format_duration(kSimBoundSeconds) + ")",
+         std::to_string(vanilla.rollbacks),
+         std::to_string(vanilla.checkpoints),
+         vanilla.finished
+             ? "+" + util::format_double(
+                         100.0 * (vanilla.seconds / cmdare_run.seconds - 1.0),
+                         1) +
+                   "%"
+             : "livelock"});
+  }
+  table.render(std::cout);
+
+  bench::print_note(
+      "every vanilla-TF chief revocation discards up to a checkpoint "
+      "interval of progress (Fig. 11); CM-DARE reassigns checkpoint duty "
+      "and loses only the revoked worker's in-flight step. Under heavy "
+      "churn, vanilla TF livelocks: each rollback discards more work than "
+      "a churn period produces, so the job never crosses the next "
+      "checkpoint — exactly the failure mode transient-tensorflow exists "
+      "to prevent.");
+  return 0;
+}

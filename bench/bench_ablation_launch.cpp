@@ -1,0 +1,82 @@
+// Ablation: launch-placement planning (Section V-C future work).
+//
+// "Strategically launching transient clusters at different times of day
+// and different data center locations can help mitigate revocation
+// impacts." The planner ranks (region, local launch hour) pairs by the
+// hazard-model revocation probability for the job duration; this bench
+// prints the ranking extremes and validates them by sampling.
+#include "bench_common.hpp"
+
+#include "cmdare/planner.hpp"
+
+using namespace cmdare;
+
+namespace {
+
+double sampled_revocation_fraction(const cloud::RevocationModel& model,
+                                   cloud::Region region, cloud::GpuType gpu,
+                                   int hour, double duration_hours,
+                                   util::Rng& rng) {
+  int revoked = 0;
+  constexpr int kSamples = 3000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto age = model.sample_revocation_age_seconds(
+        region, gpu, static_cast<double>(hour), rng);
+    if (age && *age <= duration_hours * 3600.0) ++revoked;
+  }
+  return static_cast<double>(revoked) / kSamples;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: launch planning",
+                      "picking region + local hour to dodge revocations");
+
+  const cloud::RevocationModel model;
+  util::Rng rng(1000);
+
+  for (const auto& [gpu, duration] :
+       std::vector<std::pair<cloud::GpuType, double>>{
+           {cloud::GpuType::kK80, 8.0},
+           {cloud::GpuType::kP100, 8.0},
+           {cloud::GpuType::kV100, 4.0}}) {
+    const auto plans = core::rank_launch_plans(model, gpu, duration);
+    const core::LaunchPlan& best = plans.front();
+    const core::LaunchPlan& worst = plans.back();
+
+    std::printf("\n%s, %.0f-hour job (%zu candidate plans):\n",
+                cloud::gpu_name(gpu), duration, plans.size());
+    util::Table table({"plan", "region", "launch hour", "P(revoked), model",
+                       "P(revoked), sampled"});
+    for (const auto& [label, plan] :
+         {std::make_pair("best", best), std::make_pair("worst", worst)}) {
+      table.add_row(
+          {label, cloud::region_name(plan.region),
+           std::to_string(plan.local_hour) + ":00",
+           util::format_double(100.0 * plan.revocation_probability, 1) + "%",
+           util::format_double(
+               100.0 * sampled_revocation_fraction(model, plan.region, gpu,
+                                                   plan.local_hour, duration,
+                                                   rng),
+               1) +
+               "%"});
+    }
+    // Naive baseline: the paper's campaign convention (9 AM local,
+    // whatever region you happen to pick — take the median region).
+    const auto naive = plans[plans.size() / 2];
+    table.add_row(
+        {"median", cloud::region_name(naive.region),
+         std::to_string(naive.local_hour) + ":00",
+         util::format_double(100.0 * naive.revocation_probability, 1) + "%",
+         ""});
+    table.render(std::cout);
+  }
+
+  bench::print_note(
+      "the spread between best and worst placements is large (e.g. K80: "
+      "calm us-west1 overnight vs europe-west1 mornings); a planner that "
+      "simply queries the hazard model recovers most of it. Probabilities "
+      "are validated by direct sampling of the revocation process.");
+  return 0;
+}

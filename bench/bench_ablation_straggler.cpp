@@ -1,0 +1,73 @@
+// Ablation: slow-worker detection (Section VI-B's closing suggestion).
+//
+// Injects one degraded worker into a 4x P100 cluster and measures how
+// reliably the peer-comparison detector (6.7% threshold) flags it, as a
+// function of the degradation severity — together with the false-positive
+// rate on the healthy workers.
+#include "bench_common.hpp"
+
+#include "cmdare/straggler.hpp"
+
+using namespace cmdare;
+
+int main() {
+  bench::print_header("Ablation: straggler detection",
+                      "peer-based slow-worker detection accuracy");
+
+  constexpr int kTrials = 20;
+  util::Table table({"degradation", "detection rate", "false positives",
+                     "mean step (slow)", "peer median"});
+
+  std::uint64_t seed = 1100;
+  for (double factor : {1.00, 1.05, 1.10, 1.20, 1.50}) {
+    int detected = 0;
+    int false_positives = 0;
+    double slow_mean = 0.0, peer_median = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      simcore::Simulator sim;
+      train::SessionConfig config;
+      config.max_steps = 3500;
+      train::TrainingSession session(sim, nn::resnet15(), config,
+                                     util::Rng(seed++));
+      // Three healthy P100s + one degraded; ResNet-15 keeps the PS far from
+      // saturation (4 x 21 = 84 of ~204 updates/s), so slowdowns are visible.
+      for (int w = 0; w < 4; ++w) {
+        train::WorkerSpec spec;
+        spec.gpu = cloud::GpuType::kP100;
+        if (w == 2) spec.performance_factor = factor;
+        spec.label = "w" + std::to_string(w);
+        session.add_worker(spec);
+      }
+      sim.run();
+
+      for (const auto& a : core::detect_stragglers(session)) {
+        if (a.worker == 2) {
+          if (a.flagged_vs_peers) ++detected;
+          slow_mean += a.mean_step_seconds;
+          peer_median += a.peer_median_seconds.value_or(0.0);
+        } else if (a.flagged_vs_peers) {
+          ++false_positives;
+        }
+      }
+    }
+    table.add_row(
+        {(factor == 1.0 ? std::string("none (control)")
+                        : "+" + util::format_double(100 * (factor - 1), 0) +
+                              "%"),
+         util::format_double(100.0 * detected / kTrials, 0) + "%",
+         util::format_double(
+             100.0 * false_positives / (kTrials * 3.0), 1) +
+             "%",
+         util::format_double(slow_mean / kTrials * 1000.0, 1) + " ms",
+         util::format_double(peer_median / kTrials * 1000.0, 1) + " ms"});
+  }
+  table.render(std::cout);
+
+  bench::print_note(
+      "degradations beyond the 6.7% threshold are detected essentially "
+      "always; the control row shows the false-alarm floor set by the "
+      "per-VM drift noise. Detection uses only same-GPU peer medians, so "
+      "it keeps working when the parameter server is saturated (where the "
+      "predicted-speed comparison of Section VI-B would misfire).");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "train/session.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace cmdare::bench {
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+/// If the CMDARE_CSV_DIR environment variable is set, opens
+/// "$CMDARE_CSV_DIR/<name>.csv" and invokes `writer` on it (so raw series
+/// behind the printed tables can be re-plotted); otherwise does nothing.
+inline void maybe_write_csv(const std::string& name,
+                            const std::function<void(std::ostream&)>& writer) {
+  const char* dir = std::getenv("CMDARE_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  writer(out);
+  std::printf("(raw series written to %s)\n", path.c_str());
+}
+
+struct SingleWorkerResult {
+  double mean_speed = 0.0;            // steps/s, steps 100..N
+  double speed_sd = 0.0;              // sd of per-100-step speeds
+  double mean_step_seconds = 0.0;     // per-worker step time
+  double step_sd_seconds = 0.0;
+};
+
+/// Runs the paper's simplest cluster (1 GPU worker + 1 PS) for `steps`
+/// steps and reports speed statistics with the first 100 steps discarded.
+inline SingleWorkerResult run_single_worker(const nn::CnnModel& model,
+                                            cloud::GpuType gpu, long steps,
+                                            std::uint64_t seed) {
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = steps;
+  train::TrainingSession session(sim, model, config, util::Rng(seed));
+  train::WorkerSpec spec;
+  spec.gpu = gpu;
+  spec.label = model.name();
+  session.add_worker(spec);
+  sim.run();
+
+  SingleWorkerResult result;
+  result.mean_speed = session.trace().mean_speed(100, steps);
+  const auto window_speeds = session.trace().speed_per_window(100);
+  if (window_speeds.size() > 2) {
+    const std::vector<double> steady(window_speeds.begin() + 1,
+                                     window_speeds.end());
+    result.speed_sd = stats::stddev(steady);
+  }
+  const auto intervals = session.trace().worker_step_intervals(0, 100);
+  result.mean_step_seconds = stats::mean(intervals);
+  result.step_sd_seconds = stats::stddev(intervals);
+  return result;
+}
+
+/// Runs an (x, y, z) cluster and returns mean cluster speed after warmup.
+inline double run_cluster_speed(const nn::CnnModel& model, int k80, int p100,
+                                int v100, int ps_count, long steps,
+                                std::uint64_t seed) {
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = steps;
+  config.ps_count = ps_count;
+  train::TrainingSession session(sim, model, config, util::Rng(seed));
+  for (const auto& w : train::worker_mix(k80, p100, v100)) {
+    session.add_worker(w);
+  }
+  sim.run();
+  return session.trace().mean_speed(std::min<long>(200, steps / 4), steps);
+}
+
+}  // namespace cmdare::bench

@@ -1,0 +1,51 @@
+// Figure 7: does a recent revocation make new transient servers slower to
+// start? Immediate requests (right after one of our K80s was revoked) vs
+// delayed requests (>= 1 hour later), for all three GPU types.
+#include "bench_common.hpp"
+
+#include "cloud/startup.hpp"
+
+using namespace cmdare;
+
+int main() {
+  bench::print_header(
+      "Figure 7", "startup time after a revocation: immediate vs delayed");
+
+  const cloud::StartupModel model;
+  util::Table table(
+      {"GPU", "immediate mean (s)", "immediate CoV", "delayed mean (s)",
+       "delayed CoV", "mean gap (s)"});
+
+  util::Rng rng(7);
+  for (cloud::GpuType gpu : cloud::kAllGpuTypes) {
+    std::vector<double> immediate, delayed;
+    for (int i = 0; i < 3000; ++i) {
+      immediate.push_back(
+          model
+              .sample(gpu, cloud::Region::kUsCentral1, true,
+                      cloud::RequestContext::kImmediateAfterRevocation, rng)
+              .total());
+      delayed.push_back(
+          model
+              .sample(gpu, cloud::Region::kUsCentral1, true,
+                      cloud::RequestContext::kDelayedAfterRevocation, rng)
+              .total());
+    }
+    const double mi = stats::mean(immediate);
+    const double md = stats::mean(delayed);
+    table.add_row({cloud::gpu_name(gpu), util::format_double(mi, 1),
+                   util::format_double(
+                       stats::coefficient_of_variation(immediate), 3),
+                   util::format_double(md, 1),
+                   util::format_double(
+                       stats::coefficient_of_variation(delayed), 3),
+                   util::format_double(mi - md, 1)});
+  }
+  table.render(std::cout);
+
+  bench::print_note(
+      "revocations barely shift the mean (within ~4 s) — immediate "
+      "replacement requests are a valid strategy — but immediate requests "
+      "are ~4x more variable (CoV ~12% vs ~3%), matching Section V-B.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 8: lifetime analysis of transient GPU servers per region —
+// empirical CDFs of time-to-revocation (24-hour cap) and mean lifetimes.
+#include "bench_common.hpp"
+
+#include "cloud/revocation.hpp"
+#include "stats/ecdf.hpp"
+
+using namespace cmdare;
+
+int main() {
+  bench::print_header("Figure 8",
+                      "transient lifetime CDFs by region and GPU type");
+
+  const cloud::RevocationModel model;
+  util::Rng rng(8);
+  constexpr int kSamples = 3000;
+
+  for (cloud::GpuType gpu : cloud::kAllGpuTypes) {
+    std::printf("\n--- %s ---\n", cloud::gpu_name(gpu));
+    std::printf("%-14s", "hour:");
+    for (int h = 2; h <= 24; h += 2) std::printf("%6d", h);
+    std::printf("  | mean life (h) | MTTR|revoked (h) | survive 24h\n");
+
+    for (cloud::Region region : cloud::kAllRegions) {
+      if (!cloud::gpu_offered_in_region(region, gpu)) continue;
+      std::vector<double> lifetimes_h;
+      std::vector<double> revoked_ages_h;
+      for (int i = 0; i < kSamples; ++i) {
+        const auto age = model.sample_revocation_age_seconds(
+            region, gpu, cloud::kReferenceLaunchLocalHour, rng);
+        const double hours =
+            age.value_or(cloud::kMaxTransientLifetimeSeconds) / 3600.0;
+        lifetimes_h.push_back(hours);
+        if (age) revoked_ages_h.push_back(hours);
+      }
+      const stats::Ecdf cdf(lifetimes_h);
+      std::printf("%-14s", cloud::region_name(region));
+      for (int h = 2; h <= 24; h += 2) {
+        std::printf("%5.0f%%", 100.0 * cdf(static_cast<double>(h) - 1e-9));
+      }
+      const double survive =
+          1.0 - static_cast<double>(revoked_ages_h.size()) / kSamples;
+      std::printf("  |        %6.1f |          %6.1f | %5.1f%%\n",
+                  stats::mean(lifetimes_h),
+                  revoked_ages_h.empty() ? 24.0 : stats::mean(revoked_ages_h),
+                  100.0 * survive);
+    }
+  }
+
+  bench::print_note(
+      "europe-west1 K80s mostly die within two hours while us-west1 K80s "
+      "almost never do; powerful GPUs have shorter mean lifetimes (paper: "
+      "K80 mean time to revocation 10.6-19.8 h, V100 us-central1 7.7 h). "
+      "Up to ~48%% of servers live to the 24 h cap.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 9: time-of-day impact on revocations — histogram of revocation
+// events by local hour, per GPU type, pooled over the measured regions.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "cloud/revocation.hpp"
+#include "stats/histogram.hpp"
+
+using namespace cmdare;
+
+int main() {
+  bench::print_header("Figure 9",
+                      "revocations by local hour of day, per GPU type");
+
+  const cloud::RevocationModel model;
+  util::Rng rng(9);
+
+  for (cloud::GpuType gpu : cloud::kAllGpuTypes) {
+    stats::Histogram histogram(0.0, 24.0, 24);
+    for (const auto& target : cloud::revocation_targets()) {
+      if (target.gpu != gpu) continue;
+      // Launch a large cohort at the reference local hour; record the
+      // local hour of each revocation event.
+      for (int i = 0; i < 2000; ++i) {
+        const auto age = model.sample_revocation_age_seconds(
+            target.region, gpu, cloud::kReferenceLaunchLocalHour, rng);
+        if (!age) continue;
+        const double hour = std::fmod(
+            cloud::kReferenceLaunchLocalHour + *age / 3600.0, 24.0);
+        histogram.add(hour);
+      }
+    }
+    std::printf("\n--- %s (revocation local-hour histogram) ---\n",
+                cloud::gpu_name(gpu));
+    std::printf("%s", histogram.render(50).c_str());
+  }
+
+  bench::print_note(
+      "K80 revocations peak at 10 AM local (demand surge); V100 shows no "
+      "revocations between 4 PM and 8 PM; each GPU type has its own "
+      "pattern, suggesting time-of-day-aware launch strategies.");
+  return 0;
+}

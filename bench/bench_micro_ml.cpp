@@ -1,0 +1,95 @@
+// Microbenchmarks (google-benchmark) for the modeling stack: OLS, SVR
+// fit/predict, PCA, and the full hyperparameter grid search.
+#include <benchmark/benchmark.h>
+
+#include "ml/crossval.hpp"
+#include "ml/linreg.hpp"
+#include "ml/pca.hpp"
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cmdare;
+
+ml::Dataset make_data(std::size_t n, std::size_t features,
+                      std::uint64_t seed) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < features; ++f) {
+    names.push_back("x" + std::to_string(f));
+  }
+  ml::Dataset d(std::move(names));
+  util::Rng rng(seed);
+  std::vector<double> x(features);
+  for (std::size_t i = 0; i < n; ++i) {
+    double y = 0.1;
+    for (std::size_t f = 0; f < features; ++f) {
+      x[f] = rng.uniform(0.0, 1.0);
+      y += (0.3 + 0.2 * f) * x[f];
+    }
+    d.add(x, y + rng.normal(0.0, 0.01));
+  }
+  return d;
+}
+
+void BM_OlsFit(benchmark::State& state) {
+  const auto data = make_data(static_cast<std::size_t>(state.range(0)), 3, 1);
+  for (auto _ : state) {
+    ml::LinearRegression reg;
+    reg.fit(data);
+    benchmark::DoNotOptimize(reg.intercept());
+  }
+}
+BENCHMARK(BM_OlsFit)->Arg(20)->Arg(1000);
+
+void BM_SvrFit(benchmark::State& state) {
+  const auto data = make_data(static_cast<std::size_t>(state.range(0)), 1, 2);
+  ml::SvrConfig config;
+  config.kernel.type = ml::KernelType::kRbf;
+  config.penalty = 50.0;
+  config.epsilon = 0.02;
+  for (auto _ : state) {
+    ml::SupportVectorRegression svr(config);
+    svr.fit(data);
+    benchmark::DoNotOptimize(svr.bias());
+  }
+}
+BENCHMARK(BM_SvrFit)->Arg(20)->Arg(200);
+
+void BM_SvrPredict(benchmark::State& state) {
+  const auto data = make_data(100, 1, 3);
+  ml::SvrConfig config;
+  config.kernel.type = ml::KernelType::kRbf;
+  ml::SupportVectorRegression svr(config);
+  svr.fit(data);
+  const std::vector<double> x = {0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svr.predict(x));
+  }
+}
+BENCHMARK(BM_SvrPredict);
+
+void BM_PcaFit(benchmark::State& state) {
+  const auto data = make_data(200, 5, 4);
+  for (auto _ : state) {
+    ml::Pca pca;
+    pca.fit(data, 2);
+    benchmark::DoNotOptimize(pca.explained_variance(0));
+  }
+}
+BENCHMARK(BM_PcaFit);
+
+void BM_SvrGridSearch(benchmark::State& state) {
+  const auto data = make_data(20, 1, 5);
+  const ml::KernelConfig rbf{ml::KernelType::kRbf, 2, 1.0, 1.0};
+  for (auto _ : state) {
+    util::Rng rng(6);
+    ml::SvrGrid grid;
+    grid.cv_repeats = 1;
+    const auto result = ml::svr_grid_search(rbf, data, 5, rng, grid);
+    benchmark::DoNotOptimize(result.best_index);
+  }
+}
+BENCHMARK(BM_SvrGridSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Microbenchmarks (google-benchmark) for the simulation substrate:
+// event-queue throughput, training-session stepping, revocation sampling,
+// and provider lifecycle churn.
+#include <benchmark/benchmark.h>
+
+#include "cloud/provider.hpp"
+#include "cloud/revocation.hpp"
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+#include "train/session.hpp"
+
+namespace {
+
+using namespace cmdare;
+
+void BM_SimulatorScheduleFire(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorScheduleFire)->Arg(1000)->Arg(100000);
+
+void BM_SimulatorCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    std::vector<simcore::EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sim.schedule_at(i, [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_SimulatorCancel);
+
+void BM_TrainingSessionSteps(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const nn::CnnModel model = nn::resnet32();
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    train::SessionConfig config;
+    config.max_steps = 2000;
+    train::TrainingSession session(sim, model, config, util::Rng(1));
+    for (const auto& w : train::worker_mix(workers, 0, 0)) {
+      session.add_worker(w);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(session.global_step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_TrainingSessionSteps)->Arg(1)->Arg(8);
+
+void BM_RevocationSampling(benchmark::State& state) {
+  const cloud::RevocationModel model;
+  util::Rng rng(2);
+  for (auto _ : state) {
+    const auto age = model.sample_revocation_age_seconds(
+        cloud::Region::kUsCentral1, cloud::GpuType::kV100, 9.0, rng);
+    benchmark::DoNotOptimize(age);
+  }
+}
+BENCHMARK(BM_RevocationSampling);
+
+void BM_ProviderLifecycle(benchmark::State& state) {
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    cloud::CloudProvider provider(sim, util::Rng(3));
+    for (int i = 0; i < 50; ++i) {
+      cloud::InstanceRequest request;
+      request.gpu = cloud::GpuType::kK80;
+      request.region = cloud::Region::kUsCentral1;
+      provider.request_instance(request);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(provider.total_cost());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 50);
+}
+BENCHMARK(BM_ProviderLifecycle);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Cost advisor: the practitioner question behind the paper — which
+// cluster configuration trains my model fastest / cheapest, and is
+// transient worth the revocation risk? Sweeps GPU type, worker count, and
+// tenancy, simulating each configuration end-to-end (including
+// revocations and replacements for transient clusters).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "cmdare/resource_manager.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace cmdare;
+
+namespace {
+
+struct Plan {
+  std::string label;
+  double hours;
+  double cost;
+  int revocations;
+};
+
+Plan simulate(const nn::CnnModel& model, cloud::GpuType gpu, int workers,
+              bool transient, long steps, std::uint64_t seed) {
+  simcore::Simulator sim;
+  cloud::CloudProvider provider(sim, util::Rng(seed));
+
+  core::RunConfig config;
+  config.session.max_steps = steps;
+  config.session.checkpoint_interval_steps = 4000;
+  for (int i = 0; i < workers; ++i) {
+    train::WorkerSpec spec;
+    spec.gpu = gpu;
+    spec.region = cloud::Region::kUsCentral1;
+    spec.transient = transient;
+    spec.label = std::string(cloud::gpu_name(gpu)) + "-" + std::to_string(i);
+    config.workers.push_back(spec);
+  }
+
+  core::TransientTrainingRun run(provider, model, config, util::Rng(seed + 1));
+  run.start();
+  sim.run();
+
+  Plan plan;
+  plan.label = std::to_string(workers) + "x " + cloud::gpu_name(gpu) +
+               (transient ? " transient" : " on-demand");
+  plan.hours = run.elapsed_seconds() / 3600.0;
+  plan.cost = run.cost_so_far();
+  plan.revocations = run.revocations_seen();
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  const nn::CnnModel model = nn::resnet32();
+  constexpr long kSteps = 256000;  // ~1.5-8 h depending on the cluster
+
+  std::vector<Plan> plans;
+  std::uint64_t seed = 60;
+  for (cloud::GpuType gpu : cloud::kAllGpuTypes) {
+    for (int workers : {1, 2, 4}) {
+      for (bool transient : {true, false}) {
+        plans.push_back(
+            simulate(model, gpu, workers, transient, kSteps, seed += 2));
+      }
+    }
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const Plan& a, const Plan& b) { return a.cost < b.cost; });
+
+  util::Table table(
+      {"configuration", "time (h)", "cost ($)", "revocations", "$/1K steps"});
+  for (const Plan& p : plans) {
+    table.add_row({p.label, util::format_double(p.hours, 2),
+                   util::format_double(p.cost, 2),
+                   std::to_string(p.revocations),
+                   util::format_double(p.cost / (kSteps / 1000.0), 4)});
+  }
+  table.set_title("ResNet-32, 256K steps, us-central1 (sorted by cost):");
+  table.render(std::cout);
+
+  std::printf(
+      "\nTransient clusters are ~3x cheaper per GPU-hour; revocations add "
+      "replacement time but rarely change the cost ranking. Bigger "
+      "clusters buy time, not efficiency, once the PS bottleneck nears "
+      "(Figure 4).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: simulate training ResNet-32 on a small transient GPU
+// cluster with CM-DARE's resource manager, and print what happened.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "cmdare/resource_manager.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/strings.hpp"
+
+using namespace cmdare;
+
+int main() {
+  // A simulated cloud: one Simulator drives instance lifecycles,
+  // revocations, training steps, and checkpoint uploads.
+  simcore::Simulator sim;
+  cloud::CloudProvider provider(sim, util::Rng(7));
+  cloud::ObjectStore storage(sim, util::Rng(8));
+
+  // Train ResNet-32 for 20K steps on two transient K80 workers in
+  // us-central1, checkpointing every 4K steps, replacing revoked workers
+  // immediately (CM-DARE's default policy).
+  core::RunConfig config;
+  config.session.max_steps = 20000;
+  config.session.checkpoint_interval_steps = 4000;
+  config.workers = train::worker_mix(2, 0, 0, cloud::Region::kUsCentral1);
+
+  core::TransientTrainingRun run(provider, nn::resnet32(), config,
+                                 util::Rng(9), &storage);
+  run.on_complete = [&] {
+    std::printf("training finished at simulated t = %s\n",
+                util::format_duration(sim.now()).c_str());
+  };
+  run.start();
+  sim.run();
+
+  const auto& trace = run.session().trace();
+  std::printf("\nmodel: %s\n", run.session().model().summary().c_str());
+  std::printf("cluster: %s transient workers + %d parameter server(s)\n",
+              train::describe_mix(config.workers).c_str(),
+              config.session.ps_count);
+  std::printf("steps completed: %ld\n", run.session().global_step());
+  std::printf("mean speed (post-warmup): %.2f steps/s\n",
+              trace.mean_speed(100, 20000));
+  std::printf("checkpoints saved: %zu (to object storage: %zu blobs)\n",
+              trace.checkpoints().size(), storage.blob_count());
+  std::printf("revocations: %d, replacements requested: %d\n",
+              run.revocations_seen(), run.replacements_requested());
+  std::printf("elapsed: %s, total cost: $%.2f\n",
+              util::format_duration(run.elapsed_seconds()).c_str(),
+              run.cost_so_far());
+  return 0;
+}

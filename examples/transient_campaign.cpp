@@ -1,0 +1,61 @@
+// Transient campaign: the same training job run in every region offering
+// K80s, showing how regional revocation behaviour (Table V / Figure 8)
+// changes wall-clock time, revocation count, and cost.
+//
+// This is the paper's core scenario: long-running training on revocable
+// servers with CM-DARE's automatic replacement keeping the session alive.
+#include <cstdio>
+#include <iostream>
+
+#include "cmdare/resource_manager.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace cmdare;
+
+int main() {
+  // ~8 hours of 4-worker K80 training: long enough for revocations.
+  constexpr long kSteps = 500000;
+
+  util::Table table({"region", "elapsed", "revocations", "replacements",
+                     "checkpoints", "cost (transient)", "Table V revoke %"});
+
+  for (cloud::Region region :
+       {cloud::Region::kUsEast1, cloud::Region::kUsCentral1,
+        cloud::Region::kUsWest1, cloud::Region::kEuropeWest1}) {
+    simcore::Simulator sim;
+    cloud::CloudProvider provider(sim, util::Rng(21));
+    cloud::ObjectStore storage(sim, util::Rng(22));
+
+    core::RunConfig config;
+    config.session.max_steps = kSteps;
+    config.session.checkpoint_interval_steps = 4000;
+    config.workers = train::worker_mix(4, 0, 0, region);
+
+    core::TransientTrainingRun run(provider, nn::resnet15(), config,
+                                   util::Rng(23), &storage);
+    run.start();
+    sim.run();
+
+    const auto& target =
+        cloud::revocation_target(region, cloud::GpuType::kK80);
+    table.add_row(
+        {cloud::region_name(region),
+         util::format_duration(run.elapsed_seconds()),
+         std::to_string(run.revocations_seen()),
+         std::to_string(run.replacements_requested()),
+         std::to_string(run.session().trace().checkpoints().size()),
+         "$" + util::format_double(run.cost_so_far(), 2),
+         util::format_double(100.0 * target.revoked_fraction, 1) + "%"});
+  }
+
+  table.set_title(
+      "ResNet-15, 4x transient K80 + 1 PS, 500K steps, ckpt every 4K:");
+  table.render(std::cout);
+  std::printf(
+      "\nChurny regions (europe-west1) cost replacement downtime; calm ones "
+      "(us-west1) run nearly revocation-free. CM-DARE's immediate-"
+      "replacement policy keeps every run alive to completion.\n");
+  return 0;
+}

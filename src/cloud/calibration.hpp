@@ -1,0 +1,135 @@
+// Ground-truth calibration of the simulated cloud (the "physics").
+//
+// Every constant in this header is anchored to a specific measurement in
+// the paper; the comment on each cites the table or figure it reproduces.
+// The rest of the codebase treats these values as the hidden truth that
+// CM-DARE's measurement and modeling pipeline then has to *re-discover* —
+// exactly the role the real Google Cloud played for the authors.
+//
+// Anchoring policy (see DESIGN.md): the four canonical models use the
+// paper's published per-GPU step times directly; all other models use a
+// smooth parametric ms/GFLOP curve fit around those anchors, so the
+// regression experiments (Table II) see a realistic nonlinear relation.
+#pragma once
+
+#include <optional>
+
+#include "cloud/gpu.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::cloud {
+
+// ---------------------------------------------------------------------------
+// Worker step-time ground truth (Tables I and III, Figures 2-4).
+// ---------------------------------------------------------------------------
+
+/// Parametric per-GPU compute-time curve for non-canonical models:
+///   t_ms(C) = overhead + u_arch * C * r(C),
+///   r(C)    = r_inf + (r0 - r_inf) * exp(-C / saturation)
+/// where C is model complexity in training GFLOPs/image. r(C) is the
+/// effective milliseconds per GFLOP: it decays as larger models utilize the
+/// GPU better, which is what bends Figure 3's trend lines and makes the
+/// RBF-kernel SVR beat plain linear regression in Table II.
+struct GpuComputeCurve {
+  double overhead_ms;
+  double r0_ms_per_gflop;
+  double r_inf_ms_per_gflop;
+  double saturation_gflops;
+  /// Architecture inefficiency factor for Shake-Shake models (branchy
+  /// graphs utilize the GPU worse per FLOP); ResNet/custom use 1.0.
+  double shake_shake_factor;
+};
+
+const GpuComputeCurve& gpu_compute_curve(GpuType gpu);
+
+/// Mean GPU compute time per training step (batch of 128 CIFAR-10 images),
+/// in milliseconds, excluding any parameter-server interaction. Canonical
+/// models return the Table I anchors; others the parametric curve.
+double mean_step_compute_ms(GpuType gpu, const nn::CnnModel& model);
+
+/// Per-step multiplicative noise: Figure 2 reports a coefficient of
+/// variation of at most 0.02 after warmup.
+inline constexpr double kStepTimeCov = 0.02;
+
+/// Slow performance drift of a cloud VM (noisy neighbours, thermal and
+/// scheduler effects): an AR(1) multiplicative factor applied to each
+/// worker's compute time, evolving once per step as
+///   f <- 1 + rho * (f - 1) + sigma * N(0, 1).
+/// Stationary sd ~= sigma / sqrt(1 - rho^2) ~= 1.5%, which gives the
+/// 100-step windowed speeds of Figure 2 a CoV of up to ~0.02 (i.i.d.
+/// noise alone would average out to ~0.002).
+inline constexpr double kEnvDriftRho = 0.98;
+inline constexpr double kEnvDriftSigma = 0.003;
+
+/// Warmup inflation for the first ~100 steps (Figure 2: "training speed is
+/// rather stable after warmup"; Section III-B discards the first 100
+/// steps). Returns a multiplicative factor >= 1 for the given step index.
+double warmup_factor(long step_index);
+
+/// Samples one step's compute time in seconds (warmup + noise applied).
+double sample_step_compute_seconds(GpuType gpu, const nn::CnnModel& model,
+                                   long step_index, util::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Parameter-server ground truth (Table III, Figures 4 and 12).
+// ---------------------------------------------------------------------------
+
+/// Effective per-parameter-server update bandwidth. One asynchronous
+/// update moves the gradient up and the parameters down (2x parameter
+/// bytes) through the PS at this rate. 570 MB/s makes ResNet-32's
+/// single-PS capacity ~42 updates/s, which puts Table III's bottleneck
+/// knees at 8x P100 / 4x V100 and Figure 4's plateaus at 4-5 workers.
+inline constexpr double kPsBytesPerSecond = 570.0e6;
+
+/// Mean PS service time (seconds) for one model update on one shard when
+/// parameters are sharded over `ps_count` servers.
+double ps_update_service_seconds(const nn::CnnModel& model, int ps_count);
+
+/// Service-time jitter (RPC scheduling, TCP dynamics).
+inline constexpr double kPsServiceCov = 0.10;
+
+// ---------------------------------------------------------------------------
+// Checkpoint ground truth (Figure 5, Table IV).
+// ---------------------------------------------------------------------------
+
+/// Cloud object-store checkpoint write: fixed session/metadata latency plus
+/// streaming at ~38 MB/s plus a mildly superlinear term (multi-chunk
+/// commits). Anchored to ResNet-32's measured 3.84 +/- 0.25 s (Section
+/// IV-B); the nonlinearity is why the RBF SVR wins Table IV.
+struct CheckpointTimeModel {
+  double base_seconds = 3.6;
+  double bytes_per_second = 38.0e6;
+  double superlinear_coeff = 0.0015;  // * MB^1.5 seconds
+  double cov = 0.04;                  // Fig. 5 reports CoV 0.018-0.073
+};
+
+double mean_checkpoint_seconds(std::uint64_t total_bytes,
+                               const CheckpointTimeModel& model = {});
+double sample_checkpoint_seconds(std::uint64_t total_bytes, util::Rng& rng,
+                                 const CheckpointTimeModel& model = {});
+
+// ---------------------------------------------------------------------------
+// Worker replacement ground truth (Figure 10) and training-graph setup.
+// ---------------------------------------------------------------------------
+
+/// Time to build the training computation graph for a model (seconds).
+/// Grows with tensor count and parameter bytes; anchored so ResNet-15's
+/// warm start is 14.8 s and Shake-Shake Big's is ~15 s above it (Fig. 10).
+double graph_setup_seconds(const nn::CnnModel& model);
+
+/// Deep-learning framework boot (process start, CUDA context, RPC mesh).
+inline constexpr double kFrameworkBootSeconds = 8.0;
+/// Cold-start-only: OS/image environment setup on a fresh VM.
+inline constexpr double kOsEnvSetupSeconds = 43.8;
+/// Cold-start-only: downloading the training dataset shard (CIFAR-10).
+inline constexpr double kDatasetDownloadSeconds = 17.0;
+
+/// Mean warm / cold worker replacement overheads (seconds), Figure 10:
+///   warm = framework boot + graph setup
+///   cold = OS env setup + dataset download + warm
+double warm_replacement_seconds(const nn::CnnModel& model);
+double cold_replacement_seconds(const nn::CnnModel& model);
+inline constexpr double kReplacementCov = 0.08;
+
+}  // namespace cmdare::cloud

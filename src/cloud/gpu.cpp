@@ -1,0 +1,35 @@
+#include "cloud/gpu.hpp"
+
+#include <stdexcept>
+
+namespace cmdare::cloud {
+namespace {
+
+// Capacities from Section III-A; prices are Google Cloud GPU list prices
+// (us-central1, 2019): on-demand / preemptible per GPU-hour.
+constexpr std::array<GpuSpec, 3> kCatalog = {{
+    {GpuType::kK80, "K80", 4.11, 12, 0.45, 0.135},
+    {GpuType::kP100, "P100", 9.53, 16, 1.46, 0.43},
+    {GpuType::kV100, "V100", 14.13, 16, 2.48, 0.74},
+}};
+
+}  // namespace
+
+const GpuSpec& gpu_spec(GpuType type) {
+  const auto index = static_cast<std::size_t>(type);
+  if (index >= kCatalog.size()) {
+    throw std::invalid_argument("gpu_spec: unknown GPU type");
+  }
+  return kCatalog[index];
+}
+
+const char* gpu_name(GpuType type) { return gpu_spec(type).name; }
+
+GpuType gpu_from_name(const std::string& name) {
+  for (const GpuSpec& spec : kCatalog) {
+    if (name == spec.name) return spec.type;
+  }
+  throw std::invalid_argument("gpu_from_name: unknown GPU " + name);
+}
+
+}  // namespace cmdare::cloud

@@ -1,0 +1,36 @@
+// GPU catalog (Section III-A).
+//
+// The study uses the three Google Cloud training GPUs of 2019: Tesla K80,
+// P100, and V100, with computational capacities 4.11 / 9.53 / 14.13
+// teraflops. Prices are the published on-demand and preemptible GPU rates
+// (USD per GPU-hour) at the time of the study; they feed the cost-advisor
+// example, not the performance models.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace cmdare::cloud {
+
+enum class GpuType { kK80 = 0, kP100 = 1, kV100 = 2 };
+
+inline constexpr std::array<GpuType, 3> kAllGpuTypes = {
+    GpuType::kK80, GpuType::kP100, GpuType::kV100};
+
+struct GpuSpec {
+  GpuType type;
+  const char* name;
+  /// Computational capacity C_gpu in teraflops.
+  double tflops;
+  int memory_gb;
+  /// USD per GPU-hour.
+  double on_demand_price;
+  double transient_price;
+};
+
+/// Catalog lookup; total for all known types.
+const GpuSpec& gpu_spec(GpuType type);
+const char* gpu_name(GpuType type);
+GpuType gpu_from_name(const std::string& name);
+
+}  // namespace cmdare::cloud

@@ -1,0 +1,32 @@
+#include "cloud/network.hpp"
+
+#include <algorithm>
+
+namespace cmdare::cloud {
+namespace {
+
+// One-way distance class between regions, mapped to RTT below. Order:
+// us-east1, us-central1, us-west1, europe-west1, europe-west4, asia-east1.
+// Values are RTTs in milliseconds, approximating public inter-region
+// latency matrices (continental ~30-70 ms, transatlantic ~90-110 ms,
+// transpacific ~120-190 ms).
+constexpr double kRttMs[6][6] = {
+    // to:  use1   usc1   usw1   euw1   euw4   asia
+    {0.5, 32.0, 67.0, 95.0, 98.0, 190.0},   // us-east1
+    {32.0, 0.5, 38.0, 105.0, 108.0, 160.0}, // us-central1
+    {67.0, 38.0, 0.5, 135.0, 138.0, 120.0}, // us-west1
+    {95.0, 105.0, 135.0, 0.5, 8.0, 255.0},  // europe-west1
+    {98.0, 108.0, 138.0, 8.0, 0.5, 250.0},  // europe-west4
+    {190.0, 160.0, 120.0, 255.0, 250.0, 0.5},  // asia-east1
+};
+
+}  // namespace
+
+double region_rtt_seconds(Region a, Region b) {
+  if (a == b) return kIntraRegionRttSeconds;
+  const auto ia = static_cast<std::size_t>(a);
+  const auto ib = static_cast<std::size_t>(b);
+  return kRttMs[ia][ib] / 1000.0;
+}
+
+}  // namespace cmdare::cloud

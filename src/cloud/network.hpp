@@ -1,0 +1,28 @@
+// Inter-region network model.
+//
+// The paper keeps parameter servers and workers in the same data center
+// ("to minimize the network impact", Section IV-A) — this module models
+// what that choice avoids: wide-area round-trip latency between regions.
+// One asynchronous update is a push+pull RPC exchange, so a worker placed
+// in a different region than its parameter servers pays the inter-region
+// RTT on every step's acknowledgement path. With window-1 pipelining this
+// matters exactly when RTT + PS service exceeds the compute time — fast
+// models on fast GPUs become latency-bound across regions while slow ones
+// barely notice (see train_session cross-region tests).
+//
+// RTTs approximate published inter-region measurements for the six
+// regions; same-region traffic stays inside the data-center fabric.
+#pragma once
+
+#include "cloud/region.hpp"
+
+namespace cmdare::cloud {
+
+/// Round-trip time in seconds between two regions. Symmetric; same-region
+/// traffic uses the intra-datacenter fabric (~0.5 ms).
+double region_rtt_seconds(Region a, Region b);
+
+/// Intra-datacenter round-trip (same region).
+inline constexpr double kIntraRegionRttSeconds = 0.0005;
+
+}  // namespace cmdare::cloud

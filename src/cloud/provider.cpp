@@ -1,0 +1,168 @@
+#include "cloud/provider.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace cmdare::cloud {
+
+const char* instance_state_name(InstanceState state) {
+  switch (state) {
+    case InstanceState::kProvisioning:
+      return "PROVISIONING";
+    case InstanceState::kStaging:
+      return "STAGING";
+    case InstanceState::kRunning:
+      return "RUNNING";
+    case InstanceState::kTerminated:
+      return "TERMINATED";
+    case InstanceState::kRevoked:
+      return "REVOKED";
+    case InstanceState::kExpired:
+      return "EXPIRED";
+  }
+  return "?";
+}
+
+double InstanceRecord::running_lifetime_seconds() const {
+  if (running_at < 0.0 || ended_at < 0.0) {
+    throw std::logic_error(
+        "running_lifetime_seconds: instance not RUNNING+ended");
+  }
+  return ended_at - running_at;
+}
+
+CloudProvider::CloudProvider(simcore::Simulator& sim, util::Rng rng,
+                             double campaign_start_utc_hour)
+    : sim_(&sim),
+      rng_(rng),
+      campaign_start_utc_hour_(campaign_start_utc_hour) {}
+
+double CloudProvider::local_hour_now(Region region) const {
+  return local_hour(region, campaign_start_utc_hour_, sim_->now());
+}
+
+InstanceId CloudProvider::request_instance(const InstanceRequest& request,
+                                           InstanceCallbacks callbacks) {
+  if (request.transient &&
+      !gpu_offered_in_region(request.region, request.gpu)) {
+    throw std::invalid_argument(
+        std::string("request_instance: transient ") + gpu_name(request.gpu) +
+        " not offered in " + region_name(request.region));
+  }
+
+  const InstanceId id = records_.size();
+  InstanceRecord record;
+  record.id = id;
+  record.request = request;
+  record.requested_at = sim_->now();
+  record.state = InstanceState::kProvisioning;
+  record.startup = startup_model_.sample(request.gpu, request.region,
+                                         request.transient, request.context,
+                                         rng_);
+  records_.push_back(record);
+  callbacks_.push_back(std::move(callbacks));
+  pending_events_.emplace_back();
+  pending_notices_.emplace_back();
+
+  // Lifecycle: PROVISIONING -> STAGING -> RUNNING.
+  const StartupBreakdown& startup = records_[id].startup;
+  sim_->schedule_after(startup.provisioning_s, [this, id] {
+    InstanceRecord& r = mutable_record(id);
+    if (!r.alive()) return;  // terminated while provisioning
+    r.state = InstanceState::kStaging;
+  });
+  sim_->schedule_after(startup.provisioning_s + startup.staging_s,
+                       [this, id] {
+    InstanceRecord& r = mutable_record(id);
+    if (!r.alive()) return;
+    r.state = InstanceState::kRunning;
+  });
+  sim_->schedule_after(startup.total(), [this, id] {
+    InstanceRecord& r = mutable_record(id);
+    if (!r.alive()) return;
+    r.running_at = sim_->now();
+    r.running_local_hour = local_hour_now(r.request.region);
+
+    if (r.request.transient) {
+      // Sample the revocation age from the hazard model; the 24h cap is
+      // represented by a nullopt sample.
+      const auto age = revocation_model_.sample_revocation_age_seconds(
+          r.request.region, r.request.gpu, r.running_local_hour, rng_);
+      const double end_age =
+          age.value_or(kMaxTransientLifetimeSeconds);
+      const InstanceState terminal =
+          age ? InstanceState::kRevoked : InstanceState::kExpired;
+
+      if (end_age > kPreemptionNoticeSeconds) {
+        pending_notices_[id] = sim_->schedule_after(
+            end_age - kPreemptionNoticeSeconds, [this, id] {
+              if (!records_[id].alive()) return;
+              if (callbacks_[id].on_preemption_notice) {
+                callbacks_[id].on_preemption_notice(id);
+              }
+            });
+      }
+      pending_events_[id] =
+          sim_->schedule_after(end_age, [this, id, terminal] {
+            if (!records_[id].alive()) return;
+            finish(id, terminal);
+            if (callbacks_[id].on_revoked) callbacks_[id].on_revoked(id);
+          });
+    }
+
+    if (callbacks_[id].on_running) callbacks_[id].on_running(id);
+  });
+
+  return id;
+}
+
+void CloudProvider::terminate(InstanceId id) {
+  InstanceRecord& r = mutable_record(id);
+  if (!r.alive()) return;
+  pending_events_[id].cancel();
+  pending_notices_[id].cancel();
+  finish(id, InstanceState::kTerminated);
+}
+
+void CloudProvider::finish(InstanceId id, InstanceState terminal) {
+  InstanceRecord& r = mutable_record(id);
+  r.state = terminal;
+  r.ended_at = sim_->now();
+  LOG_DEBUG << "instance " << id << " (" << gpu_name(r.request.gpu) << " in "
+            << region_name(r.request.region) << ") -> "
+            << instance_state_name(terminal);
+}
+
+const InstanceRecord& CloudProvider::record(InstanceId id) const {
+  if (id >= records_.size()) {
+    throw std::out_of_range("CloudProvider::record: unknown instance");
+  }
+  return records_[id];
+}
+
+InstanceRecord& CloudProvider::mutable_record(InstanceId id) {
+  if (id >= records_.size()) {
+    throw std::out_of_range("CloudProvider: unknown instance");
+  }
+  return records_[id];
+}
+
+double CloudProvider::instance_cost(InstanceId id) const {
+  const InstanceRecord& r = record(id);
+  if (r.running_at < 0.0) return 0.0;
+  const double end = r.ended_at >= 0.0 ? r.ended_at : sim_->now();
+  const double hours = (end - r.running_at) / 3600.0;
+  const GpuSpec& spec = gpu_spec(r.request.gpu);
+  const double rate =
+      r.request.transient ? spec.transient_price : spec.on_demand_price;
+  return hours * rate;
+}
+
+double CloudProvider::total_cost() const {
+  double sum = 0.0;
+  for (const InstanceRecord& r : records_) sum += instance_cost(r.id);
+  return sum;
+}
+
+}  // namespace cmdare::cloud

@@ -1,0 +1,127 @@
+// Simulated cloud provider: instance lifecycle + revocations + billing.
+//
+// This is the stand-in for the Google Cloud Compute API the paper drives
+// with its resource manager. Instances move through the measured lifecycle
+// (PROVISIONING -> STAGING -> RUNNING, Section V-B), transient instances
+// get a revocation sampled from the calibrated hazard model plus the hard
+// 24-hour lifetime cap, and — like real preemptible VMs — a 30-second
+// preemption notice fires before the instance disappears (this is the hook
+// transient-TensorFlow uses to notify the parameter server, Section II).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cloud/gpu.hpp"
+#include "cloud/region.hpp"
+#include "cloud/revocation.hpp"
+#include "cloud/startup.hpp"
+#include "simcore/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::cloud {
+
+using InstanceId = std::uint64_t;
+
+/// Preemption warning lead time (Google preemptible VMs give 30 s).
+inline constexpr double kPreemptionNoticeSeconds = 30.0;
+
+enum class InstanceState {
+  kProvisioning,
+  kStaging,
+  kRunning,
+  kTerminated,  // deleted by the customer
+  kRevoked,     // preempted by the provider
+  kExpired,     // hit the 24-hour transient lifetime cap
+};
+
+const char* instance_state_name(InstanceState state);
+
+struct InstanceRequest {
+  GpuType gpu = GpuType::kK80;
+  Region region = Region::kUsCentral1;
+  bool transient = true;
+  /// Workload marker for the Table V idle-vs-stressed experiment. Has no
+  /// effect on the revocation hazard (Section V-C's finding).
+  bool stressed = false;
+  RequestContext context = RequestContext::kNormal;
+};
+
+struct InstanceCallbacks {
+  /// Instance reached RUNNING and is usable.
+  std::function<void(InstanceId)> on_running;
+  /// Preemption notice: fires kPreemptionNoticeSeconds before the kill.
+  std::function<void(InstanceId)> on_preemption_notice;
+  /// Instance is gone (revoked or expired). Not called for terminate().
+  std::function<void(InstanceId)> on_revoked;
+};
+
+struct InstanceRecord {
+  InstanceId id = 0;
+  InstanceRequest request;
+  InstanceState state = InstanceState::kProvisioning;
+  StartupBreakdown startup;
+  simcore::SimTime requested_at = 0.0;
+  simcore::SimTime running_at = -1.0;  // -1 until RUNNING
+  simcore::SimTime ended_at = -1.0;    // -1 until terminal
+  /// Local hour-of-day at which the instance reached RUNNING.
+  double running_local_hour = 0.0;
+
+  bool alive() const {
+    return state == InstanceState::kProvisioning ||
+           state == InstanceState::kStaging || state == InstanceState::kRunning;
+  }
+  /// Lifetime from RUNNING to end; requires a terminal state.
+  double running_lifetime_seconds() const;
+};
+
+class CloudProvider {
+ public:
+  /// `campaign_start_utc_hour` fixes the wall-clock alignment of sim time
+  /// zero, which drives the local-time revocation modulation.
+  CloudProvider(simcore::Simulator& sim, util::Rng rng,
+                double campaign_start_utc_hour = 12.0);
+
+  /// Requests an instance; lifecycle events fire through `callbacks`.
+  /// Throws std::invalid_argument if the GPU is not offered in the region
+  /// (the Table V "N/A" combinations).
+  InstanceId request_instance(const InstanceRequest& request,
+                              InstanceCallbacks callbacks = {});
+
+  /// Customer-initiated deletion; safe in any non-terminal state.
+  void terminate(InstanceId id);
+
+  const InstanceRecord& record(InstanceId id) const;
+  std::size_t instance_count() const { return records_.size(); }
+  const std::vector<InstanceRecord>& records() const { return records_; }
+
+  /// Accrued cost in USD: per-second billing of the GPU list price from
+  /// RUNNING to end (or to now for live instances).
+  double instance_cost(InstanceId id) const;
+  double total_cost() const;
+
+  double local_hour_now(Region region) const;
+  double campaign_start_utc_hour() const { return campaign_start_utc_hour_; }
+
+  const StartupModel& startup_model() const { return startup_model_; }
+  const RevocationModel& revocation_model() const { return revocation_model_; }
+  simcore::Simulator& simulator() { return *sim_; }
+
+ private:
+  InstanceRecord& mutable_record(InstanceId id);
+  void finish(InstanceId id, InstanceState terminal);
+
+  simcore::Simulator* sim_;
+  util::Rng rng_;
+  double campaign_start_utc_hour_;
+  StartupModel startup_model_;
+  RevocationModel revocation_model_;
+  std::vector<InstanceRecord> records_;
+  std::vector<InstanceCallbacks> callbacks_;
+  std::vector<simcore::EventHandle> pending_events_;
+  std::vector<simcore::EventHandle> pending_notices_;
+};
+
+}  // namespace cmdare::cloud

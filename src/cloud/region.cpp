@@ -1,0 +1,46 @@
+#include "cloud/region.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmdare::cloud {
+namespace {
+
+constexpr std::array<RegionInfo, 6> kRegions = {{
+    {Region::kUsEast1, "us-east1", -5},
+    {Region::kUsCentral1, "us-central1", -6},
+    {Region::kUsWest1, "us-west1", -8},
+    {Region::kEuropeWest1, "europe-west1", 1},
+    {Region::kEuropeWest4, "europe-west4", 1},
+    {Region::kAsiaEast1, "asia-east1", 8},
+}};
+
+}  // namespace
+
+const RegionInfo& region_info(Region region) {
+  const auto index = static_cast<std::size_t>(region);
+  if (index >= kRegions.size()) {
+    throw std::invalid_argument("region_info: unknown region");
+  }
+  return kRegions[index];
+}
+
+const char* region_name(Region region) { return region_info(region).name; }
+
+Region region_from_name(const std::string& name) {
+  for (const RegionInfo& info : kRegions) {
+    if (name == info.name) return info.region;
+  }
+  throw std::invalid_argument("region_from_name: unknown region " + name);
+}
+
+double local_hour(Region region, double campaign_start_utc_hour,
+                  double sim_seconds) {
+  const double hour = campaign_start_utc_hour +
+                      region_info(region).utc_offset_hours +
+                      sim_seconds / 3600.0;
+  const double wrapped = std::fmod(hour, 24.0);
+  return wrapped < 0.0 ? wrapped + 24.0 : wrapped;
+}
+
+}  // namespace cmdare::cloud

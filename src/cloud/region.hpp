@@ -1,0 +1,42 @@
+// Cloud regions (Section V-A).
+//
+// The study launches transient servers in six geographically distributed
+// regions: three US, two European, one Asian. Revocation analysis is done
+// in each region's *local* time (Figure 9), so regions carry a UTC offset.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace cmdare::cloud {
+
+enum class Region {
+  kUsEast1 = 0,     // South Carolina
+  kUsCentral1 = 1,  // Iowa
+  kUsWest1 = 2,     // Oregon
+  kEuropeWest1 = 3, // Belgium
+  kEuropeWest4 = 4, // Netherlands
+  kAsiaEast1 = 5,   // Taiwan
+};
+
+inline constexpr std::array<Region, 6> kAllRegions = {
+    Region::kUsEast1,     Region::kUsCentral1,  Region::kUsWest1,
+    Region::kEuropeWest1, Region::kEuropeWest4, Region::kAsiaEast1};
+
+struct RegionInfo {
+  Region region;
+  const char* name;
+  /// Hours ahead of UTC (standard time; DST ignored for simplicity).
+  int utc_offset_hours;
+};
+
+const RegionInfo& region_info(Region region);
+const char* region_name(Region region);
+Region region_from_name(const std::string& name);
+
+/// Local hour-of-day in [0, 24) for a region, given the campaign's UTC
+/// start hour and elapsed simulated seconds.
+double local_hour(Region region, double campaign_start_utc_hour,
+                  double sim_seconds);
+
+}  // namespace cmdare::cloud

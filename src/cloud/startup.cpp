@@ -1,0 +1,110 @@
+#include "cloud/startup.hpp"
+
+#include <stdexcept>
+
+namespace cmdare::cloud {
+namespace {
+
+struct StageMeans {
+  double prov;
+  double staging;
+  double running;
+};
+
+// [gpu][transient? 1 : 0] — means in seconds, calibrated to Figure 6.
+constexpr StageMeans kStageMeans[3][2] = {
+    // K80: on-demand 75 s total; transient 86 s (+11).
+    {{22.0, 28.0, 25.0}, {25.0, 35.0, 26.0}},
+    // P100: on-demand 72 s; transient 93.5 s (+21.5, ~8.7% over K80).
+    {{23.0, 25.0, 24.0}, {26.0, 41.0, 26.5}},
+    // V100: comparable to P100.
+    {{23.0, 26.0, 24.0}, {26.0, 42.0, 26.5}},
+};
+
+}  // namespace
+
+const char* request_context_name(RequestContext context) {
+  switch (context) {
+    case RequestContext::kNormal:
+      return "normal";
+    case RequestContext::kImmediateAfterRevocation:
+      return "immediate";
+    case RequestContext::kDelayedAfterRevocation:
+      return "delayed";
+  }
+  return "?";
+}
+
+StartupBreakdown StartupModel::mean_stages(GpuType gpu, bool transient) const {
+  const auto g = static_cast<std::size_t>(gpu);
+  if (g >= 3) throw std::invalid_argument("StartupModel: unknown GPU");
+  const StageMeans& m = kStageMeans[g][transient ? 1 : 0];
+  return StartupBreakdown{m.prov, m.staging, m.running};
+}
+
+double StartupModel::region_multiplier(Region region) const {
+  switch (region) {
+    case Region::kUsEast1:
+      return 1.00;
+    case Region::kUsCentral1:
+      return 1.02;
+    case Region::kUsWest1:
+      return 1.04;
+    case Region::kEuropeWest1:
+      return 1.03;
+    case Region::kEuropeWest4:
+      return 1.03;
+    case Region::kAsiaEast1:
+      return 1.06;
+  }
+  throw std::invalid_argument("StartupModel: unknown region");
+}
+
+double StartupModel::stage_cov(GpuType gpu, bool transient, int stage) const {
+  // Staging of transient K80s is the most variable stage — the paper reads
+  // this as a sign of higher demand / lower K80 availability.
+  if (gpu == GpuType::kK80 && transient && stage == 1) return 0.35;
+  return 0.15;
+}
+
+StartupBreakdown StartupModel::sample(GpuType gpu, Region region,
+                                      bool transient, RequestContext context,
+                                      util::Rng& rng) const {
+  const StartupBreakdown means = mean_stages(gpu, transient);
+  const double region_mult = region_multiplier(region);
+
+  double staging_shift = 0.0;
+  double noise_scale = 1.0;
+  switch (context) {
+    case RequestContext::kNormal:
+      break;
+    case RequestContext::kImmediateAfterRevocation:
+      // Fig. 7: mean within ~3-4 s of delayed, CoV ~12% on the total.
+      staging_shift = 3.0;
+      noise_scale = 1.35;
+      break;
+    case RequestContext::kDelayedAfterRevocation:
+      // Fig. 7: CoV ~3% on the total.
+      noise_scale = 0.30;
+      break;
+  }
+
+  const double stage_means[3] = {means.provisioning_s,
+                                 means.staging_s + staging_shift,
+                                 means.running_s};
+  double sampled[3];
+  for (int s = 0; s < 3; ++s) {
+    const double mean = stage_means[s] * region_mult;
+    // Post-revocation requests (Fig. 7) were measured as their own
+    // distribution: the noise_scale applies to a flat per-stage base so
+    // the immediate/delayed CoV targets (12% / 3%) hold for every GPU,
+    // including the K80 whose *normal* staging is extra noisy.
+    const double base_cov = context == RequestContext::kNormal
+                                ? stage_cov(gpu, transient, s)
+                                : 0.15;
+    sampled[s] = rng.lognormal_mean_cv(mean, base_cov * noise_scale);
+  }
+  return StartupBreakdown{sampled[0], sampled[1], sampled[2]};
+}
+
+}  // namespace cmdare::cloud

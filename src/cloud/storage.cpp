@@ -1,0 +1,40 @@
+#include "cloud/storage.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cmdare::cloud {
+
+ObjectStore::ObjectStore(simcore::Simulator& sim, util::Rng rng,
+                         CheckpointTimeModel timing)
+    : sim_(&sim), rng_(rng), timing_(timing) {}
+
+double ObjectStore::upload(const std::string& key, std::uint64_t bytes,
+                           std::function<void()> on_done) {
+  if (key.empty()) throw std::invalid_argument("ObjectStore: empty key");
+  const double duration = sample_upload_seconds(bytes);
+  sim_->schedule_after(duration, [this, key, bytes,
+                                  done = std::move(on_done)]() {
+    const auto [it, inserted] = blobs_.insert_or_assign(key, bytes);
+    (void)it;
+    if (inserted) {
+      bytes_stored_ += bytes;
+    }
+    if (done) done();
+  });
+  return duration;
+}
+
+double ObjectStore::sample_upload_seconds(std::uint64_t bytes) {
+  return sample_checkpoint_seconds(bytes, rng_, timing_);
+}
+
+bool ObjectStore::contains(const std::string& key) const {
+  return blobs_.count(key) != 0;
+}
+
+std::uint64_t ObjectStore::blob_size(const std::string& key) const {
+  return blobs_.at(key);
+}
+
+}  // namespace cmdare::cloud

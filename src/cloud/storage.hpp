@@ -1,0 +1,51 @@
+// Cloud object storage (checkpoint target).
+//
+// CM-DARE's chief worker saves checkpoints to remote storage in the same
+// data center as the training cluster (Section IV-A). ObjectStore models
+// that service: named blobs with upload durations drawn from the
+// calibrated checkpoint-time model, plus simple read-back for restore.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cloud/calibration.hpp"
+#include "simcore/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::cloud {
+
+class ObjectStore {
+ public:
+  ObjectStore(simcore::Simulator& sim, util::Rng rng,
+              CheckpointTimeModel timing = {});
+
+  /// Starts an asynchronous upload of `bytes` under `key`; `on_done` fires
+  /// when the blob is durable. Returns the sampled transfer duration.
+  double upload(const std::string& key, std::uint64_t bytes,
+                std::function<void()> on_done);
+
+  /// Synchronous-model variant used by analytic code: just samples how
+  /// long an upload of `bytes` would take.
+  double sample_upload_seconds(std::uint64_t bytes);
+
+  /// True once a blob with this key is durable.
+  bool contains(const std::string& key) const;
+  /// Size of a durable blob; throws std::out_of_range if absent.
+  std::uint64_t blob_size(const std::string& key) const;
+  std::size_t blob_count() const { return blobs_.size(); }
+
+  /// Total bytes written (durable blobs only).
+  std::uint64_t bytes_stored() const { return bytes_stored_; }
+
+ private:
+  simcore::Simulator* sim_;
+  util::Rng rng_;
+  CheckpointTimeModel timing_;
+  std::map<std::string, std::uint64_t> blobs_;
+  std::uint64_t bytes_stored_ = 0;
+};
+
+}  // namespace cmdare::cloud

@@ -1,0 +1,42 @@
+#include "cmdare/bottleneck.hpp"
+
+#include <stdexcept>
+
+namespace cmdare::core {
+
+BottleneckDetector::BottleneckDetector(BottleneckConfig config)
+    : config_(config) {
+  if (config_.warmup_seconds < 0.0 || config_.threshold <= 0.0) {
+    throw std::invalid_argument("BottleneckDetector: invalid config");
+  }
+}
+
+BottleneckReport BottleneckDetector::check(
+    double predicted_speed, const PerformanceProfiler& profiler) const {
+  if (predicted_speed <= 0.0) {
+    throw std::invalid_argument("BottleneckDetector: prediction must be > 0");
+  }
+  BottleneckReport report;
+  report.predicted_speed = predicted_speed;
+
+  const auto measured = profiler.mean_speed_since(config_.warmup_seconds);
+  if (!measured) {
+    report.advice = "no post-warmup measurement yet";
+    return report;
+  }
+  report.measured_speed = *measured;
+  report.deficit_fraction =
+      (predicted_speed - *measured) / predicted_speed;
+  if (report.deficit_fraction > config_.threshold) {
+    report.flagged = true;
+    report.advice =
+        "measured speed trails the composed per-worker prediction; likely "
+        "parameter-server bottleneck — provision an additional parameter "
+        "server";
+  } else {
+    report.advice = "within threshold";
+  }
+  return report;
+}
+
+}  // namespace cmdare::core

@@ -1,0 +1,46 @@
+// Parameter-server bottleneck detection (Section VI-B).
+//
+// CM-DARE flags a bottleneck when the theoretically predicted cluster
+// speed (sum of per-worker predicted speeds, Section VI-A) exceeds the
+// measured speed by more than a configurable threshold after a warmup
+// period. The paper's empirically chosen defaults: 30-second warmup,
+// 6.7% threshold.
+#pragma once
+
+#include <string>
+
+#include "cmdare/profiler.hpp"
+
+namespace cmdare::core {
+
+struct BottleneckConfig {
+  double warmup_seconds = 30.0;
+  /// Relative deficit (predicted - measured) / predicted that triggers.
+  double threshold = 0.067;
+};
+
+struct BottleneckReport {
+  bool flagged = false;
+  double predicted_speed = 0.0;
+  double measured_speed = 0.0;
+  double deficit_fraction = 0.0;
+  std::string advice;
+};
+
+class BottleneckDetector {
+ public:
+  explicit BottleneckDetector(BottleneckConfig config = {});
+
+  /// Compares the predicted speed against the profiler's measurements
+  /// taken after the warmup period. Returns an unflagged report when no
+  /// post-warmup measurement exists yet.
+  BottleneckReport check(double predicted_speed,
+                         const PerformanceProfiler& profiler) const;
+
+  const BottleneckConfig& config() const { return config_; }
+
+ private:
+  BottleneckConfig config_;
+};
+
+}  // namespace cmdare::core

@@ -1,0 +1,132 @@
+#include "cmdare/checkpoint_modeling.hpp"
+
+#include <stdexcept>
+
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/pca.hpp"
+
+namespace cmdare::core {
+namespace {
+
+RegressionEval evaluate_prototype(const std::string& name,
+                                  const std::string& features,
+                                  const ml::Regressor& prototype,
+                                  const ml::Dataset& dataset, util::Rng& rng,
+                                  std::size_t folds) {
+  util::Rng split_rng = rng.fork("split-" + name);
+  const ml::TrainTestSplit split =
+      ml::train_test_split(dataset, 0.8, split_rng);
+  util::Rng cv_rng = rng.fork("cv-" + name);
+  const ml::CrossValResult cv =
+      ml::cross_validate(prototype, split.train, folds, cv_rng);
+
+  auto fitted = prototype.clone_unfitted();
+  fitted->fit(split.train);
+  const auto predicted = fitted->predict_all(split.test);
+
+  RegressionEval eval;
+  eval.name = name;
+  eval.features = features;
+  eval.kfold_mae = cv.mean_mae;
+  eval.kfold_mae_sd = cv.sd_mae;
+  eval.test_mae = ml::mean_absolute_error(split.test.targets(), predicted);
+  eval.test_mape =
+      ml::mean_absolute_percentage_error(split.test.targets(), predicted);
+  return eval;
+}
+
+}  // namespace
+
+std::vector<RegressionEval> evaluate_checkpoint_models(
+    const std::vector<CheckpointMeasurement>& measurements, util::Rng& rng,
+    std::size_t folds) {
+  if (measurements.size() < folds + 1) {
+    throw std::invalid_argument(
+        "evaluate_checkpoint_models: not enough measurements");
+  }
+  std::vector<RegressionEval> results;
+  results.push_back(evaluate_prototype(
+      "Univariate", "S_c", ml::LinearRegression(),
+      checkpoint_dataset_total(measurements), rng, folds));
+  results.push_back(evaluate_prototype(
+      "Multivariate", "S_d, S_m", ml::LinearRegression(),
+      checkpoint_dataset_data_meta(measurements), rng, folds));
+  results.push_back(evaluate_prototype(
+      "Multivariate, Two Components PCA", "S_d, S_m, S_i",
+      ml::PcaRegression(2), checkpoint_dataset_all(measurements), rng,
+      folds));
+
+  // SVR RBF on S_c, grid-searched like the step-time study.
+  {
+    const std::string name = "SVR RBF kernel";
+    const ml::Dataset dataset = checkpoint_dataset_total(measurements);
+    util::Rng split_rng = rng.fork("split-" + name);
+    const ml::TrainTestSplit split =
+        ml::train_test_split(dataset, 0.8, split_rng);
+    util::Rng cv_rng = rng.fork("cv-" + name);
+    const ml::KernelConfig rbf{ml::KernelType::kRbf, 2, 1.0, 1.0};
+    const ml::SvrGridSearchResult search =
+        ml::svr_grid_search(rbf, split.train, folds, cv_rng);
+    const ml::SvrGridPoint& best = search.best();
+    ml::SvrConfig config;
+    config.kernel = rbf;
+    config.penalty = best.penalty;
+    config.epsilon = best.epsilon;
+    config.gamma_scale = best.gamma_scale;
+    ml::SupportVectorRegression fitted(config);
+    fitted.fit(split.train);
+    const auto predicted = fitted.predict_all(split.test);
+
+    RegressionEval eval;
+    eval.name = name;
+    eval.features = "S_c";
+    eval.kfold_mae = best.cv.mean_mae;
+    eval.kfold_mae_sd = best.cv.sd_mae;
+    eval.test_mae = ml::mean_absolute_error(split.test.targets(), predicted);
+    eval.test_mape =
+        ml::mean_absolute_percentage_error(split.test.targets(), predicted);
+    results.push_back(eval);
+  }
+  return results;
+}
+
+CheckpointTimePredictor CheckpointTimePredictor::train(
+    const std::vector<CheckpointMeasurement>& measurements, util::Rng& rng,
+    std::size_t folds) {
+  if (measurements.size() < folds) {
+    throw std::invalid_argument(
+        "CheckpointTimePredictor::train: not enough measurements");
+  }
+  CheckpointTimePredictor predictor;
+  std::vector<double> sizes;
+  sizes.reserve(measurements.size());
+  for (const auto& m : measurements) sizes.push_back(m.total_mb);
+  predictor.scaler_.fit(sizes);
+
+  ml::Dataset dataset({"s_c_mb"});
+  for (const auto& m : measurements) {
+    dataset.add({predictor.scaler_.transform_scalar(m.total_mb)},
+                m.mean_seconds);
+  }
+  const ml::KernelConfig rbf{ml::KernelType::kRbf, 2, 1.0, 1.0};
+  util::Rng local = rng.fork("ckpt-predictor");
+  ml::TunedSvr tuned = ml::fit_tuned_svr(rbf, dataset, folds, local);
+  predictor.model_ = std::move(tuned.model);
+  return predictor;
+}
+
+double CheckpointTimePredictor::predict_seconds_for_mb(double total_mb) const {
+  if (!model_) throw std::logic_error("CheckpointTimePredictor: not trained");
+  const double x = scaler_.transform_scalar(total_mb);
+  return model_->predict(std::vector<double>{x});
+}
+
+double CheckpointTimePredictor::predict_seconds(
+    const nn::CnnModel& model) const {
+  const auto sizes = nn::checkpoint_sizes(model);
+  return predict_seconds_for_mb(static_cast<double>(sizes.total_bytes()) /
+                                1e6);
+}
+
+}  // namespace cmdare::core

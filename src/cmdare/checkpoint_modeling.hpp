@@ -1,0 +1,44 @@
+// Checkpoint-time regression study and deployable predictor (Section IV-C,
+// Table IV).
+//
+// Four models: (i) univariate OLS on S_c, (ii) multivariate OLS on
+// (S_d, S_m), (iii) two-component PCA over (S_d, S_m, S_i) followed by
+// OLS, (iv) RBF-kernel SVR on S_c; the same split/CV/grid-search protocol
+// as the step-time study.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cmdare/measurement.hpp"
+#include "cmdare/speed_modeling.hpp"  // RegressionEval
+#include "ml/scaler.hpp"
+#include "ml/svr.hpp"
+#include "nn/checkpoint_size.hpp"
+
+namespace cmdare::core {
+
+/// Reruns the Table IV comparison.
+std::vector<RegressionEval> evaluate_checkpoint_models(
+    const std::vector<CheckpointMeasurement>& measurements, util::Rng& rng,
+    std::size_t folds = 8);
+
+/// Deployable checkpoint-time predictor: grid-searched RBF-SVR on the
+/// total checkpoint size (the Table IV winner).
+class CheckpointTimePredictor {
+ public:
+  static CheckpointTimePredictor train(
+      const std::vector<CheckpointMeasurement>& measurements, util::Rng& rng,
+      std::size_t folds = 8);
+
+  /// Predicted checkpoint duration (seconds) for a total size in MB.
+  double predict_seconds_for_mb(double total_mb) const;
+  /// Convenience: computes the model's checkpoint size first.
+  double predict_seconds(const nn::CnnModel& model) const;
+
+ private:
+  ml::MinMaxScaler scaler_;
+  std::shared_ptr<ml::SupportVectorRegression> model_;
+};
+
+}  // namespace cmdare::core

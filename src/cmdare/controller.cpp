@@ -1,0 +1,105 @@
+#include "cmdare/controller.hpp"
+
+#include "cmdare/hetero.hpp"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace cmdare::core {
+
+Controller::Controller(TransientTrainingRun& run,
+                       const StepTimePredictor& predictor,
+                       ControllerConfig config)
+    : run_(&run),
+      predictor_(&predictor),
+      config_(config),
+      detector_(config.bottleneck) {
+  if (config_.check_period_seconds <= 0.0) {
+    throw std::invalid_argument("Controller: check period must be > 0");
+  }
+  if (config_.max_parameter_servers < 1) {
+    throw std::invalid_argument("Controller: max PS must be >= 1");
+  }
+  for (const auto& worker : run.config().workers) {
+    if (!predictor.supports(worker.gpu)) {
+      throw std::invalid_argument(
+          std::string("Controller: predictor lacks a model for ") +
+          cloud::gpu_name(worker.gpu));
+    }
+  }
+}
+
+double Controller::predicted_speed() const {
+  return predict_cluster_speed(*predictor_, run_->config().workers,
+                               run_->model().gflops());
+}
+
+void Controller::start() {
+  if (started_) throw std::logic_error("Controller: already started");
+  started_ = true;
+  session_started_at_ = run_->simulator().now();
+  run_->simulator().schedule_after(config_.check_period_seconds,
+                                   [this] { check(); });
+}
+
+void Controller::check() {
+  if (run_->finished()) return;
+
+  const double now = run_->simulator().now();
+  const bool in_cooldown = now < earliest_next_mitigation_;
+
+  // Only judge a full-strength cluster: while workers are still cold-
+  // starting (or a revoked one has not been replaced yet), the speed
+  // deficit is expected and says nothing about the parameter servers.
+  const std::size_t expected = run_->config().workers.size();
+  if (run_->session().active_worker_count() < expected) {
+    full_strength_since_ = -1.0;
+    run_->simulator().schedule_after(config_.check_period_seconds,
+                                     [this] { check(); });
+    return;
+  }
+  if (full_strength_since_ < 0.0) full_strength_since_ = now;
+
+  // The detector's warmup is relative to the *current* session reaching
+  // full strength: a freshly (re)started cluster must not be judged on
+  // its warmup windows.
+  const auto measured = run_->profiler().mean_speed_since(
+      std::max(session_started_at_, full_strength_since_) +
+      detector_.config().warmup_seconds);
+
+  if (measured && !in_cooldown) {
+    BottleneckReport report;
+    report.predicted_speed = predicted_speed();
+    report.measured_speed = *measured;
+    report.deficit_fraction =
+        (report.predicted_speed - report.measured_speed) /
+        report.predicted_speed;
+    report.flagged =
+        report.deficit_fraction > detector_.config().threshold;
+    report.advice = report.flagged ? "provision an additional parameter "
+                                     "server and restart the session"
+                                   : "within threshold";
+    reports_.push_back(report);
+
+    if (report.flagged &&
+        run_->current_ps_count() < config_.max_parameter_servers) {
+      const int new_ps = run_->current_ps_count() + 1;
+      LOG_INFO << "controller: bottleneck (deficit "
+               << report.deficit_fraction << "), restarting with " << new_ps
+               << " parameter servers";
+      run_->restart_with_ps_count(new_ps);
+      ++mitigations_;
+      session_started_at_ = run_->simulator().now();
+      earliest_next_mitigation_ =
+          session_started_at_ + config_.post_restart_cooldown_seconds;
+    }
+  }
+
+  run_->simulator().schedule_after(config_.check_period_seconds,
+                                   [this] { check(); });
+}
+
+}  // namespace cmdare::core

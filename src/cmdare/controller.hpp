@@ -1,0 +1,61 @@
+// CM-DARE controller (Figure 1, step 10; Section VI-B).
+//
+// The controller closes the loop: it periodically compares the measured
+// cluster speed (performance profiler) against the composed per-worker
+// prediction (Section VI-A models). When the deficit exceeds the
+// bottleneck threshold, it reconfigures the cluster — restarting the
+// training session with one more parameter server — and keeps watching.
+// Restarts are rate-limited by a cooldown so a fresh session gets a
+// warmup period before being judged again.
+#pragma once
+
+#include <vector>
+
+#include "cmdare/bottleneck.hpp"
+#include "cmdare/resource_manager.hpp"
+#include "cmdare/speed_modeling.hpp"
+
+namespace cmdare::core {
+
+struct ControllerConfig {
+  BottleneckConfig bottleneck;
+  /// How often the controller evaluates the cluster.
+  double check_period_seconds = 60.0;
+  /// Do not re-evaluate this long after a mitigation (fresh warmup).
+  double post_restart_cooldown_seconds = 120.0;
+  /// Upper bound on parameter servers the controller may provision.
+  int max_parameter_servers = 4;
+};
+
+class Controller {
+ public:
+  /// The predictor must support every GPU type in the run's cluster.
+  Controller(TransientTrainingRun& run, const StepTimePredictor& predictor,
+             ControllerConfig config = {});
+
+  /// Begins periodic checks (call after run.start()).
+  void start();
+
+  int mitigations() const { return mitigations_; }
+  std::size_t checks_performed() const { return reports_.size(); }
+  const std::vector<BottleneckReport>& reports() const { return reports_; }
+
+  /// Additive speed prediction for the run's current worker set.
+  double predicted_speed() const;
+
+ private:
+  void check();
+
+  TransientTrainingRun* run_;
+  const StepTimePredictor* predictor_;
+  ControllerConfig config_;
+  BottleneckDetector detector_;
+  double earliest_next_mitigation_ = 0.0;
+  double session_started_at_ = 0.0;
+  double full_strength_since_ = -1.0;
+  int mitigations_ = 0;
+  bool started_ = false;
+  std::vector<BottleneckReport> reports_;
+};
+
+}  // namespace cmdare::core

@@ -1,0 +1,65 @@
+#include "cmdare/hetero.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmdare::core {
+
+double predict_cluster_speed(const StepTimePredictor& predictor,
+                             const std::vector<train::WorkerSpec>& workers,
+                             double gflops) {
+  if (workers.empty()) {
+    throw std::invalid_argument("predict_cluster_speed: no workers");
+  }
+  double speed = 0.0;
+  for (const train::WorkerSpec& w : workers) {
+    speed += predictor.predict_speed(w.gpu, gflops);
+  }
+  return speed;
+}
+
+TrainingTimeEstimate estimate_training_time(
+    double cluster_speed, const TrainingTimeParams& params,
+    const std::vector<const stats::Ecdf*>& worker_lifetime_cdfs,
+    int iterations) {
+  if (cluster_speed <= 0.0) {
+    throw std::invalid_argument("estimate_training_time: speed must be > 0");
+  }
+  if (params.total_steps <= 0.0) {
+    throw std::invalid_argument("estimate_training_time: N_w must be > 0");
+  }
+  if (iterations < 1) {
+    throw std::invalid_argument("estimate_training_time: iterations < 1");
+  }
+
+  TrainingTimeEstimate est;
+  est.compute_seconds = params.total_steps / cluster_speed;
+  est.checkpoint_seconds =
+      params.checkpoint_interval_steps > 0
+          ? std::ceil(params.total_steps /
+                      static_cast<double>(params.checkpoint_interval_steps)) *
+                params.checkpoint_seconds
+          : 0.0;
+
+  // Fixed-point iteration: N_r depends on the training duration, which
+  // includes the revocation overhead N_r introduces.
+  double total = est.compute_seconds + est.checkpoint_seconds;
+  for (int it = 0; it < iterations; ++it) {
+    double n_r = 0.0;
+    for (const stats::Ecdf* cdf : worker_lifetime_cdfs) {
+      if (cdf == nullptr) {
+        throw std::invalid_argument("estimate_training_time: null CDF");
+      }
+      n_r += (*cdf)(total);  // Pr(lifetime <= training duration)
+    }
+    est.expected_revocations = n_r;
+    est.revocation_seconds =
+        n_r * (params.provision_seconds + params.replacement_seconds);
+    total = est.compute_seconds + est.checkpoint_seconds +
+            est.revocation_seconds;
+  }
+  est.total_seconds = total;
+  return est;
+}
+
+}  // namespace cmdare::core

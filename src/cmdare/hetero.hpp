@@ -1,0 +1,62 @@
+// Heterogeneous cluster speed prediction and end-to-end training time
+// estimation (Section VI-A, Equations 4 and 5).
+//
+// Key empirical facts the composition relies on (Section III-C): adding
+// workers of different GPU types to an asynchronous session does not
+// change existing workers' speeds, so cluster speed is the sum of
+// individual predicted speeds, sp = sum_i sp_i. The total training time
+// for N_w steps is then
+//
+//   T = N_w / sp + ceil(N_w / I_c) * T_c + N_r * (T_p + T_s)       (Eq. 4)
+//   N_r = sum_i Pr(R_i)                                            (Eq. 5)
+//
+// with I_c the checkpoint interval, T_c the predicted checkpoint time,
+// T_p / T_s the provisioning and worker-replacement times (running
+// averages of historical measurements), and Pr(R_i) the probability that
+// worker i is revoked during the training, read off the empirical
+// lifetime CDFs (Figure 8).
+#pragma once
+
+#include <vector>
+
+#include "cloud/gpu.hpp"
+#include "cmdare/speed_modeling.hpp"
+#include "stats/ecdf.hpp"
+#include "train/cluster.hpp"
+
+namespace cmdare::core {
+
+/// Predicted cluster speed: sum over workers of the per-GPU predicted
+/// single-worker speed for a model of complexity `gflops`.
+double predict_cluster_speed(const StepTimePredictor& predictor,
+                             const std::vector<train::WorkerSpec>& workers,
+                             double gflops);
+
+struct TrainingTimeParams {
+  double total_steps = 0.0;             // N_w
+  long checkpoint_interval_steps = 0;   // I_c (0 = no checkpointing)
+  double checkpoint_seconds = 0.0;      // T_c
+  double provision_seconds = 0.0;       // T_p
+  double replacement_seconds = 0.0;     // T_s
+};
+
+struct TrainingTimeEstimate {
+  double total_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double checkpoint_seconds = 0.0;
+  double revocation_seconds = 0.0;
+  double expected_revocations = 0.0;  // N_r
+};
+
+/// Evaluates Equations 4-5. `worker_lifetime_cdfs` holds one empirical
+/// lifetime CDF per worker (seconds); pass an empty vector for a
+/// revocation-free estimate. Pr(R_i) is evaluated at the estimated
+/// training duration, which itself depends on N_r, so the estimate is
+/// iterated to a fixed point (`iterations` passes; 2 suffices in
+/// practice).
+TrainingTimeEstimate estimate_training_time(
+    double cluster_speed, const TrainingTimeParams& params,
+    const std::vector<const stats::Ecdf*>& worker_lifetime_cdfs,
+    int iterations = 2);
+
+}  // namespace cmdare::core

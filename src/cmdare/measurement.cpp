@@ -1,0 +1,180 @@
+#include "cmdare/measurement.hpp"
+
+#include <stdexcept>
+
+#include "nn/checkpoint_size.hpp"
+#include "simcore/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "train/session.hpp"
+
+namespace cmdare::core {
+
+std::vector<StepTimeMeasurement> measure_step_times(
+    const std::vector<nn::CnnModel>& models,
+    const std::vector<cloud::GpuType>& gpus, util::Rng& rng, long steps,
+    long discard) {
+  if (steps <= discard) {
+    throw std::invalid_argument("measure_step_times: steps <= discard");
+  }
+  std::vector<StepTimeMeasurement> out;
+  for (const nn::CnnModel& model : models) {
+    for (cloud::GpuType gpu : gpus) {
+      simcore::Simulator sim;
+      train::SessionConfig config;
+      config.max_steps = steps;
+      train::TrainingSession session(
+          sim, model, config,
+          rng.fork("measure-" + model.name() + "-" + cloud::gpu_name(gpu)));
+      train::WorkerSpec spec;
+      spec.gpu = gpu;
+      spec.label = model.name();
+      session.add_worker(spec);
+      sim.run();
+
+      const auto intervals = session.trace().worker_step_intervals(
+          0, static_cast<std::size_t>(discard));
+      StepTimeMeasurement m;
+      m.model = model.name();
+      m.gpu = gpu;
+      m.gflops = model.gflops();
+      m.gpu_tflops = cloud::gpu_spec(gpu).tflops;
+      m.mean_step_seconds = stats::mean(intervals);
+      m.sd_step_seconds = intervals.size() >= 2 ? stats::stddev(intervals) : 0;
+      m.steps_measured = static_cast<long>(intervals.size());
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+std::vector<StepTimeMeasurement> filter_gpu(
+    const std::vector<StepTimeMeasurement>& measurements, cloud::GpuType gpu) {
+  std::vector<StepTimeMeasurement> out;
+  for (const auto& m : measurements) {
+    if (m.gpu == gpu) out.push_back(m);
+  }
+  return out;
+}
+
+namespace {
+
+double min_max_scale(double v, double lo, double hi) {
+  return hi == lo ? 0.0 : (v - lo) / (hi - lo);
+}
+
+}  // namespace
+
+ml::Dataset step_dataset_cnorm(
+    const std::vector<StepTimeMeasurement>& measurements) {
+  if (measurements.empty()) {
+    throw std::invalid_argument("step_dataset_cnorm: no measurements");
+  }
+  double lo = measurements.front().computation_ratio();
+  double hi = lo;
+  for (const auto& m : measurements) {
+    lo = std::min(lo, m.computation_ratio());
+    hi = std::max(hi, m.computation_ratio());
+  }
+  ml::Dataset data({"c_norm"});
+  for (const auto& m : measurements) {
+    data.add({min_max_scale(m.computation_ratio(), lo, hi)},
+             m.mean_step_seconds);
+  }
+  return data;
+}
+
+ml::Dataset step_dataset_cm_cgpu(
+    const std::vector<StepTimeMeasurement>& measurements) {
+  if (measurements.empty()) {
+    throw std::invalid_argument("step_dataset_cm_cgpu: no measurements");
+  }
+  double clo = measurements.front().gflops, chi = clo;
+  double glo = measurements.front().gpu_tflops, ghi = glo;
+  for (const auto& m : measurements) {
+    clo = std::min(clo, m.gflops);
+    chi = std::max(chi, m.gflops);
+    glo = std::min(glo, m.gpu_tflops);
+    ghi = std::max(ghi, m.gpu_tflops);
+  }
+  ml::Dataset data({"c_m", "c_gpu"});
+  for (const auto& m : measurements) {
+    data.add({min_max_scale(m.gflops, clo, chi),
+              min_max_scale(m.gpu_tflops, glo, ghi)},
+             m.mean_step_seconds);
+  }
+  return data;
+}
+
+ml::Dataset step_dataset_cm(
+    const std::vector<StepTimeMeasurement>& measurements) {
+  if (measurements.empty()) {
+    throw std::invalid_argument("step_dataset_cm: no measurements");
+  }
+  double lo = measurements.front().gflops, hi = lo;
+  for (const auto& m : measurements) {
+    lo = std::min(lo, m.gflops);
+    hi = std::max(hi, m.gflops);
+  }
+  ml::Dataset data({"c_m"});
+  for (const auto& m : measurements) {
+    data.add({min_max_scale(m.gflops, lo, hi)}, m.mean_step_seconds);
+  }
+  return data;
+}
+
+std::vector<CheckpointMeasurement> measure_checkpoint_times(
+    const std::vector<nn::CnnModel>& models, util::Rng& rng, int repeats) {
+  if (repeats < 1) {
+    throw std::invalid_argument("measure_checkpoint_times: repeats < 1");
+  }
+  std::vector<CheckpointMeasurement> out;
+  for (const nn::CnnModel& model : models) {
+    const auto sizes = nn::checkpoint_sizes(model);
+    util::Rng local = rng.fork("ckpt-" + model.name());
+    std::vector<double> durations;
+    durations.reserve(static_cast<std::size_t>(repeats));
+    for (int r = 0; r < repeats; ++r) {
+      durations.push_back(
+          cloud::sample_checkpoint_seconds(sizes.total_bytes(), local));
+    }
+    CheckpointMeasurement m;
+    m.model = model.name();
+    m.data_mb = static_cast<double>(sizes.data_bytes) / 1e6;
+    m.meta_mb = static_cast<double>(sizes.meta_bytes) / 1e6;
+    m.index_mb = static_cast<double>(sizes.index_bytes) / 1e6;
+    m.total_mb = static_cast<double>(sizes.total_bytes()) / 1e6;
+    m.mean_seconds = stats::mean(durations);
+    m.sd_seconds = durations.size() >= 2 ? stats::stddev(durations) : 0.0;
+    m.cov = m.mean_seconds > 0 ? m.sd_seconds / m.mean_seconds : 0.0;
+    m.repeats = repeats;
+    out.push_back(m);
+  }
+  return out;
+}
+
+ml::Dataset checkpoint_dataset_total(
+    const std::vector<CheckpointMeasurement>& measurements) {
+  ml::Dataset data({"s_c_mb"});
+  for (const auto& m : measurements) data.add({m.total_mb}, m.mean_seconds);
+  return data;
+}
+
+ml::Dataset checkpoint_dataset_data_meta(
+    const std::vector<CheckpointMeasurement>& measurements) {
+  ml::Dataset data({"s_d_mb", "s_m_mb"});
+  for (const auto& m : measurements) {
+    data.add({m.data_mb, m.meta_mb}, m.mean_seconds);
+  }
+  return data;
+}
+
+ml::Dataset checkpoint_dataset_all(
+    const std::vector<CheckpointMeasurement>& measurements) {
+  ml::Dataset data({"s_d_mb", "s_m_mb", "s_i_mb"});
+  for (const auto& m : measurements) {
+    data.add({m.data_mb, m.meta_mb, m.index_mb}, m.mean_seconds);
+  }
+  return data;
+}
+
+}  // namespace cmdare::core

@@ -1,0 +1,83 @@
+// Measurement campaigns (Section III-A, IV-A).
+//
+// These functions are CM-DARE's "performance profiler + resource manager"
+// loop condensed into batch form: they spin up simulated training clusters,
+// collect step-time and checkpoint-time measurements for a set of CNN
+// models and GPU types, and expose the results both as raw records and as
+// ml::Dataset feature matrices ready for the Table II / Table IV
+// regression studies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/gpu.hpp"
+#include "ml/dataset.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::core {
+
+struct StepTimeMeasurement {
+  std::string model;
+  cloud::GpuType gpu = cloud::GpuType::kK80;
+  double gflops = 0.0;        // model complexity C_m
+  double gpu_tflops = 0.0;    // GPU capacity C_gpu
+  double mean_step_seconds = 0.0;
+  double sd_step_seconds = 0.0;
+  long steps_measured = 0;
+
+  /// Computation ratio C = C_m / C_gpu (Section III-B).
+  double computation_ratio() const { return gflops / gpu_tflops; }
+};
+
+/// Measures the mean step time of each (model, GPU) pair with a
+/// single-worker + single-PS cluster, training `steps` steps and
+/// discarding the first `discard` (paper: 1500 averaged over 1400 after a
+/// 100-step warmup discard).
+std::vector<StepTimeMeasurement> measure_step_times(
+    const std::vector<nn::CnnModel>& models,
+    const std::vector<cloud::GpuType>& gpus, util::Rng& rng, long steps = 1500,
+    long discard = 100);
+
+/// Restricts measurements to one GPU type.
+std::vector<StepTimeMeasurement> filter_gpu(
+    const std::vector<StepTimeMeasurement>& measurements, cloud::GpuType gpu);
+
+/// Feature layouts of the Table II models.
+/// Univariate GPU-agnostic: x = [C_norm] (min-max normalized C_m/C_gpu).
+ml::Dataset step_dataset_cnorm(
+    const std::vector<StepTimeMeasurement>& measurements);
+/// Multivariate GPU-agnostic: x = [C_m, C_gpu] (min-max normalized).
+ml::Dataset step_dataset_cm_cgpu(
+    const std::vector<StepTimeMeasurement>& measurements);
+/// GPU-specific: x = [C_m] (min-max normalized), single GPU measurements.
+ml::Dataset step_dataset_cm(
+    const std::vector<StepTimeMeasurement>& measurements);
+
+struct CheckpointMeasurement {
+  std::string model;
+  double data_mb = 0.0;   // S_d
+  double meta_mb = 0.0;   // S_m
+  double index_mb = 0.0;  // S_i
+  double total_mb = 0.0;  // S_c
+  double mean_seconds = 0.0;
+  double sd_seconds = 0.0;
+  double cov = 0.0;
+  int repeats = 0;
+};
+
+/// Checkpoints each model `repeats` times (paper: five) on a 1x K80 chief
+/// and measures the duration.
+std::vector<CheckpointMeasurement> measure_checkpoint_times(
+    const std::vector<nn::CnnModel>& models, util::Rng& rng, int repeats = 5);
+
+/// Table IV feature layouts.
+ml::Dataset checkpoint_dataset_total(
+    const std::vector<CheckpointMeasurement>& measurements);       // [S_c]
+ml::Dataset checkpoint_dataset_data_meta(
+    const std::vector<CheckpointMeasurement>& measurements);       // [S_d,S_m]
+ml::Dataset checkpoint_dataset_all(
+    const std::vector<CheckpointMeasurement>& measurements);  // [S_d,S_m,S_i]
+
+}  // namespace cmdare::core

@@ -1,0 +1,105 @@
+#include "cmdare/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cmdare::core {
+
+double expected_time_with_interval(long interval_steps,
+                                   const CheckpointPlanParams& params,
+                                   int iterations) {
+  if (interval_steps < 1) {
+    throw std::invalid_argument(
+        "expected_time_with_interval: interval must be >= 1");
+  }
+  if (params.total_steps <= 0.0 || params.cluster_speed <= 0.0) {
+    throw std::invalid_argument(
+        "expected_time_with_interval: invalid plan parameters");
+  }
+  const double compute = params.total_steps / params.cluster_speed;
+  const double checkpoints =
+      std::ceil(params.total_steps / static_cast<double>(interval_steps)) *
+      params.checkpoint_seconds;
+  const double per_revocation =
+      params.provision_seconds + params.replacement_seconds +
+      (static_cast<double>(interval_steps) / 2.0) / params.cluster_speed;
+
+  double total = compute + checkpoints;
+  for (int it = 0; it < iterations; ++it) {
+    const double revocations =
+        params.chief_revocations_per_hour * total / 3600.0;
+    total = compute + checkpoints + revocations * per_revocation;
+  }
+  return total;
+}
+
+CheckpointPlan plan_checkpoint_interval(const CheckpointPlanParams& params,
+                                        long min_interval, int candidates) {
+  if (candidates < 2) {
+    throw std::invalid_argument("plan_checkpoint_interval: candidates < 2");
+  }
+  const auto max_interval = static_cast<long>(params.total_steps);
+  if (min_interval < 1 || min_interval > max_interval) {
+    throw std::invalid_argument(
+        "plan_checkpoint_interval: min_interval out of range");
+  }
+
+  CheckpointPlan plan;
+  plan.expected_seconds = std::numeric_limits<double>::infinity();
+  const double log_lo = std::log(static_cast<double>(min_interval));
+  const double log_hi = std::log(static_cast<double>(max_interval));
+  long previous = 0;
+  for (int c = 0; c < candidates; ++c) {
+    const double frac = static_cast<double>(c) / (candidates - 1);
+    auto interval = static_cast<long>(
+        std::lround(std::exp(log_lo + frac * (log_hi - log_lo))));
+    interval = std::clamp(interval, min_interval, max_interval);
+    if (interval == previous) continue;
+    previous = interval;
+    const double expected = expected_time_with_interval(interval, params);
+    plan.scanned.emplace_back(interval, expected);
+    if (expected < plan.expected_seconds) {
+      plan.expected_seconds = expected;
+      plan.interval_steps = interval;
+    }
+  }
+  return plan;
+}
+
+std::vector<LaunchPlan> rank_launch_plans(const cloud::RevocationModel& model,
+                                          cloud::GpuType gpu,
+                                          double duration_hours) {
+  if (duration_hours <= 0.0) {
+    throw std::invalid_argument("rank_launch_plans: duration must be > 0");
+  }
+  std::vector<LaunchPlan> plans;
+  for (const auto& target : cloud::revocation_targets()) {
+    if (target.gpu != gpu) continue;
+    for (int hour = 0; hour < 24; ++hour) {
+      LaunchPlan plan;
+      plan.region = target.region;
+      plan.local_hour = hour;
+      plan.revocation_probability = model.revocation_probability(
+          target.region, gpu, static_cast<double>(hour),
+          std::min(duration_hours, 24.0));
+      plans.push_back(plan);
+    }
+  }
+  if (plans.empty()) {
+    throw std::invalid_argument("rank_launch_plans: GPU offered nowhere");
+  }
+  std::stable_sort(plans.begin(), plans.end(),
+                   [](const LaunchPlan& a, const LaunchPlan& b) {
+                     return a.revocation_probability <
+                            b.revocation_probability;
+                   });
+  return plans;
+}
+
+LaunchPlan best_launch_plan(const cloud::RevocationModel& model,
+                            cloud::GpuType gpu, double duration_hours) {
+  return rank_launch_plans(model, gpu, duration_hours).front();
+}
+
+}  // namespace cmdare::core

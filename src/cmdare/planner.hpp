@@ -1,0 +1,83 @@
+// Transient-aware planning: checkpoint intervals and launch placement.
+//
+// Both planners implement avenues the paper explicitly leaves as future
+// work. Section V-C: "investigating how strategically launching transient
+// clusters at different times of day and different data center locations
+// can help mitigate revocation impacts" -> LaunchPlanner. Section V-E's
+// recomputation analysis shows work loss is bounded by the checkpoint
+// interval, and Section IV shows its cost is ~linear in checkpoint count
+// -> CheckpointIntervalPlanner balances the two (a Young-Daly-style
+// trade-off evaluated on the paper's cost model).
+#pragma once
+
+#include <vector>
+
+#include "cloud/gpu.hpp"
+#include "cloud/revocation.hpp"
+
+namespace cmdare::core {
+
+// ---------------------------------------------------------------------------
+// Checkpoint-interval planning (vanilla-TF rollback cost model).
+// ---------------------------------------------------------------------------
+
+struct CheckpointPlanParams {
+  double total_steps = 0.0;        // N_w
+  double cluster_speed = 0.0;      // sp, steps/second
+  double checkpoint_seconds = 0.0; // T_c
+  /// Rate of chief revocations (events/hour). Only chief revocations
+  /// trigger an IP-reuse rollback in unmodified TensorFlow.
+  double chief_revocations_per_hour = 0.0;
+  double provision_seconds = 0.0;    // T_p
+  double replacement_seconds = 0.0;  // T_s
+};
+
+/// Expected total training time (seconds) with checkpoint interval
+/// `interval_steps` under the vanilla-TF cost model:
+///
+///   T = N_w/sp + ceil(N_w/I) * T_c
+///     + N_rev * (T_p + T_s + (I/2)/sp)
+///
+/// where N_rev = lambda * T is iterated to a fixed point and (I/2)/sp is
+/// the expected recomputation after a rollback (uniform revocation
+/// position within the interval).
+double expected_time_with_interval(long interval_steps,
+                                   const CheckpointPlanParams& params,
+                                   int iterations = 3);
+
+struct CheckpointPlan {
+  long interval_steps = 0;
+  double expected_seconds = 0.0;
+  /// The curve that was scanned (interval, expected seconds).
+  std::vector<std::pair<long, double>> scanned;
+};
+
+/// Scans candidate intervals (log-spaced between `min_interval` and N_w)
+/// and returns the minimizer with the scanned curve.
+CheckpointPlan plan_checkpoint_interval(const CheckpointPlanParams& params,
+                                        long min_interval = 100,
+                                        int candidates = 40);
+
+// ---------------------------------------------------------------------------
+// Launch placement planning (region + local hour of day).
+// ---------------------------------------------------------------------------
+
+struct LaunchPlan {
+  cloud::Region region = cloud::Region::kUsCentral1;
+  /// Local hour of day at which the servers reach RUNNING.
+  int local_hour = 9;
+  /// Probability one server is revoked within the job duration.
+  double revocation_probability = 1.0;
+};
+
+/// Ranks every (region offering `gpu`, local hour) pair by the probability
+/// of revocation within `duration_hours`, ascending (best first).
+std::vector<LaunchPlan> rank_launch_plans(
+    const cloud::RevocationModel& model, cloud::GpuType gpu,
+    double duration_hours);
+
+/// Convenience: the top-ranked plan.
+LaunchPlan best_launch_plan(const cloud::RevocationModel& model,
+                            cloud::GpuType gpu, double duration_hours);
+
+}  // namespace cmdare::core

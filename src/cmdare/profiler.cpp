@@ -1,0 +1,59 @@
+#include "cmdare/profiler.hpp"
+
+#include <stdexcept>
+
+namespace cmdare::core {
+
+PerformanceProfiler::PerformanceProfiler(long window_steps)
+    : window_(window_steps) {
+  if (window_steps < 1) {
+    throw std::invalid_argument("PerformanceProfiler: window < 1");
+  }
+}
+
+void PerformanceProfiler::attach(train::TrainingSession& session) {
+  chained_ = std::move(session.on_step);
+  session.on_step = [this](long step, simcore::SimTime at) {
+    on_step(step, at);
+    if (chained_) chained_(step, at);
+  };
+  last_window_step_ = session.global_step();
+}
+
+void PerformanceProfiler::on_step(long step, simcore::SimTime at) {
+  if (step < last_window_step_) {
+    // Rollback (vanilla-TF recompute): restart the current window.
+    last_window_step_ = step;
+    last_window_time_ = at;
+    return;
+  }
+  if (step - last_window_step_ < window_) return;
+  const double elapsed = at - last_window_time_;
+  if (elapsed > 0.0) {
+    samples_.push_back(SpeedSample{
+        step, at, static_cast<double>(step - last_window_step_) / elapsed});
+  }
+  last_window_step_ = step;
+  last_window_time_ = at;
+}
+
+std::optional<double> PerformanceProfiler::latest_speed() const {
+  if (samples_.empty()) return std::nullopt;
+  return samples_.back().steps_per_second;
+}
+
+std::optional<double> PerformanceProfiler::mean_speed_since(
+    simcore::SimTime t) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const SpeedSample& s : samples_) {
+    if (s.at >= t) {
+      sum += s.steps_per_second;
+      ++count;
+    }
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace cmdare::core

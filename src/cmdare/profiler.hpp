@@ -1,0 +1,53 @@
+// Online performance profiler (CM-DARE architecture, Section II).
+//
+// Subscribes to a training session's per-step callback and maintains the
+// windowed cluster-speed series (steps/second per 100 steps, the paper's
+// reporting convention) with simulation timestamps, so controllers can ask
+// "what is the measured speed right now?" — the input to bottleneck
+// detection (Section VI-B).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+#include "train/session.hpp"
+
+namespace cmdare::core {
+
+class PerformanceProfiler {
+ public:
+  explicit PerformanceProfiler(long window_steps = 100);
+
+  /// Subscribes to the session's on_step hook (replacing any previous
+  /// subscriber; the profiler forwards to the prior hook if one existed).
+  void attach(train::TrainingSession& session);
+
+  struct SpeedSample {
+    long step_end = 0;              // global step closing the window
+    simcore::SimTime at = 0.0;      // when the window closed
+    double steps_per_second = 0.0;
+  };
+
+  const std::vector<SpeedSample>& samples() const { return samples_; }
+
+  /// Most recent window speed, if any window has closed.
+  std::optional<double> latest_speed() const;
+
+  /// Mean speed over windows that closed at or after `t` (for "measured
+  /// speed since warmup ended" queries).
+  std::optional<double> mean_speed_since(simcore::SimTime t) const;
+
+  long window_steps() const { return window_; }
+
+ private:
+  void on_step(long step, simcore::SimTime at);
+
+  long window_;
+  long last_window_step_ = 0;
+  simcore::SimTime last_window_time_ = 0.0;
+  std::vector<SpeedSample> samples_;
+  std::function<void(long, simcore::SimTime)> chained_;
+};
+
+}  // namespace cmdare::core

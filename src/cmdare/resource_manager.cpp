@@ -1,0 +1,182 @@
+#include "cmdare/resource_manager.hpp"
+
+#include <stdexcept>
+
+#include "train/replacement.hpp"
+#include "util/logging.hpp"
+
+namespace cmdare::core {
+
+TransientTrainingRun::TransientTrainingRun(cloud::CloudProvider& provider,
+                                           nn::CnnModel model,
+                                           RunConfig config, util::Rng rng,
+                                           cloud::ObjectStore* store)
+    : provider_(&provider),
+      store_(store),
+      model_(std::move(model)),
+      config_(std::move(config)),
+      rng_(rng) {
+  if (config_.workers.empty()) {
+    throw std::invalid_argument("TransientTrainingRun: no workers");
+  }
+  if (config_.session.max_steps < 1) {
+    throw std::invalid_argument(
+        "TransientTrainingRun: max_steps must be >= 1");
+  }
+  target_steps_ = config_.session.max_steps;
+  ps_count_ = config_.session.ps_count;
+  make_session(target_steps_);
+}
+
+void TransientTrainingRun::make_session(long remaining_steps) {
+  train::SessionConfig session_config = config_.session;
+  session_config.ps_count = ps_count_;
+  session_config.max_steps = remaining_steps;
+  session_ = std::make_unique<train::TrainingSession>(
+      provider_->simulator(), model_, session_config,
+      rng_.fork("session-" + std::to_string(restarts_)), store_);
+  segment_started_at_ = provider_->simulator().now();
+  session_->on_complete = [this] { finish(); };
+  profiler_.attach(*session_);
+}
+
+void TransientTrainingRun::finish() {
+  finished_ = true;
+  finished_at_ = provider_->simulator().now();
+  ps_cost_accrued_ += ps_count_ * kPsHourlyCost *
+                      (finished_at_ - segment_started_at_) / 3600.0;
+  // Release every still-alive instance of this run.
+  for (const auto& [instance, placement] : placements_) {
+    (void)placement;
+    if (provider_->record(instance).alive()) provider_->terminate(instance);
+  }
+  if (on_complete) on_complete();
+}
+
+void TransientTrainingRun::start() {
+  if (started_at_ >= 0.0) {
+    throw std::logic_error("TransientTrainingRun: already started");
+  }
+  started_at_ = provider_->simulator().now();
+  segment_started_at_ = started_at_;
+  for (const train::WorkerSpec& spec : config_.workers) {
+    launch_worker(spec, cloud::RequestContext::kNormal);
+  }
+}
+
+void TransientTrainingRun::restart_with_ps_count(int ps_count) {
+  if (ps_count < 1) {
+    throw std::invalid_argument("restart_with_ps_count: ps_count must be >= 1");
+  }
+  if (finished_) return;
+
+  // Stop the current session; its events become no-ops.
+  session_->halt();
+  completed_offset_ += session_->global_step();
+  ps_cost_accrued_ +=
+      ps_count_ * kPsHourlyCost *
+      (provider_->simulator().now() - segment_started_at_) / 3600.0;
+  retired_sessions_.push_back(std::move(session_));
+
+  ps_count_ = ps_count;
+  ++restarts_;
+  const long remaining = std::max<long>(1, target_steps_ - completed_offset_);
+  make_session(remaining);
+  LOG_INFO << "session restart #" << restarts_ << " with " << ps_count
+           << " parameter servers at t=" << provider_->simulator().now();
+
+  // Live workers rejoin the new session after the restart overhead.
+  for (auto& [instance, placement] : placements_) {
+    if (!placement.worker) continue;  // still booting; joins on RUNNING
+    const auto& record = provider_->record(instance);
+    if (!record.alive() || record.state != cloud::InstanceState::kRunning) {
+      placement.worker.reset();
+      continue;
+    }
+    placement.worker =
+        session_->add_worker(placement.spec, kSessionRestartSeconds);
+  }
+}
+
+long TransientTrainingRun::completed_steps() const {
+  return completed_offset_ + session_->global_step();
+}
+
+void TransientTrainingRun::launch_worker(const train::WorkerSpec& spec,
+                                         cloud::RequestContext context) {
+  cloud::InstanceRequest request;
+  request.gpu = spec.gpu;
+  request.region = spec.region;
+  request.transient = spec.transient;
+  request.context = context;
+
+  cloud::InstanceCallbacks callbacks;
+  callbacks.on_running = [this](cloud::InstanceId id) { handle_running(id); };
+  callbacks.on_revoked = [this](cloud::InstanceId id) { handle_revoked(id); };
+  // The preemption notice is transient-TensorFlow's hook to tell the
+  // parameter server / controller about the upcoming revocation.
+  callbacks.on_preemption_notice = [this](cloud::InstanceId id) {
+    LOG_DEBUG << "preemption notice for instance " << id << " at t="
+              << provider_->simulator().now();
+  };
+
+  const cloud::InstanceId id =
+      provider_->request_instance(request, std::move(callbacks));
+  Placement placement;
+  placement.spec = spec;
+  placement.cold = context != cloud::RequestContext::kNormal;
+  placements_.emplace(id, std::move(placement));
+}
+
+void TransientTrainingRun::handle_running(cloud::InstanceId instance) {
+  if (finished_) {
+    provider_->terminate(instance);
+    return;
+  }
+  auto it = placements_.find(instance);
+  if (it == placements_.end()) {
+    throw std::logic_error("TransientTrainingRun: unknown instance running");
+  }
+  Placement& placement = it->second;
+  // Every fresh VM pays the cold-start environment setup (initial workers
+  // included: they also install the framework and download their shard).
+  const double join_delay =
+      train::sample_cold_replacement_seconds(model_, rng_);
+  placement.worker = session_->add_worker(placement.spec, join_delay);
+}
+
+void TransientTrainingRun::handle_revoked(cloud::InstanceId instance) {
+  auto it = placements_.find(instance);
+  if (it == placements_.end()) return;
+  Placement& placement = it->second;
+  ++revocations_;
+  if (placement.worker) {
+    session_->revoke_worker(*placement.worker);
+  }
+  if (config_.auto_replace && !finished_) {
+    ++replacements_;
+    launch_worker(placement.spec, config_.replacement_context);
+  }
+}
+
+double TransientTrainingRun::cost_so_far() const {
+  double cost = ps_cost_accrued_;
+  for (const auto& [instance, placement] : placements_) {
+    (void)placement;
+    cost += provider_->instance_cost(instance);
+  }
+  if (!finished_ && started_at_ >= 0.0) {
+    cost += ps_count_ * kPsHourlyCost *
+            (provider_->simulator().now() - segment_started_at_) / 3600.0;
+  }
+  return cost;
+}
+
+double TransientTrainingRun::elapsed_seconds() const {
+  if (started_at_ < 0.0 || finished_at_ < 0.0) {
+    throw std::logic_error("TransientTrainingRun: run not finished");
+  }
+  return finished_at_ - started_at_;
+}
+
+}  // namespace cmdare::core

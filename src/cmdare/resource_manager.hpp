@@ -1,0 +1,135 @@
+// CM-DARE resource manager / controller substrate (Section II, Figure 1).
+//
+// TransientTrainingRun is the framework facade that ties everything
+// together the way the paper's workflow describes: it (2) sets up the
+// training cluster through the cloud provider, (3) starts transient-aware
+// training once workers come up, (5) lets the chief checkpoint to cloud
+// storage, (7-9) reacts to revocations — CM-DARE mode hands checkpointing
+// to a survivor — and (10) fulfills cluster reconfigurations decided by
+// the controller: a revoked worker is replaced immediately by default
+// (Section V-B shows immediate requests carry no availability penalty),
+// and the whole session can be restarted with more parameter servers
+// (Section VI-B; TensorFlow cannot add a PS live, so the restart costs
+// ~10 seconds and cumulative progress is carried across sessions).
+// It also does the billing arithmetic for the cost-advisor use case.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "cloud/storage.hpp"
+#include "cmdare/profiler.hpp"
+#include "train/cluster.hpp"
+#include "train/session.hpp"
+
+namespace cmdare::core {
+
+/// Hourly price of one (on-demand, CPU-only) parameter server; an
+/// n1-standard-4, matching the paper's PS configuration.
+inline constexpr double kPsHourlyCost = 0.19;
+
+/// Session-restart overhead when reconfiguring the cluster (Section VI-B:
+/// "about 10 seconds").
+inline constexpr double kSessionRestartSeconds = 10.0;
+
+struct RunConfig {
+  train::SessionConfig session;
+  std::vector<train::WorkerSpec> workers;
+  /// Request a replacement transient worker whenever one is revoked.
+  bool auto_replace = true;
+  /// How replacements are requested (immediate by default; Section V-B).
+  cloud::RequestContext replacement_context =
+      cloud::RequestContext::kImmediateAfterRevocation;
+};
+
+class TransientTrainingRun {
+ public:
+  /// `store` may be null (checkpoint durations sampled, blobs not kept).
+  TransientTrainingRun(cloud::CloudProvider& provider, nn::CnnModel model,
+                       RunConfig config, util::Rng rng,
+                       cloud::ObjectStore* store = nullptr);
+
+  /// Requests the initial cluster. Drive the provider's simulator to make
+  /// progress; on_complete fires when the cumulative step count reaches
+  /// the configured max_steps.
+  void start();
+
+  /// Halts the current session and starts a fresh one with `ps_count`
+  /// parameter servers. Cumulative progress is preserved; live workers
+  /// rejoin after the ~10 s restart overhead. No-op if already finished.
+  void restart_with_ps_count(int ps_count);
+
+  train::TrainingSession& session() { return *session_; }
+  const train::TrainingSession& session() const { return *session_; }
+
+  /// Steps completed across all sessions of this run.
+  long completed_steps() const;
+  long target_steps() const { return target_steps_; }
+  bool finished() const { return finished_; }
+  int current_ps_count() const { return ps_count_; }
+  int restarts() const { return restarts_; }
+
+  /// Windowed cluster-speed profiler, re-attached across restarts.
+  const PerformanceProfiler& profiler() const { return profiler_; }
+
+  int revocations_seen() const { return revocations_; }
+  int replacements_requested() const { return replacements_; }
+
+  /// Worker GPU-hours cost so far plus parameter-server cost.
+  double cost_so_far() const;
+
+  /// Wall-clock (simulated) duration from start() to completion; requires
+  /// the run to have finished.
+  double elapsed_seconds() const;
+
+  const nn::CnnModel& model() const { return model_; }
+  const RunConfig& config() const { return config_; }
+  simcore::Simulator& simulator() { return provider_->simulator(); }
+
+  std::function<void()> on_complete;
+
+ private:
+  void make_session(long remaining_steps);
+  void launch_worker(const train::WorkerSpec& spec,
+                     cloud::RequestContext context);
+  void handle_running(cloud::InstanceId instance);
+  void handle_revoked(cloud::InstanceId instance);
+  void finish();
+
+  cloud::CloudProvider* provider_;
+  cloud::ObjectStore* store_;
+  nn::CnnModel model_;
+  RunConfig config_;
+  util::Rng rng_;
+
+  // The active session plus halted predecessors (kept alive because
+  // in-flight simulator events reference them).
+  std::unique_ptr<train::TrainingSession> session_;
+  std::vector<std::unique_ptr<train::TrainingSession>> retired_sessions_;
+  PerformanceProfiler profiler_;
+
+  struct Placement {
+    train::WorkerSpec spec;
+    std::optional<train::WorkerId> worker;  // id within the *current* session
+    bool cold = false;                      // replacement (cold start)
+  };
+  std::map<cloud::InstanceId, Placement> placements_;
+
+  long target_steps_ = 0;
+  long completed_offset_ = 0;
+  int ps_count_ = 1;
+  int restarts_ = 0;
+  bool finished_ = false;
+  double started_at_ = -1.0;
+  double finished_at_ = -1.0;
+  double ps_cost_accrued_ = 0.0;   // USD, for completed session segments
+  double segment_started_at_ = 0.0;
+  int revocations_ = 0;
+  int replacements_ = 0;
+};
+
+}  // namespace cmdare::core

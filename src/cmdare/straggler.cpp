@@ -1,0 +1,57 @@
+#include "cmdare/straggler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/descriptive.hpp"
+
+namespace cmdare::core {
+
+std::vector<WorkerAssessment> detect_stragglers(
+    const train::TrainingSession& session,
+    const StepTimePredictor* predictor, bool ps_saturated,
+    const StragglerConfig& config) {
+  const train::TrainingTrace& trace = session.trace();
+
+  // Measure every active worker with enough history.
+  std::vector<WorkerAssessment> assessments;
+  for (train::WorkerId w = 0; w < session.worker_count(); ++w) {
+    if (!session.worker_active(w)) continue;
+    if (w >= trace.worker_count()) continue;
+    const auto intervals =
+        trace.worker_step_intervals(w, config.discard_steps);
+    if (intervals.size() < config.min_steps) continue;
+    WorkerAssessment assessment;
+    assessment.worker = w;
+    assessment.gpu = session.worker_spec(w).gpu;
+    assessment.mean_step_seconds = stats::mean(intervals);
+    assessments.push_back(assessment);
+  }
+
+  // Peer medians per GPU type.
+  std::map<cloud::GpuType, std::vector<double>> by_gpu;
+  for (const auto& a : assessments) {
+    by_gpu[a.gpu].push_back(a.mean_step_seconds);
+  }
+
+  for (auto& a : assessments) {
+    const auto& peers = by_gpu[a.gpu];
+    if (peers.size() >= 2) {
+      a.peer_median_seconds = stats::median(peers);
+      a.flagged_vs_peers =
+          a.mean_step_seconds >
+          *a.peer_median_seconds * (1.0 + config.threshold);
+    }
+    if (predictor != nullptr && predictor->supports(a.gpu) &&
+        !ps_saturated) {
+      a.predicted_seconds = predictor->predict_step_seconds(
+          a.gpu, session.model().gflops());
+      a.flagged_vs_model =
+          a.mean_step_seconds >
+          *a.predicted_seconds * (1.0 + config.threshold);
+    }
+  }
+  return assessments;
+}
+
+}  // namespace cmdare::core

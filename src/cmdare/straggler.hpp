@@ -1,0 +1,57 @@
+// Slow-worker (straggler) detection — Section VI-B's closing remark:
+// "Similar approaches can be used to detect slower GPU workers as well."
+//
+// Two complementary signals, both computed from the session trace:
+//
+//   * peer comparison — a worker whose mean step time exceeds the median
+//     of same-GPU-type peers by more than the threshold. Robust to
+//     parameter-server saturation (all peers inflate together).
+//   * model comparison — a worker slower than the per-GPU predicted step
+//     time by more than the threshold. Works without peers, but only
+//     meaningful when the PS is not the bottleneck (pass
+//     `ps_saturated = true` to suppress it).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cmdare/speed_modeling.hpp"
+#include "train/session.hpp"
+
+namespace cmdare::core {
+
+struct StragglerConfig {
+  /// Relative slowdown (measured/median - 1 or measured/predicted - 1)
+  /// that flags a worker; the paper's empirical 6.7% threshold.
+  double threshold = 0.067;
+  /// Per-worker steps discarded as warmup before measuring.
+  std::size_t discard_steps = 100;
+  /// Minimum post-warmup steps required to judge a worker.
+  std::size_t min_steps = 50;
+};
+
+struct WorkerAssessment {
+  train::WorkerId worker = 0;
+  cloud::GpuType gpu = cloud::GpuType::kK80;
+  double mean_step_seconds = 0.0;
+  /// Median step time of same-GPU active peers (nullopt when alone).
+  std::optional<double> peer_median_seconds;
+  /// Predicted per-GPU step time (nullopt when predictor lacks the GPU).
+  std::optional<double> predicted_seconds;
+  bool flagged_vs_peers = false;
+  bool flagged_vs_model = false;
+
+  bool flagged() const { return flagged_vs_peers || flagged_vs_model; }
+};
+
+/// Assesses every active worker with enough measured steps. `predictor`
+/// may be null (peer comparison only). Set `ps_saturated` when the
+/// cluster-level bottleneck detector has flagged the PS, to suppress the
+/// model comparison (every worker is slow then, through no fault of its
+/// own).
+std::vector<WorkerAssessment> detect_stragglers(
+    const train::TrainingSession& session,
+    const StepTimePredictor* predictor = nullptr, bool ps_saturated = false,
+    const StragglerConfig& config = {});
+
+}  // namespace cmdare::core

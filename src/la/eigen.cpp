@@ -1,0 +1,96 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cmdare::la {
+
+EigenDecomposition eigen_symmetric(const Matrix& a, int max_sweeps) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) {
+    throw std::invalid_argument("eigen_symmetric: matrix must be square");
+  }
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      scale = std::max(scale, std::abs(a(i, j)));
+    }
+  }
+  const double sym_tol = 1e-9 * std::max(scale, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::abs(a(i, j) - a(j, i)) > sym_tol) {
+        throw std::invalid_argument("eigen_symmetric: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+  const double stop_tol = 1e-14 * std::max(scale, 1.0);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += std::abs(d(p, q));
+    }
+    if (off <= stop_tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= stop_tol) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // tan of the rotation angle, choosing the smaller rotation.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the Givens rotation G(p, q) on both sides of d and
+        // accumulate into v.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return d(i, i) > d(j, j);
+  });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t col = 0; col < n; ++col) {
+    const std::size_t src = order[col];
+    out.values[col] = d(src, src);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, col) = v(r, src);
+  }
+  return out;
+}
+
+}  // namespace cmdare::la

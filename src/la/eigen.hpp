@@ -1,0 +1,22 @@
+// Symmetric eigendecomposition (cyclic Jacobi), used by PCA.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace cmdare::la {
+
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column i of `vectors` is the unit eigenvector for values[i].
+  Matrix vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+/// Throws std::invalid_argument when `a` is not square or not symmetric
+/// (tolerance 1e-9 relative to the largest element).
+EigenDecomposition eigen_symmetric(const Matrix& a, int max_sweeps = 64);
+
+}  // namespace cmdare::la

@@ -1,0 +1,158 @@
+#include "la/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cmdare::la {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::column(std::span<const double> values) {
+  Matrix m(values.size(), 1);
+  for (std::size_t i = 0; i < values.size(); ++i) m(i, 0) = values[i];
+  return m;
+}
+
+Matrix Matrix::from_rows(std::size_t rows, std::size_t cols,
+                         std::span<const double> data) {
+  if (data.size() != rows * cols) {
+    throw std::invalid_argument("Matrix::from_rows: size mismatch");
+  }
+  Matrix m(rows, cols);
+  m.data_.assign(data.begin(), data.end());
+  return m;
+}
+
+void Matrix::check(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix: index (" + std::to_string(r) + ", " +
+                            std::to_string(c) + ") out of " +
+                            std::to_string(rows_) + "x" +
+                            std::to_string(cols_));
+  }
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  check(r, c);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  check(r, c);
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  check(r, 0);
+  return std::span<double>(data_.data() + r * cols_, cols_);
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  check(r, 0);
+  return std::span<const double>(data_.data() + r * cols_, cols_);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  }
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (!same_shape(rhs)) {
+    throw std::invalid_argument("Matrix::operator+: shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (!same_shape(rhs)) {
+    throw std::invalid_argument("Matrix::operator-: shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  if (!same_shape(other)) {
+    throw std::invalid_argument("Matrix::max_abs_diff: shape mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+std::vector<double> Matrix::to_vector() const {
+  if (rows_ != 1 && cols_ != 1) {
+    throw std::logic_error("Matrix::to_vector: not a vector");
+  }
+  return data_;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream oss;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    oss << '[';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c != 0) oss << ", ";
+      oss << util::format_double((*this)(r, c), precision);
+    }
+    oss << "]\n";
+  }
+  return oss.str();
+}
+
+}  // namespace cmdare::la

@@ -1,0 +1,74 @@
+// Dense row-major matrix for the regression/PCA stack.
+//
+// The modeling workloads here are tiny (tens of rows, a handful of
+// features), so this is deliberately a simple, bounds-checked dense matrix
+// rather than an expression-template library. Sizes are signed-free
+// std::size_t; all accesses are checked in debug-friendly fashion
+// (at() always checks; operator() checks via assert-like throw).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cmdare::la {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// From nested initializer list; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix identity(std::size_t n);
+  /// Column vector from a span.
+  static Matrix column(std::span<const double> values);
+  /// Builds from row-major data. Requires data.size() == rows*cols.
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::span<const double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Row slice as a span (row-major storage makes this contiguous).
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double scalar);
+  friend Matrix operator*(double scalar, Matrix m) {
+    m *= scalar;
+    return m;
+  }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Max absolute element difference; matrices must have the same shape.
+  double max_abs_diff(const Matrix& other) const;
+
+  /// Flattens a 1-column or 1-row matrix into a vector.
+  std::vector<double> to_vector() const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  void check(std::size_t r, std::size_t c) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace cmdare::la

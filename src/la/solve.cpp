@@ -1,0 +1,118 @@
+#include "la/solve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmdare::la {
+namespace {
+
+constexpr double kSingularEps = 1e-12;
+
+}  // namespace
+
+Matrix solve_gaussian(Matrix a, Matrix b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) {
+    throw std::invalid_argument("solve_gaussian: A must be square");
+  }
+  if (b.rows() != n) {
+    throw std::invalid_argument("solve_gaussian: b row mismatch");
+  }
+  const std::size_t m = b.cols();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < kSingularEps) {
+      throw std::runtime_error("solve_gaussian: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      for (std::size_t c = 0; c < m; ++c) std::swap(b(col, c), b(pivot, c));
+    }
+    const double inv_pivot = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv_pivot;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      for (std::size_t c = 0; c < m; ++c) b(r, c) -= factor * b(col, c);
+    }
+  }
+
+  // Back substitution.
+  Matrix x(n, m);
+  for (std::size_t ri = n; ri-- > 0;) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double sum = b(ri, c);
+      for (std::size_t k = ri + 1; k < n; ++k) sum -= a(ri, k) * x(k, c);
+      x(ri, c) = sum / a(ri, ri);
+    }
+  }
+  return x;
+}
+
+Matrix cholesky_factor(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) {
+    throw std::invalid_argument("cholesky_factor: A must be square");
+  }
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::runtime_error("cholesky_factor: matrix not SPD");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Matrix solve_cholesky(const Matrix& a, const Matrix& b) {
+  const Matrix l = cholesky_factor(a);
+  const std::size_t n = a.rows();
+  if (b.rows() != n) {
+    throw std::invalid_argument("solve_cholesky: b row mismatch");
+  }
+  const std::size_t m = b.cols();
+
+  // Forward substitution: L y = b.
+  Matrix y(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double sum = b(i, c);
+      for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y(k, c);
+      y(i, c) = sum / l(i, i);
+    }
+  }
+  // Back substitution: L^T x = y.
+  Matrix x(n, m);
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double sum = y(ii, c);
+      for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x(k, c);
+      x(ii, c) = sum / l(ii, ii);
+    }
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) {
+  return solve_gaussian(a, Matrix::identity(a.rows()));
+}
+
+}  // namespace cmdare::la

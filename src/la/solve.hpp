@@ -1,0 +1,25 @@
+// Linear system solvers used by ordinary least squares.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace cmdare::la {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// A must be square, b a column vector with matching rows. Throws
+/// std::runtime_error when A is (numerically) singular.
+Matrix solve_gaussian(Matrix a, Matrix b);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky. Throws
+/// std::runtime_error when A is not SPD. Used for OLS normal equations,
+/// where X^T X is SPD whenever the design matrix has full column rank.
+Matrix solve_cholesky(const Matrix& a, const Matrix& b);
+
+/// Lower-triangular Cholesky factor L with A = L L^T. Throws when A is
+/// not symmetric positive-definite.
+Matrix cholesky_factor(const Matrix& a);
+
+/// Inverse via Gaussian elimination; for small matrices only.
+Matrix inverse(const Matrix& a);
+
+}  // namespace cmdare::la

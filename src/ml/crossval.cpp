@@ -1,0 +1,141 @@
+#include "ml/crossval.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cmdare::ml {
+namespace {
+
+CrossValResult cross_validate_with_folds(
+    const Regressor& prototype, const Dataset& data,
+    const std::vector<std::vector<std::size_t>>& folds) {
+  CrossValResult result;
+  result.fold_mae.reserve(folds.size());
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    const TrainTestSplit split = kfold_split(data, folds, f);
+    auto model = prototype.clone_unfitted();
+    model->fit(split.train);
+    const auto predicted = model->predict_all(split.test);
+    result.fold_mae.push_back(
+        mean_absolute_error(split.test.targets(), predicted));
+  }
+  result.mean_mae = stats::mean(result.fold_mae);
+  result.sd_mae =
+      result.fold_mae.size() >= 2 ? stats::stddev(result.fold_mae) : 0.0;
+  return result;
+}
+
+}  // namespace
+
+CrossValResult cross_validate(const Regressor& prototype, const Dataset& data,
+                              std::size_t k, util::Rng& rng,
+                              std::size_t repeats) {
+  if (repeats < 1) {
+    throw std::invalid_argument("cross_validate: repeats must be >= 1");
+  }
+  CrossValResult pooled;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto folds = kfold_indices(data.size(), k, rng);
+    const CrossValResult one =
+        cross_validate_with_folds(prototype, data, folds);
+    pooled.fold_mae.insert(pooled.fold_mae.end(), one.fold_mae.begin(),
+                           one.fold_mae.end());
+  }
+  pooled.mean_mae = stats::mean(pooled.fold_mae);
+  pooled.sd_mae =
+      pooled.fold_mae.size() >= 2 ? stats::stddev(pooled.fold_mae) : 0.0;
+  return pooled;
+}
+
+SvrGridSearchResult svr_grid_search(const KernelConfig& kernel,
+                                    const Dataset& data, std::size_t k,
+                                    util::Rng& rng, const SvrGrid& grid) {
+  if (grid.penalty_step <= 0.0 || grid.epsilon_step <= 0.0) {
+    throw std::invalid_argument("svr_grid_search: steps must be > 0");
+  }
+  if (grid.cv_repeats < 1) {
+    throw std::invalid_argument("svr_grid_search: cv_repeats must be >= 1");
+  }
+  // All grid points share the same fold assignments so comparisons pair.
+  std::vector<std::vector<std::vector<std::size_t>>> fold_sets;
+  for (std::size_t r = 0; r < grid.cv_repeats; ++r) {
+    fold_sets.push_back(kfold_indices(data.size(), k, rng));
+  }
+
+  SvrGridSearchResult result;
+  double best = std::numeric_limits<double>::infinity();
+  // Iterate with an integer counter to avoid floating-point drift ever
+  // skipping the last grid point.
+  const int np = static_cast<int>(
+      std::floor((grid.penalty_hi - grid.penalty_lo) / grid.penalty_step +
+                 1.5));
+  const int ne = static_cast<int>(
+      std::floor((grid.epsilon_hi - grid.epsilon_lo) / grid.epsilon_step +
+                 1.5));
+  std::vector<double> gamma_scales =
+      kernel.type == KernelType::kRbf ? grid.gamma_scales
+                                      : std::vector<double>{1.0};
+  if (gamma_scales.empty()) {
+    throw std::invalid_argument("svr_grid_search: empty gamma_scales");
+  }
+  for (double gamma_scale : gamma_scales) {
+    for (int ip = 0; ip < np; ++ip) {
+      const double penalty = grid.penalty_lo + grid.penalty_step * ip;
+      if (penalty > grid.penalty_hi + 1e-9) break;
+      for (int ie = 0; ie < ne; ++ie) {
+        const double eps = grid.epsilon_lo + grid.epsilon_step * ie;
+        if (eps > grid.epsilon_hi + 1e-9) break;
+        SvrConfig config;
+        config.kernel = kernel;
+        config.penalty = penalty;
+        config.epsilon = eps;
+        config.gamma_scale = gamma_scale;
+        SupportVectorRegression prototype(config);
+        SvrGridPoint point;
+        point.penalty = penalty;
+        point.epsilon = eps;
+        point.gamma_scale = gamma_scale;
+        for (const auto& folds : fold_sets) {
+          const CrossValResult one =
+              cross_validate_with_folds(prototype, data, folds);
+          point.cv.fold_mae.insert(point.cv.fold_mae.end(),
+                                   one.fold_mae.begin(),
+                                   one.fold_mae.end());
+        }
+        point.cv.mean_mae = stats::mean(point.cv.fold_mae);
+        point.cv.sd_mae = point.cv.fold_mae.size() >= 2
+                              ? stats::stddev(point.cv.fold_mae)
+                              : 0.0;
+        if (point.cv.mean_mae < best) {
+          best = point.cv.mean_mae;
+          result.best_index = result.grid.size();
+        }
+        result.grid.push_back(std::move(point));
+      }
+    }
+  }
+  if (result.grid.empty()) {
+    throw std::invalid_argument("svr_grid_search: empty grid");
+  }
+  return result;
+}
+
+TunedSvr fit_tuned_svr(const KernelConfig& kernel, const Dataset& data,
+                       std::size_t k, util::Rng& rng, const SvrGrid& grid) {
+  SvrGridSearchResult search = svr_grid_search(kernel, data, k, rng, grid);
+  const SvrGridPoint& chosen = search.best();
+  SvrConfig config;
+  config.kernel = kernel;
+  config.penalty = chosen.penalty;
+  config.epsilon = chosen.epsilon;
+  config.gamma_scale = chosen.gamma_scale;
+  auto model = std::make_unique<SupportVectorRegression>(config);
+  model->fit(data);
+  return TunedSvr{std::move(model), chosen};
+}
+
+}  // namespace cmdare::ml

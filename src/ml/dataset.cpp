@@ -1,0 +1,116 @@
+#include "ml/dataset.hpp"
+
+#include <stdexcept>
+
+namespace cmdare::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {
+  if (feature_names_.empty()) {
+    throw std::invalid_argument("Dataset: need at least one feature");
+  }
+}
+
+void Dataset::add(std::span<const double> x, double y) {
+  if (x.size() != feature_count()) {
+    throw std::invalid_argument("Dataset::add: feature count mismatch");
+  }
+  xs_.insert(xs_.end(), x.begin(), x.end());
+  y_.push_back(y);
+}
+
+void Dataset::add(std::initializer_list<double> x, double y) {
+  add(std::span<const double>(x.begin(), x.size()), y);
+}
+
+std::span<const double> Dataset::x(std::size_t i) const {
+  if (i >= size()) throw std::out_of_range("Dataset::x: index out of range");
+  return std::span<const double>(xs_.data() + i * feature_count(),
+                                 feature_count());
+}
+
+std::vector<double> Dataset::feature_column(std::size_t feature) const {
+  if (feature >= feature_count()) {
+    throw std::out_of_range("Dataset::feature_column: out of range");
+  }
+  std::vector<double> col;
+  col.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) col.push_back(x(i)[feature]);
+  return col;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(feature_names_);
+  for (std::size_t i : indices) out.add(x(i), y(i));
+  return out;
+}
+
+Dataset Dataset::select_features(
+    std::span<const std::size_t> features) const {
+  std::vector<std::string> names;
+  for (std::size_t f : features) {
+    if (f >= feature_count()) {
+      throw std::out_of_range("Dataset::select_features: out of range");
+    }
+    names.push_back(feature_names_[f]);
+  }
+  Dataset out(std::move(names));
+  std::vector<double> row(features.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto xi = x(i);
+    for (std::size_t j = 0; j < features.size(); ++j) row[j] = xi[features[j]];
+    out.add(row, y(i));
+  }
+  return out;
+}
+
+TrainTestSplit train_test_split(const Dataset& data, double train_fraction,
+                                util::Rng& rng) {
+  if (data.size() < 2) {
+    throw std::invalid_argument("train_test_split: need >= 2 examples");
+  }
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("train_test_split: fraction must be in (0,1)");
+  }
+  auto perm = rng.permutation(data.size());
+  auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(data.size()) + 0.5);
+  n_train = std::max<std::size_t>(1, std::min(n_train, data.size() - 1));
+
+  TrainTestSplit split;
+  split.train = data.subset(
+      std::span<const std::size_t>(perm.data(), n_train));
+  split.test = data.subset(std::span<const std::size_t>(
+      perm.data() + n_train, data.size() - n_train));
+  return split;
+}
+
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n,
+                                                    std::size_t k,
+                                                    util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("kfold_indices: k must be >= 2");
+  if (k > n) throw std::invalid_argument("kfold_indices: k must be <= n");
+  const auto perm = rng.permutation(n);
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (std::size_t i = 0; i < n; ++i) folds[i % k].push_back(perm[i]);
+  return folds;
+}
+
+TrainTestSplit kfold_split(const Dataset& data,
+                           const std::vector<std::vector<std::size_t>>& folds,
+                           std::size_t fold) {
+  if (fold >= folds.size()) {
+    throw std::out_of_range("kfold_split: fold out of range");
+  }
+  std::vector<std::size_t> train_idx;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    if (f == fold) continue;
+    train_idx.insert(train_idx.end(), folds[f].begin(), folds[f].end());
+  }
+  TrainTestSplit split;
+  split.train = data.subset(train_idx);
+  split.test = data.subset(folds[fold]);
+  return split;
+}
+
+}  // namespace cmdare::ml

@@ -1,0 +1,74 @@
+// Supervised-learning datasets and splits.
+//
+// The paper's protocol (Section III-B): random 4:1 train/test split,
+// k-fold cross validation on the training part, MAE on both. Dataset is a
+// feature matrix + target vector with the split/fold machinery; splits are
+// driven by util::Rng so experiments are reproducible.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cmdare::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  /// Creates a dataset with named feature columns.
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  /// Appends an example. x.size() must equal feature_count().
+  void add(std::span<const double> x, double y);
+  void add(std::initializer_list<double> x, double y);
+
+  std::size_t size() const { return y_.size(); }
+  bool empty() const { return y_.empty(); }
+  std::size_t feature_count() const { return feature_names_.size(); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  std::span<const double> x(std::size_t i) const;
+  double y(std::size_t i) const { return y_.at(i); }
+  const std::vector<double>& targets() const { return y_; }
+
+  /// Values of one feature across all examples.
+  std::vector<double> feature_column(std::size_t feature) const;
+
+  /// Sub-dataset of the given example indices.
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Dataset with only the selected feature columns.
+  Dataset select_features(std::span<const std::size_t> features) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> xs_;  // row-major, size() * feature_count()
+  std::vector<double> y_;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random split with the given train fraction (paper uses 0.8). At least
+/// one example lands on each side when size() >= 2.
+TrainTestSplit train_test_split(const Dataset& data, double train_fraction,
+                                util::Rng& rng);
+
+/// Index folds for k-fold cross validation: shuffled indices dealt into k
+/// nearly equal folds. Requires 2 <= k <= data size.
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n,
+                                                    std::size_t k,
+                                                    util::Rng& rng);
+
+/// Train/validation datasets for fold `fold` of the given folds.
+TrainTestSplit kfold_split(const Dataset& data,
+                           const std::vector<std::vector<std::size_t>>& folds,
+                           std::size_t fold);
+
+}  // namespace cmdare::ml

@@ -1,0 +1,73 @@
+#include "ml/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/strings.hpp"
+
+namespace cmdare::ml {
+
+std::string KernelConfig::describe() const {
+  switch (type) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kPolynomial:
+      return "poly(degree=" + std::to_string(degree) +
+             ", coef0=" + util::format_double(coef0, 2) + ")";
+    case KernelType::kRbf:
+      return "rbf(gamma=" + util::format_double(gamma, 4) + ")";
+  }
+  return "?";
+}
+
+double kernel_eval(const KernelConfig& config, std::span<const double> a,
+                   std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("kernel_eval: dimension mismatch");
+  }
+  switch (config.type) {
+    case KernelType::kLinear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return dot;
+    }
+    case KernelType::kPolynomial: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return std::pow(dot + config.coef0, config.degree);
+    }
+    case KernelType::kRbf: {
+      double dist2 = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        dist2 += d * d;
+      }
+      return std::exp(-config.gamma * dist2);
+    }
+  }
+  throw std::logic_error("kernel_eval: unknown kernel type");
+}
+
+double rbf_gamma_heuristic(const Dataset& data) {
+  const std::size_t n = data.size();
+  if (n < 2) return 1.0;
+  const std::size_t p = data.feature_count();
+  // Variance over all feature entries (pooled), as sklearn's "scale".
+  double sum = 0.0, sumsq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double v : data.x(i)) {
+      sum += v;
+      sumsq += v * v;
+    }
+  }
+  const double count = static_cast<double>(n * p);
+  const double mean = sum / count;
+  const double var = sumsq / count - mean * mean;
+  if (var <= 0.0) return 1.0;
+  return 1.0 / (static_cast<double>(p) * var);
+}
+
+}  // namespace cmdare::ml

@@ -1,0 +1,37 @@
+// Kernel functions for support vector regression.
+//
+// The paper's SVR models use a two-degree polynomial kernel (Eq. 2) and an
+// RBF kernel (Eq. 3); a linear kernel is included for testing.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+namespace cmdare::ml {
+
+enum class KernelType { kLinear, kPolynomial, kRbf };
+
+struct KernelConfig {
+  KernelType type = KernelType::kRbf;
+  /// Polynomial degree (paper uses 2).
+  int degree = 2;
+  /// Polynomial: k(x, z) = (x . z + coef0)^degree.
+  double coef0 = 1.0;
+  /// RBF: k(x, z) = exp(-gamma * ||x - z||^2), i.e. gamma = 1/(2*sigma^2)
+  /// in the paper's Eq. 3 notation.
+  double gamma = 1.0;
+
+  std::string describe() const;
+};
+
+/// Evaluates the configured kernel. Inputs must have equal length.
+double kernel_eval(const KernelConfig& config, std::span<const double> a,
+                   std::span<const double> b);
+
+/// Variance heuristic for gamma (scikit-learn's "scale" default):
+/// 1 / (n_features * Var(X)) over all feature entries. Returns 1.0 for
+/// degenerate data (single point / identical points).
+double rbf_gamma_heuristic(const class Dataset& data);
+
+}  // namespace cmdare::ml

@@ -1,0 +1,94 @@
+#include "ml/linreg.hpp"
+
+#include <stdexcept>
+
+#include "la/matrix.hpp"
+#include "la/solve.hpp"
+
+namespace cmdare::ml {
+
+std::vector<double> Regressor::predict_all(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out.push_back(predict(data.x(i)));
+  return out;
+}
+
+void LinearRegression::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("LinearRegression: empty data");
+  const std::size_t n = data.size();
+  const std::size_t p = data.feature_count();
+  if (n < p + 1) {
+    throw std::invalid_argument(
+        "LinearRegression: need more examples than parameters");
+  }
+
+  // Design matrix with a trailing 1s column for the intercept.
+  la::Matrix design(n, p + 1);
+  la::Matrix target(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = data.x(i);
+    for (std::size_t j = 0; j < p; ++j) design(i, j) = xi[j];
+    design(i, p) = 1.0;
+    target(i, 0) = data.y(i);
+  }
+
+  const la::Matrix xt = design.transposed();
+  const la::Matrix xtx = xt * design;
+  const la::Matrix xty = xt * target;
+
+  la::Matrix beta;
+  try {
+    beta = la::solve_cholesky(xtx, xty);
+  } catch (const std::runtime_error&) {
+    // Rank-deficient or near-singular design: fall back to a ridge-damped
+    // solve so fit() still produces a usable (if regularized) model.
+    la::Matrix damped = xtx;
+    for (std::size_t i = 0; i < damped.rows(); ++i) damped(i, i) += 1e-8;
+    beta = la::solve_gaussian(damped, xty);
+  }
+
+  coefficients_.resize(p);
+  for (std::size_t j = 0; j < p; ++j) coefficients_[j] = beta(j, 0);
+  intercept_ = beta(p, 0);
+}
+
+double LinearRegression::predict(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("LinearRegression: not fitted");
+  if (x.size() != coefficients_.size()) {
+    throw std::invalid_argument("LinearRegression: feature count mismatch");
+  }
+  double y = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) y += coefficients_[j] * x[j];
+  return y;
+}
+
+std::unique_ptr<Regressor> LinearRegression::clone_unfitted() const {
+  return std::make_unique<LinearRegression>();
+}
+
+double LinearRegression::coefficient(std::size_t j) const {
+  if (!fitted()) throw std::logic_error("LinearRegression: not fitted");
+  return coefficients_.at(j);
+}
+
+double LinearRegression::intercept() const {
+  if (!fitted()) throw std::logic_error("LinearRegression: not fitted");
+  return intercept_;
+}
+
+UnivariateFit fit_univariate(std::span<const double> x,
+                             std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fit_univariate: size mismatch");
+  }
+  Dataset d({"x"});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    d.add(std::span<const double>(&x[i], 1), y[i]);
+  }
+  LinearRegression reg;
+  reg.fit(d);
+  return UnivariateFit{reg.coefficient(0), reg.intercept()};
+}
+
+}  // namespace cmdare::ml

@@ -1,0 +1,50 @@
+// Ordinary least squares linear regression.
+//
+// Covers the paper's univariate (S = a*C + b) and multivariate
+// (S = a*Cm + b*Cgpu + c) models from Table II and models (i)-(iii) of
+// Table IV. Coefficients are solved from the normal equations with a
+// Cholesky factorization and a Gaussian-elimination fallback for
+// rank-deficient designs.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace cmdare::ml {
+
+class LinearRegression final : public Regressor {
+ public:
+  LinearRegression() = default;
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone_unfitted() const override;
+  std::string name() const override { return "ols"; }
+
+  bool fitted() const { return !coefficients_.empty(); }
+  /// Weight of feature j (after fit).
+  double coefficient(std::size_t j) const;
+  /// Intercept term (after fit).
+  double intercept() const;
+  std::size_t feature_count() const {
+    return coefficients_.empty() ? 0 : coefficients_.size();
+  }
+
+ private:
+  std::vector<double> coefficients_;
+  double intercept_ = 0.0;
+};
+
+/// Convenience for the univariate case: fits y = a*x + b over parallel
+/// arrays and returns (a, b).
+struct UnivariateFit {
+  double slope;
+  double intercept;
+};
+UnivariateFit fit_univariate(std::span<const double> x,
+                             std::span<const double> y);
+
+}  // namespace cmdare::ml

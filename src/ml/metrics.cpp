@@ -1,0 +1,76 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmdare::ml {
+namespace {
+
+void require_matched(std::span<const double> a, std::span<const double> b,
+                     const char* what) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+  }
+  if (a.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty input");
+  }
+}
+
+}  // namespace
+
+double mean_absolute_error(std::span<const double> truth,
+                           std::span<const double> predicted) {
+  require_matched(truth, predicted, "mean_absolute_error");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    sum += std::abs(truth[i] - predicted[i]);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double mean_absolute_percentage_error(std::span<const double> truth,
+                                      std::span<const double> predicted) {
+  require_matched(truth, predicted, "mean_absolute_percentage_error");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) {
+      throw std::invalid_argument(
+          "mean_absolute_percentage_error: zero truth value");
+    }
+    sum += std::abs((truth[i] - predicted[i]) / truth[i]);
+  }
+  return 100.0 * sum / static_cast<double>(truth.size());
+}
+
+double root_mean_squared_error(std::span<const double> truth,
+                               std::span<const double> predicted) {
+  require_matched(truth, predicted, "root_mean_squared_error");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(truth.size()));
+}
+
+double r_squared(std::span<const double> truth,
+                 std::span<const double> predicted) {
+  require_matched(truth, predicted, "r_squared");
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double r = truth[i] - predicted[i];
+    const double d = truth[i] - mean;
+    ss_res += r * r;
+    ss_tot += d * d;
+  }
+  if (ss_tot == 0.0) {
+    throw std::invalid_argument("r_squared: zero-variance truth");
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace cmdare::ml

@@ -1,0 +1,121 @@
+#include "ml/pca.hpp"
+
+#include <stdexcept>
+
+#include "la/eigen.hpp"
+
+namespace cmdare::ml {
+
+void Pca::fit(const Dataset& data, std::size_t components) {
+  const std::size_t p = data.feature_count();
+  if (components == 0 || components > p) {
+    throw std::invalid_argument("Pca: components must be in [1, features]");
+  }
+  if (data.size() < 2) {
+    throw std::invalid_argument("Pca: need at least 2 examples");
+  }
+  const std::size_t n = data.size();
+
+  means_.assign(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = data.x(i);
+    for (std::size_t j = 0; j < p; ++j) means_[j] += xi[j];
+  }
+  for (double& m : means_) m /= static_cast<double>(n);
+
+  la::Matrix cov(p, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = data.x(i);
+    for (std::size_t a = 0; a < p; ++a) {
+      const double da = xi[a] - means_[a];
+      for (std::size_t b = a; b < p; ++b) {
+        cov(a, b) += da * (xi[b] - means_[b]);
+      }
+    }
+  }
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = a; b < p; ++b) {
+      const double v = cov(a, b) / static_cast<double>(n - 1);
+      cov(a, b) = v;
+      cov(b, a) = v;
+    }
+  }
+
+  const la::EigenDecomposition eig = la::eigen_symmetric(cov);
+  components_ = components;
+  eigenvalues_.assign(eig.values.begin(), eig.values.begin() + components);
+  total_variance_ = 0.0;
+  for (double v : eig.values) total_variance_ += v;
+
+  directions_ = la::Matrix(p, components);
+  for (std::size_t j = 0; j < p; ++j) {
+    for (std::size_t k = 0; k < components; ++k) {
+      directions_(j, k) = eig.vectors(j, k);
+    }
+  }
+}
+
+std::vector<double> Pca::transform(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("Pca: not fitted");
+  if (x.size() != means_.size()) {
+    throw std::invalid_argument("Pca: feature count mismatch");
+  }
+  std::vector<double> out(components_, 0.0);
+  for (std::size_t k = 0; k < components_; ++k) {
+    double dot = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      dot += (x[j] - means_[j]) * directions_(j, k);
+    }
+    out[k] = dot;
+  }
+  return out;
+}
+
+Dataset Pca::transform(const Dataset& data) const {
+  std::vector<std::string> names;
+  names.reserve(components_);
+  for (std::size_t k = 0; k < components_; ++k) {
+    names.push_back("pc" + std::to_string(k + 1));
+  }
+  Dataset out(std::move(names));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.add(transform(data.x(i)), data.y(i));
+  }
+  return out;
+}
+
+double Pca::explained_variance(std::size_t k) const {
+  if (!fitted()) throw std::logic_error("Pca: not fitted");
+  return eigenvalues_.at(k);
+}
+
+double Pca::explained_variance_ratio(std::size_t k) const {
+  if (total_variance_ <= 0.0) return 0.0;
+  return explained_variance(k) / total_variance_;
+}
+
+PcaRegression::PcaRegression(std::size_t components)
+    : components_(components) {
+  if (components == 0) {
+    throw std::invalid_argument("PcaRegression: components must be >= 1");
+  }
+}
+
+void PcaRegression::fit(const Dataset& data) {
+  pca_.fit(data, components_);
+  ols_.fit(pca_.transform(data));
+}
+
+double PcaRegression::predict(std::span<const double> x) const {
+  return ols_.predict(pca_.transform(x));
+}
+
+std::unique_ptr<Regressor> PcaRegression::clone_unfitted() const {
+  return std::make_unique<PcaRegression>(components_);
+}
+
+std::string PcaRegression::name() const {
+  return "pca" + std::to_string(components_) + "+ols";
+}
+
+}  // namespace cmdare::ml

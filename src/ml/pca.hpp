@@ -1,0 +1,64 @@
+// Principal component analysis.
+//
+// Table IV's third model preprocesses (S_d, S_m, S_i) with PCA down to two
+// components before a linear fit; Pca provides that projection, and
+// PcaRegression composes it with OLS as one Regressor.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "ml/linreg.hpp"
+#include "ml/regressor.hpp"
+
+namespace cmdare::ml {
+
+class Pca {
+ public:
+  /// Fits on the dataset's features: centers each column, eigendecomposes
+  /// the covariance, keeps the top `components` directions. Requires
+  /// 1 <= components <= feature_count and >= 2 examples.
+  void fit(const Dataset& data, std::size_t components);
+
+  bool fitted() const { return components_ > 0; }
+  std::size_t component_count() const { return components_; }
+
+  /// Projects one example onto the principal components.
+  std::vector<double> transform(std::span<const double> x) const;
+  /// Projects a whole dataset (targets carried through).
+  Dataset transform(const Dataset& data) const;
+
+  /// Variance captured by component k, and the fraction of total.
+  double explained_variance(std::size_t k) const;
+  double explained_variance_ratio(std::size_t k) const;
+
+ private:
+  std::size_t components_ = 0;
+  std::vector<double> means_;
+  la::Matrix directions_;  // feature_count x components
+  std::vector<double> eigenvalues_;
+  double total_variance_ = 0.0;
+};
+
+/// PCA projection followed by OLS — Table IV model (iii):
+///   T_c = (a, b) . PCA(S_d, S_m, S_i) + c
+class PcaRegression final : public Regressor {
+ public:
+  explicit PcaRegression(std::size_t components);
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+  std::unique_ptr<Regressor> clone_unfitted() const override;
+  std::string name() const override;
+
+  const Pca& pca() const { return pca_; }
+
+ private:
+  std::size_t components_;
+  Pca pca_;
+  LinearRegression ols_;
+};
+
+}  // namespace cmdare::ml

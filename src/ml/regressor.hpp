@@ -1,0 +1,36 @@
+// Common interface for the regression models of Tables II and IV.
+//
+// Cross-validation and grid search operate on Regressor so the same
+// machinery evaluates OLS, PCA-OLS, and SVR models uniformly.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace cmdare::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits on the dataset. Implementations throw std::invalid_argument for
+  /// unusable data (empty, wrong arity).
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Predicts one example. Requires fit() to have been called.
+  virtual double predict(std::span<const double> x) const = 0;
+
+  /// Fresh, unfitted copy configured identically (for CV folds).
+  virtual std::unique_ptr<Regressor> clone_unfitted() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Predicts every example of a dataset.
+  std::vector<double> predict_all(const Dataset& data) const;
+};
+
+}  // namespace cmdare::ml

@@ -1,0 +1,126 @@
+#include "ml/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cmdare::ml {
+namespace {
+
+double soft_threshold(double z, double t) {
+  if (z > t) return z - t;
+  if (z < -t) return z + t;
+  return 0.0;
+}
+
+}  // namespace
+
+SupportVectorRegression::SupportVectorRegression(SvrConfig config)
+    : config_(config) {
+  if (config_.penalty <= 0.0) {
+    throw std::invalid_argument("SVR: penalty must be > 0");
+  }
+  if (config_.epsilon < 0.0) {
+    throw std::invalid_argument("SVR: epsilon must be >= 0");
+  }
+  if (config_.tolerance <= 0.0) {
+    throw std::invalid_argument("SVR: tolerance must be > 0");
+  }
+}
+
+void SupportVectorRegression::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("SVR: empty data");
+  const std::size_t n = data.size();
+
+  if (config_.kernel.type == KernelType::kRbf && config_.auto_gamma) {
+    config_.kernel.gamma = rbf_gamma_heuristic(data) * config_.gamma_scale;
+  }
+
+  support_x_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto xi = data.x(i);
+    support_x_[i].assign(xi.begin(), xi.end());
+  }
+
+  // Gram matrix of the bias-augmented kernel K' = K + 1.
+  std::vector<double> gram(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k =
+          kernel_eval(config_.kernel, support_x_[i], support_x_[j]) + 1.0;
+      gram[i * n + j] = k;
+      gram[j * n + i] = k;
+    }
+  }
+
+  // Cyclic coordinate descent on
+  //   f(beta) = 1/2 beta' K' beta - y' beta + eps * ||beta||_1,
+  //   -C <= beta_i <= C.
+  // Maintain the smooth gradient g_i = (K' beta)_i - y_i incrementally.
+  beta_.assign(n, 0.0);
+  std::vector<double> grad(n);
+  for (std::size_t i = 0; i < n; ++i) grad[i] = -data.y(i);
+
+  const double c = config_.penalty;
+  sweeps_used_ = 0;
+  for (int sweep = 0; sweep < config_.max_sweeps; ++sweep) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kii = gram[i * n + i];
+      if (kii <= 0.0) continue;  // degenerate kernel row
+      // Minimize over beta_i alone: the smooth part is
+      //   1/2 kii t^2 + (grad_i - kii beta_i) t  (+ const),
+      // so the unconstrained minimizer with the |t| term is a soft
+      // threshold around z = kii*beta_i - grad_i.
+      const double z = kii * beta_[i] - grad[i];
+      double candidate = soft_threshold(z, config_.epsilon) / kii;
+      candidate = std::clamp(candidate, -c, c);
+      const double delta = candidate - beta_[i];
+      if (delta == 0.0) continue;
+      beta_[i] = candidate;
+      for (std::size_t j = 0; j < n; ++j) grad[j] += delta * gram[j * n + i];
+      max_delta = std::max(max_delta, std::abs(delta));
+    }
+    sweeps_used_ = sweep + 1;
+    if (max_delta < config_.tolerance) break;
+  }
+}
+
+double SupportVectorRegression::predict(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error("SVR: not fitted");
+  if (x.size() != support_x_.front().size()) {
+    throw std::invalid_argument("SVR: feature count mismatch");
+  }
+  double y = 0.0;
+  for (std::size_t i = 0; i < support_x_.size(); ++i) {
+    if (beta_[i] == 0.0) continue;
+    y += beta_[i] * (kernel_eval(config_.kernel, support_x_[i], x) + 1.0);
+  }
+  return y;
+}
+
+std::unique_ptr<Regressor> SupportVectorRegression::clone_unfitted() const {
+  return std::make_unique<SupportVectorRegression>(config_);
+}
+
+std::string SupportVectorRegression::name() const {
+  return "svr-" + config_.kernel.describe();
+}
+
+std::size_t SupportVectorRegression::support_vector_count() const {
+  if (!fitted()) throw std::logic_error("SVR: not fitted");
+  std::size_t count = 0;
+  for (double b : beta_) {
+    if (b != 0.0) ++count;
+  }
+  return count;
+}
+
+double SupportVectorRegression::bias() const {
+  if (!fitted()) throw std::logic_error("SVR: not fitted");
+  double sum = 0.0;
+  for (double b : beta_) sum += b;
+  return sum;
+}
+
+}  // namespace cmdare::ml

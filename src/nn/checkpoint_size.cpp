@@ -1,0 +1,17 @@
+#include "nn/checkpoint_size.hpp"
+
+namespace cmdare::nn {
+
+CheckpointSizes checkpoint_sizes(const CnnModel& model) {
+  const auto tensors = static_cast<std::uint64_t>(model.tensor_count());
+  CheckpointSizes sizes;
+  // float32 values + per-tensor framing + file header.
+  sizes.data_bytes = model.parameter_bytes() + 64 * tensors + 4096;
+  // One index entry (name, shape, offset, checksum) per tensor.
+  sizes.index_bytes = 96 * tensors + 1024;
+  // Graph definition: fixed preamble plus per-variable ops/metadata.
+  sizes.meta_bytes = 131072 + 2048 * tensors;
+  return sizes;
+}
+
+}  // namespace cmdare::nn

@@ -1,0 +1,33 @@
+// Checkpoint file size model (Section IV-A).
+//
+// TensorFlow checkpoints consist of three files: `data` (the serialized
+// parameter values — proportional to parameter bytes), and `index` / `meta`
+// (tensor lookup table and graph definition — "highly correlated to the
+// number of tensors" per the paper). These sizes are the features of the
+// Table IV checkpoint-time predictors.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/model.hpp"
+
+namespace cmdare::nn {
+
+struct CheckpointSizes {
+  std::uint64_t data_bytes = 0;   // S_d
+  std::uint64_t index_bytes = 0;  // S_i
+  std::uint64_t meta_bytes = 0;   // S_m
+
+  std::uint64_t total_bytes() const {  // S_c
+    return data_bytes + index_bytes + meta_bytes;
+  }
+};
+
+/// Computes the checkpoint file sizes for a model. Constants approximate
+/// TensorFlow 1.x SavedModel checkpoints: the data file carries float32
+/// parameters plus a small framing overhead; index entries cost ~100 bytes
+/// per tensor; the graph-def meta file has a fixed preamble plus a few KB
+/// per variable (ops, shapes, names, and the training-graph copies).
+CheckpointSizes checkpoint_sizes(const CnnModel& model);
+
+}  // namespace cmdare::nn

@@ -1,0 +1,116 @@
+#include "nn/layer.hpp"
+
+#include <stdexcept>
+
+namespace cmdare::nn {
+namespace {
+
+int out_dim(int in, int stride) { return (in + stride - 1) / stride; }
+
+std::uint64_t u64(int v) {
+  if (v < 0) throw std::invalid_argument("layer: negative dimension");
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t forward_flops(const Layer& layer) {
+  return std::visit(
+      [](const auto& l) -> std::uint64_t {
+        using T = std::decay_t<decltype(l)>;
+        if constexpr (std::is_same_v<T, Conv2d>) {
+          const std::uint64_t out_hw =
+              u64(out_dim(l.height, l.stride)) * u64(out_dim(l.width, l.stride));
+          std::uint64_t flops = 2 * out_hw * u64(l.out_channels) *
+                                u64(l.in_channels) * u64(l.kernel) *
+                                u64(l.kernel);
+          if (l.bias) flops += out_hw * u64(l.out_channels);
+          return flops;
+        } else if constexpr (std::is_same_v<T, Dense>) {
+          std::uint64_t flops = 2 * u64(l.inputs) * u64(l.outputs);
+          if (l.bias) flops += u64(l.outputs);
+          return flops;
+        } else if constexpr (std::is_same_v<T, BatchNorm>) {
+          // Normalize + scale + shift: ~4 FLOPs per element.
+          return 4 * u64(l.channels) * u64(l.height) * u64(l.width);
+        } else if constexpr (std::is_same_v<T, Pool>) {
+          const std::uint64_t out_hw =
+              u64(out_dim(l.height, l.stride)) * u64(out_dim(l.width, l.stride));
+          return out_hw * u64(l.channels) * u64(l.kernel) * u64(l.kernel);
+        } else {
+          static_assert(std::is_same_v<T, Elementwise>);
+          return u64(l.flops_per_element) * u64(l.channels) * u64(l.height) *
+                 u64(l.width);
+        }
+      },
+      layer);
+}
+
+std::uint64_t parameter_count(const Layer& layer) {
+  return std::visit(
+      [](const auto& l) -> std::uint64_t {
+        using T = std::decay_t<decltype(l)>;
+        if constexpr (std::is_same_v<T, Conv2d>) {
+          std::uint64_t params = u64(l.in_channels) * u64(l.out_channels) *
+                                 u64(l.kernel) * u64(l.kernel);
+          if (l.bias) params += u64(l.out_channels);
+          return params;
+        } else if constexpr (std::is_same_v<T, Dense>) {
+          std::uint64_t params = u64(l.inputs) * u64(l.outputs);
+          if (l.bias) params += u64(l.outputs);
+          return params;
+        } else if constexpr (std::is_same_v<T, BatchNorm>) {
+          // gamma, beta, moving mean, moving variance.
+          return 4 * u64(l.channels);
+        } else {
+          return 0;
+        }
+      },
+      layer);
+}
+
+int tensor_count(const Layer& layer) {
+  return std::visit(
+      [](const auto& l) -> int {
+        using T = std::decay_t<decltype(l)>;
+        if constexpr (std::is_same_v<T, Conv2d>) {
+          return l.bias ? 2 : 1;
+        } else if constexpr (std::is_same_v<T, Dense>) {
+          return l.bias ? 2 : 1;
+        } else if constexpr (std::is_same_v<T, BatchNorm>) {
+          return 4;
+        } else {
+          return 0;
+        }
+      },
+      layer);
+}
+
+std::string describe(const Layer& layer) {
+  return std::visit(
+      [](const auto& l) -> std::string {
+        using T = std::decay_t<decltype(l)>;
+        if constexpr (std::is_same_v<T, Conv2d>) {
+          return "conv" + std::to_string(l.kernel) + "x" +
+                 std::to_string(l.kernel) + " " + std::to_string(l.in_channels) +
+                 "->" + std::to_string(l.out_channels) + " /" +
+                 std::to_string(l.stride) + " @" + std::to_string(l.height) +
+                 "x" + std::to_string(l.width);
+        } else if constexpr (std::is_same_v<T, Dense>) {
+          return "dense " + std::to_string(l.inputs) + "->" +
+                 std::to_string(l.outputs);
+        } else if constexpr (std::is_same_v<T, BatchNorm>) {
+          return "batchnorm " + std::to_string(l.channels) + " @" +
+                 std::to_string(l.height) + "x" + std::to_string(l.width);
+        } else if constexpr (std::is_same_v<T, Pool>) {
+          return "pool" + std::to_string(l.kernel) + " @" +
+                 std::to_string(l.height) + "x" + std::to_string(l.width);
+        } else {
+          return "elementwise @" + std::to_string(l.height) + "x" +
+                 std::to_string(l.width);
+        }
+      },
+      layer);
+}
+
+}  // namespace cmdare::nn

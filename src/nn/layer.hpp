@@ -1,0 +1,79 @@
+// Layer descriptors and per-layer FLOPs / parameter / tensor accounting.
+//
+// The paper computes model complexity ("FLOPs required to train on one
+// image") with the built-in TensorFlow profiler. This module is our
+// substitute: given a layer stack, it computes forward FLOPs analytically
+// (multiply + add counted separately, i.e. 2 FLOPs per MAC), derives
+// training FLOPs with the standard backward ~= 2x forward approximation,
+// and counts trainable parameters and variable tensors (the inputs to the
+// checkpoint size model of Section IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cmdare::nn {
+
+/// 3x3-style 2D convolution over a HxW feature map.
+struct Conv2d {
+  int in_channels;
+  int out_channels;
+  int kernel;       // square kernel size
+  int stride = 1;   // output H, W = ceil(H/stride)
+  int height;       // input spatial height
+  int width;        // input spatial width
+  bool bias = false;
+};
+
+/// Fully connected layer.
+struct Dense {
+  int inputs;
+  int outputs;
+  bool bias = true;
+};
+
+/// Batch normalization over `channels` maps of `height` x `width`.
+struct BatchNorm {
+  int channels;
+  int height;
+  int width;
+};
+
+/// Average or max pooling; contributes FLOPs but no parameters.
+struct Pool {
+  int channels;
+  int height;  // input spatial size
+  int width;
+  int kernel;
+  int stride;
+};
+
+/// Element-wise op over a feature map (residual add, shake-shake blend,
+/// activation); FLOPs only.
+struct Elementwise {
+  int channels;
+  int height;
+  int width;
+  /// FLOPs per element (1 for add/ReLU, 3 for a shake-shake blend).
+  int flops_per_element = 1;
+};
+
+using Layer = std::variant<Conv2d, Dense, BatchNorm, Pool, Elementwise>;
+
+/// Forward-pass FLOPs for one image (multiply-add = 2 FLOPs).
+std::uint64_t forward_flops(const Layer& layer);
+
+/// Trainable parameter count.
+std::uint64_t parameter_count(const Layer& layer);
+
+/// Number of variable tensors the layer contributes to a checkpoint
+/// (e.g. a conv with bias has 2: kernel + bias; batch-norm has 4:
+/// gamma, beta, moving mean, moving variance).
+int tensor_count(const Layer& layer);
+
+/// Human-readable one-liner ("conv3x3 16->32 /2 @32x32").
+std::string describe(const Layer& layer);
+
+}  // namespace cmdare::nn

@@ -1,0 +1,43 @@
+#include "nn/model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cmdare::nn {
+
+const char* architecture_name(Architecture arch) {
+  switch (arch) {
+    case Architecture::kResNet:
+      return "resnet";
+    case Architecture::kShakeShake:
+      return "shake-shake";
+    case Architecture::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+CnnModel::CnnModel(std::string name, Architecture arch,
+                   std::vector<Layer> layers)
+    : name_(std::move(name)), arch_(arch), layers_(std::move(layers)) {
+  if (name_.empty()) throw std::invalid_argument("CnnModel: empty name");
+  if (layers_.empty()) throw std::invalid_argument("CnnModel: no layers");
+  for (const Layer& layer : layers_) {
+    forward_flops_ += forward_flops(layer);
+    parameters_ += ::cmdare::nn::parameter_count(layer);
+    tensors_ += ::cmdare::nn::tensor_count(layer);
+  }
+}
+
+std::string CnnModel::summary() const {
+  std::ostringstream oss;
+  oss << name_ << " (" << architecture_name(arch_) << "): "
+      << layers_.size() << " layers, "
+      << util::format_double(gflops(), 2) << " GFLOPs/image (train), "
+      << parameters_ << " params, " << tensors_ << " tensors";
+  return oss.str();
+}
+
+}  // namespace cmdare::nn

@@ -1,0 +1,61 @@
+// CNN model descriptors.
+//
+// A CnnModel is a named layer stack plus the derived quantities the paper's
+// analysis uses: model complexity C_m (training GFLOPs per image),
+// trainable parameter count (drives parameter-server traffic and the
+// checkpoint `data` file size), and variable tensor count (drives the
+// `index`/`meta` checkpoint file sizes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace cmdare::nn {
+
+enum class Architecture { kResNet, kShakeShake, kCustom };
+
+const char* architecture_name(Architecture arch);
+
+class CnnModel {
+ public:
+  CnnModel(std::string name, Architecture arch, std::vector<Layer> layers);
+
+  const std::string& name() const { return name_; }
+  Architecture architecture() const { return arch_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  /// Forward FLOPs per image, summed over layers.
+  std::uint64_t forward_flops_per_image() const { return forward_flops_; }
+
+  /// Training FLOPs per image: forward + backward, with the standard
+  /// backward ~= 2x forward approximation the TF profiler convention
+  /// implies. This is the paper's "model complexity".
+  std::uint64_t training_flops_per_image() const { return 3 * forward_flops_; }
+
+  /// Model complexity C_m in GFLOPs (training FLOPs per image / 1e9).
+  double gflops() const {
+    return static_cast<double>(training_flops_per_image()) / 1e9;
+  }
+
+  std::uint64_t parameter_count() const { return parameters_; }
+  int tensor_count() const { return tensors_; }
+
+  /// Bytes of trainable state with float32 parameters.
+  std::uint64_t parameter_bytes() const { return 4 * parameters_; }
+
+  std::size_t layer_count() const { return layers_.size(); }
+  std::string summary() const;
+
+ private:
+  std::string name_;
+  Architecture arch_;
+  std::vector<Layer> layers_;
+  std::uint64_t forward_flops_ = 0;
+  std::uint64_t parameters_ = 0;
+  int tensors_ = 0;
+};
+
+}  // namespace cmdare::nn

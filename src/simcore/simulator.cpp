@@ -1,0 +1,83 @@
+#include "simcore/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmdare::simcore {
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+bool EventHandle::cancel() {
+  if (!pending()) return false;
+  state_->cancelled = true;
+  return true;
+}
+
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  if (!(when >= now_)) {  // also rejects NaN
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  if (!std::isfinite(when)) {
+    throw std::invalid_argument("Simulator::schedule_at: non-finite time");
+  }
+  if (!fn) {
+    throw std::invalid_argument("Simulator::schedule_at: empty callback");
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_sequence_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+EventHandle Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+  if (!(delay >= 0.0)) {
+    throw std::invalid_argument("Simulator::schedule_after: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the entry must be copied out before
+    // pop. The callback is moved via const_cast, which is safe because the
+    // entry is popped immediately and never compared again.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (entry.state->cancelled) continue;
+    now_ = entry.when;
+    entry.state->fired = true;
+    ++fired_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t count = 0;
+  while (fire_next()) ++count;
+  return count;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  if (!(deadline >= now_)) {
+    throw std::invalid_argument("Simulator::run_until: deadline in the past");
+  }
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    // Skip tombstones at the head without advancing time.
+    if (queue_.top().state->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    if (fire_next()) ++count;
+  }
+  now_ = std::max(now_, deadline);
+  return count;
+}
+
+bool Simulator::step() { return fire_next(); }
+
+}  // namespace cmdare::simcore

@@ -1,0 +1,56 @@
+// Descriptive statistics over samples.
+//
+// The paper reports means, sample standard deviations, and coefficients of
+// variation (e.g. "CoV <= 0.02 after warmup", Table I's "mean ± sd"); these
+// helpers compute them with the same conventions (sample sd, n-1
+// denominator).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cmdare::stats {
+
+/// Arithmetic mean. Requires a non-empty sample.
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator). Requires n >= 2.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation. Requires n >= 2.
+double stddev(std::span<const double> xs);
+
+/// Coefficient of variation: sd / mean. Requires n >= 2 and mean != 0.
+double coefficient_of_variation(std::span<const double> xs);
+
+/// Minimum / maximum. Require a non-empty sample.
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Median (average of middle two for even n). Requires non-empty.
+double median(std::span<const double> xs);
+
+/// q-th quantile, q in [0, 1], linear interpolation between order
+/// statistics (type-7, the numpy/R default). Requires non-empty.
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient. Requires n >= 2 and both sds > 0.
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+/// Summary of a sample in one pass-friendly struct.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double sd = 0.0;  // 0 when count < 2
+  double min = 0.0;
+  double max = 0.0;
+
+  double cov() const { return mean != 0.0 ? sd / mean : 0.0; }
+};
+
+/// Computes a Summary. Requires a non-empty sample.
+Summary summarize(std::span<const double> xs);
+
+}  // namespace cmdare::stats

@@ -1,0 +1,57 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cmdare::stats {
+
+Ecdf::Ecdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("Ecdf: empty sample");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Ecdf::quantile: q must be in [0, 1]");
+  }
+  if (q == 0.0) return sorted_.front();
+  const auto n = static_cast<double>(sorted_.size());
+  const auto k = static_cast<std::size_t>(std::ceil(q * n));
+  return sorted_[std::min(k, sorted_.size()) - 1];
+}
+
+double Ecdf::sample(util::Rng& rng) const {
+  return sorted_[rng.uniform_index(sorted_.size())];
+}
+
+double Ecdf::mean() const {
+  double sum = 0.0;
+  for (double v : sorted_) sum += v;
+  return sum / static_cast<double>(sorted_.size());
+}
+
+std::vector<Ecdf::Point> Ecdf::curve(std::size_t n) const {
+  if (n < 2) throw std::invalid_argument("Ecdf::curve: need n >= 2");
+  std::vector<Point> pts;
+  pts.reserve(n);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    pts.push_back(Point{x, (*this)(x)});
+  }
+  return pts;
+}
+
+}  // namespace cmdare::stats

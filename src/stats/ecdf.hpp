@@ -1,0 +1,51 @@
+// Empirical cumulative distribution functions.
+//
+// Figure 8 of the paper plots transient-server lifetime CDFs per (region,
+// GPU); Section VI-A's Equation 5 obtains per-worker revocation
+// probabilities by "querying the empirical CDFs". Ecdf is that object: it
+// stores a sample, evaluates F(x), inverts quantiles, and can be sampled
+// from (inverse-transform) to drive simulations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cmdare::stats {
+
+class Ecdf {
+ public:
+  /// Builds the ECDF from a sample (copied and sorted). Requires non-empty.
+  explicit Ecdf(std::span<const double> sample);
+
+  /// F(x) = fraction of sample values <= x.
+  double operator()(double x) const;
+
+  /// Inverse: smallest sample value v with F(v) >= q, q in (0, 1].
+  /// q == 0 returns the sample minimum.
+  double quantile(double q) const;
+
+  /// Draws from the empirical distribution (inverse-transform on rng).
+  double sample(util::Rng& rng) const;
+
+  /// Number of points and sorted access, for plotting.
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_values() const { return sorted_; }
+
+  /// Sample mean of the underlying data.
+  double mean() const;
+
+  /// Renders the CDF at `n` evenly spaced x positions across the data
+  /// range; used by the figure harnesses to print plottable series.
+  struct Point {
+    double x;
+    double f;
+  };
+  std::vector<Point> curve(std::size_t n) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace cmdare::stats

@@ -1,0 +1,74 @@
+#include "stats/running.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmdare::stats {
+
+void RunningStats::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = x;
+    max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+void RunningStats::reset() {
+  n_ = 0;
+  mean_ = m2_ = min_ = max_ = 0.0;
+}
+
+double RunningStats::mean() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::mean: no samples");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) throw std::logic_error("RunningStats::variance: need >= 2");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::min: no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::max: no samples");
+  return max_;
+}
+
+RunningMeanWindow::RunningMeanWindow(std::size_t capacity)
+    : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RunningMeanWindow: capacity must be >= 1");
+  }
+}
+
+void RunningMeanWindow::add(double x) {
+  window_.push_back(x);
+  sum_ += x;
+  if (window_.size() > capacity_) {
+    sum_ -= window_.front();
+    window_.pop_front();
+  }
+}
+
+double RunningMeanWindow::mean() const {
+  if (window_.empty()) {
+    throw std::logic_error("RunningMeanWindow::mean: empty window");
+  }
+  return sum_ / static_cast<double>(window_.size());
+}
+
+}  // namespace cmdare::stats

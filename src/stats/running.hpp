@@ -1,0 +1,55 @@
+// Streaming (Welford) statistics.
+//
+// The CM-DARE performance profiler consumes an unbounded stream of
+// per-step timings; RunningStats tracks mean/variance online without
+// storing the stream. RunningMeanWindow additionally keeps a sliding
+// window, which backs the "average training speed every 100 steps"
+// reporting convention from Section III-A.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace cmdare::stats {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  /// Mean of values added so far. Requires count() >= 1.
+  double mean() const;
+  /// Sample variance / sd (n-1). Require count() >= 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sliding-window mean over the last `capacity` values.
+class RunningMeanWindow {
+ public:
+  explicit RunningMeanWindow(std::size_t capacity);
+
+  void add(double x);
+  bool full() const { return window_.size() == capacity_; }
+  std::size_t size() const { return window_.size(); }
+  /// Mean of the current window. Requires size() >= 1.
+  double mean() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+};
+
+}  // namespace cmdare::stats

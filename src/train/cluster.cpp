@@ -1,0 +1,34 @@
+#include "train/cluster.hpp"
+
+namespace cmdare::train {
+
+std::vector<WorkerSpec> worker_mix(int k80, int p100, int v100,
+                                   cloud::Region region, bool transient) {
+  std::vector<WorkerSpec> workers;
+  const auto add = [&](cloud::GpuType gpu, int count) {
+    for (int i = 0; i < count; ++i) {
+      WorkerSpec spec;
+      spec.gpu = gpu;
+      spec.region = region;
+      spec.transient = transient;
+      spec.label = std::string(cloud::gpu_name(gpu)) + "-" +
+                   std::to_string(i);
+      workers.push_back(std::move(spec));
+    }
+  };
+  add(cloud::GpuType::kK80, k80);
+  add(cloud::GpuType::kP100, p100);
+  add(cloud::GpuType::kV100, v100);
+  return workers;
+}
+
+std::string describe_mix(const std::vector<WorkerSpec>& workers) {
+  int counts[3] = {0, 0, 0};
+  for (const WorkerSpec& w : workers) {
+    ++counts[static_cast<int>(w.gpu)];
+  }
+  return "(" + std::to_string(counts[0]) + ", " + std::to_string(counts[1]) +
+         ", " + std::to_string(counts[2]) + ")";
+}
+
+}  // namespace cmdare::train

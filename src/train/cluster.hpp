@@ -1,0 +1,49 @@
+// Training cluster configuration.
+//
+// The paper describes clusters as (x, y, z) tuples of K80/P100/V100 GPU
+// worker counts plus a number of (on-demand, CPU-only) parameter servers.
+// ClusterConfig captures that plus the training workload parameters the
+// measurement methodology fixes (batch steps, checkpoint interval).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/gpu.hpp"
+#include "cloud/region.hpp"
+
+namespace cmdare::train {
+
+struct WorkerSpec {
+  cloud::GpuType gpu = cloud::GpuType::kK80;
+  cloud::Region region = cloud::Region::kUsCentral1;
+  bool transient = true;
+  /// Persistent per-VM performance multiplier on compute time (> 1 models
+  /// a degraded server — noisy neighbours, thermal throttling; Section
+  /// VI-B's "slower GPU workers"). 1.0 = nominal.
+  double performance_factor = 1.0;
+  std::string label;  // optional display name
+};
+
+/// Convenience: builds the paper's (x, y, z) worker mix.
+std::vector<WorkerSpec> worker_mix(int k80, int p100, int v100,
+                                   cloud::Region region =
+                                       cloud::Region::kUsCentral1,
+                                   bool transient = true);
+
+/// Formats a worker list as the paper's "(x, y, z)" notation.
+std::string describe_mix(const std::vector<WorkerSpec>& workers);
+
+/// How the training framework reacts to chief-worker revocations
+/// (Section V-E).
+enum class FaultToleranceMode {
+  /// CM-DARE's transient-TensorFlow: a surviving worker takes over
+  /// checkpointing; no rollback on replacement.
+  kCmDare,
+  /// Unmodified TensorFlow: a replacement worker reusing the revoked
+  /// chief's IP address becomes the new chief and forces the cluster to
+  /// recompute from the last checkpoint.
+  kVanillaTf,
+};
+
+}  // namespace cmdare::train

@@ -1,0 +1,39 @@
+#include "train/ps.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cmdare::train {
+
+PsShard::PsShard(simcore::Simulator& sim, util::Rng rng,
+                 double mean_service_seconds, double cov)
+    : sim_(&sim), rng_(rng), mean_service_(mean_service_seconds), cov_(cov) {
+  if (mean_service_seconds <= 0.0) {
+    throw std::invalid_argument("PsShard: service time must be > 0");
+  }
+}
+
+void PsShard::submit(std::function<void()> on_applied) {
+  if (!on_applied) throw std::invalid_argument("PsShard: empty callback");
+  queue_.push_back(std::move(on_applied));
+  if (!busy_) start_next();
+}
+
+void PsShard::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  auto job = std::move(queue_.front());
+  queue_.pop_front();
+  const double service = rng_.lognormal_mean_cv(mean_service_, cov_);
+  busy_seconds_ += service;
+  sim_->schedule_after(service, [this, job = std::move(job)]() {
+    ++applied_;
+    job();
+    start_next();
+  });
+}
+
+}  // namespace cmdare::train

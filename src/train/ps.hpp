@@ -1,0 +1,52 @@
+// Parameter-server shard model.
+//
+// Parameters are sharded across the cluster's parameter servers; applying
+// one asynchronous update occupies each shard for a service time drawn
+// from the calibrated ground truth (2 x parameter bytes through the PS at
+// kPsBytesPerSecond, divided by the shard count). Each shard is a FIFO
+// queue; this queueing is what produces the parameter-server bottleneck of
+// Table III / Figures 4 and 12: per-worker step time inflates toward
+// n_workers * service once aggregate demand exceeds shard capacity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "simcore/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::train {
+
+class PsShard {
+ public:
+  /// `mean_service_seconds` is the per-update service time on this shard;
+  /// `cov` its lognormal jitter.
+  PsShard(simcore::Simulator& sim, util::Rng rng, double mean_service_seconds,
+          double cov);
+
+  /// Enqueues one update; `on_applied` fires when the shard has applied it.
+  void submit(std::function<void()> on_applied);
+
+  std::size_t queue_length() const { return queue_.size(); }
+  bool busy() const { return busy_; }
+  std::uint64_t updates_applied() const { return applied_; }
+  double mean_service_seconds() const { return mean_service_; }
+
+  /// Cumulative busy time (for utilization diagnostics).
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  void start_next();
+
+  simcore::Simulator* sim_;
+  util::Rng rng_;
+  double mean_service_;
+  double cov_;
+  bool busy_ = false;
+  std::deque<std::function<void()>> queue_;
+  std::uint64_t applied_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace cmdare::train

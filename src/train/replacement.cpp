@@ -1,0 +1,17 @@
+#include "train/replacement.hpp"
+
+namespace cmdare::train {
+
+double sample_warm_replacement_seconds(const nn::CnnModel& model,
+                                       util::Rng& rng) {
+  return rng.lognormal_mean_cv(cloud::warm_replacement_seconds(model),
+                               cloud::kReplacementCov);
+}
+
+double sample_cold_replacement_seconds(const nn::CnnModel& model,
+                                       util::Rng& rng) {
+  return rng.lognormal_mean_cv(cloud::cold_replacement_seconds(model),
+                               cloud::kReplacementCov);
+}
+
+}  // namespace cmdare::train

@@ -1,0 +1,30 @@
+// Worker replacement overheads (Section V-D, Figure 10).
+//
+// After a revocation the cluster trains with one fewer worker until a
+// replacement is ready. Two paths exist:
+//   * warm start — an existing, already-booted GPU server rejoins: restart
+//     the training framework and rebuild the computation graph;
+//   * cold start — a newly requested server: on top of the warm-start
+//     work, the VM environment must be prepared and the revoked worker's
+//     training-data shard downloaded (the server request/boot itself is
+//     the startup time of Section V-B, modeled separately by the cloud
+//     provider).
+#pragma once
+
+#include "cloud/calibration.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::train {
+
+/// Samples a warm-start replacement overhead (seconds).
+double sample_warm_replacement_seconds(const nn::CnnModel& model,
+                                       util::Rng& rng);
+
+/// Samples a cold-start replacement overhead (seconds), excluding the
+/// cloud-provider startup time (add a StartupModel sample for the
+/// request-to-RUNNING portion).
+double sample_cold_replacement_seconds(const nn::CnnModel& model,
+                                       util::Rng& rng);
+
+}  // namespace cmdare::train

@@ -1,0 +1,301 @@
+#include "train/session.hpp"
+
+#include <stdexcept>
+
+#include "cloud/network.hpp"
+#include "nn/checkpoint_size.hpp"
+#include "util/logging.hpp"
+
+namespace cmdare::train {
+
+TrainingSession::TrainingSession(simcore::Simulator& sim, nn::CnnModel model,
+                                 SessionConfig config, util::Rng rng,
+                                 cloud::ObjectStore* store)
+    : sim_(&sim),
+      model_(std::move(model)),
+      config_(config),
+      rng_(rng),
+      store_(store) {
+  if (config_.ps_count < 1) {
+    throw std::invalid_argument("TrainingSession: ps_count must be >= 1");
+  }
+  if (config_.checkpoint_interval_steps < 0 || config_.max_steps < 0) {
+    throw std::invalid_argument("TrainingSession: negative step parameter");
+  }
+  const double service =
+      cloud::ps_update_service_seconds(model_, config_.ps_count);
+  for (int s = 0; s < config_.ps_count; ++s) {
+    shards_.push_back(std::make_unique<PsShard>(
+        sim, rng_.fork("ps-shard-" + std::to_string(s)), service,
+        cloud::kPsServiceCov));
+  }
+  if (config_.checkpoint_interval_steps > 0) {
+    next_checkpoint_step_ = config_.checkpoint_interval_steps;
+  }
+}
+
+std::size_t TrainingSession::active_worker_count() const {
+  std::size_t count = 0;
+  for (const Worker& w : workers_) {
+    if (w.active && !w.revoked) ++count;
+  }
+  return count;
+}
+
+bool TrainingSession::worker_active(WorkerId worker) const {
+  if (worker >= workers_.size()) {
+    throw std::out_of_range("worker_active: unknown worker");
+  }
+  return workers_[worker].active && !workers_[worker].revoked;
+}
+
+const WorkerSpec& TrainingSession::worker_spec(WorkerId worker) const {
+  if (worker >= workers_.size()) {
+    throw std::out_of_range("worker_spec: unknown worker");
+  }
+  return workers_[worker].spec;
+}
+
+const PsShard& TrainingSession::ps_shard(std::size_t index) const {
+  if (index >= shards_.size()) {
+    throw std::out_of_range("ps_shard: index out of range");
+  }
+  return *shards_[index];
+}
+
+WorkerId TrainingSession::add_worker(const WorkerSpec& spec,
+                                     double join_delay_seconds,
+                                     bool reuse_chief_ip) {
+  const WorkerId id = workers_.size();
+  Worker worker;
+  worker.spec = spec;
+  workers_.push_back(worker);
+  if (join_delay_seconds == 0.0) {
+    activate_worker(id, reuse_chief_ip);
+  } else {
+    sim_->schedule_after(join_delay_seconds, [this, id, reuse_chief_ip] {
+      activate_worker(id, reuse_chief_ip);
+    });
+  }
+  return id;
+}
+
+void TrainingSession::activate_worker(WorkerId id, bool reuse_chief_ip) {
+  if (finished_) return;
+  Worker& w = workers_[id];
+  w.active = true;
+  trace_.record_event(SessionEvent{SessionEventType::kWorkerJoined,
+                                   sim_->now(), id, global_step_,
+                                   w.spec.label});
+  if (!owner_ && !had_owner_ && !reuse_chief_ip) {
+    // The first worker to join the session is TensorFlow's chief.
+    owner_ = id;
+    had_owner_ = true;
+  } else if (config_.mode == FaultToleranceMode::kCmDare && !owner_ &&
+             had_owner_ && !reuse_chief_ip) {
+    // CM-DARE: checkpoint duty was orphaned (every worker was revoked);
+    // hand it to the newly joined worker.
+    owner_ = id;
+    trace_.record_event(SessionEvent{SessionEventType::kChiefHandover,
+                                     sim_->now(), id, global_step_,
+                                     "checkpoint duty reassigned on join"});
+  }
+  if (reuse_chief_ip) {
+    if (config_.mode == FaultToleranceMode::kVanillaTf) {
+      rollback_to_last_checkpoint(id);
+    }
+    owner_ = id;
+    had_owner_ = true;
+  }
+  begin_compute(id);
+}
+
+void TrainingSession::revoke_worker(WorkerId id) {
+  if (id >= workers_.size()) {
+    throw std::out_of_range("revoke_worker: unknown worker");
+  }
+  Worker& w = workers_[id];
+  if (!w.active || w.revoked) return;
+  w.revoked = true;
+  w.active = false;
+  ++w.generation;  // invalidate in-flight compute/ack callbacks
+  trace_.record_event(SessionEvent{SessionEventType::kWorkerRevoked,
+                                   sim_->now(), id, global_step_,
+                                   w.spec.label});
+
+  if (owner_ && *owner_ == id) {
+    owner_.reset();
+    if (config_.mode == FaultToleranceMode::kCmDare) {
+      // Section II, step 8: the parameter server selects a surviving GPU
+      // worker to take over checkpointing.
+      for (WorkerId other = 0; other < workers_.size(); ++other) {
+        if (workers_[other].active && !workers_[other].revoked) {
+          owner_ = other;
+          trace_.record_event(SessionEvent{SessionEventType::kChiefHandover,
+                                           sim_->now(), other, global_step_,
+                                           "checkpoint duty reassigned"});
+          break;
+        }
+      }
+    }
+    // Vanilla TF: checkpointing is orphaned until a replacement claims the
+    // chief's IP address (Section V-E).
+  }
+}
+
+bool TrainingSession::running(const Worker& w,
+                              std::uint64_t generation) const {
+  return !finished_ && w.active && !w.revoked && w.generation == generation;
+}
+
+void TrainingSession::begin_compute(WorkerId id) {
+  Worker& w = workers_[id];
+  if (finished_ || !w.active || w.revoked) return;
+  // Slow per-VM performance drift on top of the i.i.d. step noise.
+  w.env_factor = 1.0 + cloud::kEnvDriftRho * (w.env_factor - 1.0) +
+                 rng_.normal(0.0, cloud::kEnvDriftSigma);
+  const double duration =
+      w.spec.performance_factor * w.env_factor *
+      cloud::sample_step_compute_seconds(w.spec.gpu, model_, w.local_step,
+                                         rng_);
+  const std::uint64_t generation = w.generation;
+  sim_->schedule_after(duration, [this, id, generation] {
+    on_compute_done(id, generation);
+  });
+}
+
+void TrainingSession::on_compute_done(WorkerId id, std::uint64_t generation) {
+  Worker& w = workers_[id];
+  if (!running(w, generation)) return;
+  ++w.local_step;
+  if (w.update_outstanding || w.checkpointing) {
+    // Window-1 pipelining: hold this push until the previous update is
+    // acknowledged (or the chief's checkpoint finishes).
+    w.has_pending_push = true;
+    return;
+  }
+  push_update(id);
+}
+
+void TrainingSession::push_update(WorkerId id) {
+  Worker& w = workers_[id];
+  if (finished_ || !w.active || w.revoked) return;
+  w.update_outstanding = true;
+  const std::uint64_t generation = w.generation;
+
+  // The update is sharded: every PS shard applies its slice; the worker's
+  // step completes when the slowest shard acknowledges, plus the network
+  // round-trip between the worker's region and the parameter servers.
+  const double rtt =
+      cloud::region_rtt_seconds(w.spec.region, config_.ps_region);
+  auto remaining = std::make_shared<int>(static_cast<int>(shards_.size()));
+  for (auto& shard : shards_) {
+    shard->submit([this, id, generation, remaining, rtt] {
+      if (--*remaining > 0) return;
+      sim_->schedule_after(
+          rtt, [this, id, generation] { on_update_applied(id, generation); });
+    });
+  }
+
+  // Pipelining: the next batch's compute starts immediately.
+  begin_compute(id);
+}
+
+void TrainingSession::on_update_applied(WorkerId id,
+                                        std::uint64_t generation) {
+  Worker& w = workers_[id];
+  if (w.generation != generation || w.revoked) return;  // stale gradient
+  w.update_outstanding = false;
+  if (finished_) return;
+
+  ++global_step_;
+  trace_.record_global_step(global_step_, sim_->now());
+  trace_.record_worker_step(id, sim_->now());
+  if (on_step) on_step(global_step_, sim_->now());
+
+  if (config_.max_steps > 0 && global_step_ >= config_.max_steps) {
+    complete();
+    return;
+  }
+
+  maybe_start_checkpoint(id);
+
+  if (w.has_pending_push && !w.checkpointing) {
+    w.has_pending_push = false;
+    push_update(id);
+  }
+}
+
+void TrainingSession::maybe_start_checkpoint(WorkerId id) {
+  if (config_.checkpoint_interval_steps <= 0) return;
+  if (!owner_ || *owner_ != id) return;
+  if (global_step_ < next_checkpoint_step_) return;
+
+  Worker& w = workers_[id];
+  w.checkpointing = true;
+  CheckpointEvent event;
+  event.at_step = global_step_;
+  event.by_worker = id;
+  event.started = sim_->now();
+
+  const auto sizes = nn::checkpoint_sizes(model_);
+  const std::uint64_t bytes = sizes.total_bytes();
+  const std::uint64_t generation = w.generation;
+  if (store_ != nullptr) {
+    store_->upload("ckpt-step-" + std::to_string(global_step_), bytes,
+                   [this, id, generation, event]() mutable {
+                     event.finished = sim_->now();
+                     finish_checkpoint(id, generation, event);
+                   });
+  } else {
+    const double duration = cloud::sample_checkpoint_seconds(bytes, rng_);
+    sim_->schedule_after(duration, [this, id, generation, event]() mutable {
+      event.finished = sim_->now();
+      finish_checkpoint(id, generation, event);
+    });
+  }
+}
+
+void TrainingSession::finish_checkpoint(WorkerId id, std::uint64_t generation,
+                                        CheckpointEvent event) {
+  trace_.record_checkpoint(event);
+  last_checkpoint_step_ = event.at_step;
+  next_checkpoint_step_ += config_.checkpoint_interval_steps;
+
+  Worker& w = workers_[id];
+  if (!running(w, generation)) return;  // owner revoked mid-checkpoint
+  w.checkpointing = false;
+  if (w.has_pending_push && !w.update_outstanding) {
+    w.has_pending_push = false;
+    push_update(id);
+  }
+}
+
+void TrainingSession::rollback_to_last_checkpoint(WorkerId new_chief) {
+  // Unmodified TensorFlow discards all progress since the last checkpoint
+  // when a replacement worker claims the revoked chief's IP (Section V-E).
+  trace_.record_event(SessionEvent{
+      SessionEventType::kRollback, sim_->now(), new_chief, global_step_,
+      "recompute from step " + std::to_string(last_checkpoint_step_)});
+  global_step_ = last_checkpoint_step_;
+  if (config_.checkpoint_interval_steps > 0) {
+    next_checkpoint_step_ =
+        last_checkpoint_step_ + config_.checkpoint_interval_steps;
+  }
+}
+
+void TrainingSession::halt() {
+  finished_ = true;
+  trace_.record_event(SessionEvent{SessionEventType::kSessionRestart,
+                                   sim_->now(), 0, global_step_,
+                                   "session halted for reconfiguration"});
+}
+
+void TrainingSession::complete() {
+  finished_ = true;
+  LOG_DEBUG << "session complete at step " << global_step_ << ", t="
+            << sim_->now();
+  if (on_complete) on_complete();
+}
+
+}  // namespace cmdare::train

@@ -1,0 +1,144 @@
+// Asynchronous parameter-server training session (discrete-event).
+//
+// Models the TensorFlow between-graph asynchronous training architecture
+// of Section II: every GPU worker holds a model replica and loops
+//
+//   compute gradients on a batch  ->  push update to the PS shards
+//   (pipelined with the next batch's compute; at most one update
+//   outstanding per worker)  ->  update acknowledged = one global step
+//
+// so a worker's steady-state step interval is max(compute time, queueing
+// at the parameter servers) — reproducing Table I (compute-bound single
+// workers), Table III and Figures 4/12 (PS-bound large clusters).
+//
+// One worker is the *checkpoint owner* (TensorFlow's chief): every
+// checkpoint_interval_steps global steps it pauses, serializes the model,
+// and uploads it to cloud storage; training and checkpointing are
+// sequential for that worker (Section IV-B). Chief revocation follows the
+// configured FaultToleranceMode: CM-DARE hands checkpointing to a survivor
+// (Section II step 8); vanilla TensorFlow waits for a replacement with the
+// old chief's IP address and then *recomputes from the last checkpoint*
+// (Section V-E, Figure 11).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/calibration.hpp"
+#include "cloud/storage.hpp"
+#include "nn/model.hpp"
+#include "simcore/simulator.hpp"
+#include "train/cluster.hpp"
+#include "train/ps.hpp"
+#include "train/trace.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::train {
+
+struct SessionConfig {
+  int ps_count = 1;
+  /// Global steps between checkpoints; 0 disables checkpointing.
+  long checkpoint_interval_steps = 0;
+  /// Stop after this many global steps; 0 = run until externally stopped.
+  long max_steps = 0;
+  FaultToleranceMode mode = FaultToleranceMode::kCmDare;
+  /// Region hosting the parameter servers. Workers in a different region
+  /// pay the inter-region RTT on every update acknowledgement — the
+  /// network cost the paper's same-data-center methodology avoids.
+  cloud::Region ps_region = cloud::Region::kUsCentral1;
+};
+
+class TrainingSession {
+ public:
+  /// `store` may be null: checkpoint durations are then sampled directly
+  /// from the calibrated model without writing blobs.
+  TrainingSession(simcore::Simulator& sim, nn::CnnModel model,
+                  SessionConfig config, util::Rng rng,
+                  cloud::ObjectStore* store = nullptr);
+
+  /// Adds a worker that becomes active after `join_delay_seconds` (use a
+  /// replacement-overhead sample for rejoining workers). The first worker
+  /// added becomes the checkpoint owner. If `reuse_chief_ip` is true and
+  /// the mode is kVanillaTf, the worker becomes the new chief on joining
+  /// and forces a recompute from the last checkpoint.
+  WorkerId add_worker(const WorkerSpec& spec, double join_delay_seconds = 0.0,
+                      bool reuse_chief_ip = false);
+
+  /// Revokes a worker (transient preemption). In-flight work is lost.
+  void revoke_worker(WorkerId worker);
+
+  long global_step() const { return global_step_; }
+  long last_checkpoint_step() const { return last_checkpoint_step_; }
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t active_worker_count() const;
+  bool worker_active(WorkerId worker) const;
+  const WorkerSpec& worker_spec(WorkerId worker) const;
+  /// Current checkpoint owner, or nullopt when checkpointing is orphaned
+  /// (vanilla TF after a chief revocation).
+  std::optional<WorkerId> checkpoint_owner() const { return owner_; }
+  const nn::CnnModel& model() const { return model_; }
+  const SessionConfig& config() const { return config_; }
+
+  const TrainingTrace& trace() const { return trace_; }
+  const PsShard& ps_shard(std::size_t index) const;
+
+  /// True once max_steps has been reached (or the session was halted).
+  bool finished() const { return finished_; }
+
+  /// Permanently stops the session without firing on_complete: all
+  /// in-flight events become no-ops. Used for cluster reconfiguration
+  /// (e.g. restarting with more parameter servers, Section VI-B).
+  void halt();
+  /// Fired exactly once when max_steps is reached.
+  std::function<void()> on_complete;
+  /// Fired on every global step (after trace recording); used by the
+  /// CM-DARE performance tracker.
+  std::function<void(long step, simcore::SimTime at)> on_step;
+
+ private:
+  struct Worker {
+    WorkerSpec spec;
+    bool active = false;
+    bool revoked = false;
+    long local_step = 0;
+    bool update_outstanding = false;
+    bool has_pending_push = false;
+    bool checkpointing = false;
+    std::uint64_t generation = 0;
+    /// AR(1) environment drift factor (cloud::kEnvDriftRho/Sigma).
+    double env_factor = 1.0;
+  };
+
+  bool running(const Worker& w, std::uint64_t generation) const;
+  void activate_worker(WorkerId id, bool reuse_chief_ip);
+  void begin_compute(WorkerId id);
+  void on_compute_done(WorkerId id, std::uint64_t generation);
+  void push_update(WorkerId id);
+  void on_update_applied(WorkerId id, std::uint64_t generation);
+  void maybe_start_checkpoint(WorkerId id);
+  void finish_checkpoint(WorkerId id, std::uint64_t generation,
+                         CheckpointEvent event);
+  void rollback_to_last_checkpoint(WorkerId new_chief);
+  void complete();
+
+  simcore::Simulator* sim_;
+  nn::CnnModel model_;
+  SessionConfig config_;
+  util::Rng rng_;
+  cloud::ObjectStore* store_;
+
+  std::vector<Worker> workers_;
+  std::vector<std::unique_ptr<PsShard>> shards_;
+  std::optional<WorkerId> owner_;
+  bool had_owner_ = false;
+  long global_step_ = 0;
+  long next_checkpoint_step_ = 0;
+  long last_checkpoint_step_ = 0;
+  bool finished_ = false;
+  TrainingTrace trace_;
+};
+
+}  // namespace cmdare::train

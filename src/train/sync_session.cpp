@@ -1,0 +1,148 @@
+#include "train/sync_session.hpp"
+
+#include <stdexcept>
+
+namespace cmdare::train {
+
+SyncTrainingSession::SyncTrainingSession(simcore::Simulator& sim,
+                                         nn::CnnModel model, int ps_count,
+                                         long max_steps, util::Rng rng)
+    : sim_(&sim),
+      model_(std::move(model)),
+      max_steps_(max_steps),
+      rng_(rng) {
+  if (ps_count < 1) {
+    throw std::invalid_argument("SyncTrainingSession: ps_count must be >= 1");
+  }
+  if (max_steps < 1) {
+    throw std::invalid_argument("SyncTrainingSession: max_steps must be >= 1");
+  }
+  const double service = cloud::ps_update_service_seconds(model_, ps_count);
+  for (int s = 0; s < ps_count; ++s) {
+    shards_.push_back(std::make_unique<PsShard>(
+        sim, rng_.fork("sync-ps-" + std::to_string(s)), service,
+        cloud::kPsServiceCov));
+  }
+}
+
+WorkerId SyncTrainingSession::add_worker(const WorkerSpec& spec) {
+  const WorkerId id = workers_.size();
+  Worker worker;
+  worker.spec = spec;
+  worker.active = true;
+  workers_.push_back(worker);
+  trace_.record_event(SessionEvent{SessionEventType::kWorkerJoined,
+                                   sim_->now(), id, global_step_,
+                                   spec.label});
+  return id;
+}
+
+void SyncTrainingSession::revoke_worker(WorkerId id) {
+  if (id >= workers_.size()) {
+    throw std::out_of_range("SyncTrainingSession::revoke_worker");
+  }
+  Worker& w = workers_[id];
+  if (!w.active || w.revoked) return;
+  w.revoked = true;
+  w.active = false;
+  trace_.record_event(SessionEvent{SessionEventType::kWorkerRevoked,
+                                   sim_->now(), id, global_step_,
+                                   w.spec.label});
+  // If the worker was still computing in the current round, it will never
+  // reach the barrier: remove it from the pending count, and release the
+  // barrier if it was the last straggler.
+  if (round_in_flight_ && w.participating_round == round_ &&
+      !w.done_in_round) {
+    if (--pending_workers_ == 0) round_barrier_reached();
+  }
+}
+
+std::size_t SyncTrainingSession::active_worker_count() const {
+  std::size_t count = 0;
+  for (const Worker& w : workers_) {
+    if (w.active && !w.revoked) ++count;
+  }
+  return count;
+}
+
+void SyncTrainingSession::start() {
+  if (started_) throw std::logic_error("SyncTrainingSession: already started");
+  if (active_worker_count() == 0) {
+    throw std::logic_error("SyncTrainingSession: no active workers");
+  }
+  started_ = true;
+  begin_round();
+}
+
+void SyncTrainingSession::begin_round() {
+  if (finished_) return;
+  if (active_worker_count() == 0) return;  // stalls until a worker joins
+  round_in_flight_ = true;
+  ++round_;
+  pending_workers_ = 0;
+  for (WorkerId id = 0; id < workers_.size(); ++id) {
+    Worker& w = workers_[id];
+    if (!w.active || w.revoked) continue;
+    ++pending_workers_;
+    w.participating_round = round_;
+    w.done_in_round = false;
+    w.env_factor = 1.0 + cloud::kEnvDriftRho * (w.env_factor - 1.0) +
+                   rng_.normal(0.0, cloud::kEnvDriftSigma);
+    const double duration =
+        w.spec.performance_factor * w.env_factor *
+        cloud::sample_step_compute_seconds(w.spec.gpu, model_, w.local_step,
+                                           rng_);
+    const std::uint64_t round = round_;
+    sim_->schedule_after(duration,
+                         [this, id, round] { worker_done(id, round); });
+  }
+}
+
+void SyncTrainingSession::worker_done(WorkerId id, std::uint64_t round) {
+  if (finished_ || round != round_) return;
+  Worker& w = workers_[id];
+  if (!w.active || w.revoked) return;  // revoked mid-round: gradient lost
+  w.done_in_round = true;
+  ++w.local_step;
+  trace_.record_worker_step(id, sim_->now());
+  if (--pending_workers_ == 0) {
+    round_barrier_reached();
+  }
+}
+
+void SyncTrainingSession::round_barrier_reached() {
+  round_in_flight_ = false;
+  apply_update();
+}
+
+void SyncTrainingSession::apply_update() {
+  // The aggregated gradient is applied once per round, sharded across the
+  // parameter servers; the next round starts when the slowest shard acks.
+  auto remaining = std::make_shared<int>(static_cast<int>(shards_.size()));
+  for (auto& shard : shards_) {
+    shard->submit([this, remaining] {
+      if (--*remaining > 0) return;
+      ++global_step_;
+      trace_.record_global_step(global_step_, sim_->now());
+      if (global_step_ >= max_steps_) {
+        finished_ = true;
+        if (on_complete) on_complete();
+        return;
+      }
+      begin_round();
+    });
+  }
+}
+
+double SyncTrainingSession::steps_per_second(long from_step,
+                                             long to_step) const {
+  return trace_.mean_speed(from_step, to_step);
+}
+
+double SyncTrainingSession::worker_batches_per_second(long from_step,
+                                                      long to_step) const {
+  return steps_per_second(from_step, to_step) *
+         static_cast<double>(active_worker_count());
+}
+
+}  // namespace cmdare::train

@@ -1,0 +1,91 @@
+#include "train/trace.hpp"
+
+#include <stdexcept>
+
+namespace cmdare::train {
+
+void TrainingTrace::record_global_step(long step, simcore::SimTime at) {
+  if (step < 1) throw std::invalid_argument("record_global_step: step < 1");
+  const auto index = static_cast<std::size_t>(step - 1);
+  if (index >= step_time_.size()) step_time_.resize(index + 1, -1.0);
+  step_time_[index] = at;
+}
+
+void TrainingTrace::record_worker_step(WorkerId worker, simcore::SimTime at) {
+  if (worker >= worker_steps_.size()) worker_steps_.resize(worker + 1);
+  worker_steps_[worker].push_back(at);
+}
+
+void TrainingTrace::record_checkpoint(CheckpointEvent event) {
+  checkpoints_.push_back(event);
+}
+
+void TrainingTrace::record_event(SessionEvent event) {
+  events_.push_back(std::move(event));
+}
+
+long TrainingTrace::max_global_step() const {
+  return static_cast<long>(step_time_.size());
+}
+
+simcore::SimTime TrainingTrace::time_of_step(long step) const {
+  if (step < 1 || step > max_global_step()) {
+    throw std::out_of_range("time_of_step: step never reached");
+  }
+  const simcore::SimTime t = step_time_[static_cast<std::size_t>(step - 1)];
+  if (t < 0.0) throw std::out_of_range("time_of_step: step never reached");
+  return t;
+}
+
+std::vector<double> TrainingTrace::speed_per_window(long window) const {
+  if (window < 1) throw std::invalid_argument("speed_per_window: window < 1");
+  std::vector<double> speeds;
+  for (long start = 0; start + window <= max_global_step(); start += window) {
+    // Window start time: completion of step `start` (or 0 for the first).
+    const simcore::SimTime t0 = start == 0 ? 0.0 : time_of_step(start);
+    const simcore::SimTime t1 = time_of_step(start + window);
+    if (t1 <= t0) continue;  // degenerate (rollback overlap)
+    speeds.push_back(static_cast<double>(window) / (t1 - t0));
+  }
+  return speeds;
+}
+
+double TrainingTrace::mean_speed(long from_step, long to_step) const {
+  if (to_step <= from_step) {
+    throw std::invalid_argument("mean_speed: empty step range");
+  }
+  const simcore::SimTime t0 = from_step == 0 ? 0.0 : time_of_step(from_step);
+  const simcore::SimTime t1 = time_of_step(to_step);
+  if (t1 <= t0) throw std::logic_error("mean_speed: non-positive duration");
+  return static_cast<double>(to_step - from_step) / (t1 - t0);
+}
+
+std::vector<double> TrainingTrace::worker_step_intervals(
+    WorkerId worker, std::size_t discard) const {
+  if (worker >= worker_steps_.size()) {
+    throw std::out_of_range("worker_step_intervals: unknown worker");
+  }
+  const auto& times = worker_steps_[worker];
+  std::vector<double> intervals;
+  for (std::size_t i = discard + 1; i < times.size(); ++i) {
+    intervals.push_back(times[i] - times[i - 1]);
+  }
+  return intervals;
+}
+
+std::size_t TrainingTrace::worker_step_count(WorkerId worker) const {
+  if (worker >= worker_steps_.size()) {
+    throw std::out_of_range("worker_step_count: unknown worker");
+  }
+  return worker_steps_[worker].size();
+}
+
+const std::vector<simcore::SimTime>& TrainingTrace::worker_step_times(
+    WorkerId worker) const {
+  if (worker >= worker_steps_.size()) {
+    throw std::out_of_range("worker_step_times: unknown worker");
+  }
+  return worker_steps_[worker];
+}
+
+}  // namespace cmdare::train

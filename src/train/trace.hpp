@@ -1,0 +1,93 @@
+// Training traces: the raw measurement record of a simulated session.
+//
+// This is the substitute for the paper's TensorFlow logging hooks and
+// TFProf: global-step completion times (for cluster speed, averaged per
+// 100 steps as in Section III-A), per-worker step completion times (for
+// Table III's individual worker step times), and event records for
+// checkpoints, revocations, joins, and rollbacks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace cmdare::train {
+
+using WorkerId = std::size_t;
+
+struct CheckpointEvent {
+  long at_step = 0;
+  WorkerId by_worker = 0;
+  simcore::SimTime started = 0.0;
+  simcore::SimTime finished = 0.0;
+
+  double duration() const { return finished - started; }
+};
+
+enum class SessionEventType {
+  kWorkerJoined,
+  kWorkerRevoked,
+  kChiefHandover,   // CM-DARE reassigned checkpointing duty
+  kRollback,        // vanilla-TF recompute from last checkpoint
+  kSessionRestart,  // cluster reconfiguration restart (e.g. adding a PS)
+};
+
+struct SessionEvent {
+  SessionEventType type;
+  simcore::SimTime at = 0.0;
+  WorkerId worker = 0;
+  long global_step = 0;  // global step at the time of the event
+  std::string detail;
+};
+
+class TrainingTrace {
+ public:
+  /// --- recording (used by TrainingSession) ---
+  void record_global_step(long step, simcore::SimTime at);
+  void record_worker_step(WorkerId worker, simcore::SimTime at);
+  void record_checkpoint(CheckpointEvent event);
+  void record_event(SessionEvent event);
+
+  /// --- analysis ---
+  /// Highest global step recorded.
+  long max_global_step() const;
+  /// Time the global step counter *last* reached `step` (rollbacks
+  /// overwrite earlier completions). Throws if the step was never reached.
+  simcore::SimTime time_of_step(long step) const;
+
+  /// Cluster training speed in steps/second, averaged over consecutive
+  /// windows of `window` steps (the paper uses 100). Entry w covers steps
+  /// [w*window, (w+1)*window).
+  std::vector<double> speed_per_window(long window = 100) const;
+
+  /// Mean cluster speed between two global steps (e.g. 100..4000 to skip
+  /// warmup, matching Section III-B's discard of the first 100 steps).
+  double mean_speed(long from_step, long to_step) const;
+
+  /// Per-worker step intervals in seconds, discarding each worker's first
+  /// `discard` recorded steps (to skip warmup).
+  std::vector<double> worker_step_intervals(WorkerId worker,
+                                            std::size_t discard = 100) const;
+
+  std::size_t worker_count() const { return worker_steps_.size(); }
+  std::size_t worker_step_count(WorkerId worker) const;
+  /// Raw per-worker step completion times.
+  const std::vector<simcore::SimTime>& worker_step_times(
+      WorkerId worker) const;
+
+  const std::vector<CheckpointEvent>& checkpoints() const {
+    return checkpoints_;
+  }
+  const std::vector<SessionEvent>& events() const { return events_; }
+
+ private:
+  // step_time_[s] = last sim time the global step counter hit s+1.
+  std::vector<simcore::SimTime> step_time_;
+  std::vector<std::vector<simcore::SimTime>> worker_steps_;
+  std::vector<CheckpointEvent> checkpoints_;
+  std::vector<SessionEvent> events_;
+};
+
+}  // namespace cmdare::train

@@ -1,0 +1,69 @@
+#include "train/trace_io.hpp"
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace cmdare::train {
+
+const char* session_event_name(SessionEventType type) {
+  switch (type) {
+    case SessionEventType::kWorkerJoined:
+      return "worker_joined";
+    case SessionEventType::kWorkerRevoked:
+      return "worker_revoked";
+    case SessionEventType::kChiefHandover:
+      return "chief_handover";
+    case SessionEventType::kRollback:
+      return "rollback";
+    case SessionEventType::kSessionRestart:
+      return "session_restart";
+  }
+  return "?";
+}
+
+void write_speed_csv(const TrainingTrace& trace, std::ostream& out,
+                     long window) {
+  util::CsvWriter writer(out);
+  writer.write_row({"step_end", "steps_per_second"});
+  const auto speeds = trace.speed_per_window(window);
+  for (std::size_t w = 0; w < speeds.size(); ++w) {
+    writer.write_row({std::to_string((w + 1) * window),
+                      util::format_double(speeds[w], 6)});
+  }
+}
+
+void write_worker_steps_csv(const TrainingTrace& trace, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.write_row({"worker", "step_index", "sim_time"});
+  for (WorkerId worker = 0; worker < trace.worker_count(); ++worker) {
+    const auto& times = trace.worker_step_times(worker);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      writer.write_row({std::to_string(worker), std::to_string(i + 1),
+                        util::format_double(times[i], 6)});
+    }
+  }
+}
+
+void write_checkpoints_csv(const TrainingTrace& trace, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.write_row({"at_step", "by_worker", "started", "finished",
+                    "duration"});
+  for (const CheckpointEvent& c : trace.checkpoints()) {
+    writer.write_row({std::to_string(c.at_step), std::to_string(c.by_worker),
+                      util::format_double(c.started, 3),
+                      util::format_double(c.finished, 3),
+                      util::format_double(c.duration(), 3)});
+  }
+}
+
+void write_events_csv(const TrainingTrace& trace, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.write_row({"type", "at", "worker", "global_step", "detail"});
+  for (const SessionEvent& e : trace.events()) {
+    writer.write_row({session_event_name(e.type),
+                      util::format_double(e.at, 3), std::to_string(e.worker),
+                      std::to_string(e.global_step), e.detail});
+  }
+}
+
+}  // namespace cmdare::train

@@ -1,0 +1,32 @@
+// Trace serialization: dump simulated measurement data as CSV.
+//
+// The paper ships its raw measurement dataset alongside CM-DARE; these
+// helpers are the equivalent for simulated runs — cluster-speed windows,
+// per-worker step times, checkpoint events, and session events in a form
+// any plotting stack can consume. csv_* writers emit RFC-4180 CSV through
+// util::CsvWriter.
+#pragma once
+
+#include <ostream>
+
+#include "train/trace.hpp"
+
+namespace cmdare::train {
+
+/// Window speeds: columns step_end, steps_per_second.
+void write_speed_csv(const TrainingTrace& trace, std::ostream& out,
+                     long window = 100);
+
+/// Per-worker step completions: columns worker, step_index, sim_time.
+void write_worker_steps_csv(const TrainingTrace& trace, std::ostream& out);
+
+/// Checkpoints: columns at_step, by_worker, started, finished, duration.
+void write_checkpoints_csv(const TrainingTrace& trace, std::ostream& out);
+
+/// Session events: columns type, at, worker, global_step, detail.
+void write_events_csv(const TrainingTrace& trace, std::ostream& out);
+
+/// Human-readable name for a session event type.
+const char* session_event_name(SessionEventType type);
+
+}  // namespace cmdare::train

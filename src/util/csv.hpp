@@ -1,0 +1,42 @@
+// CSV emission for experiment results.
+//
+// Every bench harness can dump its raw series as CSV next to the printed
+// table so results can be re-plotted. Quoting follows RFC 4180: fields
+// containing comma, quote, or newline are quoted, quotes doubled.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cmdare::util {
+
+/// Escapes a single CSV field per RFC 4180.
+std::string csv_escape(const std::string& field);
+
+/// Streams rows of a CSV document. The writer does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes a header or data row. Values are escaped.
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string> fields);
+
+  /// Convenience: formats doubles with the given precision.
+  void write_numeric_row(const std::vector<double>& values, int precision = 6);
+
+  /// Number of rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+/// Parses a single CSV line into fields (handles quoting). Used by tests
+/// and by tools that reload dumped experiment data.
+std::vector<std::string> csv_parse_line(const std::string& line);
+
+}  // namespace cmdare::util

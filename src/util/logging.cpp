@@ -1,0 +1,62 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace cmdare::util {
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink;  // empty -> stderr
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_level = level;
+}
+
+LogLevel log_level() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_level;
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace cmdare::util

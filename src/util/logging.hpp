@@ -1,0 +1,63 @@
+// Minimal leveled logger.
+//
+// The simulator's interesting output goes through structured traces, not the
+// log; logging exists for diagnostics (cluster events, revocations, bench
+// progress). It is intentionally tiny: a global level, printf-free streaming
+// API, and a capture hook used by tests.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace cmdare::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the human-readable name ("DEBUG", "INFO", ...).
+const char* log_level_name(LogLevel level);
+
+/// Sets / gets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Redirects log output. Passing nullptr restores the default (stderr)
+/// sink. Used by tests to assert on log content.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { emit(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace cmdare::util
+
+#define CMDARE_LOG(level)                                        \
+  if (static_cast<int>(level) <                                  \
+      static_cast<int>(::cmdare::util::log_level())) {           \
+  } else                                                         \
+    ::cmdare::util::detail::LogMessage(level)
+
+#define LOG_DEBUG CMDARE_LOG(::cmdare::util::LogLevel::kDebug)
+#define LOG_INFO CMDARE_LOG(::cmdare::util::LogLevel::kInfo)
+#define LOG_WARN CMDARE_LOG(::cmdare::util::LogLevel::kWarn)
+#define LOG_ERROR CMDARE_LOG(::cmdare::util::LogLevel::kError)

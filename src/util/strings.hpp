@@ -1,0 +1,33 @@
+// Small string helpers shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmdare::util {
+
+/// Splits `s` on `delim`; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Joins `parts` with `delim` between them.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string format_double(double value, int precision);
+
+/// Formats a byte count as a human-readable string ("12.3 MB").
+std::string format_bytes(double bytes);
+
+/// Formats a duration in seconds as "1h 02m 03s" / "12.3 s" as appropriate.
+std::string format_duration(double seconds);
+
+}  // namespace cmdare::util

@@ -1,0 +1,56 @@
+// ASCII table renderer used by the bench harnesses to print paper-style
+// tables (Table I..V) and figure series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cmdare::util {
+
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows and renders them with aligned, padded columns.
+///
+///   Table t({"GPU", "ResNet-15", "ResNet-32"});
+///   t.add_row({"K80", "9.46 ± 0.19", "4.56 ± 0.08"});
+///   t.render(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; it may have fewer cells than the header (padded) but not
+  /// more (throws std::invalid_argument).
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator at the current position.
+  void add_separator();
+
+  /// Per-column alignment; defaults to left for column 0, right otherwise.
+  void set_alignment(std::size_t column, Align align);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  void render(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return header_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> alignment_;
+};
+
+/// Formats "mean ± sd" with the given precision, as the paper's tables do.
+std::string format_mean_sd(double mean, double sd, int precision = 2);
+
+}  // namespace cmdare::util

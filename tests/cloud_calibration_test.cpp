@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "cloud/calibration.hpp"
+#include "cloud/gpu.hpp"
+#include "nn/checkpoint_size.hpp"
+#include "nn/model_zoo.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cmdare::cloud {
+namespace {
+
+TEST(GpuCatalog, ThreeTypesWithPaperCapacities) {
+  EXPECT_DOUBLE_EQ(gpu_spec(GpuType::kK80).tflops, 4.11);
+  EXPECT_DOUBLE_EQ(gpu_spec(GpuType::kP100).tflops, 9.53);
+  EXPECT_DOUBLE_EQ(gpu_spec(GpuType::kV100).tflops, 14.13);
+}
+
+TEST(GpuCatalog, TransientCheaperThanOnDemand) {
+  for (GpuType gpu : kAllGpuTypes) {
+    const GpuSpec& spec = gpu_spec(gpu);
+    EXPECT_LT(spec.transient_price, spec.on_demand_price);
+    // Preemptible GPUs were roughly 70% off.
+    EXPECT_LT(spec.transient_price / spec.on_demand_price, 0.5);
+  }
+}
+
+TEST(GpuCatalog, NameRoundTrip) {
+  for (GpuType gpu : kAllGpuTypes) {
+    EXPECT_EQ(gpu_from_name(gpu_name(gpu)), gpu);
+  }
+  EXPECT_THROW(gpu_from_name("TPU"), std::invalid_argument);
+}
+
+TEST(StepCompute, AnchorsReproduceTableI) {
+  // Mean step time = 1000 / (paper steps-per-second).
+  const struct {
+    const char* model;
+    double k80, p100, v100;  // steps/s from Table I
+  } rows[] = {
+      {"resnet-15", 9.46, 21.16, 27.38},
+      {"resnet-32", 4.56, 12.19, 15.61},
+      {"shake-shake-small", 2.58, 6.99, 8.80},
+      {"shake-shake-big", 0.70, 1.98, 2.18},
+  };
+  for (const auto& row : rows) {
+    const nn::CnnModel model = nn::model_by_name(row.model);
+    EXPECT_NEAR(mean_step_compute_ms(GpuType::kK80, model), 1000.0 / row.k80,
+                1000.0 / row.k80 * 0.005)
+        << row.model;
+    EXPECT_NEAR(mean_step_compute_ms(GpuType::kP100, model),
+                1000.0 / row.p100, 1000.0 / row.p100 * 0.005)
+        << row.model;
+    EXPECT_NEAR(mean_step_compute_ms(GpuType::kV100, model),
+                1000.0 / row.v100, 1000.0 / row.v100 * 0.005)
+        << row.model;
+  }
+}
+
+TEST(StepCompute, FasterGpuIsFasterOnEveryModel) {
+  for (const auto& model : nn::all_models()) {
+    const double k80 = mean_step_compute_ms(GpuType::kK80, model);
+    const double p100 = mean_step_compute_ms(GpuType::kP100, model);
+    const double v100 = mean_step_compute_ms(GpuType::kV100, model);
+    EXPECT_GT(k80, p100) << model.name();
+    EXPECT_GT(p100, v100) << model.name();
+  }
+}
+
+TEST(StepCompute, CurveMonotoneInComplexityWithinFamily) {
+  // For custom ResNets, more GFLOPs must mean more time on every GPU.
+  const nn::CnnModel small = nn::make_resnet("s", 3, 16);
+  const nn::CnnModel mid = nn::make_resnet("m", 5, 24);
+  const nn::CnnModel large = nn::make_resnet("l", 9, 48);
+  for (GpuType gpu : kAllGpuTypes) {
+    EXPECT_LT(mean_step_compute_ms(gpu, small),
+              mean_step_compute_ms(gpu, mid));
+    EXPECT_LT(mean_step_compute_ms(gpu, mid),
+              mean_step_compute_ms(gpu, large));
+  }
+}
+
+TEST(StepCompute, ShakeShakeLessEfficientPerFlop) {
+  // At equal complexity, the branchy Shake-Shake family is slower.
+  const GpuComputeCurve& curve = gpu_compute_curve(GpuType::kP100);
+  EXPECT_GT(curve.shake_shake_factor, 1.0);
+}
+
+TEST(StepCompute, WarmupDecaysToUnity) {
+  EXPECT_GT(warmup_factor(0), 2.0);
+  EXPECT_GT(warmup_factor(10), warmup_factor(50));
+  EXPECT_LT(warmup_factor(100), 1.03);  // why the paper discards 100 steps
+  EXPECT_LT(warmup_factor(500), 1.0001);
+  EXPECT_THROW(warmup_factor(-1), std::invalid_argument);
+}
+
+TEST(StepCompute, SampledNoiseMatchesCovTarget) {
+  util::Rng rng(21);
+  const nn::CnnModel model = nn::resnet32();
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(
+        sample_step_compute_seconds(GpuType::kK80, model, 1000, rng));
+  }
+  EXPECT_NEAR(stats::mean(samples), 0.2193, 0.002);
+  EXPECT_NEAR(stats::coefficient_of_variation(samples), kStepTimeCov,
+              0.005);
+}
+
+TEST(PsService, ScalesWithModelSizeAndShards) {
+  const double r32 = ps_update_service_seconds(nn::resnet32(), 1);
+  const double r15 = ps_update_service_seconds(nn::resnet15(), 1);
+  EXPECT_GT(r32, r15);
+  EXPECT_NEAR(ps_update_service_seconds(nn::resnet32(), 2), r32 / 2.0,
+              1e-12);
+  EXPECT_THROW(ps_update_service_seconds(nn::resnet32(), 0),
+               std::invalid_argument);
+}
+
+TEST(PsService, ResNet32CapacityNearCalibrationTarget) {
+  // Table III knees: single-PS capacity for ResNet-32 ~42 updates/s.
+  const double capacity = 1.0 / ps_update_service_seconds(nn::resnet32(), 1);
+  EXPECT_NEAR(capacity, 42.0, 3.0);
+}
+
+TEST(Checkpoint, ResNet32DurationMatchesPaperAnchor) {
+  // Section IV-B: 3.84 +/- 0.25 s for ResNet-32.
+  const auto sizes = nn::checkpoint_sizes(nn::resnet32());
+  EXPECT_NEAR(mean_checkpoint_seconds(sizes.total_bytes()), 3.84, 0.25);
+}
+
+TEST(Checkpoint, DurationIncreasesWithSize) {
+  const auto small = nn::checkpoint_sizes(nn::resnet15());
+  const auto big = nn::checkpoint_sizes(nn::shake_shake_big());
+  EXPECT_LT(mean_checkpoint_seconds(small.total_bytes()),
+            mean_checkpoint_seconds(big.total_bytes()));
+}
+
+TEST(Checkpoint, SampledCovInFigure5Range) {
+  util::Rng rng(31);
+  const auto sizes = nn::checkpoint_sizes(nn::resnet32());
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) {
+    samples.push_back(sample_checkpoint_seconds(sizes.total_bytes(), rng));
+  }
+  const double cov = stats::coefficient_of_variation(samples);
+  EXPECT_GT(cov, 0.018);
+  EXPECT_LT(cov, 0.073);
+}
+
+TEST(Replacement, WarmStartAnchorsToFigure10) {
+  // ResNet-15 warm start: ~14.8 s.
+  EXPECT_NEAR(warm_replacement_seconds(nn::resnet15()), 14.8, 0.5);
+}
+
+TEST(Replacement, ColdStartAnchorsToFigure10) {
+  // ResNet-15 cold start: ~75.6 s.
+  EXPECT_NEAR(cold_replacement_seconds(nn::resnet15()), 75.6, 1.0);
+}
+
+TEST(Replacement, ShakeShakeBigCostsAbout15SecondsMore) {
+  const double delta = cold_replacement_seconds(nn::shake_shake_big()) -
+                       cold_replacement_seconds(nn::resnet15());
+  EXPECT_NEAR(delta, 15.0, 3.0);
+}
+
+TEST(Replacement, ColdAlwaysExceedsWarm) {
+  for (const auto& model : nn::all_models()) {
+    EXPECT_GT(cold_replacement_seconds(model),
+              warm_replacement_seconds(model));
+  }
+}
+
+TEST(Replacement, GraphSetupGrowsWithModel) {
+  EXPECT_LT(graph_setup_seconds(nn::resnet15()),
+            graph_setup_seconds(nn::shake_shake_big()));
+}
+
+}  // namespace
+}  // namespace cmdare::cloud

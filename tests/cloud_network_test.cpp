@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "cloud/network.hpp"
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "train/session.hpp"
+
+namespace cmdare {
+namespace {
+
+TEST(Network, SameRegionUsesFabricLatency) {
+  for (cloud::Region r : cloud::kAllRegions) {
+    EXPECT_DOUBLE_EQ(cloud::region_rtt_seconds(r, r),
+                     cloud::kIntraRegionRttSeconds);
+  }
+}
+
+TEST(Network, RttIsSymmetric) {
+  for (cloud::Region a : cloud::kAllRegions) {
+    for (cloud::Region b : cloud::kAllRegions) {
+      EXPECT_DOUBLE_EQ(cloud::region_rtt_seconds(a, b),
+                       cloud::region_rtt_seconds(b, a));
+    }
+  }
+}
+
+TEST(Network, DistanceOrdering) {
+  // Continental < transatlantic < transpacific.
+  const double us = cloud::region_rtt_seconds(cloud::Region::kUsEast1,
+                                              cloud::Region::kUsWest1);
+  const double atlantic = cloud::region_rtt_seconds(
+      cloud::Region::kUsEast1, cloud::Region::kEuropeWest1);
+  const double pacific = cloud::region_rtt_seconds(
+      cloud::Region::kEuropeWest1, cloud::Region::kAsiaEast1);
+  EXPECT_LT(us, atlantic);
+  EXPECT_LT(atlantic, pacific);
+  EXPECT_GT(us, 0.01);
+  EXPECT_LT(pacific, 0.5);
+}
+
+double single_worker_step_ms(cloud::Region worker_region,
+                             cloud::Region ps_region, const char* model,
+                             cloud::GpuType gpu, std::uint64_t seed) {
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = 1500;
+  config.ps_region = ps_region;
+  train::TrainingSession session(sim, nn::model_by_name(model), config,
+                                 util::Rng(seed));
+  train::WorkerSpec spec;
+  spec.gpu = gpu;
+  spec.region = worker_region;
+  session.add_worker(spec);
+  sim.run();
+  return stats::mean(session.trace().worker_step_intervals(0, 100)) * 1000.0;
+}
+
+TEST(Network, SameRegionTrainingUnchanged) {
+  // The paper's methodology (worker and PS co-located): step time is the
+  // Table I anchor.
+  const double ms =
+      single_worker_step_ms(cloud::Region::kUsCentral1,
+                            cloud::Region::kUsCentral1, "resnet-32",
+                            cloud::GpuType::kK80, 1);
+  EXPECT_NEAR(ms, 219.3, 4.0);
+}
+
+TEST(Network, CrossRegionLatencyBoundForFastModels) {
+  // V100 ResNet-15 computes in ~36.5 ms; with the PS across the Pacific
+  // (~120 ms RTT from us-west1 to asia-east1) the worker is latency-bound:
+  // step interval ~ RTT + PS service, not compute.
+  const double local =
+      single_worker_step_ms(cloud::Region::kUsWest1, cloud::Region::kUsWest1,
+                            "resnet-15", cloud::GpuType::kV100, 2);
+  const double remote =
+      single_worker_step_ms(cloud::Region::kUsWest1,
+                            cloud::Region::kAsiaEast1, "resnet-15",
+                            cloud::GpuType::kV100, 3);
+  EXPECT_NEAR(local, 36.5, 2.0);
+  EXPECT_GT(remote, 115.0);
+  EXPECT_LT(remote, 145.0);
+}
+
+TEST(Network, CrossRegionBarelyAffectsSlowModels) {
+  // K80 Shake-Shake Big computes for ~1.43 s; a 95 ms transatlantic RTT
+  // hides entirely behind the pipelined compute.
+  const double local =
+      single_worker_step_ms(cloud::Region::kUsEast1, cloud::Region::kUsEast1,
+                            "shake-shake-big", cloud::GpuType::kK80, 4);
+  const double remote =
+      single_worker_step_ms(cloud::Region::kUsEast1,
+                            cloud::Region::kEuropeWest1, "shake-shake-big",
+                            cloud::GpuType::kK80, 5);
+  EXPECT_NEAR(remote, local, local * 0.02);
+}
+
+}  // namespace
+}  // namespace cmdare

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cloud/region.hpp"
+#include "cloud/startup.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cmdare::cloud {
+namespace {
+
+std::vector<double> sample_totals(const StartupModel& model, GpuType gpu,
+                                  bool transient, RequestContext context,
+                                  int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> totals;
+  totals.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    totals.push_back(
+        model.sample(gpu, Region::kUsEast1, transient, context, rng).total());
+  }
+  return totals;
+}
+
+TEST(Region, CatalogAndLookup) {
+  EXPECT_EQ(kAllRegions.size(), 6u);
+  EXPECT_STREQ(region_name(Region::kUsWest1), "us-west1");
+  EXPECT_EQ(region_from_name("asia-east1"), Region::kAsiaEast1);
+  EXPECT_THROW(region_from_name("mars-north1"), std::invalid_argument);
+}
+
+TEST(Region, LocalHourUsesUtcOffset) {
+  // Campaign starts at 12:00 UTC; us-east1 is UTC-5 -> 07:00 local.
+  EXPECT_DOUBLE_EQ(local_hour(Region::kUsEast1, 12.0, 0.0), 7.0);
+  // asia-east1 is UTC+8 -> 20:00 local.
+  EXPECT_DOUBLE_EQ(local_hour(Region::kAsiaEast1, 12.0, 0.0), 20.0);
+}
+
+TEST(Region, LocalHourWrapsMidnight) {
+  // 22:00 UTC + 8 = 30 -> 6:00 local next day.
+  EXPECT_DOUBLE_EQ(local_hour(Region::kAsiaEast1, 22.0, 0.0), 6.0);
+  // Advancing 3600 s advances one hour.
+  EXPECT_DOUBLE_EQ(local_hour(Region::kUsEast1, 12.0, 3600.0), 8.0);
+  // us-west1 (UTC-8) before 8:00 UTC wraps backward.
+  EXPECT_DOUBLE_EQ(local_hour(Region::kUsWest1, 2.0, 0.0), 18.0);
+}
+
+TEST(Startup, TransientServersStartUnder100Seconds) {
+  // Figure 6's headline observation.
+  const StartupModel model;
+  for (GpuType gpu : kAllGpuTypes) {
+    EXPECT_LT(model.mean_stages(gpu, true).total(), 100.0);
+  }
+}
+
+TEST(Startup, TransientSlowerThanOnDemandByPaperGaps) {
+  const StartupModel model;
+  const double k80_gap = model.mean_stages(GpuType::kK80, true).total() -
+                         model.mean_stages(GpuType::kK80, false).total();
+  const double p100_gap = model.mean_stages(GpuType::kP100, true).total() -
+                          model.mean_stages(GpuType::kP100, false).total();
+  EXPECT_NEAR(k80_gap, 11.14, 2.0);    // paper: +11.14 s
+  EXPECT_NEAR(p100_gap, 21.38, 2.0);   // paper: +21.38 s
+}
+
+TEST(Startup, TransientP100AboutNinePercentSlowerThanK80) {
+  const StartupModel model;
+  const double k80 = model.mean_stages(GpuType::kK80, true).total();
+  const double p100 = model.mean_stages(GpuType::kP100, true).total();
+  EXPECT_NEAR(p100 / k80 - 1.0, 0.087, 0.02);
+}
+
+TEST(Startup, StagingDominatesTheP100K80Difference) {
+  const StartupModel model;
+  const StartupBreakdown k80 = model.mean_stages(GpuType::kK80, false);
+  const StartupBreakdown p100 = model.mean_stages(GpuType::kP100, true);
+  const StartupBreakdown k80t = model.mean_stages(GpuType::kK80, true);
+  const double staging_delta = p100.staging_s - k80t.staging_s;
+  const double other_delta = (p100.total() - k80t.total()) - staging_delta;
+  EXPECT_GT(staging_delta, other_delta);
+  (void)k80;
+}
+
+TEST(Startup, SampleBreakdownStagesAllPositive) {
+  const StartupModel model;
+  util::Rng rng(7);
+  const StartupBreakdown b = model.sample(
+      GpuType::kV100, Region::kAsiaEast1, true, RequestContext::kNormal, rng);
+  EXPECT_GT(b.provisioning_s, 0.0);
+  EXPECT_GT(b.staging_s, 0.0);
+  EXPECT_GT(b.running_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.total(),
+                   b.provisioning_s + b.staging_s + b.running_s);
+}
+
+TEST(Startup, ImmediateRequestsAreMoreVariable) {
+  // Figure 7: immediate-after-revocation requests have ~4x the CoV of
+  // delayed requests (12% vs 3%) but means within ~4 s.
+  const StartupModel model;
+  const auto immediate =
+      sample_totals(model, GpuType::kK80, true,
+                    RequestContext::kImmediateAfterRevocation, 4000, 1);
+  const auto delayed = sample_totals(
+      model, GpuType::kK80, true, RequestContext::kDelayedAfterRevocation,
+      4000, 2);
+  const double cov_imm = stats::coefficient_of_variation(immediate);
+  const double cov_del = stats::coefficient_of_variation(delayed);
+  EXPECT_GT(cov_imm, 2.5 * cov_del);
+  EXPECT_LT(cov_del, 0.06);
+  EXPECT_NEAR(stats::mean(immediate), stats::mean(delayed), 4.5);
+}
+
+TEST(Startup, RegionMultipliersAreSmall) {
+  const StartupModel model;
+  for (Region region : kAllRegions) {
+    const double mult = model.region_multiplier(region);
+    EXPECT_GE(mult, 1.0);
+    EXPECT_LE(mult, 1.10);
+  }
+}
+
+TEST(Startup, ContextNames) {
+  EXPECT_STREQ(request_context_name(RequestContext::kNormal), "normal");
+  EXPECT_STREQ(
+      request_context_name(RequestContext::kImmediateAfterRevocation),
+      "immediate");
+  EXPECT_STREQ(request_context_name(RequestContext::kDelayedAfterRevocation),
+               "delayed");
+}
+
+}  // namespace
+}  // namespace cmdare::cloud

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "cmdare/bottleneck.hpp"
+#include "cmdare/hetero.hpp"
+#include "cmdare/profiler.hpp"
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+
+namespace cmdare::core {
+namespace {
+
+StepTimePredictor trained_predictor() {
+  util::Rng rng(100);
+  const auto measurements = measure_step_times(
+      nn::all_models(),
+      {cloud::GpuType::kK80, cloud::GpuType::kP100, cloud::GpuType::kV100},
+      rng, 500);
+  util::Rng train_rng(101);
+  return StepTimePredictor::train(measurements, train_rng);
+}
+
+TEST(Hetero, ClusterSpeedIsSumOfWorkerSpeeds) {
+  const StepTimePredictor predictor = trained_predictor();
+  const double gflops = nn::resnet32().gflops();
+  const double k80 = predictor.predict_speed(cloud::GpuType::kK80, gflops);
+  const double p100 = predictor.predict_speed(cloud::GpuType::kP100, gflops);
+  const double v100 = predictor.predict_speed(cloud::GpuType::kV100, gflops);
+  const double cluster = predict_cluster_speed(
+      predictor, train::worker_mix(2, 1, 1), gflops);
+  EXPECT_NEAR(cluster, 2 * k80 + p100 + v100, 1e-9);
+  EXPECT_THROW(predict_cluster_speed(predictor, {}, gflops),
+               std::invalid_argument);
+}
+
+TEST(Hetero, Equation4WithoutRevocations) {
+  TrainingTimeParams params;
+  params.total_steps = 64000;
+  params.checkpoint_interval_steps = 4000;
+  params.checkpoint_seconds = 3.84;
+  const TrainingTimeEstimate est =
+      estimate_training_time(10.0, params, {});
+  EXPECT_NEAR(est.compute_seconds, 6400.0, 1e-9);
+  EXPECT_NEAR(est.checkpoint_seconds, 16 * 3.84, 1e-9);
+  EXPECT_DOUBLE_EQ(est.expected_revocations, 0.0);
+  EXPECT_NEAR(est.total_seconds, 6400.0 + 16 * 3.84, 1e-9);
+}
+
+TEST(Hetero, CheckpointCountUsesCeiling) {
+  TrainingTimeParams params;
+  params.total_steps = 4100;  // 2 checkpoints: ceil(4100/4000)
+  params.checkpoint_interval_steps = 4000;
+  params.checkpoint_seconds = 4.0;
+  const TrainingTimeEstimate est = estimate_training_time(10.0, params, {});
+  EXPECT_NEAR(est.checkpoint_seconds, 8.0, 1e-9);
+}
+
+TEST(Hetero, Equation5SumsWorkerRevocationProbabilities) {
+  // Two workers, lifetimes uniform on {100, 300, 500} seconds. For a
+  // 300-second training run Pr(R) = 2/3 each.
+  const stats::Ecdf cdf(std::vector<double>{100.0, 300.0, 500.0});
+  TrainingTimeParams params;
+  params.total_steps = 3000;  // at 10 steps/s -> 300 s
+  params.provision_seconds = 0.0;
+  params.replacement_seconds = 0.0;
+  const TrainingTimeEstimate est =
+      estimate_training_time(10.0, params, {&cdf, &cdf});
+  EXPECT_NEAR(est.expected_revocations, 2.0 * (2.0 / 3.0), 1e-9);
+}
+
+TEST(Hetero, RevocationOverheadFeedsBackIntoDuration) {
+  // Long provisioning pushes the duration past the next CDF step on the
+  // second fixed-point iteration.
+  const stats::Ecdf cdf(std::vector<double>{100.0, 350.0});
+  TrainingTimeParams params;
+  params.total_steps = 3000;  // 300 s of compute
+  params.provision_seconds = 60.0;
+  params.replacement_seconds = 40.0;
+  const TrainingTimeEstimate one_pass =
+      estimate_training_time(10.0, params, {&cdf}, 1);
+  const TrainingTimeEstimate two_pass =
+      estimate_training_time(10.0, params, {&cdf}, 2);
+  // One pass: Pr at 300 s = 0.5; duration becomes 350 s.
+  EXPECT_NEAR(one_pass.expected_revocations, 0.5, 1e-9);
+  // Second pass re-evaluates at 350 s where F = 1.0.
+  EXPECT_NEAR(two_pass.expected_revocations, 1.0, 1e-9);
+  EXPECT_GT(two_pass.total_seconds, one_pass.total_seconds);
+}
+
+TEST(Hetero, ValidatesArguments) {
+  TrainingTimeParams params;
+  params.total_steps = 100;
+  EXPECT_THROW(estimate_training_time(0.0, params, {}),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_training_time(1.0, TrainingTimeParams{}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_training_time(1.0, params, {nullptr}),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_training_time(1.0, params, {}, 0),
+               std::invalid_argument);
+}
+
+TEST(Profiler, WindowsSpeedsOverSteps) {
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = 500;
+  train::TrainingSession session(sim, nn::resnet15(), config, util::Rng(1));
+  PerformanceProfiler profiler(100);
+  profiler.attach(session);
+  train::WorkerSpec spec;
+  spec.gpu = cloud::GpuType::kV100;
+  session.add_worker(spec);
+  sim.run();
+  EXPECT_EQ(profiler.samples().size(), 5u);
+  EXPECT_TRUE(profiler.latest_speed().has_value());
+  EXPECT_GT(*profiler.latest_speed(), 0.0);
+}
+
+TEST(Profiler, MeanSinceFiltersByTime) {
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = 1000;
+  train::TrainingSession session(sim, nn::resnet15(), config, util::Rng(2));
+  PerformanceProfiler profiler(100);
+  profiler.attach(session);
+  train::WorkerSpec spec;
+  spec.gpu = cloud::GpuType::kK80;
+  session.add_worker(spec);
+  sim.run();
+  // Warmup inflates the first windows; post-30 s mean is faster than the
+  // all-window mean.
+  const double all = *profiler.mean_speed_since(0.0);
+  const double post_warmup = *profiler.mean_speed_since(30.0);
+  EXPECT_GT(post_warmup, all);
+  EXPECT_FALSE(profiler.mean_speed_since(1e9).has_value());
+}
+
+TEST(Profiler, ChainsExistingOnStepHook) {
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = 50;
+  train::TrainingSession session(sim, nn::resnet15(), config, util::Rng(3));
+  int hook_calls = 0;
+  session.on_step = [&](long, simcore::SimTime) { ++hook_calls; };
+  PerformanceProfiler profiler(10);
+  profiler.attach(session);
+  train::WorkerSpec spec;
+  spec.gpu = cloud::GpuType::kV100;
+  session.add_worker(spec);
+  sim.run();
+  EXPECT_EQ(hook_calls, 50);
+}
+
+TEST(Bottleneck, FlagsSaturatedCluster) {
+  // 8x P100 on ResNet-32: predicted additive speed ~97 steps/s, measured
+  // ~42 -> deficit way over 6.7%.
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = 6000;
+  train::TrainingSession session(sim, nn::resnet32(), config, util::Rng(4));
+  PerformanceProfiler profiler;
+  profiler.attach(session);
+  for (const auto& w : train::worker_mix(0, 8, 0)) session.add_worker(w);
+  sim.run();
+
+  const BottleneckDetector detector;
+  const double predicted = 8.0 / 0.08203;  // additive prediction
+  const BottleneckReport report = detector.check(predicted, profiler);
+  EXPECT_TRUE(report.flagged);
+  EXPECT_GT(report.deficit_fraction, 0.3);
+  EXPECT_NE(report.advice.find("parameter server"), std::string::npos);
+}
+
+TEST(Bottleneck, DoesNotFlagHealthyCluster) {
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = 4000;
+  train::TrainingSession session(sim, nn::resnet32(), config, util::Rng(5));
+  PerformanceProfiler profiler;
+  profiler.attach(session);
+  for (const auto& w : train::worker_mix(2, 0, 0)) session.add_worker(w);
+  sim.run();
+
+  const BottleneckDetector detector;
+  const double predicted = 2.0 / 0.2193;
+  const BottleneckReport report = detector.check(predicted, profiler);
+  EXPECT_FALSE(report.flagged);
+  EXPECT_LT(report.deficit_fraction, detector.config().threshold);
+}
+
+TEST(Bottleneck, Validates) {
+  EXPECT_THROW(BottleneckDetector(BottleneckConfig{-1.0, 0.067}),
+               std::invalid_argument);
+  const BottleneckDetector detector;
+  PerformanceProfiler profiler;
+  EXPECT_THROW(detector.check(0.0, profiler), std::invalid_argument);
+  const BottleneckReport report = detector.check(1.0, profiler);
+  EXPECT_FALSE(report.flagged);  // no measurements yet
+}
+
+}  // namespace
+}  // namespace cmdare::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "cmdare/measurement.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace cmdare::core {
+namespace {
+
+std::vector<nn::CnnModel> two_models() {
+  std::vector<nn::CnnModel> models;
+  models.push_back(nn::resnet15());
+  models.push_back(nn::resnet32());
+  return models;
+}
+
+TEST(Measurement, StepTimesCoverModelGpuGrid) {
+  util::Rng rng(1);
+  const auto measurements = measure_step_times(
+      two_models(), {cloud::GpuType::kK80, cloud::GpuType::kP100}, rng, 400);
+  ASSERT_EQ(measurements.size(), 4u);
+  for (const auto& m : measurements) {
+    EXPECT_GT(m.mean_step_seconds, 0.0);
+    EXPECT_GT(m.steps_measured, 200);
+    EXPECT_GT(m.gflops, 0.0);
+    EXPECT_GT(m.gpu_tflops, 0.0);
+  }
+}
+
+TEST(Measurement, StepTimesMatchGroundTruthAnchors) {
+  util::Rng rng(2);
+  const auto measurements =
+      measure_step_times(two_models(), {cloud::GpuType::kK80}, rng, 800);
+  // ResNet-32 on K80: Table I anchor 219.3 ms.
+  for (const auto& m : measurements) {
+    if (m.model == "resnet-32") {
+      EXPECT_NEAR(m.mean_step_seconds, 0.2193, 0.005);
+    }
+    if (m.model == "resnet-15") {
+      EXPECT_NEAR(m.mean_step_seconds, 0.1057, 0.003);
+    }
+  }
+}
+
+TEST(Measurement, ComputationRatioDefinition) {
+  StepTimeMeasurement m;
+  m.gflops = 2.0;
+  m.gpu_tflops = 4.0;
+  EXPECT_DOUBLE_EQ(m.computation_ratio(), 0.5);
+}
+
+TEST(Measurement, FilterGpuSelectsSubset) {
+  util::Rng rng(3);
+  const auto measurements = measure_step_times(
+      two_models(), {cloud::GpuType::kK80, cloud::GpuType::kP100}, rng, 300);
+  const auto k80 = filter_gpu(measurements, cloud::GpuType::kK80);
+  EXPECT_EQ(k80.size(), 2u);
+  for (const auto& m : k80) EXPECT_EQ(m.gpu, cloud::GpuType::kK80);
+}
+
+TEST(Measurement, DatasetsAreMinMaxNormalized) {
+  util::Rng rng(4);
+  const auto measurements = measure_step_times(
+      two_models(), {cloud::GpuType::kK80, cloud::GpuType::kP100}, rng, 300);
+  for (const auto& dataset :
+       {step_dataset_cnorm(measurements), step_dataset_cm(measurements)}) {
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      EXPECT_GE(dataset.x(i)[0], 0.0);
+      EXPECT_LE(dataset.x(i)[0], 1.0);
+    }
+  }
+  const auto multi = step_dataset_cm_cgpu(measurements);
+  EXPECT_EQ(multi.feature_count(), 2u);
+}
+
+TEST(Measurement, EmptyInputsRejected) {
+  EXPECT_THROW(step_dataset_cnorm({}), std::invalid_argument);
+  util::Rng rng(5);
+  EXPECT_THROW(
+      measure_step_times(two_models(), {cloud::GpuType::kK80}, rng, 50, 100),
+      std::invalid_argument);
+}
+
+TEST(Measurement, CheckpointTimesHaveLowVariance) {
+  util::Rng rng(6);
+  const auto measurements =
+      measure_checkpoint_times(nn::canonical_models(), rng, 5);
+  ASSERT_EQ(measurements.size(), 4u);
+  for (const auto& m : measurements) {
+    EXPECT_EQ(m.repeats, 5);
+    EXPECT_GT(m.mean_seconds, 0.0);
+    EXPECT_LT(m.cov, 0.12);  // Fig. 5 reports 0.018-0.073 over 5 repeats
+    EXPECT_NEAR(m.total_mb, m.data_mb + m.meta_mb + m.index_mb, 1e-9);
+  }
+}
+
+TEST(Measurement, CheckpointTimeIncreasesWithSize) {
+  util::Rng rng(7);
+  const auto measurements =
+      measure_checkpoint_times(nn::canonical_models(), rng, 5);
+  const auto find = [&](const std::string& name) {
+    for (const auto& m : measurements) {
+      if (m.model == name) return m;
+    }
+    throw std::logic_error("missing model");
+  };
+  EXPECT_LT(find("resnet-15").mean_seconds,
+            find("shake-shake-big").mean_seconds);
+  EXPECT_LT(find("resnet-15").total_mb, find("shake-shake-big").total_mb);
+}
+
+TEST(Measurement, CheckpointDatasetShapes) {
+  util::Rng rng(8);
+  const auto measurements =
+      measure_checkpoint_times(nn::canonical_models(), rng, 3);
+  EXPECT_EQ(checkpoint_dataset_total(measurements).feature_count(), 1u);
+  EXPECT_EQ(checkpoint_dataset_data_meta(measurements).feature_count(), 2u);
+  EXPECT_EQ(checkpoint_dataset_all(measurements).feature_count(), 3u);
+  EXPECT_EQ(checkpoint_dataset_all(measurements).size(), 4u);
+}
+
+TEST(Measurement, CheckpointValidatesRepeats) {
+  util::Rng rng(9);
+  EXPECT_THROW(measure_checkpoint_times(nn::canonical_models(), rng, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmdare::core

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "cmdare/planner.hpp"
+
+namespace cmdare::core {
+namespace {
+
+CheckpointPlanParams base_params() {
+  CheckpointPlanParams params;
+  params.total_steps = 40000;
+  params.cluster_speed = 18.9;
+  params.checkpoint_seconds = 3.7;
+  params.chief_revocations_per_hour = 7.5;
+  params.replacement_seconds = 75.6;
+  return params;
+}
+
+TEST(CheckpointPlanner, NoRevocationsFavorsNoCheckpointing) {
+  CheckpointPlanParams params = base_params();
+  params.chief_revocations_per_hour = 0.0;
+  const CheckpointPlan plan = plan_checkpoint_interval(params);
+  // Without revocations the optimum is the largest interval (one final
+  // checkpoint).
+  EXPECT_EQ(plan.interval_steps, 40000);
+}
+
+TEST(CheckpointPlanner, ChurnPullsTheOptimumDown) {
+  CheckpointPlanParams calm = base_params();
+  calm.chief_revocations_per_hour = 0.5;
+  CheckpointPlanParams churny = base_params();
+  churny.chief_revocations_per_hour = 20.0;
+  const long calm_interval = plan_checkpoint_interval(calm).interval_steps;
+  const long churny_interval =
+      plan_checkpoint_interval(churny).interval_steps;
+  EXPECT_LT(churny_interval, calm_interval);
+}
+
+TEST(CheckpointPlanner, ExpectedTimeFormula) {
+  // Hand-checkable case with a single fixed-point pass structure:
+  // compute = 40000/18.9 ~ 2116.4 s; ckpt = ceil(40000/4000)*3.7 = 37 s.
+  CheckpointPlanParams params = base_params();
+  params.chief_revocations_per_hour = 0.0;
+  EXPECT_NEAR(expected_time_with_interval(4000, params),
+              40000.0 / 18.9 + 10 * 3.7, 1e-6);
+}
+
+TEST(CheckpointPlanner, ExpectedTimeMonotoneInChurn) {
+  CheckpointPlanParams params = base_params();
+  double previous = 0.0;
+  for (double rate : {0.0, 2.0, 8.0, 20.0}) {
+    params.chief_revocations_per_hour = rate;
+    const double t = expected_time_with_interval(4000, params);
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(CheckpointPlanner, PlanCurveCoversRangeAndContainsMinimum) {
+  const CheckpointPlan plan = plan_checkpoint_interval(base_params());
+  EXPECT_GE(plan.scanned.size(), 10u);
+  EXPECT_EQ(plan.scanned.front().first, 100);
+  EXPECT_EQ(plan.scanned.back().first, 40000);
+  for (const auto& [interval, expected] : plan.scanned) {
+    (void)interval;
+    EXPECT_GE(expected, plan.expected_seconds);
+  }
+  // The optimum is interior for this churn level.
+  EXPECT_GT(plan.interval_steps, 100);
+  EXPECT_LT(plan.interval_steps, 40000);
+}
+
+TEST(CheckpointPlanner, Validates) {
+  EXPECT_THROW(expected_time_with_interval(0, base_params()),
+               std::invalid_argument);
+  CheckpointPlanParams bad = base_params();
+  bad.cluster_speed = 0.0;
+  EXPECT_THROW(expected_time_with_interval(100, bad), std::invalid_argument);
+  EXPECT_THROW(plan_checkpoint_interval(base_params(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(plan_checkpoint_interval(base_params(), 100, 1),
+               std::invalid_argument);
+}
+
+TEST(LaunchPlanner, RanksAscendingAndCoversAllHours) {
+  const cloud::RevocationModel model;
+  const auto plans = rank_launch_plans(model, cloud::GpuType::kK80, 8.0);
+  // 4 K80 regions x 24 hours.
+  EXPECT_EQ(plans.size(), 96u);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i - 1].revocation_probability,
+              plans[i].revocation_probability);
+  }
+}
+
+TEST(LaunchPlanner, BestPlanBeatsReferenceLaunch) {
+  const cloud::RevocationModel model;
+  const LaunchPlan best = best_launch_plan(model, cloud::GpuType::kK80, 8.0);
+  const double reference = model.revocation_probability(
+      cloud::Region::kUsCentral1, cloud::GpuType::kK80,
+      cloud::kReferenceLaunchLocalHour, 8.0);
+  EXPECT_LT(best.revocation_probability, reference);
+}
+
+TEST(LaunchPlanner, V100QuietWindowIsExploited) {
+  // A short job launched right at 16:00 local overlaps the 4 PM - 8 PM
+  // window where V100s are never revoked (Figure 9).
+  const cloud::RevocationModel model;
+  const LaunchPlan best = best_launch_plan(model, cloud::GpuType::kV100, 4.0);
+  EXPECT_EQ(best.local_hour, 16);
+  EXPECT_NEAR(best.revocation_probability, 0.0, 1e-9);
+}
+
+TEST(LaunchPlanner, ProbabilityMatchesHazardModel) {
+  const cloud::RevocationModel model;
+  const auto plans = rank_launch_plans(model, cloud::GpuType::kP100, 6.0);
+  for (const auto& plan : {plans.front(), plans.back()}) {
+    EXPECT_NEAR(plan.revocation_probability,
+                model.revocation_probability(plan.region, cloud::GpuType::kP100,
+                                             plan.local_hour, 6.0),
+                1e-12);
+  }
+}
+
+TEST(LaunchPlanner, Validates) {
+  const cloud::RevocationModel model;
+  EXPECT_THROW(rank_launch_plans(model, cloud::GpuType::kK80, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmdare::core

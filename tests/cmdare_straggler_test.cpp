@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cmdare/measurement.hpp"
+#include "cmdare/straggler.hpp"
+#include "stats/descriptive.hpp"
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+
+namespace cmdare::core {
+namespace {
+
+train::WorkerSpec p100(double performance_factor = 1.0) {
+  train::WorkerSpec spec;
+  spec.gpu = cloud::GpuType::kP100;
+  spec.performance_factor = performance_factor;
+  return spec;
+}
+
+struct Cluster {
+  std::unique_ptr<simcore::Simulator> sim =
+      std::make_unique<simcore::Simulator>();
+  std::unique_ptr<train::TrainingSession> session;
+};
+
+Cluster run_cluster(const std::vector<train::WorkerSpec>& workers, long steps,
+                  std::uint64_t seed) {
+  Cluster setup;
+  train::SessionConfig config;
+  config.max_steps = steps;
+  setup.session = std::make_unique<train::TrainingSession>(
+      *setup.sim, nn::resnet32(), config, util::Rng(seed));
+  for (const auto& w : workers) setup.session->add_worker(w);
+  setup.sim->run();
+  return setup;
+}
+
+TEST(Straggler, DegradedWorkerSlowsByItsFactor) {
+  // The injection mechanism itself: a 1.3x performance factor must show
+  // up as ~1.3x step time.
+  const Cluster nominal = run_cluster({p100()}, 1500, 1);
+  const Cluster degraded = run_cluster({p100(1.3)}, 1500, 1);
+  const double t_nominal = cmdare::stats::mean(
+      nominal.session->trace().worker_step_intervals(0, 100));
+  const double t_degraded = cmdare::stats::mean(
+      degraded.session->trace().worker_step_intervals(0, 100));
+  EXPECT_NEAR(t_degraded / t_nominal, 1.3, 0.02);
+}
+
+TEST(Straggler, PeerComparisonFlagsTheSlowWorker) {
+  // Three P100s keep the PS unsaturated (36.6 < 42.6 updates/s), so the
+  // degraded worker's slowdown is fully visible.
+  const Cluster setup = run_cluster({p100(), p100(1.25), p100()}, 5000, 2);
+  const auto assessments = detect_stragglers(*setup.session);
+  ASSERT_EQ(assessments.size(), 3u);
+  for (const auto& a : assessments) {
+    if (a.worker == 1) {
+      EXPECT_TRUE(a.flagged_vs_peers) << "degraded worker not flagged";
+    } else {
+      EXPECT_FALSE(a.flagged_vs_peers)
+          << "healthy worker " << a.worker << " falsely flagged";
+    }
+    ASSERT_TRUE(a.peer_median_seconds.has_value());
+  }
+}
+
+TEST(Straggler, HealthyClusterHasNoFlags) {
+  const Cluster setup = run_cluster({p100(), p100(), p100()}, 5000, 3);
+  for (const auto& a : detect_stragglers(*setup.session)) {
+    EXPECT_FALSE(a.flagged());
+  }
+}
+
+TEST(Straggler, SingleWorkerHasNoPeerSignal) {
+  const Cluster setup = run_cluster({p100(1.5)}, 1500, 4);
+  const auto assessments = detect_stragglers(*setup.session);
+  ASSERT_EQ(assessments.size(), 1u);
+  EXPECT_FALSE(assessments[0].peer_median_seconds.has_value());
+  EXPECT_FALSE(assessments[0].flagged_vs_peers);
+}
+
+TEST(Straggler, ModelComparisonCatchesLoneDegradedWorker) {
+  util::Rng rng(5);
+  const auto measurements = measure_step_times(
+      nn::all_models(), {cloud::GpuType::kP100}, rng, 500);
+  util::Rng train_rng(6);
+  const StepTimePredictor predictor =
+      StepTimePredictor::train(measurements, train_rng);
+
+  const Cluster setup = run_cluster({p100(1.4)}, 1500, 7);
+  const auto assessments =
+      detect_stragglers(*setup.session, &predictor);
+  ASSERT_EQ(assessments.size(), 1u);
+  EXPECT_TRUE(assessments[0].flagged_vs_model);
+  ASSERT_TRUE(assessments[0].predicted_seconds.has_value());
+
+  // With the PS marked saturated the model comparison is suppressed.
+  const auto suppressed =
+      detect_stragglers(*setup.session, &predictor, /*ps_saturated=*/true);
+  EXPECT_FALSE(suppressed[0].flagged_vs_model);
+  EXPECT_FALSE(suppressed[0].predicted_seconds.has_value());
+}
+
+TEST(Straggler, PeerSignalSurvivesPsSaturation) {
+  // 8 P100s saturate the PS: everyone inflates to ~196 ms, but the
+  // degraded worker still stands out against its peers... only if its
+  // slowdown exceeds the saturation floor. Use a strong factor.
+  std::vector<train::WorkerSpec> workers(8, p100());
+  workers[5] = p100(2.8);  // ~230 ms compute > 196 ms saturation floor
+  Cluster setup = run_cluster(workers, 16000, 8);
+  const auto assessments = detect_stragglers(*setup.session);
+  bool degraded_flagged = false;
+  int healthy_flagged = 0;
+  for (const auto& a : assessments) {
+    if (a.worker == 5) {
+      degraded_flagged = a.flagged_vs_peers;
+    } else if (a.flagged_vs_peers) {
+      ++healthy_flagged;
+    }
+  }
+  EXPECT_TRUE(degraded_flagged);
+  EXPECT_EQ(healthy_flagged, 0);
+}
+
+TEST(Straggler, SkipsWorkersWithoutEnoughHistory) {
+  Cluster setup;
+  train::SessionConfig config;
+  config.max_steps = 2000;
+  setup.session = std::make_unique<train::TrainingSession>(
+      *setup.sim, nn::resnet32(), config, util::Rng(9));
+  setup.session->add_worker(p100());
+  // Joins so late it cannot accumulate discard+min steps.
+  setup.session->add_worker(p100(), 160.0);
+  setup.sim->run();
+  const auto assessments = detect_stragglers(*setup.session);
+  EXPECT_EQ(assessments.size(), 1u);
+  EXPECT_EQ(assessments[0].worker, 0u);
+}
+
+}  // namespace
+}  // namespace cmdare::core

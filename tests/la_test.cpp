@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/eigen.hpp"
+#include "la/matrix.hpp"
+#include "la/solve.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::la {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, BoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::out_of_range);
+  EXPECT_THROW(m(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix a = {{1, 2}, {3, 4}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ((a * i).max_abs_diff(a), 0.0);
+  const Matrix b = {{5, 6}, {7, 8}};
+  const Matrix ab = a * b;
+  EXPECT_DOUBLE_EQ(ab(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(ab(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 3) * Matrix(2, 3), std::invalid_argument);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a = {{1, 2}, {3, 4}};
+  const Matrix b = {{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ((a - b)(0, 0), 0.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ((0.5 * a)(1, 0), 3.0);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix a = {{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, ColumnAndToVector) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  const Matrix c = Matrix::column(v);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_EQ(c.to_vector(), v);
+  EXPECT_THROW(Matrix(2, 2).to_vector(), std::logic_error);
+}
+
+TEST(Matrix, FromRowsValidatesSize) {
+  const std::vector<double> d = {1, 2, 3};
+  EXPECT_THROW(Matrix::from_rows(2, 2, d), std::invalid_argument);
+  const Matrix m = Matrix::from_rows(1, 3, d);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3.0);
+}
+
+TEST(Solve, GaussianKnownSystem) {
+  const Matrix a = {{2, 1}, {1, 3}};
+  const Matrix b = Matrix::column(std::vector<double>{5.0, 10.0});
+  const Matrix x = solve_gaussian(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-12);
+}
+
+TEST(Solve, GaussianNeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  const Matrix a = {{0, 1}, {1, 0}};
+  const Matrix b = Matrix::column(std::vector<double>{2.0, 3.0});
+  const Matrix x = solve_gaussian(a, b);
+  EXPECT_NEAR(x(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+}
+
+TEST(Solve, GaussianSingularThrows) {
+  const Matrix a = {{1, 2}, {2, 4}};
+  const Matrix b = Matrix::column(std::vector<double>{1.0, 2.0});
+  EXPECT_THROW(solve_gaussian(a, b), std::runtime_error);
+}
+
+TEST(Solve, CholeskyMatchesGaussianOnSpd) {
+  const Matrix a = {{4, 2}, {2, 3}};
+  const Matrix b = Matrix::column(std::vector<double>{6.0, 5.0});
+  const Matrix x1 = solve_cholesky(a, b);
+  const Matrix x2 = solve_gaussian(a, b);
+  EXPECT_LT(x1.max_abs_diff(x2), 1e-10);
+}
+
+TEST(Solve, CholeskyFactorReconstructs) {
+  const Matrix a = {{25, 15, -5}, {15, 18, 0}, {-5, 0, 11}};
+  const Matrix l = cholesky_factor(a);
+  EXPECT_LT((l * l.transposed()).max_abs_diff(a), 1e-10);
+  EXPECT_DOUBLE_EQ(l(0, 0), 5.0);  // classic example
+}
+
+TEST(Solve, CholeskyRejectsNonSpd) {
+  const Matrix a = {{1, 2}, {2, 1}};  // indefinite
+  EXPECT_THROW(cholesky_factor(a), std::runtime_error);
+}
+
+TEST(Solve, InverseTimesOriginalIsIdentity) {
+  const Matrix a = {{3, 1}, {2, 5}};
+  const Matrix inv = inverse(a);
+  EXPECT_LT((a * inv).max_abs_diff(Matrix::identity(2)), 1e-10);
+}
+
+TEST(Solve, RandomSpdSystemsHaveSmallResidual) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(6);
+    Matrix g(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.normal();
+    }
+    Matrix a = g.transposed() * g;
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.5;  // ensure SPD
+    Matrix b(n, 1);
+    for (std::size_t i = 0; i < n; ++i) b(i, 0) = rng.normal();
+
+    const Matrix x = solve_cholesky(a, b);
+    EXPECT_LT((a * x).max_abs_diff(b), 1e-8);
+  }
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  const Matrix a = {{3, 0}, {0, 1}};
+  const auto eig = eigen_symmetric(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(Eigen, KnownSymmetricMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix a = {{2, 1}, {1, 2}};
+  const auto eig = eigen_symmetric(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(Eigen, VectorsAreOrthonormal) {
+  util::Rng rng(13);
+  Matrix g(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) g(i, j) = rng.normal();
+  }
+  const Matrix a = g.transposed() * g;
+  const auto eig = eigen_symmetric(a);
+  const Matrix vtv = eig.vectors.transposed() * eig.vectors;
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(4)), 1e-8);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+  const Matrix a = {{4, 1, 0}, {1, 3, 1}, {0, 1, 2}};
+  const auto eig = eigen_symmetric(a);
+  Matrix d(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) d(i, i) = eig.values[i];
+  const Matrix rebuilt = eig.vectors * d * eig.vectors.transposed();
+  EXPECT_LT(rebuilt.max_abs_diff(a), 1e-8);
+}
+
+TEST(Eigen, ValuesSortedDescending) {
+  util::Rng rng(19);
+  Matrix g(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) g(i, j) = rng.normal();
+  }
+  const auto eig = eigen_symmetric(g.transposed() * g);
+  for (std::size_t i = 1; i < eig.values.size(); ++i) {
+    EXPECT_GE(eig.values[i - 1], eig.values[i]);
+  }
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+  const Matrix a = {{1, 2}, {3, 4}};
+  EXPECT_THROW(eigen_symmetric(a), std::invalid_argument);
+  EXPECT_THROW(eigen_symmetric(Matrix(2, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmdare::la

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/pca.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::ml {
+namespace {
+
+TEST(LinearRegression, RecoversExactLinearRelation) {
+  Dataset d({"x"});
+  for (double x = 0.0; x <= 5.0; x += 1.0) d.add({x}, 3.0 * x + 2.0);
+  LinearRegression reg;
+  reg.fit(d);
+  EXPECT_NEAR(reg.coefficient(0), 3.0, 1e-9);
+  EXPECT_NEAR(reg.intercept(), 2.0, 1e-9);
+  EXPECT_NEAR(reg.predict(std::vector<double>{10.0}), 32.0, 1e-8);
+}
+
+TEST(LinearRegression, RecoversMultivariateRelation) {
+  Dataset d({"a", "b"});
+  util::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(0, 10);
+    const double b = rng.uniform(-5, 5);
+    d.add({a, b}, 2.0 * a - 1.5 * b + 0.7);
+  }
+  LinearRegression reg;
+  reg.fit(d);
+  EXPECT_NEAR(reg.coefficient(0), 2.0, 1e-8);
+  EXPECT_NEAR(reg.coefficient(1), -1.5, 1e-8);
+  EXPECT_NEAR(reg.intercept(), 0.7, 1e-8);
+}
+
+TEST(LinearRegression, MinimizesSquaredErrorOnNoisyData) {
+  Dataset d({"x"});
+  util::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0, 1);
+    d.add({x}, 4.0 * x + 1.0 + rng.normal(0.0, 0.05));
+  }
+  LinearRegression reg;
+  reg.fit(d);
+  EXPECT_NEAR(reg.coefficient(0), 4.0, 0.1);
+  EXPECT_NEAR(reg.intercept(), 1.0, 0.05);
+}
+
+TEST(LinearRegression, ValidatesUsage) {
+  LinearRegression reg;
+  EXPECT_THROW(reg.predict(std::vector<double>{1.0}), std::logic_error);
+  Dataset d({"x"});
+  d.add({1.0}, 1.0);
+  EXPECT_THROW(reg.fit(d), std::invalid_argument);  // n <= p+1
+  d.add({2.0}, 2.0);
+  reg.fit(d);
+  EXPECT_THROW(reg.predict(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LinearRegression, HandlesCollinearFeaturesViaRidgeFallback) {
+  Dataset d({"a", "b"});
+  for (double x = 0.0; x < 6.0; x += 1.0) d.add({x, 2.0 * x}, x);
+  LinearRegression reg;
+  EXPECT_NO_THROW(reg.fit(d));
+  // Prediction must still follow the relation y = x even if coefficients
+  // are not unique.
+  EXPECT_NEAR(reg.predict(std::vector<double>{3.0, 6.0}), 3.0, 1e-3);
+}
+
+TEST(LinearRegression, CloneIsUnfitted) {
+  Dataset d({"x"});
+  d.add({0.0}, 0.0);
+  d.add({1.0}, 1.0);
+  LinearRegression reg;
+  reg.fit(d);
+  auto clone = reg.clone_unfitted();
+  EXPECT_THROW(clone->predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(FitUnivariate, MatchesClosedForm) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {3, 5, 7, 9};
+  const UnivariateFit fit = fit_univariate(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-10);
+}
+
+TEST(Pca, FindsDominantDirection) {
+  // Points spread along (1, 1) with tiny orthogonal noise.
+  Dataset d({"a", "b"});
+  util::Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const double t = rng.normal(0.0, 3.0);
+    const double noise = rng.normal(0.0, 0.05);
+    d.add({t + noise, t - noise}, 0.0);
+  }
+  Pca pca;
+  pca.fit(d, 2);
+  // First component explains almost all variance.
+  EXPECT_GT(pca.explained_variance_ratio(0), 0.99);
+  // Its direction is (1,1)/sqrt(2) up to sign: projections of (1,1)
+  // should have magnitude sqrt(2).
+  const auto proj = pca.transform(std::vector<double>{1.0, 1.0});
+  EXPECT_NEAR(std::abs(proj[0]), std::sqrt(2.0), 0.05);
+}
+
+TEST(Pca, CentersData) {
+  Dataset d({"a"});
+  d.add({10.0}, 0.0);
+  d.add({12.0}, 0.0);
+  Pca pca;
+  pca.fit(d, 1);
+  const auto at_mean = pca.transform(std::vector<double>{11.0});
+  EXPECT_NEAR(at_mean[0], 0.0, 1e-12);
+}
+
+TEST(Pca, Validates) {
+  Dataset d({"a", "b"});
+  d.add({1.0, 2.0}, 0.0);
+  Pca pca;
+  EXPECT_THROW(pca.fit(d, 1), std::invalid_argument);  // need 2 examples
+  d.add({2.0, 3.0}, 0.0);
+  EXPECT_THROW(pca.fit(d, 0), std::invalid_argument);
+  EXPECT_THROW(pca.fit(d, 3), std::invalid_argument);
+  EXPECT_THROW(pca.transform(std::vector<double>{1.0, 2.0}),
+               std::logic_error);
+}
+
+TEST(PcaRegression, FitsThroughProjection) {
+  // Target depends on the sum of features; PCA to 1 component keeps it.
+  Dataset d({"a", "b", "c"});
+  util::Rng rng(10);
+  for (int i = 0; i < 60; ++i) {
+    const double t = rng.uniform(0, 10);
+    d.add({t, 2 * t, 3 * t}, 5.0 * t + 1.0);
+  }
+  PcaRegression reg(1);
+  reg.fit(d);
+  const auto preds = reg.predict_all(d);
+  EXPECT_LT(mean_absolute_error(d.targets(), preds), 1e-6);
+}
+
+TEST(PcaRegression, TwoComponentVariantWorksOnCorrelatedFeatures) {
+  Dataset d({"sd", "sm", "si"});
+  util::Rng rng(12);
+  for (int i = 0; i < 40; ++i) {
+    const double size = rng.uniform(1, 100);
+    const double tensors = rng.uniform(10, 400);
+    d.add({size, 0.1 + 0.002 * tensors, 0.001 * tensors},
+          3.6 + size / 38.0);
+  }
+  PcaRegression reg(2);
+  reg.fit(d);
+  const auto preds = reg.predict_all(d);
+  EXPECT_LT(mean_absolute_error(d.targets(), preds), 0.05);
+  EXPECT_EQ(reg.pca().component_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cmdare::ml

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/crossval.hpp"
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::ml {
+namespace {
+
+Dataset linear_data(int n, util::Rng& rng, double noise_sd = 0.0) {
+  Dataset d({"x"});
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.add({x}, 2.0 * x + 0.5 + (noise_sd > 0 ? rng.normal(0, noise_sd) : 0.0));
+  }
+  return d;
+}
+
+Dataset saturating_data(int n, util::Rng& rng) {
+  // Mimics the step-time ground truth: saturating ms/GFLOP curve.
+  Dataset d({"x"});
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.add({x}, 0.1 + x * (0.4 + 0.6 * std::exp(-4.0 * x)));
+  }
+  return d;
+}
+
+TEST(Svr, LinearKernelFitsLinearData) {
+  util::Rng rng(1);
+  const Dataset d = linear_data(40, rng);
+  SvrConfig config;
+  config.kernel.type = KernelType::kLinear;
+  config.penalty = 100.0;
+  config.epsilon = 0.01;
+  SupportVectorRegression svr(config);
+  svr.fit(d);
+  const auto preds = svr.predict_all(d);
+  // Epsilon-insensitive loss: errors should be within ~epsilon.
+  EXPECT_LT(mean_absolute_error(d.targets(), preds), 0.02);
+}
+
+TEST(Svr, RbfKernelFitsNonlinearData) {
+  util::Rng rng(2);
+  const Dataset d = saturating_data(60, rng);
+  SvrConfig config;
+  config.kernel.type = KernelType::kRbf;
+  config.penalty = 100.0;
+  config.epsilon = 0.01;
+  SupportVectorRegression svr(config);
+  svr.fit(d);
+  const auto preds = svr.predict_all(d);
+  EXPECT_LT(mean_absolute_error(d.targets(), preds), 0.02);
+}
+
+TEST(Svr, RbfBeatsLinearRegressionOnCurvedData) {
+  util::Rng rng(3);
+  const Dataset train = saturating_data(60, rng);
+  const Dataset test = saturating_data(30, rng);
+
+  LinearRegression ols;
+  ols.fit(train);
+  SvrConfig config;
+  config.kernel.type = KernelType::kRbf;
+  config.penalty = 100.0;
+  config.epsilon = 0.01;
+  SupportVectorRegression svr(config);
+  svr.fit(train);
+
+  const double ols_mae =
+      mean_absolute_error(test.targets(), ols.predict_all(test));
+  const double svr_mae =
+      mean_absolute_error(test.targets(), svr.predict_all(test));
+  EXPECT_LT(svr_mae, ols_mae);
+}
+
+TEST(Svr, PolynomialKernelFitsQuadratic) {
+  util::Rng rng(4);
+  Dataset d({"x"});
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    d.add({x}, x * x);
+  }
+  SvrConfig config;
+  config.kernel.type = KernelType::kPolynomial;
+  config.kernel.degree = 2;
+  config.penalty = 100.0;
+  config.epsilon = 0.01;
+  SupportVectorRegression svr(config);
+  svr.fit(d);
+  EXPECT_NEAR(svr.predict(std::vector<double>{0.5}), 0.25, 0.05);
+  EXPECT_NEAR(svr.predict(std::vector<double>{-0.5}), 0.25, 0.05);
+}
+
+TEST(Svr, WideEpsilonTubeYieldsSparseSolution) {
+  util::Rng rng(5);
+  const Dataset d = linear_data(40, rng, 0.01);
+  SvrConfig wide;
+  wide.kernel.type = KernelType::kLinear;
+  wide.penalty = 10.0;
+  wide.epsilon = 2.0;  // wider than the target range
+  SupportVectorRegression svr(wide);
+  svr.fit(d);
+  // Everything fits inside the tube around 0 -> (almost) no support
+  // vectors needed.
+  EXPECT_LE(svr.support_vector_count(), 2u);
+}
+
+TEST(Svr, SmallEpsilonUsesMoreSupportVectors) {
+  util::Rng rng(6);
+  const Dataset d = linear_data(40, rng, 0.05);
+  SvrConfig narrow;
+  narrow.kernel.type = KernelType::kLinear;
+  narrow.penalty = 50.0;
+  narrow.epsilon = 0.001;
+  SupportVectorRegression svr(narrow);
+  svr.fit(d);
+  EXPECT_GT(svr.support_vector_count(), 10u);
+}
+
+TEST(Svr, ConvergesWithinSweepCap) {
+  util::Rng rng(7);
+  const Dataset d = saturating_data(50, rng);
+  SupportVectorRegression svr;
+  svr.fit(d);
+  EXPECT_LT(svr.sweeps_used(), svr.config().max_sweeps);
+}
+
+TEST(Svr, ValidatesConfigAndUsage) {
+  EXPECT_THROW(SupportVectorRegression(SvrConfig{{}, -1.0, 0.1, 1e-6, 100,
+                                                 true}),
+               std::invalid_argument);
+  SupportVectorRegression svr;
+  EXPECT_THROW(svr.predict(std::vector<double>{1.0}), std::logic_error);
+  EXPECT_THROW(svr.support_vector_count(), std::logic_error);
+  Dataset empty({"x"});
+  EXPECT_THROW(svr.fit(empty), std::invalid_argument);
+}
+
+TEST(Svr, DimensionMismatchAtPredictThrows) {
+  util::Rng rng(8);
+  const Dataset d = linear_data(10, rng);
+  SupportVectorRegression svr;
+  svr.fit(d);
+  EXPECT_THROW(svr.predict(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Kernel, EvaluatesKnownValues) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {3.0, 4.0};
+  KernelConfig linear{KernelType::kLinear, 2, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(kernel_eval(linear, a, b), 11.0);
+  KernelConfig poly{KernelType::kPolynomial, 2, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(kernel_eval(poly, a, b), 144.0);  // (11+1)^2
+  KernelConfig rbf{KernelType::kRbf, 2, 1.0, 0.5};
+  EXPECT_NEAR(kernel_eval(rbf, a, b), std::exp(-0.5 * 8.0), 1e-12);
+  EXPECT_NEAR(kernel_eval(rbf, a, a), 1.0, 1e-12);
+}
+
+TEST(Kernel, GammaHeuristicPositive) {
+  Dataset d({"x"});
+  d.add({0.0}, 0.0);
+  d.add({1.0}, 0.0);
+  d.add({2.0}, 0.0);
+  EXPECT_GT(rbf_gamma_heuristic(d), 0.0);
+  Dataset degenerate({"x"});
+  degenerate.add({1.0}, 0.0);
+  degenerate.add({1.0}, 0.0);
+  EXPECT_DOUBLE_EQ(rbf_gamma_heuristic(degenerate), 1.0);
+}
+
+TEST(CrossVal, ReportsPerFoldErrors) {
+  util::Rng rng(9);
+  const Dataset d = linear_data(30, rng, 0.02);
+  LinearRegression prototype;
+  util::Rng cv_rng(10);
+  const CrossValResult cv = cross_validate(prototype, d, 5, cv_rng);
+  EXPECT_EQ(cv.fold_mae.size(), 5u);
+  EXPECT_LT(cv.mean_mae, 0.05);
+  EXPECT_GE(cv.sd_mae, 0.0);
+}
+
+TEST(GridSearch, CoversFullPaperGrid) {
+  util::Rng rng(11);
+  const Dataset d = linear_data(25, rng, 0.02);
+  util::Rng gs_rng(12);
+  const KernelConfig rbf{KernelType::kRbf, 2, 1.0, 1.0};
+  const SvrGridSearchResult result = svr_grid_search(rbf, d, 5, gs_rng);
+  // 10 penalties x 10 epsilons x 5 gamma scales (RBF only).
+  EXPECT_EQ(result.grid.size(), 500u);
+  EXPECT_DOUBLE_EQ(result.grid.front().penalty, 10.0);
+  EXPECT_NEAR(result.grid.front().epsilon, 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(result.grid.back().penalty, 100.0);
+  EXPECT_NEAR(result.grid.back().epsilon, 0.1, 1e-12);
+
+  // Non-RBF kernels do not scan gamma: 10 x 10 points.
+  const KernelConfig poly{KernelType::kPolynomial, 2, 1.0, 1.0};
+  util::Rng gs_rng2(13);
+  EXPECT_EQ(svr_grid_search(poly, d, 5, gs_rng2).grid.size(), 100u);
+  // Best has the minimum mean MAE.
+  for (const auto& point : result.grid) {
+    EXPECT_GE(point.cv.mean_mae, result.best().cv.mean_mae);
+  }
+}
+
+TEST(GridSearch, TunedSvrPredictsWell) {
+  util::Rng rng(13);
+  const Dataset train = saturating_data(50, rng);
+  const Dataset test = saturating_data(20, rng);
+  util::Rng gs_rng(14);
+  const KernelConfig rbf{KernelType::kRbf, 2, 1.0, 1.0};
+  const TunedSvr tuned = fit_tuned_svr(rbf, train, 5, gs_rng);
+  const double mae =
+      mean_absolute_error(test.targets(), tuned.model->predict_all(test));
+  EXPECT_LT(mae, 0.03);
+  EXPECT_GE(tuned.chosen.penalty, 10.0);
+  EXPECT_LE(tuned.chosen.penalty, 100.0);
+}
+
+}  // namespace
+}  // namespace cmdare::ml

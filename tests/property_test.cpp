@@ -1,0 +1,194 @@
+// Parameterized property tests: invariants that must hold across sweeps of
+// models, GPUs, cluster sizes, and hyperparameters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cloud/calibration.hpp"
+#include "cloud/revocation.hpp"
+#include "ml/crossval.hpp"
+#include "ml/svr.hpp"
+#include "nn/checkpoint_size.hpp"
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "train/session.hpp"
+
+namespace cmdare {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ground-truth step-time invariants across the (model, GPU) grid.
+// ---------------------------------------------------------------------------
+
+class StepTimeProperty
+    : public ::testing::TestWithParam<std::tuple<int, cloud::GpuType>> {};
+
+TEST_P(StepTimeProperty, StepTimePositiveAndNoiseBounded) {
+  const auto [model_index, gpu] = GetParam();
+  const nn::CnnModel model = nn::all_models()[model_index];
+  const double mean_ms = cloud::mean_step_compute_ms(gpu, model);
+  EXPECT_GT(mean_ms, 0.0);
+  EXPECT_LT(mean_ms, 10000.0);
+
+  util::Rng rng(1234 + model_index);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(
+        cloud::sample_step_compute_seconds(gpu, model, 500, rng));
+  }
+  // Post-warmup CoV stays near the Fig. 2 target of <= 0.02.
+  EXPECT_LT(stats::coefficient_of_variation(samples), 0.035);
+  EXPECT_NEAR(stats::mean(samples) * 1000.0, mean_ms, mean_ms * 0.01);
+}
+
+TEST_P(StepTimeProperty, WarmupOnlySlowsDown) {
+  const auto [model_index, gpu] = GetParam();
+  const nn::CnnModel model = nn::all_models()[model_index];
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  const double early =
+      cloud::sample_step_compute_seconds(gpu, model, 0, rng_a);
+  const double late =
+      cloud::sample_step_compute_seconds(gpu, model, 1000, rng_b);
+  EXPECT_GT(early, late);  // identical noise, warmup factor differs
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAllGpus, StepTimeProperty,
+    ::testing::Combine(::testing::Range(0, 20),
+                       ::testing::Values(cloud::GpuType::kK80,
+                                         cloud::GpuType::kP100,
+                                         cloud::GpuType::kV100)));
+
+// ---------------------------------------------------------------------------
+// Cluster scaling invariants (Fig. 4's law): speed grows with workers and
+// never exceeds min(additive speed, PS capacity).
+// ---------------------------------------------------------------------------
+
+class ClusterScalingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterScalingProperty, SpeedBoundedByAdditiveAndPsCapacity) {
+  const int workers = GetParam();
+  const nn::CnnModel model = nn::resnet32();
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = 1500 * workers;
+  train::TrainingSession session(sim, model, config,
+                                 util::Rng(7000 + workers));
+  for (const auto& w : train::worker_mix(0, workers, 0)) {
+    session.add_worker(w);
+  }
+  sim.run();
+  const double speed =
+      session.trace().mean_speed(200, config.max_steps);
+
+  const double single = 1000.0 / cloud::mean_step_compute_ms(
+                                     cloud::GpuType::kP100, model);
+  const double additive = workers * single;
+  const double ps_capacity =
+      1.0 / cloud::ps_update_service_seconds(model, 1);
+  EXPECT_LT(speed, std::min(additive, ps_capacity) * 1.06);
+  EXPECT_GT(speed, std::min(additive, ps_capacity) * 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToEightWorkers, ClusterScalingProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// ---------------------------------------------------------------------------
+// Revocation-model invariants across every measured (region, GPU) pair.
+// ---------------------------------------------------------------------------
+
+class RevocationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RevocationProperty, ProbabilityMatchesTargetAndHazardNonNegative) {
+  const auto& target = cloud::revocation_targets()[GetParam()];
+  const cloud::RevocationModel model;
+  const double p = model.revocation_probability(
+      target.region, target.gpu, cloud::kReferenceLaunchLocalHour);
+  EXPECT_NEAR(p, target.revoked_fraction, 0.01);
+  // Hazard is finite and non-negative over the whole lifetime.
+  for (double age = 0.0; age < 24.0; age += 1.7) {
+    const double h =
+        model.hazard_per_hour(target.region, target.gpu, 9.0, age);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LT(h, 100.0);
+  }
+}
+
+TEST_P(RevocationProperty, ProbabilityMonotoneInHorizon) {
+  const auto& target = cloud::revocation_targets()[GetParam()];
+  const cloud::RevocationModel model;
+  double prev = 0.0;
+  for (double horizon = 4.0; horizon <= 24.0; horizon += 4.0) {
+    const double p = model.revocation_probability(target.region, target.gpu,
+                                                  9.0, horizon);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTableVPairs, RevocationProperty,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// SVR epsilon-tube property across the paper's hyperparameter grid.
+// ---------------------------------------------------------------------------
+
+class SvrGridProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SvrGridProperty, TrainResidualsRespectEpsilonTube) {
+  const auto [penalty, epsilon] = GetParam();
+  util::Rng rng(99);
+  ml::Dataset d({"x"});
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.add({x}, 0.2 + 0.6 * x);
+  }
+  ml::SvrConfig config;
+  config.kernel.type = ml::KernelType::kRbf;
+  config.penalty = penalty;
+  config.epsilon = epsilon;
+  ml::SupportVectorRegression svr(config);
+  svr.fit(d);
+  // On noiseless data with a large penalty, training residuals must stay
+  // within (about) the epsilon tube.
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double residual = std::abs(svr.predict(d.x(i)) - d.y(i));
+    EXPECT_LE(residual, epsilon + 0.02)
+        << "penalty=" << penalty << " epsilon=" << epsilon;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGridCorners, SvrGridProperty,
+    ::testing::Combine(::testing::Values(10.0, 50.0, 100.0),
+                       ::testing::Values(0.01, 0.05, 0.1)));
+
+// ---------------------------------------------------------------------------
+// Checkpoint-size invariants across the whole zoo.
+// ---------------------------------------------------------------------------
+
+class CheckpointSizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointSizeProperty, SizesConsistent) {
+  const nn::CnnModel model = nn::all_models()[GetParam()];
+  const auto sizes = nn::checkpoint_sizes(model);
+  EXPECT_GT(sizes.data_bytes, 4 * model.parameter_count());
+  EXPECT_GT(sizes.index_bytes, 0u);
+  EXPECT_GT(sizes.meta_bytes, sizes.index_bytes);  // graph-def dominates
+  EXPECT_EQ(sizes.total_bytes(),
+            sizes.data_bytes + sizes.index_bytes + sizes.meta_bytes);
+  // Checkpoint duration positive and model-ordering preserved vs a tiny
+  // reference model.
+  const double t = cloud::mean_checkpoint_seconds(sizes.total_bytes());
+  EXPECT_GT(t, cloud::CheckpointTimeModel{}.base_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CheckpointSizeProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace cmdare

@@ -1,0 +1,161 @@
+#include "simcore/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cmdare::simcore {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_after(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_after(1.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());  // already cancelled
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFiringReturnsFalse) {
+  Simulator sim;
+  EventHandle handle = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  EXPECT_EQ(sim.run_until(2.5), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeWithoutEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(100.0), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, RunUntilRejectsPastDeadline) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_THROW(sim.run_until(5.0), std::invalid_argument);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RejectsInvalidSchedules) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(6.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(
+      sim.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+      std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(std::nan(""), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CountsFiredEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 5u);
+}
+
+TEST(Simulator, CancelledEventsDoNotAdvanceClockInRunUntil) {
+  Simulator sim;
+  EventHandle handle = sim.schedule_at(50.0, [] {});
+  handle.cancel();
+  sim.schedule_at(80.0, [] {});
+  EXPECT_EQ(sim.run_until(60.0), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 60.0);
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
+  Simulator sim;
+  sim.schedule_at(3.0, [&] {
+    sim.schedule_after(0.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 3.0); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+}  // namespace
+}  // namespace cmdare::simcore

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/running.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::stats {
+namespace {
+
+const std::vector<double> kSample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Descriptive, MeanKnownValue) { EXPECT_DOUBLE_EQ(mean(kSample), 5.0); }
+
+TEST(Descriptive, VarianceIsSampleVariance) {
+  // Sum of squared deviations = 32, n-1 = 7.
+  EXPECT_NEAR(variance(kSample), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(kSample), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, CoefficientOfVariation) {
+  EXPECT_NEAR(coefficient_of_variation(kSample),
+              std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+}
+
+TEST(Descriptive, MinMaxMedian) {
+  EXPECT_DOUBLE_EQ(min(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(max(kSample), 9.0);
+  EXPECT_DOUBLE_EQ(median(kSample), 4.5);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(Descriptive, QuantileValidatesInput) {
+  EXPECT_THROW(quantile(kSample, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(kSample, 1.1), std::invalid_argument);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Descriptive, EmptyAndShortSamplesThrow) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(variance(one), std::invalid_argument);
+}
+
+TEST(Descriptive, PerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Descriptive, CorrelationValidatesInput) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> flat = {5, 5, 5};
+  EXPECT_THROW(pearson_correlation(xs, flat), std::invalid_argument);
+  const std::vector<double> shorter = {1.0, 2.0};
+  EXPECT_THROW(pearson_correlation(xs, shorter), std::invalid_argument);
+}
+
+TEST(Descriptive, SummarizeMatchesPieces) {
+  const Summary s = summarize(kSample);
+  EXPECT_EQ(s.count, kSample.size());
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.cov(), coefficient_of_variation(kSample), 1e-12);
+}
+
+TEST(Ecdf, EvaluatesStepFunction) {
+  const Ecdf f(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+}
+
+TEST(Ecdf, QuantileMatchesDefinition) {
+  const Ecdf f(std::vector<double>{10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(f.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.26), 20.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.0), 10.0);
+}
+
+TEST(Ecdf, SampleDrawsFromSupport) {
+  const Ecdf f(std::vector<double>{1.0, 5.0, 9.0});
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double v = f.sample(rng);
+    EXPECT_TRUE(v == 1.0 || v == 5.0 || v == 9.0);
+  }
+}
+
+TEST(Ecdf, MeanAndCurve) {
+  const Ecdf f(std::vector<double>{0.0, 10.0});
+  EXPECT_DOUBLE_EQ(f.mean(), 5.0);
+  const auto curve = f.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().x, 10.0);
+  EXPECT_DOUBLE_EQ(curve.back().f, 1.0);
+}
+
+TEST(Ecdf, RejectsEmptySample) {
+  EXPECT_THROW(Ecdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, EdgesAndFractions) {
+  Histogram h(0.0, 24.0, 24);
+  EXPECT_DOUBLE_EQ(h.bin_low(10), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(10), 11.0);
+  h.add(10.5);
+  h.add(10.7);
+  h.add(3.0);
+  EXPECT_NEAR(h.fraction(10), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(Histogram, ValidatesConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), std::out_of_range);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  RunningStats rs;
+  for (double v : kSample) rs.add(v);
+  EXPECT_EQ(rs.count(), kSample.size());
+  EXPECT_NEAR(rs.mean(), mean(kSample), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(kSample), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, ResetClearsState) {
+  RunningStats rs;
+  rs.add(1.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_THROW(rs.mean(), std::logic_error);
+}
+
+TEST(RunningStats, RequiresSamples) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), std::logic_error);
+  rs.add(1.0);
+  EXPECT_THROW(rs.variance(), std::logic_error);
+}
+
+TEST(RunningMeanWindow, SlidesCorrectly) {
+  RunningMeanWindow w(3);
+  w.add(1.0);
+  w.add(2.0);
+  w.add(3.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(7.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(RunningMeanWindow, Validates) {
+  EXPECT_THROW(RunningMeanWindow(0), std::invalid_argument);
+  RunningMeanWindow w(2);
+  EXPECT_THROW(w.mean(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cmdare::stats

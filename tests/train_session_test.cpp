@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "train/replacement.hpp"
+#include "train/session.hpp"
+
+namespace cmdare::train {
+namespace {
+
+WorkerSpec worker(cloud::GpuType gpu, const std::string& label = "w") {
+  WorkerSpec spec;
+  spec.gpu = gpu;
+  spec.label = label;
+  return spec;
+}
+
+TEST(Session, SingleK80WorkerMatchesTableISpeed) {
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.max_steps = 3000;
+  TrainingSession session(sim, nn::resnet32(), config, util::Rng(1));
+  session.add_worker(worker(cloud::GpuType::kK80));
+  sim.run();
+  EXPECT_TRUE(session.finished());
+  // Table I: 4.56 steps/s for ResNet-32 on K80.
+  EXPECT_NEAR(session.trace().mean_speed(100, 3000), 4.56, 0.1);
+}
+
+TEST(Session, WarmupSlowsEarlySteps) {
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.max_steps = 1000;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(2));
+  session.add_worker(worker(cloud::GpuType::kK80));
+  sim.run();
+  const auto speeds = session.trace().speed_per_window(100);
+  ASSERT_GE(speeds.size(), 5u);
+  // First window (steps 0-100) is visibly slower; later windows stable.
+  EXPECT_LT(speeds[0], 0.8 * speeds[4]);
+  const std::vector<double> steady(speeds.begin() + 1, speeds.end());
+  EXPECT_LT(stats::coefficient_of_variation(steady), 0.03);
+}
+
+TEST(Session, CompletionCallbackFiresOnce) {
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.max_steps = 200;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(3));
+  int completions = 0;
+  session.on_complete = [&] { ++completions; };
+  session.add_worker(worker(cloud::GpuType::kV100));
+  session.add_worker(worker(cloud::GpuType::kV100));
+  sim.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_GE(session.global_step(), 200);
+}
+
+TEST(Session, PsBottleneckInflatesWorkerStepTime) {
+  // 8x P100 on ResNet-32 saturate a single PS: per-worker step time
+  // approaches 8x the PS service time (~188 ms), Table III.
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.max_steps = 8000;
+  TrainingSession session(sim, nn::resnet32(), config, util::Rng(4));
+  for (int i = 0; i < 8; ++i) session.add_worker(worker(cloud::GpuType::kP100));
+  sim.run();
+  const auto intervals = session.trace().worker_step_intervals(0, 100);
+  const double mean_ms = stats::mean(intervals) * 1000.0;
+  EXPECT_GT(mean_ms, 175.0);
+  EXPECT_LT(mean_ms, 215.0);
+}
+
+TEST(Session, K80ClusterDoesNotBottleneck) {
+  // Table III: K80 per-worker step time is flat through 8 workers.
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.max_steps = 8000;
+  TrainingSession session(sim, nn::resnet32(), config, util::Rng(5));
+  for (int i = 0; i < 8; ++i) session.add_worker(worker(cloud::GpuType::kK80));
+  sim.run();
+  const double mean_ms =
+      stats::mean(session.trace().worker_step_intervals(0, 100)) * 1000.0;
+  EXPECT_NEAR(mean_ms, 219.3, 6.0);  // single-worker compute time
+}
+
+TEST(Session, HeterogeneousClusterDoesNotSlowExistingWorkers) {
+  // Section III-C third observation.
+  const auto single_worker_ms = [](util::Rng rng) {
+    simcore::Simulator sim;
+    SessionConfig config;
+    config.max_steps = 2500;
+    TrainingSession session(sim, nn::resnet32(), config, rng);
+    session.add_worker(worker(cloud::GpuType::kV100));
+    sim.run();
+    return stats::mean(session.trace().worker_step_intervals(0, 100));
+  };
+  const double baseline = single_worker_ms(util::Rng(6));
+
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.max_steps = 8000;
+  TrainingSession session(sim, nn::resnet32(), config, util::Rng(7));
+  const WorkerId v100 = session.add_worker(worker(cloud::GpuType::kV100));
+  session.add_worker(worker(cloud::GpuType::kK80));
+  session.add_worker(worker(cloud::GpuType::kK80));
+  session.add_worker(worker(cloud::GpuType::kP100));
+  sim.run();
+  const double hetero =
+      stats::mean(session.trace().worker_step_intervals(v100, 100));
+  EXPECT_NEAR(hetero, baseline, baseline * 0.05);
+}
+
+TEST(Session, TwoPsShardsDoubleBottleneckCapacity) {
+  const auto cluster_speed = [](int ps_count) {
+    simcore::Simulator sim;
+    SessionConfig config;
+    config.max_steps = 8000;
+    config.ps_count = ps_count;
+    TrainingSession session(sim, nn::resnet32(), config, util::Rng(8));
+    for (int i = 0; i < 8; ++i) {
+      session.add_worker(worker(cloud::GpuType::kP100));
+    }
+    sim.run();
+    return session.trace().mean_speed(200, 8000);
+  };
+  const double one_ps = cluster_speed(1);
+  const double two_ps = cluster_speed(2);
+  EXPECT_NEAR(one_ps, 42.0, 3.0);  // single-PS capacity for ResNet-32
+  EXPECT_GT(two_ps, 1.6 * one_ps);  // Figure 12's mitigation
+}
+
+TEST(Session, CheckpointOverheadIsSequential) {
+  // Section IV-B: 100 steps with checkpointing take ~T_c longer.
+  const auto time_for_steps = [](long interval) {
+    simcore::Simulator sim;
+    SessionConfig config;
+    config.max_steps = 1000;
+    config.checkpoint_interval_steps = interval;
+    TrainingSession session(sim, nn::resnet32(), config, util::Rng(9));
+    session.add_worker(worker(cloud::GpuType::kK80));
+    sim.run();
+    return session.trace().time_of_step(1000);
+  };
+  const double without = time_for_steps(0);
+  const double with_ckpt = time_for_steps(100);
+  // 10 checkpoints of ~3.84 s each.
+  EXPECT_NEAR(with_ckpt - without, 10 * 3.84, 6.0);
+}
+
+TEST(Session, CheckpointsRecordedAtInterval) {
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.max_steps = 1000;
+  config.checkpoint_interval_steps = 250;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(10));
+  session.add_worker(worker(cloud::GpuType::kV100));
+  sim.run();
+  const auto& checkpoints = session.trace().checkpoints();
+  ASSERT_GE(checkpoints.size(), 3u);
+  EXPECT_GE(checkpoints[0].at_step, 250);
+  EXPECT_LT(checkpoints[0].at_step, 260);
+  for (const auto& c : checkpoints) {
+    EXPECT_GT(c.duration(), 0.0);
+    EXPECT_EQ(c.by_worker, 0u);  // chief checkpoints
+  }
+}
+
+TEST(Session, CheckpointWritesToObjectStore) {
+  simcore::Simulator sim;
+  cloud::ObjectStore store(sim, util::Rng(11));
+  SessionConfig config;
+  config.max_steps = 600;
+  config.checkpoint_interval_steps = 250;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(12), &store);
+  session.add_worker(worker(cloud::GpuType::kV100));
+  sim.run();
+  EXPECT_GE(store.blob_count(), 2u);
+  EXPECT_GT(store.bytes_stored(), 0u);
+}
+
+TEST(Session, RevokedWorkerStopsContributing) {
+  simcore::Simulator sim;
+  SessionConfig config;
+  TrainingSession session(sim, nn::resnet32(), config, util::Rng(13));
+  const WorkerId a = session.add_worker(worker(cloud::GpuType::kK80));
+  const WorkerId b = session.add_worker(worker(cloud::GpuType::kK80));
+  sim.schedule_at(100.0, [&] { session.revoke_worker(a); });
+  sim.run_until(300.0);
+  EXPECT_FALSE(session.worker_active(a));
+  EXPECT_TRUE(session.worker_active(b));
+  EXPECT_EQ(session.active_worker_count(), 1u);
+  const std::size_t steps_a = session.trace().worker_step_count(a);
+  sim.run_until(400.0);
+  EXPECT_EQ(session.trace().worker_step_count(a), steps_a);
+  EXPECT_GT(session.trace().worker_step_count(b), 0u);
+}
+
+TEST(Session, CmDareHandsCheckpointDutyToSurvivor) {
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.checkpoint_interval_steps = 100;
+  config.mode = FaultToleranceMode::kCmDare;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(14));
+  const WorkerId chief = session.add_worker(worker(cloud::GpuType::kK80));
+  const WorkerId other = session.add_worker(worker(cloud::GpuType::kK80));
+  EXPECT_EQ(session.checkpoint_owner(), std::optional<WorkerId>(chief));
+  sim.schedule_at(50.0, [&] { session.revoke_worker(chief); });
+  sim.run_until(200.0);
+  EXPECT_EQ(session.checkpoint_owner(), std::optional<WorkerId>(other));
+  bool saw_handover = false;
+  for (const auto& e : session.trace().events()) {
+    if (e.type == SessionEventType::kChiefHandover) saw_handover = true;
+  }
+  EXPECT_TRUE(saw_handover);
+  // Checkpointing continues after the handover.
+  sim.run_until(400.0);
+  EXPECT_FALSE(session.trace().checkpoints().empty());
+}
+
+TEST(Session, VanillaTfOrphansCheckpointingUntilIpReuse) {
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.checkpoint_interval_steps = 1000;
+  config.mode = FaultToleranceMode::kVanillaTf;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(15));
+  const WorkerId chief = session.add_worker(worker(cloud::GpuType::kK80));
+  session.add_worker(worker(cloud::GpuType::kK80));
+  sim.schedule_at(60.0, [&] { session.revoke_worker(chief); });
+  sim.run_until(100.0);
+  EXPECT_FALSE(session.checkpoint_owner().has_value());
+
+  // A replacement claiming the chief's IP becomes chief and rolls back.
+  const long step_before = session.global_step();
+  WorkerId replacement = 0;
+  sim.schedule_at(120.0, [&] {
+    replacement = session.add_worker(worker(cloud::GpuType::kK80), 0.0,
+                                     /*reuse_chief_ip=*/true);
+  });
+  sim.run_until(121.0);  // just after the rollback
+  EXPECT_EQ(session.checkpoint_owner(), std::optional<WorkerId>(replacement));
+  EXPECT_LT(session.global_step(), step_before);  // rolled back to last ckpt
+  bool saw_rollback = false;
+  for (const auto& e : session.trace().events()) {
+    if (e.type == SessionEventType::kRollback) saw_rollback = true;
+  }
+  EXPECT_TRUE(saw_rollback);
+}
+
+TEST(Session, CmDareIpReuseDoesNotRollBack) {
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.checkpoint_interval_steps = 1000;
+  config.mode = FaultToleranceMode::kCmDare;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(16));
+  const WorkerId chief = session.add_worker(worker(cloud::GpuType::kK80));
+  session.add_worker(worker(cloud::GpuType::kK80));
+  sim.schedule_at(60.0, [&] { session.revoke_worker(chief); });
+  sim.run_until(100.0);
+  const long step_before = session.global_step();
+  sim.schedule_at(101.0, [&] {
+    session.add_worker(worker(cloud::GpuType::kK80), 0.0, true);
+  });
+  sim.run_until(140.0);
+  EXPECT_GE(session.global_step(), step_before);
+}
+
+TEST(Session, FirstActivatedWorkerBecomesChief) {
+  // Regression: workers join after staggered cold-start delays; the chief
+  // must be the first worker to *activate*, not the first added —
+  // otherwise checkpointing never starts.
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.checkpoint_interval_steps = 200;
+  config.max_steps = 1000;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(40));
+  session.add_worker(worker(cloud::GpuType::kK80), /*join_delay=*/120.0);
+  const WorkerId early = session.add_worker(worker(cloud::GpuType::kK80),
+                                            /*join_delay=*/40.0);
+  sim.run();
+  EXPECT_FALSE(session.trace().checkpoints().empty());
+  EXPECT_EQ(session.trace().checkpoints().front().by_worker, early);
+}
+
+TEST(Session, CmDareReassignsChiefWhenAllWorkersDied) {
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.checkpoint_interval_steps = 100;
+  config.mode = FaultToleranceMode::kCmDare;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(41));
+  const WorkerId only = session.add_worker(worker(cloud::GpuType::kK80));
+  sim.schedule_at(5.0, [&] { session.revoke_worker(only); });
+  sim.run_until(10.0);
+  EXPECT_FALSE(session.checkpoint_owner().has_value());
+  const WorkerId replacement =
+      session.add_worker(worker(cloud::GpuType::kK80));
+  sim.run_until(50.0);
+  EXPECT_EQ(session.checkpoint_owner(), std::optional<WorkerId>(replacement));
+}
+
+TEST(Session, DelayedJoinActivatesLater) {
+  simcore::Simulator sim;
+  SessionConfig config;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(17));
+  session.add_worker(worker(cloud::GpuType::kK80));
+  const WorkerId late = session.add_worker(worker(cloud::GpuType::kK80), 50.0);
+  sim.run_until(25.0);
+  EXPECT_FALSE(session.worker_active(late));
+  sim.run_until(60.0);
+  EXPECT_TRUE(session.worker_active(late));
+}
+
+TEST(Session, ValidatesConfiguration) {
+  simcore::Simulator sim;
+  SessionConfig bad;
+  bad.ps_count = 0;
+  EXPECT_THROW(TrainingSession(sim, nn::resnet15(), bad, util::Rng(1)),
+               std::invalid_argument);
+  SessionConfig config;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(1));
+  EXPECT_THROW(session.revoke_worker(5), std::out_of_range);
+  EXPECT_THROW(session.ps_shard(1), std::out_of_range);
+  EXPECT_THROW(session.worker_active(0), std::out_of_range);
+}
+
+TEST(Replacement, SamplesNearCalibrationMeans) {
+  util::Rng rng(18);
+  std::vector<double> warm, cold;
+  for (int i = 0; i < 2000; ++i) {
+    warm.push_back(sample_warm_replacement_seconds(nn::resnet15(), rng));
+    cold.push_back(sample_cold_replacement_seconds(nn::resnet15(), rng));
+  }
+  EXPECT_NEAR(stats::mean(warm), 14.8, 0.5);
+  EXPECT_NEAR(stats::mean(cold), 75.6, 1.5);
+}
+
+}  // namespace
+}  // namespace cmdare::train

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "cloud/calibration.hpp"
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+#include "train/session.hpp"
+#include "train/sync_session.hpp"
+
+namespace cmdare::train {
+namespace {
+
+WorkerSpec worker(cloud::GpuType gpu) {
+  WorkerSpec spec;
+  spec.gpu = gpu;
+  spec.label = cloud::gpu_name(gpu);
+  return spec;
+}
+
+TEST(SyncSession, SingleWorkerStepIsComputePlusService) {
+  simcore::Simulator sim;
+  SyncTrainingSession session(sim, nn::resnet32(), 1, 2000, util::Rng(1));
+  session.add_worker(worker(cloud::GpuType::kK80));
+  session.start();
+  sim.run();
+  EXPECT_TRUE(session.finished());
+  // compute ~219.3 ms + PS service ~23.5 ms => ~4.1 steps/s.
+  const double expected =
+      1.0 / (0.2193 + cloud::ps_update_service_seconds(nn::resnet32(), 1));
+  EXPECT_NEAR(session.steps_per_second(200, 2000), expected,
+              expected * 0.03);
+}
+
+TEST(SyncSession, BarrierGatedBySlowestWorker) {
+  simcore::Simulator sim;
+  SyncTrainingSession session(sim, nn::resnet32(), 1, 1500, util::Rng(2));
+  session.add_worker(worker(cloud::GpuType::kK80));   // ~219 ms
+  session.add_worker(worker(cloud::GpuType::kV100));  // ~64 ms
+  session.start();
+  sim.run();
+  // Round time ~ max(219, 64) + service: the V100 is wasted.
+  const double speed = session.steps_per_second(200, 1500);
+  EXPECT_NEAR(speed, 1.0 / (0.2193 + 0.0235), 0.3);
+  EXPECT_NEAR(session.worker_batches_per_second(200, 1500), 2.0 * speed,
+              1e-9);
+}
+
+TEST(SyncSession, AllWorkersStepInLockstep) {
+  simcore::Simulator sim;
+  SyncTrainingSession session(sim, nn::resnet15(), 1, 500, util::Rng(3));
+  const WorkerId a = session.add_worker(worker(cloud::GpuType::kK80));
+  const WorkerId b = session.add_worker(worker(cloud::GpuType::kV100));
+  session.start();
+  sim.run();
+  // Every worker computed exactly max_steps batches.
+  EXPECT_EQ(session.trace().worker_step_count(a), 500u);
+  EXPECT_EQ(session.trace().worker_step_count(b), 500u);
+}
+
+TEST(SyncSession, RevocationMidRoundReleasesBarrier) {
+  simcore::Simulator sim;
+  SyncTrainingSession session(sim, nn::resnet32(), 1, 2000, util::Rng(4));
+  const WorkerId slow = session.add_worker(worker(cloud::GpuType::kK80));
+  session.add_worker(worker(cloud::GpuType::kV100));
+  session.start();
+  // Revoke the K80 early: the cluster should speed up to V100 pace.
+  sim.schedule_at(30.0, [&] { session.revoke_worker(slow); });
+  sim.run();
+  EXPECT_TRUE(session.finished());
+  EXPECT_EQ(session.active_worker_count(), 1u);
+  const double late_speed = session.steps_per_second(1500, 2000);
+  EXPECT_GT(late_speed, 1.0 / (0.064 + 0.03) * 0.8);  // near V100 pace
+}
+
+TEST(SyncSession, RevokingLastStragglerDoesNotDeadlock) {
+  simcore::Simulator sim;
+  SyncTrainingSession session(sim, nn::resnet32(), 1, 100, util::Rng(5));
+  const WorkerId slow = session.add_worker(worker(cloud::GpuType::kK80));
+  session.add_worker(worker(cloud::GpuType::kV100));
+  session.start();
+  // Mid-round: V100 likely finished its batch, K80 still computing. The
+  // revocation must release the barrier, not hang the session.
+  sim.schedule_at(0.1, [&] { session.revoke_worker(slow); });
+  sim.run();
+  EXPECT_TRUE(session.finished());
+}
+
+TEST(SyncSession, SyncSlowerThanAsyncOnHeterogeneousCluster) {
+  // The Section II design claim, as a testable invariant.
+  simcore::Simulator sync_sim;
+  SyncTrainingSession sync(sync_sim, nn::resnet32(), 1, 1500, util::Rng(6));
+  for (const auto& w : worker_mix(2, 1, 1)) sync.add_worker(w);
+  sync.start();
+  sync_sim.run();
+  const double sync_batches = sync.worker_batches_per_second(200, 1500);
+
+  simcore::Simulator async_sim;
+  SessionConfig config;
+  config.max_steps = 6000;
+  TrainingSession async(async_sim, nn::resnet32(), config, util::Rng(7));
+  for (const auto& w : worker_mix(2, 1, 1)) async.add_worker(w);
+  async_sim.run();
+  const double async_batches = async.trace().mean_speed(200, 6000);
+
+  EXPECT_GT(async_batches, 1.5 * sync_batches);
+}
+
+TEST(SyncSession, ValidatesUsage) {
+  simcore::Simulator sim;
+  EXPECT_THROW(SyncTrainingSession(sim, nn::resnet15(), 0, 10, util::Rng(8)),
+               std::invalid_argument);
+  EXPECT_THROW(SyncTrainingSession(sim, nn::resnet15(), 1, 0, util::Rng(8)),
+               std::invalid_argument);
+  SyncTrainingSession session(sim, nn::resnet15(), 1, 10, util::Rng(8));
+  EXPECT_THROW(session.start(), std::logic_error);  // no workers
+  session.add_worker(worker(cloud::GpuType::kK80));
+  session.start();
+  EXPECT_THROW(session.start(), std::logic_error);  // double start
+  EXPECT_THROW(session.revoke_worker(9), std::out_of_range);
+}
+
+TEST(SyncSession, CompletionCallbackFires) {
+  simcore::Simulator sim;
+  SyncTrainingSession session(sim, nn::resnet15(), 2, 50, util::Rng(9));
+  session.add_worker(worker(cloud::GpuType::kV100));
+  int completions = 0;
+  session.on_complete = [&] { ++completions; };
+  session.start();
+  sim.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(session.global_step(), 50);
+}
+
+}  // namespace
+}  // namespace cmdare::train

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+#include "train/session.hpp"
+#include "train/trace_io.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace cmdare::train {
+namespace {
+
+TrainingTrace sample_trace() {
+  simcore::Simulator sim;
+  SessionConfig config;
+  config.max_steps = 600;
+  config.checkpoint_interval_steps = 200;
+  TrainingSession session(sim, nn::resnet15(), config, util::Rng(1));
+  WorkerSpec spec;
+  spec.gpu = cloud::GpuType::kV100;
+  spec.label = "w0";
+  session.add_worker(spec);
+  session.add_worker(spec);
+  sim.run();
+  return session.trace();
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream iss(text);
+  std::string line;
+  while (std::getline(iss, line)) {
+    rows.push_back(util::csv_parse_line(line));
+  }
+  return rows;
+}
+
+TEST(TraceIo, SpeedCsvHasOneRowPerWindow) {
+  const TrainingTrace trace = sample_trace();
+  std::ostringstream out;
+  write_speed_csv(trace, out, 100);
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 7u);  // header + 6 windows
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"step_end",
+                                               "steps_per_second"}));
+  EXPECT_EQ(rows[1][0], "100");
+  EXPECT_GT(std::stod(rows[1][1]), 0.0);
+}
+
+TEST(TraceIo, WorkerStepsCsvCoversAllWorkers) {
+  const TrainingTrace trace = sample_trace();
+  std::ostringstream out;
+  write_worker_steps_csv(trace, out);
+  const auto rows = parse_csv(out.str());
+  // header + one row per recorded worker step (= 600 global steps).
+  EXPECT_EQ(rows.size(), 601u);
+  // Times are monotone within each worker.
+  double prev[2] = {0.0, 0.0};
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const int w = std::stoi(rows[r][0]);
+    const double t = std::stod(rows[r][2]);
+    ASSERT_TRUE(w == 0 || w == 1);
+    EXPECT_GE(t, prev[w]);
+    prev[w] = t;
+  }
+}
+
+TEST(TraceIo, CheckpointsCsvMatchesTrace) {
+  const TrainingTrace trace = sample_trace();
+  std::ostringstream out;
+  write_checkpoints_csv(trace, out);
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), trace.checkpoints().size() + 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& c = trace.checkpoints()[r - 1];
+    EXPECT_EQ(rows[r][0], std::to_string(c.at_step));
+    EXPECT_NEAR(std::stod(rows[r][4]), c.duration(), 1e-3);
+  }
+}
+
+TEST(TraceIo, EventsCsvQuotesDetails) {
+  TrainingTrace trace;
+  trace.record_event(SessionEvent{SessionEventType::kRollback, 1.5, 2, 100,
+                                  "detail, with comma"});
+  std::ostringstream out;
+  write_events_csv(trace, out);
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "rollback");
+  EXPECT_EQ(rows[1][4], "detail, with comma");
+}
+
+TEST(TraceIo, EventNamesCoverAllTypes) {
+  EXPECT_STREQ(session_event_name(SessionEventType::kWorkerJoined),
+               "worker_joined");
+  EXPECT_STREQ(session_event_name(SessionEventType::kWorkerRevoked),
+               "worker_revoked");
+  EXPECT_STREQ(session_event_name(SessionEventType::kChiefHandover),
+               "chief_handover");
+  EXPECT_STREQ(session_event_name(SessionEventType::kRollback), "rollback");
+  EXPECT_STREQ(session_event_name(SessionEventType::kSessionRestart),
+               "session_restart");
+}
+
+TEST(TraceIo, WorkerStepTimesAccessorValidates) {
+  const TrainingTrace trace = sample_trace();
+  EXPECT_EQ(trace.worker_step_times(0).size(),
+            trace.worker_step_count(0));
+  EXPECT_THROW(trace.worker_step_times(9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cmdare::train

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace cmdare::util {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a"), "a");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("resnet-32", "resnet"));
+  EXPECT_FALSE(starts_with("res", "resnet"));
+  EXPECT_TRUE(ends_with("model.ckpt", ".ckpt"));
+  EXPECT_FALSE(ends_with("ckpt", "model.ckpt"));
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5 MB");
+}
+
+TEST(Strings, FormatDuration) {
+  EXPECT_EQ(format_duration(12.34), "12.3 s");
+  EXPECT_EQ(format_duration(75), "1m 15s");
+  EXPECT_EQ(format_duration(3723), "1h 02m 03s");
+}
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+}
+
+TEST(Csv, EscapeQuotesAndCommas) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WriterRoundTrip) {
+  std::ostringstream oss;
+  CsvWriter writer(oss);
+  writer.write_row({"model", "gpu", "note"});
+  writer.write_row({"resnet-32", "K80", "has,comma"});
+  EXPECT_EQ(writer.rows_written(), 2u);
+
+  std::istringstream iss(oss.str());
+  std::string line;
+  std::getline(iss, line);
+  EXPECT_EQ(csv_parse_line(line),
+            (std::vector<std::string>{"model", "gpu", "note"}));
+  std::getline(iss, line);
+  EXPECT_EQ(csv_parse_line(line),
+            (std::vector<std::string>{"resnet-32", "K80", "has,comma"}));
+}
+
+TEST(Csv, NumericRowPrecision) {
+  std::ostringstream oss;
+  CsvWriter writer(oss);
+  writer.write_numeric_row({1.23456, 2.0}, 2);
+  EXPECT_EQ(oss.str(), "1.23,2.00\n");
+}
+
+TEST(Csv, ParseHandlesQuotedNewlineFreeFields) {
+  const auto fields = csv_parse_line("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"GPU", "speed"});
+  t.add_row({"K80", "9.46"});
+  t.add_row({"P100", "21.16"});
+  const std::string rendered = t.to_string();
+  EXPECT_NE(rendered.find("| GPU "), std::string::npos);
+  EXPECT_NE(rendered.find("9.46"), std::string::npos);
+  EXPECT_NE(rendered.find("P100"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, SetAlignmentValidatesColumn) {
+  Table t({"a"});
+  EXPECT_THROW(t.set_alignment(5, Align::kLeft), std::out_of_range);
+}
+
+TEST(Table, FormatMeanSd) {
+  EXPECT_EQ(format_mean_sd(9.456, 0.19, 2), "9.46 ± 0.19");
+}
+
+TEST(Logging, RespectsLevel) {
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel, const std::string& m) { captured.push_back(m); });
+  set_log_level(LogLevel::kWarn);
+  LOG_INFO << "hidden";
+  LOG_WARN << "visible " << 42;
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::kWarn);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "visible 42");
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace cmdare::util
