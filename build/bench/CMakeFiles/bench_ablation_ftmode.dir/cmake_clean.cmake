@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ftmode.dir/bench_ablation_ftmode.cpp.o"
+  "CMakeFiles/bench_ablation_ftmode.dir/bench_ablation_ftmode.cpp.o.d"
+  "bench_ablation_ftmode"
+  "bench_ablation_ftmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ftmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usecase_eq4.dir/bench_usecase_eq4.cpp.o"
+  "CMakeFiles/bench_usecase_eq4.dir/bench_usecase_eq4.cpp.o.d"
+  "bench_usecase_eq4"
+  "bench_usecase_eq4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usecase_eq4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

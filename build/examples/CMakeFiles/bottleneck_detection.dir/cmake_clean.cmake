@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_detection.dir/bottleneck_detection.cpp.o"
+  "CMakeFiles/bottleneck_detection.dir/bottleneck_detection.cpp.o.d"
+  "bottleneck_detection"
+  "bottleneck_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_prediction.dir/hetero_prediction.cpp.o"
+  "CMakeFiles/hetero_prediction.dir/hetero_prediction.cpp.o.d"
+  "hetero_prediction"
+  "hetero_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

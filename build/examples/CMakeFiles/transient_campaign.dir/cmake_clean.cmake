@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_campaign.dir/transient_campaign.cpp.o"
+  "CMakeFiles/transient_campaign.dir/transient_campaign.cpp.o.d"
+  "transient_campaign"
+  "transient_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/calibration.cpp" "src/cloud/CMakeFiles/cmdare_cloud.dir/calibration.cpp.o" "gcc" "src/cloud/CMakeFiles/cmdare_cloud.dir/calibration.cpp.o.d"
+  "/root/repo/src/cloud/gpu.cpp" "src/cloud/CMakeFiles/cmdare_cloud.dir/gpu.cpp.o" "gcc" "src/cloud/CMakeFiles/cmdare_cloud.dir/gpu.cpp.o.d"
+  "/root/repo/src/cloud/network.cpp" "src/cloud/CMakeFiles/cmdare_cloud.dir/network.cpp.o" "gcc" "src/cloud/CMakeFiles/cmdare_cloud.dir/network.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/cloud/CMakeFiles/cmdare_cloud.dir/provider.cpp.o" "gcc" "src/cloud/CMakeFiles/cmdare_cloud.dir/provider.cpp.o.d"
+  "/root/repo/src/cloud/region.cpp" "src/cloud/CMakeFiles/cmdare_cloud.dir/region.cpp.o" "gcc" "src/cloud/CMakeFiles/cmdare_cloud.dir/region.cpp.o.d"
+  "/root/repo/src/cloud/revocation.cpp" "src/cloud/CMakeFiles/cmdare_cloud.dir/revocation.cpp.o" "gcc" "src/cloud/CMakeFiles/cmdare_cloud.dir/revocation.cpp.o.d"
+  "/root/repo/src/cloud/startup.cpp" "src/cloud/CMakeFiles/cmdare_cloud.dir/startup.cpp.o" "gcc" "src/cloud/CMakeFiles/cmdare_cloud.dir/startup.cpp.o.d"
+  "/root/repo/src/cloud/storage.cpp" "src/cloud/CMakeFiles/cmdare_cloud.dir/storage.cpp.o" "gcc" "src/cloud/CMakeFiles/cmdare_cloud.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cmdare_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cmdare_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cmdare_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmdare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_cloud.dir/calibration.cpp.o"
+  "CMakeFiles/cmdare_cloud.dir/calibration.cpp.o.d"
+  "CMakeFiles/cmdare_cloud.dir/gpu.cpp.o"
+  "CMakeFiles/cmdare_cloud.dir/gpu.cpp.o.d"
+  "CMakeFiles/cmdare_cloud.dir/network.cpp.o"
+  "CMakeFiles/cmdare_cloud.dir/network.cpp.o.d"
+  "CMakeFiles/cmdare_cloud.dir/provider.cpp.o"
+  "CMakeFiles/cmdare_cloud.dir/provider.cpp.o.d"
+  "CMakeFiles/cmdare_cloud.dir/region.cpp.o"
+  "CMakeFiles/cmdare_cloud.dir/region.cpp.o.d"
+  "CMakeFiles/cmdare_cloud.dir/revocation.cpp.o"
+  "CMakeFiles/cmdare_cloud.dir/revocation.cpp.o.d"
+  "CMakeFiles/cmdare_cloud.dir/startup.cpp.o"
+  "CMakeFiles/cmdare_cloud.dir/startup.cpp.o.d"
+  "CMakeFiles/cmdare_cloud.dir/storage.cpp.o"
+  "CMakeFiles/cmdare_cloud.dir/storage.cpp.o.d"
+  "libcmdare_cloud.a"
+  "libcmdare_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cmdare/bottleneck.cpp" "src/cmdare/CMakeFiles/cmdare_core.dir/bottleneck.cpp.o" "gcc" "src/cmdare/CMakeFiles/cmdare_core.dir/bottleneck.cpp.o.d"
+  "/root/repo/src/cmdare/checkpoint_modeling.cpp" "src/cmdare/CMakeFiles/cmdare_core.dir/checkpoint_modeling.cpp.o" "gcc" "src/cmdare/CMakeFiles/cmdare_core.dir/checkpoint_modeling.cpp.o.d"
+  "/root/repo/src/cmdare/controller.cpp" "src/cmdare/CMakeFiles/cmdare_core.dir/controller.cpp.o" "gcc" "src/cmdare/CMakeFiles/cmdare_core.dir/controller.cpp.o.d"
+  "/root/repo/src/cmdare/hetero.cpp" "src/cmdare/CMakeFiles/cmdare_core.dir/hetero.cpp.o" "gcc" "src/cmdare/CMakeFiles/cmdare_core.dir/hetero.cpp.o.d"
+  "/root/repo/src/cmdare/measurement.cpp" "src/cmdare/CMakeFiles/cmdare_core.dir/measurement.cpp.o" "gcc" "src/cmdare/CMakeFiles/cmdare_core.dir/measurement.cpp.o.d"
+  "/root/repo/src/cmdare/planner.cpp" "src/cmdare/CMakeFiles/cmdare_core.dir/planner.cpp.o" "gcc" "src/cmdare/CMakeFiles/cmdare_core.dir/planner.cpp.o.d"
+  "/root/repo/src/cmdare/profiler.cpp" "src/cmdare/CMakeFiles/cmdare_core.dir/profiler.cpp.o" "gcc" "src/cmdare/CMakeFiles/cmdare_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/cmdare/resource_manager.cpp" "src/cmdare/CMakeFiles/cmdare_core.dir/resource_manager.cpp.o" "gcc" "src/cmdare/CMakeFiles/cmdare_core.dir/resource_manager.cpp.o.d"
+  "/root/repo/src/cmdare/speed_modeling.cpp" "src/cmdare/CMakeFiles/cmdare_core.dir/speed_modeling.cpp.o" "gcc" "src/cmdare/CMakeFiles/cmdare_core.dir/speed_modeling.cpp.o.d"
+  "/root/repo/src/cmdare/straggler.cpp" "src/cmdare/CMakeFiles/cmdare_core.dir/straggler.cpp.o" "gcc" "src/cmdare/CMakeFiles/cmdare_core.dir/straggler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/cmdare_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cmdare_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cmdare_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cmdare_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cmdare_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cmdare_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmdare_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cmdare_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_core.dir/bottleneck.cpp.o"
+  "CMakeFiles/cmdare_core.dir/bottleneck.cpp.o.d"
+  "CMakeFiles/cmdare_core.dir/checkpoint_modeling.cpp.o"
+  "CMakeFiles/cmdare_core.dir/checkpoint_modeling.cpp.o.d"
+  "CMakeFiles/cmdare_core.dir/controller.cpp.o"
+  "CMakeFiles/cmdare_core.dir/controller.cpp.o.d"
+  "CMakeFiles/cmdare_core.dir/hetero.cpp.o"
+  "CMakeFiles/cmdare_core.dir/hetero.cpp.o.d"
+  "CMakeFiles/cmdare_core.dir/measurement.cpp.o"
+  "CMakeFiles/cmdare_core.dir/measurement.cpp.o.d"
+  "CMakeFiles/cmdare_core.dir/planner.cpp.o"
+  "CMakeFiles/cmdare_core.dir/planner.cpp.o.d"
+  "CMakeFiles/cmdare_core.dir/profiler.cpp.o"
+  "CMakeFiles/cmdare_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/cmdare_core.dir/resource_manager.cpp.o"
+  "CMakeFiles/cmdare_core.dir/resource_manager.cpp.o.d"
+  "CMakeFiles/cmdare_core.dir/speed_modeling.cpp.o"
+  "CMakeFiles/cmdare_core.dir/speed_modeling.cpp.o.d"
+  "CMakeFiles/cmdare_core.dir/straggler.cpp.o"
+  "CMakeFiles/cmdare_core.dir/straggler.cpp.o.d"
+  "libcmdare_core.a"
+  "libcmdare_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

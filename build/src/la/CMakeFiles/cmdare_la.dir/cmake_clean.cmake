@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_la.dir/eigen.cpp.o"
+  "CMakeFiles/cmdare_la.dir/eigen.cpp.o.d"
+  "CMakeFiles/cmdare_la.dir/matrix.cpp.o"
+  "CMakeFiles/cmdare_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/cmdare_la.dir/solve.cpp.o"
+  "CMakeFiles/cmdare_la.dir/solve.cpp.o.d"
+  "libcmdare_la.a"
+  "libcmdare_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/crossval.cpp" "src/ml/CMakeFiles/cmdare_ml.dir/crossval.cpp.o" "gcc" "src/ml/CMakeFiles/cmdare_ml.dir/crossval.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/cmdare_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/cmdare_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/kernel.cpp" "src/ml/CMakeFiles/cmdare_ml.dir/kernel.cpp.o" "gcc" "src/ml/CMakeFiles/cmdare_ml.dir/kernel.cpp.o.d"
+  "/root/repo/src/ml/linreg.cpp" "src/ml/CMakeFiles/cmdare_ml.dir/linreg.cpp.o" "gcc" "src/ml/CMakeFiles/cmdare_ml.dir/linreg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/cmdare_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/cmdare_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/cmdare_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/cmdare_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/cmdare_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/cmdare_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/ml/CMakeFiles/cmdare_ml.dir/svr.cpp.o" "gcc" "src/ml/CMakeFiles/cmdare_ml.dir/svr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/cmdare_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cmdare_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmdare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_ml.dir/crossval.cpp.o"
+  "CMakeFiles/cmdare_ml.dir/crossval.cpp.o.d"
+  "CMakeFiles/cmdare_ml.dir/dataset.cpp.o"
+  "CMakeFiles/cmdare_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/cmdare_ml.dir/kernel.cpp.o"
+  "CMakeFiles/cmdare_ml.dir/kernel.cpp.o.d"
+  "CMakeFiles/cmdare_ml.dir/linreg.cpp.o"
+  "CMakeFiles/cmdare_ml.dir/linreg.cpp.o.d"
+  "CMakeFiles/cmdare_ml.dir/metrics.cpp.o"
+  "CMakeFiles/cmdare_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/cmdare_ml.dir/pca.cpp.o"
+  "CMakeFiles/cmdare_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/cmdare_ml.dir/scaler.cpp.o"
+  "CMakeFiles/cmdare_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/cmdare_ml.dir/svr.cpp.o"
+  "CMakeFiles/cmdare_ml.dir/svr.cpp.o.d"
+  "libcmdare_ml.a"
+  "libcmdare_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

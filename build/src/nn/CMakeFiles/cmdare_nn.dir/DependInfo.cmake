@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint_size.cpp" "src/nn/CMakeFiles/cmdare_nn.dir/checkpoint_size.cpp.o" "gcc" "src/nn/CMakeFiles/cmdare_nn.dir/checkpoint_size.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/cmdare_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/cmdare_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/cmdare_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/cmdare_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/cmdare_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/cmdare_nn.dir/model_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cmdare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_nn.dir/checkpoint_size.cpp.o"
+  "CMakeFiles/cmdare_nn.dir/checkpoint_size.cpp.o.d"
+  "CMakeFiles/cmdare_nn.dir/layer.cpp.o"
+  "CMakeFiles/cmdare_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/cmdare_nn.dir/model.cpp.o"
+  "CMakeFiles/cmdare_nn.dir/model.cpp.o.d"
+  "CMakeFiles/cmdare_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/cmdare_nn.dir/model_zoo.cpp.o.d"
+  "libcmdare_nn.a"
+  "libcmdare_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_simcore.dir/simulator.cpp.o"
+  "CMakeFiles/cmdare_simcore.dir/simulator.cpp.o.d"
+  "libcmdare_simcore.a"
+  "libcmdare_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

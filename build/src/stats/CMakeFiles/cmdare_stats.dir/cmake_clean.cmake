@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/cmdare_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/cmdare_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/cmdare_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/cmdare_stats.dir/histogram.cpp.o"
+  "CMakeFiles/cmdare_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/cmdare_stats.dir/running.cpp.o"
+  "CMakeFiles/cmdare_stats.dir/running.cpp.o.d"
+  "libcmdare_stats.a"
+  "libcmdare_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmdare_stats.a"
+)

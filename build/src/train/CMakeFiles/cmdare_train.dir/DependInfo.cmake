@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/cluster.cpp" "src/train/CMakeFiles/cmdare_train.dir/cluster.cpp.o" "gcc" "src/train/CMakeFiles/cmdare_train.dir/cluster.cpp.o.d"
+  "/root/repo/src/train/ps.cpp" "src/train/CMakeFiles/cmdare_train.dir/ps.cpp.o" "gcc" "src/train/CMakeFiles/cmdare_train.dir/ps.cpp.o.d"
+  "/root/repo/src/train/replacement.cpp" "src/train/CMakeFiles/cmdare_train.dir/replacement.cpp.o" "gcc" "src/train/CMakeFiles/cmdare_train.dir/replacement.cpp.o.d"
+  "/root/repo/src/train/session.cpp" "src/train/CMakeFiles/cmdare_train.dir/session.cpp.o" "gcc" "src/train/CMakeFiles/cmdare_train.dir/session.cpp.o.d"
+  "/root/repo/src/train/sync_session.cpp" "src/train/CMakeFiles/cmdare_train.dir/sync_session.cpp.o" "gcc" "src/train/CMakeFiles/cmdare_train.dir/sync_session.cpp.o.d"
+  "/root/repo/src/train/trace.cpp" "src/train/CMakeFiles/cmdare_train.dir/trace.cpp.o" "gcc" "src/train/CMakeFiles/cmdare_train.dir/trace.cpp.o.d"
+  "/root/repo/src/train/trace_io.cpp" "src/train/CMakeFiles/cmdare_train.dir/trace_io.cpp.o" "gcc" "src/train/CMakeFiles/cmdare_train.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/cmdare_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cmdare_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cmdare_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cmdare_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmdare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

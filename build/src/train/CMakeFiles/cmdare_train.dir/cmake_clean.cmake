@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_train.dir/cluster.cpp.o"
+  "CMakeFiles/cmdare_train.dir/cluster.cpp.o.d"
+  "CMakeFiles/cmdare_train.dir/ps.cpp.o"
+  "CMakeFiles/cmdare_train.dir/ps.cpp.o.d"
+  "CMakeFiles/cmdare_train.dir/replacement.cpp.o"
+  "CMakeFiles/cmdare_train.dir/replacement.cpp.o.d"
+  "CMakeFiles/cmdare_train.dir/session.cpp.o"
+  "CMakeFiles/cmdare_train.dir/session.cpp.o.d"
+  "CMakeFiles/cmdare_train.dir/sync_session.cpp.o"
+  "CMakeFiles/cmdare_train.dir/sync_session.cpp.o.d"
+  "CMakeFiles/cmdare_train.dir/trace.cpp.o"
+  "CMakeFiles/cmdare_train.dir/trace.cpp.o.d"
+  "CMakeFiles/cmdare_train.dir/trace_io.cpp.o"
+  "CMakeFiles/cmdare_train.dir/trace_io.cpp.o.d"
+  "libcmdare_train.a"
+  "libcmdare_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

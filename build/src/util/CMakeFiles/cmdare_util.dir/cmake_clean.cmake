@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_util.dir/csv.cpp.o"
+  "CMakeFiles/cmdare_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cmdare_util.dir/logging.cpp.o"
+  "CMakeFiles/cmdare_util.dir/logging.cpp.o.d"
+  "CMakeFiles/cmdare_util.dir/rng.cpp.o"
+  "CMakeFiles/cmdare_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cmdare_util.dir/strings.cpp.o"
+  "CMakeFiles/cmdare_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cmdare_util.dir/table.cpp.o"
+  "CMakeFiles/cmdare_util.dir/table.cpp.o.d"
+  "libcmdare_util.a"
+  "libcmdare_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_network_test.dir/cloud_network_test.cpp.o"
+  "CMakeFiles/cloud_network_test.dir/cloud_network_test.cpp.o.d"
+  "cloud_network_test"
+  "cloud_network_test.pdb"
+  "cloud_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_provider_test.dir/cloud_provider_test.cpp.o"
+  "CMakeFiles/cloud_provider_test.dir/cloud_provider_test.cpp.o.d"
+  "cloud_provider_test"
+  "cloud_provider_test.pdb"
+  "cloud_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

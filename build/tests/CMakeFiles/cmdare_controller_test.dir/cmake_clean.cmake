@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_controller_test.dir/cmdare_controller_test.cpp.o"
+  "CMakeFiles/cmdare_controller_test.dir/cmdare_controller_test.cpp.o.d"
+  "cmdare_controller_test"
+  "cmdare_controller_test.pdb"
+  "cmdare_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

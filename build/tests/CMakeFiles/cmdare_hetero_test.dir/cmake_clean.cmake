@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_hetero_test.dir/cmdare_hetero_test.cpp.o"
+  "CMakeFiles/cmdare_hetero_test.dir/cmdare_hetero_test.cpp.o.d"
+  "cmdare_hetero_test"
+  "cmdare_hetero_test.pdb"
+  "cmdare_hetero_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_hetero_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

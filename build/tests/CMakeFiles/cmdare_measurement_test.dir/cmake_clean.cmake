@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_measurement_test.dir/cmdare_measurement_test.cpp.o"
+  "CMakeFiles/cmdare_measurement_test.dir/cmdare_measurement_test.cpp.o.d"
+  "cmdare_measurement_test"
+  "cmdare_measurement_test.pdb"
+  "cmdare_measurement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_measurement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

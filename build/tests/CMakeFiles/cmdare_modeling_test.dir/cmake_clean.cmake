@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_modeling_test.dir/cmdare_modeling_test.cpp.o"
+  "CMakeFiles/cmdare_modeling_test.dir/cmdare_modeling_test.cpp.o.d"
+  "cmdare_modeling_test"
+  "cmdare_modeling_test.pdb"
+  "cmdare_modeling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_modeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_planner_test.dir/cmdare_planner_test.cpp.o"
+  "CMakeFiles/cmdare_planner_test.dir/cmdare_planner_test.cpp.o.d"
+  "cmdare_planner_test"
+  "cmdare_planner_test.pdb"
+  "cmdare_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_run_test.dir/cmdare_run_test.cpp.o"
+  "CMakeFiles/cmdare_run_test.dir/cmdare_run_test.cpp.o.d"
+  "cmdare_run_test"
+  "cmdare_run_test.pdb"
+  "cmdare_run_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmdare_straggler_test.dir/cmdare_straggler_test.cpp.o"
+  "CMakeFiles/cmdare_straggler_test.dir/cmdare_straggler_test.cpp.o.d"
+  "cmdare_straggler_test"
+  "cmdare_straggler_test.pdb"
+  "cmdare_straggler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmdare_straggler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cmdare/CMakeFiles/cmdare_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/cmdare_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cmdare_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cmdare_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cmdare_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cmdare_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cmdare_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cmdare_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmdare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_session_test.dir/train_session_test.cpp.o"
+  "CMakeFiles/train_session_test.dir/train_session_test.cpp.o.d"
+  "train_session_test"
+  "train_session_test.pdb"
+  "train_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

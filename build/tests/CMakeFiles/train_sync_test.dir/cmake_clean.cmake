@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_sync_test.dir/train_sync_test.cpp.o"
+  "CMakeFiles/train_sync_test.dir/train_sync_test.cpp.o.d"
+  "train_sync_test"
+  "train_sync_test.pdb"
+  "train_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

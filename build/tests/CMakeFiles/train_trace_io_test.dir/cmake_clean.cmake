@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_trace_io_test.dir/train_trace_io_test.cpp.o"
+  "CMakeFiles/train_trace_io_test.dir/train_trace_io_test.cpp.o.d"
+  "train_trace_io_test"
+  "train_trace_io_test.pdb"
+  "train_trace_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
