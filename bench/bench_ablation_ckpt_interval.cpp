@@ -46,8 +46,8 @@ double simulate_interval(long interval, double revoke_every_s,
   // Long intervals can livelock under churn (see bench_ablation_ftmode);
   // bound the simulation and report the bound.
   sim.run_until(6.0 * 3600.0);
-  return session.finished() ? session.trace().time_of_step(40000)
-                            : -1.0;  // did not finish
+  return session.trace().try_time_of_step(40000).value_or(
+      -1.0);  // -1: did not finish
 }
 
 }  // namespace

@@ -57,7 +57,7 @@ Outcome run_mode(train::FaultToleranceMode mode, double revoke_every_s,
   Outcome outcome;
   outcome.finished = session.finished();
   outcome.seconds =
-      outcome.finished ? session.trace().time_of_step(40000) : sim.now();
+      session.trace().try_time_of_step(40000).value_or(sim.now());
   for (const auto& e : session.trace().events()) {
     if (e.type == train::SessionEventType::kRollback) ++outcome.rollbacks;
   }

@@ -1,0 +1,165 @@
+// Microbenchmarks (google-benchmark) for the telemetry layer.
+//
+// The headline number is the *disabled* path: every probe in train/cloud/
+// cmdare compiles to a pointer load plus branch when no telemetry is
+// installed, so BM_SimulatorScheduleFireDisabledProbes must match
+// bench_micro_sim's BM_SimulatorScheduleFire within run-to-run noise, and
+// BM_SessionDisabledTelemetry must match BM_TrainingSessionSteps. The
+// enabled variants quantify what a trace-everything run costs on top.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "nn/model_zoo.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "obs/sim_profiler.hpp"
+#include "simcore/simulator.hpp"
+#include "train/session.hpp"
+
+namespace {
+
+using namespace cmdare;
+
+// Mirror of bench_micro_sim's BM_SimulatorScheduleFire: telemetry not
+// installed, no observer. Any gap between the two is probe overhead.
+void BM_SimulatorScheduleFireDisabledProbes(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [&sink] { ++sink; },
+                      "bench.tick");
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorScheduleFireDisabledProbes)->Arg(1000)->Arg(100000);
+
+// Same event load with the SimProfiler attached: adds two virtual calls
+// plus a steady_clock read per event.
+void BM_SimulatorScheduleFireProfiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    obs::SimProfiler profiler;
+    sim.set_observer(&profiler);
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [&sink] { ++sink; },
+                      "bench.tick");
+    }
+    sim.run();
+    benchmark::DoNotOptimize(profiler.total_fired());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorScheduleFireProfiled)->Arg(1000)->Arg(100000);
+
+// A real training session with telemetry off — must track
+// bench_micro_sim's BM_TrainingSessionSteps.
+void BM_SessionDisabledTelemetry(benchmark::State& state) {
+  const nn::CnnModel model = nn::resnet32();
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    train::SessionConfig config;
+    config.max_steps = 2000;
+    train::TrainingSession session(sim, model, config, util::Rng(1));
+    for (const auto& w : train::worker_mix(4, 0, 0)) session.add_worker(w);
+    sim.run();
+    benchmark::DoNotOptimize(session.global_step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_SessionDisabledTelemetry);
+
+// The same session recording every span, metric, and counter sample.
+void BM_SessionEnabledTelemetry(benchmark::State& state) {
+  const nn::CnnModel model = nn::resnet32();
+  for (auto _ : state) {
+    obs::ScopedTelemetry telemetry;
+    simcore::Simulator sim;
+    train::SessionConfig config;
+    config.max_steps = 2000;
+    train::TrainingSession session(sim, model, config, util::Rng(1));
+    for (const auto& w : train::worker_mix(4, 0, 0)) session.add_worker(w);
+    sim.run();
+    benchmark::DoNotOptimize(telemetry->tracer.record_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_SessionEnabledTelemetry);
+
+// Registry primitives: the per-update cost instrumented code pays.
+void BM_RegistryCounterInc(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("bench.counter");
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryCounterInc);
+
+// Lookup-per-update (the lazy pattern used in cold paths).
+void BM_RegistryLabeledLookupInc(benchmark::State& state) {
+  obs::Registry registry;
+  for (auto _ : state) {
+    registry.counter("bench.counter", {{"shard", "3"}}).inc();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryLabeledLookupInc);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram histogram;
+  double v = 1e-3;
+  for (auto _ : state) {
+    histogram.observe(v);
+    v = v < 1000.0 ? v * 1.1 : 1e-3;
+  }
+  benchmark::DoNotOptimize(histogram.sum());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TracerCompleteSpan(benchmark::State& state) {
+  obs::Tracer tracer;
+  const auto track = tracer.track("bench");
+  double t = 0.0;
+  for (auto _ : state) {
+    tracer.complete(track, "bench.span", "bench", t, t + 0.5);
+    t += 1.0;
+    if (tracer.spans().size() >= 1u << 20) tracer.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerCompleteSpan);
+
+// Export cost for a mid-size trace (what the observability example pays
+// once at the end of a run).
+void BM_ChromeTraceExport(benchmark::State& state) {
+  obs::Tracer tracer;
+  const auto track = tracer.track("bench");
+  for (int i = 0; i < 10000; ++i) {
+    tracer.complete(track, "bench.span", "bench", i, i + 0.5,
+                    {{"step", std::to_string(i)}});
+  }
+  for (auto _ : state) {
+    std::ostringstream out;
+    obs::write_chrome_trace(tracer, out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_ChromeTraceExport);
+
+}  // namespace

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace cmdare::cloud {
@@ -65,24 +66,51 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
   pending_events_.emplace_back();
   pending_notices_.emplace_back();
 
+  if (obs::Registry* registry = obs::registry()) {
+    registry
+        ->counter("cloud.instances_total", {{"gpu", gpu_name(request.gpu)},
+                                            {"region",
+                                             region_name(request.region)}})
+        .inc();
+  }
+
   // Lifecycle: PROVISIONING -> STAGING -> RUNNING.
   const StartupBreakdown& startup = records_[id].startup;
-  sim_->schedule_after(startup.provisioning_s, [this, id] {
-    InstanceRecord& r = mutable_record(id);
-    if (!r.alive()) return;  // terminated while provisioning
-    r.state = InstanceState::kStaging;
-  });
-  sim_->schedule_after(startup.provisioning_s + startup.staging_s,
-                       [this, id] {
-    InstanceRecord& r = mutable_record(id);
-    if (!r.alive()) return;
-    r.state = InstanceState::kRunning;
-  });
+  sim_->schedule_after(
+      startup.provisioning_s,
+      [this, id] {
+        InstanceRecord& r = mutable_record(id);
+        if (!r.alive()) return;  // terminated while provisioning
+        r.state = InstanceState::kStaging;
+      },
+      "provider.lifecycle");
+  sim_->schedule_after(
+      startup.provisioning_s + startup.staging_s,
+      [this, id] {
+        InstanceRecord& r = mutable_record(id);
+        if (!r.alive()) return;
+        r.state = InstanceState::kRunning;
+      },
+      "provider.lifecycle");
   sim_->schedule_after(startup.total(), [this, id] {
     InstanceRecord& r = mutable_record(id);
     if (!r.alive()) return;
     r.running_at = sim_->now();
     r.running_local_hour = local_hour_now(r.request.region);
+
+    if (obs::Tracer* tracer = obs::tracer()) {
+      tracer->complete(
+          tracer->track("cloud"), "provider.startup", "cloud", r.requested_at,
+          sim_->now(),
+          {{"instance", std::to_string(id)},
+           {"gpu", gpu_name(r.request.gpu)},
+           {"region", region_name(r.request.region)},
+           {"transient", r.request.transient ? "true" : "false"}},
+          /*async=*/true);
+    }
+    if (obs::Registry* registry = obs::registry()) {
+      registry->histogram("cloud.startup_seconds").observe(r.startup.total());
+    }
 
     if (r.request.transient) {
       // Sample the revocation age from the hazard model; the 24h cap is
@@ -96,23 +124,33 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
 
       if (end_age > kPreemptionNoticeSeconds) {
         pending_notices_[id] = sim_->schedule_after(
-            end_age - kPreemptionNoticeSeconds, [this, id] {
+            end_age - kPreemptionNoticeSeconds,
+            [this, id] {
               if (!records_[id].alive()) return;
+              if (obs::Tracer* tracer = obs::tracer()) {
+                tracer->instant(tracer->track("cloud"),
+                                "provider.preemption_notice", "cloud",
+                                sim_->now(),
+                                {{"instance", std::to_string(id)}});
+              }
               if (callbacks_[id].on_preemption_notice) {
                 callbacks_[id].on_preemption_notice(id);
               }
-            });
+            },
+            "provider.lifecycle");
       }
-      pending_events_[id] =
-          sim_->schedule_after(end_age, [this, id, terminal] {
+      pending_events_[id] = sim_->schedule_after(
+          end_age,
+          [this, id, terminal] {
             if (!records_[id].alive()) return;
             finish(id, terminal);
             if (callbacks_[id].on_revoked) callbacks_[id].on_revoked(id);
-          });
+          },
+          "provider.lifecycle");
     }
 
     if (callbacks_[id].on_running) callbacks_[id].on_running(id);
-  });
+  }, "provider.lifecycle");
 
   return id;
 }
@@ -129,6 +167,27 @@ void CloudProvider::finish(InstanceId id, InstanceState terminal) {
   InstanceRecord& r = mutable_record(id);
   r.state = terminal;
   r.ended_at = sim_->now();
+  if (terminal == InstanceState::kRevoked ||
+      terminal == InstanceState::kExpired) {
+    if (obs::Tracer* tracer = obs::tracer()) {
+      tracer->instant(tracer->track("cloud"),
+                      terminal == InstanceState::kRevoked
+                          ? "provider.revoked"
+                          : "provider.expired",
+                      "cloud", sim_->now(),
+                      {{"instance", std::to_string(id)},
+                       {"gpu", gpu_name(r.request.gpu)}});
+    }
+    if (obs::Registry* registry = obs::registry()) {
+      registry->counter("cloud.revocations_total",
+                        {{"terminal", instance_state_name(terminal)}})
+          .inc();
+      if (r.running_at >= 0.0) {
+        registry->histogram("cloud.lifetime_seconds")
+            .observe(r.running_lifetime_seconds());
+      }
+    }
+  }
   LOG_DEBUG << "instance " << id << " (" << gpu_name(r.request.gpu) << " in "
             << region_name(r.request.region) << ") -> "
             << instance_state_name(terminal);

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace cmdare::cloud {
 
 ObjectStore::ObjectStore(simcore::Simulator& sim, util::Rng rng,
@@ -13,15 +15,36 @@ double ObjectStore::upload(const std::string& key, std::uint64_t bytes,
                            std::function<void()> on_done) {
   if (key.empty()) throw std::invalid_argument("ObjectStore: empty key");
   const double duration = sample_upload_seconds(bytes);
-  sim_->schedule_after(duration, [this, key, bytes,
-                                  done = std::move(on_done)]() {
-    const auto [it, inserted] = blobs_.insert_or_assign(key, bytes);
-    (void)it;
-    if (inserted) {
-      bytes_stored_ += bytes;
-    }
-    if (done) done();
-  });
+  const simcore::SimTime started = sim_->now();
+  sim_->schedule_after(
+      duration,
+      [this, key, bytes, started, done = std::move(on_done)]() {
+        const auto [it, inserted] = blobs_.insert_or_assign(key, bytes);
+        (void)it;
+        if (inserted) {
+          bytes_stored_ += bytes;
+        }
+        if (obs::Tracer* tracer = obs::tracer()) {
+          tracer->complete(tracer->track("storage"), "storage.upload",
+                           "storage", started, sim_->now(),
+                           {{"key", key}, {"bytes", std::to_string(bytes)}},
+                           /*async=*/true);
+        }
+        if (obs::Registry* registry = obs::registry()) {
+          registry->counter("storage.uploads_total").inc();
+          registry->counter("storage.upload_bytes_total")
+              .inc(static_cast<double>(bytes));
+          registry->histogram("storage.upload_seconds")
+              .observe(sim_->now() - started);
+          const double secs = sim_->now() - started;
+          if (secs > 0.0) {
+            registry->gauge("storage.last_upload_bytes_per_second")
+                .set(static_cast<double>(bytes) / secs);
+          }
+        }
+        if (done) done();
+      },
+      "storage.upload");
   return duration;
 }
 

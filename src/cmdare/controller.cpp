@@ -6,6 +6,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace cmdare::core {
@@ -41,8 +42,8 @@ void Controller::start() {
   if (started_) throw std::logic_error("Controller: already started");
   started_ = true;
   session_started_at_ = run_->simulator().now();
-  run_->simulator().schedule_after(config_.check_period_seconds,
-                                   [this] { check(); });
+  run_->simulator().schedule_after(
+      config_.check_period_seconds, [this] { check(); }, "controller.check");
 }
 
 void Controller::check() {
@@ -50,6 +51,9 @@ void Controller::check() {
 
   const double now = run_->simulator().now();
   const bool in_cooldown = now < earliest_next_mitigation_;
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("controller.checks_total").inc();
+  }
 
   // Only judge a full-strength cluster: while workers are still cold-
   // starting (or a revoked one has not been replaced yet), the speed
@@ -57,8 +61,8 @@ void Controller::check() {
   const std::size_t expected = run_->config().workers.size();
   if (run_->session().active_worker_count() < expected) {
     full_strength_since_ = -1.0;
-    run_->simulator().schedule_after(config_.check_period_seconds,
-                                     [this] { check(); });
+    run_->simulator().schedule_after(
+        config_.check_period_seconds, [this] { check(); }, "controller.check");
     return;
   }
   if (full_strength_since_ < 0.0) full_strength_since_ = now;
@@ -83,6 +87,13 @@ void Controller::check() {
                                      "server and restart the session"
                                    : "within threshold";
     reports_.push_back(report);
+    if (obs::Registry* registry = obs::registry()) {
+      registry->gauge("controller.deficit_fraction")
+          .set(report.deficit_fraction);
+      registry->gauge("controller.measured_speed").set(report.measured_speed);
+      registry->gauge("controller.predicted_speed")
+          .set(report.predicted_speed);
+    }
 
     if (report.flagged &&
         run_->current_ps_count() < config_.max_parameter_servers) {
@@ -95,11 +106,19 @@ void Controller::check() {
       session_started_at_ = run_->simulator().now();
       earliest_next_mitigation_ =
           session_started_at_ + config_.post_restart_cooldown_seconds;
+      if (obs::Tracer* tracer = obs::tracer()) {
+        tracer->instant(tracer->track("controller"), "controller.mitigation",
+                        "cmdare", run_->simulator().now(),
+                        {{"ps_count", std::to_string(new_ps)}});
+      }
+      if (obs::Registry* registry = obs::registry()) {
+        registry->counter("controller.mitigations_total").inc();
+      }
     }
   }
 
-  run_->simulator().schedule_after(config_.check_period_seconds,
-                                   [this] { check(); });
+  run_->simulator().schedule_after(
+      config_.check_period_seconds, [this] { check(); }, "controller.check");
 }
 
 }  // namespace cmdare::core

@@ -1,0 +1,238 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace cmdare::obs {
+
+std::string format_labels(const LabelSet& labels) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+void Counter::inc(double delta) {
+  if (delta < 0.0) {
+    throw std::invalid_argument("Counter::inc: negative increment");
+  }
+  value_ += delta;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: no buckets");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] > bounds_[i - 1])) {
+      throw std::invalid_argument("Histogram: bounds not increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1e-3; b < 20000.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double Histogram::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("Histogram::quantile: q outside [0, 1]");
+  }
+  if (count_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double lo = b == 0 ? min_ : bounds_[b - 1];
+    const double hi = b < bounds_.size() ? bounds_[b] : max_;
+    if (static_cast<double>(seen + counts_[b]) >= rank) {
+      const double within =
+          counts_[b] == 0
+              ? 0.0
+              : (rank - static_cast<double>(seen)) /
+                    static_cast<double>(counts_[b]);
+      const double est = lo + within * (hi - lo);
+      return std::clamp(est, min_, max_);
+    }
+    seen += counts_[b];
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+namespace {
+
+std::string series_key(const std::string& name, const LabelSet& labels) {
+  return name + '\0' + format_labels(labels);
+}
+
+}  // namespace
+
+void Registry::check_kind_free(const std::string& key,
+                               const char* kind) const {
+  const bool in_counters = counters_.count(key) != 0;
+  const bool in_gauges = gauges_.count(key) != 0;
+  const bool in_histograms = histograms_.count(key) != 0;
+  const int hits = static_cast<int>(in_counters) + static_cast<int>(in_gauges) +
+                   static_cast<int>(in_histograms);
+  if (hits != 0) {
+    throw std::invalid_argument(std::string("Registry: series already "
+                                            "registered as another kind "
+                                            "(wanted ") +
+                                kind + ")");
+  }
+}
+
+Counter& Registry::counter(const std::string& name, const LabelSet& labels) {
+  if (name.empty()) throw std::invalid_argument("Registry: empty name");
+  const std::string key = series_key(name, labels);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    check_kind_free(key, "counter");
+    it = counters_.emplace(key, Series<Counter>{name, labels, {}}).first;
+  }
+  return it->second.metric;
+}
+
+Gauge& Registry::gauge(const std::string& name, const LabelSet& labels) {
+  if (name.empty()) throw std::invalid_argument("Registry: empty name");
+  const std::string key = series_key(name, labels);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    check_kind_free(key, "gauge");
+    it = gauges_.emplace(key, Series<Gauge>{name, labels, {}}).first;
+  }
+  return it->second.metric;
+}
+
+Histogram& Registry::histogram(const std::string& name, const LabelSet& labels,
+                               std::vector<double> bounds) {
+  if (name.empty()) throw std::invalid_argument("Registry: empty name");
+  const std::string key = series_key(name, labels);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    check_kind_free(key, "histogram");
+    if (bounds.empty()) bounds = Histogram::default_bounds();
+    it = histograms_
+             .emplace(key,
+                      Series<Histogram>{name, labels,
+                                        Histogram(std::move(bounds))})
+             .first;
+  }
+  return it->second.metric;
+}
+
+std::size_t Registry::series_count() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::vector<SnapshotRow> Registry::snapshot() const {
+  std::vector<SnapshotRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + 8 * histograms_.size());
+  for (const auto& [key, series] : counters_) {
+    (void)key;
+    rows.push_back({"counter", series.name, series.labels, "value",
+                    series.metric.value()});
+  }
+  for (const auto& [key, series] : gauges_) {
+    (void)key;
+    rows.push_back(
+        {"gauge", series.name, series.labels, "value", series.metric.value()});
+  }
+  for (const auto& [key, series] : histograms_) {
+    (void)key;
+    const Histogram& h = series.metric;
+    const std::pair<const char*, double> fields[] = {
+        {"count", static_cast<double>(h.count())},
+        {"sum", h.sum()},
+        {"min", h.min()},
+        {"max", h.max()},
+        {"mean", h.mean()},
+        {"p50", h.quantile(0.50)},
+        {"p90", h.quantile(0.90)},
+        {"p99", h.quantile(0.99)},
+    };
+    for (const auto& [field, value] : fields) {
+      rows.push_back({"histogram", series.name, series.labels, field, value});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SnapshotRow& a, const SnapshotRow& b) {
+              if (a.name != b.name) return a.name < b.name;
+              const std::string la = format_labels(a.labels);
+              const std::string lb = format_labels(b.labels);
+              if (la != lb) return la < lb;
+              return a.field < b.field;
+            });
+  return rows;
+}
+
+void Registry::write_text(std::ostream& out) const {
+  std::string last_name;
+  for (const SnapshotRow& row : snapshot()) {
+    if (row.name != last_name) {
+      out << "# " << row.kind << ' ' << row.name << '\n';
+      last_name = row.name;
+    }
+    out << row.name;
+    const std::string labels = format_labels(row.labels);
+    if (!labels.empty()) out << '{' << labels << '}';
+    if (row.field != "value") out << ' ' << row.field;
+    out << ' ' << util::format_double(row.value, 6) << '\n';
+  }
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  util::CsvWriter writer(out);
+  writer.write_row({"kind", "name", "labels", "field", "value"});
+  for (const SnapshotRow& row : snapshot()) {
+    writer.write_row({row.kind, row.name, format_labels(row.labels), row.field,
+                      util::format_double(row.value, 6)});
+  }
+}
+
+void Registry::reset_all() {
+  for (auto& [key, series] : counters_) {
+    (void)key;
+    series.metric.reset();
+  }
+  for (auto& [key, series] : gauges_) {
+    (void)key;
+    series.metric.reset();
+  }
+  for (auto& [key, series] : histograms_) {
+    (void)key;
+    series.metric.reset();
+  }
+}
+
+}  // namespace cmdare::obs

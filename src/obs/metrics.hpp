@@ -1,0 +1,147 @@
+// Metrics registry: counters, gauges, and histograms with string labels.
+//
+// The registry is the numeric half of the telemetry layer (the Tracer is
+// the temporal half): any module can look up a named series — optionally
+// distinguished by labels, e.g. `ps.updates_total{shard=2}` — and bump it.
+// Lookups are find-or-create and return stable references, so hot paths
+// can cache the reference once and pay a plain add per update. Snapshots
+// flatten every series into (kind, name, labels, field, value) rows that
+// the text and CSV exporters share.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cmdare::obs {
+
+/// (key, value) label pairs identifying one series of a metric.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical rendering: `k1=v1,k2=v2`, sorted by key. Empty set -> "".
+std::string format_labels(const LabelSet& labels);
+
+/// Monotonically increasing count. Negative increments throw.
+class Counter {
+ public:
+  void inc(double delta = 1.0);
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Instantaneous value that can move in both directions.
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Bucketed distribution with exact count/sum/min/max and interpolated
+/// quantiles. Buckets are upper bounds; an implicit +inf bucket catches
+/// the tail.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds = default_bounds());
+
+  /// Default bounds: 1 ms .. ~4.5 h in x4 steps — wide enough for step
+  /// times, queue waits, checkpoint uploads, and instance lifetimes alike.
+  static std::vector<double> default_bounds();
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_counts()[i] counts observations <= bounds()[i]; the final
+  /// entry (index bounds().size()) is the +inf overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  /// containing bucket, clamped to the observed min/max. 0 when empty.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One flattened sample of a snapshot: histograms expand to several rows
+/// (count, sum, min, max, mean, p50, p90, p99), counters and gauges to one
+/// row with field "value".
+struct SnapshotRow {
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  std::string name;
+  LabelSet labels;
+  std::string field;
+  double value = 0.0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  /// A name may only be used for one metric kind; mixing kinds throws.
+  Counter& counter(const std::string& name, const LabelSet& labels = {});
+  Gauge& gauge(const std::string& name, const LabelSet& labels = {});
+  /// `bounds` applies only when the series is first created (empty ->
+  /// Histogram::default_bounds()).
+  Histogram& histogram(const std::string& name, const LabelSet& labels = {},
+                       std::vector<double> bounds = {});
+
+  std::size_t series_count() const;
+
+  /// Flattens every series, ordered by (name, labels) for determinism.
+  std::vector<SnapshotRow> snapshot() const;
+
+  /// Prometheus-style text: `name{k=v} value` lines grouped per metric.
+  void write_text(std::ostream& out) const;
+  /// CSV with header kind,name,labels,field,value (RFC 4180 quoting).
+  void write_csv(std::ostream& out) const;
+
+  /// Zeroes every series (series definitions are kept).
+  void reset_all();
+
+ private:
+  template <typename T>
+  struct Series {
+    std::string name;
+    LabelSet labels;
+    T metric;
+  };
+  template <typename T>
+  using SeriesMap = std::map<std::string, Series<T>>;
+
+  void check_kind_free(const std::string& key, const char* kind) const;
+
+  SeriesMap<Counter> counters_;
+  SeriesMap<Gauge> gauges_;
+  SeriesMap<Histogram> histograms_;
+};
+
+}  // namespace cmdare::obs

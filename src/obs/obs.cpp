@@ -1,0 +1,17 @@
+#include "obs/obs.hpp"
+
+namespace cmdare::obs {
+
+namespace detail {
+Telemetry* g_active = nullptr;
+}  // namespace detail
+
+void install(Telemetry* telemetry) { detail::g_active = telemetry; }
+
+ScopedTelemetry::ScopedTelemetry() : previous_(detail::g_active) {
+  install(&telemetry_);
+}
+
+ScopedTelemetry::~ScopedTelemetry() { install(previous_); }
+
+}  // namespace cmdare::obs

@@ -1,0 +1,69 @@
+// Global telemetry access point.
+//
+// Instrumented code throughout the repo (train, cloud, cmdare) asks for
+// the process-wide Registry / Tracer through the inline accessors below
+// and does nothing when none is installed — the disabled path is a single
+// pointer load and branch, cheap enough to leave the probes in every hot
+// loop (bench_micro_obs measures this). Telemetry is off by default;
+// examples, benches, and tests opt in with ScopedTelemetry:
+//
+//   obs::ScopedTelemetry telemetry;   // install for this scope
+//   ... run simulation ...
+//   obs::write_chrome_trace(telemetry->tracer, out);
+//
+// The engine is single-threaded (see simcore), so no synchronization is
+// needed; install/uninstall from a simulation callback is allowed.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cmdare::obs {
+
+/// One bundle of telemetry state. Typically stack- or test-fixture-owned
+/// and made visible through install().
+struct Telemetry {
+  Registry registry;
+  Tracer tracer;
+};
+
+namespace detail {
+extern Telemetry* g_active;
+}  // namespace detail
+
+/// Installs `telemetry` as the process-wide sink (nullptr disables —
+/// the default). The caller keeps ownership.
+void install(Telemetry* telemetry);
+
+/// Currently installed bundle, or nullptr when telemetry is disabled.
+inline Telemetry* telemetry() { return detail::g_active; }
+
+/// Shorthands: nullptr when disabled; never dangling between installs.
+inline Registry* registry() {
+  Telemetry* t = detail::g_active;
+  return t ? &t->registry : nullptr;
+}
+inline Tracer* tracer() {
+  Telemetry* t = detail::g_active;
+  return t ? &t->tracer : nullptr;
+}
+inline bool enabled() { return detail::g_active != nullptr; }
+
+/// RAII owner + installer; uninstalls (restoring the previous bundle) on
+/// destruction, so nested scopes and tests compose.
+class ScopedTelemetry {
+ public:
+  ScopedTelemetry();
+  ~ScopedTelemetry();
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+  Telemetry& get() { return telemetry_; }
+  Telemetry* operator->() { return &telemetry_; }
+
+ private:
+  Telemetry telemetry_;
+  Telemetry* previous_;
+};
+
+}  // namespace cmdare::obs

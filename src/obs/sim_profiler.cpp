@@ -1,0 +1,74 @@
+#include "obs/sim_profiler.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace cmdare::obs {
+
+namespace {
+constexpr const char* kUntagged = "(untagged)";
+}  // namespace
+
+SimProfiler::TagStats& SimProfiler::stats_for(const char* tag) {
+  return tags_[tag != nullptr ? tag : kUntagged];
+}
+
+void SimProfiler::on_schedule(simcore::SimTime when, const char* tag,
+                              std::size_t queue_depth) {
+  (void)when;
+  ++stats_for(tag).scheduled;
+  ++total_scheduled_;
+  max_queue_depth_ = std::max(max_queue_depth_, queue_depth);
+}
+
+void SimProfiler::on_fire(simcore::SimTime at, const char* tag,
+                          std::size_t queue_depth, double wall_seconds) {
+  (void)at;
+  (void)queue_depth;
+  TagStats& stats = stats_for(tag);
+  ++stats.fired;
+  stats.wall_seconds += wall_seconds;
+  ++total_fired_;
+  total_wall_seconds_ += wall_seconds;
+}
+
+void SimProfiler::write_report(std::ostream& out) const {
+  std::vector<std::pair<std::string, TagStats>> rows(tags_.begin(),
+                                                     tags_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.wall_seconds > b.second.wall_seconds;
+  });
+
+  util::Table table({"tag", "scheduled", "fired", "wall", "wall %"});
+  table.set_title("simulator engine profile (peak queue depth " +
+                  std::to_string(max_queue_depth_) + ")");
+  for (const auto& [tag, stats] : rows) {
+    const double share = total_wall_seconds_ > 0.0
+                             ? 100.0 * stats.wall_seconds / total_wall_seconds_
+                             : 0.0;
+    table.add_row({tag, std::to_string(stats.scheduled),
+                   std::to_string(stats.fired),
+                   util::format_duration(stats.wall_seconds),
+                   util::format_double(share, 1)});
+  }
+  table.add_separator();
+  table.add_row({"total", std::to_string(total_scheduled_),
+                 std::to_string(total_fired_),
+                 util::format_duration(total_wall_seconds_), "100.0"});
+  table.render(out);
+}
+
+void SimProfiler::reset() {
+  tags_.clear();
+  total_scheduled_ = 0;
+  total_fired_ = 0;
+  total_wall_seconds_ = 0.0;
+  max_queue_depth_ = 0;
+}
+
+}  // namespace cmdare::obs

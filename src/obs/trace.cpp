@@ -1,0 +1,75 @@
+#include "obs/trace.hpp"
+
+#include <stdexcept>
+
+namespace cmdare::obs {
+
+std::uint32_t Tracer::track(const std::string& name) {
+  for (std::uint32_t id = 0; id < tracks_.size(); ++id) {
+    if (tracks_[id] == name) return id;
+  }
+  tracks_.push_back(name);
+  open_.emplace_back();
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void Tracer::check_track(std::uint32_t track) const {
+  if (track >= tracks_.size()) {
+    throw std::out_of_range("Tracer: unknown track");
+  }
+}
+
+void Tracer::complete(std::uint32_t track, std::string name,
+                      std::string category, simcore::SimTime begin,
+                      simcore::SimTime end, LabelSet args, bool async) {
+  check_track(track);
+  if (!(end >= begin)) {
+    throw std::invalid_argument("Tracer::complete: end before begin");
+  }
+  spans_.push_back(SpanRecord{std::move(name), std::move(category), track,
+                              begin, end, std::move(args), async});
+}
+
+void Tracer::begin(std::uint32_t track, std::string name, std::string category,
+                   simcore::SimTime at, LabelSet args) {
+  check_track(track);
+  open_[track].push_back(
+      OpenSpan{std::move(name), std::move(category), at, std::move(args)});
+}
+
+void Tracer::end(std::uint32_t track, simcore::SimTime at) {
+  check_track(track);
+  if (open_[track].empty()) {
+    throw std::logic_error("Tracer::end: no open span on track");
+  }
+  OpenSpan span = std::move(open_[track].back());
+  open_[track].pop_back();
+  complete(track, std::move(span.name), std::move(span.category), span.begin,
+           at, std::move(span.args));
+}
+
+std::size_t Tracer::open_spans(std::uint32_t track) const {
+  check_track(track);
+  return open_[track].size();
+}
+
+void Tracer::instant(std::uint32_t track, std::string name,
+                     std::string category, simcore::SimTime at,
+                     LabelSet args) {
+  check_track(track);
+  instants_.push_back(InstantRecord{std::move(name), std::move(category),
+                                    track, at, std::move(args)});
+}
+
+void Tracer::counter(std::string name, simcore::SimTime at, double value) {
+  counters_.push_back(CounterSample{std::move(name), at, value});
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  instants_.clear();
+  counters_.clear();
+  for (auto& stack : open_) stack.clear();
+}
+
+}  // namespace cmdare::obs

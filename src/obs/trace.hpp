@@ -1,0 +1,113 @@
+// Sim-time span tracing.
+//
+// The Tracer records what happened *when* in simulated time: spans (named
+// intervals with a category and key=value args), instants (zero-duration
+// markers like a revocation), and counter samples (e.g. a PS shard's queue
+// depth over time). Every record lives on a *track* — a named timeline
+// such as "worker-0", "ps-1", "storage" — which becomes a thread row in
+// the Chrome trace viewer (see obs/export.hpp).
+//
+// Two recording styles are supported:
+//   * complete(): the caller knows both endpoints (natural in a DES where
+//     the begin time is captured when the event is scheduled);
+//   * begin()/end(): a per-track stack for properly nested spans, used by
+//     code with scoped phases.
+// Spans whose lifetimes overlap without nesting (queue waits, concurrent
+// uploads, instance startups) should be recorded with `async = true` so
+// the Chrome exporter emits them as async events instead of stack events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"  // LabelSet
+#include "simcore/simulator.hpp"
+
+namespace cmdare::obs {
+
+struct SpanRecord {
+  std::string name;
+  std::string category;  // layer: "train", "cloud", "storage", "cmdare", ...
+  std::uint32_t track = 0;
+  simcore::SimTime begin = 0.0;
+  simcore::SimTime end = 0.0;
+  LabelSet args;
+  bool async = false;
+
+  double duration() const { return end - begin; }
+};
+
+struct InstantRecord {
+  std::string name;
+  std::string category;
+  std::uint32_t track = 0;
+  simcore::SimTime at = 0.0;
+  LabelSet args;
+};
+
+struct CounterSample {
+  std::string name;
+  simcore::SimTime at = 0.0;
+  double value = 0.0;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Find-or-create the track named `name`; ids are dense and stable.
+  std::uint32_t track(const std::string& name);
+  const std::vector<std::string>& track_names() const { return tracks_; }
+
+  /// Records a span with both endpoints known (end >= begin or it throws).
+  void complete(std::uint32_t track, std::string name, std::string category,
+                simcore::SimTime begin, simcore::SimTime end,
+                LabelSet args = {}, bool async = false);
+
+  /// Opens a nested span on `track`; end() closes the innermost one.
+  void begin(std::uint32_t track, std::string name, std::string category,
+             simcore::SimTime at, LabelSet args = {});
+  void end(std::uint32_t track, simcore::SimTime at);
+  /// Depth of currently open (begun, not ended) spans on `track`.
+  std::size_t open_spans(std::uint32_t track) const;
+
+  void instant(std::uint32_t track, std::string name, std::string category,
+               simcore::SimTime at, LabelSet args = {});
+
+  /// Samples a named counter series (rendered as a counter track).
+  void counter(std::string name, simcore::SimTime at, double value);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<InstantRecord>& instants() const { return instants_; }
+  const std::vector<CounterSample>& counter_samples() const {
+    return counters_;
+  }
+
+  std::size_t record_count() const {
+    return spans_.size() + instants_.size() + counters_.size();
+  }
+
+  /// Drops all records and open spans; tracks are kept.
+  void clear();
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    std::string category;
+    simcore::SimTime begin;
+    LabelSet args;
+  };
+
+  void check_track(std::uint32_t track) const;
+
+  std::vector<std::string> tracks_;
+  std::vector<std::vector<OpenSpan>> open_;  // parallel to tracks_
+  std::vector<SpanRecord> spans_;
+  std::vector<InstantRecord> instants_;
+  std::vector<CounterSample> counters_;
+};
+
+}  // namespace cmdare::obs

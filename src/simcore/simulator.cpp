@@ -1,5 +1,6 @@
 #include "simcore/simulator.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -15,7 +16,8 @@ bool EventHandle::cancel() {
   return true;
 }
 
-EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn,
+                                   const char* tag) {
   if (!(when >= now_)) {  // also rejects NaN
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
@@ -26,15 +28,17 @@ EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
     throw std::invalid_argument("Simulator::schedule_at: empty callback");
   }
   auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{when, next_sequence_++, std::move(fn), state});
+  queue_.push(Entry{when, next_sequence_++, std::move(fn), state, tag});
+  if (observer_) observer_->on_schedule(when, tag, queue_.size());
   return EventHandle(std::move(state));
 }
 
-EventHandle Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+EventHandle Simulator::schedule_after(SimTime delay, std::function<void()> fn,
+                                      const char* tag) {
   if (!(delay >= 0.0)) {
     throw std::invalid_argument("Simulator::schedule_after: negative delay");
   }
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn), tag);
 }
 
 bool Simulator::fire_next() {
@@ -48,7 +52,15 @@ bool Simulator::fire_next() {
     now_ = entry.when;
     entry.state->fired = true;
     ++fired_;
-    entry.fn();
+    if (observer_) {
+      const auto start = std::chrono::steady_clock::now();
+      entry.fn();
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - start;
+      observer_->on_fire(entry.when, entry.tag, queue_.size(), wall.count());
+    } else {
+      entry.fn();
+    }
     return true;
   }
   return false;

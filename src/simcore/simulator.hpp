@@ -23,6 +23,8 @@
 #include <queue>
 #include <vector>
 
+#include "simcore/observer.hpp"
+
 namespace cmdare::simcore {
 
 /// Simulated time in seconds.
@@ -62,9 +64,13 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `when` (>= now, or it throws).
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  /// `tag` is an optional callsite tag for the profiling observer; it must
+  /// be a string literal (the engine keeps only the pointer).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn,
+                          const char* tag = nullptr);
   /// Schedules `fn` `delay` seconds from now (delay >= 0, finite).
-  EventHandle schedule_after(SimTime delay, std::function<void()> fn);
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn,
+                             const char* tag = nullptr);
 
   /// Runs until the event queue empties. Returns the number of events fired.
   std::uint64_t run();
@@ -80,12 +86,19 @@ class Simulator {
   /// Total events fired since construction.
   std::uint64_t events_fired() const { return fired_; }
 
+  /// Registers a profiling observer (nullptr removes it). The observer is
+  /// not owned and must outlive the simulator or be removed first. With no
+  /// observer the engine skips all instrumentation (one branch per event).
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+  SimObserver* observer() const { return observer_; }
+
  private:
   struct Entry {
     SimTime when;
     std::uint64_t sequence;
     std::function<void()> fn;
     std::shared_ptr<EventHandle::State> state;
+    const char* tag;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -99,6 +112,7 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t fired_ = 0;
+  SimObserver* observer_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

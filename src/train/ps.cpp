@@ -3,19 +3,33 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace cmdare::train {
 
 PsShard::PsShard(simcore::Simulator& sim, util::Rng rng,
-                 double mean_service_seconds, double cov)
-    : sim_(&sim), rng_(rng), mean_service_(mean_service_seconds), cov_(cov) {
+                 double mean_service_seconds, double cov, std::string label)
+    : sim_(&sim),
+      rng_(rng),
+      mean_service_(mean_service_seconds),
+      cov_(cov),
+      label_(std::move(label)) {
   if (mean_service_seconds <= 0.0) {
     throw std::invalid_argument("PsShard: service time must be > 0");
   }
 }
 
+void PsShard::sample_queue_depth() const {
+  if (obs::Tracer* tracer = obs::tracer()) {
+    tracer->counter("ps.queue_depth/" + label_, sim_->now(),
+                    static_cast<double>(queue_.size()));
+  }
+}
+
 void PsShard::submit(std::function<void()> on_applied) {
   if (!on_applied) throw std::invalid_argument("PsShard: empty callback");
-  queue_.push_back(std::move(on_applied));
+  queue_.push_back(PendingUpdate{std::move(on_applied), sim_->now()});
+  sample_queue_depth();
   if (!busy_) start_next();
 }
 
@@ -25,15 +39,40 @@ void PsShard::start_next() {
     return;
   }
   busy_ = true;
-  auto job = std::move(queue_.front());
+  PendingUpdate update = std::move(queue_.front());
   queue_.pop_front();
+
+  const simcore::SimTime service_start = sim_->now();
+  if (obs::Tracer* tracer = obs::tracer()) {
+    const std::uint32_t track = tracer->track("ps-" + label_);
+    tracer->complete(track, "ps.queue", "train", update.enqueued_at,
+                     service_start, {{"shard", label_}}, /*async=*/true);
+    sample_queue_depth();
+  }
+  if (obs::Registry* registry = obs::registry()) {
+    registry->histogram("ps.queue_wait_seconds", {{"shard", label_}})
+        .observe(service_start - update.enqueued_at);
+  }
+
   const double service = rng_.lognormal_mean_cv(mean_service_, cov_);
   busy_seconds_ += service;
-  sim_->schedule_after(service, [this, job = std::move(job)]() {
-    ++applied_;
-    job();
-    start_next();
-  });
+  sim_->schedule_after(
+      service,
+      [this, job = std::move(update.on_applied), service_start]() {
+        ++applied_;
+        if (obs::Tracer* tracer = obs::tracer()) {
+          tracer->complete(tracer->track("ps-" + label_), "ps.apply", "train",
+                           service_start, sim_->now(), {{"shard", label_}});
+        }
+        if (obs::Registry* registry = obs::registry()) {
+          registry->counter("ps.updates_total", {{"shard", label_}}).inc();
+          registry->histogram("ps.apply_seconds", {{"shard", label_}})
+              .observe(sim_->now() - service_start);
+        }
+        job();
+        start_next();
+      },
+      "ps.apply");
 }
 
 }  // namespace cmdare::train

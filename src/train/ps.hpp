@@ -7,11 +7,16 @@
 // queue; this queueing is what produces the parameter-server bottleneck of
 // Table III / Figures 4 and 12: per-worker step time inflates toward
 // n_workers * service once aggregate demand exceeds shard capacity.
+//
+// When telemetry is installed (obs::install), every update leaves a
+// `ps.queue` wait span and a `ps.apply` service span on the shard's trace
+// track, plus queue-depth counter samples and per-shard registry series.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "simcore/simulator.hpp"
 #include "util/rng.hpp"
@@ -21,9 +26,10 @@ namespace cmdare::train {
 class PsShard {
  public:
   /// `mean_service_seconds` is the per-update service time on this shard;
-  /// `cov` its lognormal jitter.
+  /// `cov` its lognormal jitter. `label` names the shard in telemetry
+  /// output ("0", "1", ...).
   PsShard(simcore::Simulator& sim, util::Rng rng, double mean_service_seconds,
-          double cov);
+          double cov, std::string label = "0");
 
   /// Enqueues one update; `on_applied` fires when the shard has applied it.
   void submit(std::function<void()> on_applied);
@@ -32,19 +38,27 @@ class PsShard {
   bool busy() const { return busy_; }
   std::uint64_t updates_applied() const { return applied_; }
   double mean_service_seconds() const { return mean_service_; }
+  const std::string& label() const { return label_; }
 
   /// Cumulative busy time (for utilization diagnostics).
   double busy_seconds() const { return busy_seconds_; }
 
  private:
+  struct PendingUpdate {
+    std::function<void()> on_applied;
+    simcore::SimTime enqueued_at;
+  };
+
   void start_next();
+  void sample_queue_depth() const;
 
   simcore::Simulator* sim_;
   util::Rng rng_;
   double mean_service_;
   double cov_;
+  std::string label_;
   bool busy_ = false;
-  std::deque<std::function<void()>> queue_;
+  std::deque<PendingUpdate> queue_;
   std::uint64_t applied_ = 0;
   double busy_seconds_ = 0.0;
 };

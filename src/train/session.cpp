@@ -4,9 +4,18 @@
 
 #include "cloud/network.hpp"
 #include "nn/checkpoint_size.hpp"
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace cmdare::train {
+
+namespace {
+
+std::string worker_track_name(WorkerId id) {
+  return "worker-" + std::to_string(id);
+}
+
+}  // namespace
 
 TrainingSession::TrainingSession(simcore::Simulator& sim, nn::CnnModel model,
                                  SessionConfig config, util::Rng rng,
@@ -27,7 +36,7 @@ TrainingSession::TrainingSession(simcore::Simulator& sim, nn::CnnModel model,
   for (int s = 0; s < config_.ps_count; ++s) {
     shards_.push_back(std::make_unique<PsShard>(
         sim, rng_.fork("ps-shard-" + std::to_string(s)), service,
-        cloud::kPsServiceCov));
+        cloud::kPsServiceCov, std::to_string(s)));
   }
   if (config_.checkpoint_interval_steps > 0) {
     next_checkpoint_step_ = config_.checkpoint_interval_steps;
@@ -73,9 +82,10 @@ WorkerId TrainingSession::add_worker(const WorkerSpec& spec,
   if (join_delay_seconds == 0.0) {
     activate_worker(id, reuse_chief_ip);
   } else {
-    sim_->schedule_after(join_delay_seconds, [this, id, reuse_chief_ip] {
-      activate_worker(id, reuse_chief_ip);
-    });
+    sim_->schedule_after(
+        join_delay_seconds,
+        [this, id, reuse_chief_ip] { activate_worker(id, reuse_chief_ip); },
+        "session.join");
   }
   return id;
 }
@@ -87,6 +97,13 @@ void TrainingSession::activate_worker(WorkerId id, bool reuse_chief_ip) {
   trace_.record_event(SessionEvent{SessionEventType::kWorkerJoined,
                                    sim_->now(), id, global_step_,
                                    w.spec.label});
+  if (obs::Tracer* tracer = obs::tracer()) {
+    tracer->instant(tracer->track(worker_track_name(id)), "worker.joined",
+                    "train", sim_->now(), {{"label", w.spec.label}});
+  }
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("train.worker_joins_total").inc();
+  }
   if (!owner_ && !had_owner_ && !reuse_chief_ip) {
     // The first worker to join the session is TensorFlow's chief.
     owner_ = id;
@@ -122,6 +139,13 @@ void TrainingSession::revoke_worker(WorkerId id) {
   trace_.record_event(SessionEvent{SessionEventType::kWorkerRevoked,
                                    sim_->now(), id, global_step_,
                                    w.spec.label});
+  if (obs::Tracer* tracer = obs::tracer()) {
+    tracer->instant(tracer->track(worker_track_name(id)), "worker.revoked",
+                    "train", sim_->now(), {{"label", w.spec.label}});
+  }
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("train.worker_revocations_total").inc();
+  }
 
   if (owner_ && *owner_ == id) {
     owner_.reset();
@@ -159,15 +183,29 @@ void TrainingSession::begin_compute(WorkerId id) {
       cloud::sample_step_compute_seconds(w.spec.gpu, model_, w.local_step,
                                          rng_);
   const std::uint64_t generation = w.generation;
-  sim_->schedule_after(duration, [this, id, generation] {
-    on_compute_done(id, generation);
-  });
+  const simcore::SimTime started = sim_->now();
+  sim_->schedule_after(
+      duration,
+      [this, id, generation, started] {
+        on_compute_done(id, generation, started);
+      },
+      "worker.compute");
 }
 
-void TrainingSession::on_compute_done(WorkerId id, std::uint64_t generation) {
+void TrainingSession::on_compute_done(WorkerId id, std::uint64_t generation,
+                                      simcore::SimTime started) {
   Worker& w = workers_[id];
   if (!running(w, generation)) return;
   ++w.local_step;
+  if (obs::Tracer* tracer = obs::tracer()) {
+    tracer->complete(tracer->track(worker_track_name(id)), "worker.compute",
+                     "train", started, sim_->now(),
+                     {{"local_step", std::to_string(w.local_step)}});
+  }
+  if (obs::Registry* registry = obs::registry()) {
+    registry->histogram("train.compute_seconds").observe(sim_->now() -
+                                                         started);
+  }
   if (w.update_outstanding || w.checkpointing) {
     // Window-1 pipelining: hold this push until the previous update is
     // acknowledged (or the chief's checkpoint finishes).
@@ -193,7 +231,8 @@ void TrainingSession::push_update(WorkerId id) {
     shard->submit([this, id, generation, remaining, rtt] {
       if (--*remaining > 0) return;
       sim_->schedule_after(
-          rtt, [this, id, generation] { on_update_applied(id, generation); });
+          rtt, [this, id, generation] { on_update_applied(id, generation); },
+          "ps.ack");
     });
   }
 
@@ -211,6 +250,10 @@ void TrainingSession::on_update_applied(WorkerId id,
   ++global_step_;
   trace_.record_global_step(global_step_, sim_->now());
   trace_.record_worker_step(id, sim_->now());
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("train.steps_total").inc();
+    registry->gauge("train.global_step").set(static_cast<double>(global_step_));
+  }
   if (on_step) on_step(global_step_, sim_->now());
 
   if (config_.max_steps > 0 && global_step_ >= config_.max_steps) {
@@ -249,10 +292,13 @@ void TrainingSession::maybe_start_checkpoint(WorkerId id) {
                    });
   } else {
     const double duration = cloud::sample_checkpoint_seconds(bytes, rng_);
-    sim_->schedule_after(duration, [this, id, generation, event]() mutable {
-      event.finished = sim_->now();
-      finish_checkpoint(id, generation, event);
-    });
+    sim_->schedule_after(
+        duration,
+        [this, id, generation, event]() mutable {
+          event.finished = sim_->now();
+          finish_checkpoint(id, generation, event);
+        },
+        "chief.checkpoint");
   }
 }
 
@@ -261,6 +307,16 @@ void TrainingSession::finish_checkpoint(WorkerId id, std::uint64_t generation,
   trace_.record_checkpoint(event);
   last_checkpoint_step_ = event.at_step;
   next_checkpoint_step_ += config_.checkpoint_interval_steps;
+  if (obs::Tracer* tracer = obs::tracer()) {
+    tracer->complete(tracer->track("chief"), "chief.checkpoint", "train",
+                     event.started, event.finished,
+                     {{"at_step", std::to_string(event.at_step)},
+                      {"by_worker", std::to_string(event.by_worker)}});
+  }
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("train.checkpoints_total").inc();
+    registry->histogram("train.checkpoint_seconds").observe(event.duration());
+  }
 
   Worker& w = workers_[id];
   if (!running(w, generation)) return;  // owner revoked mid-checkpoint
@@ -277,6 +333,17 @@ void TrainingSession::rollback_to_last_checkpoint(WorkerId new_chief) {
   trace_.record_event(SessionEvent{
       SessionEventType::kRollback, sim_->now(), new_chief, global_step_,
       "recompute from step " + std::to_string(last_checkpoint_step_)});
+  if (obs::Tracer* tracer = obs::tracer()) {
+    tracer->instant(
+        tracer->track("chief"), "session.rollback", "train", sim_->now(),
+        {{"from_step", std::to_string(global_step_)},
+         {"to_step", std::to_string(last_checkpoint_step_)}});
+  }
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("train.rollbacks_total").inc();
+    registry->histogram("train.rollback_lost_steps")
+        .observe(static_cast<double>(global_step_ - last_checkpoint_step_));
+  }
   global_step_ = last_checkpoint_step_;
   if (config_.checkpoint_interval_steps > 0) {
     next_checkpoint_step_ =

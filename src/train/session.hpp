@@ -115,7 +115,8 @@ class TrainingSession {
   bool running(const Worker& w, std::uint64_t generation) const;
   void activate_worker(WorkerId id, bool reuse_chief_ip);
   void begin_compute(WorkerId id);
-  void on_compute_done(WorkerId id, std::uint64_t generation);
+  void on_compute_done(WorkerId id, std::uint64_t generation,
+                       simcore::SimTime started);
   void push_update(WorkerId id);
   void on_update_applied(WorkerId id, std::uint64_t generation);
   void maybe_start_checkpoint(WorkerId id);

@@ -21,7 +21,7 @@ SyncTrainingSession::SyncTrainingSession(simcore::Simulator& sim,
   for (int s = 0; s < ps_count; ++s) {
     shards_.push_back(std::make_unique<PsShard>(
         sim, rng_.fork("sync-ps-" + std::to_string(s)), service,
-        cloud::kPsServiceCov));
+        cloud::kPsServiceCov, std::to_string(s)));
   }
 }
 

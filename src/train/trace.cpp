@@ -29,11 +29,16 @@ long TrainingTrace::max_global_step() const {
 }
 
 simcore::SimTime TrainingTrace::time_of_step(long step) const {
-  if (step < 1 || step > max_global_step()) {
-    throw std::out_of_range("time_of_step: step never reached");
-  }
+  const auto t = try_time_of_step(step);
+  if (!t) throw std::out_of_range("time_of_step: step never reached");
+  return *t;
+}
+
+std::optional<simcore::SimTime> TrainingTrace::try_time_of_step(
+    long step) const {
+  if (step < 1 || step > max_global_step()) return std::nullopt;
   const simcore::SimTime t = step_time_[static_cast<std::size_t>(step - 1)];
-  if (t < 0.0) throw std::out_of_range("time_of_step: step never reached");
+  if (t < 0.0) return std::nullopt;
   return t;
 }
 
@@ -42,10 +47,13 @@ std::vector<double> TrainingTrace::speed_per_window(long window) const {
   std::vector<double> speeds;
   for (long start = 0; start + window <= max_global_step(); start += window) {
     // Window start time: completion of step `start` (or 0 for the first).
-    const simcore::SimTime t0 = start == 0 ? 0.0 : time_of_step(start);
-    const simcore::SimTime t1 = time_of_step(start + window);
-    if (t1 <= t0) continue;  // degenerate (rollback overlap)
-    speeds.push_back(static_cast<double>(window) / (t1 - t0));
+    const auto t0 =
+        start == 0 ? std::optional<simcore::SimTime>(0.0)
+                   : try_time_of_step(start);
+    const auto t1 = try_time_of_step(start + window);
+    if (!t0 || !t1) continue;  // boundary skipped by a rollback resize
+    if (*t1 <= *t0) continue;  // degenerate (rollback overlap)
+    speeds.push_back(static_cast<double>(window) / (*t1 - *t0));
   }
   return speeds;
 }

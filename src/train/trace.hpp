@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,9 @@ class TrainingTrace {
   /// Time the global step counter *last* reached `step` (rollbacks
   /// overwrite earlier completions). Throws if the step was never reached.
   simcore::SimTime time_of_step(long step) const;
+  /// Same, but returns nullopt instead of throwing — for callers probing
+  /// whether a run got far enough (e.g. `try_time_of_step(n).value_or(...)`).
+  std::optional<simcore::SimTime> try_time_of_step(long step) const;
 
   /// Cluster training speed in steps/second, averaged over consecutive
   /// windows of `window` steps (the paper uses 100). Entry w covers steps

@@ -1,9 +1,64 @@
 #include "train/trace_io.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 
 namespace cmdare::train {
+namespace {
+
+long parse_long_field(const std::string& field, const char* what) {
+  std::size_t consumed = 0;
+  long value = 0;
+  try {
+    value = std::stol(field, &consumed);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("trace_io: bad ") + what + " '" +
+                             field + "'");
+  }
+  if (consumed != field.size()) {
+    throw std::runtime_error(std::string("trace_io: bad ") + what + " '" +
+                             field + "'");
+  }
+  return value;
+}
+
+double parse_double_field(const std::string& field, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(field, &consumed);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("trace_io: bad ") + what + " '" +
+                             field + "'");
+  }
+  if (consumed != field.size()) {
+    throw std::runtime_error(std::string("trace_io: bad ") + what + " '" +
+                             field + "'");
+  }
+  return value;
+}
+
+// Reads a CSV line (dropping a trailing '\r' from CRLF dumps); false at EOF.
+bool next_csv_line(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+void expect_header(std::istream& in,
+                   const std::vector<std::string>& expected,
+                   const char* what) {
+  std::string line;
+  if (!next_csv_line(in, line) || util::csv_parse_line(line) != expected) {
+    throw std::runtime_error(std::string("trace_io: missing ") + what +
+                             " header");
+  }
+}
+
+}  // namespace
 
 const char* session_event_name(SessionEventType type) {
   switch (type) {
@@ -64,6 +119,69 @@ void write_events_csv(const TrainingTrace& trace, std::ostream& out) {
                       util::format_double(e.at, 3), std::to_string(e.worker),
                       std::to_string(e.global_step), e.detail});
   }
+}
+
+std::optional<SessionEventType> parse_session_event_name(
+    std::string_view name) {
+  for (const SessionEventType type :
+       {SessionEventType::kWorkerJoined, SessionEventType::kWorkerRevoked,
+        SessionEventType::kChiefHandover, SessionEventType::kRollback,
+        SessionEventType::kSessionRestart}) {
+    if (name == session_event_name(type)) return type;
+  }
+  return std::nullopt;
+}
+
+std::vector<CheckpointEvent> read_checkpoints_csv(std::istream& in) {
+  expect_header(in, {"at_step", "by_worker", "started", "finished",
+                     "duration"},
+                "checkpoints");
+  std::vector<CheckpointEvent> checkpoints;
+  std::string line;
+  while (next_csv_line(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = util::csv_parse_line(line);
+    if (fields.size() != 5) {
+      throw std::runtime_error("trace_io: checkpoint row needs 5 fields");
+    }
+    CheckpointEvent event;
+    event.at_step = parse_long_field(fields[0], "at_step");
+    event.by_worker =
+        static_cast<WorkerId>(parse_long_field(fields[1], "by_worker"));
+    event.started = parse_double_field(fields[2], "started");
+    event.finished = parse_double_field(fields[3], "finished");
+    // fields[4] (duration) is derived from started/finished; ignored.
+    checkpoints.push_back(event);
+  }
+  return checkpoints;
+}
+
+std::vector<SessionEvent> read_events_csv(std::istream& in) {
+  expect_header(in, {"type", "at", "worker", "global_step", "detail"},
+                "events");
+  std::vector<SessionEvent> events;
+  std::string line;
+  while (next_csv_line(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = util::csv_parse_line(line);
+    if (fields.size() != 5) {
+      throw std::runtime_error("trace_io: event row needs 5 fields");
+    }
+    const auto type = parse_session_event_name(fields[0]);
+    if (!type) {
+      throw std::runtime_error("trace_io: unknown event type '" + fields[0] +
+                               "'");
+    }
+    SessionEvent event;
+    event.type = *type;
+    event.at = parse_double_field(fields[1], "at");
+    event.worker = static_cast<WorkerId>(parse_long_field(fields[2],
+                                                          "worker"));
+    event.global_step = parse_long_field(fields[3], "global_step");
+    event.detail = fields[4];
+    events.push_back(std::move(event));
+  }
+  return events;
 }
 
 }  // namespace cmdare::train

@@ -4,10 +4,16 @@
 // helpers are the equivalent for simulated runs — cluster-speed windows,
 // per-worker step times, checkpoint events, and session events in a form
 // any plotting stack can consume. csv_* writers emit RFC-4180 CSV through
-// util::CsvWriter.
+// util::CsvWriter. The read_* functions load the checkpoint and event
+// dumps back, so analysis tools can post-process a run without re-running
+// the simulation (write → read round-trips exactly).
 #pragma once
 
+#include <istream>
+#include <optional>
 #include <ostream>
+#include <string_view>
+#include <vector>
 
 #include "train/trace.hpp"
 
@@ -28,5 +34,18 @@ void write_events_csv(const TrainingTrace& trace, std::ostream& out);
 
 /// Human-readable name for a session event type.
 const char* session_event_name(SessionEventType type);
+
+/// Inverse of session_event_name; nullopt for unknown names.
+std::optional<SessionEventType> parse_session_event_name(
+    std::string_view name);
+
+/// Loads a write_checkpoints_csv dump. Throws std::runtime_error on a
+/// missing/mismatched header or malformed row. The derived `duration`
+/// column is ignored on input.
+std::vector<CheckpointEvent> read_checkpoints_csv(std::istream& in);
+
+/// Loads a write_events_csv dump. Throws std::runtime_error on a
+/// missing/mismatched header, malformed row, or unknown event type.
+std::vector<SessionEvent> read_events_csv(std::istream& in);
 
 }  // namespace cmdare::train

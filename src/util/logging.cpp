@@ -1,14 +1,30 @@
 #include "util/logging.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "util/strings.hpp"
 
 namespace cmdare::util {
 namespace {
 
 std::mutex g_mutex;
-LogLevel g_level = LogLevel::kWarn;
 LogSink g_sink;  // empty -> stderr
+LogTimeSource g_time_source;
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("CMDARE_LOG_LEVEL")) {
+    if (const auto level = parse_log_level(env)) return *level;
+    std::fprintf(stderr, "[WARN] CMDARE_LOG_LEVEL=%s not recognized\n", env);
+  }
+  return LogLevel::kWarn;
+}
+
+// Initialized on first use so the environment override applies no matter
+// which translation unit logs first.
+LogLevel g_level = initial_level();
 
 }  // namespace
 
@@ -28,6 +44,21 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  for (const char c : trim(text)) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "4") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 void set_log_level(LogLevel level) {
   std::lock_guard<std::mutex> lock(g_mutex);
   g_level = level;
@@ -43,6 +74,33 @@ void set_log_sink(LogSink sink) {
   g_sink = std::move(sink);
 }
 
+void set_log_time_source(LogTimeSource source) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_time_source = std::move(source);
+}
+
+std::optional<double> log_time_now() {
+  LogTimeSource source;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    source = g_time_source;
+  }
+  if (!source) return std::nullopt;
+  return source();
+}
+
+std::string format_log_line(LogLevel level, const std::string& message) {
+  std::string line = "[";
+  line += log_level_name(level);
+  if (const auto now = log_time_now()) {
+    line += " t=";
+    line += format_double(*now, 3);
+  }
+  line += "] ";
+  line += message;
+  return line;
+}
+
 namespace detail {
 
 void emit(LogLevel level, const std::string& message) {
@@ -55,7 +113,7 @@ void emit(LogLevel level, const std::string& message) {
     sink(level, message);
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+  std::fprintf(stderr, "%s\n", format_log_line(level, message).c_str());
 }
 
 }  // namespace detail

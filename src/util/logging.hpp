@@ -4,11 +4,20 @@
 // log; logging exists for diagnostics (cluster events, revocations, bench
 // progress). It is intentionally tiny: a global level, printf-free streaming
 // API, and a capture hook used by tests.
+//
+// The default minimum level is kWarn; the CMDARE_LOG_LEVEL environment
+// variable ("debug", "info", "warn", "error", "off", or 0-4) overrides it at
+// startup so benches and examples can change verbosity without recompiling
+// (an explicit set_log_level still wins). When a simulation clock is
+// registered via set_log_time_source, the default stderr sink prefixes every
+// line with the current simulated time.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace cmdare::util {
 
@@ -16,6 +25,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Returns the human-readable name ("DEBUG", "INFO", ...).
 const char* log_level_name(LogLevel level);
+
+/// Parses a level name ("debug", "WARN", ...) or digit ("0".."4");
+/// returns nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text);
 
 /// Sets / gets the global minimum level that will be emitted.
 void set_log_level(LogLevel level);
@@ -25,6 +38,18 @@ LogLevel log_level();
 /// sink. Used by tests to assert on log content.
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 void set_log_sink(LogSink sink);
+
+/// Registers a simulated-time source (e.g. [&sim] { return sim.now(); });
+/// nullptr unregisters. The default stderr sink then prints the current
+/// sim time on every line. Custom sinks can query it via log_time_now().
+using LogTimeSource = std::function<double()>;
+void set_log_time_source(LogTimeSource source);
+/// Current simulated time, or nullopt when no source is registered.
+std::optional<double> log_time_now();
+
+/// The line format used by the default stderr sink:
+/// "[LEVEL] message" or "[LEVEL t=12.345] message" with a time source.
+std::string format_log_line(LogLevel level, const std::string& message);
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);

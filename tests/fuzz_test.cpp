@@ -85,9 +85,10 @@ TEST_P(SessionFuzz, RandomChurnKeepsInvariants) {
   }
   // Step times recorded for reached steps are positive and finite.
   for (long s = 1; s <= std::min<long>(trace.max_global_step(), 500); ++s) {
-    const double t = trace.time_of_step(s);
-    EXPECT_GE(t, 0.0);
-    EXPECT_TRUE(std::isfinite(t));
+    const auto t = trace.try_time_of_step(s);
+    ASSERT_TRUE(t.has_value()) << "step " << s << " missing";
+    EXPECT_GE(*t, 0.0);
+    EXPECT_TRUE(std::isfinite(*t));
   }
   // Checkpoints are well-formed and attributed to real workers.
   for (const auto& c : trace.checkpoints()) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 namespace cmdare::simcore {
@@ -146,6 +147,93 @@ TEST(Simulator, CancelledEventsDoNotAdvanceClockInRunUntil) {
   sim.schedule_at(80.0, [] {});
   EXPECT_EQ(sim.run_until(60.0), 0u);
   EXPECT_DOUBLE_EQ(sim.now(), 60.0);
+}
+
+TEST(Simulator, TombstonesStayQueuedUntilPopped) {
+  Simulator sim;
+  // Cancellation is O(1): the entry is tombstoned in place, so
+  // queued_events() still counts it until the queue pops past it.
+  std::vector<EventHandle> handles;
+  for (double t : {1.0, 2.0, 3.0}) {
+    handles.push_back(sim.schedule_at(t, [] {}));
+  }
+  EXPECT_EQ(sim.queued_events(), 3u);
+  handles[0].cancel();
+  handles[2].cancel();
+  EXPECT_EQ(sim.queued_events(), 3u);  // tombstones accumulate
+  EXPECT_EQ(sim.run(), 1u);            // only the live event fires
+  EXPECT_EQ(sim.queued_events(), 0u);  // pops discard the tombstones
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);    // clock never visits cancelled times
+}
+
+namespace {
+
+/// Records every observer callback for assertion.
+struct RecordingObserver : SimObserver {
+  struct Scheduled {
+    SimTime when;
+    std::string tag;
+    std::size_t depth;
+  };
+  struct Fired {
+    SimTime at;
+    std::string tag;
+    std::size_t depth;
+    double wall;
+  };
+  std::vector<Scheduled> scheduled;
+  std::vector<Fired> fired;
+
+  void on_schedule(SimTime when, const char* tag,
+                   std::size_t queue_depth) override {
+    scheduled.push_back({when, tag ? tag : "(null)", queue_depth});
+  }
+  void on_fire(SimTime at, const char* tag, std::size_t queue_depth,
+               double wall_seconds) override {
+    fired.push_back({at, tag ? tag : "(null)", queue_depth, wall_seconds});
+  }
+};
+
+}  // namespace
+
+TEST(Simulator, ObserverSeesSchedulesAndFires) {
+  Simulator sim;
+  RecordingObserver observer;
+  sim.set_observer(&observer);
+  EXPECT_EQ(sim.observer(), &observer);
+
+  sim.schedule_at(1.0, [] {}, "alpha");
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  sim.set_observer(nullptr);
+  sim.schedule_at(3.0, [] {}, "unseen");
+  sim.run();
+
+  ASSERT_EQ(observer.scheduled.size(), 2u);
+  EXPECT_DOUBLE_EQ(observer.scheduled[0].when, 1.0);
+  EXPECT_EQ(observer.scheduled[0].tag, "alpha");
+  EXPECT_EQ(observer.scheduled[0].depth, 1u);
+  EXPECT_EQ(observer.scheduled[1].depth, 2u);
+
+  ASSERT_EQ(observer.fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(observer.fired[0].at, 1.0);
+  EXPECT_EQ(observer.fired[0].tag, "alpha");
+  EXPECT_EQ(observer.fired[0].depth, 1u);  // one event still queued
+  EXPECT_EQ(observer.fired[1].tag, "(null)");
+  EXPECT_EQ(observer.fired[1].depth, 0u);
+  for (const auto& f : observer.fired) EXPECT_GE(f.wall, 0.0);
+}
+
+TEST(Simulator, ObserverDoesNotSeeCancelledEvents) {
+  Simulator sim;
+  RecordingObserver observer;
+  sim.set_observer(&observer);
+  EventHandle handle = sim.schedule_at(1.0, [] {}, "doomed");
+  handle.cancel();
+  sim.run();
+  sim.set_observer(nullptr);
+  EXPECT_EQ(observer.scheduled.size(), 1u);  // schedule was observed...
+  EXPECT_TRUE(observer.fired.empty());       // ...but the fire never happens
 }
 
 TEST(Simulator, ZeroDelayFiresAtCurrentTime) {

@@ -104,6 +104,98 @@ TEST(TraceIo, EventNamesCoverAllTypes) {
                "session_restart");
 }
 
+TEST(TraceIo, ParseEventNameInvertsAllTypes) {
+  for (const SessionEventType type :
+       {SessionEventType::kWorkerJoined, SessionEventType::kWorkerRevoked,
+        SessionEventType::kChiefHandover, SessionEventType::kRollback,
+        SessionEventType::kSessionRestart}) {
+    const auto parsed = parse_session_event_name(session_event_name(type));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(parse_session_event_name("no_such_event").has_value());
+  EXPECT_FALSE(parse_session_event_name("").has_value());
+}
+
+TEST(TraceIo, CheckpointsRoundTrip) {
+  const TrainingTrace trace = sample_trace();
+  ASSERT_FALSE(trace.checkpoints().empty());
+  std::ostringstream out;
+  write_checkpoints_csv(trace, out);
+  std::istringstream in(out.str());
+  const auto loaded = read_checkpoints_csv(in);
+  ASSERT_EQ(loaded.size(), trace.checkpoints().size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const auto& original = trace.checkpoints()[i];
+    EXPECT_EQ(loaded[i].at_step, original.at_step);
+    EXPECT_EQ(loaded[i].by_worker, original.by_worker);
+    // The writer rounds to 3 decimals.
+    EXPECT_NEAR(loaded[i].started, original.started, 1e-3);
+    EXPECT_NEAR(loaded[i].finished, original.finished, 1e-3);
+  }
+}
+
+TEST(TraceIo, EventsRoundTrip) {
+  TrainingTrace trace;
+  trace.record_event(SessionEvent{SessionEventType::kWorkerJoined, 0.25, 0,
+                                  0, ""});
+  trace.record_event(SessionEvent{SessionEventType::kWorkerRevoked, 10.0, 1,
+                                  250, "instance 3"});
+  trace.record_event(SessionEvent{SessionEventType::kRollback, 93.5, 2, 417,
+                                  "detail, \"quoted\", with commas"});
+  std::ostringstream out;
+  write_events_csv(trace, out);
+  std::istringstream in(out.str());
+  const auto loaded = read_events_csv(in);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].type, SessionEventType::kWorkerJoined);
+  EXPECT_NEAR(loaded[0].at, 0.25, 1e-3);
+  EXPECT_EQ(loaded[0].detail, "");
+  EXPECT_EQ(loaded[1].type, SessionEventType::kWorkerRevoked);
+  EXPECT_EQ(loaded[1].worker, 1u);
+  EXPECT_EQ(loaded[1].detail, "instance 3");
+  EXPECT_EQ(loaded[2].type, SessionEventType::kRollback);
+  EXPECT_EQ(loaded[2].global_step, 417);
+  EXPECT_EQ(loaded[2].detail, "detail, \"quoted\", with commas");
+}
+
+TEST(TraceIo, ReadersRejectMalformedInput) {
+  {
+    std::istringstream in("wrong,header\n");
+    EXPECT_THROW(read_checkpoints_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_events_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "at_step,by_worker,started,finished,duration\nx,0,1.0,2.0,1.0\n");
+    EXPECT_THROW(read_checkpoints_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "type,at,worker,global_step,detail\nbogus_type,1.0,0,10,d\n");
+    EXPECT_THROW(read_events_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("type,at,worker,global_step,detail\na,b\n");
+    EXPECT_THROW(read_events_csv(in), std::runtime_error);
+  }
+}
+
+TEST(TraceIo, ReadersAcceptCrlfAndBlankLines) {
+  std::istringstream in(
+      "at_step,by_worker,started,finished,duration\r\n"
+      "200,0,10.5,13.25,2.75\r\n"
+      "\r\n");
+  const auto loaded = read_checkpoints_csv(in);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].at_step, 200);
+  EXPECT_DOUBLE_EQ(loaded[0].started, 10.5);
+  EXPECT_DOUBLE_EQ(loaded[0].finished, 13.25);
+}
+
 TEST(TraceIo, WorkerStepTimesAccessorValidates) {
   const TrainingTrace trace = sample_trace();
   EXPECT_EQ(trace.worker_step_times(0).size(),

@@ -17,6 +17,22 @@ TEST(Trace, RecordsAndQueriesGlobalSteps) {
   EXPECT_THROW(trace.time_of_step(4), std::out_of_range);
 }
 
+TEST(Trace, TryTimeOfStepReturnsNulloptInsteadOfThrowing) {
+  TrainingTrace trace;
+  trace.record_global_step(1, 0.5);
+  // A recording jump leaves step 2 unreached (sentinel) but step 3 set.
+  trace.record_global_step(3, 1.5);
+  EXPECT_EQ(trace.try_time_of_step(1), 0.5);
+  EXPECT_FALSE(trace.try_time_of_step(0).has_value());
+  EXPECT_FALSE(trace.try_time_of_step(2).has_value());  // never reached
+  EXPECT_EQ(trace.try_time_of_step(3), 1.5);
+  EXPECT_FALSE(trace.try_time_of_step(4).has_value());
+  EXPECT_FALSE(trace.try_time_of_step(40000).has_value());
+  EXPECT_THROW(trace.time_of_step(2), std::out_of_range);
+  // value_or gives callers a clean "finished or bound" expression.
+  EXPECT_DOUBLE_EQ(trace.try_time_of_step(40000).value_or(-1.0), -1.0);
+}
+
 TEST(Trace, RollbackOverwritesStepTimes) {
   TrainingTrace trace;
   trace.record_global_step(1, 1.0);

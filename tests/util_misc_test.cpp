@@ -149,5 +149,45 @@ TEST(Logging, LevelNames) {
   EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
 }
 
+TEST(Logging, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(" warn "), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::kError);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST(Logging, TimeSourceShowsUpInDefaultLineFormat) {
+  EXPECT_EQ(format_log_line(LogLevel::kWarn, "msg"), "[WARN] msg");
+  double now = 12.3456;
+  set_log_time_source([&now] { return now; });
+  EXPECT_EQ(log_time_now(), 12.3456);
+  EXPECT_EQ(format_log_line(LogLevel::kInfo, "msg"), "[INFO t=12.346] msg");
+  now = 99.0;
+  EXPECT_EQ(format_log_line(LogLevel::kError, "boom"),
+            "[ERROR t=99.000] boom");
+  set_log_time_source(nullptr);
+  EXPECT_FALSE(log_time_now().has_value());
+  EXPECT_EQ(format_log_line(LogLevel::kWarn, "msg"), "[WARN] msg");
+}
+
+TEST(Logging, SinkReceivesRawMessageWithoutPrefix) {
+  // Custom sinks get the bare message; the level/time prefix belongs to
+  // the default stderr formatting only.
+  set_log_time_source([] { return 5.0; });
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel, const std::string& m) { captured.push_back(m); });
+  LOG_ERROR << "bare";
+  set_log_sink(nullptr);
+  set_log_time_source(nullptr);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "bare");
+}
+
 }  // namespace
 }  // namespace cmdare::util
