@@ -1,0 +1,156 @@
+// cmdare_campaign: run a named Monte-Carlo campaign on the parallel
+// experiment engine and print/export its streaming aggregates.
+//
+//   cmdare_campaign --list
+//   cmdare_campaign lifetime
+//   cmdare_campaign speed --jobs 4 --replicas 64 --csv speed.csv
+//   cmdare_campaign lifetime --jobs 1 --csv a.csv   # byte-identical to
+//   cmdare_campaign lifetime --jobs 8 --csv b.csv   # ... this one
+//
+// The aggregate CSV is deterministic for a given (spec, seed) at any
+// --jobs value; wall-clock and the progress line are the only things
+// that change with thread count.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cmdare/campaigns.hpp"
+#include "exp/pool.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace cmdare;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: cmdare_campaign <name> [options]\n"
+      "       cmdare_campaign --list\n"
+      "options:\n"
+      "  --jobs N      worker threads (default: hardware concurrency; 1 = "
+      "serial)\n"
+      "  --replicas N  replicas per cell (default: the spec's)\n"
+      "  --seed S      campaign seed (default: the spec's)\n"
+      "  --csv PATH    write the aggregate CSV to PATH\n"
+      "  --quiet       suppress the progress line\n");
+}
+
+void print_catalog() {
+  util::Table table({"name", "cells", "replicas", "description"});
+  for (const core::NamedCampaign& c : core::named_campaigns()) {
+    table.add_row({c.name, std::to_string(exp::cell_count(c.spec)),
+                   std::to_string(c.spec.replicas), c.description});
+  }
+  table.set_title("Available campaigns:");
+  table.render(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    std::printf("\n");
+    print_catalog();
+    return 1;
+  }
+  const std::string name = argv[1];
+  if (name == "--list" || name == "-l") {
+    print_catalog();
+    return 0;
+  }
+  if (name == "--help" || name == "-h") {
+    print_usage();
+    return 0;
+  }
+
+  exp::CampaignSpec spec;
+  exp::ReplicaFn replica;
+  try {
+    const core::NamedCampaign& named = core::campaign_by_name(name);
+    spec = named.spec;
+    replica = named.replica;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n\n", e.what());
+    print_catalog();
+    return 1;
+  }
+
+  exp::RunOptions options;
+  std::string csv_path;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      options.jobs = std::atoi(next_value("--jobs"));
+    } else if (arg == "--replicas") {
+      spec.replicas = std::atoi(next_value("--replicas"));
+    } else if (arg == "--seed") {
+      spec.seed = std::strtoull(next_value("--seed"), nullptr, 10);
+    } else if (arg == "--csv") {
+      csv_path = next_value("--csv");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+      print_usage();
+      return 1;
+    }
+  }
+
+  if (!quiet) {
+    options.on_progress = [](const exp::Progress& p) {
+      // Serialized by the engine; one carriage-return line.
+      if (p.replicas_done % 16 == 0 || p.replicas_done == p.replicas_total) {
+        std::fprintf(stderr, "\r%zu/%zu replicas (%zu/%zu cells, %zu failed)",
+                     p.replicas_done, p.replicas_total, p.cells_done,
+                     p.cells_total, p.replicas_failed);
+        if (p.replicas_done == p.replicas_total) std::fprintf(stderr, "\n");
+      }
+    };
+  }
+
+  exp::CampaignResult result;
+  try {
+    result = exp::run_campaign(spec, replica, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  util::Table table = result.summary_table();
+  table.set_title("Campaign \"" + spec.name + "\" (seed " +
+                  std::to_string(spec.seed) + ", " +
+                  std::to_string(spec.replicas) + " replicas/cell):");
+  table.render(std::cout);
+  std::printf("\n%zu replicas over %zu cells in %s on %d thread(s)",
+              result.progress.replicas_total, result.progress.cells_total,
+              util::format_duration(result.wall_seconds).c_str(),
+              result.jobs_used);
+  if (result.total_failures() > 0) {
+    std::printf(" — %zu FAILED", result.total_failures());
+  }
+  std::printf("\n");
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    result.write_csv(out);
+    std::printf("aggregates written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}

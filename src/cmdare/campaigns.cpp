@@ -1,0 +1,163 @@
+#include "cmdare/campaigns.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cloud/revocation.hpp"
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "train/session.hpp"
+
+namespace cmdare::core {
+namespace {
+
+// Shared immutable hazard model: construction calibrates the base rates
+// numerically, so do it once; all sampling methods are const and take
+// the replica's private rng, making concurrent use safe.
+const cloud::RevocationModel& revocation_model() {
+  static const cloud::RevocationModel model;
+  return model;
+}
+
+}  // namespace
+
+exp::ReplicaResult lifetime_replica(exp::ReplicaContext& context) {
+  exp::ReplicaResult result;
+  const exp::CellSpec& cell = context.cell;
+  if (!cloud::gpu_offered_in_region(cell.region, cell.gpu)) return result;
+  const int samples =
+      static_cast<int>(context.spec.param("samples_per_replica", 50.0));
+  for (int i = 0; i < samples; ++i) {
+    const auto age = revocation_model().sample_revocation_age_seconds(
+        cell.region, cell.gpu, static_cast<double>(cell.launch_hour),
+        context.rng);
+    const double hours =
+        age.value_or(cloud::kMaxTransientLifetimeSeconds) / 3600.0;
+    result.observe("lifetime_h", hours);
+    result.observe("revoked", age ? 1.0 : 0.0);
+  }
+  return result;
+}
+
+exp::ReplicaResult launch_replica(exp::ReplicaContext& context) {
+  exp::ReplicaResult result;
+  const exp::CellSpec& cell = context.cell;
+  if (!cloud::gpu_offered_in_region(cell.region, cell.gpu)) return result;
+  const double duration_h = context.spec.param("duration_hours", 8.0);
+  const int samples =
+      static_cast<int>(context.spec.param("samples_per_replica", 50.0));
+  for (int i = 0; i < samples; ++i) {
+    const auto age = revocation_model().sample_revocation_age_seconds(
+        cell.region, cell.gpu, static_cast<double>(cell.launch_hour),
+        context.rng);
+    result.observe("revoked_in_job",
+                   age && *age <= duration_h * 3600.0 ? 1.0 : 0.0);
+  }
+  return result;
+}
+
+exp::ReplicaResult speed_replica(exp::ReplicaContext& context) {
+  const exp::CellSpec& cell = context.cell;
+  const long steps = static_cast<long>(context.spec.param("steps", 800.0));
+  const long discard = std::min<long>(100, steps / 4);
+
+  simcore::Simulator sim;
+  train::SessionConfig config;
+  config.max_steps = steps;
+  train::TrainingSession session(sim, nn::model_by_name(cell.model), config,
+                                 context.rng.fork("session"));
+  for (int w = 0; w < cell.cluster_size; ++w) {
+    train::WorkerSpec spec;
+    spec.gpu = cell.gpu;
+    spec.region = cell.region;
+    spec.label = cell.model;
+    session.add_worker(spec);
+  }
+  sim.run();
+
+  exp::ReplicaResult result;
+  result.observe("steps_per_s", session.trace().mean_speed(discard, steps));
+  const auto intervals =
+      session.trace().worker_step_intervals(0, discard);
+  if (!intervals.empty()) {
+    result.observe("step_ms", 1000.0 * stats::mean(intervals));
+  }
+  return result;
+}
+
+const std::vector<NamedCampaign>& named_campaigns() {
+  static const std::vector<NamedCampaign> campaigns = [] {
+    std::vector<NamedCampaign> list;
+
+    {
+      NamedCampaign c;
+      c.name = "lifetime";
+      c.description =
+          "Fig. 8 / Table V: transient lifetimes and 24 h revocation "
+          "fractions over every measured (region, GPU) pair";
+      c.spec.name = c.name;
+      c.spec.seed = 8;
+      c.spec.replicas = 64;
+      c.spec.regions.assign(cloud::kAllRegions.begin(),
+                            cloud::kAllRegions.end());
+      c.spec.gpus.assign(cloud::kAllGpuTypes.begin(),
+                         cloud::kAllGpuTypes.end());
+      c.spec.launch_hours = {
+          static_cast<int>(cloud::kReferenceLaunchLocalHour)};
+      c.spec.params["samples_per_replica"] = 50.0;
+      c.replica = lifetime_replica;
+      list.push_back(std::move(c));
+    }
+
+    {
+      NamedCampaign c;
+      c.name = "launch";
+      c.description =
+          "Section V-C ablation grid: P(revoked within an 8 h job) over "
+          "(region, GPU, local launch hour)";
+      c.spec.name = c.name;
+      c.spec.seed = 1000;
+      c.spec.replicas = 64;
+      c.spec.regions.assign(cloud::kAllRegions.begin(),
+                            cloud::kAllRegions.end());
+      c.spec.gpus.assign(cloud::kAllGpuTypes.begin(),
+                         cloud::kAllGpuTypes.end());
+      c.spec.launch_hours = {0, 4, 8, 12, 16, 20};
+      c.spec.params["duration_hours"] = 8.0;
+      c.spec.params["samples_per_replica"] = 25.0;
+      c.replica = launch_replica;
+      list.push_back(std::move(c));
+    }
+
+    {
+      NamedCampaign c;
+      c.name = "speed";
+      c.description =
+          "Tables I/III: training speed distributions per (GPU, cluster "
+          "size) for ResNet-15/32, one PS";
+      c.spec.name = c.name;
+      c.spec.seed = 42;
+      c.spec.replicas = 16;
+      c.spec.gpus.assign(cloud::kAllGpuTypes.begin(),
+                         cloud::kAllGpuTypes.end());
+      c.spec.models = {"resnet-15", "resnet-32"};
+      c.spec.cluster_sizes = {1, 4};
+      c.spec.params["steps"] = 800.0;
+      c.replica = speed_replica;
+      list.push_back(std::move(c));
+    }
+
+    return list;
+  }();
+  return campaigns;
+}
+
+const NamedCampaign& campaign_by_name(const std::string& name) {
+  for (const NamedCampaign& c : named_campaigns()) {
+    if (c.name == name) return c;
+  }
+  throw std::invalid_argument("campaign_by_name: unknown campaign " + name);
+}
+
+}  // namespace cmdare::core

@@ -1,0 +1,52 @@
+// Named Monte-Carlo campaigns: the paper's measurement studies
+// re-expressed as exp::CampaignSpec grids.
+//
+// Each entry pairs a declarative factor grid with the replica function
+// that realizes one independent sample of the study — the Figure 8 /
+// Table V lifetime census, the launch-placement sweep behind the
+// Section V-C ablation, and the cluster training-speed sweeps of
+// Tables I/III. The `cmdare_campaign` CLI example runs them by name;
+// bench_fig8 and bench_ablation_launch build their statistics on the
+// same replica functions through the parallel engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+
+namespace cmdare::core {
+
+struct NamedCampaign {
+  std::string name;
+  std::string description;
+  exp::CampaignSpec spec;
+  exp::ReplicaFn replica;
+};
+
+/// The campaign catalog. Specs carry sensible defaults (replica counts,
+/// params); callers may override seed/replicas/jobs before running.
+const std::vector<NamedCampaign>& named_campaigns();
+
+/// Catalog lookup; throws std::invalid_argument for unknown names.
+const NamedCampaign& campaign_by_name(const std::string& name);
+
+/// Replica functions, exposed so benches can pair them with custom grids.
+///
+/// `lifetime`: samples `params["samples_per_replica"]` (default 50)
+/// transient-server lifetimes for the cell's (region, GPU, launch hour);
+/// observations: "lifetime_h" (24 h-capped) and "revoked" (0/1). Cells
+/// whose (region, GPU) pair the paper did not measure report nothing.
+exp::ReplicaResult lifetime_replica(exp::ReplicaContext& context);
+
+/// `launch`: samples revocation outcomes for a job of
+/// `params["duration_hours"]` (default 8) launched at the cell's local
+/// hour; observation: "revoked_in_job" (0/1) per sample.
+exp::ReplicaResult launch_replica(exp::ReplicaContext& context);
+
+/// `speed`: runs one training session (cell.cluster_size workers of
+/// cell.gpu on cell.model, one PS) for `params["steps"]` (default 800)
+/// steps; observations: "steps_per_s" and "step_ms" (per-worker mean).
+exp::ReplicaResult speed_replica(exp::ReplicaContext& context);
+
+}  // namespace cmdare::core

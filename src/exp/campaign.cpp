@@ -1,0 +1,254 @@
+#include "exp/campaign.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+#include "exp/pool.hpp"
+#include "stats/descriptive.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace cmdare::exp {
+namespace {
+
+/// Installs a telemetry bundle on the current thread for a scope and
+/// restores the previous one (null on pool workers) on exit.
+class ThreadTelemetryGuard {
+ public:
+  explicit ThreadTelemetryGuard(obs::Telemetry* bundle)
+      : previous_(obs::telemetry()) {
+    obs::install(bundle);
+  }
+  ~ThreadTelemetryGuard() { obs::install(previous_); }
+  ThreadTelemetryGuard(const ThreadTelemetryGuard&) = delete;
+  ThreadTelemetryGuard& operator=(const ThreadTelemetryGuard&) = delete;
+
+ private:
+  obs::Telemetry* previous_;
+};
+
+/// One replica's landing slot. The owning worker fills it without a
+/// lock (slots are disjoint), then flips `done` under the engine mutex;
+/// the in-order fold drains it under the same mutex.
+struct Slot {
+  bool done = false;
+  bool failed = false;
+  ReplicaResult result;
+  std::string error;
+  std::unique_ptr<obs::Telemetry> telemetry;
+};
+
+std::string format_value(double v) { return util::format_double(v, 6); }
+
+}  // namespace
+
+double MetricAggregate::cov() const {
+  if (running.count() < 2) return 0.0;
+  const double m = running.mean();
+  return m == 0.0 ? 0.0 : running.stddev() / m;
+}
+
+double MetricAggregate::quantile(double q) const {
+  if (values.empty()) return 0.0;
+  return stats::quantile(values, q);
+}
+
+void CampaignResult::write_csv(std::ostream& out) const {
+  util::CsvWriter writer(out);
+  writer.write_row({"campaign", "cell", "region", "gpu", "model",
+                    "cluster_size", "launch_hour", "metric", "replicas_ok",
+                    "replicas_failed", "count", "mean", "sd", "cov", "min",
+                    "p10", "p50", "p90", "max"});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const CellSpec& cell = cells[c];
+    const CellAggregate& agg = aggregates[c];
+    const std::vector<std::string> prefix = {
+        spec.name,
+        std::to_string(cell.index),
+        cloud::region_name(cell.region),
+        cloud::gpu_name(cell.gpu),
+        cell.model,
+        std::to_string(cell.cluster_size),
+        std::to_string(cell.launch_hour)};
+    auto row_for = [&](const std::string& metric,
+                       const std::vector<std::string>& tail) {
+      std::vector<std::string> row = prefix;
+      row.push_back(metric);
+      row.push_back(std::to_string(agg.replicas_ok));
+      row.push_back(std::to_string(agg.replicas_failed));
+      row.insert(row.end(), tail.begin(), tail.end());
+      writer.write_row(row);
+    };
+    if (agg.metrics.empty()) {
+      // Keep the cell visible even when every replica failed (or none
+      // reported anything).
+      row_for("(none)", {"0", "0", "0", "0", "0", "0", "0", "0", "0"});
+      continue;
+    }
+    for (const auto& [metric, m] : agg.metrics) {
+      const bool has_sd = m.running.count() >= 2;
+      row_for(metric,
+              {std::to_string(m.running.count()),
+               format_value(m.running.mean()),
+               format_value(has_sd ? m.running.stddev() : 0.0),
+               format_value(m.cov()), format_value(m.running.min()),
+               format_value(m.quantile(0.10)), format_value(m.quantile(0.50)),
+               format_value(m.quantile(0.90)), format_value(m.running.max())});
+    }
+  }
+}
+
+util::Table CampaignResult::summary_table() const {
+  util::Table table({"cell", "metric", "n", "mean", "sd", "cov", "p10", "p50",
+                     "p90", "failed"});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const CellAggregate& agg = aggregates[c];
+    if (agg.metrics.empty()) {
+      table.add_row({cells[c].label(), "(none)", "0", "", "", "", "", "", "",
+                     std::to_string(agg.replicas_failed)});
+      continue;
+    }
+    bool first = true;
+    for (const auto& [metric, m] : agg.metrics) {
+      const bool has_sd = m.running.count() >= 2;
+      table.add_row({first ? cells[c].label() : "", metric,
+                     std::to_string(m.running.count()),
+                     util::format_double(m.running.mean(), 4),
+                     util::format_double(has_sd ? m.running.stddev() : 0.0, 4),
+                     util::format_double(m.cov(), 3),
+                     util::format_double(m.quantile(0.10), 4),
+                     util::format_double(m.quantile(0.50), 4),
+                     util::format_double(m.quantile(0.90), 4),
+                     first ? std::to_string(agg.replicas_failed) : ""});
+      first = false;
+    }
+  }
+  return table;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec, const ReplicaFn& replica,
+                            const RunOptions& options) {
+  if (!replica) {
+    throw std::invalid_argument("run_campaign: replica function is empty");
+  }
+  const auto started = std::chrono::steady_clock::now();
+
+  CampaignResult result;
+  result.spec = spec;
+  result.cells = expand(spec);
+  result.aggregates.assign(result.cells.size(), {});
+  result.jobs_used = resolve_jobs(options.jobs);
+
+  const std::size_t replicas = static_cast<std::size_t>(spec.replicas);
+  const std::size_t total = result.cells.size() * replicas;
+  result.progress.replicas_total = total;
+  result.progress.cells_total = result.cells.size();
+
+  const util::Rng root(spec.seed);
+  std::vector<Slot> slots(total);
+  // Per-cell fold cursor: replica r of cell c folds only after replicas
+  // 0..r-1 of that cell have folded, which pins the aggregation order —
+  // and therefore every floating-point sum — for any thread count.
+  std::vector<std::size_t> next_fold(result.cells.size(), 0);
+  std::vector<std::unique_ptr<obs::Telemetry>> cell_telemetry(
+      result.cells.size());
+  std::mutex fold_mutex;
+
+  auto fold_ready = [&](std::size_t c) {
+    CellAggregate& agg = result.aggregates[c];
+    while (next_fold[c] < replicas) {
+      Slot& slot = slots[c * replicas + next_fold[c]];
+      if (!slot.done) break;
+      const int r = static_cast<int>(next_fold[c]);
+      if (slot.failed) {
+        ++agg.replicas_failed;
+        ++result.progress.replicas_failed;
+        agg.failures.push_back({r, std::move(slot.error)});
+      } else {
+        ++agg.replicas_ok;
+        for (auto& [metric, value] : slot.result.observations) {
+          MetricAggregate& m = agg.metrics[metric];
+          m.running.add(value);
+          m.values.push_back(value);
+        }
+      }
+      if (slot.telemetry) {
+        if (!cell_telemetry[c]) {
+          cell_telemetry[c] = std::make_unique<obs::Telemetry>();
+        }
+        const std::string prefix = "replica" + std::to_string(r) + "/";
+        cell_telemetry[c]->registry.merge(slot.telemetry->registry);
+        cell_telemetry[c]->tracer.merge(slot.telemetry->tracer, prefix);
+      }
+      slot = Slot{};  // release the buffered result eagerly
+      ++next_fold[c];
+      ++result.progress.replicas_done;
+      if (next_fold[c] == replicas) ++result.progress.cells_done;
+      if (options.on_progress) options.on_progress(result.progress);
+    }
+  };
+
+  {
+    ThreadPool pool(options.jobs);
+    pool.parallel_for(total, [&](std::size_t task) {
+      const std::size_t c = task / replicas;
+      const std::size_t r = task % replicas;
+      Slot& slot = slots[task];
+      ReplicaContext context{spec, result.cells[c], static_cast<int>(r),
+                             root.fork(static_cast<std::uint64_t>(c))
+                                 .fork(static_cast<std::uint64_t>(r)),
+                             nullptr};
+      if (options.capture_telemetry) {
+        slot.telemetry = std::make_unique<obs::Telemetry>();
+        context.telemetry = slot.telemetry.get();
+      }
+      {
+        ThreadTelemetryGuard guard(context.telemetry);
+        try {
+          slot.result = replica(context);
+        } catch (const std::exception& e) {
+          slot.failed = true;
+          slot.error = e.what();
+        } catch (...) {
+          slot.failed = true;
+          slot.error = "unknown error";
+        }
+      }
+      std::lock_guard<std::mutex> lock(fold_mutex);
+      slot.done = true;
+      fold_ready(c);
+    });
+  }
+
+  // Deterministic cross-cell telemetry merge, on the calling thread.
+  if (options.capture_telemetry) {
+    result.telemetry = std::make_unique<obs::Telemetry>();
+    for (std::size_t c = 0; c < cell_telemetry.size(); ++c) {
+      if (!cell_telemetry[c]) continue;
+      const std::string prefix = "cell" + std::to_string(c) + "/";
+      result.telemetry->registry.merge(cell_telemetry[c]->registry);
+      result.telemetry->tracer.merge(cell_telemetry[c]->tracer, prefix);
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  if (obs::Registry* registry = obs::registry()) {
+    const obs::LabelSet labels = {{"campaign", spec.name}};
+    registry->counter("exp.campaign.replicas_total", labels)
+        .inc(static_cast<double>(total));
+    registry->counter("exp.campaign.replicas_failed", labels)
+        .inc(static_cast<double>(result.progress.replicas_failed));
+    registry->counter("exp.campaign.cells_total", labels)
+        .inc(static_cast<double>(result.cells.size()));
+    registry->histogram("exp.campaign.wall_seconds", labels)
+        .observe(result.wall_seconds);
+  }
+  return result;
+}
+
+}  // namespace cmdare::exp

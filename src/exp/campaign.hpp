@@ -1,0 +1,141 @@
+// Parallel Monte-Carlo campaign engine.
+//
+// run_campaign() expands a CampaignSpec into cells, runs `replicas`
+// independent replicas per cell on a ThreadPool, and streams the replica
+// observations into per-cell aggregates. The design invariants:
+//
+//   * Determinism for any thread count. Replica (c, r) draws every
+//     random number from Rng(spec.seed).fork(c).fork(r) — no shared
+//     stream — and aggregation folds replicas *in index order within
+//     each cell* (out-of-order completions are buffered until their
+//     predecessors arrive), so the aggregate CSV is byte-identical at
+//     --jobs 1 and --jobs N. tests/exp_campaign_test.cpp pins this.
+//   * Replica isolation. Each replica builds its own simulator and, when
+//     telemetry capture is on, gets its own obs::Telemetry installed
+//     thread-locally for its duration (see obs/obs.hpp's per-thread
+//     contract); bundles merge deterministically after the fold.
+//   * Crash isolation. A throwing replica records a failure row (replica
+//     index + error text) in its cell and the campaign keeps going; its
+//     observations are simply absent from the aggregates.
+//
+// The progress callback fires under the engine's aggregation mutex after
+// every folded replica, so it is serialized — safe to print from or to
+// bump counters in a caller-owned structure without extra locking.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/spec.hpp"
+#include "obs/obs.hpp"
+#include "stats/running.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace cmdare::exp {
+
+/// Everything a replica function gets to work with. The rng is the
+/// replica's private stream; the telemetry bundle (when capture is on)
+/// is also installed as the thread's active sink, so instrumented
+/// library code inside the replica lands in it automatically.
+struct ReplicaContext {
+  const CampaignSpec& spec;
+  const CellSpec& cell;
+  int replica = 0;
+  util::Rng rng;
+  obs::Telemetry* telemetry = nullptr;
+};
+
+/// A replica reports observations as (metric, value) pairs. A metric
+/// name may repeat: each occurrence is one observation (e.g. a batch of
+/// sampled lifetimes from one replica).
+struct ReplicaResult {
+  std::vector<std::pair<std::string, double>> observations;
+
+  void observe(std::string metric, double value) {
+    observations.emplace_back(std::move(metric), value);
+  }
+};
+
+using ReplicaFn = std::function<ReplicaResult(ReplicaContext&)>;
+
+struct ReplicaFailure {
+  int replica = 0;
+  std::string error;
+};
+
+/// Streaming per-metric aggregate: Welford moments plus the retained
+/// sample for percentile bands and ECDF construction. Values appear in
+/// replica order (then observation order within a replica) — the same
+/// order for every thread count.
+struct MetricAggregate {
+  stats::RunningStats running;
+  std::vector<double> values;
+
+  double cov() const;
+  /// Linear-interpolated percentile of the retained sample, q in [0, 1].
+  double quantile(double q) const;
+};
+
+struct CellAggregate {
+  int replicas_ok = 0;
+  int replicas_failed = 0;
+  /// Keyed by metric name; std::map so iteration is deterministic.
+  std::map<std::string, MetricAggregate> metrics;
+  std::vector<ReplicaFailure> failures;
+};
+
+struct Progress {
+  std::size_t replicas_done = 0;  // ok + failed
+  std::size_t replicas_failed = 0;
+  std::size_t replicas_total = 0;
+  std::size_t cells_done = 0;
+  std::size_t cells_total = 0;
+};
+
+struct RunOptions {
+  /// Worker threads: 1 = serial (inline on the caller), 0 = one per
+  /// hardware thread, N = exactly N.
+  int jobs = 0;
+  /// Give every replica its own obs::Telemetry bundle and merge them all
+  /// (tracks prefixed "cell<c>/replica<r>/") into CampaignResult::
+  /// telemetry. Off by default: a large campaign's merged trace is big.
+  bool capture_telemetry = false;
+  /// Serialized progress callback; fires after every folded replica.
+  std::function<void(const Progress&)> on_progress;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<CellSpec> cells;
+  std::vector<CellAggregate> aggregates;  // parallel to cells
+  Progress progress;                      // final counts
+  int jobs_used = 1;
+  double wall_seconds = 0.0;  // informational; never part of the CSV
+  /// Merged per-replica telemetry; null unless capture_telemetry.
+  std::unique_ptr<obs::Telemetry> telemetry;
+
+  std::size_t total_failures() const { return progress.replicas_failed; }
+
+  /// Deterministic aggregate CSV: one row per (cell, metric) with count,
+  /// mean, sd, CoV, min, p10/p50/p90, max, plus the cell's ok/failed
+  /// replica counts. Byte-identical across thread counts by design.
+  void write_csv(std::ostream& out) const;
+  /// The same rows as an ASCII table for terminal output.
+  util::Table summary_table() const;
+};
+
+/// Runs the campaign. Also records summary counters
+/// (exp.campaign.replicas_total / .replicas_failed / .cells_total) into
+/// the *caller thread's* obs registry, when one is installed, after the
+/// run completes — worker threads never touch the caller's bundle.
+CampaignResult run_campaign(const CampaignSpec& spec, const ReplicaFn& replica,
+                            const RunOptions& options = {});
+
+}  // namespace cmdare::exp

@@ -1,0 +1,92 @@
+#include "exp/pool.hpp"
+
+#include <algorithm>
+
+namespace cmdare::exp {
+
+int resolve_jobs(int jobs) {
+  if (jobs >= 1) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int jobs) {
+  const int workers = resolve_jobs(jobs) - 1;
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::shared_ptr<Job> last;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [&] { return stop_ || (job_ != nullptr && job_ != last); });
+      if (stop_) return;
+      job = job_;
+      last = job;
+    }
+    drain(job);
+  }
+}
+
+void ThreadPool::drain(const std::shared_ptr<Job>& job) {
+  for (;;) {
+    const std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->count) return;
+    std::exception_ptr error;
+    try {
+      (*job->fn)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !job->error) job->error = error;
+    if (++job->completed == job->count) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    // Serial reference path: run inline, complete every task even when
+    // one throws (matching the pooled path), rethrow the first failure.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  auto job = std::make_shared<Job>(count, fn);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+  }
+  work_ready_.notify_all();
+  drain(job);
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [&] { return job->completed == job->count; });
+  if (job_ == job) job_ = nullptr;
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace cmdare::exp

@@ -1,0 +1,83 @@
+// Fixed thread pool with self-scheduling parallel-for.
+//
+// The campaign engine (exp/campaign) runs thousands of independent
+// simulator replicas whose runtimes vary by orders of magnitude (a
+// lifetime sample vs. an 8-hour training run), so static task splitting
+// would leave threads idle. ThreadPool instead hands out task indices
+// from a shared atomic cursor: every worker — including the calling
+// thread, which participates — grabs the next unclaimed index until the
+// range is drained. That is dynamic load balancing with the determinism
+// properties the engine needs: *which thread* runs a task is
+// nondeterministic, but the set of tasks and their per-task inputs are
+// fixed, and the engine orders its aggregation independently of
+// completion order.
+//
+// jobs == 1 is special: no worker threads are spawned and parallel_for
+// runs every task inline on the caller, giving a pure serial reference
+// execution for determinism tests and debugging.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cmdare::exp {
+
+/// Resolves a --jobs request: values >= 1 pass through; 0 (the "auto"
+/// convention) becomes std::thread::hardware_concurrency(), floored at 1.
+int resolve_jobs(int jobs);
+
+class ThreadPool {
+ public:
+  /// Spawns `resolve_jobs(jobs) - 1` worker threads; the caller acts as
+  /// the remaining worker inside parallel_for.
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread (>= 1).
+  int size() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, count), distributing indices
+  /// dynamically across the pool, and blocks until all have finished.
+  /// If any invocation throws, the remaining tasks still run and the
+  /// first exception (in completion order) is rethrown afterwards. Not
+  /// reentrant: one parallel_for at a time, from one thread.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  // One parallel_for invocation. Workers hold the job via shared_ptr, so
+  // a thread that wakes late (or checks the cursor after the job already
+  // completed) still sees *its* job's exhausted cursor rather than a
+  // recycled one from the next invocation.
+  struct Job {
+    explicit Job(std::size_t count_in,
+                 const std::function<void(std::size_t)>& fn_in)
+        : count(count_in), fn(&fn_in) {}
+    const std::size_t count;
+    const std::function<void(std::size_t)>* const fn;
+    std::atomic<std::size_t> next{0};
+    std::size_t completed = 0;  // guarded by the pool mutex
+    std::exception_ptr error;   // first failure; guarded by the pool mutex
+  };
+
+  void worker_loop();
+  void drain(const std::shared_ptr<Job>& job);
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  std::shared_ptr<Job> job_;  // current job, null when idle
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cmdare::exp

@@ -1,0 +1,61 @@
+#include "exp/spec.hpp"
+
+#include <stdexcept>
+
+namespace cmdare::exp {
+
+double CampaignSpec::param(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+std::string CellSpec::label() const {
+  std::string out = cloud::region_name(region);
+  out += '/';
+  out += cloud::gpu_name(gpu);
+  out += '/';
+  out += model;
+  out += "/w";
+  out += std::to_string(cluster_size);
+  out += "/h";
+  out += std::to_string(launch_hour);
+  return out;
+}
+
+std::size_t cell_count(const CampaignSpec& spec) {
+  return spec.regions.size() * spec.gpus.size() * spec.models.size() *
+         spec.cluster_sizes.size() * spec.launch_hours.size();
+}
+
+std::vector<CellSpec> expand(const CampaignSpec& spec) {
+  if (spec.regions.empty() || spec.gpus.empty() || spec.models.empty() ||
+      spec.cluster_sizes.empty() || spec.launch_hours.empty()) {
+    throw std::invalid_argument("expand: every factor list must be non-empty");
+  }
+  if (spec.replicas < 1) {
+    throw std::invalid_argument("expand: replicas must be >= 1");
+  }
+  std::vector<CellSpec> cells;
+  cells.reserve(cell_count(spec));
+  for (const cloud::Region region : spec.regions) {
+    for (const cloud::GpuType gpu : spec.gpus) {
+      for (const std::string& model : spec.models) {
+        for (const int size : spec.cluster_sizes) {
+          for (const int hour : spec.launch_hours) {
+            CellSpec cell;
+            cell.index = cells.size();
+            cell.region = region;
+            cell.gpu = gpu;
+            cell.model = model;
+            cell.cluster_size = size;
+            cell.launch_hour = hour;
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace cmdare::exp

@@ -1,0 +1,75 @@
+// Declarative Monte-Carlo campaign specifications.
+//
+// Every statistical result in the paper — the Table V revocation counts,
+// the Figure 8 lifetime CDFs, the replacement-overhead and placement
+// ablations — is an aggregate over many independent simulation replicas
+// swept over a factor grid (region, GPU type, model, cluster size, local
+// launch hour). CampaignSpec is the declarative form of such a sweep:
+// expand() takes the cartesian product of the factor lists into a flat,
+// deterministically ordered list of cells, and the engine
+// (exp/campaign) schedules `replicas` independent replicas per cell.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/gpu.hpp"
+#include "cloud/region.hpp"
+
+namespace cmdare::exp {
+
+/// A factor-grid sweep: the cartesian product of the five factor lists,
+/// each cell replicated `replicas` times. Factors that should not vary
+/// stay at their single default value. Replica functions that ignore a
+/// factor (e.g. a lifetime campaign has no model) simply leave its list
+/// at the default so it contributes one value to the product.
+struct CampaignSpec {
+  std::string name = "campaign";
+  /// Root seed: replica (cell c, index r) draws from
+  /// Rng(seed).fork(c).fork(r), so results are reproducible from this one
+  /// value and independent of thread count and completion order.
+  std::uint64_t seed = 1;
+  /// Replicas per cell (>= 1).
+  int replicas = 1;
+
+  // Factor grids, expanded outermost (regions) to innermost (launch
+  // hours) in declaration order. Each must be non-empty.
+  std::vector<cloud::Region> regions = {cloud::Region::kUsCentral1};
+  std::vector<cloud::GpuType> gpus = {cloud::GpuType::kK80};
+  std::vector<std::string> models = {"resnet-15"};
+  std::vector<int> cluster_sizes = {1};
+  std::vector<int> launch_hours = {9};
+
+  /// Free-form numeric knobs the replica function reads (step counts,
+  /// job durations, batch sizes, ...). Part of the spec so a campaign is
+  /// fully described by one value; std::map keeps iteration (and thus
+  /// any derived output) deterministic.
+  std::map<std::string, double> params;
+
+  /// params[key], or `fallback` when the knob is absent.
+  double param(const std::string& key, double fallback) const;
+};
+
+/// One grid point of the expanded campaign.
+struct CellSpec {
+  std::size_t index = 0;  // position in expansion order
+  cloud::Region region = cloud::Region::kUsCentral1;
+  cloud::GpuType gpu = cloud::GpuType::kK80;
+  std::string model;
+  int cluster_size = 1;
+  int launch_hour = 9;
+
+  /// Compact label, e.g. "us-central1/k80/resnet-15/w4/h9".
+  std::string label() const;
+};
+
+/// Number of cells expand() would produce.
+std::size_t cell_count(const CampaignSpec& spec);
+
+/// Cartesian expansion in declaration order. Throws std::invalid_argument
+/// when a factor list is empty or replicas < 1.
+std::vector<CellSpec> expand(const CampaignSpec& spec);
+
+}  // namespace cmdare::exp

@@ -81,6 +81,19 @@ double Histogram::quantile(double q) const {
   return max_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
@@ -217,6 +230,24 @@ void Registry::write_csv(std::ostream& out) const {
   for (const SnapshotRow& row : snapshot()) {
     writer.write_row({row.kind, row.name, format_labels(row.labels), row.field,
                       util::format_double(row.value, 6)});
+  }
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [key, series] : other.counters_) {
+    (void)key;
+    counter(series.name, series.labels).inc(series.metric.value());
+  }
+  for (const auto& [key, series] : other.gauges_) {
+    (void)key;
+    gauge(series.name, series.labels).set(series.metric.value());
+  }
+  for (const auto& [key, series] : other.histograms_) {
+    (void)key;
+    const Histogram& theirs = series.metric;
+    Histogram& mine =
+        histogram(series.name, series.labels, theirs.bounds());
+    mine.merge(theirs);
   }
 }
 

@@ -79,6 +79,11 @@ class Histogram {
 
   void reset();
 
+  /// Adds another histogram's buckets into this one. The bucket bounds
+  /// must be identical (merging rebinned data silently would corrupt the
+  /// quantile estimates), or it throws std::invalid_argument.
+  void merge(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
@@ -126,6 +131,15 @@ class Registry {
 
   /// Zeroes every series (series definitions are kept).
   void reset_all();
+
+  /// Folds another registry's series into this one (find-or-create by
+  /// name + labels): counters add, histograms add bucket-by-bucket
+  /// (bounds must match, or it throws), and gauges take `other`'s value
+  /// (last merge wins — a gauge is an instantaneous reading, so summing
+  /// would be meaningless). This is how per-replica registries from the
+  /// parallel campaign engine collapse into one campaign-level registry;
+  /// merging the replicas in a fixed order gives a deterministic result.
+  void merge(const Registry& other);
 
  private:
   template <typename T>

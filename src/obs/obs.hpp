@@ -1,8 +1,8 @@
 // Global telemetry access point.
 //
 // Instrumented code throughout the repo (train, cloud, cmdare) asks for
-// the process-wide Registry / Tracer through the inline accessors below
-// and does nothing when none is installed — the disabled path is a single
+// the active Registry / Tracer through the inline accessors below and
+// does nothing when none is installed — the disabled path is a single
 // pointer load and branch, cheap enough to leave the probes in every hot
 // loop (bench_micro_obs measures this). Telemetry is off by default;
 // examples, benches, and tests opt in with ScopedTelemetry:
@@ -11,8 +11,19 @@
 //   ... run simulation ...
 //   obs::write_chrome_trace(telemetry->tracer, out);
 //
-// The engine is single-threaded (see simcore), so no synchronization is
-// needed; install/uninstall from a simulation callback is allowed.
+// Threading contract (the experiment engine in src/exp runs independent
+// simulator replicas on a thread pool): the active bundle is
+// **per-thread** — install() sets a thread_local pointer, so each worker
+// thread installs its own Telemetry around its replica and instrumented
+// code never shares a Registry/Tracer across threads. Neither Registry
+// nor Tracer is internally synchronized; the per-replica-sink contract is
+// what makes them safe. To combine per-replica telemetry, collect the
+// bundles after the threads join and fold them with Registry::merge() /
+// Tracer::merge() (exp::run_campaign does this in a deterministic order).
+// A bundle installed on one thread is never visible to another; threads
+// that have not installed anything see telemetry disabled.
+// tests/obs_concurrency_test.cpp holds the TSan-clean proof of this
+// contract.
 #pragma once
 
 #include "obs/metrics.hpp"
@@ -28,14 +39,16 @@ struct Telemetry {
 };
 
 namespace detail {
-extern Telemetry* g_active;
+extern thread_local Telemetry* g_active;
 }  // namespace detail
 
-/// Installs `telemetry` as the process-wide sink (nullptr disables —
-/// the default). The caller keeps ownership.
+/// Installs `telemetry` as the calling thread's sink (nullptr disables —
+/// the default). The caller keeps ownership. Other threads are
+/// unaffected: the active bundle is thread-local.
 void install(Telemetry* telemetry);
 
-/// Currently installed bundle, or nullptr when telemetry is disabled.
+/// The calling thread's installed bundle, or nullptr when telemetry is
+/// disabled on this thread.
 inline Telemetry* telemetry() { return detail::g_active; }
 
 /// Shorthands: nullptr when disabled; never dangling between installs.
@@ -49,8 +62,9 @@ inline Tracer* tracer() {
 }
 inline bool enabled() { return detail::g_active != nullptr; }
 
-/// RAII owner + installer; uninstalls (restoring the previous bundle) on
-/// destruction, so nested scopes and tests compose.
+/// RAII owner + installer; uninstalls (restoring the thread's previous
+/// bundle) on destruction, so nested scopes and tests compose. Must be
+/// destroyed on the thread that created it.
 class ScopedTelemetry {
  public:
   ScopedTelemetry();

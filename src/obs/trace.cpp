@@ -65,6 +65,25 @@ void Tracer::counter(std::string name, simcore::SimTime at, double value) {
   counters_.push_back(CounterSample{std::move(name), at, value});
 }
 
+void Tracer::merge(const Tracer& other, const std::string& track_prefix) {
+  std::vector<std::uint32_t> remap(other.tracks_.size());
+  for (std::uint32_t id = 0; id < other.tracks_.size(); ++id) {
+    remap[id] = track(track_prefix + other.tracks_[id]);
+  }
+  for (SpanRecord span : other.spans_) {
+    span.track = remap[span.track];
+    spans_.push_back(std::move(span));
+  }
+  for (InstantRecord instant : other.instants_) {
+    instant.track = remap[instant.track];
+    instants_.push_back(std::move(instant));
+  }
+  for (CounterSample sample : other.counters_) {
+    sample.name = track_prefix + sample.name;
+    counters_.push_back(std::move(sample));
+  }
+}
+
 void Tracer::clear() {
   spans_.clear();
   instants_.clear();

@@ -93,6 +93,14 @@ class Tracer {
   /// Drops all records and open spans; tracks are kept.
   void clear();
 
+  /// Appends another tracer's records, remapping its tracks into this
+  /// tracer by name. `track_prefix` is prepended to the incoming track
+  /// and counter names so records from different sources stay on
+  /// separate timelines (the campaign engine uses "cell3/replica5/").
+  /// Open (begun, not ended) spans in `other` are not copied — only
+  /// completed records merge.
+  void merge(const Tracer& other, const std::string& track_prefix = "");
+
  private:
   struct OpenSpan {
     std::string name;

@@ -52,6 +52,23 @@ Rng Rng::fork(std::string_view stream_name) const {
   return Rng(s0, s1, s2, s3);
 }
 
+Rng Rng::fork(std::uint64_t index) const {
+  // Finalize the index through one SplitMix64 round (with an offset so
+  // index 0 is not a fixed point) before mixing it with the parent state.
+  // The per-index key lands in a different part of the 64-bit space than
+  // the FNV-1a hashes used by the string overload, keeping the two fork
+  // families from aliasing.
+  std::uint64_t key = index ^ 0xd1b54a32d192ed03ULL;
+  key = splitmix64(key);
+  std::uint64_t x = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^
+                    rotl(state_[3], 43) ^ key;
+  std::uint64_t s0 = splitmix64(x);
+  std::uint64_t s1 = splitmix64(x);
+  std::uint64_t s2 = splitmix64(x);
+  std::uint64_t s3 = splitmix64(x);
+  return Rng(s0, s1, s2, s3);
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;

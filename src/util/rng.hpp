@@ -30,6 +30,17 @@ class Rng {
   /// statistically independent for simulation purposes.
   [[nodiscard]] Rng fork(std::string_view stream_name) const;
 
+  /// Derives an independent stream for a counter/index (replica number,
+  /// grid-cell number, shard id, ...). The derivation is pure 64-bit
+  /// integer arithmetic — no hashing of a formatted string — so the
+  /// mapping (parent state, index) -> stream is identical on every
+  /// platform and is pinned by a regression test; campaign seeding
+  /// (exp::run_campaign) depends on it staying fixed. Distinct indices
+  /// give decorrelated streams, and fork(i) never collides with a
+  /// fork(name) stream because the index is mixed through a different
+  /// finalizer than the FNV-1a string path.
+  [[nodiscard]] Rng fork(std::uint64_t index) const;
+
   /// Next raw 64-bit value.
   std::uint64_t next_u64();
 

@@ -1,0 +1,284 @@
+#include "exp/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exp/pool.hpp"
+
+namespace cmdare::exp {
+namespace {
+
+int hardware_jobs() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+// A cheap, fully deterministic replica: a few floating-point
+// observations derived from the replica's private stream and the cell
+// factors.
+ReplicaResult arithmetic_replica(ReplicaContext& context) {
+  ReplicaResult result;
+  double acc = static_cast<double>(context.cell.index + 1);
+  for (int i = 0; i < 16; ++i) {
+    acc += context.rng.uniform() * context.cell.cluster_size;
+    result.observe("acc", acc);
+  }
+  result.observe("first_uniform", context.rng.uniform());
+  return result;
+}
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.name = "test";
+  spec.seed = 7;
+  spec.replicas = 64;
+  spec.regions = {cloud::Region::kUsEast1, cloud::Region::kUsWest1};
+  spec.gpus = {cloud::GpuType::kK80};
+  spec.cluster_sizes = {1, 3};
+  return spec;
+}
+
+std::string aggregate_csv(const CampaignResult& result) {
+  std::ostringstream out;
+  result.write_csv(out);
+  return out.str();
+}
+
+TEST(CampaignSpec, ExpandTakesCartesianProductInDeclarationOrder) {
+  CampaignSpec spec;
+  spec.regions = {cloud::Region::kUsEast1, cloud::Region::kUsWest1};
+  spec.gpus = {cloud::GpuType::kK80, cloud::GpuType::kV100};
+  spec.models = {"resnet-15"};
+  spec.cluster_sizes = {1, 2, 4};
+  spec.launch_hours = {9};
+  const auto cells = expand(spec);
+  ASSERT_EQ(cells.size(), 12u);
+  EXPECT_EQ(cell_count(spec), 12u);
+  // Innermost factor (cluster size) varies fastest.
+  EXPECT_EQ(cells[0].cluster_size, 1);
+  EXPECT_EQ(cells[1].cluster_size, 2);
+  EXPECT_EQ(cells[2].cluster_size, 4);
+  EXPECT_EQ(cells[0].gpu, cloud::GpuType::kK80);
+  EXPECT_EQ(cells[3].gpu, cloud::GpuType::kV100);
+  EXPECT_EQ(cells[0].region, cloud::Region::kUsEast1);
+  EXPECT_EQ(cells[6].region, cloud::Region::kUsWest1);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+}
+
+TEST(CampaignSpec, ExpandRejectsEmptyFactorsAndBadReplicaCounts) {
+  CampaignSpec spec;
+  spec.regions.clear();
+  EXPECT_THROW(expand(spec), std::invalid_argument);
+  spec = CampaignSpec{};
+  spec.replicas = 0;
+  EXPECT_THROW(expand(spec), std::invalid_argument);
+}
+
+TEST(Campaign, ReplicaSeedsFollowTheForkChain) {
+  CampaignSpec spec = small_spec();
+  spec.replicas = 3;
+  RunOptions options;
+  options.jobs = 1;
+  const CampaignResult result =
+      run_campaign(spec, arithmetic_replica, options);
+
+  const util::Rng root(spec.seed);
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const auto& firsts = result.aggregates[c].metrics.at("first_uniform");
+    ASSERT_EQ(firsts.values.size(), 3u);
+    for (int r = 0; r < 3; ++r) {
+      util::Rng expected = root.fork(static_cast<std::uint64_t>(c))
+                               .fork(static_cast<std::uint64_t>(r));
+      // arithmetic_replica consumes 16 uniforms before recording.
+      for (int i = 0; i < 16; ++i) (void)expected.uniform();
+      EXPECT_DOUBLE_EQ(firsts.values[static_cast<std::size_t>(r)],
+                       expected.uniform())
+          << "cell " << c << " replica " << r;
+    }
+  }
+}
+
+TEST(Campaign, AggregateCsvIsByteIdenticalAcrossJobCounts) {
+  const CampaignSpec spec = small_spec();  // 4 cells x 64 replicas
+  std::vector<std::string> csvs;
+  for (const int jobs : {1, 4, hardware_jobs()}) {
+    RunOptions options;
+    options.jobs = jobs;
+    csvs.push_back(aggregate_csv(run_campaign(spec, arithmetic_replica,
+                                              options)));
+  }
+  EXPECT_EQ(csvs[0], csvs[1]) << "--jobs 1 vs --jobs 4";
+  EXPECT_EQ(csvs[0], csvs[2]) << "--jobs 1 vs --jobs hardware_concurrency";
+  EXPECT_NE(csvs[0].find("test,"), std::string::npos);
+}
+
+TEST(Campaign, SameSeedSameResultDifferentSeedDifferentResult) {
+  CampaignSpec spec = small_spec();
+  RunOptions options;
+  options.jobs = 2;
+  const std::string a = aggregate_csv(run_campaign(spec, arithmetic_replica,
+                                                   options));
+  const std::string b = aggregate_csv(run_campaign(spec, arithmetic_replica,
+                                                   options));
+  EXPECT_EQ(a, b);
+  spec.seed += 1;
+  const std::string c = aggregate_csv(run_campaign(spec, arithmetic_replica,
+                                                   options));
+  EXPECT_NE(a, c);
+}
+
+TEST(Campaign, ThrowingReplicasAreIsolatedAndRecorded) {
+  CampaignSpec spec = small_spec();
+  spec.replicas = 8;
+  const ReplicaFn replica = [](ReplicaContext& context) -> ReplicaResult {
+    if (context.cell.index == 1 && (context.replica == 2 ||
+                                    context.replica == 5)) {
+      throw std::runtime_error("synthetic replica crash");
+    }
+    return arithmetic_replica(context);
+  };
+
+  std::vector<std::string> csvs;
+  for (const int jobs : {1, 4}) {
+    RunOptions options;
+    options.jobs = jobs;
+    const CampaignResult result = run_campaign(spec, replica, options);
+    EXPECT_EQ(result.total_failures(), 2u);
+    const CellAggregate& crashed = result.aggregates[1];
+    EXPECT_EQ(crashed.replicas_failed, 2);
+    EXPECT_EQ(crashed.replicas_ok, 6);
+    ASSERT_EQ(crashed.failures.size(), 2u);
+    EXPECT_EQ(crashed.failures[0].replica, 2);
+    EXPECT_EQ(crashed.failures[1].replica, 5);
+    EXPECT_EQ(crashed.failures[0].error, "synthetic replica crash");
+    // Surviving replicas of the crashed cell still aggregated.
+    EXPECT_EQ(crashed.metrics.at("first_uniform").values.size(), 6u);
+    // Untouched cells are complete.
+    EXPECT_EQ(result.aggregates[0].replicas_ok, 8);
+    csvs.push_back(aggregate_csv(result));
+  }
+  EXPECT_EQ(csvs[0], csvs[1]) << "failures must not break determinism";
+}
+
+TEST(Campaign, ProgressIsSerializedMonotonicAndComplete) {
+  const CampaignSpec spec = small_spec();  // 256 replicas
+  RunOptions options;
+  options.jobs = 4;
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  Progress final{};
+  options.on_progress = [&](const Progress& p) {
+    // Serialized by the engine's fold mutex: plain variables suffice.
+    ++calls;
+    EXPECT_EQ(p.replicas_done, last_done + 1);
+    last_done = p.replicas_done;
+    EXPECT_LE(p.cells_done, p.cells_total);
+    final = p;
+  };
+  const CampaignResult result = run_campaign(spec, arithmetic_replica,
+                                             options);
+  EXPECT_EQ(calls, result.progress.replicas_total);
+  EXPECT_EQ(final.replicas_done, final.replicas_total);
+  EXPECT_EQ(final.cells_done, final.cells_total);
+  EXPECT_EQ(final.replicas_failed, 0u);
+}
+
+TEST(Campaign, CapturedTelemetryMergesDeterministically) {
+  CampaignSpec spec = small_spec();
+  spec.replicas = 4;
+  const ReplicaFn replica = [](ReplicaContext& context) -> ReplicaResult {
+    // Instrumented code inside a replica sees the per-replica bundle as
+    // the thread's active telemetry.
+    EXPECT_EQ(obs::telemetry(), context.telemetry);
+    obs::registry()->counter("replica.work").inc();
+    obs::tracer()->complete(obs::tracer()->track("replica"), "work", "exp",
+                            0.0, 1.0);
+    ReplicaResult result;
+    result.observe("x", context.rng.uniform());
+    return result;
+  };
+  RunOptions options;
+  options.jobs = 4;
+  options.capture_telemetry = true;
+  const CampaignResult result = run_campaign(spec, replica, options);
+  ASSERT_NE(result.telemetry, nullptr);
+  EXPECT_DOUBLE_EQ(result.telemetry->registry.counter("replica.work").value(),
+                   static_cast<double>(result.progress.replicas_total));
+  // Every replica's track merged under its cell/replica prefix.
+  EXPECT_EQ(result.telemetry->tracer.spans().size(),
+            result.progress.replicas_total);
+  const auto& tracks = result.telemetry->tracer.track_names();
+  EXPECT_NE(std::find(tracks.begin(), tracks.end(), "cell0/replica0/replica"),
+            tracks.end());
+}
+
+TEST(Campaign, RecordsSummaryMetricsIntoCallersRegistry) {
+  obs::ScopedTelemetry telemetry;
+  CampaignSpec spec = small_spec();
+  spec.replicas = 2;
+  RunOptions options;
+  options.jobs = 2;
+  (void)run_campaign(spec, arithmetic_replica, options);
+  const obs::LabelSet labels = {{"campaign", "test"}};
+  EXPECT_DOUBLE_EQ(
+      telemetry->registry.counter("exp.campaign.replicas_total", labels)
+          .value(),
+      8.0);
+  EXPECT_DOUBLE_EQ(
+      telemetry->registry.counter("exp.campaign.cells_total", labels).value(),
+      4.0);
+}
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(5), 5);
+  EXPECT_GE(resolve_jobs(0), 1);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  for (const int jobs : {1, 3, 8}) {
+    ThreadPool pool(jobs);
+    EXPECT_EQ(pool.size(), jobs);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForIsReusable) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterAllTasksRun) {
+  for (const int jobs : {1, 4}) {
+    ThreadPool pool(jobs);
+    std::atomic<int> ran{0};
+    try {
+      pool.parallel_for(64, [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i == 10) throw std::runtime_error("task failed");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task failed");
+    }
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace cmdare::exp

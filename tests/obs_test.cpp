@@ -327,6 +327,102 @@ TEST(Tracer, ClearKeepsTracks) {
   EXPECT_EQ(tracer.track("storage"), track);
 }
 
+// --- merging (per-replica bundles -> one campaign bundle) ---
+
+TEST(Metrics, HistogramMergeAddsBuckets) {
+  obs::Histogram a({1.0, 10.0});
+  obs::Histogram b({1.0, 10.0});
+  a.observe(0.5);
+  a.observe(5.0);
+  b.observe(5.0);
+  b.observe(50.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 60.5);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 50.0);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);  // <= 1
+  EXPECT_EQ(a.bucket_counts()[1], 2u);  // <= 10
+  EXPECT_EQ(a.bucket_counts()[2], 1u);  // +inf
+  // Merging an empty histogram is a no-op either direction.
+  obs::Histogram empty({1.0, 10.0});
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 4u);
+}
+
+TEST(Metrics, HistogramMergeRejectsDifferentBounds) {
+  obs::Histogram a({1.0, 10.0});
+  obs::Histogram b({1.0, 20.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Metrics, RegistryMergeCombinesEveryKind) {
+  obs::Registry a;
+  obs::Registry b;
+  a.counter("steps").inc(3.0);
+  b.counter("steps").inc(4.0);
+  b.counter("only_b", {{"shard", "1"}}).inc();
+  a.gauge("queue").set(2.0);
+  b.gauge("queue").set(7.0);
+  a.histogram("lat", {}, {1.0, 10.0}).observe(0.5);
+  b.histogram("lat", {}, {1.0, 10.0}).observe(5.0);
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.counter("steps").value(), 7.0);
+  EXPECT_DOUBLE_EQ(a.counter("only_b", {{"shard", "1"}}).value(), 1.0);
+  // Gauges are instantaneous readings: last merge wins.
+  EXPECT_DOUBLE_EQ(a.gauge("queue").value(), 7.0);
+  EXPECT_EQ(a.histogram("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("lat").sum(), 5.5);
+}
+
+TEST(Metrics, RegistryMergeCreatesHistogramWithSourceBounds) {
+  obs::Registry a;
+  obs::Registry b;
+  b.histogram("lat", {}, {2.0, 4.0}).observe(3.0);
+  a.merge(b);
+  ASSERT_EQ(a.histogram("lat").bounds(), (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(a.histogram("lat").count(), 1u);
+}
+
+TEST(Tracer, MergeRemapsTracksWithPrefix) {
+  obs::Tracer replica;
+  const auto worker = replica.track("worker-0");
+  replica.complete(worker, "step", "train", 0.0, 1.0);
+  replica.instant(worker, "revoked", "cloud", 2.0);
+  replica.counter("queue.depth", 1.0, 3.0);
+
+  obs::Tracer campaign;
+  campaign.complete(campaign.track("campaign"), "setup", "exp", 0.0, 0.5);
+  campaign.merge(replica, "cell0/replica1/");
+
+  ASSERT_EQ(campaign.spans().size(), 2u);
+  const auto& names = campaign.track_names();
+  const auto merged_track = campaign.spans()[1].track;
+  EXPECT_EQ(names[merged_track], "cell0/replica1/worker-0");
+  EXPECT_EQ(campaign.spans()[0].track, campaign.track("campaign"));
+  ASSERT_EQ(campaign.instants().size(), 1u);
+  EXPECT_EQ(names[campaign.instants()[0].track], "cell0/replica1/worker-0");
+  ASSERT_EQ(campaign.counter_samples().size(), 1u);
+  EXPECT_EQ(campaign.counter_samples()[0].name, "cell0/replica1/queue.depth");
+}
+
+TEST(Tracer, MergeSharesTracksWithoutPrefixAndSkipsOpenSpans) {
+  obs::Tracer a;
+  obs::Tracer b;
+  const auto track_a = a.track("worker");
+  const auto track_b = b.track("worker");
+  a.complete(track_a, "x", "t", 0.0, 1.0);
+  b.complete(track_b, "y", "t", 1.0, 2.0);
+  b.begin(track_b, "open", "t", 3.0);  // never ended
+  a.merge(b);
+  ASSERT_EQ(a.spans().size(), 2u);
+  EXPECT_EQ(a.spans()[1].name, "y");
+  EXPECT_EQ(a.spans()[1].track, track_a);  // remapped by name onto "worker"
+  EXPECT_EQ(a.track_names().size(), 1u);
+  EXPECT_EQ(a.open_spans(track_a), 0u);  // open span did not cross
+}
+
 // --- exporters ---
 
 TEST(Export, JsonEscape) {
