@@ -21,6 +21,18 @@ const char* instance_state_name(InstanceState state) {
       return "REVOKED";
     case InstanceState::kExpired:
       return "EXPIRED";
+    case InstanceState::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+const char* request_failure_reason_name(RequestFailureReason reason) {
+  switch (reason) {
+    case RequestFailureReason::kStockout:
+      return "stockout";
+    case RequestFailureReason::kLaunchError:
+      return "launch_error";
   }
   return "?";
 }
@@ -74,6 +86,41 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
         .inc();
   }
 
+  // Fault layer: a stockout window or a transient launch error denies the
+  // request; the caller hears about it via on_request_failed after the
+  // API round-trip. Stockouts model exhausted *preemptible* capacity, so
+  // on-demand requests bypass them (this is what makes the fallback
+  // ladder's on-demand rung a guaranteed way out).
+  if (fault_injector_ != nullptr) {
+    std::optional<RequestFailureReason> failure;
+    if (request.transient &&
+        fault_injector_->stocked_out(request.region, request.gpu,
+                                     sim_->now())) {
+      failure = RequestFailureReason::kStockout;
+    } else if (fault_injector_->launch_error()) {
+      failure = RequestFailureReason::kLaunchError;
+    }
+    if (failure) {
+      pending_events_[id] = sim_->schedule_after(
+          kRequestFailureResponseSeconds,
+          [this, id, reason = *failure] {
+            if (!records_[id].alive()) return;  // terminated meanwhile
+            finish(id, InstanceState::kFailed);
+            if (obs::Registry* registry = obs::registry()) {
+              registry
+                  ->counter("cloud.request_failures_total",
+                            {{"reason", request_failure_reason_name(reason)}})
+                  .inc();
+            }
+            if (callbacks_[id].on_request_failed) {
+              callbacks_[id].on_request_failed(id, reason);
+            }
+          },
+          "provider.request_failed");
+      return id;
+    }
+  }
+
   // Lifecycle: PROVISIONING -> STAGING -> RUNNING.
   const StartupBreakdown& startup = records_[id].startup;
   sim_->schedule_after(
@@ -122,7 +169,14 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
       const InstanceState terminal =
           age ? InstanceState::kRevoked : InstanceState::kExpired;
 
-      if (end_age > kPreemptionNoticeSeconds) {
+      // Injected abrupt kill: the revocation arrives with no warning,
+      // denying transient-TensorFlow its notification hook and forcing
+      // the session down the stale-checkpoint recovery path.
+      const bool abrupt = age && fault_injector_ != nullptr &&
+                          fault_injector_->abrupt_kill();
+      r.abrupt_kill = abrupt;
+
+      if (!abrupt && end_age > kPreemptionNoticeSeconds) {
         pending_notices_[id] = sim_->schedule_after(
             end_age - kPreemptionNoticeSeconds,
             [this, id] {

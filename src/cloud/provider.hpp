@@ -18,6 +18,7 @@
 #include "cloud/region.hpp"
 #include "cloud/revocation.hpp"
 #include "cloud/startup.hpp"
+#include "faults/faults.hpp"
 #include "simcore/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -28,6 +29,9 @@ using InstanceId = std::uint64_t;
 /// Preemption warning lead time (Google preemptible VMs give 30 s).
 inline constexpr double kPreemptionNoticeSeconds = 30.0;
 
+/// API round-trip before a denied instance request reports failure.
+inline constexpr double kRequestFailureResponseSeconds = 2.0;
+
 enum class InstanceState {
   kProvisioning,
   kStaging,
@@ -35,9 +39,19 @@ enum class InstanceState {
   kTerminated,  // deleted by the customer
   kRevoked,     // preempted by the provider
   kExpired,     // hit the 24-hour transient lifetime cap
+  kFailed,      // request denied (stockout / launch error); never booted
 };
 
 const char* instance_state_name(InstanceState state);
+
+/// Why an instance request was denied (only with a fault injector
+/// attached; the fault-free provider always succeeds).
+enum class RequestFailureReason {
+  kStockout,     // no transient capacity for this (region, GPU) right now
+  kLaunchError,  // transient API error; retrying may succeed
+};
+
+const char* request_failure_reason_name(RequestFailureReason reason);
 
 struct InstanceRequest {
   GpuType gpu = GpuType::kK80;
@@ -53,9 +67,15 @@ struct InstanceCallbacks {
   /// Instance reached RUNNING and is usable.
   std::function<void(InstanceId)> on_running;
   /// Preemption notice: fires kPreemptionNoticeSeconds before the kill.
+  /// Skipped entirely for abrupt kills (injected notice-less revocations).
   std::function<void(InstanceId)> on_preemption_notice;
   /// Instance is gone (revoked or expired). Not called for terminate().
   std::function<void(InstanceId)> on_revoked;
+  /// Request denied: the record exists in state kFailed and no other
+  /// callback will ever fire for this id. Only fires when a fault
+  /// injector is attached; fires kRequestFailureResponseSeconds after the
+  /// request (the API round-trip).
+  std::function<void(InstanceId, RequestFailureReason)> on_request_failed;
 };
 
 struct InstanceRecord {
@@ -68,6 +88,8 @@ struct InstanceRecord {
   simcore::SimTime ended_at = -1.0;    // -1 until terminal
   /// Local hour-of-day at which the instance reached RUNNING.
   double running_local_hour = 0.0;
+  /// Revocation arrived with no preemption notice (injected abrupt kill).
+  bool abrupt_kill = false;
 
   bool alive() const {
     return state == InstanceState::kProvisioning ||
@@ -86,9 +108,19 @@ class CloudProvider {
 
   /// Requests an instance; lifecycle events fire through `callbacks`.
   /// Throws std::invalid_argument if the GPU is not offered in the region
-  /// (the Table V "N/A" combinations).
+  /// (the Table V "N/A" combinations). With a fault injector attached the
+  /// request may be denied: the returned record then finishes in state
+  /// kFailed and callbacks.on_request_failed fires instead of on_running.
   InstanceId request_instance(const InstanceRequest& request,
                               InstanceCallbacks callbacks = {});
+
+  /// Attaches a fault injector (non-owning; nullptr detaches). Without
+  /// one, request_instance never fails and every revocation carries the
+  /// full preemption notice — the pre-fault-layer contract.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  faults::FaultInjector* fault_injector() const { return fault_injector_; }
 
   /// Customer-initiated deletion; safe in any non-terminal state.
   void terminate(InstanceId id);
@@ -115,6 +147,7 @@ class CloudProvider {
 
   simcore::Simulator* sim_;
   util::Rng rng_;
+  faults::FaultInjector* fault_injector_ = nullptr;
   double campaign_start_utc_hour_;
   StartupModel startup_model_;
   RevocationModel revocation_model_;

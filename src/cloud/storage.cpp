@@ -12,18 +12,49 @@ ObjectStore::ObjectStore(simcore::Simulator& sim, util::Rng rng,
     : sim_(&sim), rng_(rng), timing_(timing) {}
 
 double ObjectStore::upload(const std::string& key, std::uint64_t bytes,
-                           std::function<void()> on_done) {
+                           std::function<void()> on_done,
+                           std::function<void(const std::string&)> on_error) {
   if (key.empty()) throw std::invalid_argument("ObjectStore: empty key");
-  const double duration = sample_upload_seconds(bytes);
+  double duration = sample_upload_seconds(bytes);
+  bool fail = false;
+  if (fault_injector_ != nullptr) {
+    duration *= fault_injector_->upload_slowdown();
+    fail = fault_injector_->upload_error();
+  }
   const simcore::SimTime started = sim_->now();
+
+  if (fail) {
+    // The transfer is lost: the writer finds out when it times out after
+    // the full (possibly slowed) duration; the blob never lands.
+    sim_->schedule_after(
+        duration,
+        [this, key, started, err = std::move(on_error)] {
+          if (obs::Tracer* tracer = obs::tracer()) {
+            tracer->complete(tracer->track("storage"), "storage.upload_failed",
+                             "storage", started, sim_->now(), {{"key", key}},
+                             /*async=*/true);
+          }
+          if (obs::Registry* registry = obs::registry()) {
+            registry->counter("storage.upload_failures_total").inc();
+          }
+          if (err) err("injected upload failure for " + key);
+        },
+        "storage.upload");
+    return duration;
+  }
+
   sim_->schedule_after(
       duration,
       [this, key, bytes, started, done = std::move(on_done)]() {
-        const auto [it, inserted] = blobs_.insert_or_assign(key, bytes);
-        (void)it;
-        if (inserted) {
-          bytes_stored_ += bytes;
+        const auto it = blobs_.find(key);
+        if (it != blobs_.end()) {
+          // Overwrite: replace the old blob's contribution to the total.
+          bytes_stored_ -= it->second;
+          it->second = bytes;
+        } else {
+          blobs_.emplace(key, bytes);
         }
+        bytes_stored_ += bytes;
         if (obs::Tracer* tracer = obs::tracer()) {
           tracer->complete(tracer->track("storage"), "storage.upload",
                            "storage", started, sim_->now(),
@@ -46,6 +77,66 @@ double ObjectStore::upload(const std::string& key, std::uint64_t bytes,
       },
       "storage.upload");
   return duration;
+}
+
+double ObjectStore::restore(
+    const std::string& key, std::function<void(std::uint64_t)> on_done,
+    std::function<void(const std::string&)> on_error) {
+  if (key.empty()) throw std::invalid_argument("ObjectStore: empty key");
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    sim_->schedule_after(
+        0.0,
+        [key, err = std::move(on_error)] {
+          if (err) err("no such blob: " + key);
+        },
+        "storage.restore");
+    return 0.0;
+  }
+  const std::uint64_t bytes = it->second;
+  // Reads move the same bytes through the same service; reuse the
+  // calibrated write-time model for the transfer duration.
+  const double duration = sample_upload_seconds(bytes);
+  const bool fail =
+      fault_injector_ != nullptr && fault_injector_->restore_error();
+  const simcore::SimTime started = sim_->now();
+  sim_->schedule_after(
+      duration,
+      [this, key, bytes, fail, started, done = std::move(on_done),
+       err = std::move(on_error)] {
+        if (obs::Tracer* tracer = obs::tracer()) {
+          tracer->complete(tracer->track("storage"),
+                           fail ? "storage.restore_failed" : "storage.restore",
+                           "storage", started, sim_->now(), {{"key", key}},
+                           /*async=*/true);
+        }
+        if (obs::Registry* registry = obs::registry()) {
+          registry
+              ->counter(fail ? "storage.restore_failures_total"
+                             : "storage.restores_total")
+              .inc();
+        }
+        if (fail) {
+          if (err) err("injected restore failure for " + key);
+        } else if (done) {
+          done(bytes);
+        }
+      },
+      "storage.restore");
+  return duration;
+}
+
+bool ObjectStore::try_restore(const std::string& key) {
+  if (blobs_.count(key) == 0) return false;
+  const bool fail =
+      fault_injector_ != nullptr && fault_injector_->restore_error();
+  if (obs::Registry* registry = obs::registry()) {
+    registry
+        ->counter(fail ? "storage.restore_failures_total"
+                       : "storage.restores_total")
+        .inc();
+  }
+  return !fail;
 }
 
 double ObjectStore::sample_upload_seconds(std::uint64_t bytes) {

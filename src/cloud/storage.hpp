@@ -3,7 +3,10 @@
 // CM-DARE's chief worker saves checkpoints to remote storage in the same
 // data center as the training cluster (Section IV-A). ObjectStore models
 // that service: named blobs with upload durations drawn from the
-// calibrated checkpoint-time model, plus simple read-back for restore.
+// calibrated checkpoint-time model, plus read-back for restore. With a
+// fault injector attached (src/faults), uploads can fail or crawl and
+// stored blobs can turn out unreadable on restore — the storage half of
+// the adversarial cloud the resilience layer is exercised against.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +15,7 @@
 #include <string>
 
 #include "cloud/calibration.hpp"
+#include "faults/faults.hpp"
 #include "simcore/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -24,12 +28,38 @@ class ObjectStore {
 
   /// Starts an asynchronous upload of `bytes` under `key`; `on_done` fires
   /// when the blob is durable. Returns the sampled transfer duration.
+  /// With a fault injector the transfer may be slowed (duration scaled)
+  /// or lost: the blob then never becomes durable and `on_error` (when
+  /// set) fires after the full transfer duration — timeout semantics.
   double upload(const std::string& key, std::uint64_t bytes,
-                std::function<void()> on_done);
+                std::function<void()> on_done,
+                std::function<void(const std::string&)> on_error = nullptr);
+
+  /// Starts an asynchronous read-back of a durable blob; `on_done(bytes)`
+  /// fires when the download completes. A missing key, or an injected
+  /// restore fault, reports through `on_error` instead (missing keys
+  /// immediately, faults after the transfer duration). Returns the
+  /// sampled transfer duration (0 for a missing key).
+  double restore(const std::string& key,
+                 std::function<void(std::uint64_t)> on_done,
+                 std::function<void(const std::string&)> on_error = nullptr);
+
+  /// Synchronous-model restore probe used by recovery code choosing which
+  /// checkpoint to roll back to: true when the blob exists and the fault
+  /// injector (if any) lets the read succeed. Counts an injected restore
+  /// fault exactly like the asynchronous path.
+  bool try_restore(const std::string& key);
 
   /// Synchronous-model variant used by analytic code: just samples how
   /// long an upload of `bytes` would take.
   double sample_upload_seconds(std::uint64_t bytes);
+
+  /// Attaches a fault injector (non-owning; nullptr detaches). Without
+  /// one, every transfer lands — the pre-fault-layer contract.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  faults::FaultInjector* fault_injector() const { return fault_injector_; }
 
   /// True once a blob with this key is durable.
   bool contains(const std::string& key) const;
@@ -37,12 +67,13 @@ class ObjectStore {
   std::uint64_t blob_size(const std::string& key) const;
   std::size_t blob_count() const { return blobs_.size(); }
 
-  /// Total bytes written (durable blobs only).
+  /// Total bytes of durable blobs (overwrites replace the old size).
   std::uint64_t bytes_stored() const { return bytes_stored_; }
 
  private:
   simcore::Simulator* sim_;
   util::Rng rng_;
+  faults::FaultInjector* fault_injector_ = nullptr;
   CheckpointTimeModel timing_;
   std::map<std::string, std::uint64_t> blobs_;
   std::uint64_t bytes_stored_ = 0;

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "cloud/provider.hpp"
 #include "cloud/revocation.hpp"
+#include "cloud/storage.hpp"
+#include "cmdare/resource_manager.hpp"
+#include "faults/faults.hpp"
 #include "nn/model_zoo.hpp"
 #include "simcore/simulator.hpp"
 #include "stats/descriptive.hpp"
@@ -86,6 +90,67 @@ exp::ReplicaResult speed_replica(exp::ReplicaContext& context) {
   return result;
 }
 
+exp::ReplicaResult resilience_replica(exp::ReplicaContext& context) {
+  exp::ReplicaResult result;
+  const exp::CellSpec& cell = context.cell;
+  if (!cloud::gpu_offered_in_region(cell.region, cell.gpu)) return result;
+  const long steps = static_cast<long>(context.spec.param("steps", 400.0));
+  const double horizon_s =
+      context.spec.param("horizon_hours", 48.0) * 3600.0;
+
+  // The adversarial cloud: uniform fault rates across every injection
+  // site plus one early capacity stockout for the cell's (region, GPU),
+  // long enough that backoff alone cannot wait it out
+  // (stockouts_before_fallback retries reach the ladder first).
+  faults::FaultPlan plan = faults::FaultPlan::uniform(cell.fault_rate);
+  if (cell.fault_rate > 0.0) {
+    faults::StockoutWindow window;
+    window.region = cell.region;
+    window.gpu = cell.gpu;
+    window.start_s = context.spec.param("stockout_start_s", 300.0);
+    window.end_s =
+        window.start_s + context.spec.param("stockout_seconds", 1800.0);
+    plan.stockouts.push_back(window);
+  }
+  faults::FaultInjector injector(plan, context.rng.fork("faults"));
+
+  simcore::Simulator sim;
+  cloud::CloudProvider provider(sim, context.rng.fork("cloud"));
+  provider.set_fault_injector(&injector);
+  cloud::ObjectStore store(sim, context.rng.fork("store"));
+  store.set_fault_injector(&injector);
+
+  RunConfig config;
+  config.session.max_steps = steps;
+  config.session.checkpoint_interval_steps =
+      static_cast<long>(context.spec.param("checkpoint_interval_steps", 100.0));
+  for (int w = 0; w < cell.cluster_size; ++w) {
+    train::WorkerSpec spec;
+    spec.gpu = cell.gpu;
+    spec.region = cell.region;
+    spec.label = cell.model;
+    config.workers.push_back(spec);
+  }
+  TransientTrainingRun run(provider, nn::model_by_name(cell.model), config,
+                           context.rng.fork("run"), &store);
+  run.start();
+  sim.run_until(horizon_s);
+
+  result.observe("completed", run.finished() ? 1.0 : 0.0);
+  if (run.finished()) result.observe("makespan_s", run.elapsed_seconds());
+  result.observe("cost_usd", run.cost_so_far());
+  result.observe("launch_retries", static_cast<double>(run.launch_retries()));
+  result.observe("fallbacks", static_cast<double>(run.fallbacks_taken()));
+  result.observe("slots_abandoned",
+                 static_cast<double>(run.slots_abandoned()));
+  result.observe("revocations", static_cast<double>(run.revocations_seen()));
+  result.observe("abrupt_kills", static_cast<double>(run.abrupt_kills_seen()));
+  result.observe("checkpoints", static_cast<double>(store.blob_count()));
+  result.observe("faults_injected",
+                 static_cast<double>(injector.injected_total()));
+  return result;
+}
+
 const std::vector<NamedCampaign>& named_campaigns() {
   static const std::vector<NamedCampaign> campaigns = [] {
     std::vector<NamedCampaign> list;
@@ -145,6 +210,23 @@ const std::vector<NamedCampaign>& named_campaigns() {
       c.spec.cluster_sizes = {1, 4};
       c.spec.params["steps"] = 800.0;
       c.replica = speed_replica;
+      list.push_back(std::move(c));
+    }
+
+    {
+      NamedCampaign c;
+      c.name = "resilience";
+      c.description =
+          "Degradation curves under injected cloud faults: completion "
+          "rate, makespan, cost and retry/fallback counts vs fault rate";
+      c.spec.name = c.name;
+      c.spec.seed = 77;
+      c.spec.replicas = 8;
+      c.spec.cluster_sizes = {2};
+      c.spec.fault_rates = {0.0, 0.05, 0.1, 0.2};
+      c.spec.params["steps"] = 400.0;
+      c.spec.params["checkpoint_interval_steps"] = 100.0;
+      c.replica = resilience_replica;
       list.push_back(std::move(c));
     }
 

@@ -49,4 +49,14 @@ exp::ReplicaResult launch_replica(exp::ReplicaContext& context);
 /// steps; observations: "steps_per_s" and "step_ms" (per-worker mean).
 exp::ReplicaResult speed_replica(exp::ReplicaContext& context);
 
+/// `resilience`: runs one full TransientTrainingRun (auto-replacement,
+/// checkpoints to an ObjectStore) against a cloud with a
+/// FaultPlan::uniform(cell.fault_rate) injector plus one capacity
+/// stockout window, bounded by `params["horizon_hours"]` (default 48).
+/// Observations: "completed" (0/1), "makespan_s" (finished runs only),
+/// "cost_usd", "launch_retries", "fallbacks", "slots_abandoned",
+/// "revocations", "abrupt_kills", "checkpoints", "faults_injected" —
+/// the raw material of the degradation curves in EXPERIMENTS.md.
+exp::ReplicaResult resilience_replica(exp::ReplicaContext& context);
+
 }  // namespace cmdare::core

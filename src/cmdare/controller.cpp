@@ -58,7 +58,10 @@ void Controller::check() {
   // Only judge a full-strength cluster: while workers are still cold-
   // starting (or a revoked one has not been replaced yet), the speed
   // deficit is expected and says nothing about the parameter servers.
-  const std::size_t expected = run_->config().workers.size();
+  // Abandoned slots (persistent launch failures) lower the bar — the run
+  // will never refill them, so waiting for the configured count would
+  // silence the controller forever.
+  const std::size_t expected = run_->expected_worker_count();
   if (run_->session().active_worker_count() < expected) {
     full_strength_since_ = -1.0;
     run_->simulator().schedule_after(

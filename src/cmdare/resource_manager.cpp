@@ -1,7 +1,10 @@
 #include "cmdare/resource_manager.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "train/replacement.hpp"
 #include "util/logging.hpp"
 
@@ -15,7 +18,8 @@ TransientTrainingRun::TransientTrainingRun(cloud::CloudProvider& provider,
       store_(store),
       model_(std::move(model)),
       config_(std::move(config)),
-      rng_(rng) {
+      rng_(rng),
+      resilience_rng_(rng.fork("resilience")) {
   if (config_.workers.empty()) {
     throw std::invalid_argument("TransientTrainingRun: no workers");
   }
@@ -104,28 +108,53 @@ long TransientTrainingRun::completed_steps() const {
 
 void TransientTrainingRun::launch_worker(const train::WorkerSpec& spec,
                                          cloud::RequestContext context) {
+  Placement placement;
+  placement.spec = spec;
+  placement.original_spec = spec;
+  placement.context = context;
+  placement.cold = context != cloud::RequestContext::kNormal;
+  request_slot(std::move(placement));
+}
+
+void TransientTrainingRun::request_slot(Placement placement) {
   cloud::InstanceRequest request;
-  request.gpu = spec.gpu;
-  request.region = spec.region;
-  request.transient = spec.transient;
-  request.context = context;
+  request.gpu = placement.spec.gpu;
+  request.region = placement.spec.region;
+  request.transient = placement.spec.transient;
+  request.context = placement.context;
 
   cloud::InstanceCallbacks callbacks;
   callbacks.on_running = [this](cloud::InstanceId id) { handle_running(id); };
   callbacks.on_revoked = [this](cloud::InstanceId id) { handle_revoked(id); };
   // The preemption notice is transient-TensorFlow's hook to tell the
-  // parameter server / controller about the upcoming revocation.
+  // parameter server / controller about the upcoming revocation. Abrupt
+  // kills (injected) never fire it.
   callbacks.on_preemption_notice = [this](cloud::InstanceId id) {
+    ++notices_;
+    auto it = placements_.find(id);
+    if (it != placements_.end()) it->second.notice_received = true;
     LOG_DEBUG << "preemption notice for instance " << id << " at t="
               << provider_->simulator().now();
+  };
+  callbacks.on_request_failed = [this](cloud::InstanceId id,
+                                       cloud::RequestFailureReason reason) {
+    handle_request_failed(id, reason);
   };
 
   const cloud::InstanceId id =
       provider_->request_instance(request, std::move(callbacks));
-  Placement placement;
-  placement.spec = spec;
-  placement.cold = context != cloud::RequestContext::kNormal;
   placements_.emplace(id, std::move(placement));
+}
+
+void TransientTrainingRun::count_stale_event(const char* event,
+                                             cloud::InstanceId instance) {
+  ++stale_events_;
+  LOG_WARN << "ignoring " << event << " for instance " << instance
+           << " (late or duplicate lifecycle event)";
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("resilience.stale_events_total", {{"event", event}})
+        .inc();
+  }
 }
 
 void TransientTrainingRun::handle_running(cloud::InstanceId instance) {
@@ -135,9 +164,16 @@ void TransientTrainingRun::handle_running(cloud::InstanceId instance) {
   }
   auto it = placements_.find(instance);
   if (it == placements_.end()) {
-    throw std::logic_error("TransientTrainingRun: unknown instance running");
+    // A lifecycle event for an instance this run never placed (or whose
+    // placement was dropped) must not abort the run — log and move on.
+    count_stale_event("running", instance);
+    return;
   }
   Placement& placement = it->second;
+  if (placement.worker || placement.revoked) {
+    count_stale_event("running", instance);
+    return;
+  }
   // Every fresh VM pays the cold-start environment setup (initial workers
   // included: they also install the framework and download their shard).
   const double join_delay =
@@ -147,9 +183,26 @@ void TransientTrainingRun::handle_running(cloud::InstanceId instance) {
 
 void TransientTrainingRun::handle_revoked(cloud::InstanceId instance) {
   auto it = placements_.find(instance);
-  if (it == placements_.end()) return;
+  if (it == placements_.end() || finished_) {
+    count_stale_event("revoked", instance);
+    return;
+  }
   Placement& placement = it->second;
+  if (placement.revoked) {
+    count_stale_event("revoked", instance);
+    return;
+  }
+  placement.revoked = true;
   ++revocations_;
+  if (!placement.notice_received &&
+      provider_->record(instance).abrupt_kill) {
+    // Notice-less kill: the controller learns about the loss only now,
+    // and any in-flight chief work dies with a stale checkpoint.
+    ++abrupt_kills_;
+    if (obs::Registry* registry = obs::registry()) {
+      registry->counter("resilience.abrupt_kills_total").inc();
+    }
+  }
   if (placement.worker) {
     session_->revoke_worker(*placement.worker);
   }
@@ -157,6 +210,122 @@ void TransientTrainingRun::handle_revoked(cloud::InstanceId instance) {
     ++replacements_;
     launch_worker(placement.spec, config_.replacement_context);
   }
+}
+
+bool TransientTrainingRun::advance_fallback(Placement& placement) {
+  const ResiliencePolicy& policy = config_.resilience;
+  const train::WorkerSpec& original = placement.original_spec;
+  while (placement.ladder_stage < 3) {
+    ++placement.ladder_stage;
+    if (placement.ladder_stage == 1 && policy.allow_region_fallback) {
+      // Same GPU in another region that offers it transiently.
+      for (const cloud::Region region : cloud::kAllRegions) {
+        if (region == original.region) continue;
+        if (!cloud::gpu_offered_in_region(region, original.gpu)) continue;
+        placement.spec = original;
+        placement.spec.region = region;
+        return true;
+      }
+    } else if (placement.ladder_stage == 2 && policy.allow_gpu_fallback) {
+      // Another GPU type in the slot's configured region.
+      for (const cloud::GpuType gpu : cloud::kAllGpuTypes) {
+        if (gpu == original.gpu) continue;
+        if (!cloud::gpu_offered_in_region(original.region, gpu)) continue;
+        placement.spec = original;
+        placement.spec.gpu = gpu;
+        return true;
+      }
+    } else if (placement.ladder_stage == 3 &&
+               policy.allow_on_demand_fallback) {
+      // Last rung: an on-demand server — costs more, but preemptible
+      // capacity stockouts cannot touch it.
+      placement.spec = original;
+      placement.spec.transient = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TransientTrainingRun::handle_request_failed(
+    cloud::InstanceId instance, cloud::RequestFailureReason reason) {
+  auto it = placements_.find(instance);
+  if (it == placements_.end()) {
+    count_stale_event("request_failed", instance);
+    return;
+  }
+  if (finished_) return;
+  const ResiliencePolicy& policy = config_.resilience;
+  // The failed placement stays in the map (its record is terminal); the
+  // slot's retry state rides along into the next request.
+  Placement retry = it->second;
+  retry.worker.reset();
+  retry.revoked = false;
+  retry.notice_received = false;
+
+  if (reason == cloud::RequestFailureReason::kStockout) {
+    ++retry.consecutive_stockouts;
+    if (retry.consecutive_stockouts >= policy.stockouts_before_fallback &&
+        advance_fallback(retry)) {
+      retry.consecutive_stockouts = 0;
+      ++fallbacks_;
+      const char* stage = retry.ladder_stage == 1   ? "region"
+                          : retry.ladder_stage == 2 ? "gpu"
+                                                    : "on_demand";
+      LOG_INFO << "stockout persists for instance " << instance
+               << ", falling back to " << stage;
+      if (obs::Registry* registry = obs::registry()) {
+        registry->counter("resilience.fallbacks_total", {{"kind", stage}})
+            .inc();
+      }
+    }
+  } else {
+    retry.consecutive_stockouts = 0;
+  }
+
+  if (retry.attempt >= policy.max_launch_attempts) {
+    ++slots_abandoned_;
+    LOG_WARN << "worker slot abandoned after " << retry.attempt
+             << " launch attempts (last failure: "
+             << cloud::request_failure_reason_name(reason)
+             << ") — run degrades to " << expected_worker_count()
+             << " workers";
+    if (obs::Registry* registry = obs::registry()) {
+      registry->counter("resilience.slots_abandoned_total").inc();
+    }
+    return;
+  }
+  ++retry.attempt;
+  ++launch_retries_;
+
+  // Capped exponential backoff with jitter before the next attempt.
+  double delay = policy.backoff_base_seconds *
+                 std::pow(policy.backoff_multiplier, retry.attempt - 2);
+  delay = std::min(delay, policy.backoff_max_seconds);
+  if (policy.backoff_jitter > 0.0) {
+    delay *= 1.0 +
+             policy.backoff_jitter * (2.0 * resilience_rng_.uniform() - 1.0);
+  }
+  delay = std::max(delay, 0.0);
+
+  const simcore::SimTime failed_at = provider_->simulator().now();
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("resilience.retries_total", {{"kind", "launch"}}).inc();
+    registry->histogram("resilience.backoff_seconds").observe(delay);
+  }
+  provider_->simulator().schedule_after(
+      delay,
+      [this, retry = std::move(retry), failed_at] {
+        if (finished_) return;
+        if (obs::Tracer* tracer = obs::tracer()) {
+          tracer->complete(tracer->track("resilience"), "resilience.backoff",
+                           "cmdare", failed_at, provider_->simulator().now(),
+                           {{"attempt", std::to_string(retry.attempt)}},
+                           /*async=*/true);
+        }
+        request_slot(retry);
+      },
+      "resilience.retry");
 }
 
 double TransientTrainingRun::cost_so_far() const {

@@ -36,6 +36,30 @@ inline constexpr double kPsHourlyCost = 0.19;
 /// "about 10 seconds").
 inline constexpr double kSessionRestartSeconds = 10.0;
 
+/// How the run reacts when the cloud denies instance requests (stockouts
+/// and transient launch errors injected via src/faults). Launch retries
+/// use capped exponential backoff with jitter; a persistent stockout
+/// climbs a fallback ladder — alternate region, then alternate GPU, then
+/// an on-demand server (which preemptible-capacity stockouts cannot
+/// touch). A slot that exhausts its attempt budget is abandoned and the
+/// run degrades to fewer workers instead of aborting.
+struct ResiliencePolicy {
+  /// Launch attempts per worker slot before the slot is abandoned.
+  int max_launch_attempts = 10;
+  /// Capped exponential backoff between launch retries.
+  double backoff_base_seconds = 4.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 300.0;
+  /// Uniform +/- jitter fraction on every backoff wait (de-synchronizes
+  /// retry storms across slots).
+  double backoff_jitter = 0.25;
+  /// Consecutive stockouts on one slot before climbing the ladder.
+  int stockouts_before_fallback = 2;
+  bool allow_region_fallback = true;
+  bool allow_gpu_fallback = true;
+  bool allow_on_demand_fallback = true;
+};
+
 struct RunConfig {
   train::SessionConfig session;
   std::vector<train::WorkerSpec> workers;
@@ -44,6 +68,8 @@ struct RunConfig {
   /// How replacements are requested (immediate by default; Section V-B).
   cloud::RequestContext replacement_context =
       cloud::RequestContext::kImmediateAfterRevocation;
+  /// Reaction to denied instance requests (see ResiliencePolicy).
+  ResiliencePolicy resilience;
 };
 
 class TransientTrainingRun {
@@ -79,6 +105,25 @@ class TransientTrainingRun {
   int revocations_seen() const { return revocations_; }
   int replacements_requested() const { return replacements_; }
 
+  /// Resilience bookkeeping (all zero when no fault injector is attached
+  /// to the provider — the fault-free cloud never denies a request).
+  int launch_retries() const { return launch_retries_; }
+  int fallbacks_taken() const { return fallbacks_; }
+  int slots_abandoned() const { return slots_abandoned_; }
+  /// Preemption notices received / revocations that skipped the notice.
+  int notices_seen() const { return notices_; }
+  int abrupt_kills_seen() const { return abrupt_kills_; }
+  /// Late or duplicate provider lifecycle events that were ignored
+  /// instead of aborting the run.
+  int stale_events_ignored() const { return stale_events_; }
+
+  /// Worker slots the run is still trying to keep filled (the configured
+  /// count minus abandoned slots) — what "full strength" means for the
+  /// controller once the cloud has refused to fill a slot.
+  std::size_t expected_worker_count() const {
+    return config_.workers.size() - static_cast<std::size_t>(slots_abandoned_);
+  }
+
   /// Worker GPU-hours cost so far plus parameter-server cost.
   double cost_so_far() const;
 
@@ -93,11 +138,38 @@ class TransientTrainingRun {
   std::function<void()> on_complete;
 
  private:
+  /// Test seam: lets tests deliver fabricated late/duplicate lifecycle
+  /// events straight into the private handlers (the provider itself never
+  /// double-fires, so the hardening is unreachable from public API).
+  friend class TransientTrainingRunTestPeer;
+
+  struct Placement {
+    train::WorkerSpec spec;                 // spec actually requested
+    train::WorkerSpec original_spec;        // slot's configured spec
+    cloud::RequestContext context = cloud::RequestContext::kNormal;
+    std::optional<train::WorkerId> worker;  // id within the *current* session
+    bool cold = false;                      // replacement (cold start)
+    bool revoked = false;                   // on_revoked already handled
+    bool notice_received = false;
+    // Launch-retry state for this slot's current fill attempt.
+    int attempt = 1;
+    int consecutive_stockouts = 0;
+    int ladder_stage = 0;  // 0 = original, 1 = region, 2 = gpu, 3 = on-demand
+  };
+
   void make_session(long remaining_steps);
   void launch_worker(const train::WorkerSpec& spec,
                      cloud::RequestContext context);
+  /// Issues the instance request described by `placement` and registers
+  /// the lifecycle callbacks (shared by first launches and retries).
+  void request_slot(Placement placement);
   void handle_running(cloud::InstanceId instance);
   void handle_revoked(cloud::InstanceId instance);
+  void handle_request_failed(cloud::InstanceId instance,
+                             cloud::RequestFailureReason reason);
+  /// Climbs the fallback ladder one rung; false when exhausted.
+  bool advance_fallback(Placement& placement);
+  void count_stale_event(const char* event, cloud::InstanceId instance);
   void finish();
 
   cloud::CloudProvider* provider_;
@@ -105,6 +177,10 @@ class TransientTrainingRun {
   nn::CnnModel model_;
   RunConfig config_;
   util::Rng rng_;
+  /// Dedicated stream for backoff jitter so resilience decisions never
+  /// perturb the replacement-overhead draws (fault-free runs stay
+  /// byte-identical to the pre-fault-layer behaviour).
+  util::Rng resilience_rng_;
 
   // The active session plus halted predecessors (kept alive because
   // in-flight simulator events reference them).
@@ -112,11 +188,6 @@ class TransientTrainingRun {
   std::vector<std::unique_ptr<train::TrainingSession>> retired_sessions_;
   PerformanceProfiler profiler_;
 
-  struct Placement {
-    train::WorkerSpec spec;
-    std::optional<train::WorkerId> worker;  // id within the *current* session
-    bool cold = false;                      // replacement (cold start)
-  };
   std::map<cloud::InstanceId, Placement> placements_;
 
   long target_steps_ = 0;
@@ -130,6 +201,12 @@ class TransientTrainingRun {
   double segment_started_at_ = 0.0;
   int revocations_ = 0;
   int replacements_ = 0;
+  int launch_retries_ = 0;
+  int fallbacks_ = 0;
+  int slots_abandoned_ = 0;
+  int notices_ = 0;
+  int abrupt_kills_ = 0;
+  int stale_events_ = 0;
 };
 
 }  // namespace cmdare::core

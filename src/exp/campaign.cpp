@@ -58,9 +58,9 @@ double MetricAggregate::quantile(double q) const {
 void CampaignResult::write_csv(std::ostream& out) const {
   util::CsvWriter writer(out);
   writer.write_row({"campaign", "cell", "region", "gpu", "model",
-                    "cluster_size", "launch_hour", "metric", "replicas_ok",
-                    "replicas_failed", "count", "mean", "sd", "cov", "min",
-                    "p10", "p50", "p90", "max"});
+                    "cluster_size", "launch_hour", "fault_rate", "metric",
+                    "replicas_ok", "replicas_failed", "count", "mean", "sd",
+                    "cov", "min", "p10", "p50", "p90", "max"});
   for (std::size_t c = 0; c < cells.size(); ++c) {
     const CellSpec& cell = cells[c];
     const CellAggregate& agg = aggregates[c];
@@ -71,7 +71,8 @@ void CampaignResult::write_csv(std::ostream& out) const {
         cloud::gpu_name(cell.gpu),
         cell.model,
         std::to_string(cell.cluster_size),
-        std::to_string(cell.launch_hour)};
+        std::to_string(cell.launch_hour),
+        util::format_double(cell.fault_rate, 2)};
     auto row_for = [&](const std::string& metric,
                        const std::vector<std::string>& tail) {
       std::vector<std::string> row = prefix;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/strings.hpp"
+
 namespace cmdare::exp {
 
 double CampaignSpec::param(const std::string& key, double fallback) const {
@@ -19,17 +21,23 @@ std::string CellSpec::label() const {
   out += std::to_string(cluster_size);
   out += "/h";
   out += std::to_string(launch_hour);
+  if (fault_rate != 0.0) {
+    out += "/f";
+    out += util::format_double(fault_rate, 2);
+  }
   return out;
 }
 
 std::size_t cell_count(const CampaignSpec& spec) {
   return spec.regions.size() * spec.gpus.size() * spec.models.size() *
-         spec.cluster_sizes.size() * spec.launch_hours.size();
+         spec.cluster_sizes.size() * spec.launch_hours.size() *
+         spec.fault_rates.size();
 }
 
 std::vector<CellSpec> expand(const CampaignSpec& spec) {
   if (spec.regions.empty() || spec.gpus.empty() || spec.models.empty() ||
-      spec.cluster_sizes.empty() || spec.launch_hours.empty()) {
+      spec.cluster_sizes.empty() || spec.launch_hours.empty() ||
+      spec.fault_rates.empty()) {
     throw std::invalid_argument("expand: every factor list must be non-empty");
   }
   if (spec.replicas < 1) {
@@ -42,14 +50,17 @@ std::vector<CellSpec> expand(const CampaignSpec& spec) {
       for (const std::string& model : spec.models) {
         for (const int size : spec.cluster_sizes) {
           for (const int hour : spec.launch_hours) {
-            CellSpec cell;
-            cell.index = cells.size();
-            cell.region = region;
-            cell.gpu = gpu;
-            cell.model = model;
-            cell.cluster_size = size;
-            cell.launch_hour = hour;
-            cells.push_back(std::move(cell));
+            for (const double rate : spec.fault_rates) {
+              CellSpec cell;
+              cell.index = cells.size();
+              cell.region = region;
+              cell.gpu = gpu;
+              cell.model = model;
+              cell.cluster_size = size;
+              cell.launch_hour = hour;
+              cell.fault_rate = rate;
+              cells.push_back(std::move(cell));
+            }
           }
         }
       }

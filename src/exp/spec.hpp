@@ -41,6 +41,10 @@ struct CampaignSpec {
   std::vector<std::string> models = {"resnet-15"};
   std::vector<int> cluster_sizes = {1};
   std::vector<int> launch_hours = {9};
+  /// Uniform fault-injection rates (FaultPlan::uniform) swept as the
+  /// innermost factor. The default single 0.0 keeps fault-free campaigns
+  /// unchanged; resilience campaigns sweep it to trace degradation curves.
+  std::vector<double> fault_rates = {0.0};
 
   /// Free-form numeric knobs the replica function reads (step counts,
   /// job durations, batch sizes, ...). Part of the spec so a campaign is
@@ -60,8 +64,10 @@ struct CellSpec {
   std::string model;
   int cluster_size = 1;
   int launch_hour = 9;
+  double fault_rate = 0.0;
 
-  /// Compact label, e.g. "us-central1/k80/resnet-15/w4/h9".
+  /// Compact label, e.g. "us-central1/k80/resnet-15/w4/h9"; a non-zero
+  /// fault rate appends "/f0.10" so fault-free labels stay unchanged.
   std::string label() const;
 };
 

@@ -1,0 +1,152 @@
+#include "faults/faults.hpp"
+
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace cmdare::faults {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLaunchError:
+      return "launch_error";
+    case FaultKind::kStockout:
+      return "stockout";
+    case FaultKind::kUploadError:
+      return "upload_error";
+    case FaultKind::kUploadSlowdown:
+      return "upload_slowdown";
+    case FaultKind::kRestoreError:
+      return "restore_error";
+    case FaultKind::kAbruptKill:
+      return "abrupt_kill";
+  }
+  return "?";
+}
+
+bool StockoutWindow::covers(cloud::Region r, cloud::GpuType g,
+                            double now) const {
+  if (r != region) return false;
+  if (gpu && *gpu != g) return false;
+  return now >= start_s && now < end_s;
+}
+
+bool FaultPlan::any() const {
+  return launch_error_rate > 0.0 || !stockouts.empty() ||
+         upload_error_rate > 0.0 || upload_slowdown_rate > 0.0 ||
+         restore_error_rate > 0.0 || abrupt_kill_rate > 0.0;
+}
+
+FaultPlan FaultPlan::uniform(double rate) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("FaultPlan::uniform: rate must be in [0, 1]");
+  }
+  FaultPlan plan;
+  plan.launch_error_rate = rate;
+  plan.upload_error_rate = rate;
+  plan.upload_slowdown_rate = rate;
+  plan.restore_error_rate = rate;
+  plan.abrupt_kill_rate = rate;
+  return plan;
+}
+
+namespace {
+
+void validate_rate(double rate, const char* name) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument(std::string("FaultInjector: ") + name +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, util::Rng rng)
+    : plan_(std::move(plan)),
+      launch_rng_(rng.fork("launch")),
+      upload_rng_(rng.fork("upload")),
+      slowdown_rng_(rng.fork("slowdown")),
+      restore_rng_(rng.fork("restore")),
+      kill_rng_(rng.fork("abrupt-kill")) {
+  validate_rate(plan_.launch_error_rate, "launch_error_rate");
+  validate_rate(plan_.upload_error_rate, "upload_error_rate");
+  validate_rate(plan_.upload_slowdown_rate, "upload_slowdown_rate");
+  validate_rate(plan_.restore_error_rate, "restore_error_rate");
+  validate_rate(plan_.abrupt_kill_rate, "abrupt_kill_rate");
+  if (plan_.upload_slowdown_factor < 1.0) {
+    throw std::invalid_argument(
+        "FaultInjector: upload_slowdown_factor must be >= 1");
+  }
+  for (const StockoutWindow& w : plan_.stockouts) {
+    if (w.end_s < w.start_s) {
+      throw std::invalid_argument(
+          "FaultInjector: stockout window ends before it starts");
+    }
+  }
+}
+
+void FaultInjector::count(FaultKind kind) {
+  ++counts_[static_cast<std::size_t>(kind)];
+  if (obs::Registry* registry = obs::registry()) {
+    registry
+        ->counter("faults.injected_total", {{"kind", fault_kind_name(kind)}})
+        .inc();
+  }
+}
+
+bool FaultInjector::draw(util::Rng& stream, double probability,
+                         FaultKind kind) {
+  // Rates 0 and 1 short-circuit without a draw so an all-or-nothing plan
+  // stays deterministic regardless of how often a site is reached.
+  if (probability <= 0.0) return false;
+  const bool fired = probability >= 1.0 || stream.bernoulli(probability);
+  if (fired) count(kind);
+  return fired;
+}
+
+bool FaultInjector::launch_error() {
+  return draw(launch_rng_, plan_.launch_error_rate, FaultKind::kLaunchError);
+}
+
+bool FaultInjector::stocked_out(cloud::Region region, cloud::GpuType gpu,
+                                double now) {
+  for (const StockoutWindow& w : plan_.stockouts) {
+    if (w.covers(region, gpu, now)) {
+      count(FaultKind::kStockout);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::upload_error() {
+  return draw(upload_rng_, plan_.upload_error_rate, FaultKind::kUploadError);
+}
+
+double FaultInjector::upload_slowdown() {
+  return draw(slowdown_rng_, plan_.upload_slowdown_rate,
+              FaultKind::kUploadSlowdown)
+             ? plan_.upload_slowdown_factor
+             : 1.0;
+}
+
+bool FaultInjector::restore_error() {
+  return draw(restore_rng_, plan_.restore_error_rate,
+              FaultKind::kRestoreError);
+}
+
+bool FaultInjector::abrupt_kill() {
+  return draw(kill_rng_, plan_.abrupt_kill_rate, FaultKind::kAbruptKill);
+}
+
+std::uint64_t FaultInjector::injected(FaultKind kind) const {
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+}  // namespace cmdare::faults

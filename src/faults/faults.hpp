@@ -1,0 +1,120 @@
+// Deterministic fault injection for the simulated cloud.
+//
+// The paper's premise is that transient clusters fail constantly, but the
+// failure modes it measures (revocations) are only part of what a real
+// preemptible fleet throws at a control plane: instance requests are
+// denied (transient API errors), capacity dries up per (region, GPU)
+// ("stockouts"), checkpoint uploads to object storage fail or crawl, and
+// revocations sometimes arrive with no preemption notice at all. The
+// companion study "Speeding up Deep Learning with Transient Servers"
+// documents exactly these dynamics. FaultPlan describes such an
+// adversarial cloud declaratively; FaultInjector turns the plan into
+// deterministic per-decision draws.
+//
+// Determinism contract: every fault class draws from its own Rng stream
+// forked at construction, so (a) enabling one fault class never perturbs
+// another's sequence, and (b) a replica seeded via the campaign engine's
+// Rng(seed).fork(cell).fork(replica) scheme produces byte-identical
+// results at any --jobs value. Injection sites never draw when no
+// injector is attached, so fault-free runs are bit-for-bit the runs the
+// rest of the repo has always produced.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cloud/gpu.hpp"
+#include "cloud/region.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::faults {
+
+enum class FaultKind {
+  kLaunchError = 0,     // transient instance-request error
+  kStockout = 1,        // (region, GPU) capacity window denial
+  kUploadError = 2,     // checkpoint upload lost
+  kUploadSlowdown = 3,  // checkpoint upload degraded
+  kRestoreError = 4,    // checkpoint blob unreadable on restore
+  kAbruptKill = 5,      // revocation without the 30 s notice
+};
+
+inline constexpr std::size_t kFaultKindCount = 6;
+
+const char* fault_kind_name(FaultKind kind);
+
+/// A capacity ("stockout") window: transient requests for the matching
+/// (region, GPU) are denied while sim time is inside [start_s, end_s).
+struct StockoutWindow {
+  cloud::Region region = cloud::Region::kUsCentral1;
+  /// nullopt = every GPU type in the region is stocked out.
+  std::optional<cloud::GpuType> gpu;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  bool covers(cloud::Region r, cloud::GpuType g, double now) const;
+};
+
+/// Declarative fault configuration. All rates are per-decision Bernoulli
+/// probabilities in [0, 1]; the default plan injects nothing.
+struct FaultPlan {
+  /// Probability an instance request fails with a transient launch error.
+  double launch_error_rate = 0.0;
+  /// Deterministic capacity windows (checked before the error draw).
+  std::vector<StockoutWindow> stockouts;
+  /// Probability a checkpoint upload fails (blob never becomes durable).
+  double upload_error_rate = 0.0;
+  /// Probability an upload is slowed, and the multiplier when it is.
+  double upload_slowdown_rate = 0.0;
+  double upload_slowdown_factor = 3.0;
+  /// Probability a stored blob is unreadable when restored from.
+  double restore_error_rate = 0.0;
+  /// Probability a revocation skips the preemption notice entirely.
+  double abrupt_kill_rate = 0.0;
+
+  /// True when any fault class can fire.
+  bool any() const;
+
+  /// Convenience: every probabilistic rate set to `rate` (no stockouts).
+  static FaultPlan uniform(double rate);
+};
+
+/// Turns a FaultPlan into deterministic injection decisions and counts
+/// what it injected (also mirrored to obs as faults.injected_total{kind}
+/// when a registry is installed). Each decision method is meant to be
+/// called exactly once per injection site; call order within one
+/// simulation is deterministic, so so are the draws.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, util::Rng rng);
+
+  /// Decision points (each counts on injection).
+  bool launch_error();
+  bool stocked_out(cloud::Region region, cloud::GpuType gpu, double now);
+  bool upload_error();
+  /// Returns the duration multiplier for one upload (1.0 = not slowed).
+  double upload_slowdown();
+  bool restore_error();
+  bool abrupt_kill();
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t injected(FaultKind kind) const;
+  std::uint64_t injected_total() const;
+
+ private:
+  bool draw(util::Rng& stream, double probability, FaultKind kind);
+  void count(FaultKind kind);
+
+  FaultPlan plan_;
+  // One independent stream per probabilistic fault class (see header
+  // comment for why they are not shared).
+  util::Rng launch_rng_;
+  util::Rng upload_rng_;
+  util::Rng slowdown_rng_;
+  util::Rng restore_rng_;
+  util::Rng kill_rng_;
+  std::array<std::uint64_t, kFaultKindCount> counts_{};
+};
+
+}  // namespace cmdare::faults

@@ -281,17 +281,13 @@ void TrainingSession::maybe_start_checkpoint(WorkerId id) {
   event.by_worker = id;
   event.started = sim_->now();
 
-  const auto sizes = nn::checkpoint_sizes(model_);
-  const std::uint64_t bytes = sizes.total_bytes();
   const std::uint64_t generation = w.generation;
   if (store_ != nullptr) {
-    store_->upload("ckpt-step-" + std::to_string(global_step_), bytes,
-                   [this, id, generation, event]() mutable {
-                     event.finished = sim_->now();
-                     finish_checkpoint(id, generation, event);
-                   });
+    start_checkpoint_upload(id, generation, event, /*attempt=*/0);
   } else {
-    const double duration = cloud::sample_checkpoint_seconds(bytes, rng_);
+    const auto sizes = nn::checkpoint_sizes(model_);
+    const double duration =
+        cloud::sample_checkpoint_seconds(sizes.total_bytes(), rng_);
     sim_->schedule_after(
         duration,
         [this, id, generation, event]() mutable {
@@ -299,6 +295,55 @@ void TrainingSession::maybe_start_checkpoint(WorkerId id) {
           finish_checkpoint(id, generation, event);
         },
         "chief.checkpoint");
+  }
+}
+
+void TrainingSession::start_checkpoint_upload(WorkerId id,
+                                              std::uint64_t generation,
+                                              CheckpointEvent event,
+                                              int attempt) {
+  const auto sizes = nn::checkpoint_sizes(model_);
+  store_->upload(
+      "ckpt-step-" + std::to_string(event.at_step), sizes.total_bytes(),
+      [this, id, generation, event]() mutable {
+        event.finished = sim_->now();
+        finish_checkpoint(id, generation, event);
+      },
+      [this, id, generation, event, attempt](const std::string& error) {
+        Worker& w = workers_[id];
+        if (!running(w, generation)) return;  // owner revoked mid-upload
+        if (obs::Registry* registry = obs::registry()) {
+          registry
+              ->counter("resilience.retries_total", {{"kind", "checkpoint"}})
+              .inc();
+        }
+        if (attempt + 1 <= config_.checkpoint_max_retries) {
+          LOG_INFO << "checkpoint upload failed (" << error << "), retry "
+                   << (attempt + 1) << "/" << config_.checkpoint_max_retries;
+          start_checkpoint_upload(id, generation, event, attempt + 1);
+        } else {
+          LOG_WARN << "checkpoint at step " << event.at_step
+                   << " abandoned after "
+                   << config_.checkpoint_max_retries + 1 << " attempts";
+          abandon_checkpoint(id, generation);
+        }
+      });
+}
+
+void TrainingSession::abandon_checkpoint(WorkerId id,
+                                         std::uint64_t generation) {
+  // The recovery point stays stale; training resumes and the next
+  // interval tries again.
+  next_checkpoint_step_ += config_.checkpoint_interval_steps;
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("train.checkpoints_abandoned_total").inc();
+  }
+  Worker& w = workers_[id];
+  if (!running(w, generation)) return;
+  w.checkpointing = false;
+  if (w.has_pending_push && !w.update_outstanding) {
+    w.has_pending_push = false;
+    push_update(id);
   }
 }
 
@@ -327,9 +372,32 @@ void TrainingSession::finish_checkpoint(WorkerId id, std::uint64_t generation,
   }
 }
 
+long TrainingSession::restorable_checkpoint_step() {
+  if (store_ == nullptr) return last_checkpoint_step_;
+  const auto& history = trace_.checkpoints();
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    if (store_->try_restore("ckpt-step-" + std::to_string(it->at_step))) {
+      return it->at_step;
+    }
+    // Stale-checkpoint recovery: the newest blob is unreadable, fall
+    // back to the previous one (losing the steps in between).
+    LOG_WARN << "checkpoint blob at step " << it->at_step
+             << " unreadable, falling back to an older checkpoint";
+    if (obs::Registry* registry = obs::registry()) {
+      registry->counter("resilience.fallbacks_total", {{"kind", "restore"}})
+          .inc();
+    }
+  }
+  return 0;
+}
+
 void TrainingSession::rollback_to_last_checkpoint(WorkerId new_chief) {
   // Unmodified TensorFlow discards all progress since the last checkpoint
   // when a replacement worker claims the revoked chief's IP (Section V-E).
+  // With an object store attached, the checkpoint actually used is the
+  // newest *restorable* blob — injected restore faults push recovery back
+  // to progressively older checkpoints.
+  last_checkpoint_step_ = restorable_checkpoint_step();
   trace_.record_event(SessionEvent{
       SessionEventType::kRollback, sim_->now(), new_chief, global_step_,
       "recompute from step " + std::to_string(last_checkpoint_step_)});

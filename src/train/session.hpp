@@ -42,6 +42,10 @@ struct SessionConfig {
   int ps_count = 1;
   /// Global steps between checkpoints; 0 disables checkpointing.
   long checkpoint_interval_steps = 0;
+  /// Upload retries before this interval's checkpoint is abandoned (the
+  /// next interval tries again). Only reachable when the object store has
+  /// a fault injector — fault-free uploads always land.
+  int checkpoint_max_retries = 2;
   /// Stop after this many global steps; 0 = run until externally stopped.
   long max_steps = 0;
   FaultToleranceMode mode = FaultToleranceMode::kCmDare;
@@ -120,9 +124,19 @@ class TrainingSession {
   void push_update(WorkerId id);
   void on_update_applied(WorkerId id, std::uint64_t generation);
   void maybe_start_checkpoint(WorkerId id);
+  void start_checkpoint_upload(WorkerId id, std::uint64_t generation,
+                               CheckpointEvent event, int attempt);
   void finish_checkpoint(WorkerId id, std::uint64_t generation,
                          CheckpointEvent event);
+  /// Drops the current interval's checkpoint after exhausted retries and
+  /// lets the owner resume training (graceful degradation: the recovery
+  /// point just stays stale until the next interval succeeds).
+  void abandon_checkpoint(WorkerId id, std::uint64_t generation);
   void rollback_to_last_checkpoint(WorkerId new_chief);
+  /// Newest checkpoint step whose blob is still restorable (consults the
+  /// store's fault injector); falls back blob-by-blob to older
+  /// checkpoints, 0 when none survive.
+  long restorable_checkpoint_step();
   void complete();
 
   simcore::Simulator* sim_;

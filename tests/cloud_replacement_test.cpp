@@ -1,0 +1,132 @@
+// Replacement paths around revocations: warm vs cold overhead
+// distributions (Section V-D, Figure 10), termination while an instance
+// is still PROVISIONING, and the 30 s preemption-notice timing contract.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "nn/model_zoo.hpp"
+#include "simcore/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "train/replacement.hpp"
+
+namespace cmdare {
+namespace {
+
+TEST(ReplacementSampling, ColdStartsCostMoreThanWarmStarts) {
+  const nn::CnnModel model = nn::resnet15();
+  util::Rng rng(1);
+  std::vector<double> warm;
+  std::vector<double> cold;
+  for (int i = 0; i < 400; ++i) {
+    warm.push_back(train::sample_warm_replacement_seconds(model, rng));
+    cold.push_back(train::sample_cold_replacement_seconds(model, rng));
+  }
+  for (double v : warm) EXPECT_GT(v, 0.0);
+  for (double v : cold) EXPECT_GT(v, 0.0);
+  // Cold start = warm-start work plus environment prep + shard download,
+  // so the whole distribution sits higher, not just the mean.
+  EXPECT_GT(stats::mean(cold), stats::mean(warm));
+  EXPECT_GT(stats::quantile(cold, 0.10), stats::quantile(warm, 0.50));
+}
+
+TEST(ReplacementSampling, WarmAndColdScaleWithModelSize) {
+  // Graph rebuild / shard size grow with the model, and so should the
+  // sampled overheads (resnet-32 vs resnet-15 means).
+  util::Rng rng(2);
+  std::vector<double> small_cold;
+  std::vector<double> big_cold;
+  for (int i = 0; i < 400; ++i) {
+    small_cold.push_back(
+        train::sample_cold_replacement_seconds(nn::resnet15(), rng));
+    big_cold.push_back(
+        train::sample_cold_replacement_seconds(nn::resnet32(), rng));
+  }
+  EXPECT_GT(stats::mean(big_cold), stats::mean(small_cold));
+}
+
+TEST(ProviderLifecycle, TerminateDuringProvisioningFiresNoCallbacks) {
+  simcore::Simulator sim;
+  cloud::CloudProvider provider(sim, util::Rng(3));
+  bool running = false;
+  bool revoked = false;
+  bool noticed = false;
+  cloud::InstanceCallbacks callbacks;
+  callbacks.on_running = [&](cloud::InstanceId) { running = true; };
+  callbacks.on_revoked = [&](cloud::InstanceId) { revoked = true; };
+  callbacks.on_preemption_notice = [&](cloud::InstanceId) { noticed = true; };
+  const cloud::InstanceId id =
+      provider.request_instance({}, std::move(callbacks));
+  ASSERT_EQ(provider.record(id).state, cloud::InstanceState::kProvisioning);
+
+  // Revoke-equivalent customer action mid-PROVISIONING: the instance must
+  // go straight to TERMINATED and none of the lifecycle callbacks fire.
+  sim.run_until(1.0);
+  provider.terminate(id);
+  sim.run();
+  EXPECT_EQ(provider.record(id).state, cloud::InstanceState::kTerminated);
+  EXPECT_FALSE(running);
+  EXPECT_FALSE(revoked);
+  EXPECT_FALSE(noticed);
+  EXPECT_LT(provider.record(id).running_at, 0.0);  // never reached RUNNING
+  EXPECT_DOUBLE_EQ(provider.instance_cost(id), 0.0);
+}
+
+TEST(ProviderLifecycle, NoticeFiresExactlyThirtySecondsBeforeKill) {
+  // Sample until a revocation with a notice occurs; europe-west1 K80s
+  // revoke young (Table V), so a handful of instances suffices.
+  simcore::Simulator sim;
+  cloud::CloudProvider provider(sim, util::Rng(4));
+  int checked = 0;
+  for (int i = 0; i < 20; ++i) {
+    cloud::InstanceRequest request;
+    request.region = cloud::Region::kEuropeWest1;
+    double notice_at = -1.0;
+    double revoked_at = -1.0;
+    cloud::InstanceCallbacks callbacks;
+    callbacks.on_preemption_notice = [&](cloud::InstanceId) {
+      notice_at = sim.now();
+    };
+    callbacks.on_revoked = [&](cloud::InstanceId) { revoked_at = sim.now(); };
+    const cloud::InstanceId id =
+        provider.request_instance(request, std::move(callbacks));
+    sim.run();
+    if (provider.record(id).state == cloud::InstanceState::kRevoked &&
+        notice_at >= 0.0) {
+      ASSERT_GE(revoked_at, 0.0);
+      EXPECT_NEAR(revoked_at - notice_at, cloud::kPreemptionNoticeSeconds,
+                  1e-6);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ProviderLifecycle, ExpiryAtLifetimeCapCarriesNotice) {
+  // An instance that survives to the 24 h cap is also killed with the
+  // standard notice (the cap is a scheduled revocation, not a crash).
+  simcore::Simulator sim;
+  cloud::CloudProvider provider(sim, util::Rng(5));
+  for (int i = 0; i < 40; ++i) {
+    cloud::InstanceRequest request;
+    request.region = cloud::Region::kUsCentral1;  // longest-lived (Table V)
+    double notice_at = -1.0;
+    cloud::InstanceCallbacks callbacks;
+    callbacks.on_preemption_notice = [&](cloud::InstanceId) {
+      notice_at = sim.now();
+    };
+    const cloud::InstanceId id =
+        provider.request_instance(request, std::move(callbacks));
+    sim.run();
+    if (provider.record(id).state == cloud::InstanceState::kExpired) {
+      const double ended = provider.record(id).ended_at;
+      EXPECT_NEAR(ended - notice_at, cloud::kPreemptionNoticeSeconds, 1e-6);
+      return;
+    }
+  }
+  FAIL() << "no instance reached the 24 h lifetime cap";
+}
+
+}  // namespace
+}  // namespace cmdare

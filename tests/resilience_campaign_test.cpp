@@ -1,0 +1,78 @@
+// The "resilience" campaign: degradation curves under injected faults,
+// byte-identical at any --jobs value.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cmdare/campaigns.hpp"
+
+namespace cmdare::core {
+namespace {
+
+exp::CampaignSpec shrunk_spec() {
+  // The catalog spec with a test-sized budget: 2 fault rates x 2
+  // replicas, short runs.
+  exp::CampaignSpec spec = campaign_by_name("resilience").spec;
+  spec.replicas = 2;
+  spec.fault_rates = {0.0, 0.2};
+  spec.params["steps"] = 200.0;
+  spec.params["checkpoint_interval_steps"] = 50.0;
+  return spec;
+}
+
+TEST(ResilienceCampaign, InCatalogWithFaultRateGrid) {
+  const NamedCampaign& campaign = campaign_by_name("resilience");
+  EXPECT_EQ(campaign.spec.fault_rates.size(), 4u);
+  EXPECT_EQ(exp::cell_count(campaign.spec), 4u);
+  const auto cells = exp::expand(campaign.spec);
+  EXPECT_DOUBLE_EQ(cells.front().fault_rate, 0.0);
+  EXPECT_DOUBLE_EQ(cells.back().fault_rate, 0.2);
+  // Fault-free cells keep the historical label; faulty ones are marked.
+  EXPECT_EQ(cells.front().label(), "us-central1/K80/resnet-15/w2/h9");
+  EXPECT_EQ(cells.back().label(), "us-central1/K80/resnet-15/w2/h9/f0.20");
+}
+
+TEST(ResilienceCampaign, CsvByteIdenticalAcrossJobCounts) {
+  const exp::CampaignSpec spec = shrunk_spec();
+  const exp::ReplicaFn replica = campaign_by_name("resilience").replica;
+
+  exp::RunOptions serial;
+  serial.jobs = 1;
+  exp::RunOptions parallel;
+  parallel.jobs = 4;
+
+  std::ostringstream csv_serial;
+  exp::run_campaign(spec, replica, serial).write_csv(csv_serial);
+  std::ostringstream csv_parallel;
+  exp::run_campaign(spec, replica, parallel).write_csv(csv_parallel);
+
+  EXPECT_FALSE(csv_serial.str().empty());
+  EXPECT_EQ(csv_serial.str(), csv_parallel.str());
+  EXPECT_NE(csv_serial.str().find("fault_rate"), std::string::npos);
+}
+
+TEST(ResilienceCampaign, FaultyCellsDegradeGracefully) {
+  const exp::CampaignSpec spec = shrunk_spec();
+  const exp::ReplicaFn replica = campaign_by_name("resilience").replica;
+  exp::RunOptions options;
+  options.jobs = 2;
+  const exp::CampaignResult result = exp::run_campaign(spec, replica, options);
+
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.total_failures(), 0u);  // no replica threw
+
+  const exp::CellAggregate& clean = result.aggregates[0];
+  const exp::CellAggregate& faulty = result.aggregates[1];
+  // Fault-free cells never retry; 20% cells must show resilience work
+  // (the stockout window alone guarantees launch retries) and still
+  // complete every replica within the horizon.
+  EXPECT_DOUBLE_EQ(clean.metrics.at("launch_retries").running.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(clean.metrics.at("completed").running.mean(), 1.0);
+  EXPECT_GT(faulty.metrics.at("launch_retries").running.mean(), 0.0);
+  EXPECT_GT(faulty.metrics.at("faults_injected").running.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(faulty.metrics.at("completed").running.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace cmdare::core
