@@ -5,7 +5,12 @@
 // IP-reuse rollback. This ablation trains the same job under repeated
 // chief revocations in both modes and compares completion time and the
 // number of rollbacks.
+//
+// Each arm is a kind=session scenario whose ft_mode field flips between
+// cm-dare and vanilla-tf; the adversarial churn stays hand-wired.
 #include "bench_common.hpp"
+
+#include "scenario/harness.hpp"
 
 using namespace cmdare;
 
@@ -23,15 +28,20 @@ constexpr double kSimBoundSeconds = 6.0 * 3600.0;
 
 Outcome run_mode(train::FaultToleranceMode mode, double revoke_every_s,
                  std::uint64_t seed) {
-  simcore::Simulator sim;
-  train::SessionConfig config;
-  config.max_steps = 40000;
-  config.checkpoint_interval_steps = 4000;
-  config.mode = mode;
-  train::TrainingSession session(sim, nn::resnet15(), config,
-                                 util::Rng(seed));
-  session.add_worker(train::worker_mix(2, 0, 0)[0]);
-  session.add_worker(train::worker_mix(2, 0, 0)[1]);
+  scenario::ScenarioSpec spec;
+  spec.name = "ablation-ftmode";
+  spec.kind = scenario::HarnessKind::kSession;
+  spec.seed = seed;
+  spec.model = "resnet-15";
+  spec.workers = {{2, cloud::GpuType::kK80, cloud::Region::kUsCentral1, true}};
+  spec.max_steps = 40000;
+  spec.checkpoint_interval_steps = 4000;
+  spec.ft_mode = mode;
+  spec.horizon_hours = kSimBoundSeconds / 3600.0;
+
+  scenario::SimHarness harness(spec);
+  simcore::Simulator& sim = harness.simulator();
+  train::TrainingSession& session = *harness.session();
 
   // Periodically revoke the current checkpoint owner (the worst case for
   // vanilla TF) and add a replacement 75 s later that reuses the old IP.
@@ -52,7 +62,7 @@ Outcome run_mode(train::FaultToleranceMode mode, double revoke_every_s,
     sim.schedule_after(revoke_every_s, churn);
   };
   sim.schedule_after(revoke_every_s, churn);
-  sim.run_until(kSimBoundSeconds);
+  harness.run();
 
   Outcome outcome;
   outcome.finished = session.finished();

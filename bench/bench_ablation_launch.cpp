@@ -10,7 +10,7 @@
 // CMDARE_JOBS value).
 #include "bench_common.hpp"
 
-#include "cmdare/campaigns.hpp"
+#include "scenario/catalog.hpp"
 #include "cmdare/planner.hpp"
 #include "exp/campaign.hpp"
 
@@ -39,7 +39,7 @@ double sampled_revocation_fraction(cloud::Region region, cloud::GpuType gpu,
   exp::RunOptions options;
   options.jobs = jobs_from_env();
   const exp::CampaignResult result =
-      exp::run_campaign(spec, core::launch_replica, options);
+      exp::run_campaign(spec, scenario::launch_replica, options);
   *wall_seconds += result.wall_seconds;
   return result.aggregates.front().metrics.at("revoked_in_job").running.mean();
 }

@@ -2,31 +2,78 @@
 // GPU server: environment setup + dataset download + framework +
 // graph) vs warm start (existing server: framework + graph) for the four
 // canonical models.
+//
+// The model dimension is a generic scenario sweep (axis "model" over the
+// canonical zoo); each replica draws a batch of cold/warm samples from
+// its private stream, so the table is identical at any CMDARE_JOBS.
 #include "bench_common.hpp"
 
+#include "scenario/sweep.hpp"
 #include "train/replacement.hpp"
 
 using namespace cmdare;
+
+namespace {
+
+int jobs_from_env() {
+  const char* env = std::getenv("CMDARE_JOBS");
+  return env == nullptr ? 0 : std::atoi(env);
+}
+
+}  // namespace
 
 int main() {
   bench::print_header("Figure 10",
                       "worker replacement overhead: cold vs warm start");
 
-  util::Rng rng(10);
+  scenario::ScenarioSweep sweep;
+  sweep.name = "fig10";
+  sweep.base.kind = scenario::HarnessKind::kSession;
+  sweep.base.workers = {
+      {1, cloud::GpuType::kK80, cloud::Region::kUsCentral1, true}};
+  scenario::SweepAxis models;
+  models.key = "model";
+  for (const nn::CnnModel& model : nn::canonical_models()) {
+    models.values.push_back(model.name());
+  }
+  sweep.axes = {models};
+  sweep.replicas = 50;
+  sweep.seed = 10;
+
+  // No simulation needed: each replica just samples the replacement-cost
+  // model for its cell's CNN — 10 cold and 10 warm draws per replica.
+  const scenario::ScenarioReplicaFn replica =
+      [](const scenario::ScenarioCell& cell, int, util::Rng& rng,
+         obs::Telemetry*) {
+        const nn::CnnModel model = nn::model_by_name(cell.spec.model);
+        exp::ReplicaResult result;
+        for (int i = 0; i < 10; ++i) {
+          result.observe("cold_s",
+                         train::sample_cold_replacement_seconds(model, rng));
+          result.observe("warm_s",
+                         train::sample_warm_replacement_seconds(model, rng));
+        }
+        return result;
+      };
+
+  exp::RunOptions options;
+  options.jobs = jobs_from_env();
+  const scenario::ScenarioCampaignResult result =
+      scenario::run_scenario_campaign(sweep, options, replica);
+
   util::Table table({"model", "cold start (s)", "warm start (s)",
                      "graph setup (s)", "paper (ResNet-15)"});
-  for (const nn::CnnModel& model : nn::canonical_models()) {
-    std::vector<double> cold, warm;
-    for (int i = 0; i < 500; ++i) {
-      cold.push_back(train::sample_cold_replacement_seconds(model, rng));
-      warm.push_back(train::sample_warm_replacement_seconds(model, rng));
-    }
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const std::string& name = result.cells[c].spec.model;
+    const exp::MetricAggregate& cold = result.aggregates[c].metrics.at("cold_s");
+    const exp::MetricAggregate& warm = result.aggregates[c].metrics.at("warm_s");
     table.add_row(
-        {model.name(),
-         util::format_mean_sd(stats::mean(cold), stats::stddev(cold), 1),
-         util::format_mean_sd(stats::mean(warm), stats::stddev(warm), 1),
-         util::format_double(cloud::graph_setup_seconds(model), 1),
-         model.name() == "resnet-15" ? "75.6 / 14.8" : ""});
+        {name,
+         util::format_mean_sd(cold.running.mean(), cold.running.stddev(), 1),
+         util::format_mean_sd(warm.running.mean(), warm.running.stddev(), 1),
+         util::format_double(
+             cloud::graph_setup_seconds(nn::model_by_name(name)), 1),
+         name == "resnet-15" ? "75.6 / 14.8" : ""});
   }
   table.render(std::cout);
 

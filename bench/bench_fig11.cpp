@@ -5,7 +5,12 @@
 // recompute from the last checkpoint; a replacement with a new IP does
 // not. The overhead is the difference in time-to-next-checkpoint, as a
 // function of the replacement timing.
+//
+// The session comes from a kind=session ScenarioSpec; only the
+// mid-training chief revocation is wired by hand via on_step.
 #include "bench_common.hpp"
+
+#include "scenario/harness.hpp"
 
 using namespace cmdare;
 
@@ -15,28 +20,33 @@ namespace {
 // checkpoint) is reached.
 double time_to_next_checkpoint(double replacement_delay, bool reuse_ip,
                                std::uint64_t seed) {
-  simcore::Simulator sim;
-  train::SessionConfig config;
-  config.checkpoint_interval_steps = 4000;
-  config.max_steps = 4000;
-  config.mode = train::FaultToleranceMode::kVanillaTf;
-  train::TrainingSession session(sim, nn::resnet15(), config,
-                                 util::Rng(seed));
-  const auto workers = train::worker_mix(2, 0, 0);
-  const train::WorkerId chief = session.add_worker(workers[0]);
-  session.add_worker(workers[1]);
+  scenario::ScenarioSpec spec;
+  spec.name = "fig11";
+  spec.kind = scenario::HarnessKind::kSession;
+  spec.seed = seed;
+  spec.model = "resnet-15";
+  spec.workers = {{2, cloud::GpuType::kK80, cloud::Region::kUsCentral1, true}};
+  spec.max_steps = 4000;
+  spec.checkpoint_interval_steps = 4000;
+  spec.ft_mode = train::FaultToleranceMode::kVanillaTf;
+
+  scenario::SimHarness harness(spec);
+  simcore::Simulator& sim = harness.simulator();
+  train::TrainingSession& session = *harness.session();
 
   double revoked_at = -1.0;
   session.on_step = [&](long step, simcore::SimTime at) {
     if (step == 1000 && revoked_at < 0.0) {
       revoked_at = at;
-      session.revoke_worker(chief);
+      // Vanilla TF binds checkpoint duty to the chief — the first worker.
+      const auto chief = session.checkpoint_owner();
+      if (chief) session.revoke_worker(*chief);
       sim.schedule_after(replacement_delay, [&session, reuse_ip] {
         session.add_worker(train::worker_mix(1, 0, 0)[0], 0.0, reuse_ip);
       });
     }
   };
-  sim.run();
+  harness.run();
   return sim.now() - revoked_at;
 }
 

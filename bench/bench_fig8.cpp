@@ -7,7 +7,7 @@
 // printed statistics are identical for any CMDARE_JOBS value.
 #include "bench_common.hpp"
 
-#include "cmdare/campaigns.hpp"
+#include "scenario/catalog.hpp"
 #include "cloud/revocation.hpp"
 #include "exp/pool.hpp"
 #include "stats/ecdf.hpp"
@@ -27,12 +27,12 @@ int main() {
   bench::print_header("Figure 8",
                       "transient lifetime CDFs by region and GPU type");
 
-  exp::CampaignSpec spec = core::campaign_by_name("lifetime").spec;
+  exp::CampaignSpec spec = scenario::campaign_by_name("lifetime").spec;
   spec.replicas = 60;                        // x 50 samples = 3000 per cell
   exp::RunOptions options;
   options.jobs = jobs_from_env();
   const exp::CampaignResult result =
-      exp::run_campaign(spec, core::lifetime_replica, options);
+      exp::run_campaign(spec, scenario::lifetime_replica, options);
 
   for (cloud::GpuType gpu : cloud::kAllGpuTypes) {
     std::printf("\n--- %s ---\n", cloud::gpu_name(gpu));

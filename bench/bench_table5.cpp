@@ -1,12 +1,16 @@
 // Table V: transient GPU server revocations by region over a twelve-day
 // campaign — 396 servers total, half idle and half stressed, launched in
 // daily batches at 9 AM local time and run to the 24-hour cap.
+//
+// Uses a kind=cloud scenario: the harness owns the simulator and the
+// provider (with the campaign's UTC epoch) and this file only schedules
+// the launch batches and tallies outcomes.
 #include "bench_common.hpp"
 
 #include <map>
 #include <utility>
 
-#include "cloud/provider.hpp"
+#include "scenario/harness.hpp"
 
 using namespace cmdare;
 
@@ -25,9 +29,17 @@ int main() {
   bench::print_header("Table V",
                       "transient revocations by region and GPU, 12 days");
 
-  simcore::Simulator sim;
+  scenario::ScenarioSpec spec;
+  spec.name = "table5";
+  spec.kind = scenario::HarnessKind::kCloud;
+  spec.seed = 55;
+  spec.max_steps = 0;
   // Campaign epoch chosen so sim time 0 is 9 AM in us-central1 (UTC-6).
-  cloud::CloudProvider provider(sim, util::Rng(55), /*utc_hour=*/15.0);
+  spec.utc_start_hour = 15.0;
+
+  scenario::SimHarness harness(spec);
+  simcore::Simulator& sim = harness.simulator();
+  cloud::CloudProvider& provider = harness.provider();
 
   std::map<std::pair<int, int>, Outcome> outcomes;  // (region, gpu)
   for (const auto& target : cloud::revocation_targets()) {
@@ -66,7 +78,7 @@ int main() {
       });
     }
   }
-  sim.run();
+  harness.run();
 
   util::Table table({"Regions", "K80", "P100", "V100"});
   const char* row_names[] = {"us-east1",     "us-central1",  "us-west1",

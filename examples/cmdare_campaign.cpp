@@ -11,14 +11,13 @@
 // --jobs value; wall-clock and the progress line are the only things
 // that change with thread count.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
-#include "cmdare/campaigns.hpp"
 #include "exp/pool.hpp"
+#include "scenario/catalog.hpp"
+#include "util/args.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -26,22 +25,9 @@ using namespace cmdare;
 
 namespace {
 
-void print_usage() {
-  std::printf(
-      "usage: cmdare_campaign <name> [options]\n"
-      "       cmdare_campaign --list\n"
-      "options:\n"
-      "  --jobs N      worker threads (default: hardware concurrency; 1 = "
-      "serial)\n"
-      "  --replicas N  replicas per cell (default: the spec's)\n"
-      "  --seed S      campaign seed (default: the spec's)\n"
-      "  --csv PATH    write the aggregate CSV to PATH\n"
-      "  --quiet       suppress the progress line\n");
-}
-
 void print_catalog() {
   util::Table table({"name", "cells", "replicas", "description"});
-  for (const core::NamedCampaign& c : core::named_campaigns()) {
+  for (const scenario::NamedCampaign& c : scenario::named_campaigns()) {
     table.add_row({c.name, std::to_string(exp::cell_count(c.spec)),
                    std::to_string(c.spec.replicas), c.description});
   }
@@ -52,26 +38,60 @@ void print_catalog() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    print_usage();
+  std::string name;
+  bool list = false;
+  bool quiet = false;
+  int jobs = 0;
+  int replicas = 0;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  std::string seed_text;
+  std::string csv_path;
+
+  util::ArgParser args("cmdare_campaign",
+                       "Run a named Monte-Carlo campaign from the catalog.");
+  args.add_positional("name", "campaign to run (see --list)", &name,
+                      /*required=*/false);
+  args.add_flag("list", "print the campaign catalog and exit", &list);
+  args.add_int("jobs", "N",
+               "worker threads (default: hardware concurrency; 1 = serial)",
+               &jobs);
+  args.add_int("replicas", "N", "replicas per cell (default: the spec's)",
+               &replicas);
+  args.add_value("seed", "S", "campaign seed (default: the spec's)",
+                 &seed_text);
+  args.add_value("csv", "PATH", "write the aggregate CSV to PATH", &csv_path);
+  args.add_flag("quiet", "suppress the progress line", &quiet);
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                 args.help_text().c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help_text().c_str(), stdout);
+    return 0;
+  }
+  if (list || name == "-l") {
+    print_catalog();
+    return 0;
+  }
+  if (name.empty()) {
+    std::fputs(args.help_text().c_str(), stdout);
     std::printf("\n");
     print_catalog();
     return 1;
   }
-  const std::string name = argv[1];
-  if (name == "--list" || name == "-l") {
-    print_catalog();
-    return 0;
-  }
-  if (name == "--help" || name == "-h") {
-    print_usage();
-    return 0;
+  if (!seed_text.empty()) {
+    seed = std::strtoull(seed_text.c_str(), nullptr, 10);
+    seed_set = true;
   }
 
   exp::CampaignSpec spec;
   exp::ReplicaFn replica;
   try {
-    const core::NamedCampaign& named = core::campaign_by_name(name);
+    const scenario::NamedCampaign& named = scenario::campaign_by_name(name);
     spec = named.spec;
     replica = named.replica;
   } catch (const std::exception& e) {
@@ -80,35 +100,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  exp::RunOptions options;
-  std::string csv_path;
-  bool quiet = false;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: %s requires a value\n", flag);
-        std::exit(1);
-      }
-      return argv[++i];
-    };
-    if (arg == "--jobs") {
-      options.jobs = std::atoi(next_value("--jobs"));
-    } else if (arg == "--replicas") {
-      spec.replicas = std::atoi(next_value("--replicas"));
-    } else if (arg == "--seed") {
-      spec.seed = std::strtoull(next_value("--seed"), nullptr, 10);
-    } else if (arg == "--csv") {
-      csv_path = next_value("--csv");
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
-      print_usage();
-      return 1;
-    }
-  }
+  if (replicas > 0) spec.replicas = replicas;
+  if (seed_set) spec.seed = seed;
 
+  exp::RunOptions options;
+  options.jobs = jobs;
   if (!quiet) {
     options.on_progress = [](const exp::Progress& p) {
       // Serialized by the engine; one carriage-return line.

@@ -9,6 +9,10 @@
 // Registry: worker compute spans, PS queue waits and applies, checkpoint
 // uploads, instance startups, revocation instants, and rollbacks.
 //
+// The session itself comes from a ScenarioSpec (kind = session) — the
+// harness owns the simulator/provider/store wiring and this file only
+// keeps the cluster glue that maps cloud instances to session workers.
+//
 // Outputs (in the working directory):
 //   trace.json   — open in chrome://tracing or ui.perfetto.dev
 //   trace.jsonl  — one JSON record per line, for jq / pandas
@@ -20,14 +24,12 @@
 #include <map>
 #include <optional>
 
-#include "cloud/provider.hpp"
-#include "cloud/storage.hpp"
 #include "nn/model_zoo.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "obs/sim_profiler.hpp"
+#include "scenario/harness.hpp"
 #include "train/replacement.hpp"
-#include "train/session.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -87,24 +89,29 @@ int main() {
   // Install telemetry for the whole run; everything below records into it.
   obs::ScopedTelemetry telemetry;
 
-  simcore::Simulator sim;
+  // A bare vanilla-TF session with no pre-placed workers: the glue below
+  // drives membership from cloud instance lifecycles instead.
+  scenario::ScenarioSpec spec;
+  spec.name = "observability";
+  spec.kind = scenario::HarnessKind::kSession;
+  spec.seed = 31;
+  spec.model = "resnet-15";
+  spec.ps_count = 2;
+  spec.checkpoint_interval_steps = 250;
+  spec.max_steps = 40000;
+  spec.ft_mode = train::FaultToleranceMode::kVanillaTf;
+  spec.horizon_hours = 24.0;
+
+  scenario::SimHarness harness(spec);
+  simcore::Simulator& sim = harness.simulator();
+  train::TrainingSession& session = *harness.session();
+
   obs::SimProfiler profiler;
   sim.set_observer(&profiler);
   util::set_log_time_source([&sim] { return sim.now(); });
 
-  cloud::CloudProvider provider(sim, util::Rng(31));
-  cloud::ObjectStore storage(sim, util::Rng(32));
-
-  train::SessionConfig config;
-  config.ps_count = 2;
-  config.checkpoint_interval_steps = 250;
-  config.max_steps = 40000;
-  config.mode = train::FaultToleranceMode::kVanillaTf;
-
-  train::TrainingSession session(sim, nn::resnet15(), config, util::Rng(33),
-                                 &storage);
-  ClusterGlue glue{&sim, &provider, &session, nn::resnet15(), util::Rng(34),
-                   {}};
+  ClusterGlue glue{&sim, &harness.provider(), &session, nn::resnet15(),
+                   util::Rng(34), {}};
   for (int i = 0; i < 4; ++i) glue.launch(false);
 
   // Force one chief revocation even if the hazard model spares it, so the
@@ -117,7 +124,7 @@ int main() {
     }
   }, "demo.forced_revocation");
 
-  sim.run_until(24.0 * 3600.0);
+  harness.run();
 
   // --- dump everything the run recorded ---
   {
@@ -135,7 +142,7 @@ int main() {
 
   std::printf("finished:     %s (global step %ld of %ld)\n",
               session.finished() ? "yes" : "no", session.global_step(),
-              config.max_steps);
+              spec.max_steps);
   std::printf("rollbacks:    %.0f\n",
               telemetry->registry.counter("train.rollbacks_total").value());
   std::printf("revocations:  %.0f\n",
@@ -143,6 +150,16 @@ int main() {
                   .counter("train.worker_revocations_total")
                   .value());
   std::printf("checkpoints:  %zu\n", session.trace().checkpoints().size());
+  // The filtered snapshot keeps the summary focused on training health.
+  std::printf("train counters:\n");
+  for (const obs::SnapshotRow& row :
+       telemetry->registry.snapshot(std::string_view("train."))) {
+    if (row.kind != "counter") continue;
+    const std::string labels = obs::format_labels(row.labels);
+    std::printf("  %s%s%s%s = %.0f\n", row.name.c_str(),
+                labels.empty() ? "" : "{", labels.c_str(),
+                labels.empty() ? "" : "}", row.value);
+  }
   std::printf("trace spans:  %zu on %zu tracks (+%zu instants)\n",
               telemetry->tracer.spans().size(),
               telemetry->tracer.track_names().size(),

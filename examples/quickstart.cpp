@@ -1,55 +1,55 @@
 // Quickstart: simulate training ResNet-32 on a small transient GPU
 // cluster with CM-DARE's resource manager, and print what happened.
 //
+// The whole experiment is one declarative ScenarioSpec; SimHarness wires
+// the simulator, cloud provider, object store, and training run from it.
+// The same scenario lives in scenarios/quickstart.scn and can be run as
+//   ./build/examples/scenario_runner scenarios/quickstart.scn
+//
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "cmdare/resource_manager.hpp"
-#include "nn/model_zoo.hpp"
+#include "scenario/harness.hpp"
 #include "util/strings.hpp"
 
 using namespace cmdare;
 
 int main() {
-  // A simulated cloud: one Simulator drives instance lifecycles,
-  // revocations, training steps, and checkpoint uploads.
-  simcore::Simulator sim;
-  cloud::CloudProvider provider(sim, util::Rng(7));
-  cloud::ObjectStore storage(sim, util::Rng(8));
-
   // Train ResNet-32 for 20K steps on two transient K80 workers in
   // us-central1, checkpointing every 4K steps, replacing revoked workers
   // immediately (CM-DARE's default policy).
-  core::RunConfig config;
-  config.session.max_steps = 20000;
-  config.session.checkpoint_interval_steps = 4000;
-  config.workers = train::worker_mix(2, 0, 0, cloud::Region::kUsCentral1);
+  scenario::ScenarioSpec spec;
+  spec.name = "quickstart";
+  spec.kind = scenario::HarnessKind::kRun;
+  spec.seed = 7;
+  spec.model = "resnet-32";
+  spec.workers = {{2, cloud::GpuType::kK80, cloud::Region::kUsCentral1, true}};
+  spec.max_steps = 20000;
+  spec.checkpoint_interval_steps = 4000;
 
-  core::TransientTrainingRun run(provider, nn::resnet32(), config,
-                                 util::Rng(9), &storage);
-  run.on_complete = [&] {
+  scenario::SimHarness harness(spec);
+  harness.training_run()->on_complete = [&] {
     std::printf("training finished at simulated t = %s\n",
-                util::format_duration(sim.now()).c_str());
+                util::format_duration(harness.simulator().now()).c_str());
   };
-  run.start();
-  sim.run();
+  const scenario::ScenarioResult result = harness.run();
 
+  const core::TransientTrainingRun& run = *harness.training_run();
   const auto& trace = run.session().trace();
   std::printf("\nmodel: %s\n", run.session().model().summary().c_str());
-  std::printf("cluster: %s transient workers + %d parameter server(s)\n",
-              train::describe_mix(config.workers).c_str(),
-              config.session.ps_count);
-  std::printf("steps completed: %ld\n", run.session().global_step());
+  std::printf("cluster: %d transient worker(s) + %d parameter server(s)\n",
+              spec.workers[0].count, spec.ps_count);
+  std::printf("steps completed: %ld\n", result.completed_steps);
   std::printf("mean speed (post-warmup): %.2f steps/s\n",
-              trace.mean_speed(100, 20000));
+              trace.mean_speed(100, spec.max_steps));
   std::printf("checkpoints saved: %zu (to object storage: %zu blobs)\n",
-              trace.checkpoints().size(), storage.blob_count());
+              trace.checkpoints().size(), result.checkpoint_blobs);
   std::printf("revocations: %d, replacements requested: %d\n",
-              run.revocations_seen(), run.replacements_requested());
+              result.revocations, result.replacements);
   std::printf("elapsed: %s, total cost: $%.2f\n",
-              util::format_duration(run.elapsed_seconds()).c_str(),
-              run.cost_so_far());
+              util::format_duration(result.elapsed_seconds).c_str(),
+              result.cost_usd);
   return 0;
 }

@@ -9,80 +9,73 @@
 // region/GPU/on-demand fallback ladder, checkpoint retry-then-abandon,
 // and stale-checkpoint recovery — and still finishes training.
 //
+// The adversarial cloud is declared as a ScenarioSpec (the same scenario
+// is checked in as scenarios/resilience.scn); SimHarness does the wiring
+// the old hand-rolled version of this file used to do, with the same RNG
+// fork labels, so seed 2020 reproduces the pre-scenario-layer run
+// bit-for-bit (pinned by tests/scenario_harness_test.cpp).
+//
 // Output: a run summary plus the faults.* / resilience.* / storage.*
 // counters recorded by the telemetry layer.
 #include <cstdio>
 
-#include "cloud/provider.hpp"
-#include "cloud/storage.hpp"
-#include "cmdare/resource_manager.hpp"
-#include "faults/faults.hpp"
-#include "nn/model_zoo.hpp"
 #include "obs/obs.hpp"
+#include "scenario/harness.hpp"
 #include "util/strings.hpp"
 
 using namespace cmdare;
 
 int main() {
-  obs::ScopedTelemetry telemetry;
-
   // 20% of every fault class, plus a stockout that swallows the initial
   // launch window for us-central1 K80s — the run must climb the fallback
   // ladder to place its workers at all.
-  faults::FaultPlan plan = faults::FaultPlan::uniform(0.2);
+  scenario::ScenarioSpec spec;
+  spec.name = "resilience-demo";
+  spec.kind = scenario::HarnessKind::kRun;
+  spec.seed = 2020;
+  spec.model = "resnet-15";
+  spec.workers = {{3, cloud::GpuType::kK80, cloud::Region::kUsCentral1, true}};
+  spec.max_steps = 2000;
+  spec.checkpoint_interval_steps = 200;
+  spec.horizon_hours = 48.0;
+  spec.faults = faults::FaultPlan::uniform(0.2);
   faults::StockoutWindow stockout;
   stockout.region = cloud::Region::kUsCentral1;
   stockout.gpu = cloud::GpuType::kK80;
   stockout.start_s = 0.0;
   stockout.end_s = 3600.0;
-  plan.stockouts.push_back(stockout);
+  spec.faults.stockouts.push_back(stockout);
+  spec.telemetry = true;
 
-  util::Rng rng(2020);
-  faults::FaultInjector injector(plan, rng.fork("faults"));
+  scenario::SimHarness harness(spec);
+  const scenario::ScenarioResult result = harness.run();
 
-  simcore::Simulator sim;
-  cloud::CloudProvider provider(sim, rng.fork("cloud"));
-  provider.set_fault_injector(&injector);
-  cloud::ObjectStore store(sim, rng.fork("store"));
-  store.set_fault_injector(&injector);
-
-  core::RunConfig config;
-  config.session.max_steps = 2000;
-  config.session.checkpoint_interval_steps = 200;
-  config.workers = train::worker_mix(3, 0, 0);
-  core::TransientTrainingRun run(provider, nn::resnet15(), config,
-                                 rng.fork("run"), &store);
-  run.start();
-  sim.run_until(48 * 3600.0);
-
+  const core::TransientTrainingRun& run = *harness.training_run();
   std::printf("run %s: %ld/%ld steps in %s, $%s\n",
-              run.finished() ? "finished" : "DID NOT FINISH",
-              run.completed_steps(), run.target_steps(),
-              run.finished()
-                  ? util::format_duration(run.elapsed_seconds()).c_str()
+              result.finished ? "finished" : "DID NOT FINISH",
+              result.completed_steps, run.target_steps(),
+              result.finished
+                  ? util::format_duration(result.elapsed_seconds).c_str()
                   : "-",
-              util::format_double(run.cost_so_far(), 2).c_str());
+              util::format_double(result.cost_usd, 2).c_str());
   std::printf(
       "  launch retries %d | fallbacks %d | slots abandoned %d\n"
       "  revocations %d (abrupt %d, notices %d) | checkpoints durable %zu\n",
-      run.launch_retries(), run.fallbacks_taken(), run.slots_abandoned(),
-      run.revocations_seen(), run.abrupt_kills_seen(), run.notices_seen(),
-      store.blob_count());
+      result.launch_retries, result.fallbacks, result.slots_abandoned,
+      result.revocations, result.abrupt_kills, result.notices,
+      result.checkpoint_blobs);
 
   std::printf("\nfault / resilience counters:\n");
-  for (const obs::SnapshotRow& row : telemetry->registry.snapshot()) {
+  static const std::vector<std::string> kPrefixes = {
+      "faults.", "resilience.", "cloud.request_failures", "storage.",
+      "train.checkpoints_abandoned"};
+  for (const obs::SnapshotRow& row :
+       harness.telemetry()->registry.snapshot(kPrefixes)) {
     if (row.kind != "counter") continue;
-    if (row.name.rfind("faults.", 0) != 0 &&
-        row.name.rfind("resilience.", 0) != 0 &&
-        row.name.rfind("cloud.request_failures", 0) != 0 &&
-        row.name.rfind("storage.", 0) != 0 &&
-        row.name.rfind("train.checkpoints_abandoned", 0) != 0) {
-      continue;
-    }
     const std::string labels = obs::format_labels(row.labels);
     std::printf("  %s%s%s%s = %.0f\n", row.name.c_str(),
                 labels.empty() ? "" : "{", labels.c_str(),
                 labels.empty() ? "" : "}", row.value);
   }
-  return run.finished() ? 0 : 1;
+  return result.finished ? 0 : 1;
 }

@@ -1,0 +1,183 @@
+// scenario_runner: load a declarative scenario file and run it.
+//
+//   scenario_runner scenarios/resilience.scn
+//   scenario_runner scenarios/quickstart.scn --set max_steps=5000
+//   scenario_runner scenarios/resilience.scn --sweep fault_rate=0,0.1,0.2 \
+//       --replicas 8 --jobs 4 --csv degradation.csv
+//   scenario_runner scenarios/quickstart.scn --print   # canonical form
+//
+// A plain run wires the spec through SimHarness and prints the result
+// table. With --sweep axes it becomes a Monte-Carlo campaign on the
+// parallel engine (deterministic CSV at any --jobs value).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "scenario/harness.hpp"
+#include "scenario/sweep.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+
+using namespace cmdare;
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> sets;
+  std::vector<std::string> sweeps;
+  int replicas = 1;
+  int jobs = 0;
+  std::string seed_text;
+  std::string csv_path;
+  bool print_only = false;
+  bool quiet = false;
+
+  util::ArgParser args("scenario_runner",
+                       "Run a declarative scenario (.scn) file.");
+  args.add_positional("spec.scn", "scenario file to run", &path);
+  args.add_repeated("set", "key=value", "override one spec field", &sets);
+  args.add_repeated("sweep", "key=v1,v2,...",
+                    "sweep a spec field (turns the run into a campaign)",
+                    &sweeps);
+  args.add_int("replicas", "N", "campaign replicas per cell (default 1)",
+               &replicas);
+  args.add_int("jobs", "N", "campaign worker threads (default: hardware)",
+               &jobs);
+  args.add_value("seed", "S", "override the spec's seed", &seed_text);
+  args.add_value("csv", "PATH", "write campaign aggregates to PATH",
+                 &csv_path);
+  args.add_flag("print", "print the canonical spec text and exit",
+                &print_only);
+  args.add_flag("quiet", "suppress the campaign progress line", &quiet);
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                 args.help_text().c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help_text().c_str(), stdout);
+    return 0;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  scenario::ParseResult parsed = scenario::parse(buffer.str());
+  if (!parsed.ok()) {
+    for (const scenario::Diagnostic& d : parsed.diagnostics) {
+      if (d.line > 0) {
+        std::fprintf(stderr, "%s:%d: %s\n", path.c_str(), d.line,
+                     d.message.c_str());
+      } else {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), d.message.c_str());
+      }
+    }
+    return 1;
+  }
+  scenario::ScenarioSpec spec = parsed.spec;
+
+  for (const std::string& set : sets) {
+    const std::size_t eq = set.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "error: --set wants key=value, got \"%s\"\n",
+                   set.c_str());
+      return 1;
+    }
+    if (auto err = scenario::set_field(spec, set.substr(0, eq),
+                                       set.substr(eq + 1))) {
+      std::fprintf(stderr, "error: --set %s: %s\n", set.c_str(), err->c_str());
+      return 1;
+    }
+  }
+  if (!seed_text.empty()) {
+    spec.seed = std::strtoull(seed_text.c_str(), nullptr, 10);
+  }
+
+  if (print_only) {
+    std::fputs(scenario::serialize(spec).c_str(), stdout);
+    return 0;
+  }
+
+  if (!sweeps.empty()) {
+    scenario::ScenarioSweep sweep;
+    sweep.name = spec.name;
+    sweep.base = spec;
+    sweep.replicas = replicas < 1 ? 1 : replicas;
+    sweep.seed = spec.seed;
+    for (const std::string& axis_text : sweeps) {
+      const std::size_t eq = axis_text.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --sweep wants key=v1,v2,..., got \"%s\"\n",
+                     axis_text.c_str());
+        return 1;
+      }
+      scenario::SweepAxis axis;
+      axis.key = axis_text.substr(0, eq);
+      axis.values = util::split(axis_text.substr(eq + 1), ',');
+      sweep.axes.push_back(std::move(axis));
+    }
+
+    exp::RunOptions options;
+    options.jobs = jobs;
+    if (!quiet) {
+      options.on_progress = [](const exp::Progress& p) {
+        if (p.replicas_done % 16 == 0 || p.replicas_done == p.replicas_total) {
+          std::fprintf(stderr, "\r%zu/%zu replicas (%zu failed)",
+                       p.replicas_done, p.replicas_total, p.replicas_failed);
+          if (p.replicas_done == p.replicas_total) std::fprintf(stderr, "\n");
+        }
+      };
+    }
+
+    scenario::ScenarioCampaignResult result;
+    try {
+      result = scenario::run_scenario_campaign(sweep, options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+
+    util::Table table = result.summary_table();
+    table.set_title("Scenario campaign \"" + sweep.name + "\" (seed " +
+                    std::to_string(sweep.seed) + ", " +
+                    std::to_string(sweep.replicas) + " replicas/cell):");
+    table.render(std::cout);
+    std::printf("\n%zu replicas over %zu cells in %s on %d thread(s)\n",
+                result.progress.replicas_total, result.cells.size(),
+                util::format_duration(result.wall_seconds).c_str(),
+                result.jobs_used);
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+        return 1;
+      }
+      result.write_csv(out);
+      std::printf("aggregates written to %s\n", csv_path.c_str());
+    }
+    return 0;
+  }
+
+  try {
+    scenario::SimHarness harness(spec);
+    const scenario::ScenarioResult result = harness.run();
+    util::Table table = result.table();
+    table.set_title("Scenario \"" + spec.name + "\" (kind " +
+                    scenario::harness_kind_name(spec.kind) + ", seed " +
+                    std::to_string(spec.seed) + "):");
+    table.render(std::cout);
+    return result.finished ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -4,11 +4,15 @@
 //
 // This is the paper's core scenario: long-running training on revocable
 // servers with CM-DARE's automatic replacement keeping the session alive.
+// One base ScenarioSpec describes the job; each region is a one-field
+// edit via scenario::set_field — the same mechanism scenario_runner's
+// --set and --sweep flags use.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
-#include "cmdare/resource_manager.hpp"
-#include "nn/model_zoo.hpp"
+#include "cloud/revocation.hpp"
+#include "scenario/harness.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -16,7 +20,13 @@ using namespace cmdare;
 
 int main() {
   // ~8 hours of 4-worker K80 training: long enough for revocations.
-  constexpr long kSteps = 500000;
+  scenario::ScenarioSpec base;
+  base.name = "transient-campaign";
+  base.kind = scenario::HarnessKind::kRun;
+  base.seed = 21;
+  base.model = "resnet-15";
+  base.max_steps = 500000;
+  base.checkpoint_interval_steps = 4000;
 
   util::Table table({"region", "elapsed", "revocations", "replacements",
                      "checkpoints", "cost (transient)", "Table V revoke %"});
@@ -24,29 +34,27 @@ int main() {
   for (cloud::Region region :
        {cloud::Region::kUsEast1, cloud::Region::kUsCentral1,
         cloud::Region::kUsWest1, cloud::Region::kEuropeWest1}) {
-    simcore::Simulator sim;
-    cloud::CloudProvider provider(sim, util::Rng(21));
-    cloud::ObjectStore storage(sim, util::Rng(22));
+    scenario::ScenarioSpec spec = base;
+    const std::string workers =
+        std::string("4 x K80 @ ") + cloud::region_name(region);
+    if (auto error = scenario::set_field(spec, "workers", workers)) {
+      std::fprintf(stderr, "error: %s\n", error->c_str());
+      return 1;
+    }
 
-    core::RunConfig config;
-    config.session.max_steps = kSteps;
-    config.session.checkpoint_interval_steps = 4000;
-    config.workers = train::worker_mix(4, 0, 0, region);
-
-    core::TransientTrainingRun run(provider, nn::resnet15(), config,
-                                   util::Rng(23), &storage);
-    run.start();
-    sim.run();
+    scenario::SimHarness harness(spec);
+    const scenario::ScenarioResult result = harness.run();
 
     const auto& target =
         cloud::revocation_target(region, cloud::GpuType::kK80);
     table.add_row(
         {cloud::region_name(region),
-         util::format_duration(run.elapsed_seconds()),
-         std::to_string(run.revocations_seen()),
-         std::to_string(run.replacements_requested()),
-         std::to_string(run.session().trace().checkpoints().size()),
-         "$" + util::format_double(run.cost_so_far(), 2),
+         util::format_duration(result.elapsed_seconds),
+         std::to_string(result.revocations),
+         std::to_string(result.replacements),
+         std::to_string(
+             harness.training_run()->session().trace().checkpoints().size()),
+         "$" + util::format_double(result.cost_usd, 2),
          util::format_double(100.0 * target.revoked_fraction, 1) + "%"});
   }
 

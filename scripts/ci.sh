@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 (full build + full ctest) plus the fault-label
+# suite rebuilt under AddressSanitizer.
+#
+#   scripts/ci.sh            # both stages
+#   scripts/ci.sh --tier1    # tier-1 only
+#   scripts/ci.sh --asan     # ASan faults stage only
+#
+# Build trees: build/ (tier-1) and build-asan/ (sanitized), both rooted
+# at the repo top so incremental reruns are cheap.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tier1=true
+run_asan=true
+case "${1:-}" in
+  --tier1) run_asan=false ;;
+  --asan) run_tier1=false ;;
+  "") ;;
+  *)
+    echo "usage: scripts/ci.sh [--tier1|--asan]" >&2
+    exit 2
+    ;;
+esac
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+if $run_tier1; then
+  echo "=== tier-1: full build + ctest ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+fi
+
+if $run_asan; then
+  echo "=== asan: faults label under AddressSanitizer ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMDARE_SANITIZE=address
+  cmake --build build-asan -j "$jobs"
+  ctest --test-dir build-asan -L faults --output-on-failure -j "$jobs"
+fi
+
+echo "CI OK"

@@ -58,6 +58,9 @@ struct ResiliencePolicy {
   bool allow_region_fallback = true;
   bool allow_gpu_fallback = true;
   bool allow_on_demand_fallback = true;
+
+  friend bool operator==(const ResiliencePolicy&,
+                         const ResiliencePolicy&) = default;
 };
 
 struct RunConfig {

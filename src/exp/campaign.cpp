@@ -129,32 +129,35 @@ util::Table CampaignResult::summary_table() const {
   return table;
 }
 
-CampaignResult run_campaign(const CampaignSpec& spec, const ReplicaFn& replica,
-                            const RunOptions& options) {
+GridResult run_grid(std::size_t cells, int replica_count, std::uint64_t seed,
+                    const GridReplicaFn& replica, const RunOptions& options) {
   if (!replica) {
-    throw std::invalid_argument("run_campaign: replica function is empty");
+    throw std::invalid_argument("run_grid: replica function is empty");
+  }
+  if (cells == 0) {
+    throw std::invalid_argument("run_grid: zero cells");
+  }
+  if (replica_count < 1) {
+    throw std::invalid_argument("run_grid: replicas < 1");
   }
   const auto started = std::chrono::steady_clock::now();
 
-  CampaignResult result;
-  result.spec = spec;
-  result.cells = expand(spec);
-  result.aggregates.assign(result.cells.size(), {});
+  GridResult result;
+  result.aggregates.assign(cells, {});
   result.jobs_used = resolve_jobs(options.jobs);
 
-  const std::size_t replicas = static_cast<std::size_t>(spec.replicas);
-  const std::size_t total = result.cells.size() * replicas;
+  const std::size_t replicas = static_cast<std::size_t>(replica_count);
+  const std::size_t total = cells * replicas;
   result.progress.replicas_total = total;
-  result.progress.cells_total = result.cells.size();
+  result.progress.cells_total = cells;
 
-  const util::Rng root(spec.seed);
+  const util::Rng root(seed);
   std::vector<Slot> slots(total);
   // Per-cell fold cursor: replica r of cell c folds only after replicas
   // 0..r-1 of that cell have folded, which pins the aggregation order —
   // and therefore every floating-point sum — for any thread count.
-  std::vector<std::size_t> next_fold(result.cells.size(), 0);
-  std::vector<std::unique_ptr<obs::Telemetry>> cell_telemetry(
-      result.cells.size());
+  std::vector<std::size_t> next_fold(cells, 0);
+  std::vector<std::unique_ptr<obs::Telemetry>> cell_telemetry(cells);
   std::mutex fold_mutex;
 
   auto fold_ready = [&](std::size_t c) {
@@ -197,18 +200,17 @@ CampaignResult run_campaign(const CampaignSpec& spec, const ReplicaFn& replica,
       const std::size_t c = task / replicas;
       const std::size_t r = task % replicas;
       Slot& slot = slots[task];
-      ReplicaContext context{spec, result.cells[c], static_cast<int>(r),
-                             root.fork(static_cast<std::uint64_t>(c))
-                                 .fork(static_cast<std::uint64_t>(r)),
-                             nullptr};
+      util::Rng rng = root.fork(static_cast<std::uint64_t>(c))
+                          .fork(static_cast<std::uint64_t>(r));
+      obs::Telemetry* telemetry = nullptr;
       if (options.capture_telemetry) {
         slot.telemetry = std::make_unique<obs::Telemetry>();
-        context.telemetry = slot.telemetry.get();
+        telemetry = slot.telemetry.get();
       }
       {
-        ThreadTelemetryGuard guard(context.telemetry);
+        ThreadTelemetryGuard guard(telemetry);
         try {
-          slot.result = replica(context);
+          slot.result = replica(c, static_cast<int>(r), rng, telemetry);
         } catch (const std::exception& e) {
           slot.failed = true;
           slot.error = e.what();
@@ -237,11 +239,35 @@ CampaignResult run_campaign(const CampaignSpec& spec, const ReplicaFn& replica,
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec, const ReplicaFn& replica,
+                            const RunOptions& options) {
+  if (!replica) {
+    throw std::invalid_argument("run_campaign: replica function is empty");
+  }
+  CampaignResult result;
+  result.spec = spec;
+  result.cells = expand(spec);
+
+  GridResult grid = run_grid(
+      result.cells.size(), spec.replicas, spec.seed,
+      [&](std::size_t c, int r, util::Rng& rng, obs::Telemetry* telemetry) {
+        ReplicaContext context{spec, result.cells[c], r, rng, telemetry};
+        return replica(context);
+      },
+      options);
+  result.aggregates = std::move(grid.aggregates);
+  result.progress = grid.progress;
+  result.jobs_used = grid.jobs_used;
+  result.wall_seconds = grid.wall_seconds;
+  result.telemetry = std::move(grid.telemetry);
 
   if (obs::Registry* registry = obs::registry()) {
     const obs::LabelSet labels = {{"campaign", spec.name}};
     registry->counter("exp.campaign.replicas_total", labels)
-        .inc(static_cast<double>(total));
+        .inc(static_cast<double>(result.progress.replicas_total));
     registry->counter("exp.campaign.replicas_failed", labels)
         .inc(static_cast<double>(result.progress.replicas_failed));
     registry->counter("exp.campaign.cells_total", labels)

@@ -131,6 +131,31 @@ struct CampaignResult {
   util::Table summary_table() const;
 };
 
+/// The generic engine underneath run_campaign (and the scenario layer's
+/// run_scenario_campaign): a `cells x replicas` task grid where replica
+/// (c, r) draws from Rng(seed).fork(c).fork(r). The callback receives the
+/// replica's private rng and (when capture is on) its telemetry bundle,
+/// already installed thread-locally. Everything else — the per-cell
+/// in-order fold, crash isolation, deterministic telemetry merge — is
+/// identical to run_campaign, which is now a thin wrapper.
+using GridReplicaFn = std::function<ReplicaResult(
+    std::size_t cell, int replica, util::Rng& rng, obs::Telemetry* telemetry)>;
+
+struct GridResult {
+  std::vector<CellAggregate> aggregates;  // one per cell, in cell order
+  Progress progress;
+  int jobs_used = 1;
+  double wall_seconds = 0.0;
+  /// Merged per-replica telemetry; null unless capture_telemetry.
+  std::unique_ptr<obs::Telemetry> telemetry;
+};
+
+/// Runs the grid. Throws std::invalid_argument when `replica` is empty,
+/// `cells` is zero, or `replicas` < 1.
+GridResult run_grid(std::size_t cells, int replicas, std::uint64_t seed,
+                    const GridReplicaFn& replica,
+                    const RunOptions& options = {});
+
 /// Runs the campaign. Also records summary counters
 /// (exp.campaign.replicas_total / .replicas_failed / .cells_total) into
 /// the *caller thread's* obs registry, when one is installed, after the

@@ -54,6 +54,9 @@ struct StockoutWindow {
   double end_s = 0.0;
 
   bool covers(cloud::Region r, cloud::GpuType g, double now) const;
+
+  friend bool operator==(const StockoutWindow&,
+                         const StockoutWindow&) = default;
 };
 
 /// Declarative fault configuration. All rates are per-decision Bernoulli
@@ -78,6 +81,8 @@ struct FaultPlan {
 
   /// Convenience: every probabilistic rate set to `rate` (no stockouts).
   static FaultPlan uniform(double rate);
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
 
 /// Turns a FaultPlan into deterministic injection decisions and counts

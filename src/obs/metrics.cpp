@@ -209,6 +209,27 @@ std::vector<SnapshotRow> Registry::snapshot() const {
   return rows;
 }
 
+std::vector<SnapshotRow> Registry::snapshot(std::string_view name_prefix) const {
+  return snapshot(std::vector<std::string>{std::string(name_prefix)});
+}
+
+std::vector<SnapshotRow> Registry::snapshot(
+    const std::vector<std::string>& name_prefixes) const {
+  std::vector<SnapshotRow> rows = snapshot();
+  rows.erase(std::remove_if(rows.begin(), rows.end(),
+                            [&](const SnapshotRow& row) {
+                              for (const std::string& prefix : name_prefixes) {
+                                if (row.name.compare(0, prefix.size(),
+                                                     prefix) == 0) {
+                                  return false;
+                                }
+                              }
+                              return true;
+                            }),
+             rows.end());
+  return rows;
+}
+
 void Registry::write_text(std::ostream& out) const {
   std::string last_name;
   for (const SnapshotRow& row : snapshot()) {

@@ -14,6 +14,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -123,6 +124,12 @@ class Registry {
 
   /// Flattens every series, ordered by (name, labels) for determinism.
   std::vector<SnapshotRow> snapshot() const;
+  /// Filtered snapshot: only rows whose name starts with `name_prefix`.
+  std::vector<SnapshotRow> snapshot(std::string_view name_prefix) const;
+  /// Filtered snapshot: rows whose name starts with *any* of the
+  /// prefixes (e.g. {"faults.", "storage."}). Empty list -> no rows.
+  std::vector<SnapshotRow> snapshot(
+      const std::vector<std::string>& name_prefixes) const;
 
   /// Prometheus-style text: `name{k=v} value` lines grouped per metric.
   void write_text(std::ostream& out) const;

@@ -1,19 +1,13 @@
-#include "cmdare/campaigns.hpp"
+#include "scenario/catalog.hpp"
 
 #include <algorithm>
 #include <stdexcept>
 
-#include "cloud/provider.hpp"
 #include "cloud/revocation.hpp"
-#include "cloud/storage.hpp"
-#include "cmdare/resource_manager.hpp"
-#include "faults/faults.hpp"
-#include "nn/model_zoo.hpp"
-#include "simcore/simulator.hpp"
+#include "scenario/harness.hpp"
 #include "stats/descriptive.hpp"
-#include "train/session.hpp"
 
-namespace cmdare::core {
+namespace cmdare::scenario {
 namespace {
 
 // Shared immutable hazard model: construction calibrates the base rates
@@ -61,93 +55,86 @@ exp::ReplicaResult launch_replica(exp::ReplicaContext& context) {
   return result;
 }
 
+ScenarioSpec speed_scenario(const exp::CampaignSpec& spec,
+                            const exp::CellSpec& cell) {
+  ScenarioSpec scenario;
+  scenario.name = spec.name + "/" + cell.label();
+  scenario.kind = HarnessKind::kSession;
+  scenario.seed = spec.seed;
+  scenario.model = cell.model;
+  scenario.workers = {{cell.cluster_size, cell.gpu, cell.region, true}};
+  scenario.max_steps = static_cast<long>(spec.param("steps", 800.0));
+  return scenario;
+}
+
 exp::ReplicaResult speed_replica(exp::ReplicaContext& context) {
-  const exp::CellSpec& cell = context.cell;
-  const long steps = static_cast<long>(context.spec.param("steps", 800.0));
+  const ScenarioSpec scenario = speed_scenario(context.spec, context.cell);
+  const long steps = scenario.max_steps;
   const long discard = std::min<long>(100, steps / 4);
 
-  simcore::Simulator sim;
-  train::SessionConfig config;
-  config.max_steps = steps;
-  train::TrainingSession session(sim, nn::model_by_name(cell.model), config,
-                                 context.rng.fork("session"));
-  for (int w = 0; w < cell.cluster_size; ++w) {
-    train::WorkerSpec spec;
-    spec.gpu = cell.gpu;
-    spec.region = cell.region;
-    spec.label = cell.model;
-    session.add_worker(spec);
-  }
-  sim.run();
+  SimHarness harness(scenario, context.rng);
+  harness.run();
+  const train::TrainingSession& session = *harness.session();
 
   exp::ReplicaResult result;
   result.observe("steps_per_s", session.trace().mean_speed(discard, steps));
-  const auto intervals =
-      session.trace().worker_step_intervals(0, discard);
+  const auto intervals = session.trace().worker_step_intervals(0, discard);
   if (!intervals.empty()) {
     result.observe("step_ms", 1000.0 * stats::mean(intervals));
   }
   return result;
 }
 
-exp::ReplicaResult resilience_replica(exp::ReplicaContext& context) {
-  exp::ReplicaResult result;
-  const exp::CellSpec& cell = context.cell;
-  if (!cloud::gpu_offered_in_region(cell.region, cell.gpu)) return result;
-  const long steps = static_cast<long>(context.spec.param("steps", 400.0));
-  const double horizon_s =
-      context.spec.param("horizon_hours", 48.0) * 3600.0;
+ScenarioSpec resilience_scenario(const exp::CampaignSpec& spec,
+                                 const exp::CellSpec& cell) {
+  ScenarioSpec scenario;
+  scenario.name = spec.name + "/" + cell.label();
+  scenario.kind = HarnessKind::kRun;
+  scenario.seed = spec.seed;
+  scenario.model = cell.model;
+  scenario.workers = {{cell.cluster_size, cell.gpu, cell.region, true}};
+  scenario.max_steps = static_cast<long>(spec.param("steps", 400.0));
+  scenario.checkpoint_interval_steps =
+      static_cast<long>(spec.param("checkpoint_interval_steps", 100.0));
+  scenario.horizon_hours = spec.param("horizon_hours", 48.0);
 
   // The adversarial cloud: uniform fault rates across every injection
   // site plus one early capacity stockout for the cell's (region, GPU),
   // long enough that backoff alone cannot wait it out
   // (stockouts_before_fallback retries reach the ladder first).
-  faults::FaultPlan plan = faults::FaultPlan::uniform(cell.fault_rate);
+  scenario.faults = faults::FaultPlan::uniform(cell.fault_rate);
   if (cell.fault_rate > 0.0) {
     faults::StockoutWindow window;
     window.region = cell.region;
     window.gpu = cell.gpu;
-    window.start_s = context.spec.param("stockout_start_s", 300.0);
-    window.end_s =
-        window.start_s + context.spec.param("stockout_seconds", 1800.0);
-    plan.stockouts.push_back(window);
+    window.start_s = spec.param("stockout_start_s", 300.0);
+    window.end_s = window.start_s + spec.param("stockout_seconds", 1800.0);
+    scenario.faults.stockouts.push_back(window);
   }
-  faults::FaultInjector injector(plan, context.rng.fork("faults"));
+  return scenario;
+}
 
-  simcore::Simulator sim;
-  cloud::CloudProvider provider(sim, context.rng.fork("cloud"));
-  provider.set_fault_injector(&injector);
-  cloud::ObjectStore store(sim, context.rng.fork("store"));
-  store.set_fault_injector(&injector);
+exp::ReplicaResult resilience_replica(exp::ReplicaContext& context) {
+  exp::ReplicaResult result;
+  const exp::CellSpec& cell = context.cell;
+  if (!cloud::gpu_offered_in_region(cell.region, cell.gpu)) return result;
 
-  RunConfig config;
-  config.session.max_steps = steps;
-  config.session.checkpoint_interval_steps =
-      static_cast<long>(context.spec.param("checkpoint_interval_steps", 100.0));
-  for (int w = 0; w < cell.cluster_size; ++w) {
-    train::WorkerSpec spec;
-    spec.gpu = cell.gpu;
-    spec.region = cell.region;
-    spec.label = cell.model;
-    config.workers.push_back(spec);
-  }
-  TransientTrainingRun run(provider, nn::model_by_name(cell.model), config,
-                           context.rng.fork("run"), &store);
-  run.start();
-  sim.run_until(horizon_s);
+  SimHarness harness(resilience_scenario(context.spec, cell), context.rng);
+  const ScenarioResult outcome = harness.run();
 
-  result.observe("completed", run.finished() ? 1.0 : 0.0);
-  if (run.finished()) result.observe("makespan_s", run.elapsed_seconds());
-  result.observe("cost_usd", run.cost_so_far());
-  result.observe("launch_retries", static_cast<double>(run.launch_retries()));
-  result.observe("fallbacks", static_cast<double>(run.fallbacks_taken()));
+  result.observe("completed", outcome.finished ? 1.0 : 0.0);
+  if (outcome.finished) result.observe("makespan_s", outcome.elapsed_seconds);
+  result.observe("cost_usd", outcome.cost_usd);
+  result.observe("launch_retries", static_cast<double>(outcome.launch_retries));
+  result.observe("fallbacks", static_cast<double>(outcome.fallbacks));
   result.observe("slots_abandoned",
-                 static_cast<double>(run.slots_abandoned()));
-  result.observe("revocations", static_cast<double>(run.revocations_seen()));
-  result.observe("abrupt_kills", static_cast<double>(run.abrupt_kills_seen()));
-  result.observe("checkpoints", static_cast<double>(store.blob_count()));
+                 static_cast<double>(outcome.slots_abandoned));
+  result.observe("revocations", static_cast<double>(outcome.revocations));
+  result.observe("abrupt_kills", static_cast<double>(outcome.abrupt_kills));
+  result.observe("checkpoints",
+                 static_cast<double>(outcome.checkpoint_blobs));
   result.observe("faults_injected",
-                 static_cast<double>(injector.injected_total()));
+                 static_cast<double>(outcome.faults_injected));
   return result;
 }
 
@@ -242,4 +229,4 @@ const NamedCampaign& campaign_by_name(const std::string& name) {
   throw std::invalid_argument("campaign_by_name: unknown campaign " + name);
 }
 
-}  // namespace cmdare::core
+}  // namespace cmdare::scenario

@@ -1,21 +1,27 @@
 // Named Monte-Carlo campaigns: the paper's measurement studies
-// re-expressed as exp::CampaignSpec grids.
+// re-expressed as exp::CampaignSpec grids over the scenario layer.
 //
 // Each entry pairs a declarative factor grid with the replica function
 // that realizes one independent sample of the study — the Figure 8 /
 // Table V lifetime census, the launch-placement sweep behind the
 // Section V-C ablation, and the cluster training-speed sweeps of
-// Tables I/III. The `cmdare_campaign` CLI example runs them by name;
-// bench_fig8 and bench_ablation_launch build their statistics on the
-// same replica functions through the parallel engine.
+// Tables I/III. The simulation-backed replicas (speed, resilience) are
+// thin wrappers now: a cell -> ScenarioSpec transform plus SimHarness,
+// forking the same stream labels the hand-wired versions always did, so
+// the campaign CSVs are byte-identical to the pre-scenario-layer output
+// (tests/scenario_harness_test.cpp and tests/resilience_campaign_test.cpp
+// pin this). The `cmdare_campaign` CLI example runs catalog entries by
+// name; bench_fig8 and bench_ablation_launch build their statistics on
+// the same replica functions through the parallel engine.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "exp/campaign.hpp"
+#include "scenario/spec.hpp"
 
-namespace cmdare::core {
+namespace cmdare::scenario {
 
 struct NamedCampaign {
   std::string name;
@@ -30,6 +36,14 @@ const std::vector<NamedCampaign>& named_campaigns();
 
 /// Catalog lookup; throws std::invalid_argument for unknown names.
 const NamedCampaign& campaign_by_name(const std::string& name);
+
+/// Cell -> ScenarioSpec transforms behind the simulation-backed
+/// campaigns, exposed so callers can lift a single cell into a .scn file
+/// or a SimHarness of their own.
+ScenarioSpec speed_scenario(const exp::CampaignSpec& spec,
+                            const exp::CellSpec& cell);
+ScenarioSpec resilience_scenario(const exp::CampaignSpec& spec,
+                                 const exp::CellSpec& cell);
 
 /// Replica functions, exposed so benches can pair them with custom grids.
 ///
@@ -59,4 +73,4 @@ exp::ReplicaResult speed_replica(exp::ReplicaContext& context);
 /// the raw material of the degradation curves in EXPERIMENTS.md.
 exp::ReplicaResult resilience_replica(exp::ReplicaContext& context);
 
-}  // namespace cmdare::core
+}  // namespace cmdare::scenario

@@ -1,0 +1,212 @@
+#include "scenario/harness.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "nn/model_zoo.hpp"
+#include "util/strings.hpp"
+
+namespace cmdare::scenario {
+namespace {
+
+train::SessionConfig session_config(const ScenarioSpec& spec) {
+  train::SessionConfig config;
+  config.ps_count = spec.ps_count;
+  config.checkpoint_interval_steps = spec.checkpoint_interval_steps;
+  config.checkpoint_max_retries = spec.checkpoint_max_retries;
+  config.max_steps = spec.max_steps;
+  config.mode = spec.ft_mode;
+  config.ps_region = spec.ps_region;
+  return config;
+}
+
+std::vector<train::WorkerSpec> expand_workers(const ScenarioSpec& spec) {
+  std::vector<train::WorkerSpec> workers;
+  for (const WorkerGroup& group : spec.workers) {
+    for (int i = 0; i < group.count; ++i) {
+      train::WorkerSpec worker;
+      worker.gpu = group.gpu;
+      worker.region = group.region;
+      worker.transient = group.transient;
+      worker.label = spec.model;
+      workers.push_back(worker);
+    }
+  }
+  return workers;
+}
+
+}  // namespace
+
+util::Table ScenarioResult::table() const {
+  util::Table table({"field", "value"});
+  table.add_row({"finished", finished ? "true" : "false"});
+  table.add_row({"completed_steps", std::to_string(completed_steps)});
+  table.add_row({"elapsed", util::format_duration(elapsed_seconds)});
+  table.add_row({"cost_usd", util::format_double(cost_usd, 4)});
+  table.add_row({"revocations", std::to_string(revocations)});
+  table.add_row({"replacements", std::to_string(replacements)});
+  table.add_row({"restarts", std::to_string(restarts)});
+  table.add_row({"launch_retries", std::to_string(launch_retries)});
+  table.add_row({"fallbacks", std::to_string(fallbacks)});
+  table.add_row({"slots_abandoned", std::to_string(slots_abandoned)});
+  table.add_row({"notices", std::to_string(notices)});
+  table.add_row({"abrupt_kills", std::to_string(abrupt_kills)});
+  table.add_row({"checkpoint_blobs", std::to_string(checkpoint_blobs)});
+  table.add_row({"last_checkpoint_step", std::to_string(last_checkpoint_step)});
+  table.add_row({"faults_injected", std::to_string(faults_injected)});
+  return table;
+}
+
+SimHarness::SimHarness(ScenarioSpec spec)
+    : SimHarness(spec, util::Rng(spec.seed)) {}
+
+SimHarness::SimHarness(ScenarioSpec spec, const util::Rng& root)
+    : spec_(std::move(spec)),
+      root_(root),
+      owned_telemetry_(spec_.telemetry && !obs::enabled()
+                           ? std::make_unique<obs::ScopedTelemetry>()
+                           : nullptr),
+      injector_(spec_.faults, root_.fork("faults")),
+      provider_(sim_, root_.fork("cloud"), spec_.utc_start_hour),
+      store_(sim_, root_.fork("store")) {
+  std::vector<std::string> errors = validate(spec_);
+  if (!errors.empty()) {
+    throw std::invalid_argument("SimHarness: invalid spec: " +
+                                util::join(errors, "; "));
+  }
+  build();
+}
+
+void SimHarness::build() {
+  provider_.set_fault_injector(&injector_);
+  store_.set_fault_injector(&injector_);
+  const nn::CnnModel model = nn::model_by_name(spec_.model);
+
+  switch (spec_.kind) {
+    case HarnessKind::kRun: {
+      core::RunConfig config;
+      config.session = session_config(spec_);
+      config.workers = expand_workers(spec_);
+      config.auto_replace = spec_.auto_replace;
+      config.replacement_context = spec_.replacement_context;
+      config.resilience = spec_.resilience;
+      run_ = std::make_unique<core::TransientTrainingRun>(
+          provider_, model, std::move(config), root_.fork("run"), &store_);
+      break;
+    }
+    case HarnessKind::kSession: {
+      session_ = std::make_unique<train::TrainingSession>(
+          sim_, model, session_config(spec_), root_.fork("session"), &store_);
+      for (const train::WorkerSpec& worker : expand_workers(spec_)) {
+        session_->add_worker(worker);
+      }
+      break;
+    }
+    case HarnessKind::kSync: {
+      sync_ = std::make_unique<train::SyncTrainingSession>(
+          sim_, model, spec_.ps_count, spec_.max_steps, root_.fork("sync"));
+      for (const train::WorkerSpec& worker : expand_workers(spec_)) {
+        sync_->add_worker(worker);
+      }
+      break;
+    }
+    case HarnessKind::kCloud:
+      // Provider-only scenarios drive request_instance() themselves
+      // through the provider() accessor before calling run().
+      break;
+  }
+}
+
+train::TrainingSession* SimHarness::session() {
+  if (run_) return &run_->session();
+  return session_.get();
+}
+
+ScenarioResult SimHarness::run() {
+  if (ran_) {
+    throw std::logic_error("SimHarness::run: scenario already ran");
+  }
+  ran_ = true;
+
+  switch (spec_.kind) {
+    case HarnessKind::kRun:
+      run_->start();
+      break;
+    case HarnessKind::kSync:
+      sync_->start();
+      break;
+    case HarnessKind::kSession:
+    case HarnessKind::kCloud:
+      break;  // sessions self-start on add_worker; cloud is caller-driven
+  }
+
+  if (spec_.horizon_hours > 0.0) {
+    sim_.run_until(spec_.horizon_hours * 3600.0);
+  } else {
+    sim_.run();
+  }
+
+  result_ = collect();
+  return result_;
+}
+
+const ScenarioResult& SimHarness::result() const {
+  if (!ran_) {
+    throw std::logic_error("SimHarness::result: run() has not been called");
+  }
+  return result_;
+}
+
+ScenarioResult SimHarness::collect() {
+  ScenarioResult result;
+  result.sim_now = sim_.now();
+  result.checkpoint_blobs = store_.blob_count();
+  result.faults_injected = injector_.injected_total();
+
+  switch (spec_.kind) {
+    case HarnessKind::kRun: {
+      const core::TransientTrainingRun& run = *run_;
+      result.finished = run.finished();
+      result.completed_steps = run.completed_steps();
+      result.elapsed_seconds = run.finished() ? run.elapsed_seconds()
+                                              : sim_.now();
+      result.cost_usd = run.cost_so_far();
+      result.revocations = run.revocations_seen();
+      result.replacements = run.replacements_requested();
+      result.restarts = run.restarts();
+      result.launch_retries = run.launch_retries();
+      result.fallbacks = run.fallbacks_taken();
+      result.slots_abandoned = run.slots_abandoned();
+      result.notices = run.notices_seen();
+      result.abrupt_kills = run.abrupt_kills_seen();
+      result.last_checkpoint_step = run.session().last_checkpoint_step();
+      break;
+    }
+    case HarnessKind::kSession:
+      result.finished = session_->finished();
+      result.completed_steps = session_->global_step();
+      result.elapsed_seconds = sim_.now();
+      result.last_checkpoint_step = session_->last_checkpoint_step();
+      break;
+    case HarnessKind::kSync:
+      result.finished = sync_->finished();
+      result.completed_steps = sync_->global_step();
+      result.elapsed_seconds = sim_.now();
+      break;
+    case HarnessKind::kCloud: {
+      result.finished = true;
+      result.elapsed_seconds = sim_.now();
+      result.cost_usd = provider_.total_cost();
+      for (const cloud::InstanceRecord& record : provider_.records()) {
+        if (record.state == cloud::InstanceState::kRevoked) {
+          ++result.revocations;
+          if (record.abrupt_kill) ++result.abrupt_kills;
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cmdare::scenario

@@ -1,0 +1,126 @@
+// One-stop simulation harness (the "how" of an experiment).
+//
+// SimHarness turns a ScenarioSpec into a fully wired simulation: the
+// simulator, the forked deterministic Rng streams, the cloud provider,
+// the object store, the fault injector, optional telemetry, and the
+// training substrate the spec's `kind` asks for. run() drives the event
+// queue to the spec's deadline and returns a ScenarioResult.
+//
+// Determinism contract: the harness forks the exact stream labels the
+// hand-wired replicas always used — "faults", "cloud", "store", "run"
+// (kind=run), "session" (kind=session), "sync" (kind=sync) — off the
+// root Rng it is given. util::Rng::fork is const, so fork *order* is
+// irrelevant: a ScenarioSpec driven through SimHarness reproduces the
+// pre-scenario-layer wiring bit-for-bit at the same seed
+// (tests/scenario_harness_test.cpp pins this against golden outputs).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cloud/provider.hpp"
+#include "cloud/storage.hpp"
+#include "cmdare/resource_manager.hpp"
+#include "faults/faults.hpp"
+#include "obs/obs.hpp"
+#include "scenario/spec.hpp"
+#include "simcore/simulator.hpp"
+#include "train/session.hpp"
+#include "train/sync_session.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace cmdare::scenario {
+
+/// What one scenario run produced. Which fields are meaningful depends
+/// on the spec's kind (e.g. the resilience counters are always zero for
+/// kind=session, cost is provider-billed only for kind=run/cloud).
+struct ScenarioResult {
+  bool finished = false;
+  long completed_steps = 0;
+  /// Makespan when the run finished; otherwise sim time at the deadline.
+  double elapsed_seconds = 0.0;
+  double cost_usd = 0.0;
+
+  // --- cloud / control plane ---
+  int revocations = 0;
+  int replacements = 0;
+  int restarts = 0;
+  int launch_retries = 0;
+  int fallbacks = 0;
+  int slots_abandoned = 0;
+  int notices = 0;
+  int abrupt_kills = 0;
+
+  // --- checkpoints / faults ---
+  std::size_t checkpoint_blobs = 0;
+  long last_checkpoint_step = 0;
+  std::uint64_t faults_injected = 0;
+
+  /// Final simulated time (== elapsed_seconds unless the run finished
+  /// before the deadline).
+  double sim_now = 0.0;
+
+  /// Two-column (field, value) table for terminal output.
+  util::Table table() const;
+};
+
+class SimHarness {
+ public:
+  /// Standalone form: the root stream is Rng(spec.seed).
+  explicit SimHarness(ScenarioSpec spec);
+  /// Campaign form: the root stream is the replica's private Rng (the
+  /// engine's Rng(seed).fork(cell).fork(replica)); spec.seed is ignored.
+  SimHarness(ScenarioSpec spec, const util::Rng& root);
+
+  SimHarness(const SimHarness&) = delete;
+  SimHarness& operator=(const SimHarness&) = delete;
+
+  /// Drives the simulation: starts the spec'd substrate, runs the event
+  /// queue (to horizon_hours when > 0, else dry), and collects the
+  /// result. Throws std::logic_error on a second call. (An invalid spec
+  /// is rejected by the constructor with std::invalid_argument.)
+  ScenarioResult run();
+
+  /// The result of the completed run; throws std::logic_error before
+  /// run() has been called.
+  const ScenarioResult& result() const;
+
+  const ScenarioSpec& spec() const { return spec_; }
+  simcore::Simulator& simulator() { return sim_; }
+  cloud::CloudProvider& provider() { return provider_; }
+  cloud::ObjectStore& store() { return store_; }
+  faults::FaultInjector& injector() { return injector_; }
+
+  /// The active training session: the bare session for kind=session, the
+  /// control plane's current session for kind=run, null otherwise.
+  train::TrainingSession* session();
+  train::SyncTrainingSession* sync_session() { return sync_.get(); }
+  core::TransientTrainingRun* training_run() { return run_.get(); }
+
+  /// The thread's active telemetry bundle (the harness-owned one when the
+  /// spec asked for telemetry and none was installed, the ambient one —
+  /// e.g. a campaign replica's — otherwise). Null when disabled.
+  obs::Telemetry* telemetry() { return obs::telemetry(); }
+
+ private:
+  void build();
+  ScenarioResult collect();
+
+  ScenarioSpec spec_;
+  util::Rng root_;
+  /// Installed only when spec_.telemetry is set and the thread had no
+  /// bundle (campaign replicas already have one installed by exp).
+  std::unique_ptr<obs::ScopedTelemetry> owned_telemetry_;
+  faults::FaultInjector injector_;
+  simcore::Simulator sim_;
+  cloud::CloudProvider provider_;
+  cloud::ObjectStore store_;
+  std::unique_ptr<train::TrainingSession> session_;
+  std::unique_ptr<train::SyncTrainingSession> sync_;
+  std::unique_ptr<core::TransientTrainingRun> run_;
+  bool ran_ = false;
+  ScenarioResult result_;
+};
+
+}  // namespace cmdare::scenario

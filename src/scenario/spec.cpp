@@ -1,0 +1,598 @@
+#include "scenario/spec.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "nn/model_zoo.hpp"
+#include "util/strings.hpp"
+
+namespace cmdare::scenario {
+namespace {
+
+// --- scalar codecs -------------------------------------------------------
+
+/// Shortest representation that round-trips through from_chars exactly.
+std::string format_double(double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc() ? std::string(buffer, ptr) : "nan";
+}
+
+template <typename T>
+bool parse_number(std::string_view text, T* out) {
+  text = util::trim(text);
+  if (text.empty()) return false;
+  T parsed{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+bool parse_bool(std::string_view text, bool* out) {
+  text = util::trim(text);
+  if (text == "true" || text == "1") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool parse_gpu(std::string_view text, cloud::GpuType* out) {
+  const std::string needle = lower(util::trim(text));
+  for (const cloud::GpuType gpu : cloud::kAllGpuTypes) {
+    if (needle == lower(cloud::gpu_name(gpu))) {
+      *out = gpu;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_region(std::string_view text, cloud::Region* out) {
+  const std::string needle = lower(util::trim(text));
+  for (const cloud::Region region : cloud::kAllRegions) {
+    if (needle == cloud::region_name(region)) {
+      *out = region;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- compound codecs -----------------------------------------------------
+
+std::string format_worker_group(const WorkerGroup& group) {
+  std::string out = std::to_string(group.count);
+  out += " x ";
+  out += cloud::gpu_name(group.gpu);
+  out += " @ ";
+  out += cloud::region_name(group.region);
+  if (!group.transient) out += " on-demand";
+  return out;
+}
+
+/// "<count> x <gpu> @ <region> [on-demand]"
+std::optional<std::string> parse_worker_group(std::string_view text,
+                                              WorkerGroup* out) {
+  const auto fail = [&] {
+    return "bad worker group \"" + std::string(util::trim(text)) +
+           "\" (want \"<count> x <gpu> @ <region> [on-demand]\")";
+  };
+  const std::size_t x = text.find(" x ");
+  const std::size_t at = text.find(" @ ", x == std::string_view::npos ? 0 : x);
+  if (x == std::string_view::npos || at == std::string_view::npos) {
+    return fail();
+  }
+  WorkerGroup group;
+  if (!parse_number(text.substr(0, x), &group.count) || group.count < 1) {
+    return fail();
+  }
+  if (!parse_gpu(text.substr(x + 3, at - x - 3), &group.gpu)) return fail();
+  std::string_view region = util::trim(text.substr(at + 3));
+  constexpr std::string_view kOnDemand = "on-demand";
+  if (region.size() > kOnDemand.size() &&
+      region.substr(region.size() - kOnDemand.size()) == kOnDemand) {
+    group.transient = false;
+    region = util::trim(region.substr(0, region.size() - kOnDemand.size()));
+  }
+  if (!parse_region(region, &group.region)) return fail();
+  *out = group;
+  return std::nullopt;
+}
+
+std::string format_stockout(const faults::StockoutWindow& window) {
+  std::string out = cloud::region_name(window.region);
+  out += '/';
+  out += window.gpu ? cloud::gpu_name(*window.gpu) : "*";
+  out += " @ ";
+  out += format_double(window.start_s);
+  out += "..";
+  out += format_double(window.end_s);
+  return out;
+}
+
+/// "<region>/<gpu-or-*> @ <start_s>..<end_s>"
+std::optional<std::string> parse_stockout(std::string_view text,
+                                          faults::StockoutWindow* out) {
+  const auto fail = [&] {
+    return "bad stockout \"" + std::string(util::trim(text)) +
+           "\" (want \"<region>/<gpu|*> @ <start_s>..<end_s>\")";
+  };
+  const std::size_t at = text.find(" @ ");
+  if (at == std::string_view::npos) return fail();
+  const std::string_view target = text.substr(0, at);
+  const std::size_t slash = target.find('/');
+  if (slash == std::string_view::npos) return fail();
+  faults::StockoutWindow window;
+  if (!parse_region(target.substr(0, slash), &window.region)) return fail();
+  const std::string_view gpu = util::trim(target.substr(slash + 1));
+  if (gpu == "*") {
+    window.gpu.reset();
+  } else {
+    cloud::GpuType parsed;
+    if (!parse_gpu(gpu, &parsed)) return fail();
+    window.gpu = parsed;
+  }
+  const std::string_view range = text.substr(at + 3);
+  const std::size_t dots = range.find("..");
+  if (dots == std::string_view::npos) return fail();
+  if (!parse_number(range.substr(0, dots), &window.start_s) ||
+      !parse_number(range.substr(dots + 2), &window.end_s)) {
+    return fail();
+  }
+  if (window.start_s < 0.0 || window.end_s < window.start_s) {
+    return "stockout window must satisfy 0 <= start_s <= end_s";
+  }
+  *out = window;
+  return std::nullopt;
+}
+
+// --- enum codecs ---------------------------------------------------------
+
+const char* ft_mode_name(train::FaultToleranceMode mode) {
+  return mode == train::FaultToleranceMode::kCmDare ? "cm-dare"
+                                                    : "vanilla-tf";
+}
+
+bool parse_ft_mode(std::string_view text, train::FaultToleranceMode* out) {
+  text = util::trim(text);
+  if (text == "cm-dare") {
+    *out = train::FaultToleranceMode::kCmDare;
+    return true;
+  }
+  if (text == "vanilla-tf") {
+    *out = train::FaultToleranceMode::kVanillaTf;
+    return true;
+  }
+  return false;
+}
+
+const char* context_name(cloud::RequestContext context) {
+  switch (context) {
+    case cloud::RequestContext::kNormal:
+      return "normal";
+    case cloud::RequestContext::kImmediateAfterRevocation:
+      return "immediate";
+    case cloud::RequestContext::kDelayedAfterRevocation:
+      return "delayed";
+  }
+  return "normal";
+}
+
+bool parse_context(std::string_view text, cloud::RequestContext* out) {
+  text = util::trim(text);
+  if (text == "normal") {
+    *out = cloud::RequestContext::kNormal;
+    return true;
+  }
+  if (text == "immediate") {
+    *out = cloud::RequestContext::kImmediateAfterRevocation;
+    return true;
+  }
+  if (text == "delayed") {
+    *out = cloud::RequestContext::kDelayedAfterRevocation;
+    return true;
+  }
+  return false;
+}
+
+bool parse_kind(std::string_view text, HarnessKind* out) {
+  text = util::trim(text);
+  for (const HarnessKind kind :
+       {HarnessKind::kRun, HarnessKind::kSession, HarnessKind::kSync,
+        HarnessKind::kCloud}) {
+    if (text == harness_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- set_field helpers ---------------------------------------------------
+
+using SetError = std::optional<std::string>;
+
+SetError bad_value(std::string_view key, std::string_view value,
+                   const char* expected) {
+  return "bad value \"" + std::string(value) + "\" for " + std::string(key) +
+         " (expected " + expected + ")";
+}
+
+template <typename T>
+SetError set_numeric(std::string_view key, std::string_view value, T* out,
+                     T min_inclusive, T max_inclusive, const char* expected) {
+  T parsed{};
+  if (!parse_number(value, &parsed)) return bad_value(key, value, expected);
+  if (parsed < min_inclusive || parsed > max_inclusive) {
+    return std::string(key) + " out of range (want " + expected + ")";
+  }
+  *out = parsed;
+  return std::nullopt;
+}
+
+SetError set_rate(std::string_view key, std::string_view value, double* out) {
+  return set_numeric(key, value, out, 0.0, 1.0, "a rate in [0, 1]");
+}
+
+SetError set_bool(std::string_view key, std::string_view value, bool* out) {
+  if (!parse_bool(value, out)) return bad_value(key, value, "true or false");
+  return std::nullopt;
+}
+
+constexpr double kHuge = 1e18;
+
+}  // namespace
+
+const char* harness_kind_name(HarnessKind kind) {
+  switch (kind) {
+    case HarnessKind::kRun:
+      return "run";
+    case HarnessKind::kSession:
+      return "session";
+    case HarnessKind::kSync:
+      return "sync";
+    case HarnessKind::kCloud:
+      return "cloud";
+  }
+  return "run";
+}
+
+std::optional<std::string> set_field(ScenarioSpec& spec, std::string_view key,
+                                     std::string_view value) {
+  key = util::trim(key);
+  value = util::trim(value);
+
+  if (key == "name") {
+    if (value.empty()) return std::string("name must not be empty");
+    spec.name = std::string(value);
+    return std::nullopt;
+  }
+  if (key == "kind") {
+    if (!parse_kind(value, &spec.kind)) {
+      return bad_value(key, value, "run, session, sync, or cloud");
+    }
+    return std::nullopt;
+  }
+  if (key == "seed") {
+    if (!parse_number(value, &spec.seed)) {
+      return bad_value(key, value, "an unsigned integer");
+    }
+    return std::nullopt;
+  }
+  if (key == "model") {
+    if (value.empty()) return std::string("model must not be empty");
+    spec.model = std::string(value);
+    return std::nullopt;
+  }
+  if (key == "workers" || key == "worker") {
+    std::vector<WorkerGroup> groups;
+    if (key == "worker") groups = spec.workers;  // append form
+    if (!value.empty()) {
+      for (const std::string& part : util::split(value, ',')) {
+        WorkerGroup group;
+        if (auto error = parse_worker_group(part, &group)) return error;
+        groups.push_back(group);
+      }
+    }
+    spec.workers = std::move(groups);
+    return std::nullopt;
+  }
+  if (key == "ps_count") {
+    return set_numeric(key, value, &spec.ps_count, 1, 1 << 20,
+                       "an integer >= 1");
+  }
+  if (key == "max_steps") {
+    return set_numeric<long>(key, value, &spec.max_steps, 0, 1L << 40,
+                             "an integer >= 0");
+  }
+  if (key == "checkpoint_interval_steps") {
+    return set_numeric<long>(key, value, &spec.checkpoint_interval_steps, 0,
+                             1L << 40, "an integer >= 0");
+  }
+  if (key == "checkpoint_max_retries") {
+    return set_numeric(key, value, &spec.checkpoint_max_retries, 0, 1 << 20,
+                       "an integer >= 0");
+  }
+  if (key == "ft_mode") {
+    if (!parse_ft_mode(value, &spec.ft_mode)) {
+      return bad_value(key, value, "cm-dare or vanilla-tf");
+    }
+    return std::nullopt;
+  }
+  if (key == "ps_region") {
+    if (!parse_region(value, &spec.ps_region)) {
+      return bad_value(key, value, "a region name");
+    }
+    return std::nullopt;
+  }
+  if (key == "auto_replace") return set_bool(key, value, &spec.auto_replace);
+  if (key == "replacement_context") {
+    if (!parse_context(value, &spec.replacement_context)) {
+      return bad_value(key, value, "normal, immediate, or delayed");
+    }
+    return std::nullopt;
+  }
+  if (key == "max_launch_attempts") {
+    return set_numeric(key, value, &spec.resilience.max_launch_attempts, 1,
+                       1 << 20, "an integer >= 1");
+  }
+  if (key == "backoff_base_seconds") {
+    return set_numeric(key, value, &spec.resilience.backoff_base_seconds, 0.0,
+                       kHuge, "seconds >= 0");
+  }
+  if (key == "backoff_multiplier") {
+    return set_numeric(key, value, &spec.resilience.backoff_multiplier, 1.0,
+                       kHuge, "a multiplier >= 1");
+  }
+  if (key == "backoff_max_seconds") {
+    return set_numeric(key, value, &spec.resilience.backoff_max_seconds, 0.0,
+                       kHuge, "seconds >= 0");
+  }
+  if (key == "backoff_jitter") {
+    return set_numeric(key, value, &spec.resilience.backoff_jitter, 0.0, 1.0,
+                       "a fraction in [0, 1]");
+  }
+  if (key == "stockouts_before_fallback") {
+    return set_numeric(key, value, &spec.resilience.stockouts_before_fallback,
+                       1, 1 << 20, "an integer >= 1");
+  }
+  if (key == "allow_region_fallback") {
+    return set_bool(key, value, &spec.resilience.allow_region_fallback);
+  }
+  if (key == "allow_gpu_fallback") {
+    return set_bool(key, value, &spec.resilience.allow_gpu_fallback);
+  }
+  if (key == "allow_on_demand_fallback") {
+    return set_bool(key, value, &spec.resilience.allow_on_demand_fallback);
+  }
+  if (key == "utc_start_hour") {
+    const double previous = spec.utc_start_hour;
+    SetError error = set_numeric(key, value, &spec.utc_start_hour, 0.0, 24.0,
+                                 "an hour in [0, 24)");
+    if (!error && spec.utc_start_hour == 24.0) {
+      spec.utc_start_hour = previous;  // half-open range: 24.0 is rejected
+      return std::string("utc_start_hour out of range (want [0, 24))");
+    }
+    return error;
+  }
+  if (key == "horizon_hours") {
+    return set_numeric(key, value, &spec.horizon_hours, 0.0, kHuge,
+                       "hours >= 0");
+  }
+  if (key == "launch_error_rate") {
+    return set_rate(key, value, &spec.faults.launch_error_rate);
+  }
+  if (key == "upload_error_rate") {
+    return set_rate(key, value, &spec.faults.upload_error_rate);
+  }
+  if (key == "upload_slowdown_rate") {
+    return set_rate(key, value, &spec.faults.upload_slowdown_rate);
+  }
+  if (key == "upload_slowdown_factor") {
+    return set_numeric(key, value, &spec.faults.upload_slowdown_factor, 1.0,
+                       kHuge, "a multiplier >= 1");
+  }
+  if (key == "restore_error_rate") {
+    return set_rate(key, value, &spec.faults.restore_error_rate);
+  }
+  if (key == "abrupt_kill_rate") {
+    return set_rate(key, value, &spec.faults.abrupt_kill_rate);
+  }
+  if (key == "fault_rate") {
+    // Write-only shorthand: one uniform rate across every probabilistic
+    // fault class (stockouts and the slowdown factor are untouched).
+    double rate = 0.0;
+    if (SetError error = set_rate(key, value, &rate)) return error;
+    spec.faults.launch_error_rate = rate;
+    spec.faults.upload_error_rate = rate;
+    spec.faults.upload_slowdown_rate = rate;
+    spec.faults.restore_error_rate = rate;
+    spec.faults.abrupt_kill_rate = rate;
+    return std::nullopt;
+  }
+  if (key == "stockouts" || key == "stockout") {
+    std::vector<faults::StockoutWindow> windows;
+    if (key == "stockout") windows = spec.faults.stockouts;  // append form
+    if (!value.empty()) {
+      for (const std::string& part : util::split(value, ',')) {
+        faults::StockoutWindow window;
+        if (auto error = parse_stockout(part, &window)) return error;
+        windows.push_back(window);
+      }
+    }
+    spec.faults.stockouts = std::move(windows);
+    return std::nullopt;
+  }
+  if (key == "telemetry") return set_bool(key, value, &spec.telemetry);
+
+  return "unknown key \"" + std::string(key) + "\"";
+}
+
+ParseResult parse(std::string_view text) {
+  ParseResult result;
+  int line_number = 0;
+  while (!text.empty()) {
+    ++line_number;
+    const std::size_t newline = text.find('\n');
+    std::string_view line = text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view()
+                                             : text.substr(newline + 1);
+    // Strip comments and blank lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = util::trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      result.diagnostics.push_back(
+          {line_number, "expected \"key = value\", got \"" +
+                            std::string(line) + "\""});
+      continue;
+    }
+    if (auto error = set_field(result.spec, line.substr(0, eq),
+                               line.substr(eq + 1))) {
+      result.diagnostics.push_back({line_number, std::move(*error)});
+    }
+  }
+  for (std::string& error : validate(result.spec)) {
+    result.diagnostics.push_back({0, std::move(error)});
+  }
+  return result;
+}
+
+std::string serialize(const ScenarioSpec& spec) {
+  std::string out;
+  const auto emit = [&](std::string_view key, std::string value) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  };
+
+  emit("name", spec.name);
+  emit("kind", harness_kind_name(spec.kind));
+  emit("seed", std::to_string(spec.seed));
+  emit("model", spec.model);
+  if (!spec.workers.empty()) {
+    std::string groups;
+    for (const WorkerGroup& group : spec.workers) {
+      if (!groups.empty()) groups += ", ";
+      groups += format_worker_group(group);
+    }
+    emit("workers", std::move(groups));
+  }
+  emit("ps_count", std::to_string(spec.ps_count));
+  emit("max_steps", std::to_string(spec.max_steps));
+  emit("checkpoint_interval_steps",
+       std::to_string(spec.checkpoint_interval_steps));
+  emit("checkpoint_max_retries", std::to_string(spec.checkpoint_max_retries));
+  emit("ft_mode", ft_mode_name(spec.ft_mode));
+  emit("ps_region", cloud::region_name(spec.ps_region));
+  emit("auto_replace", spec.auto_replace ? "true" : "false");
+  emit("replacement_context", context_name(spec.replacement_context));
+  emit("max_launch_attempts",
+       std::to_string(spec.resilience.max_launch_attempts));
+  emit("backoff_base_seconds",
+       format_double(spec.resilience.backoff_base_seconds));
+  emit("backoff_multiplier", format_double(spec.resilience.backoff_multiplier));
+  emit("backoff_max_seconds",
+       format_double(spec.resilience.backoff_max_seconds));
+  emit("backoff_jitter", format_double(spec.resilience.backoff_jitter));
+  emit("stockouts_before_fallback",
+       std::to_string(spec.resilience.stockouts_before_fallback));
+  emit("allow_region_fallback",
+       spec.resilience.allow_region_fallback ? "true" : "false");
+  emit("allow_gpu_fallback",
+       spec.resilience.allow_gpu_fallback ? "true" : "false");
+  emit("allow_on_demand_fallback",
+       spec.resilience.allow_on_demand_fallback ? "true" : "false");
+  emit("utc_start_hour", format_double(spec.utc_start_hour));
+  emit("horizon_hours", format_double(spec.horizon_hours));
+  emit("launch_error_rate", format_double(spec.faults.launch_error_rate));
+  emit("upload_error_rate", format_double(spec.faults.upload_error_rate));
+  emit("upload_slowdown_rate",
+       format_double(spec.faults.upload_slowdown_rate));
+  emit("upload_slowdown_factor",
+       format_double(spec.faults.upload_slowdown_factor));
+  emit("restore_error_rate", format_double(spec.faults.restore_error_rate));
+  emit("abrupt_kill_rate", format_double(spec.faults.abrupt_kill_rate));
+  if (!spec.faults.stockouts.empty()) {
+    std::string windows;
+    for (const faults::StockoutWindow& window : spec.faults.stockouts) {
+      if (!windows.empty()) windows += ", ";
+      windows += format_stockout(window);
+    }
+    emit("stockouts", std::move(windows));
+  }
+  emit("telemetry", spec.telemetry ? "true" : "false");
+  return out;
+}
+
+std::vector<std::string> validate(const ScenarioSpec& spec) {
+  std::vector<std::string> errors;
+  try {
+    (void)nn::model_by_name(spec.model);
+  } catch (const std::exception&) {
+    errors.push_back("unknown model \"" + spec.model + "\"");
+  }
+  if (spec.workers.empty() &&
+      (spec.kind == HarnessKind::kRun || spec.kind == HarnessKind::kSync)) {
+    errors.push_back(std::string("kind=") + harness_kind_name(spec.kind) +
+                     " needs at least one worker group");
+  }
+  for (const WorkerGroup& group : spec.workers) {
+    if (group.count < 1) {
+      errors.push_back("worker group count must be >= 1");
+      break;
+    }
+  }
+  if (spec.kind != HarnessKind::kCloud && spec.max_steps < 1 &&
+      spec.horizon_hours <= 0.0) {
+    errors.push_back(
+        "max_steps = 0 with no horizon_hours would never terminate");
+  }
+  const auto check_rate = [&](const char* key, double rate) {
+    if (rate < 0.0 || rate > 1.0) {
+      errors.push_back(std::string(key) + " must be in [0, 1]");
+    }
+  };
+  check_rate("launch_error_rate", spec.faults.launch_error_rate);
+  check_rate("upload_error_rate", spec.faults.upload_error_rate);
+  check_rate("upload_slowdown_rate", spec.faults.upload_slowdown_rate);
+  check_rate("restore_error_rate", spec.faults.restore_error_rate);
+  check_rate("abrupt_kill_rate", spec.faults.abrupt_kill_rate);
+  check_rate("backoff_jitter", spec.resilience.backoff_jitter);
+  for (const faults::StockoutWindow& window : spec.faults.stockouts) {
+    if (window.start_s < 0.0 || window.end_s < window.start_s) {
+      errors.push_back("stockout window must satisfy 0 <= start_s <= end_s");
+      break;
+    }
+  }
+  if (spec.ps_count < 1) errors.push_back("ps_count must be >= 1");
+  if (spec.utc_start_hour < 0.0 || spec.utc_start_hour >= 24.0) {
+    errors.push_back("utc_start_hour must be in [0, 24)");
+  }
+  if (spec.horizon_hours < 0.0) {
+    errors.push_back("horizon_hours must be >= 0");
+  }
+  return errors;
+}
+
+}  // namespace cmdare::scenario

@@ -13,6 +13,7 @@ bool EventHandle::pending() const {
 bool EventHandle::cancel() {
   if (!pending()) return false;
   state_->cancelled = true;
+  if (state_->tombstones) ++*state_->tombstones;
   return true;
 }
 
@@ -27,7 +28,9 @@ EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn,
   if (!fn) {
     throw std::invalid_argument("Simulator::schedule_at: empty callback");
   }
+  maybe_compact();
   auto state = std::make_shared<EventHandle::State>();
+  state->tombstones = tombstones_;
   queue_.push(Entry{when, next_sequence_++, std::move(fn), state, tag});
   if (observer_) observer_->on_schedule(when, tag, queue_.size());
   return EventHandle(std::move(state));
@@ -48,7 +51,10 @@ bool Simulator::fire_next() {
     // entry is popped immediately and never compared again.
     Entry entry = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
-    if (entry.state->cancelled) continue;
+    if (entry.state->cancelled) {
+      drop_tombstone();
+      continue;
+    }
     now_ = entry.when;
     entry.state->fired = true;
     ++fired_;
@@ -81,6 +87,7 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
     // Skip tombstones at the head without advancing time.
     if (queue_.top().state->cancelled) {
       queue_.pop();
+      drop_tombstone();
       continue;
     }
     if (queue_.top().when > deadline) break;
@@ -91,5 +98,25 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
 }
 
 bool Simulator::step() { return fire_next(); }
+
+void Simulator::compact() {
+  if (*tombstones_ == 0) return;
+  std::vector<Entry> live;
+  live.reserve(queue_.size() - static_cast<std::size_t>(*tombstones_));
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (!entry.state->cancelled) live.push_back(std::move(entry));
+  }
+  // Every cancelled entry in the queue was counted exactly once (cancel()
+  // only counts pending entries, and popped entries can never be
+  // cancelled afterwards), so the tally is now clean.
+  *tombstones_ = 0;
+  queue_ = decltype(queue_)(Later{}, std::move(live));
+}
+
+void Simulator::maybe_compact() {
+  if (*tombstones_ * 2 > queue_.size()) compact();
+}
 
 }  // namespace cmdare::simcore

@@ -47,6 +47,10 @@ class EventHandle {
   struct State {
     bool cancelled = false;
     bool fired = false;
+    /// The owning simulator's tombstone tally (shared, not owned, so a
+    /// handle outliving its simulator stays safe). cancel() bumps it and
+    /// the simulator decrements as tombstones are popped or compacted.
+    std::shared_ptr<std::uint64_t> tombstones;
   };
   explicit EventHandle(std::shared_ptr<State> state)
       : state_(std::move(state)) {}
@@ -83,8 +87,19 @@ class Simulator {
 
   /// Events currently queued (including tombstoned ones).
   std::size_t queued_events() const { return queue_.size(); }
+  /// Cancelled events still occupying queue slots.
+  std::uint64_t tombstoned_events() const { return *tombstones_; }
   /// Total events fired since construction.
   std::uint64_t events_fired() const { return fired_; }
+
+  /// Drops every tombstoned entry (and its captured std::function state)
+  /// from the queue. Live-event ordering is unaffected: the comparator
+  /// keys on (when, sequence), both preserved by the rebuild. schedule_at
+  /// calls this automatically once tombstones exceed half the queue, so
+  /// churny runs (cancel-heavy resilience campaigns) do not carry dead
+  /// callbacks to the end; it is public for callers that want the memory
+  /// back at a specific point.
+  void compact();
 
   /// Registers a profiling observer (nullptr removes it). The observer is
   /// not owned and must outlive the simulator or be removed first. With no
@@ -108,11 +123,20 @@ class Simulator {
   };
 
   bool fire_next();
+  void maybe_compact();
+  /// Bookkeeping for a cancelled entry leaving the queue.
+  void drop_tombstone() {
+    if (*tombstones_ > 0) --*tombstones_;
+  }
 
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t fired_ = 0;
   SimObserver* observer_ = nullptr;
+  /// Count of cancelled-but-still-queued entries; shared with every
+  /// EventHandle::State so cancel() can bump it without a back-pointer.
+  std::shared_ptr<std::uint64_t> tombstones_ =
+      std::make_shared<std::uint64_t>(0);
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

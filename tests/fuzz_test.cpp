@@ -9,6 +9,7 @@
 
 #include "cmdare/resource_manager.hpp"
 #include "nn/model_zoo.hpp"
+#include "scenario/spec.hpp"
 #include "simcore/simulator.hpp"
 #include "train/session.hpp"
 #include "train/sync_session.hpp"
@@ -192,6 +193,49 @@ TEST_P(SyncFuzz, BarrierNeverDeadlocks) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Scenarios, SyncFuzz, ::testing::Range(0, 8));
+
+class SpecParseFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecParseFuzz, RandomBytesNeverCrashTheParser) {
+  // ScenarioSpec::parse is the boundary that eats user files: any byte
+  // soup must come back as diagnostics, never a throw or a crash.
+  util::Rng rng(6000 + GetParam());
+  for (int doc = 0; doc < 50; ++doc) {
+    std::string text;
+    const std::size_t length = rng.uniform_index(2000);
+    text.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      if (rng.bernoulli(0.15)) {
+        // Bias toward structure so parsing goes deeper than line 1:
+        // newlines, separators, and real key fragments.
+        static const char* kFragments[] = {
+            "\n", "=", "#", " x ", " @ ", "..", ",", "workers", "kind",
+            "seed", "fault_rate", "stockout", "utc_start_hour", "-", "1e",
+            "true", "run", "K80", "us-central1", "*", "/"};
+        text += kFragments[rng.uniform_index(std::size(kFragments))];
+      } else {
+        text += static_cast<char>(rng.uniform_index(256));
+      }
+    }
+    const scenario::ParseResult result = scenario::parse(text);
+    // Diagnostics must reference real lines of the input (or line 0 for
+    // file-level semantic errors).
+    for (const scenario::Diagnostic& d : result.diagnostics) {
+      EXPECT_GE(d.line, 0);
+      EXPECT_FALSE(d.message.empty());
+    }
+    // Whatever survived parsing must serialize, and the canonical text
+    // must itself parse without per-line errors.
+    const std::string canonical = scenario::serialize(result.spec);
+    const scenario::ParseResult again = scenario::parse(canonical);
+    for (const scenario::Diagnostic& d : again.diagnostics) {
+      EXPECT_EQ(d.line, 0) << "canonical text rejected: " << d.message;
+    }
+    EXPECT_EQ(scenario::serialize(again.spec), canonical);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SpecParseFuzz, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace cmdare

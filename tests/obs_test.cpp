@@ -256,6 +256,31 @@ TEST(Metrics, SnapshotIsSortedAndComplete) {
   EXPECT_DOUBLE_EQ(rows.front().value, 2.0);
 }
 
+TEST(Metrics, PrefixFilteredSnapshot) {
+  obs::Registry registry;
+  registry.counter("faults.injected_total").inc();
+  registry.counter("faults.suppressed_total").inc(3.0);
+  registry.counter("train.steps_total").inc(10.0);
+  registry.gauge("storage.blobs").set(2.0);
+
+  const auto faults = registry.snapshot(std::string_view("faults."));
+  ASSERT_EQ(faults.size(), 2u);
+  EXPECT_EQ(faults[0].name, "faults.injected_total");
+  EXPECT_EQ(faults[1].name, "faults.suppressed_total");
+
+  // Multi-prefix form: union of the matches, still globally sorted.
+  const auto picked =
+      registry.snapshot(std::vector<std::string>{"storage.", "train."});
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0].name, "storage.blobs");
+  EXPECT_EQ(picked[1].name, "train.steps_total");
+
+  // A prefix is a name prefix, not a substring match; and the empty
+  // prefix list yields nothing.
+  EXPECT_TRUE(registry.snapshot(std::string_view("aults")).empty());
+  EXPECT_TRUE(registry.snapshot(std::vector<std::string>{}).empty());
+}
+
 TEST(Metrics, CsvExportParsesBack) {
   obs::Registry registry;
   registry.counter("steps", {{"worker", "a,b"}}).inc(4.0);  // comma in label

@@ -5,9 +5,9 @@
 #include <sstream>
 #include <string>
 
-#include "cmdare/campaigns.hpp"
+#include "scenario/catalog.hpp"
 
-namespace cmdare::core {
+namespace cmdare::scenario {
 namespace {
 
 exp::CampaignSpec shrunk_spec() {
@@ -75,4 +75,4 @@ TEST(ResilienceCampaign, FaultyCellsDegradeGracefully) {
 }
 
 }  // namespace
-}  // namespace cmdare::core
+}  // namespace cmdare::scenario

@@ -1,0 +1,219 @@
+// ScenarioSpec text codec: lossless round-trip over every field, and
+// malformed input surfacing as line-anchored diagnostics, never throws.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
+
+namespace cmdare::scenario {
+namespace {
+
+ScenarioSpec minimal_valid() {
+  ScenarioSpec spec;
+  spec.workers = {{2, cloud::GpuType::kK80, cloud::Region::kUsCentral1, true}};
+  return spec;
+}
+
+/// Every field moved off its default value (both worker-group and
+/// stockout lists carry two entries to exercise the comma-joined forms).
+ScenarioSpec full_spec() {
+  ScenarioSpec spec;
+  spec.name = "full-coverage";
+  spec.kind = HarnessKind::kSession;
+  spec.seed = 987654321;
+  spec.model = "resnet-32";
+  spec.workers = {{3, cloud::GpuType::kP100, cloud::Region::kUsEast1, true},
+                  {1, cloud::GpuType::kV100, cloud::Region::kEuropeWest4,
+                   false}};
+  spec.ps_count = 2;
+  spec.max_steps = 12345;
+  spec.checkpoint_interval_steps = 500;
+  spec.checkpoint_max_retries = 5;
+  spec.ft_mode = train::FaultToleranceMode::kVanillaTf;
+  spec.ps_region = cloud::Region::kUsWest1;
+  spec.auto_replace = false;
+  spec.replacement_context = cloud::RequestContext::kDelayedAfterRevocation;
+  spec.resilience.max_launch_attempts = 7;
+  spec.resilience.backoff_base_seconds = 2.5;
+  spec.resilience.backoff_multiplier = 3.0;
+  spec.resilience.backoff_max_seconds = 120.25;
+  spec.resilience.backoff_jitter = 0.125;
+  spec.resilience.stockouts_before_fallback = 4;
+  spec.resilience.allow_region_fallback = false;
+  spec.resilience.allow_gpu_fallback = false;
+  spec.resilience.allow_on_demand_fallback = false;
+  spec.utc_start_hour = 3.7512345;
+  spec.horizon_hours = 12.5;
+  spec.faults.launch_error_rate = 0.01;
+  spec.faults.upload_error_rate = 0.02;
+  spec.faults.upload_slowdown_rate = 0.03;
+  spec.faults.upload_slowdown_factor = 4.5;
+  spec.faults.restore_error_rate = 0.0425;
+  spec.faults.abrupt_kill_rate = 0.05;
+  faults::StockoutWindow first;
+  first.region = cloud::Region::kUsEast1;
+  first.gpu = cloud::GpuType::kK80;
+  first.start_s = 100.5;
+  first.end_s = 400.75;
+  faults::StockoutWindow second;
+  second.region = cloud::Region::kAsiaEast1;
+  second.gpu.reset();
+  second.start_s = 0.0;
+  second.end_s = 50.0;
+  spec.faults.stockouts = {first, second};
+  spec.telemetry = true;
+  return spec;
+}
+
+TEST(ScenarioSpec, RoundTripMinimalSpec) {
+  const ScenarioSpec spec = minimal_valid();
+  const ParseResult result = parse(serialize(spec));
+  EXPECT_TRUE(result.ok()) << serialize(spec);
+  EXPECT_EQ(result.spec, spec);
+}
+
+TEST(ScenarioSpec, RoundTripEveryField) {
+  const ScenarioSpec spec = full_spec();
+  const std::string text = serialize(spec);
+  const ParseResult result = parse(text);
+  EXPECT_TRUE(result.ok()) << text;
+  EXPECT_EQ(result.spec, spec) << text;
+  // And the text form itself is a fixed point.
+  EXPECT_EQ(serialize(result.spec), text);
+}
+
+TEST(ScenarioSpec, RoundTripSurvivesNoisyFormatting) {
+  const ParseResult result = parse(
+      "# a comment line\n"
+      "  name =  noisy  \n"
+      "kind=session   # trailing comment\n"
+      "\n"
+      "workers = 2 x k80 @ us-central1\n"
+      "max_steps = 10\n");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.spec.name, "noisy");
+  EXPECT_EQ(result.spec.kind, HarnessKind::kSession);
+  ASSERT_EQ(result.spec.workers.size(), 1u);
+  EXPECT_EQ(result.spec.workers[0].count, 2);
+  EXPECT_EQ(result.spec.workers[0].gpu, cloud::GpuType::kK80);
+  EXPECT_EQ(result.spec.max_steps, 10);
+}
+
+TEST(ScenarioSpec, DiagnosticsCarryLineNumbers) {
+  const ParseResult result = parse(
+      "kind = session\n"          // 1: fine
+      "this line has no equals\n"  // 2: malformed
+      "fault_rate = 2.0\n"         // 3: out of range
+      "mystery_key = 1\n"          // 4: unknown key
+      "max_steps = 10\n");         // 5: fine
+  ASSERT_EQ(result.diagnostics.size(), 3u);
+  EXPECT_EQ(result.diagnostics[0].line, 2);
+  EXPECT_NE(result.diagnostics[0].message.find("key = value"),
+            std::string::npos);
+  EXPECT_EQ(result.diagnostics[1].line, 3);
+  EXPECT_NE(result.diagnostics[1].message.find("fault_rate"),
+            std::string::npos);
+  EXPECT_EQ(result.diagnostics[2].line, 4);
+  EXPECT_NE(result.diagnostics[2].message.find("mystery_key"),
+            std::string::npos);
+  // Lines that did parse still landed in the spec.
+  EXPECT_EQ(result.spec.kind, HarnessKind::kSession);
+  EXPECT_EQ(result.spec.max_steps, 10);
+}
+
+TEST(ScenarioSpec, SemanticValidationReportsAtLineZero) {
+  // kind=run with no workers: per-line parsing succeeds, validate()
+  // appends a file-level diagnostic.
+  const ParseResult result = parse("kind = run\nmax_steps = 10\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.diagnostics[0].line, 0);
+  EXPECT_NE(result.diagnostics[0].message.find("worker"), std::string::npos);
+}
+
+TEST(ScenarioSpec, SetFieldRejectsOutOfRangeValues) {
+  ScenarioSpec spec = minimal_valid();
+  EXPECT_TRUE(set_field(spec, "utc_start_hour", "24").has_value());
+  EXPECT_TRUE(set_field(spec, "backoff_jitter", "1.5").has_value());
+  EXPECT_TRUE(set_field(spec, "ps_count", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "seed", "-3").has_value());
+  EXPECT_TRUE(set_field(spec, "launch_error_rate", "nope").has_value());
+  EXPECT_TRUE(set_field(spec, "kind", "banana").has_value());
+  // None of the rejected values touched the spec.
+  EXPECT_EQ(spec, minimal_valid());
+}
+
+TEST(ScenarioSpec, WorkerAndStockoutAppendForms) {
+  ScenarioSpec spec = minimal_valid();
+  EXPECT_FALSE(set_field(spec, "worker", "1 x V100 @ us-west1").has_value());
+  ASSERT_EQ(spec.workers.size(), 2u);
+  EXPECT_EQ(spec.workers[1].gpu, cloud::GpuType::kV100);
+  EXPECT_EQ(spec.workers[1].region, cloud::Region::kUsWest1);
+
+  EXPECT_FALSE(
+      set_field(spec, "stockout", "us-central1/* @ 10..20").has_value());
+  ASSERT_EQ(spec.faults.stockouts.size(), 1u);
+  EXPECT_FALSE(spec.faults.stockouts[0].gpu.has_value());
+  EXPECT_DOUBLE_EQ(spec.faults.stockouts[0].start_s, 10.0);
+  EXPECT_DOUBLE_EQ(spec.faults.stockouts[0].end_s, 20.0);
+}
+
+TEST(ScenarioSpec, FaultRateShorthandSetsEveryRateKeepsWindows) {
+  ScenarioSpec spec = minimal_valid();
+  ASSERT_FALSE(
+      set_field(spec, "stockout", "us-central1/K80 @ 0..100").has_value());
+  ASSERT_FALSE(set_field(spec, "fault_rate", "0.25").has_value());
+  EXPECT_DOUBLE_EQ(spec.faults.launch_error_rate, 0.25);
+  EXPECT_DOUBLE_EQ(spec.faults.upload_error_rate, 0.25);
+  EXPECT_DOUBLE_EQ(spec.faults.upload_slowdown_rate, 0.25);
+  EXPECT_DOUBLE_EQ(spec.faults.restore_error_rate, 0.25);
+  EXPECT_DOUBLE_EQ(spec.faults.abrupt_kill_rate, 0.25);
+  EXPECT_EQ(spec.faults.stockouts.size(), 1u);  // shorthand keeps windows
+  EXPECT_DOUBLE_EQ(spec.faults.upload_slowdown_factor, 3.0);  // untouched
+}
+
+TEST(ScenarioSpec, ValidateFlagsUnknownModel) {
+  ScenarioSpec spec = minimal_valid();
+  spec.model = "alexnet-9000";
+  const auto errors = validate(spec);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("alexnet-9000"), std::string::npos);
+}
+
+TEST(ScenarioSpec, ValidateFlagsNonTerminatingRun) {
+  ScenarioSpec spec = minimal_valid();
+  spec.max_steps = 0;
+  spec.horizon_hours = 0.0;
+  EXPECT_FALSE(validate(spec).empty());
+  spec.horizon_hours = 1.0;  // a deadline makes it terminate
+  EXPECT_TRUE(validate(spec).empty());
+}
+
+TEST(ScenarioSweep, ExpandTakesCartesianProductFirstAxisSlowest) {
+  ScenarioSweep sweep;
+  sweep.base = minimal_valid();
+  sweep.axes = {{"fault_rate", {"0", "0.1"}}, {"max_steps", {"10", "20", "30"}}};
+  const auto cells = expand(sweep);
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_DOUBLE_EQ(cells[0].spec.faults.launch_error_rate, 0.0);
+  EXPECT_EQ(cells[0].spec.max_steps, 10);
+  EXPECT_EQ(cells[2].spec.max_steps, 30);
+  EXPECT_DOUBLE_EQ(cells[3].spec.faults.launch_error_rate, 0.1);
+  EXPECT_EQ(cells[3].spec.max_steps, 10);
+  EXPECT_EQ(cells[5].label(), "fault_rate=0.1 max_steps=30");
+}
+
+TEST(ScenarioSweep, ExpandRejectsBadAxisValues) {
+  ScenarioSweep sweep;
+  sweep.base = minimal_valid();
+  sweep.axes = {{"fault_rate", {"0", "2.0"}}};
+  EXPECT_THROW(expand(sweep), std::invalid_argument);
+  sweep.axes = {{"no_such_key", {"1"}}};
+  EXPECT_THROW(expand(sweep), std::invalid_argument);
+  sweep.axes = {{"fault_rate", {}}};
+  EXPECT_THROW(expand(sweep), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmdare::scenario

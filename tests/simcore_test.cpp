@@ -166,6 +166,54 @@ TEST(Simulator, TombstonesStayQueuedUntilPopped) {
   EXPECT_DOUBLE_EQ(sim.now(), 2.0);    // clock never visits cancelled times
 }
 
+TEST(Simulator, CompactDropsTombstonesAndKeepsLiveOrder) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(
+        sim.schedule_at(static_cast<double>(i + 1), [&fired, i] {
+          fired.push_back(i);
+        }));
+  }
+  for (int i = 0; i < 10; i += 2) handles[i].cancel();
+  EXPECT_EQ(sim.tombstoned_events(), 5u);
+  sim.compact();
+  EXPECT_EQ(sim.tombstoned_events(), 0u);
+  EXPECT_EQ(sim.queued_events(), 5u);  // only live entries survive
+  EXPECT_EQ(sim.run(), 5u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 5, 7, 9}));  // order intact
+}
+
+TEST(Simulator, SchedulingCompactsWhenTombstonesDominate) {
+  Simulator sim;
+  // Cancel-heavy load: 8 of 10 entries tombstoned. The next schedule_at
+  // notices tombstones outnumber live entries and compacts in place —
+  // churny cancel-heavy campaigns must not carry dead entries forever.
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sim.schedule_at(static_cast<double>(i + 1), [] {}));
+  }
+  for (int i = 0; i < 8; ++i) handles[i].cancel();
+  EXPECT_EQ(sim.queued_events(), 10u);  // not compacted yet
+  sim.schedule_at(100.0, [] {});
+  EXPECT_EQ(sim.tombstoned_events(), 0u);
+  EXPECT_EQ(sim.queued_events(), 3u);  // 2 live survivors + the new event
+  EXPECT_EQ(sim.run(), 3u);
+}
+
+TEST(Simulator, CancelAfterCompactionIsSafe) {
+  Simulator sim;
+  EventHandle live = sim.schedule_at(5.0, [] {});
+  EventHandle dead = sim.schedule_at(1.0, [] {});
+  dead.cancel();
+  sim.compact();
+  // The compacted-away handle is inert; the surviving one still cancels.
+  EXPECT_FALSE(dead.cancel());
+  EXPECT_TRUE(live.cancel());
+  EXPECT_EQ(sim.run(), 0u);
+}
+
 namespace {
 
 /// Records every observer callback for assertion.

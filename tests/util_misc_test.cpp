@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -174,6 +175,83 @@ TEST(Logging, TimeSourceShowsUpInDefaultLineFormat) {
   set_log_time_source(nullptr);
   EXPECT_FALSE(log_time_now().has_value());
   EXPECT_EQ(format_log_line(LogLevel::kWarn, "msg"), "[WARN] msg");
+}
+
+namespace {
+
+/// argv adapter: ArgParser::parse wants char* const*, tests want literals.
+bool parse_args(ArgParser& args, std::vector<const char*> argv,
+                std::string* error) {
+  argv.insert(argv.begin(), "test-prog");
+  return args.parse(static_cast<int>(argv.size()),
+                    const_cast<char* const*>(argv.data()), error);
+}
+
+}  // namespace
+
+TEST(ArgParser, ParsesFlagsValuesAndPositionals) {
+  std::string path, csv;
+  std::vector<std::string> sets;
+  int jobs = 0;
+  bool quiet = false;
+  ArgParser args("prog", "test");
+  args.add_positional("file", "input file", &path);
+  args.add_flag("quiet", "hush", &quiet);
+  args.add_int("jobs", "N", "threads", &jobs);
+  args.add_value("csv", "PATH", "output", &csv);
+  args.add_repeated("set", "K=V", "override", &sets);
+
+  std::string error;
+  ASSERT_TRUE(parse_args(args,
+                         {"in.scn", "--jobs", "4", "--quiet", "--set", "a=1",
+                          "--set", "b=2", "--csv", "out.csv"},
+                         &error))
+      << error;
+  EXPECT_EQ(path, "in.scn");
+  EXPECT_EQ(jobs, 4);
+  EXPECT_TRUE(quiet);
+  EXPECT_EQ(csv, "out.csv");
+  EXPECT_EQ(sets, (std::vector<std::string>{"a=1", "b=2"}));
+}
+
+TEST(ArgParser, ReportsErrors) {
+  int jobs = 0;
+  std::string error;
+  {
+    ArgParser args("prog", "test");
+    args.add_int("jobs", "N", "threads", &jobs);
+    EXPECT_FALSE(parse_args(args, {"--jobs", "many"}, &error));
+    EXPECT_NE(error.find("jobs"), std::string::npos);
+  }
+  {
+    ArgParser args("prog", "test");
+    EXPECT_FALSE(parse_args(args, {"--mystery"}, &error));
+    EXPECT_NE(error.find("mystery"), std::string::npos);
+  }
+  {
+    std::string file;
+    ArgParser args("prog", "test");
+    args.add_positional("file", "input", &file);  // required, missing
+    EXPECT_FALSE(parse_args(args, {}, &error));
+    EXPECT_NE(error.find("file"), std::string::npos);
+  }
+  {
+    ArgParser args("prog", "test");
+    EXPECT_FALSE(parse_args(args, {"stray"}, &error));  // no positionals
+  }
+}
+
+TEST(ArgParser, HelpStopsParsingAndListsOptions) {
+  int jobs = 0;
+  ArgParser args("prog", "does things");
+  args.add_int("jobs", "N", "worker threads", &jobs);
+  std::string error;
+  EXPECT_TRUE(parse_args(args, {"--help"}, &error));
+  EXPECT_TRUE(args.help_requested());
+  const std::string help = args.help_text();
+  EXPECT_NE(help.find("prog"), std::string::npos);
+  EXPECT_NE(help.find("--jobs"), std::string::npos);
+  EXPECT_NE(help.find("worker threads"), std::string::npos);
 }
 
 TEST(Logging, SinkReceivesRawMessageWithoutPrefix) {
