@@ -17,6 +17,7 @@
 
 #include "exp/pool.hpp"
 #include "scenario/catalog.hpp"
+#include "scenario/sweep.hpp"
 #include "util/args.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -31,8 +32,36 @@ void print_catalog() {
     table.add_row({c.name, std::to_string(exp::cell_count(c.spec)),
                    std::to_string(c.spec.replicas), c.description});
   }
+  for (const scenario::NamedScenarioSweep& s : scenario::named_sweeps()) {
+    table.add_row({s.name, std::to_string(scenario::expand(s.sweep).size()),
+                   std::to_string(s.sweep.replicas), s.description});
+  }
   table.set_title("Available campaigns:");
   table.render(std::cout);
+}
+
+bool is_sweep(const std::string& name) {
+  for (const scenario::NamedScenarioSweep& s : scenario::named_sweeps()) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+exp::RunOptions make_options(int jobs, bool quiet) {
+  exp::RunOptions options;
+  options.jobs = jobs;
+  if (!quiet) {
+    options.on_progress = [](const exp::Progress& p) {
+      // Serialized by the engine; one carriage-return line.
+      if (p.replicas_done % 16 == 0 || p.replicas_done == p.replicas_total) {
+        std::fprintf(stderr, "\r%zu/%zu replicas (%zu/%zu cells, %zu failed)",
+                     p.replicas_done, p.replicas_total, p.cells_done,
+                     p.cells_total, p.replicas_failed);
+        if (p.replicas_done == p.replicas_total) std::fprintf(stderr, "\n");
+      }
+    };
+  }
+  return options;
 }
 
 }  // namespace
@@ -88,6 +117,43 @@ int main(int argc, char** argv) {
     seed_set = true;
   }
 
+  if (is_sweep(name)) {
+    const scenario::NamedScenarioSweep& named = scenario::sweep_by_name(name);
+    scenario::ScenarioSweep sweep = named.sweep;
+    if (replicas > 0) sweep.replicas = replicas;
+    if (seed_set) sweep.seed = seed;
+
+    scenario::ScenarioCampaignResult result;
+    try {
+      result = scenario::run_scenario_campaign(
+          sweep, make_options(jobs, quiet), named.replica);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+
+    util::Table table = result.summary_table();
+    table.set_title("Sweep \"" + sweep.name + "\" (seed " +
+                    std::to_string(sweep.seed) + ", " +
+                    std::to_string(sweep.replicas) + " replicas/cell):");
+    table.render(std::cout);
+    std::printf("\n%zu replicas over %zu cells in %s on %d thread(s)\n",
+                result.progress.replicas_total, result.progress.cells_total,
+                util::format_duration(result.wall_seconds).c_str(),
+                result.jobs_used);
+
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+        return 1;
+      }
+      result.write_csv(out);
+      std::printf("aggregates written to %s\n", csv_path.c_str());
+    }
+    return 0;
+  }
+
   exp::CampaignSpec spec;
   exp::ReplicaFn replica;
   try {
@@ -103,23 +169,9 @@ int main(int argc, char** argv) {
   if (replicas > 0) spec.replicas = replicas;
   if (seed_set) spec.seed = seed;
 
-  exp::RunOptions options;
-  options.jobs = jobs;
-  if (!quiet) {
-    options.on_progress = [](const exp::Progress& p) {
-      // Serialized by the engine; one carriage-return line.
-      if (p.replicas_done % 16 == 0 || p.replicas_done == p.replicas_total) {
-        std::fprintf(stderr, "\r%zu/%zu replicas (%zu/%zu cells, %zu failed)",
-                     p.replicas_done, p.replicas_total, p.cells_done,
-                     p.cells_total, p.replicas_failed);
-        if (p.replicas_done == p.replicas_total) std::fprintf(stderr, "\n");
-      }
-    };
-  }
-
   exp::CampaignResult result;
   try {
-    result = exp::run_campaign(spec, replica, options);
+    result = exp::run_campaign(spec, replica, make_options(jobs, quiet));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,25 +1,29 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 (full build + full ctest) plus the fault-label
-# suite rebuilt under AddressSanitizer.
+# CI entry point: tier-1 (full build + full ctest), the fault/supervise
+# label suites rebuilt under AddressSanitizer, and the concurrency-heavy
+# tests (obs, campaign engine, supervised sweeps) under ThreadSanitizer.
 #
-#   scripts/ci.sh            # both stages
+#   scripts/ci.sh            # all stages
 #   scripts/ci.sh --tier1    # tier-1 only
-#   scripts/ci.sh --asan     # ASan faults stage only
+#   scripts/ci.sh --asan     # ASan stage only
+#   scripts/ci.sh --tsan     # TSan stage only
 #
-# Build trees: build/ (tier-1) and build-asan/ (sanitized), both rooted
-# at the repo top so incremental reruns are cheap.
+# Build trees: build/ (tier-1), build-asan/ and build-tsan/ (sanitized),
+# all rooted at the repo top so incremental reruns are cheap.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tier1=true
 run_asan=true
+run_tsan=true
 case "${1:-}" in
-  --tier1) run_asan=false ;;
-  --asan) run_tier1=false ;;
+  --tier1) run_asan=false; run_tsan=false ;;
+  --asan) run_tier1=false; run_tsan=false ;;
+  --tsan) run_tier1=false; run_asan=false ;;
   "") ;;
   *)
-    echo "usage: scripts/ci.sh [--tier1|--asan]" >&2
+    echo "usage: scripts/ci.sh [--tier1|--asan|--tsan]" >&2
     exit 2
     ;;
 esac
@@ -34,11 +38,21 @@ if $run_tier1; then
 fi
 
 if $run_asan; then
-  echo "=== asan: faults label under AddressSanitizer ==="
+  echo "=== asan: faults + supervise labels under AddressSanitizer ==="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMDARE_SANITIZE=address
   cmake --build build-asan -j "$jobs"
-  ctest --test-dir build-asan -L faults --output-on-failure -j "$jobs"
+  ctest --test-dir build-asan -L 'faults|supervise' --output-on-failure \
+    -j "$jobs"
+fi
+
+if $run_tsan; then
+  echo "=== tsan: concurrency-heavy tests under ThreadSanitizer ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMDARE_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R '^(ObsConcurrency|ThreadPool|Campaign|CampaignSpec|HeartbeatDetector|HazardEstimator|AdaptiveCheckpointController|SupervisedRun|DetectionCampaign)\.'
 fi
 
 echo "CI OK"

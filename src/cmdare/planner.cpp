@@ -2,9 +2,46 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace cmdare::core {
+
+namespace {
+
+// The adaptive checkpoint controller feeds these planners from *live*
+// estimates (profiler speed, decayed hazard rate, observed checkpoint
+// durations), any of which can be NaN or negative mid-warmup. NaN slides
+// through ordinary `<= 0` guards (every comparison is false) and casting
+// it to long is undefined behaviour, so every field is validated
+// explicitly: garbage in must fail loudly, never produce a NaN plan.
+void validate_plan_params(const CheckpointPlanParams& params,
+                          const char* where) {
+  const auto require = [where](bool ok, const char* what) {
+    if (!ok) {
+      throw std::invalid_argument(std::string(where) + ": " + what);
+    }
+  };
+  require(std::isfinite(params.total_steps) && params.total_steps > 0.0,
+          "total_steps must be finite and > 0");
+  require(std::isfinite(params.cluster_speed) && params.cluster_speed > 0.0,
+          "cluster_speed must be finite and > 0");
+  require(std::isfinite(params.checkpoint_seconds) &&
+              params.checkpoint_seconds >= 0.0,
+          "checkpoint_seconds must be finite and >= 0");
+  require(std::isfinite(params.chief_revocations_per_hour) &&
+              params.chief_revocations_per_hour >= 0.0,
+          "chief_revocations_per_hour must be finite and >= 0");
+  require(std::isfinite(params.provision_seconds) &&
+              params.provision_seconds >= 0.0,
+          "provision_seconds must be finite and >= 0");
+  require(std::isfinite(params.replacement_seconds) &&
+              params.replacement_seconds >= 0.0,
+          "replacement_seconds must be finite and >= 0");
+}
+
+}  // namespace
 
 double expected_time_with_interval(long interval_steps,
                                    const CheckpointPlanParams& params,
@@ -13,10 +50,11 @@ double expected_time_with_interval(long interval_steps,
     throw std::invalid_argument(
         "expected_time_with_interval: interval must be >= 1");
   }
-  if (params.total_steps <= 0.0 || params.cluster_speed <= 0.0) {
+  if (iterations < 1) {
     throw std::invalid_argument(
-        "expected_time_with_interval: invalid plan parameters");
+        "expected_time_with_interval: iterations must be >= 1");
   }
+  validate_plan_params(params, "expected_time_with_interval");
   const double compute = params.total_steps / params.cluster_speed;
   const double checkpoints =
       std::ceil(params.total_steps / static_cast<double>(interval_steps)) *
@@ -39,6 +77,7 @@ CheckpointPlan plan_checkpoint_interval(const CheckpointPlanParams& params,
   if (candidates < 2) {
     throw std::invalid_argument("plan_checkpoint_interval: candidates < 2");
   }
+  validate_plan_params(params, "plan_checkpoint_interval");
   const auto max_interval = static_cast<long>(params.total_steps);
   if (min_interval < 1 || min_interval > max_interval) {
     throw std::invalid_argument(

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "cloud/calibration.hpp"
+#include "cmdare/planner.hpp"
 #include "obs/obs.hpp"
 #include "train/replacement.hpp"
 #include "util/logging.hpp"
@@ -29,6 +32,17 @@ TransientTrainingRun::TransientTrainingRun(cloud::CloudProvider& provider,
   }
   target_steps_ = config_.session.max_steps;
   ps_count_ = config_.session.ps_count;
+  if (config_.supervision.enabled) {
+    // fork() is const, so building the supervisor leaves every other
+    // stream of this run untouched: enabling supervision perturbs no
+    // existing draw.
+    supervisor_ = std::make_unique<supervise::Supervisor>(
+        provider, config_.supervision, rng_.fork("supervise"));
+    supervisor_->on_failure_detected = [this](cloud::InstanceId id) {
+      handle_failure_detected(id);
+    };
+    supervisor_->on_retune = [this] { retune_checkpoint_interval(); };
+  }
   make_session(target_steps_);
 }
 
@@ -36,6 +50,10 @@ void TransientTrainingRun::make_session(long remaining_steps) {
   train::SessionConfig session_config = config_.session;
   session_config.ps_count = ps_count_;
   session_config.max_steps = remaining_steps;
+  // Carry the last adaptive retune across session restarts.
+  if (adaptive_interval_ > 0) {
+    session_config.checkpoint_interval_steps = adaptive_interval_;
+  }
   session_ = std::make_unique<train::TrainingSession>(
       provider_->simulator(), model_, session_config,
       rng_.fork("session-" + std::to_string(restarts_)), store_);
@@ -46,6 +64,7 @@ void TransientTrainingRun::make_session(long remaining_steps) {
 
 void TransientTrainingRun::finish() {
   finished_ = true;
+  if (supervisor_) supervisor_->halt();
   finished_at_ = provider_->simulator().now();
   ps_cost_accrued_ += ps_count_ * kPsHourlyCost *
                       (finished_at_ - segment_started_at_) / 3600.0;
@@ -106,17 +125,19 @@ long TransientTrainingRun::completed_steps() const {
   return completed_offset_ + session_->global_step();
 }
 
-void TransientTrainingRun::launch_worker(const train::WorkerSpec& spec,
-                                         cloud::RequestContext context) {
+cloud::InstanceId TransientTrainingRun::launch_worker(
+    const train::WorkerSpec& spec, cloud::RequestContext context,
+    double recovering_since) {
   Placement placement;
   placement.spec = spec;
   placement.original_spec = spec;
   placement.context = context;
   placement.cold = context != cloud::RequestContext::kNormal;
-  request_slot(std::move(placement));
+  placement.recovering_since = recovering_since;
+  return request_slot(std::move(placement));
 }
 
-void TransientTrainingRun::request_slot(Placement placement) {
+cloud::InstanceId TransientTrainingRun::request_slot(Placement placement) {
   cloud::InstanceRequest request;
   request.gpu = placement.spec.gpu;
   request.region = placement.spec.region;
@@ -144,6 +165,7 @@ void TransientTrainingRun::request_slot(Placement placement) {
   const cloud::InstanceId id =
       provider_->request_instance(request, std::move(callbacks));
   placements_.emplace(id, std::move(placement));
+  return id;
 }
 
 void TransientTrainingRun::count_stale_event(const char* event,
@@ -170,7 +192,7 @@ void TransientTrainingRun::handle_running(cloud::InstanceId instance) {
     return;
   }
   Placement& placement = it->second;
-  if (placement.worker || placement.revoked) {
+  if (placement.worker || placement.revoked || placement.cancelled) {
     count_stale_event("running", instance);
     return;
   }
@@ -179,6 +201,42 @@ void TransientTrainingRun::handle_running(cloud::InstanceId instance) {
   const double join_delay =
       train::sample_cold_replacement_seconds(model_, rng_);
   placement.worker = session_->add_worker(placement.spec, join_delay);
+  if (!supervisor_) return;
+
+  supervisor_->watch_instance(instance);
+  if (placement.recovering_since >= 0.0) {
+    // Recovery latency: slot death (or fencing) to the replacement
+    // worker actually rejoining the session.
+    const double recovery = provider_->simulator().now() + join_delay -
+                            placement.recovering_since;
+    recovery_seconds_.push_back(recovery);
+    placement.recovering_since = -1.0;
+    if (obs::Registry* registry = obs::registry()) {
+      registry->histogram("supervise.recovery_seconds").observe(recovery);
+    }
+  }
+  if (placement.hedge_partner) {
+    // This leg won the race: cancel the loser (terminate is safe in any
+    // pre-terminal state and cancels its pending provider events). Both
+    // legs keep whatever bill they accrued.
+    const cloud::InstanceId partner_id = *placement.hedge_partner;
+    placement.hedge_partner.reset();
+    auto partner_it = placements_.find(partner_id);
+    if (partner_it != placements_.end()) {
+      Placement& partner = partner_it->second;
+      partner.hedge_partner.reset();
+      if (!partner.worker && !partner.revoked && !partner.cancelled) {
+        partner.cancelled = true;
+        ++hedges_cancelled_;
+        if (provider_->record(partner_id).alive()) {
+          provider_->terminate(partner_id);
+        }
+        if (obs::Registry* registry = obs::registry()) {
+          registry->counter("supervise.hedge_cancels_total").inc();
+        }
+      }
+    }
+  }
 }
 
 void TransientTrainingRun::handle_revoked(cloud::InstanceId instance) {
@@ -188,14 +246,15 @@ void TransientTrainingRun::handle_revoked(cloud::InstanceId instance) {
     return;
   }
   Placement& placement = it->second;
-  if (placement.revoked) {
+  if (placement.revoked || placement.cancelled) {
     count_stale_event("revoked", instance);
     return;
   }
   placement.revoked = true;
   ++revocations_;
-  if (!placement.notice_received &&
-      provider_->record(instance).abrupt_kill) {
+  const bool abrupt =
+      !placement.notice_received && provider_->record(instance).abrupt_kill;
+  if (abrupt) {
     // Notice-less kill: the controller learns about the loss only now,
     // and any in-flight chief work dies with a stale checkpoint.
     ++abrupt_kills_;
@@ -203,36 +262,157 @@ void TransientTrainingRun::handle_revoked(cloud::InstanceId instance) {
       registry->counter("resilience.abrupt_kills_total").inc();
     }
   }
+  if (supervisor_ && abrupt) {
+    // Supervised run: nobody tells the control plane about a notice-less
+    // kill. The dead worker stops contributing (its updates cease) but
+    // the slot stays unfilled — dragging cluster speed — until the
+    // heartbeat detector flags the silence; handle_failure_detected then
+    // launches the replacement, so detection latency is a measured part
+    // of every recovery.
+    if (placement.worker) session_->revoke_worker(*placement.worker);
+    placement.replacement_pending = true;
+    placement.recovering_since = provider_->simulator().now();
+    return;
+  }
+  if (supervisor_) {
+    // Noticed revocation (or 24 h expiry): a graceful end as far as the
+    // detector is concerned — forgetting the instance here is what keeps
+    // a late heartbeat-timeout verdict from double-replacing the slot.
+    supervisor_->forget_instance(instance);
+    if (provider_->record(instance).state == cloud::InstanceState::kRevoked) {
+      supervisor_->record_failure_event(placement.spec.region,
+                                        placement.spec.gpu,
+                                        supervise::FailureKind::kRevocation);
+    }
+  }
   if (placement.worker) {
     session_->revoke_worker(*placement.worker);
   }
   if (config_.auto_replace && !finished_) {
-    ++replacements_;
-    launch_worker(placement.spec, config_.replacement_context);
+    if (supervisor_) {
+      launch_replacement(placement.spec, provider_->simulator().now());
+    } else {
+      ++replacements_;
+      launch_worker(placement.spec, config_.replacement_context);
+    }
+  }
+}
+
+void TransientTrainingRun::handle_failure_detected(
+    cloud::InstanceId instance) {
+  if (finished_) return;
+  auto it = placements_.find(instance);
+  if (it == placements_.end()) {
+    count_stale_event("failure_detected", instance);
+    return;
+  }
+  Placement& placement = it->second;
+  if (placement.cancelled) {
+    count_stale_event("failure_detected", instance);
+    return;
+  }
+  if (placement.revoked) {
+    if (!placement.replacement_pending) {
+      // The revocation was noticed (or a duplicate verdict arrived) and
+      // the slot already replaced — replacing again would double-fill it.
+      count_stale_event("failure_detected", instance);
+      return;
+    }
+    // Deferred abrupt-kill replacement: the detector finally noticed.
+    placement.replacement_pending = false;
+    ++detected_failures_;
+    supervisor_->record_failure_event(placement.spec.region,
+                                      placement.spec.gpu,
+                                      supervise::FailureKind::kRevocation);
+    const double recovering_since = placement.recovering_since;
+    placement.recovering_since = -1.0;
+    if (config_.auto_replace) {
+      launch_replacement(placement.spec, recovering_since);
+    }
+    return;
+  }
+  // Live instance flagged: a false positive. Fence it — terminate cancels
+  // every pending provider event, including the real future revocation —
+  // so the slot cannot double-replace later, then refill.
+  ++detected_failures_;
+  ++fenced_workers_;
+  LOG_WARN << "fencing live instance " << instance
+           << " after false-positive detection";
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("supervise.fenced_workers_total").inc();
+  }
+  const double fenced_at = provider_->simulator().now();
+  if (provider_->record(instance).alive()) provider_->terminate(instance);
+  placement.revoked = true;
+  if (placement.worker) session_->revoke_worker(*placement.worker);
+  if (config_.auto_replace) launch_replacement(placement.spec, fenced_at);
+}
+
+void TransientTrainingRun::launch_replacement(const train::WorkerSpec& spec,
+                                              double recovering_since) {
+  ++replacements_;
+  const cloud::InstanceId first =
+      launch_worker(spec, config_.replacement_context, recovering_since);
+  if (supervisor_ && config_.supervision.hedged_replacement) {
+    // Hedge: a second identical request races the first; whichever
+    // reaches RUNNING first keeps the slot and cancels the other.
+    const cloud::InstanceId second =
+        launch_worker(spec, config_.replacement_context, recovering_since);
+    placements_.at(first).hedge_partner = second;
+    placements_.at(second).hedge_partner = first;
+    if (obs::Registry* registry = obs::registry()) {
+      registry->counter("supervise.hedged_launches_total").inc();
+    }
   }
 }
 
 bool TransientTrainingRun::advance_fallback(Placement& placement) {
   const ResiliencePolicy& policy = config_.resilience;
   const train::WorkerSpec& original = placement.original_spec;
+  // With health scoring enabled the ladder prefers the candidate with the
+  // lowest decayed penalty; the strict `<` keeps the original first-match
+  // order whenever scores tie (in particular when all are zero, which is
+  // exactly the unsupervised behaviour).
+  const bool scored = supervisor_ != nullptr &&
+                      config_.supervision.score_replacement;
   while (placement.ladder_stage < 3) {
     ++placement.ladder_stage;
     if (placement.ladder_stage == 1 && policy.allow_region_fallback) {
       // Same GPU in another region that offers it transiently.
+      std::optional<cloud::Region> best;
+      double best_score = 0.0;
       for (const cloud::Region region : cloud::kAllRegions) {
         if (region == original.region) continue;
         if (!cloud::gpu_offered_in_region(region, original.gpu)) continue;
+        const double score =
+            scored ? supervisor_->penalty_score(region, original.gpu) : 0.0;
+        if (!best || score < best_score) {
+          best = region;
+          best_score = score;
+        }
+      }
+      if (best) {
         placement.spec = original;
-        placement.spec.region = region;
+        placement.spec.region = *best;
         return true;
       }
     } else if (placement.ladder_stage == 2 && policy.allow_gpu_fallback) {
       // Another GPU type in the slot's configured region.
+      std::optional<cloud::GpuType> best;
+      double best_score = 0.0;
       for (const cloud::GpuType gpu : cloud::kAllGpuTypes) {
         if (gpu == original.gpu) continue;
         if (!cloud::gpu_offered_in_region(original.region, gpu)) continue;
+        const double score =
+            scored ? supervisor_->penalty_score(original.region, gpu) : 0.0;
+        if (!best || score < best_score) {
+          best = gpu;
+          best_score = score;
+        }
+      }
+      if (best) {
         placement.spec = original;
-        placement.spec.gpu = gpu;
+        placement.spec.gpu = *best;
         return true;
       }
     } else if (placement.ladder_stage == 3 &&
@@ -255,6 +435,18 @@ void TransientTrainingRun::handle_request_failed(
     return;
   }
   if (finished_) return;
+  if (it->second.cancelled) {
+    // A hedge leg cancelled (or ceded) while its failure response was in
+    // flight: the slot is someone else's problem now.
+    return;
+  }
+  if (supervisor_) {
+    supervisor_->record_failure_event(
+        it->second.spec.region, it->second.spec.gpu,
+        reason == cloud::RequestFailureReason::kStockout
+            ? supervise::FailureKind::kStockout
+            : supervise::FailureKind::kLaunchError);
+  }
   const ResiliencePolicy& policy = config_.resilience;
   // The failed placement stays in the map (its record is terminal); the
   // slot's retry state rides along into the next request.
@@ -262,6 +454,30 @@ void TransientTrainingRun::handle_request_failed(
   retry.worker.reset();
   retry.revoked = false;
   retry.notice_received = false;
+  if (retry.hedge_partner) {
+    const cloud::InstanceId partner_id = *retry.hedge_partner;
+    auto partner_it = placements_.find(partner_id);
+    Placement* partner =
+        partner_it != placements_.end() ? &partner_it->second : nullptr;
+    const bool partner_viable =
+        partner != nullptr && !partner->cancelled && !partner->revoked &&
+        (partner->worker.has_value() || provider_->record(partner_id).alive());
+    if (partner_viable) {
+      // The other leg of the hedge is still in the race: let it carry the
+      // slot instead of retrying this one (two independent retry chains
+      // would eventually fill the slot twice).
+      it->second.cancelled = true;
+      return;
+    }
+    // Both legs failed: this leg retries alone, unhedged; the partner's
+    // own failure response must not start a second chain.
+    if (partner != nullptr) {
+      partner->cancelled = true;
+      partner->hedge_partner.reset();
+    }
+    it->second.hedge_partner.reset();
+    retry.hedge_partner.reset();
+  }
 
   if (reason == cloud::RequestFailureReason::kStockout) {
     ++retry.consecutive_stockouts;
@@ -326,6 +542,78 @@ void TransientTrainingRun::handle_request_failed(
         request_slot(retry);
       },
       "resilience.retry");
+}
+
+double TransientTrainingRun::observed_checkpoint_seconds() const {
+  // Mean of the most recent (up to) eight completed checkpoints of the
+  // current session; the calibrated mean stands in until one completes.
+  const auto& checkpoints = session_->trace().checkpoints();
+  double sum = 0.0;
+  int count = 0;
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend() && count < 8;
+       ++it, ++count) {
+    sum += it->duration();
+  }
+  if (count == 0) {
+    return cloud::mean_checkpoint_seconds(model_.parameter_bytes());
+  }
+  return sum / count;
+}
+
+void TransientTrainingRun::retune_checkpoint_interval() {
+  if (finished_ || supervisor_ == nullptr) return;
+  supervise::PlanInputs inputs;
+  inputs.remaining_steps = static_cast<double>(
+      std::max<long>(0, target_steps_ - completed_steps()));
+  // latest_speed() is empty until the first profiler window closes; the
+  // controller rejects the negative sentinel and skips the round.
+  inputs.cluster_speed = profiler_.latest_speed().value_or(-1.0);
+  inputs.checkpoint_seconds = observed_checkpoint_seconds();
+  inputs.revocations_per_hour = supervisor_->watched_hazard_rate_per_hour();
+  inputs.provision_seconds =
+      provider_->startup_model()
+          .mean_stages(config_.workers.front().gpu, /*transient=*/true)
+          .total();
+  inputs.replacement_seconds = cloud::cold_replacement_seconds(model_);
+
+  const long current = adaptive_interval_ > 0
+                           ? adaptive_interval_
+                           : config_.session.checkpoint_interval_steps;
+  const long min_interval = config_.supervision.checkpoint.min_interval_steps;
+  const std::optional<long> planned = supervisor_->controller().decide(
+      inputs, current, [min_interval](const supervise::PlanInputs& in) {
+        CheckpointPlanParams params;
+        params.total_steps = in.remaining_steps;
+        params.cluster_speed = in.cluster_speed;
+        params.checkpoint_seconds = in.checkpoint_seconds;
+        params.chief_revocations_per_hour = in.revocations_per_hour;
+        params.provision_seconds = in.provision_seconds;
+        params.replacement_seconds = in.replacement_seconds;
+        return plan_checkpoint_interval(params, min_interval).interval_steps;
+      });
+  if (!planned) return;
+  adaptive_interval_ = *planned;
+  session_->set_checkpoint_interval(*planned);
+  LOG_INFO << "adaptive checkpoint retune: interval -> " << *planned
+           << " steps (hazard " << inputs.revocations_per_hour
+           << "/h, speed " << inputs.cluster_speed << " steps/s)";
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("supervise.retunes_total").inc();
+    registry->gauge("supervise.checkpoint_interval_steps")
+        .set(static_cast<double>(*planned));
+  }
+  if (obs::Tracer* tracer = obs::tracer()) {
+    tracer->instant(tracer->track("supervise"), "supervise.retune",
+                    "supervise", provider_->simulator().now(),
+                    {{"interval", std::to_string(*planned)}});
+  }
+}
+
+double TransientTrainingRun::mean_recovery_seconds() const {
+  if (recovery_seconds_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double r : recovery_seconds_) sum += r;
+  return sum / static_cast<double>(recovery_seconds_.size());
 }
 
 double TransientTrainingRun::cost_so_far() const {

@@ -23,6 +23,7 @@
 #include "cloud/provider.hpp"
 #include "cloud/storage.hpp"
 #include "cmdare/profiler.hpp"
+#include "supervise/supervise.hpp"
 #include "train/cluster.hpp"
 #include "train/session.hpp"
 
@@ -73,6 +74,10 @@ struct RunConfig {
       cloud::RequestContext::kImmediateAfterRevocation;
   /// Reaction to denied instance requests (see ResiliencePolicy).
   ResiliencePolicy resilience;
+  /// Online supervision layer (heartbeat detection, adaptive
+  /// checkpointing, health-scored / hedged replacement). Disabled by
+  /// default: the run then behaves exactly as before, event-for-event.
+  supervise::SupervisionConfig supervision;
 };
 
 class TransientTrainingRun {
@@ -120,6 +125,23 @@ class TransientTrainingRun {
   /// instead of aborting the run.
   int stale_events_ignored() const { return stale_events_; }
 
+  /// Supervision layer (null when config.supervision.enabled is false).
+  const supervise::Supervisor* supervisor() const { return supervisor_.get(); }
+  /// Replacements whose detection was deferred to a heartbeat timeout.
+  int detected_failures() const { return detected_failures_; }
+  /// Live workers fenced (terminated) after a false-positive detection.
+  int fenced_workers() const { return fenced_workers_; }
+  /// Hedged replacement legs cancelled after the partner won the race.
+  int hedges_cancelled() const { return hedges_cancelled_; }
+  /// Death -> replacement-worker-joined durations observed per recovery.
+  const std::vector<double>& recovery_seconds() const {
+    return recovery_seconds_;
+  }
+  double mean_recovery_seconds() const;
+  /// Last interval applied by the adaptive checkpoint controller
+  /// (0 = never retuned).
+  long adaptive_checkpoint_interval() const { return adaptive_interval_; }
+
   /// Worker slots the run is still trying to keep filled (the configured
   /// count minus abandoned slots) — what "full strength" means for the
   /// controller once the cloud has refused to fill a slot.
@@ -158,14 +180,24 @@ class TransientTrainingRun {
     int attempt = 1;
     int consecutive_stockouts = 0;
     int ladder_stage = 0;  // 0 = original, 1 = region, 2 = gpu, 3 = on-demand
+    // Supervision state. `replacement_pending` marks an abrupt kill whose
+    // replacement is deferred until the heartbeat detector notices the
+    // silence; `cancelled` marks a hedge leg that lost (or ceded) the
+    // race; `recovering_since` carries the slot's death time so the
+    // eventual replacement can report its recovery latency.
+    bool replacement_pending = false;
+    bool cancelled = false;
+    std::optional<cloud::InstanceId> hedge_partner;
+    double recovering_since = -1.0;
   };
 
   void make_session(long remaining_steps);
-  void launch_worker(const train::WorkerSpec& spec,
-                     cloud::RequestContext context);
+  cloud::InstanceId launch_worker(const train::WorkerSpec& spec,
+                                  cloud::RequestContext context,
+                                  double recovering_since = -1.0);
   /// Issues the instance request described by `placement` and registers
   /// the lifecycle callbacks (shared by first launches and retries).
-  void request_slot(Placement placement);
+  cloud::InstanceId request_slot(Placement placement);
   void handle_running(cloud::InstanceId instance);
   void handle_revoked(cloud::InstanceId instance);
   void handle_request_failed(cloud::InstanceId instance,
@@ -174,6 +206,19 @@ class TransientTrainingRun {
   bool advance_fallback(Placement& placement);
   void count_stale_event(const char* event, cloud::InstanceId instance);
   void finish();
+  /// Supervision: reaction to a heartbeat-detector verdict (deferred
+  /// abrupt-kill replacement, or fencing a false positive).
+  void handle_failure_detected(cloud::InstanceId instance);
+  /// Requests the replacement(s) for a lost slot — one request, or a
+  /// hedged pair when configured. Counts one replacement either way.
+  void launch_replacement(const train::WorkerSpec& spec,
+                          double recovering_since);
+  /// One adaptive-checkpoint tick: gathers live PlanInputs and applies
+  /// the controller's decision to the session.
+  void retune_checkpoint_interval();
+  /// Mean of recent observed checkpoint durations, falling back to the
+  /// calibrated mean before any checkpoint completed.
+  double observed_checkpoint_seconds() const;
 
   cloud::CloudProvider* provider_;
   cloud::ObjectStore* store_;
@@ -184,6 +229,10 @@ class TransientTrainingRun {
   /// perturb the replacement-overhead draws (fault-free runs stay
   /// byte-identical to the pre-fault-layer behaviour).
   util::Rng resilience_rng_;
+  /// Built only when config.supervision.enabled; draws from its own
+  /// forked stream ("supervise") so enabling it never perturbs the
+  /// run's other draws.
+  std::unique_ptr<supervise::Supervisor> supervisor_;
 
   // The active session plus halted predecessors (kept alive because
   // in-flight simulator events reference them).
@@ -210,6 +259,11 @@ class TransientTrainingRun {
   int notices_ = 0;
   int abrupt_kills_ = 0;
   int stale_events_ = 0;
+  int detected_failures_ = 0;
+  int fenced_workers_ = 0;
+  int hedges_cancelled_ = 0;
+  long adaptive_interval_ = 0;
+  std::vector<double> recovery_seconds_;
 };
 
 }  // namespace cmdare::core

@@ -20,6 +20,7 @@
 
 #include "exp/campaign.hpp"
 #include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
 
 namespace cmdare::scenario {
 
@@ -30,12 +31,29 @@ struct NamedCampaign {
   exp::ReplicaFn replica;
 };
 
+/// A catalog entry over the generic sweep engine: a base ScenarioSpec
+/// plus set_field axes instead of an exp::CampaignSpec factor grid. The
+/// supervision studies live here because their factors (heartbeat
+/// timeout, abrupt-kill rate) are spec keys, not grid factors.
+struct NamedScenarioSweep {
+  std::string name;
+  std::string description;
+  ScenarioSweep sweep;
+  ScenarioReplicaFn replica;  // empty = harness_replica
+};
+
 /// The campaign catalog. Specs carry sensible defaults (replica counts,
 /// params); callers may override seed/replicas/jobs before running.
 const std::vector<NamedCampaign>& named_campaigns();
 
 /// Catalog lookup; throws std::invalid_argument for unknown names.
 const NamedCampaign& campaign_by_name(const std::string& name);
+
+/// The scenario-sweep catalog (run via run_scenario_campaign).
+const std::vector<NamedScenarioSweep>& named_sweeps();
+
+/// Sweep lookup; throws std::invalid_argument for unknown names.
+const NamedScenarioSweep& sweep_by_name(const std::string& name);
 
 /// Cell -> ScenarioSpec transforms behind the simulation-backed
 /// campaigns, exposed so callers can lift a single cell into a .scn file
@@ -72,5 +90,21 @@ exp::ReplicaResult speed_replica(exp::ReplicaContext& context);
 /// "revocations", "abrupt_kills", "checkpoints", "faults_injected" —
 /// the raw material of the degradation curves in EXPERIMENTS.md.
 exp::ReplicaResult resilience_replica(exp::ReplicaContext& context);
+
+/// `detection`: one supervised TransientTrainingRun per replica on the
+/// short-lived europe-west1 K80 pool with every fault notice-less at
+/// abrupt_kill_rate=1. Observations: "ttr_s" (revocation -> replacement
+/// running, includes detection latency), "detection_latency_s" (p99),
+/// "detections", "false_detections", "revocations", "abrupt_kills",
+/// "steps", "finished". The catalog sweep crosses
+/// supervise.heartbeat_timeout_s x abrupt_kill_rate; EXPERIMENTS.md
+/// reads mean ttr_s as a function of the timeout axis.
+exp::ReplicaResult detection_replica(const ScenarioCell& cell, int replica,
+                                     util::Rng& rng,
+                                     obs::Telemetry* telemetry);
+
+/// The base spec behind the `detection` sweep, exposed for tests that
+/// want to shrink the grid (fewer replicas, fewer timeout values).
+ScenarioSpec detection_scenario();
 
 }  // namespace cmdare::scenario

@@ -54,6 +54,15 @@ util::Table ScenarioResult::table() const {
   table.add_row({"checkpoint_blobs", std::to_string(checkpoint_blobs)});
   table.add_row({"last_checkpoint_step", std::to_string(last_checkpoint_step)});
   table.add_row({"faults_injected", std::to_string(faults_injected)});
+  table.add_row({"detections", std::to_string(detections)});
+  table.add_row({"false_detections", std::to_string(false_detections)});
+  table.add_row({"detection_latency_p99",
+                 util::format_double(detection_latency_p99, 2)});
+  table.add_row({"interval_retunes", std::to_string(interval_retunes)});
+  table.add_row({"fenced_workers", std::to_string(fenced_workers)});
+  table.add_row({"hedges_cancelled", std::to_string(hedges_cancelled)});
+  table.add_row({"mean_recovery_seconds",
+                 util::format_double(mean_recovery_seconds, 2)});
   return table;
 }
 
@@ -90,6 +99,7 @@ void SimHarness::build() {
       config.auto_replace = spec_.auto_replace;
       config.replacement_context = spec_.replacement_context;
       config.resilience = spec_.resilience;
+      config.supervision = spec_.supervision;
       run_ = std::make_unique<core::TransientTrainingRun>(
           provider_, model, std::move(config), root_.fork("run"), &store_);
       break;
@@ -180,6 +190,16 @@ ScenarioResult SimHarness::collect() {
       result.notices = run.notices_seen();
       result.abrupt_kills = run.abrupt_kills_seen();
       result.last_checkpoint_step = run.session().last_checkpoint_step();
+      if (const supervise::Supervisor* supervisor = run.supervisor()) {
+        result.detections = supervisor->detections();
+        result.false_detections = supervisor->false_positives();
+        result.detection_latency_p99 =
+            supervisor->detection_latency_quantile(0.99);
+        result.interval_retunes = supervisor->controller().retunes();
+        result.fenced_workers = run.fenced_workers();
+        result.hedges_cancelled = run.hedges_cancelled();
+        result.mean_recovery_seconds = run.mean_recovery_seconds();
+      }
       break;
     }
     case HarnessKind::kSession:

@@ -57,6 +57,15 @@ struct ScenarioResult {
   long last_checkpoint_step = 0;
   std::uint64_t faults_injected = 0;
 
+  // --- supervision (zero unless supervise.enabled) ---
+  int detections = 0;
+  int false_detections = 0;
+  double detection_latency_p99 = 0.0;
+  int interval_retunes = 0;
+  int fenced_workers = 0;
+  int hedges_cancelled = 0;
+  double mean_recovery_seconds = 0.0;
+
   /// Final simulated time (== elapsed_seconds unless the run finished
   /// before the deadline).
   double sim_now = 0.0;

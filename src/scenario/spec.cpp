@@ -1,7 +1,9 @@
 #include "scenario/spec.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <type_traits>
 
 #include "nn/model_zoo.hpp"
 #include "util/strings.hpp"
@@ -239,6 +241,12 @@ SetError set_numeric(std::string_view key, std::string_view value, T* out,
                      T min_inclusive, T max_inclusive, const char* expected) {
   T parsed{};
   if (!parse_number(value, &parsed)) return bad_value(key, value, expected);
+  if constexpr (std::is_floating_point_v<T>) {
+    // from_chars happily parses "nan" and "inf", and NaN slides through
+    // the range comparison below (both tests are false) — reject
+    // non-finite values explicitly.
+    if (!std::isfinite(parsed)) return bad_value(key, value, expected);
+  }
   if (parsed < min_inclusive || parsed > max_inclusive) {
     return std::string(key) + " out of range (want " + expected + ")";
   }
@@ -440,6 +448,63 @@ std::optional<std::string> set_field(ScenarioSpec& spec, std::string_view key,
     return std::nullopt;
   }
   if (key == "telemetry") return set_bool(key, value, &spec.telemetry);
+  if (key == "supervise.enabled") {
+    return set_bool(key, value, &spec.supervision.enabled);
+  }
+  if (key == "supervise.heartbeat_period_s") {
+    return set_numeric(key, value, &spec.supervision.heartbeat.period_s, 1e-9,
+                       kHuge, "seconds > 0");
+  }
+  if (key == "supervise.heartbeat_timeout_s") {
+    return set_numeric(key, value, &spec.supervision.heartbeat.timeout_s,
+                       1e-9, kHuge, "seconds > 0");
+  }
+  if (key == "supervise.heartbeat_jitter") {
+    return set_numeric(key, value, &spec.supervision.heartbeat.jitter, 0.0,
+                       1.0, "a fraction in [0, 1]");
+  }
+  if (key == "supervise.phi_threshold") {
+    return set_numeric(key, value, &spec.supervision.heartbeat.phi_threshold,
+                       0.0, kHuge, "a threshold >= 0 (0 = plain timeout)");
+  }
+  if (key == "supervise.sweep_period_s") {
+    return set_numeric(key, value, &spec.supervision.heartbeat.sweep_period_s,
+                       0.0, kHuge, "seconds >= 0 (0 = timeout / 4)");
+  }
+  if (key == "supervise.hazard_halflife_hours") {
+    return set_numeric(key, value, &spec.supervision.hazard.halflife_hours,
+                       1e-9, kHuge, "hours > 0");
+  }
+  if (key == "supervise.hazard_prior_weight_hours") {
+    return set_numeric(key, value,
+                       &spec.supervision.hazard.prior_weight_hours, 0.0,
+                       kHuge, "hours >= 0");
+  }
+  if (key == "supervise.score_halflife_hours") {
+    return set_numeric(key, value,
+                       &spec.supervision.hazard.score_halflife_hours, 1e-9,
+                       kHuge, "hours > 0");
+  }
+  if (key == "supervise.retune_period_s") {
+    return set_numeric(key, value,
+                       &spec.supervision.checkpoint.retune_period_s, 0.0,
+                       kHuge, "seconds >= 0 (0 = disabled)");
+  }
+  if (key == "supervise.retune_hysteresis") {
+    return set_numeric(key, value, &spec.supervision.checkpoint.hysteresis,
+                       0.0, 1.0, "a fraction in [0, 1]");
+  }
+  if (key == "supervise.min_interval_steps") {
+    return set_numeric<long>(key, value,
+                             &spec.supervision.checkpoint.min_interval_steps,
+                             1, 1L << 40, "an integer >= 1");
+  }
+  if (key == "supervise.score_replacement") {
+    return set_bool(key, value, &spec.supervision.score_replacement);
+  }
+  if (key == "supervise.hedged_replacement") {
+    return set_bool(key, value, &spec.supervision.hedged_replacement);
+  }
 
   return "unknown key \"" + std::string(key) + "\"";
 }
@@ -542,6 +607,33 @@ std::string serialize(const ScenarioSpec& spec) {
     emit("stockouts", std::move(windows));
   }
   emit("telemetry", spec.telemetry ? "true" : "false");
+  emit("supervise.enabled", spec.supervision.enabled ? "true" : "false");
+  emit("supervise.heartbeat_period_s",
+       format_double(spec.supervision.heartbeat.period_s));
+  emit("supervise.heartbeat_timeout_s",
+       format_double(spec.supervision.heartbeat.timeout_s));
+  emit("supervise.heartbeat_jitter",
+       format_double(spec.supervision.heartbeat.jitter));
+  emit("supervise.phi_threshold",
+       format_double(spec.supervision.heartbeat.phi_threshold));
+  emit("supervise.sweep_period_s",
+       format_double(spec.supervision.heartbeat.sweep_period_s));
+  emit("supervise.hazard_halflife_hours",
+       format_double(spec.supervision.hazard.halflife_hours));
+  emit("supervise.hazard_prior_weight_hours",
+       format_double(spec.supervision.hazard.prior_weight_hours));
+  emit("supervise.score_halflife_hours",
+       format_double(spec.supervision.hazard.score_halflife_hours));
+  emit("supervise.retune_period_s",
+       format_double(spec.supervision.checkpoint.retune_period_s));
+  emit("supervise.retune_hysteresis",
+       format_double(spec.supervision.checkpoint.hysteresis));
+  emit("supervise.min_interval_steps",
+       std::to_string(spec.supervision.checkpoint.min_interval_steps));
+  emit("supervise.score_replacement",
+       spec.supervision.score_replacement ? "true" : "false");
+  emit("supervise.hedged_replacement",
+       spec.supervision.hedged_replacement ? "true" : "false");
   return out;
 }
 
@@ -591,6 +683,50 @@ std::vector<std::string> validate(const ScenarioSpec& spec) {
   }
   if (spec.horizon_hours < 0.0) {
     errors.push_back("horizon_hours must be >= 0");
+  }
+  if (spec.supervision.enabled) {
+    // Mirror the supervise-layer constructor checks so a bad spec fails
+    // at validate() instead of throwing out of SimHarness::build().
+    const supervise::SupervisionConfig& sup = spec.supervision;
+    if (!(sup.heartbeat.period_s > 0.0)) {
+      errors.push_back("supervise.heartbeat_period_s must be > 0");
+    }
+    if (!(sup.heartbeat.timeout_s > 0.0)) {
+      errors.push_back("supervise.heartbeat_timeout_s must be > 0");
+    }
+    if (sup.heartbeat.phi_threshold == 0.0 &&
+        sup.heartbeat.timeout_s <= sup.heartbeat.period_s) {
+      errors.push_back(
+          "supervise.heartbeat_timeout_s must exceed "
+          "supervise.heartbeat_period_s (every worker would be flagged)");
+    }
+    if (sup.heartbeat.jitter < 0.0 || sup.heartbeat.jitter > 1.0) {
+      errors.push_back("supervise.heartbeat_jitter must be in [0, 1]");
+    }
+    if (sup.heartbeat.phi_threshold < 0.0) {
+      errors.push_back("supervise.phi_threshold must be >= 0");
+    }
+    if (sup.heartbeat.sweep_period_s < 0.0) {
+      errors.push_back("supervise.sweep_period_s must be >= 0");
+    }
+    if (!(sup.hazard.halflife_hours > 0.0)) {
+      errors.push_back("supervise.hazard_halflife_hours must be > 0");
+    }
+    if (sup.hazard.prior_weight_hours < 0.0) {
+      errors.push_back("supervise.hazard_prior_weight_hours must be >= 0");
+    }
+    if (!(sup.hazard.score_halflife_hours > 0.0)) {
+      errors.push_back("supervise.score_halflife_hours must be > 0");
+    }
+    if (sup.checkpoint.retune_period_s < 0.0) {
+      errors.push_back("supervise.retune_period_s must be >= 0");
+    }
+    if (sup.checkpoint.hysteresis < 0.0 || sup.checkpoint.hysteresis > 1.0) {
+      errors.push_back("supervise.retune_hysteresis must be in [0, 1]");
+    }
+    if (sup.checkpoint.min_interval_steps < 1) {
+      errors.push_back("supervise.min_interval_steps must be >= 1");
+    }
   }
   return errors;
 }

@@ -94,6 +94,12 @@ struct ScenarioSpec {
   // --- faults ---
   faults::FaultPlan faults;
 
+  // --- supervision (kind=run) ---
+  /// Online supervision layer: heartbeat failure detection, hazard
+  /// tracking, adaptive checkpointing, health-scored replacement. All
+  /// keys are prefixed `supervise.`; disabled by default.
+  supervise::SupervisionConfig supervision;
+
   // --- observability ---
   /// Install an obs::Telemetry bundle for the run (merged telemetry is
   /// then available on the harness).

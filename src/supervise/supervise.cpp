@@ -1,0 +1,458 @@
+#include "supervise/supervise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "cloud/revocation.hpp"
+#include "obs/obs.hpp"
+#include "util/logging.hpp"
+
+namespace cmdare::supervise {
+
+namespace {
+constexpr double kLn10 = 2.302585092994046;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HeartbeatDetector
+// ---------------------------------------------------------------------------
+
+HeartbeatDetector::HeartbeatDetector(HeartbeatConfig config)
+    : config_(config) {
+  if (!(config_.period_s > 0.0) || !std::isfinite(config_.period_s)) {
+    throw std::invalid_argument("HeartbeatDetector: period_s must be > 0");
+  }
+  if (!(config_.timeout_s > 0.0) || !std::isfinite(config_.timeout_s)) {
+    throw std::invalid_argument("HeartbeatDetector: timeout_s must be > 0");
+  }
+  if (config_.timeout_s < config_.period_s) {
+    throw std::invalid_argument(
+        "HeartbeatDetector: timeout_s must be >= period_s (otherwise every "
+        "healthy worker is flagged between beats)");
+  }
+  if (config_.jitter < 0.0 || config_.jitter >= 1.0 ||
+      !std::isfinite(config_.jitter)) {
+    throw std::invalid_argument("HeartbeatDetector: jitter must be in [0, 1)");
+  }
+  if (config_.phi_threshold < 0.0 || !std::isfinite(config_.phi_threshold)) {
+    throw std::invalid_argument(
+        "HeartbeatDetector: phi_threshold must be >= 0");
+  }
+}
+
+void HeartbeatDetector::watch(std::uint64_t key, double now) {
+  Monitor monitor;
+  monitor.last_beat = now;
+  monitor.mean_interval = config_.period_s;
+  monitors_[key] = monitor;
+}
+
+void HeartbeatDetector::beat(std::uint64_t key, double now) {
+  auto it = monitors_.find(key);
+  if (it == monitors_.end()) return;
+  Monitor& monitor = it->second;
+  const double gap = now - monitor.last_beat;
+  if (gap > 0.0) {
+    monitor.mean_interval = monitor.beats == 0
+                                ? gap
+                                : 0.8 * monitor.mean_interval + 0.2 * gap;
+    ++monitor.beats;
+  }
+  monitor.last_beat = now;
+}
+
+void HeartbeatDetector::forget(std::uint64_t key) { monitors_.erase(key); }
+
+bool HeartbeatDetector::watching(std::uint64_t key) const {
+  return monitors_.count(key) > 0;
+}
+
+double HeartbeatDetector::suspicion(std::uint64_t key, double now) const {
+  auto it = monitors_.find(key);
+  if (it == monitors_.end()) return 0.0;
+  const Monitor& monitor = it->second;
+  const double elapsed = std::max(0.0, now - monitor.last_beat);
+  if (config_.phi_threshold > 0.0) {
+    const double mean = std::max(monitor.mean_interval, 1e-9);
+    return elapsed / (mean * kLn10);
+  }
+  return elapsed / config_.timeout_s;
+}
+
+bool HeartbeatDetector::detected(const Monitor& monitor, double now) const {
+  const double elapsed = now - monitor.last_beat;
+  if (config_.phi_threshold > 0.0) {
+    const double mean = std::max(monitor.mean_interval, 1e-9);
+    return elapsed / (mean * kLn10) >= config_.phi_threshold;
+  }
+  return elapsed > config_.timeout_s;
+}
+
+std::vector<std::uint64_t> HeartbeatDetector::sweep(double now) {
+  std::vector<std::uint64_t> flagged;
+  for (const auto& [key, monitor] : monitors_) {
+    if (detected(monitor, now)) flagged.push_back(key);
+  }
+  for (const std::uint64_t key : flagged) monitors_.erase(key);
+  return flagged;
+}
+
+// ---------------------------------------------------------------------------
+// HazardEstimator
+// ---------------------------------------------------------------------------
+
+HazardEstimator::HazardEstimator(HazardConfig config) : config_(config) {
+  if (!(config_.halflife_hours > 0.0) ||
+      !std::isfinite(config_.halflife_hours)) {
+    throw std::invalid_argument("HazardEstimator: halflife_hours must be > 0");
+  }
+  if (config_.prior_weight_hours < 0.0 ||
+      !std::isfinite(config_.prior_weight_hours)) {
+    throw std::invalid_argument(
+        "HazardEstimator: prior_weight_hours must be >= 0");
+  }
+  if (!(config_.score_halflife_hours > 0.0) ||
+      !std::isfinite(config_.score_halflife_hours)) {
+    throw std::invalid_argument(
+        "HazardEstimator: score_halflife_hours must be > 0");
+  }
+}
+
+HazardEstimator::Cell& HazardEstimator::cell(cloud::Region region,
+                                             cloud::GpuType gpu) const {
+  const std::size_t index =
+      static_cast<std::size_t>(region) * cloud::kAllGpuTypes.size() +
+      static_cast<std::size_t>(gpu);
+  return cells_[index];
+}
+
+void HazardEstimator::settle(Cell& c, double now_h) const {
+  if (now_h <= c.settled_at_h) return;
+  const double dt = now_h - c.settled_at_h;
+  // Live instances accrue exposure over the elapsed window, then the
+  // whole evidence mass (prior pseudo-counts included) decays together.
+  c.exposure_h += c.live * dt;
+  const double decay = std::exp2(-dt / config_.halflife_hours);
+  c.events *= decay;
+  c.exposure_h *= decay;
+  c.penalty *= std::exp2(-dt / config_.score_halflife_hours);
+  c.settled_at_h = now_h;
+}
+
+void HazardEstimator::set_prior(cloud::Region region, cloud::GpuType gpu,
+                                double rate_per_hour) {
+  Cell& c = cell(region, gpu);
+  c.events += rate_per_hour * config_.prior_weight_hours;
+  c.exposure_h += config_.prior_weight_hours;
+}
+
+void HazardEstimator::begin_exposure(cloud::Region region, cloud::GpuType gpu,
+                                     double now_h) {
+  Cell& c = cell(region, gpu);
+  settle(c, now_h);
+  ++c.live;
+}
+
+void HazardEstimator::end_exposure(cloud::Region region, cloud::GpuType gpu,
+                                   double now_h) {
+  Cell& c = cell(region, gpu);
+  settle(c, now_h);
+  if (c.live > 0) --c.live;
+}
+
+void HazardEstimator::record_event(cloud::Region region, cloud::GpuType gpu,
+                                   double now_h, FailureKind kind) {
+  Cell& c = cell(region, gpu);
+  settle(c, now_h);
+  switch (kind) {
+    case FailureKind::kRevocation:
+      c.events += 1.0;
+      c.penalty += 1.0;
+      break;
+    case FailureKind::kStockout:
+      c.penalty += 1.0;
+      break;
+    case FailureKind::kLaunchError:
+      c.penalty += 0.5;
+      break;
+  }
+}
+
+double HazardEstimator::rate_per_hour(cloud::Region region, cloud::GpuType gpu,
+                                      double now_h) const {
+  Cell& c = cell(region, gpu);
+  settle(c, now_h);
+  if (c.exposure_h <= 1e-9) return 0.0;
+  return c.events / c.exposure_h;
+}
+
+double HazardEstimator::penalty_score(cloud::Region region,
+                                      cloud::GpuType gpu,
+                                      double now_h) const {
+  Cell& c = cell(region, gpu);
+  settle(c, now_h);
+  return c.penalty;
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveCheckpointController
+// ---------------------------------------------------------------------------
+
+AdaptiveCheckpointController::AdaptiveCheckpointController(
+    AdaptiveCheckpointConfig config)
+    : config_(config) {
+  if (config_.retune_period_s < 0.0 ||
+      !std::isfinite(config_.retune_period_s)) {
+    throw std::invalid_argument(
+        "AdaptiveCheckpointController: retune_period_s must be >= 0");
+  }
+  if (config_.hysteresis < 0.0 || !std::isfinite(config_.hysteresis)) {
+    throw std::invalid_argument(
+        "AdaptiveCheckpointController: hysteresis must be >= 0");
+  }
+  if (config_.min_interval_steps < 1) {
+    throw std::invalid_argument(
+        "AdaptiveCheckpointController: min_interval_steps must be >= 1");
+  }
+}
+
+std::optional<long> AdaptiveCheckpointController::decide(
+    const PlanInputs& inputs, long current_interval,
+    const PlannerFn& planner) {
+  // Live estimates may be junk mid-warmup (no profiler window closed,
+  // empty hazard cells): skip the round rather than plan on garbage.
+  const double values[] = {inputs.remaining_steps,
+                           inputs.cluster_speed,
+                           inputs.checkpoint_seconds,
+                           inputs.revocations_per_hour,
+                           inputs.provision_seconds,
+                           inputs.replacement_seconds};
+  for (const double v : values) {
+    if (!std::isfinite(v) || v < 0.0) return std::nullopt;
+  }
+  if (inputs.cluster_speed <= 0.0) return std::nullopt;
+  if (inputs.remaining_steps <
+      static_cast<double>(config_.min_interval_steps)) {
+    return std::nullopt;
+  }
+
+  long planned = 0;
+  try {
+    planned = planner(inputs);
+  } catch (const std::exception& e) {
+    LOG_WARN << "checkpoint retune skipped: planner rejected inputs ("
+             << e.what() << ")";
+    return std::nullopt;
+  }
+  planned = std::max(planned, config_.min_interval_steps);
+
+  if (current_interval > 0) {
+    const double change =
+        std::abs(static_cast<double>(planned - current_interval)) /
+        static_cast<double>(current_interval);
+    if (change <= config_.hysteresis) return std::nullopt;
+  }
+  ++retunes_;
+  return planned;
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+Supervisor::Supervisor(cloud::CloudProvider& provider,
+                       SupervisionConfig config, util::Rng rng)
+    : provider_(&provider),
+      config_(std::move(config)),
+      rng_(rng),
+      detector_(config_.heartbeat),
+      estimator_(config_.hazard),
+      controller_(config_.checkpoint) {
+  // Seed the hazard prior from the calibrated revocation model, for every
+  // (region, GPU) pair the paper measured.
+  for (const cloud::RevocationTarget& target : cloud::revocation_targets()) {
+    estimator_.set_prior(
+        target.region, target.gpu,
+        provider_->revocation_model().base_rate_per_hour(target.region,
+                                                         target.gpu));
+  }
+}
+
+double Supervisor::now_hours() const {
+  return provider_->simulator().now() / 3600.0;
+}
+
+double Supervisor::sweep_period() const {
+  return config_.heartbeat.sweep_period_s > 0.0
+             ? config_.heartbeat.sweep_period_s
+             : config_.heartbeat.timeout_s / 4.0;
+}
+
+void Supervisor::watch_instance(cloud::InstanceId id) {
+  if (halted_ || watched_.count(id) > 0) return;
+  const cloud::InstanceRecord& record = provider_->record(id);
+  Watched watched;
+  watched.region = record.request.region;
+  watched.gpu = record.request.gpu;
+  watched.transient = record.request.transient;
+  watched_[id] = watched;
+  detector_.watch(id, provider_->simulator().now());
+  if (watched.transient) {
+    estimator_.begin_exposure(watched.region, watched.gpu, now_hours());
+  }
+  schedule_heartbeat(id);
+  arm_sweep();
+  arm_retune();
+}
+
+void Supervisor::forget_instance(cloud::InstanceId id) {
+  auto it = watched_.find(id);
+  if (it == watched_.end()) return;
+  detector_.forget(id);
+  if (it->second.transient) {
+    estimator_.end_exposure(it->second.region, it->second.gpu, now_hours());
+  }
+  watched_.erase(it);
+}
+
+bool Supervisor::watching(cloud::InstanceId id) const {
+  return watched_.count(id) > 0;
+}
+
+void Supervisor::record_failure_event(cloud::Region region,
+                                      cloud::GpuType gpu, FailureKind kind) {
+  estimator_.record_event(region, gpu, now_hours(), kind);
+}
+
+void Supervisor::halt() {
+  halted_ = true;
+  watched_.clear();
+}
+
+void Supervisor::schedule_heartbeat(cloud::InstanceId id) {
+  double gap = config_.heartbeat.period_s;
+  if (config_.heartbeat.jitter > 0.0) {
+    gap *= 1.0 + config_.heartbeat.jitter * (2.0 * rng_.uniform() - 1.0);
+  }
+  provider_->simulator().schedule_after(
+      gap, [this, id] { emit_heartbeat(id); }, "supervise.heartbeat");
+}
+
+void Supervisor::emit_heartbeat(cloud::InstanceId id) {
+  if (halted_ || !detector_.watching(id)) return;
+  const cloud::InstanceRecord& record = provider_->record(id);
+  // A dead instance goes silent; the detector only ever sees timestamps,
+  // so the failure surfaces when its silence crosses the threshold.
+  if (!record.alive() || record.state != cloud::InstanceState::kRunning) {
+    return;
+  }
+  detector_.beat(id, provider_->simulator().now());
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("supervise.heartbeats_total").inc();
+  }
+  schedule_heartbeat(id);
+}
+
+void Supervisor::arm_sweep() {
+  if (sweep_armed_ || halted_) return;
+  sweep_armed_ = true;
+  provider_->simulator().schedule_after(
+      sweep_period(), [this] { run_sweep(); }, "supervise.sweep");
+}
+
+void Supervisor::run_sweep() {
+  sweep_armed_ = false;
+  if (halted_) return;
+  const double now = provider_->simulator().now();
+  for (const cloud::InstanceId id : detector_.sweep(now)) {
+    ++detections_;
+    const cloud::InstanceRecord& record = provider_->record(id);
+    const bool dead = !record.alive() && record.ended_at >= 0.0;
+    if (dead) {
+      const double latency = now - record.ended_at;
+      detection_latencies_.push_back(latency);
+      LOG_INFO << "failure of instance " << id << " detected " << latency
+               << " s after death";
+      if (obs::Registry* registry = obs::registry()) {
+        registry->counter("supervise.detections_total").inc();
+        registry->histogram("supervise.detection_latency_seconds")
+            .observe(latency);
+      }
+      if (obs::Tracer* tracer = obs::tracer()) {
+        tracer->complete(tracer->track("supervise"), "supervise.detection",
+                         "supervise", record.ended_at, now,
+                         {{"instance", std::to_string(id)}},
+                         /*async=*/true);
+      }
+    } else {
+      // Live instance flagged: a false positive (jitter unluckier than
+      // the threshold). The run fences it before replacing.
+      ++false_positives_;
+      LOG_WARN << "false-positive detection for live instance " << id;
+      if (obs::Registry* registry = obs::registry()) {
+        registry->counter("supervise.detections_total").inc();
+        registry->counter("supervise.false_positives_total").inc();
+      }
+    }
+    auto it = watched_.find(id);
+    if (it != watched_.end()) {
+      if (it->second.transient) {
+        estimator_.end_exposure(it->second.region, it->second.gpu,
+                                now_hours());
+      }
+      watched_.erase(it);
+    }
+    if (on_failure_detected) on_failure_detected(id);
+  }
+  if (!watched_.empty()) arm_sweep();
+}
+
+void Supervisor::arm_retune() {
+  if (retune_armed_ || halted_ || config_.checkpoint.retune_period_s <= 0.0) {
+    return;
+  }
+  retune_armed_ = true;
+  provider_->simulator().schedule_after(
+      config_.checkpoint.retune_period_s, [this] { run_retune(); },
+      "supervise.retune");
+}
+
+void Supervisor::run_retune() {
+  retune_armed_ = false;
+  if (halted_) return;
+  if (on_retune) on_retune();
+  if (!watched_.empty()) arm_retune();
+}
+
+double Supervisor::watched_hazard_rate_per_hour() const {
+  double sum = 0.0;
+  int count = 0;
+  const double now_h = now_hours();
+  for (const auto& [id, watched] : watched_) {
+    (void)id;
+    if (!watched.transient) continue;
+    sum += estimator_.rate_per_hour(watched.region, watched.gpu, now_h);
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+double Supervisor::penalty_score(cloud::Region region,
+                                 cloud::GpuType gpu) const {
+  return estimator_.penalty_score(region, gpu, now_hours());
+}
+
+double Supervisor::detection_latency_quantile(double q) const {
+  if (detection_latencies_.empty()) return 0.0;
+  std::vector<double> sorted = detection_latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const std::size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(clamped * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+}  // namespace cmdare::supervise

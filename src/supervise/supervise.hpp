@@ -1,0 +1,334 @@
+// Online supervision layer: detection -> diagnosis -> recovery.
+//
+// The paper's Sections IV-V argue that revocation impact is governed by
+// *when a failure is noticed* and *how much work is lost per rollback* —
+// yet the base TransientTrainingRun is omniscient: injected abrupt kills
+// reach it instantly through the provider callback, and the checkpoint
+// interval is frozen at configuration time while the Section V-E planner
+// (cmdare::core::plan_checkpoint_interval) sits offline. This layer
+// closes the loop:
+//
+//   heartbeats ----> HeartbeatDetector ----> failure detected
+//        |                                        |
+//   instances      HazardEstimator <--- revocation / stockout /
+//        |          (EWMA per region,GPU)   launch-failure events
+//        |                |
+//        |                v
+//        +----> AdaptiveCheckpointController ---> session interval
+//                         |
+//                         v
+//               health-scored replacement (fallback-ladder reorder,
+//               optional hedged launch pairs)
+//
+// The Supervisor owns the sim-time plumbing: jittered heartbeat emission
+// per watched instance, periodic timeout sweeps (or phi-accrual), and the
+// periodic retune tick. All loops are self-quiescing — they re-arm only
+// while instances are watched — so an event queue with no horizon still
+// drains when training completes.
+//
+// Everything here is off by default (SupervisionConfig.enabled = false);
+// with supervision disabled the resource manager schedules zero extra
+// events and existing seeds reproduce bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cloud/gpu.hpp"
+#include "cloud/provider.hpp"
+#include "cloud/region.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::supervise {
+
+// ---------------------------------------------------------------------------
+// Heartbeat failure detection.
+// ---------------------------------------------------------------------------
+
+struct HeartbeatConfig {
+  /// Nominal seconds between heartbeats from a healthy worker.
+  double period_s = 10.0;
+  /// Plain-timeout mode: silence longer than this flags the worker.
+  double timeout_s = 60.0;
+  /// Uniform +/- fraction applied to every heartbeat gap (de-synchronizes
+  /// emission across workers, and exercises the detector's tolerance).
+  double jitter = 0.1;
+  /// When > 0, use phi-accrual detection instead of the plain timeout:
+  /// flag when phi(elapsed) = elapsed / (mean_interval * ln 10) crosses
+  /// this threshold. 0 keeps the plain timeout.
+  double phi_threshold = 0.0;
+  /// Seconds between detector sweeps; 0 derives timeout_s / 4.
+  double sweep_period_s = 0.0;
+
+  friend bool operator==(const HeartbeatConfig&,
+                         const HeartbeatConfig&) = default;
+};
+
+/// Pure detection logic (no simulator): tracks the last heartbeat per
+/// monitored key and reports the keys whose silence crossed the
+/// threshold. Each detection is reported exactly once; the key is removed
+/// from the watch set when reported.
+class HeartbeatDetector {
+ public:
+  explicit HeartbeatDetector(HeartbeatConfig config);
+
+  void watch(std::uint64_t key, double now);
+  void beat(std::uint64_t key, double now);
+  void forget(std::uint64_t key);
+  bool watching(std::uint64_t key) const;
+  std::size_t watched_count() const { return monitors_.size(); }
+
+  /// Suspicion level for a watched key: elapsed/timeout in plain mode,
+  /// phi in phi-accrual mode. Detection triggers at >= 1 (plain) or
+  /// >= phi_threshold (phi). Returns 0 for unwatched keys.
+  double suspicion(std::uint64_t key, double now) const;
+
+  /// Returns (and stops watching) every key whose silence crossed the
+  /// configured threshold at time `now`, in ascending key order.
+  std::vector<std::uint64_t> sweep(double now);
+
+  const HeartbeatConfig& config() const { return config_; }
+
+ private:
+  struct Monitor {
+    double last_beat = 0.0;
+    /// EWMA of observed inter-heartbeat gaps (phi-accrual input), seeded
+    /// with the configured period.
+    double mean_interval = 0.0;
+    long beats = 0;
+  };
+
+  bool detected(const Monitor& monitor, double now) const;
+
+  HeartbeatConfig config_;
+  // std::map: sweep order (and therefore detection callback order) is
+  // deterministic by key.
+  std::map<std::uint64_t, Monitor> monitors_;
+};
+
+// ---------------------------------------------------------------------------
+// Online hazard estimation.
+// ---------------------------------------------------------------------------
+
+enum class FailureKind {
+  kRevocation,
+  kStockout,
+  kLaunchError,
+};
+
+struct HazardConfig {
+  /// Exponential-decay half-life (hours) of the revocation-rate evidence.
+  double halflife_hours = 6.0;
+  /// The calibrated prior enters as pseudo-evidence worth this many hours
+  /// of exposure; it decays away as real observations accumulate.
+  double prior_weight_hours = 24.0;
+  /// Half-life (hours) of the health penalty used for replacement scoring.
+  double score_halflife_hours = 2.0;
+
+  friend bool operator==(const HazardConfig&, const HazardConfig&) = default;
+};
+
+/// Per-(region, GPU) exponentially-decayed event counting. The revocation
+/// rate is (decayed events) / (decayed exposure hours); the prior is
+/// injected as pseudo-counts so rate_per_hour starts at the calibrated
+/// prior and converges to the observed rate. A separate penalty channel
+/// (all failure kinds, faster decay) feeds replacement scoring.
+class HazardEstimator {
+ public:
+  explicit HazardEstimator(HazardConfig config);
+
+  void set_prior(cloud::Region region, cloud::GpuType gpu,
+                 double rate_per_hour);
+  /// Exposure accrual: one more / one fewer live instance of this kind.
+  void begin_exposure(cloud::Region region, cloud::GpuType gpu, double now_h);
+  void end_exposure(cloud::Region region, cloud::GpuType gpu, double now_h);
+  void record_event(cloud::Region region, cloud::GpuType gpu, double now_h,
+                    FailureKind kind);
+
+  /// Estimated revocations per instance-hour.
+  double rate_per_hour(cloud::Region region, cloud::GpuType gpu,
+                       double now_h) const;
+  /// Decayed health penalty (higher = less attractive for replacement).
+  double penalty_score(cloud::Region region, cloud::GpuType gpu,
+                       double now_h) const;
+
+ private:
+  struct Cell {
+    double events = 0.0;      // decayed revocation count (incl. prior mass)
+    double exposure_h = 0.0;  // decayed instance-hours (incl. prior mass)
+    double penalty = 0.0;
+    int live = 0;
+    double settled_at_h = 0.0;
+  };
+
+  Cell& cell(cloud::Region region, cloud::GpuType gpu) const;
+  void settle(Cell& c, double now_h) const;
+
+  HazardConfig config_;
+  mutable std::array<Cell, cloud::kAllRegions.size() *
+                               cloud::kAllGpuTypes.size()>
+      cells_{};
+};
+
+// ---------------------------------------------------------------------------
+// Adaptive checkpoint retuning.
+// ---------------------------------------------------------------------------
+
+struct AdaptiveCheckpointConfig {
+  /// Seconds between retune ticks; 0 disables adaptive checkpointing.
+  double retune_period_s = 0.0;
+  /// Skip the retune when |planned - current| / current is at or below
+  /// this fraction (anti-thrash hysteresis).
+  double hysteresis = 0.2;
+  /// Floor on any retuned interval.
+  long min_interval_steps = 50;
+
+  friend bool operator==(const AdaptiveCheckpointConfig&,
+                         const AdaptiveCheckpointConfig&) = default;
+};
+
+/// Live inputs for one retune decision, gathered by the run from its
+/// profiler, session trace, and hazard estimator.
+struct PlanInputs {
+  double remaining_steps = 0.0;
+  double cluster_speed = 0.0;       // steps/second, measured
+  double checkpoint_seconds = 0.0;  // observed mean duration
+  double revocations_per_hour = 0.0;
+  double provision_seconds = 0.0;
+  double replacement_seconds = 0.0;
+};
+
+/// Planner callback: maps validated PlanInputs to an interval in steps.
+/// Installed by the resource manager (it wraps
+/// cmdare::core::plan_checkpoint_interval) so this library does not link
+/// against the planner.
+using PlannerFn = std::function<long(const PlanInputs&)>;
+
+class AdaptiveCheckpointController {
+ public:
+  explicit AdaptiveCheckpointController(AdaptiveCheckpointConfig config);
+
+  /// One retune round: validates the live inputs (skipping the round on
+  /// non-finite or degenerate estimates rather than feeding the planner
+  /// garbage), runs the planner, applies the hysteresis gate against
+  /// `current_interval`, and returns the new interval when it should
+  /// change. Counts a retune only when one is returned.
+  std::optional<long> decide(const PlanInputs& inputs, long current_interval,
+                             const PlannerFn& planner);
+
+  int retunes() const { return retunes_; }
+  const AdaptiveCheckpointConfig& config() const { return config_; }
+
+ private:
+  AdaptiveCheckpointConfig config_;
+  int retunes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Supervisor: the sim-time wiring.
+// ---------------------------------------------------------------------------
+
+struct SupervisionConfig {
+  bool enabled = false;
+  HeartbeatConfig heartbeat;
+  HazardConfig hazard;
+  AdaptiveCheckpointConfig checkpoint;
+  /// Reorder the fallback ladder by decayed health penalty.
+  bool score_replacement = false;
+  /// Launch two replacement requests per lost slot and cancel the loser
+  /// when the winner reaches RUNNING (both legs are billed for whatever
+  /// lifetime they accrue).
+  bool hedged_replacement = false;
+
+  friend bool operator==(const SupervisionConfig&,
+                         const SupervisionConfig&) = default;
+};
+
+/// Owns heartbeat emission, detection sweeps, hazard bookkeeping and the
+/// retune tick for one training run. All scheduling loops quiesce when no
+/// instances are watched, so the simulator's event queue drains naturally
+/// at run completion.
+class Supervisor {
+ public:
+  Supervisor(cloud::CloudProvider& provider, SupervisionConfig config,
+             util::Rng rng);
+
+  /// Fired (synchronously, from a sweep event) once per detected failure.
+  std::function<void(cloud::InstanceId)> on_failure_detected;
+  /// Fired on every retune tick; the run gathers PlanInputs and calls
+  /// controller().decide.
+  std::function<void()> on_retune;
+
+  /// Begin supervising a RUNNING instance: heartbeats start, hazard
+  /// exposure accrues (transient instances only), sweep/retune loops arm.
+  void watch_instance(cloud::InstanceId id);
+  /// Graceful stop (noticed revocation, expiry, termination): no
+  /// detection will be reported for this instance.
+  void forget_instance(cloud::InstanceId id);
+  bool watching(cloud::InstanceId id) const;
+
+  /// Feed an observed failure event into the hazard estimator.
+  void record_failure_event(cloud::Region region, cloud::GpuType gpu,
+                            FailureKind kind);
+
+  /// Stops every loop; pending supervision events become no-ops.
+  void halt();
+
+  /// Mean estimated revocation rate over the currently watched transient
+  /// instances' (region, GPU) cells — the controller's hazard input.
+  double watched_hazard_rate_per_hour() const;
+  double penalty_score(cloud::Region region, cloud::GpuType gpu) const;
+
+  AdaptiveCheckpointController& controller() { return controller_; }
+  const AdaptiveCheckpointController& controller() const { return controller_; }
+  const HeartbeatDetector& detector() const { return detector_; }
+  const HazardEstimator& estimator() const { return estimator_; }
+
+  int detections() const { return detections_; }
+  int false_positives() const { return false_positives_; }
+  const std::vector<double>& detection_latencies() const {
+    return detection_latencies_;
+  }
+  /// Empirical latency quantile (nearest-rank); 0 when nothing detected.
+  double detection_latency_quantile(double q) const;
+
+  const SupervisionConfig& config() const { return config_; }
+
+ private:
+  struct Watched {
+    cloud::Region region = cloud::Region::kUsCentral1;
+    cloud::GpuType gpu = cloud::GpuType::kK80;
+    bool transient = true;
+  };
+
+  double now_hours() const;
+  double sweep_period() const;
+  void schedule_heartbeat(cloud::InstanceId id);
+  void emit_heartbeat(cloud::InstanceId id);
+  void arm_sweep();
+  void run_sweep();
+  void arm_retune();
+  void run_retune();
+
+  cloud::CloudProvider* provider_;
+  SupervisionConfig config_;
+  util::Rng rng_;
+  HeartbeatDetector detector_;
+  HazardEstimator estimator_;
+  AdaptiveCheckpointController controller_;
+
+  std::map<cloud::InstanceId, Watched> watched_;
+  bool sweep_armed_ = false;
+  bool retune_armed_ = false;
+  bool halted_ = false;
+
+  int detections_ = 0;
+  int false_positives_ = 0;
+  std::vector<double> detection_latencies_;
+};
+
+}  // namespace cmdare::supervise

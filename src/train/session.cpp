@@ -43,6 +43,16 @@ TrainingSession::TrainingSession(simcore::Simulator& sim, nn::CnnModel model,
   }
 }
 
+void TrainingSession::set_checkpoint_interval(long interval_steps) {
+  if (interval_steps < 0) {
+    throw std::invalid_argument(
+        "set_checkpoint_interval: interval must be >= 0");
+  }
+  config_.checkpoint_interval_steps = interval_steps;
+  next_checkpoint_step_ =
+      interval_steps > 0 ? global_step_ + interval_steps : 0;
+}
+
 std::size_t TrainingSession::active_worker_count() const {
   std::size_t count = 0;
   for (const Worker& w : workers_) {

@@ -74,6 +74,12 @@ class TrainingSession {
   /// Revokes a worker (transient preemption). In-flight work is lost.
   void revoke_worker(WorkerId worker);
 
+  /// Live retune of the checkpoint interval (adaptive checkpoint
+  /// controller). The next checkpoint fires `interval_steps` global steps
+  /// from now; 0 disables checkpointing from here on. An in-flight
+  /// checkpoint upload is unaffected.
+  void set_checkpoint_interval(long interval_steps);
+
   long global_step() const { return global_step_; }
   long last_checkpoint_step() const { return last_checkpoint_step_; }
   std::size_t worker_count() const { return workers_.size(); }

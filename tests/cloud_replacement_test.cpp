@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "cloud/provider.hpp"
+#include "cmdare/resource_manager.hpp"
 #include "nn/model_zoo.hpp"
 #include "simcore/simulator.hpp"
 #include "stats/descriptive.hpp"
+#include "train/cluster.hpp"
 #include "train/replacement.hpp"
 
 namespace cmdare {
@@ -130,3 +132,114 @@ TEST(ProviderLifecycle, ExpiryAtLifetimeCapCarriesNotice) {
 
 }  // namespace
 }  // namespace cmdare
+
+namespace cmdare::core {
+
+/// Test seam (befriended by TransientTrainingRun): drives the private
+/// provider-event handlers directly to simulate event orderings the
+/// provider would normally serialize — specifically a revocation notice
+/// and a heartbeat-timeout detection racing for the same instance.
+class TransientTrainingRunTestPeer {
+ public:
+  static void failure_detected(TransientTrainingRun& run,
+                               cloud::InstanceId id) {
+    run.handle_failure_detected(id);
+  }
+  static void revoked(TransientTrainingRun& run, cloud::InstanceId id) {
+    run.handle_revoked(id);
+  }
+};
+
+namespace {
+
+RunConfig supervised_single_worker(long steps) {
+  RunConfig config;
+  config.session.max_steps = steps;
+  config.session.checkpoint_interval_steps = 2000;
+  config.workers = train::worker_mix(1, 0, 0);
+  // europe-west1 K80s die young (Table V), guaranteeing a natural
+  // revocation well before a long run completes.
+  for (auto& w : config.workers) w.region = cloud::Region::kEuropeWest1;
+  config.supervision.enabled = true;
+  return config;
+}
+
+TEST(SupervisedReplacement, LateRevocationAfterDetectionIsStale) {
+  // Ordering 1: the detector flags a worker first (false positive), the
+  // run fences and replaces it, and THEN the revocation event for the
+  // same instance arrives. The late event must be ignored — a second
+  // replacement would double-fill the slot.
+  simcore::Simulator sim;
+  cloud::CloudProvider provider(sim, util::Rng(40));
+  TransientTrainingRun run(provider, nn::resnet15(),
+                           supervised_single_worker(20000), util::Rng(41));
+  run.start();
+  sim.run_until(600.0);
+
+  bool found = false;
+  cloud::InstanceId live = 0;
+  for (const cloud::InstanceRecord& record : provider.records()) {
+    if (record.state == cloud::InstanceState::kRunning) {
+      live = record.id;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "worker never reached RUNNING";
+
+  TransientTrainingRunTestPeer::failure_detected(run, live);
+  EXPECT_EQ(run.fenced_workers(), 1);
+  EXPECT_EQ(run.replacements_requested(), 1);
+  const int stale_before = run.stale_events_ignored();
+
+  // The racing revocation for the fenced instance arrives late.
+  TransientTrainingRunTestPeer::revoked(run, live);
+  EXPECT_EQ(run.replacements_requested(), 1);  // no double replacement
+  EXPECT_EQ(run.stale_events_ignored(), stale_before + 1);
+
+  sim.run();
+  EXPECT_TRUE(run.session().finished());
+}
+
+TEST(SupervisedReplacement, LateDetectionAfterNoticedRevocationIsStale) {
+  // Ordering 2: a noticed revocation replaces the worker through the
+  // normal path; a detection verdict for the same instance lands
+  // afterwards. With no pending deferred replacement it must be stale.
+  simcore::Simulator sim;
+  cloud::CloudProvider provider(sim, util::Rng(42));
+  // 2M steps at single-K80 speed outlasts the 24 h preemptible lifetime
+  // cap, so a (noticed) revocation is guaranteed regardless of seed.
+  TransientTrainingRun run(provider, nn::resnet15(),
+                           supervised_single_worker(2000000), util::Rng(43));
+  run.start();
+
+  double t = 0.0;
+  while (run.revocations_seen() == 0 && t < 26.0 * 3600.0) {
+    t += 600.0;
+    sim.run_until(t);
+  }
+  ASSERT_GT(run.revocations_seen(), 0) << "no revocation within 26 h";
+  ASSERT_FALSE(run.session().finished());
+
+  // The market hazard ends an instance as REVOKED; the 24 h preemptible
+  // lifetime cap ends it as EXPIRED. Both arrive through on_revoked.
+  bool found = false;
+  cloud::InstanceId dead = 0;
+  for (const cloud::InstanceRecord& record : provider.records()) {
+    if (record.state == cloud::InstanceState::kRevoked ||
+        record.state == cloud::InstanceState::kExpired) {
+      dead = record.id;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  const int replacements = run.replacements_requested();
+  const int stale_before = run.stale_events_ignored();
+  TransientTrainingRunTestPeer::failure_detected(run, dead);
+  EXPECT_EQ(run.replacements_requested(), replacements);
+  EXPECT_EQ(run.detected_failures(), 0);
+  EXPECT_EQ(run.stale_events_ignored(), stale_before + 1);
+}
+
+}  // namespace
+}  // namespace cmdare::core

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include "cmdare/planner.hpp"
 
 namespace cmdare::core {
@@ -79,6 +83,54 @@ TEST(CheckpointPlanner, Validates) {
                std::invalid_argument);
   EXPECT_THROW(plan_checkpoint_interval(base_params(), 100, 1),
                std::invalid_argument);
+}
+
+TEST(CheckpointPlanner, RejectsNonFiniteLiveEstimates) {
+  // The adaptive controller feeds the planner from live estimates
+  // (profiler speed, decayed hazard, observed checkpoint durations); NaN
+  // slides through ordinary `<= 0` guards and casting it to long is UB,
+  // so every field must be rejected explicitly with a clear error.
+  const auto expect_rejected = [](const CheckpointPlanParams& params) {
+    EXPECT_THROW(expected_time_with_interval(100, params),
+                 std::invalid_argument);
+    EXPECT_THROW(plan_checkpoint_interval(params, 100),
+                 std::invalid_argument);
+  };
+
+  CheckpointPlanParams bad = base_params();
+  bad.total_steps = std::nan("");
+  expect_rejected(bad);
+
+  bad = base_params();
+  bad.cluster_speed = std::numeric_limits<double>::infinity();
+  expect_rejected(bad);
+
+  bad = base_params();
+  bad.checkpoint_seconds = std::nan("");
+  expect_rejected(bad);
+
+  bad = base_params();
+  bad.chief_revocations_per_hour = -0.5;
+  expect_rejected(bad);
+
+  bad = base_params();
+  bad.provision_seconds = std::nan("");
+  expect_rejected(bad);
+
+  bad = base_params();
+  bad.replacement_seconds = -std::numeric_limits<double>::infinity();
+  expect_rejected(bad);
+
+  // The error message names the offending field.
+  bad = base_params();
+  bad.cluster_speed = std::nan("");
+  try {
+    plan_checkpoint_interval(bad, 100);
+    FAIL() << "NaN cluster_speed accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cluster_speed"),
+              std::string::npos);
+  }
 }
 
 TEST(LaunchPlanner, RanksAscendingAndCoversAllHours) {

@@ -211,7 +211,8 @@ TEST_P(SpecParseFuzz, RandomBytesNeverCrashTheParser) {
         static const char* kFragments[] = {
             "\n", "=", "#", " x ", " @ ", "..", ",", "workers", "kind",
             "seed", "fault_rate", "stockout", "utc_start_hour", "-", "1e",
-            "true", "run", "K80", "us-central1", "*", "/"};
+            "true", "run", "K80", "us-central1", "*", "/", "supervise.",
+            "enabled", "heartbeat_timeout_s", "retune_", "nan", "inf"};
         text += kFragments[rng.uniform_index(std::size(kFragments))];
       } else {
         text += static_cast<char>(rng.uniform_index(256));

@@ -60,6 +60,37 @@ TEST(SimHarness, ReproducesPreRefactorResilienceDemoAtSeed2020) {
   EXPECT_EQ(result.faults_injected, 11u);
 }
 
+TEST(SimHarness, SupervisionKeysUnsetPreserveSeed2020Goldens) {
+  // Route the seed-2020 spec through the text codec — which now carries
+  // every supervise.* key at its default — and through a control plane
+  // that links the supervision layer. With supervise.enabled unset the
+  // supervisor must not exist, no extra events may be scheduled, and the
+  // run must reproduce the pre-supervision goldens bit-for-bit.
+  const ParseResult parsed = parse(serialize(resilience_demo_spec()));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_FALSE(parsed.spec.supervision.enabled);
+  ASSERT_EQ(parsed.spec, resilience_demo_spec());
+
+  SimHarness harness(parsed.spec);
+  const ScenarioResult result = harness.run();
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.completed_steps, 2000);
+  EXPECT_DOUBLE_EQ(result.elapsed_seconds, 279.17601694722356);
+  EXPECT_DOUBLE_EQ(result.cost_usd, 0.03357100669575535);
+  EXPECT_EQ(result.launch_retries, 6);
+  EXPECT_EQ(result.fallbacks, 3);
+  EXPECT_EQ(result.checkpoint_blobs, 8u);
+  EXPECT_EQ(result.faults_injected, 11u);
+  // The supervision counters stay inert and no supervisor was built.
+  EXPECT_EQ(result.detections, 0);
+  EXPECT_EQ(result.false_detections, 0);
+  EXPECT_EQ(result.interval_retunes, 0);
+  EXPECT_EQ(result.fenced_workers, 0);
+  EXPECT_EQ(result.hedges_cancelled, 0);
+  EXPECT_DOUBLE_EQ(result.mean_recovery_seconds, 0.0);
+  EXPECT_EQ(harness.training_run()->supervisor(), nullptr);
+}
+
 TEST(SimHarness, RefusesToRunTwice) {
   SimHarness harness(resilience_demo_spec());
   harness.run();

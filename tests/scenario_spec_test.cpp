@@ -63,6 +63,20 @@ ScenarioSpec full_spec() {
   second.start_s = 0.0;
   second.end_s = 50.0;
   spec.faults.stockouts = {first, second};
+  spec.supervision.enabled = true;
+  spec.supervision.heartbeat.period_s = 7.5;
+  spec.supervision.heartbeat.timeout_s = 45.25;
+  spec.supervision.heartbeat.jitter = 0.25;
+  spec.supervision.heartbeat.phi_threshold = 8.5;
+  spec.supervision.heartbeat.sweep_period_s = 5.125;
+  spec.supervision.hazard.halflife_hours = 3.5;
+  spec.supervision.hazard.prior_weight_hours = 12.25;
+  spec.supervision.hazard.score_halflife_hours = 1.75;
+  spec.supervision.checkpoint.retune_period_s = 600.5;
+  spec.supervision.checkpoint.hysteresis = 0.35;
+  spec.supervision.checkpoint.min_interval_steps = 75;
+  spec.supervision.score_replacement = true;
+  spec.supervision.hedged_replacement = true;
   spec.telemetry = true;
   return spec;
 }
@@ -140,8 +154,37 @@ TEST(ScenarioSpec, SetFieldRejectsOutOfRangeValues) {
   EXPECT_TRUE(set_field(spec, "seed", "-3").has_value());
   EXPECT_TRUE(set_field(spec, "launch_error_rate", "nope").has_value());
   EXPECT_TRUE(set_field(spec, "kind", "banana").has_value());
+  EXPECT_TRUE(set_field(spec, "supervise.enabled", "maybe").has_value());
+  EXPECT_TRUE(set_field(spec, "supervise.heartbeat_period_s", "0").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "supervise.heartbeat_timeout_s", "nan").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "supervise.heartbeat_jitter", "1.5").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "supervise.hazard_halflife_hours", "inf").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "supervise.retune_hysteresis", "-0.1").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "supervise.min_interval_steps", "0").has_value());
   // None of the rejected values touched the spec.
   EXPECT_EQ(spec, minimal_valid());
+}
+
+TEST(ScenarioSpec, ValidateFlagsDegenerateSupervision) {
+  // A timeout at or below the heartbeat period would flag every healthy
+  // worker on the first sweep; validate() rejects it before a harness
+  // ever builds the detector.
+  ScenarioSpec spec = minimal_valid();
+  spec.supervision.enabled = true;
+  spec.supervision.heartbeat.period_s = 30.0;
+  spec.supervision.heartbeat.timeout_s = 20.0;
+  const auto errors = validate(spec);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("heartbeat_timeout"), std::string::npos);
+  // Disabled supervision skips the checks entirely (the degenerate
+  // values are inert).
+  spec.supervision.enabled = false;
+  EXPECT_TRUE(validate(spec).empty());
 }
 
 TEST(ScenarioSpec, WorkerAndStockoutAppendForms) {
