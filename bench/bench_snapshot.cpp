@@ -1,0 +1,403 @@
+// bench_snapshot: versioned performance snapshots with a regression gate.
+//
+// Two modes:
+//
+//   bench_snapshot --kind micro --out BENCH_micro.json     # refresh
+//   bench_snapshot --check BENCH_micro.json \
+//                  --check BENCH_speed.json                # CI gate
+//
+// Write mode runs one suite (micro = substrate microbenchmarks mirroring
+// bench_micro_sim / bench_micro_obs; speed = a shrunk single-threaded
+// scenario campaign) and serializes the best-of-N throughput numbers as
+// a small JSON document. Check mode re-runs the suite named inside each
+// snapshot file and fails (exit 1) when any metric regressed beyond the
+// tolerance band — improvements never fail. scripts/ci.sh --bench wires
+// this against the checked-in BENCH_*.json at the repo root.
+//
+// Snapshot schema (schema 1):
+//   {"kind":"micro","metrics":{"name":{"higher_is_better":true,
+//    "value":1234.5}},"schema":1}
+//
+// The numbers are wall-clock throughputs, so the tolerance default is a
+// wide 0.6 (fail only when worse than the snapshot by >60%): the gate is
+// meant to catch order-of-magnitude regressions (an accidentally
+// quadratic queue, a ledger probe on the hot path), not 5% noise.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nn/model_zoo.hpp"
+#include "obs/ledger.hpp"
+#include "obs/obs.hpp"
+#include "scenario/sweep.hpp"
+#include "simcore/simulator.hpp"
+#include "train/cluster.hpp"
+#include "train/session.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cmdare;
+
+struct Metric {
+  double value = 0.0;
+  bool higher_is_better = true;
+};
+
+using MetricMap = std::map<std::string, Metric>;
+
+constexpr int kSchemaVersion = 1;
+constexpr int kRepeats = 5;  // best-of-N wall-clock repeats per workload
+
+/// Best (minimum) wall-clock seconds over kRepeats runs of `body`.
+template <typename Fn>
+double best_seconds(Fn&& body) {
+  double best = 0.0;
+  for (int i = 0; i < kRepeats; ++i) {
+    const auto started = std::chrono::steady_clock::now();
+    body();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    if (i == 0 || elapsed < best) best = elapsed;
+  }
+  return best > 0.0 ? best : 1e-12;
+}
+
+// --- micro suite -----------------------------------------------------------
+
+/// Event-queue throughput: schedule + fire kEvents timer events
+/// (bench_micro_sim's BM_SimulatorScheduleFire workload).
+constexpr std::size_t kEvents = 100000;
+
+double run_sim_events() {
+  std::uint64_t sink = 0;
+  const double secs = best_seconds([&] {
+    simcore::Simulator sim;
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    sim.run();
+  });
+  return static_cast<double>(kEvents) / secs;
+}
+
+/// One asynchronous training session to max_steps with `workers` workers;
+/// returns the best wall-clock seconds.
+double session_seconds(bool telemetry) {
+  const nn::CnnModel model = nn::resnet32();
+  return best_seconds([&] {
+    std::unique_ptr<obs::ScopedTelemetry> scoped;
+    if (telemetry) scoped = std::make_unique<obs::ScopedTelemetry>();
+    simcore::Simulator sim;
+    train::SessionConfig config;
+    config.max_steps = 2000;
+    train::TrainingSession session(sim, model, config, util::Rng(1));
+    for (const auto& w : train::worker_mix(4, 0, 0)) session.add_worker(w);
+    sim.run();
+  });
+}
+
+/// Ledger recording + JSONL serialization throughput.
+double run_ledger_events() {
+  constexpr std::size_t kLedgerEvents = 100000;
+  std::size_t sink = 0;
+  const double secs = best_seconds([&] {
+    obs::Ledger ledger;
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kBilling;
+    event.source = "cloud";
+    event.detail = {{"gpu", "k80"}};
+    for (std::size_t i = 0; i < kLedgerEvents; ++i) {
+      event.at = static_cast<double>(i) * 0.25;
+      event.instance = static_cast<long long>(i % 64);
+      event.seconds = 30.0;
+      event.usd = 0.001;
+      ledger.record(event);
+    }
+    std::ostringstream out;
+    obs::write_ledger_jsonl(ledger, out);
+    sink += out.str().size();
+  });
+  (void)sink;
+  return static_cast<double>(kLedgerEvents) / secs;
+}
+
+MetricMap run_micro() {
+  MetricMap metrics;
+  const double events_per_sec = run_sim_events();
+  metrics["sim_events_per_sec"] = {events_per_sec, true};
+  metrics["sim_ns_per_event"] = {1e9 / events_per_sec, false};
+
+  const double disabled = session_seconds(false);
+  const double enabled = session_seconds(true);
+  metrics["session_steps_per_sec"] = {2000.0 / disabled, true};
+  // Full-telemetry cost on top of the disabled path, in percent. Clamped
+  // at zero: on a noisy machine "enabled" can win a coin flip.
+  const double overhead =
+      enabled > disabled ? (enabled - disabled) / disabled * 100.0 : 0.0;
+  metrics["obs_overhead_pct"] = {overhead, false};
+
+  metrics["ledger_events_per_sec"] = {run_ledger_events(), true};
+  return metrics;
+}
+
+// --- speed suite -----------------------------------------------------------
+
+/// A shrunk version of the speed scenario: one cell, 8 replicas of a
+/// 3-worker transient run with checkpoints, on one thread so the number
+/// is a per-core throughput.
+MetricMap run_speed() {
+  scenario::ScenarioSpec spec;
+  spec.name = "bench-speed";
+  spec.kind = scenario::HarnessKind::kRun;
+  spec.model = "resnet-32";
+  spec.max_steps = 500;
+  spec.checkpoint_interval_steps = 100;
+  spec.workers.push_back({3, cloud::GpuType::kK80,
+                          cloud::Region::kUsCentral1, true});
+  spec.faults = faults::FaultPlan::uniform(0.2);
+  spec.seed = 2020;
+
+  scenario::ScenarioSweep sweep;
+  sweep.name = spec.name;
+  sweep.base = spec;
+  sweep.replicas = 8;
+  sweep.seed = spec.seed;
+
+  exp::RunOptions options;
+  options.jobs = 1;
+
+  long total_steps = 0;
+  std::size_t total_replicas = 0;
+  const double secs = best_seconds([&] {
+    const scenario::ScenarioCampaignResult result =
+        scenario::run_scenario_campaign(sweep, options);
+    total_steps = 0;
+    total_replicas = result.progress.replicas_done;
+    for (const exp::CellAggregate& agg : result.aggregates) {
+      const auto it = agg.metrics.find("steps");
+      if (it != agg.metrics.end()) {
+        total_steps += static_cast<long>(it->second.running.mean() *
+                                         it->second.running.count());
+      }
+    }
+  });
+
+  MetricMap metrics;
+  metrics["replicas_per_sec"] = {static_cast<double>(total_replicas) / secs,
+                                 true};
+  metrics["steps_per_sec"] = {static_cast<double>(total_steps) / secs, true};
+  return metrics;
+}
+
+// --- snapshot codec --------------------------------------------------------
+
+MetricMap run_kind(const std::string& kind) {
+  if (kind == "micro") return run_micro();
+  if (kind == "speed") return run_speed();
+  return {};
+}
+
+std::string serialize_snapshot(const std::string& kind,
+                               const MetricMap& metrics) {
+  util::json::Value root = util::json::make_object();
+  auto& top = *root.object;
+  top["schema"] = util::json::make_number(kSchemaVersion);
+  top["kind"] = util::json::make_string(kind);
+  util::json::Value metrics_value = util::json::make_object();
+  for (const auto& [name, metric] : metrics) {
+    util::json::Value entry = util::json::make_object();
+    (*entry.object)["value"] = util::json::make_number(metric.value);
+    (*entry.object)["higher_is_better"] =
+        util::json::make_bool(metric.higher_is_better);
+    (*metrics_value.object)[name] = std::move(entry);
+  }
+  top["metrics"] = std::move(metrics_value);
+  return util::json::serialize(root) + "\n";
+}
+
+struct Snapshot {
+  std::string kind;
+  MetricMap metrics;
+};
+
+bool parse_snapshot(const std::string& text, Snapshot* out,
+                    std::string* error) {
+  const util::json::ParseResult parsed = util::json::parse(text);
+  if (!parsed.ok()) {
+    *error = parsed.error;
+    return false;
+  }
+  const util::json::Value& root = *parsed.value;
+  if (!root.is_object()) {
+    *error = "snapshot is not a JSON object";
+    return false;
+  }
+  const util::json::Value* schema = root.find("schema");
+  if (!schema || !schema->is_number() ||
+      schema->number != kSchemaVersion) {
+    *error = "unsupported snapshot schema";
+    return false;
+  }
+  const util::json::Value* kind = root.find("kind");
+  if (!kind || !kind->is_string()) {
+    *error = "snapshot has no kind";
+    return false;
+  }
+  out->kind = kind->string;
+  const util::json::Value* metrics = root.find("metrics");
+  if (!metrics || !metrics->is_object()) {
+    *error = "snapshot has no metrics object";
+    return false;
+  }
+  for (const auto& [name, entry] : *metrics->object) {
+    if (!entry.is_object()) {
+      *error = "metric \"" + name + "\" is not an object";
+      return false;
+    }
+    const util::json::Value* value = entry.find("value");
+    const util::json::Value* higher = entry.find("higher_is_better");
+    if (!value || !value->is_number() || !higher ||
+        !higher->is_bool()) {
+      *error = "metric \"" + name + "\" is malformed";
+      return false;
+    }
+    out->metrics[name] = {value->number, higher->boolean};
+  }
+  return true;
+}
+
+/// Compares a fresh run against the checked-in snapshot. Returns the
+/// number of regressions beyond the tolerance band.
+int check_snapshot(const std::string& path, double tolerance) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Snapshot snapshot;
+  std::string error;
+  if (!parse_snapshot(buffer.str(), &snapshot, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  std::printf("== %s (kind %s, tolerance %.0f%%) ==\n", path.c_str(),
+              snapshot.kind.c_str(), tolerance * 100.0);
+  const MetricMap current = run_kind(snapshot.kind);
+  if (current.empty()) {
+    std::fprintf(stderr, "error: %s: unknown suite kind \"%s\"\n",
+                 path.c_str(), snapshot.kind.c_str());
+    return 1;
+  }
+
+  int regressions = 0;
+  for (const auto& [name, baseline] : snapshot.metrics) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      std::printf("  %-24s MISSING from this build\n", name.c_str());
+      ++regressions;
+      continue;
+    }
+    const Metric& now = it->second;
+    // Relative change in the "worse" direction; the denominator floor
+    // keeps near-zero baselines (e.g. obs_overhead_pct of 0) from
+    // turning noise into an infinite ratio.
+    const double base = baseline.value;
+    const double denom = std::abs(base) > 1.0 ? std::abs(base) : 1.0;
+    const double drift = baseline.higher_is_better
+                             ? (base - now.value) / denom
+                             : (now.value - base) / denom;
+    const bool regressed = drift > tolerance;
+    std::printf("  %-24s base %14.3f  now %14.3f  %s\n", name.c_str(), base,
+                now.value, regressed ? "REGRESSED" : "ok");
+    if (regressed) ++regressions;
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string kind;
+  std::string out_path;
+  std::vector<std::string> check_paths;
+  std::string tolerance_text;
+
+  util::ArgParser args("bench_snapshot",
+                       "Write or check BENCH_*.json performance snapshots.");
+  args.add_value("kind", "micro|speed", "suite to run (write mode)", &kind);
+  args.add_value("out", "FILE", "write the snapshot to FILE", &out_path);
+  args.add_repeated("check", "FILE",
+                    "check a snapshot file (repeatable); exit 1 on any "
+                    "regression",
+                    &check_paths);
+  args.add_value("tolerance", "T",
+                 "allowed relative regression (default 0.6 = 60%)",
+                 &tolerance_text);
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                 args.help_text().c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help_text().c_str(), stdout);
+    return 0;
+  }
+
+  double tolerance = 0.6;
+  if (!tolerance_text.empty()) {
+    tolerance = std::strtod(tolerance_text.c_str(), nullptr);
+    if (!(tolerance > 0.0)) {
+      std::fprintf(stderr, "error: --tolerance wants a positive number\n");
+      return 1;
+    }
+  }
+
+  if (!check_paths.empty()) {
+    int regressions = 0;
+    for (const std::string& path : check_paths) {
+      regressions += check_snapshot(path, tolerance);
+    }
+    if (regressions > 0) {
+      std::fprintf(stderr, "%d metric(s) regressed beyond tolerance\n",
+                   regressions);
+      return 1;
+    }
+    std::printf("all snapshots within tolerance\n");
+    return 0;
+  }
+
+  if (kind != "micro" && kind != "speed") {
+    std::fprintf(stderr, "error: --kind wants micro or speed\n");
+    return 1;
+  }
+  const MetricMap metrics = run_kind(kind);
+  const std::string text = serialize_snapshot(kind, metrics);
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << text;
+  std::printf("snapshot (%zu metrics) written to %s\n", metrics.size(),
+              out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// run_report: fold a run ledger (JSONL) into the analysis report.
+//
+//   scenario_runner scenarios/resilience.scn --ledger run.jsonl
+//   run_report run.jsonl                 # text report to stdout
+//   run_report run.jsonl --csv out.csv   # plus the metric,value CSV
+//
+// The input is whatever obs::write_ledger_jsonl produced — a single
+// run's ledger or a merged campaign ledger (scopes are analyzed
+// independently and summed). Unparseable lines are reported to stderr
+// and skipped; the analysis runs on the lines that survived.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/analyze.hpp"
+#include "obs/ledger.hpp"
+#include "util/args.hpp"
+
+using namespace cmdare;
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string csv_path;
+  bool strict = false;
+
+  util::ArgParser args("run_report",
+                       "Analyze a run ledger (JSONL) into recovery "
+                       "timelines and the Eq. 4 cost decomposition.");
+  args.add_positional("ledger.jsonl", "ledger file to analyze", &path);
+  args.add_value("csv", "PATH", "also write the metric,value CSV to PATH",
+                 &csv_path);
+  args.add_flag("strict", "fail on any unparseable ledger line", &strict);
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                 args.help_text().c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help_text().c_str(), stdout);
+    return 0;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const obs::LedgerParseResult parsed = obs::parse_ledger_jsonl(buffer.str());
+  for (const std::string& diagnostic : parsed.errors) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), diagnostic.c_str());
+  }
+  if (strict && !parsed.ok()) return 1;
+  if (parsed.ledger.empty()) {
+    std::fprintf(stderr, "error: %s contains no ledger events\n", path.c_str());
+    return 1;
+  }
+
+  const obs::analyze::LedgerAnalysis analysis =
+      obs::analyze::analyze_ledger(parsed.ledger);
+  obs::analyze::write_report(analysis, std::cout);
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    obs::analyze::write_analysis_csv(analysis, out);
+    std::printf("analysis CSV written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}

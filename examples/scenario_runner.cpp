@@ -5,22 +5,73 @@
 //   scenario_runner scenarios/resilience.scn --sweep fault_rate=0,0.1,0.2 \
 //       --replicas 8 --jobs 4 --csv degradation.csv
 //   scenario_runner scenarios/quickstart.scn --print   # canonical form
+//   scenario_runner scenarios/resilience.scn --ledger run.jsonl --report
+//   scenario_runner scenarios/supervise.scn --metrics supervise.
 //
 // A plain run wires the spec through SimHarness and prints the result
 // table. With --sweep axes it becomes a Monte-Carlo campaign on the
 // parallel engine (deterministic CSV at any --jobs value).
+//
+// Observability flags (both modes; they force telemetry on):
+//   --ledger PATH   write the run ledger (merged across replicas for a
+//                   sweep) as JSONL to PATH
+//   --report        fold the ledger through obs::analyze and print the
+//                   recovery-timeline / cost-decomposition report
+//   --metrics PFX   print registry series whose name starts with PFX as
+//                   CSV (kind,name,labels,field,value)
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "obs/analyze.hpp"
 #include "scenario/harness.hpp"
 #include "scenario/sweep.hpp"
 #include "util/args.hpp"
+#include "util/csv.hpp"
 #include "util/strings.hpp"
 
 using namespace cmdare;
+
+namespace {
+
+/// Emits the requested observability artifacts from a run's (or merged
+/// campaign's) telemetry bundle. Returns 0 on success.
+int emit_observability(obs::Telemetry* telemetry, const std::string& ledger_path,
+                       bool report, const std::string& metrics_prefix) {
+  if (!telemetry) {
+    std::fprintf(stderr, "error: no telemetry captured for this run\n");
+    return 1;
+  }
+  if (!ledger_path.empty()) {
+    std::ofstream out(ledger_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", ledger_path.c_str());
+      return 1;
+    }
+    obs::write_ledger_jsonl(telemetry->ledger, out);
+    std::printf("ledger (%zu events) written to %s\n",
+                telemetry->ledger.size(), ledger_path.c_str());
+  }
+  if (report) {
+    const obs::analyze::LedgerAnalysis analysis =
+        obs::analyze::analyze_ledger(telemetry->ledger);
+    obs::analyze::write_report(analysis, std::cout);
+  }
+  if (!metrics_prefix.empty()) {
+    util::CsvWriter writer(std::cout);
+    writer.write_row({"kind", "name", "labels", "field", "value"});
+    for (const obs::SnapshotRow& row :
+         telemetry->registry.snapshot(metrics_prefix)) {
+      writer.write_row({row.kind, row.name, obs::format_labels(row.labels),
+                        row.field, util::format_double(row.value, 6)});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
@@ -30,6 +81,9 @@ int main(int argc, char** argv) {
   int jobs = 0;
   std::string seed_text;
   std::string csv_path;
+  std::string ledger_path;
+  bool report = false;
+  std::string metrics_prefix;
   bool print_only = false;
   bool quiet = false;
 
@@ -47,6 +101,12 @@ int main(int argc, char** argv) {
   args.add_value("seed", "S", "override the spec's seed", &seed_text);
   args.add_value("csv", "PATH", "write campaign aggregates to PATH",
                  &csv_path);
+  args.add_value("ledger", "PATH", "write the run ledger as JSONL to PATH",
+                 &ledger_path);
+  args.add_flag("report", "print the ledger analysis report", &report);
+  args.add_value("metrics", "PREFIX",
+                 "print registry metrics matching PREFIX as CSV",
+                 &metrics_prefix);
   args.add_flag("print", "print the canonical spec text and exit",
                 &print_only);
   args.add_flag("quiet", "suppress the campaign progress line", &quiet);
@@ -106,6 +166,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const bool wants_obs =
+      !ledger_path.empty() || report || !metrics_prefix.empty();
+  if (wants_obs) spec.telemetry = true;
+
   if (!sweeps.empty()) {
     scenario::ScenarioSweep sweep;
     sweep.name = spec.name;
@@ -128,6 +192,7 @@ int main(int argc, char** argv) {
 
     exp::RunOptions options;
     options.jobs = jobs;
+    options.capture_telemetry = wants_obs;
     if (!quiet) {
       options.on_progress = [](const exp::Progress& p) {
         if (p.replicas_done % 16 == 0 || p.replicas_done == p.replicas_total) {
@@ -164,6 +229,11 @@ int main(int argc, char** argv) {
       result.write_csv(out);
       std::printf("aggregates written to %s\n", csv_path.c_str());
     }
+    if (wants_obs) {
+      const int rc = emit_observability(result.telemetry.get(), ledger_path,
+                                        report, metrics_prefix);
+      if (rc != 0) return rc;
+    }
     return 0;
   }
 
@@ -175,6 +245,11 @@ int main(int argc, char** argv) {
                     scenario::harness_kind_name(spec.kind) + ", seed " +
                     std::to_string(spec.seed) + "):");
     table.render(std::cout);
+    if (wants_obs) {
+      const int rc = emit_observability(harness.telemetry(), ledger_path,
+                                        report, metrics_prefix);
+      if (rc != 0) return rc;
+    }
     return result.finished ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 (full build + full ctest), the fault/supervise
-# label suites rebuilt under AddressSanitizer, and the concurrency-heavy
-# tests (obs, campaign engine, supervised sweeps) under ThreadSanitizer.
+# CI entry point: tier-1 (full build + full ctest), the fault/supervise/
+# obs label suites rebuilt under AddressSanitizer, and the
+# concurrency-heavy tests (obs, campaign engine, supervised sweeps)
+# under ThreadSanitizer. The perf-snapshot gate (--bench) is explicit
+# only: it re-runs bench_snapshot against the checked-in BENCH_*.json
+# and fails on a regression beyond the tolerance band.
 #
-#   scripts/ci.sh            # all stages
+#   scripts/ci.sh            # tier-1 + asan + tsan
 #   scripts/ci.sh --tier1    # tier-1 only
 #   scripts/ci.sh --asan     # ASan stage only
 #   scripts/ci.sh --tsan     # TSan stage only
+#   scripts/ci.sh --bench    # perf-snapshot regression gate only
 #
-# Build trees: build/ (tier-1), build-asan/ and build-tsan/ (sanitized),
-# all rooted at the repo top so incremental reruns are cheap.
+# Build trees: build/ (tier-1 + bench), build-asan/ and build-tsan/
+# (sanitized), all rooted at the repo top so incremental reruns are cheap.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,13 +21,15 @@ cd "$(dirname "$0")/.."
 run_tier1=true
 run_asan=true
 run_tsan=true
+run_bench=false
 case "${1:-}" in
   --tier1) run_asan=false; run_tsan=false ;;
   --asan) run_tier1=false; run_tsan=false ;;
   --tsan) run_tier1=false; run_asan=false ;;
+  --bench) run_tier1=false; run_asan=false; run_tsan=false; run_bench=true ;;
   "") ;;
   *)
-    echo "usage: scripts/ci.sh [--tier1|--asan|--tsan]" >&2
+    echo "usage: scripts/ci.sh [--tier1|--asan|--tsan|--bench]" >&2
     exit 2
     ;;
 esac
@@ -38,11 +44,11 @@ if $run_tier1; then
 fi
 
 if $run_asan; then
-  echo "=== asan: faults + supervise labels under AddressSanitizer ==="
+  echo "=== asan: faults + supervise + obs labels under AddressSanitizer ==="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMDARE_SANITIZE=address
   cmake --build build-asan -j "$jobs"
-  ctest --test-dir build-asan -L 'faults|supervise' --output-on-failure \
+  ctest --test-dir build-asan -L 'faults|supervise|obs' --output-on-failure \
     -j "$jobs"
 fi
 
@@ -53,6 +59,13 @@ if $run_tsan; then
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R '^(ObsConcurrency|ThreadPool|Campaign|CampaignSpec|HeartbeatDetector|HazardEstimator|AdaptiveCheckpointController|SupervisedRun|DetectionCampaign)\.'
+fi
+
+if $run_bench; then
+  echo "=== bench: perf-snapshot regression gate ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs" --target bench_snapshot
+  ./build/bench/bench_snapshot --check BENCH_micro.json --check BENCH_speed.json
 fi
 
 echo "CI OK"

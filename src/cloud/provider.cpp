@@ -85,6 +85,17 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
                                              region_name(request.region)}})
         .inc();
   }
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kLaunchAttempt;
+    event.at = sim_->now();
+    event.source = "cloud";
+    event.instance = static_cast<long long>(id);
+    event.detail = {{"gpu", gpu_name(request.gpu)},
+                    {"region", region_name(request.region)},
+                    {"transient", request.transient ? "true" : "false"}};
+    ledger->record(std::move(event));
+  }
 
   // Fault layer: a stockout window or a transient launch error denies the
   // request; the caller hears about it via on_request_failed after the
@@ -111,6 +122,16 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
                   ->counter("cloud.request_failures_total",
                             {{"reason", request_failure_reason_name(reason)}})
                   .inc();
+            }
+            if (obs::Ledger* ledger = obs::ledger()) {
+              obs::LedgerEvent event;
+              event.kind = obs::LedgerEventKind::kLaunchFailed;
+              event.at = sim_->now();
+              event.source = "cloud";
+              event.instance = static_cast<long long>(id);
+              event.detail = {
+                  {"reason", request_failure_reason_name(reason)}};
+              ledger->record(std::move(event));
             }
             if (callbacks_[id].on_request_failed) {
               callbacks_[id].on_request_failed(id, reason);
@@ -158,6 +179,17 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
     if (obs::Registry* registry = obs::registry()) {
       registry->histogram("cloud.startup_seconds").observe(r.startup.total());
     }
+    if (obs::Ledger* ledger = obs::ledger()) {
+      obs::LedgerEvent event;
+      event.kind = obs::LedgerEventKind::kLaunchRunning;
+      event.at = sim_->now();
+      event.source = "cloud";
+      event.instance = static_cast<long long>(id);
+      event.seconds = r.startup.total();
+      event.detail = {{"gpu", gpu_name(r.request.gpu)},
+                      {"region", region_name(r.request.region)}};
+      ledger->record(std::move(event));
+    }
 
     if (r.request.transient) {
       // Sample the revocation age from the hazard model; the 24h cap is
@@ -186,6 +218,15 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
                                 "provider.preemption_notice", "cloud",
                                 sim_->now(),
                                 {{"instance", std::to_string(id)}});
+              }
+              if (obs::Ledger* ledger = obs::ledger()) {
+                obs::LedgerEvent event;
+                event.kind = obs::LedgerEventKind::kPreemptionNotice;
+                event.at = sim_->now();
+                event.source = "cloud";
+                event.instance = static_cast<long long>(id);
+                event.seconds = kPreemptionNoticeSeconds;
+                ledger->record(std::move(event));
               }
               if (callbacks_[id].on_preemption_notice) {
                 callbacks_[id].on_preemption_notice(id);
@@ -241,10 +282,59 @@ void CloudProvider::finish(InstanceId id, InstanceState terminal) {
             .observe(r.running_lifetime_seconds());
       }
     }
+    if (obs::Ledger* ledger = obs::ledger()) {
+      obs::LedgerEvent event;
+      event.kind = terminal == InstanceState::kRevoked
+                       ? obs::LedgerEventKind::kRevocation
+                       : obs::LedgerEventKind::kExpiry;
+      event.at = sim_->now();
+      event.source = "cloud";
+      event.instance = static_cast<long long>(id);
+      event.detail = {{"abrupt", r.abrupt_kill ? "true" : "false"},
+                      {"gpu", gpu_name(r.request.gpu)}};
+      ledger->record(std::move(event));
+    }
+  }
+  // A closed billing window: every second from RUNNING to the terminal
+  // state is billed exactly once, here (live instances at the end of a
+  // horizon-limited run get theirs from record_billing_ticks()). The
+  // analyzer reconstructs the window as [at - seconds, at].
+  if (r.running_at >= 0.0) {
+    if (obs::Ledger* ledger = obs::ledger()) {
+      obs::LedgerEvent event;
+      event.kind = obs::LedgerEventKind::kBilling;
+      event.at = sim_->now();
+      event.source = "cloud";
+      event.instance = static_cast<long long>(id);
+      event.seconds = r.ended_at - r.running_at;
+      event.usd = instance_cost(id);
+      event.detail = {{"gpu", gpu_name(r.request.gpu)},
+                      {"transient", r.request.transient ? "true" : "false"}};
+      ledger->record(std::move(event));
+    }
   }
   LOG_DEBUG << "instance " << id << " (" << gpu_name(r.request.gpu) << " in "
             << region_name(r.request.region) << ") -> "
             << instance_state_name(terminal);
+}
+
+void CloudProvider::record_billing_ticks() {
+  obs::Ledger* ledger = obs::ledger();
+  if (ledger == nullptr) return;
+  for (const InstanceRecord& r : records_) {
+    if (!r.alive() || r.running_at < 0.0) continue;
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kBilling;
+    event.at = sim_->now();
+    event.source = "cloud";
+    event.instance = static_cast<long long>(r.id);
+    event.seconds = sim_->now() - r.running_at;
+    event.usd = instance_cost(r.id);
+    event.detail = {{"gpu", gpu_name(r.request.gpu)},
+                    {"live", "true"},
+                    {"transient", r.request.transient ? "true" : "false"}};
+    ledger->record(std::move(event));
+  }
 }
 
 const InstanceRecord& CloudProvider::record(InstanceId id) const {

@@ -134,6 +134,13 @@ class CloudProvider {
   double instance_cost(InstanceId id) const;
   double total_cost() const;
 
+  /// Emits a ledger billing event for every still-alive RUNNING instance
+  /// covering [running_at, now]. Terminal instances bill themselves when
+  /// they end; this closes the books for horizon-limited runs that stop
+  /// with instances still up. Call at most once, at collection time —
+  /// no-op when telemetry is disabled.
+  void record_billing_ticks();
+
   double local_hour_now(Region region) const;
   double campaign_start_utc_hour() const { return campaign_start_utc_hour_; }
 

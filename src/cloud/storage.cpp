@@ -37,6 +37,15 @@ double ObjectStore::upload(const std::string& key, std::uint64_t bytes,
           if (obs::Registry* registry = obs::registry()) {
             registry->counter("storage.upload_failures_total").inc();
           }
+          if (obs::Ledger* ledger = obs::ledger()) {
+            obs::LedgerEvent event;
+            event.kind = obs::LedgerEventKind::kUploadFailed;
+            event.at = sim_->now();
+            event.source = "store";
+            event.seconds = sim_->now() - started;
+            event.detail = {{"key", key}};
+            ledger->record(std::move(event));
+          }
           if (err) err("injected upload failure for " + key);
         },
         "storage.upload");
@@ -72,6 +81,15 @@ double ObjectStore::upload(const std::string& key, std::uint64_t bytes,
             registry->gauge("storage.last_upload_bytes_per_second")
                 .set(static_cast<double>(bytes) / secs);
           }
+        }
+        if (obs::Ledger* ledger = obs::ledger()) {
+          obs::LedgerEvent event;
+          event.kind = obs::LedgerEventKind::kUpload;
+          event.at = sim_->now();
+          event.source = "store";
+          event.seconds = sim_->now() - started;
+          event.detail = {{"bytes", std::to_string(bytes)}, {"key", key}};
+          ledger->record(std::move(event));
         }
         if (done) done();
       },
@@ -115,6 +133,16 @@ double ObjectStore::restore(
               ->counter(fail ? "storage.restore_failures_total"
                              : "storage.restores_total")
               .inc();
+        }
+        if (obs::Ledger* ledger = obs::ledger()) {
+          obs::LedgerEvent event;
+          event.kind = fail ? obs::LedgerEventKind::kRestoreFailed
+                            : obs::LedgerEventKind::kRestore;
+          event.at = sim_->now();
+          event.source = "store";
+          event.seconds = sim_->now() - started;
+          event.detail = {{"bytes", std::to_string(bytes)}, {"key", key}};
+          ledger->record(std::move(event));
         }
         if (fail) {
           if (err) err("injected restore failure for " + key);

@@ -62,12 +62,28 @@ void TransientTrainingRun::make_session(long remaining_steps) {
   profiler_.attach(*session_);
 }
 
+void TransientTrainingRun::emit_ps_billing(double seconds) {
+  if (seconds <= 0.0) return;
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kBilling;
+    event.at = provider_->simulator().now();
+    event.source = "run";
+    event.seconds = seconds;
+    event.usd = ps_count_ * kPsHourlyCost * seconds / 3600.0;
+    event.detail = {{"component", "ps"},
+                    {"ps_count", std::to_string(ps_count_)}};
+    ledger->record(std::move(event));
+  }
+}
+
 void TransientTrainingRun::finish() {
   finished_ = true;
   if (supervisor_) supervisor_->halt();
   finished_at_ = provider_->simulator().now();
   ps_cost_accrued_ += ps_count_ * kPsHourlyCost *
                       (finished_at_ - segment_started_at_) / 3600.0;
+  emit_ps_billing(finished_at_ - segment_started_at_);
   // Release every still-alive instance of this run.
   for (const auto& [instance, placement] : placements_) {
     (void)placement;
@@ -99,6 +115,7 @@ void TransientTrainingRun::restart_with_ps_count(int ps_count) {
   ps_cost_accrued_ +=
       ps_count_ * kPsHourlyCost *
       (provider_->simulator().now() - segment_started_at_) / 3600.0;
+  emit_ps_billing(provider_->simulator().now() - segment_started_at_);
   retired_sessions_.push_back(std::move(session_));
 
   ps_count_ = ps_count;
@@ -118,6 +135,19 @@ void TransientTrainingRun::restart_with_ps_count(int ps_count) {
     }
     placement.worker =
         session_->add_worker(placement.spec, kSessionRestartSeconds);
+    if (obs::Ledger* ledger = obs::ledger()) {
+      // Re-bind the slot in the new session's worker-id space; the
+      // analyzer resets its worker->instance map at session_restart.
+      obs::LedgerEvent event;
+      event.kind = obs::LedgerEventKind::kAssign;
+      event.at = provider_->simulator().now();
+      event.source = "run";
+      event.instance = static_cast<long long>(instance);
+      event.worker = static_cast<long long>(*placement.worker);
+      event.seconds = kSessionRestartSeconds;
+      event.detail = {{"restart", "true"}};
+      ledger->record(std::move(event));
+    }
   }
 }
 
@@ -127,13 +157,14 @@ long TransientTrainingRun::completed_steps() const {
 
 cloud::InstanceId TransientTrainingRun::launch_worker(
     const train::WorkerSpec& spec, cloud::RequestContext context,
-    double recovering_since) {
+    double recovering_since, std::optional<cloud::InstanceId> replaces) {
   Placement placement;
   placement.spec = spec;
   placement.original_spec = spec;
   placement.context = context;
   placement.cold = context != cloud::RequestContext::kNormal;
   placement.recovering_since = recovering_since;
+  placement.replaces = replaces;
   return request_slot(std::move(placement));
 }
 
@@ -201,6 +232,19 @@ void TransientTrainingRun::handle_running(cloud::InstanceId instance) {
   const double join_delay =
       train::sample_cold_replacement_seconds(model_, rng_);
   placement.worker = session_->add_worker(placement.spec, join_delay);
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kAssign;
+    event.at = provider_->simulator().now();
+    event.source = "run";
+    event.instance = static_cast<long long>(instance);
+    event.worker = static_cast<long long>(*placement.worker);
+    event.seconds = join_delay;
+    if (placement.replaces) {
+      event.detail = {{"replaces", std::to_string(*placement.replaces)}};
+    }
+    ledger->record(std::move(event));
+  }
   if (!supervisor_) return;
 
   supervisor_->watch_instance(instance);
@@ -210,10 +254,26 @@ void TransientTrainingRun::handle_running(cloud::InstanceId instance) {
     const double recovery = provider_->simulator().now() + join_delay -
                             placement.recovering_since;
     recovery_seconds_.push_back(recovery);
-    placement.recovering_since = -1.0;
     if (obs::Registry* registry = obs::registry()) {
       registry->histogram("supervise.recovery_seconds").observe(recovery);
     }
+    if (obs::Ledger* ledger = obs::ledger()) {
+      // Emitted when the replacement reaches RUNNING; the slot rejoins
+      // the session at recovering_since + seconds (i.e. now + join
+      // delay), which is what `seconds` measures end to end.
+      obs::LedgerEvent event;
+      event.kind = obs::LedgerEventKind::kCatchupComplete;
+      event.at = provider_->simulator().now();
+      event.source = "run";
+      event.instance = static_cast<long long>(instance);
+      event.worker = static_cast<long long>(*placement.worker);
+      event.seconds = recovery;
+      if (placement.replaces) {
+        event.detail = {{"replaces", std::to_string(*placement.replaces)}};
+      }
+      ledger->record(std::move(event));
+    }
+    placement.recovering_since = -1.0;
   }
   if (placement.hedge_partner) {
     // This leg won the race: cancel the loser (terminate is safe in any
@@ -290,10 +350,12 @@ void TransientTrainingRun::handle_revoked(cloud::InstanceId instance) {
   }
   if (config_.auto_replace && !finished_) {
     if (supervisor_) {
-      launch_replacement(placement.spec, provider_->simulator().now());
+      launch_replacement(placement.spec, provider_->simulator().now(),
+                         instance);
     } else {
       ++replacements_;
-      launch_worker(placement.spec, config_.replacement_context);
+      launch_worker(placement.spec, config_.replacement_context,
+                    /*recovering_since=*/-1.0, instance);
     }
   }
 }
@@ -327,7 +389,7 @@ void TransientTrainingRun::handle_failure_detected(
     const double recovering_since = placement.recovering_since;
     placement.recovering_since = -1.0;
     if (config_.auto_replace) {
-      launch_replacement(placement.spec, recovering_since);
+      launch_replacement(placement.spec, recovering_since, instance);
     }
     return;
   }
@@ -345,19 +407,22 @@ void TransientTrainingRun::handle_failure_detected(
   if (provider_->record(instance).alive()) provider_->terminate(instance);
   placement.revoked = true;
   if (placement.worker) session_->revoke_worker(*placement.worker);
-  if (config_.auto_replace) launch_replacement(placement.spec, fenced_at);
+  if (config_.auto_replace) {
+    launch_replacement(placement.spec, fenced_at, instance);
+  }
 }
 
-void TransientTrainingRun::launch_replacement(const train::WorkerSpec& spec,
-                                              double recovering_since) {
+void TransientTrainingRun::launch_replacement(
+    const train::WorkerSpec& spec, double recovering_since,
+    std::optional<cloud::InstanceId> replaces) {
   ++replacements_;
-  const cloud::InstanceId first =
-      launch_worker(spec, config_.replacement_context, recovering_since);
+  const cloud::InstanceId first = launch_worker(
+      spec, config_.replacement_context, recovering_since, replaces);
   if (supervisor_ && config_.supervision.hedged_replacement) {
     // Hedge: a second identical request races the first; whichever
     // reaches RUNNING first keeps the slot and cancels the other.
-    const cloud::InstanceId second =
-        launch_worker(spec, config_.replacement_context, recovering_since);
+    const cloud::InstanceId second = launch_worker(
+        spec, config_.replacement_context, recovering_since, replaces);
     placements_.at(first).hedge_partner = second;
     placements_.at(second).hedge_partner = first;
     if (obs::Registry* registry = obs::registry()) {
@@ -494,6 +559,15 @@ void TransientTrainingRun::handle_request_failed(
         registry->counter("resilience.fallbacks_total", {{"kind", stage}})
             .inc();
       }
+      if (obs::Ledger* ledger = obs::ledger()) {
+        obs::LedgerEvent event;
+        event.kind = obs::LedgerEventKind::kFallback;
+        event.at = provider_->simulator().now();
+        event.source = "run";
+        event.instance = static_cast<long long>(instance);
+        event.detail = {{"stage", stage}};
+        ledger->record(std::move(event));
+      }
     }
   } else {
     retry.consecutive_stockouts = 0;
@@ -627,6 +701,11 @@ double TransientTrainingRun::cost_so_far() const {
             (provider_->simulator().now() - segment_started_at_) / 3600.0;
   }
   return cost;
+}
+
+void TransientTrainingRun::record_billing_tick() {
+  if (finished_ || started_at_ < 0.0) return;
+  emit_ps_billing(provider_->simulator().now() - segment_started_at_);
 }
 
 double TransientTrainingRun::elapsed_seconds() const {

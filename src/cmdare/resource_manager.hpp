@@ -152,6 +152,14 @@ class TransientTrainingRun {
   /// Worker GPU-hours cost so far plus parameter-server cost.
   double cost_so_far() const;
 
+  /// Closes the ledger's billing books for a run cut short by the sim
+  /// horizon: emits the parameter-server billing event for the still-open
+  /// session segment (finished runs bill it in finish()). Pair with
+  /// CloudProvider::record_billing_ticks() for the instance side. Call at
+  /// most once, at collection time — no-op when telemetry is disabled or
+  /// the run already finished.
+  void record_billing_tick();
+
   /// Wall-clock (simulated) duration from start() to completion; requires
   /// the run to have finished.
   double elapsed_seconds() const;
@@ -189,12 +197,16 @@ class TransientTrainingRun {
     bool cancelled = false;
     std::optional<cloud::InstanceId> hedge_partner;
     double recovering_since = -1.0;
+    /// Instance whose death this placement replaces (recovery-incident
+    /// linkage for the run ledger); carried across launch retries.
+    std::optional<cloud::InstanceId> replaces;
   };
 
   void make_session(long remaining_steps);
-  cloud::InstanceId launch_worker(const train::WorkerSpec& spec,
-                                  cloud::RequestContext context,
-                                  double recovering_since = -1.0);
+  cloud::InstanceId launch_worker(
+      const train::WorkerSpec& spec, cloud::RequestContext context,
+      double recovering_since = -1.0,
+      std::optional<cloud::InstanceId> replaces = std::nullopt);
   /// Issues the instance request described by `placement` and registers
   /// the lifecycle callbacks (shared by first launches and retries).
   cloud::InstanceId request_slot(Placement placement);
@@ -205,14 +217,19 @@ class TransientTrainingRun {
   /// Climbs the fallback ladder one rung; false when exhausted.
   bool advance_fallback(Placement& placement);
   void count_stale_event(const char* event, cloud::InstanceId instance);
+  /// Ledger billing event for a closed parameter-server segment of
+  /// `seconds` at the current ps_count_ (no-op when telemetry is off).
+  void emit_ps_billing(double seconds);
   void finish();
   /// Supervision: reaction to a heartbeat-detector verdict (deferred
   /// abrupt-kill replacement, or fencing a false positive).
   void handle_failure_detected(cloud::InstanceId instance);
   /// Requests the replacement(s) for a lost slot — one request, or a
   /// hedged pair when configured. Counts one replacement either way.
+  /// `replaces` names the dead instance for ledger incident linkage.
   void launch_replacement(const train::WorkerSpec& spec,
-                          double recovering_since);
+                          double recovering_since,
+                          std::optional<cloud::InstanceId> replaces);
   /// One adaptive-checkpoint tick: gathers live PlanInputs and applies
   /// the controller's decision to the session.
   void retune_checkpoint_interval();

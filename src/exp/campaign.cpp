@@ -185,6 +185,7 @@ GridResult run_grid(std::size_t cells, int replica_count, std::uint64_t seed,
         const std::string prefix = "replica" + std::to_string(r) + "/";
         cell_telemetry[c]->registry.merge(slot.telemetry->registry);
         cell_telemetry[c]->tracer.merge(slot.telemetry->tracer, prefix);
+        cell_telemetry[c]->ledger.merge(slot.telemetry->ledger, prefix);
       }
       slot = Slot{};  // release the buffered result eagerly
       ++next_fold[c];
@@ -233,6 +234,7 @@ GridResult run_grid(std::size_t cells, int replica_count, std::uint64_t seed,
       const std::string prefix = "cell" + std::to_string(c) + "/";
       result.telemetry->registry.merge(cell_telemetry[c]->registry);
       result.telemetry->tracer.merge(cell_telemetry[c]->tracer, prefix);
+      result.telemetry->ledger.merge(cell_telemetry[c]->ledger, prefix);
     }
   }
 

@@ -1,0 +1,501 @@
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace cmdare::obs::analyze {
+namespace {
+
+struct Interval {
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Everything reconstructed from one scope (one simulator run) of the
+/// ledger while walking its events in time order.
+struct ScopeState {
+  std::map<long long, long long> worker_to_instance;
+  std::map<long long, std::vector<Interval>> idle_by_instance;
+  std::map<long long, std::vector<Interval>> overhead_by_instance;
+  std::vector<Interval> overhead_global;
+  std::vector<Interval> wasted_global;
+
+  struct BillWindow {
+    long long instance = -1;
+    double begin = 0.0;
+    double end = 0.0;
+    double seconds = 0.0;
+    double usd = 0.0;
+    bool ps = false;
+  };
+  std::vector<BillWindow> bills;
+
+  std::map<long long, double> death_at;
+  std::map<long long, double> detection_latency;
+  std::map<long long, double> launch_attempt_at;
+  std::map<long long, double> running_at;
+  std::map<long long, double> join_delay;
+  std::set<long long> recovered_deaths;
+};
+
+const std::string* find_detail(const LedgerEvent& event, const char* key) {
+  for (const auto& [k, v] : event.detail) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool detail_is(const LedgerEvent& event, const char* key, const char* value) {
+  const std::string* found = find_detail(event, key);
+  return found != nullptr && *found == value;
+}
+
+double clamp_phase(double seconds) {
+  return (std::isfinite(seconds) && seconds > 0.0) ? seconds : 0.0;
+}
+
+/// Scope key: the event source up to and including the last '/', so all
+/// components of one run ("replica3/cloud", "replica3/session", ...)
+/// land in the same bucket; an unprefixed single-run ledger is scope "".
+std::string scope_of(const std::string& source) {
+  const std::size_t slash = source.rfind('/');
+  return slash == std::string::npos ? std::string()
+                                    : source.substr(0, slash + 1);
+}
+
+void fill_stats(std::vector<double> values, PhaseStats* stats) {
+  stats->count = values.size();
+  if (values.empty()) return;
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  stats->mean = sum / static_cast<double>(values.size());
+  stats->min = values.front();
+  stats->max = values.back();
+  const auto rank = [&](double q) {
+    const std::size_t index = std::min(
+        values.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(values.size())));
+    return values[index];
+  };
+  stats->p50 = rank(0.50);
+  stats->p90 = rank(0.90);
+  stats->p99 = rank(0.99);
+}
+
+/// Measures how much of `window` is covered per priority class and
+/// returns {idle, overhead, wasted} seconds. Candidate intervals are
+/// clipped to the window and an elementary-segment sweep assigns every
+/// instant its highest-priority class, so the three results plus the
+/// useful residual partition the window exactly.
+struct Classified {
+  double idle = 0.0;
+  double overhead = 0.0;
+  double wasted = 0.0;
+};
+
+Classified classify_window(const Interval& window,
+                           const std::vector<const std::vector<Interval>*>& idle,
+                           const std::vector<const std::vector<Interval>*>& overhead,
+                           const std::vector<const std::vector<Interval>*>& wasted) {
+  struct Tagged {
+    Interval interval;
+    int priority = 0;  // 3 idle > 2 overhead > 1 wasted
+  };
+  std::vector<Tagged> tagged;
+  std::vector<double> points = {window.begin, window.end};
+  const auto add = [&](const std::vector<const std::vector<Interval>*>& lists,
+                       int priority) {
+    for (const std::vector<Interval>* list : lists) {
+      if (list == nullptr) continue;
+      for (const Interval& raw : *list) {
+        Interval clipped{std::max(raw.begin, window.begin),
+                         std::min(raw.end, window.end)};
+        if (clipped.end <= clipped.begin) continue;
+        points.push_back(clipped.begin);
+        points.push_back(clipped.end);
+        tagged.push_back({clipped, priority});
+      }
+    }
+  };
+  add(idle, 3);
+  add(overhead, 2);
+  add(wasted, 1);
+
+  Classified result;
+  if (tagged.empty()) return result;
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const double mid = 0.5 * (points[i] + points[i + 1]);
+    int priority = 0;
+    for (const Tagged& t : tagged) {
+      if (t.interval.begin <= mid && mid < t.interval.end) {
+        priority = std::max(priority, t.priority);
+      }
+    }
+    const double length = points[i + 1] - points[i];
+    if (priority == 3) {
+      result.idle += length;
+    } else if (priority == 2) {
+      result.overhead += length;
+    } else if (priority == 1) {
+      result.wasted += length;
+    }
+  }
+  return result;
+}
+
+void analyze_scope(const std::vector<const LedgerEvent*>& events,
+                   LedgerAnalysis* out) {
+  ScopeState state;
+  LedgerCounts& counts = out->counts;
+
+  for (const LedgerEvent* event_ptr : events) {
+    const LedgerEvent& event = *event_ptr;
+    switch (event.kind) {
+      case LedgerEventKind::kLaunchAttempt:
+        ++counts.launches;
+        state.launch_attempt_at[event.instance] = event.at;
+        break;
+      case LedgerEventKind::kLaunchRunning:
+        state.running_at[event.instance] = event.at;
+        break;
+      case LedgerEventKind::kLaunchFailed:
+        ++counts.launch_failures;
+        break;
+      case LedgerEventKind::kRevocation:
+        ++counts.revocations;
+        state.death_at[event.instance] = event.at;
+        break;
+      case LedgerEventKind::kExpiry:
+        ++counts.expiries;
+        state.death_at[event.instance] = event.at;
+        break;
+      case LedgerEventKind::kDetection:
+        if (!detail_is(event, "false_positive", "true")) {
+          ++counts.detections;
+          state.detection_latency[event.instance] = event.seconds;
+        }
+        break;
+      case LedgerEventKind::kAssign:
+        if (event.worker >= 0) {
+          state.worker_to_instance[event.worker] = event.instance;
+        }
+        if (detail_is(event, "restart", "true")) {
+          // Session-restart rejoin: the whole cluster stalls for the
+          // restart overhead — reconfiguration cost, not idle waiting.
+          state.overhead_global.push_back(
+              {event.at, event.at + event.seconds});
+        } else if (event.seconds > 0.0) {
+          // Cold-start environment setup before the worker contributes.
+          state.idle_by_instance[event.instance].push_back(
+              {event.at, event.at + event.seconds});
+          state.join_delay[event.instance] = event.seconds;
+        }
+        break;
+      case LedgerEventKind::kSessionRestart:
+        ++counts.session_restarts;
+        // Worker ids restart from zero in the new session.
+        state.worker_to_instance.clear();
+        break;
+      case LedgerEventKind::kCheckpointCommit:
+      case LedgerEventKind::kCheckpointAbandon: {
+        if (event.kind == LedgerEventKind::kCheckpointCommit) {
+          ++counts.checkpoints;
+        }
+        const Interval window{event.at - event.seconds, event.at};
+        const auto owner = state.worker_to_instance.find(event.worker);
+        if (owner != state.worker_to_instance.end()) {
+          state.overhead_by_instance[owner->second].push_back(window);
+        } else {
+          state.overhead_global.push_back(window);
+        }
+        break;
+      }
+      case LedgerEventKind::kCheckpointRetry:
+        ++counts.checkpoint_retries;
+        break;
+      case LedgerEventKind::kRestore:
+        ++counts.restores;
+        state.overhead_global.push_back({event.at - event.seconds, event.at});
+        break;
+      case LedgerEventKind::kRestoreFailed:
+        state.overhead_global.push_back({event.at - event.seconds, event.at});
+        break;
+      case LedgerEventKind::kRollback:
+        ++counts.rollbacks;
+        state.wasted_global.push_back({event.at - event.seconds, event.at});
+        break;
+      case LedgerEventKind::kBilling: {
+        ScopeState::BillWindow bill;
+        bill.instance = event.instance;
+        bill.begin = event.at - event.seconds;
+        bill.end = event.at;
+        bill.seconds = event.seconds;
+        bill.usd = event.usd;
+        bill.ps = detail_is(event, "component", "ps");
+        state.bills.push_back(bill);
+        break;
+      }
+      case LedgerEventKind::kCatchupComplete: {
+        RecoveryIncident incident;
+        incident.replacement_instance = event.instance;
+        incident.total_s = clamp_phase(event.seconds);
+        const auto jd = state.join_delay.find(event.instance);
+        const double join = jd != state.join_delay.end() ? jd->second : 0.0;
+        incident.rejoined_at = event.at + join;
+        incident.started_at = incident.rejoined_at - incident.total_s;
+        if (const std::string* replaces = find_detail(event, "replaces")) {
+          incident.dead_instance = std::strtoll(replaces->c_str(), nullptr, 10);
+          state.recovered_deaths.insert(incident.dead_instance);
+          const auto latency =
+              state.detection_latency.find(incident.dead_instance);
+          if (latency != state.detection_latency.end()) {
+            incident.detection_s =
+                std::min(clamp_phase(latency->second), incident.total_s);
+          }
+        }
+        const auto launched = state.launch_attempt_at.find(event.instance);
+        const auto running = state.running_at.find(event.instance);
+        const double launched_at = launched != state.launch_attempt_at.end()
+                                       ? launched->second
+                                       : event.at;
+        const double running_at =
+            running != state.running_at.end() ? running->second : event.at;
+        incident.request_s = clamp_phase(
+            launched_at - (incident.started_at + incident.detection_s));
+        incident.startup_s = clamp_phase(running_at - launched_at);
+        incident.catchup_s = clamp_phase(incident.rejoined_at - running_at);
+        out->recovery.incidents.push_back(incident);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [instance, at] : state.death_at) {
+    (void)at;
+    if (state.recovered_deaths.count(instance) == 0) {
+      ++out->recovery.unmatched_deaths;
+    }
+  }
+
+  // Cost classification, one billing window at a time.
+  CostDecomposition& cost = out->cost;
+  static const std::vector<Interval> kNone;
+  for (const ScopeState::BillWindow& bill : state.bills) {
+    cost.billed_seconds += bill.seconds;
+    cost.billed_usd += bill.usd;
+    if (bill.ps) {
+      // Parameter servers apply every surviving gradient: their time is
+      // useful by the Eq. 4 convention (worker-side stalls are already
+      // captured through the worker buckets).
+      cost.useful.seconds += bill.seconds;
+      cost.useful.usd += bill.usd;
+      continue;
+    }
+    const auto idle_it = state.idle_by_instance.find(bill.instance);
+    const auto overhead_it = state.overhead_by_instance.find(bill.instance);
+    const Classified classified = classify_window(
+        {bill.begin, bill.end},
+        {idle_it != state.idle_by_instance.end() ? &idle_it->second : &kNone},
+        {overhead_it != state.overhead_by_instance.end()
+             ? &overhead_it->second
+             : &kNone,
+         &state.overhead_global},
+        {&state.wasted_global});
+    // Useful is the exact residual, which is what makes the bucket sum
+    // reproduce the billed total.
+    const double useful_s = bill.seconds - classified.idle -
+                            classified.overhead - classified.wasted;
+    const double rate = bill.seconds > 0.0 ? bill.usd / bill.seconds : 0.0;
+    cost.idle.seconds += classified.idle;
+    cost.idle.usd += classified.idle * rate;
+    cost.overhead.seconds += classified.overhead;
+    cost.overhead.usd += classified.overhead * rate;
+    cost.wasted.seconds += classified.wasted;
+    cost.wasted.usd += classified.wasted * rate;
+    cost.useful.seconds += useful_s;
+    cost.useful.usd += bill.usd - classified.idle * rate -
+                       classified.overhead * rate - classified.wasted * rate;
+  }
+}
+
+/// Flattened (name, value) view shared by the registry export and CSV.
+std::vector<std::pair<std::string, double>> flatten(
+    const LedgerAnalysis& analysis) {
+  std::vector<std::pair<std::string, double>> rows;
+  const auto bucket = [&](const char* name, const CostBucket& b) {
+    rows.emplace_back(std::string("cost.") + name + "_seconds", b.seconds);
+    rows.emplace_back(std::string("cost.") + name + "_usd", b.usd);
+  };
+  bucket("useful", analysis.cost.useful);
+  bucket("wasted", analysis.cost.wasted);
+  bucket("overhead", analysis.cost.overhead);
+  bucket("idle", analysis.cost.idle);
+  rows.emplace_back("cost.billed_seconds", analysis.cost.billed_seconds);
+  rows.emplace_back("cost.billed_usd", analysis.cost.billed_usd);
+
+  const auto phase = [&](const char* name, const PhaseStats& s) {
+    const std::string prefix = std::string("recovery.") + name + ".";
+    rows.emplace_back(prefix + "mean", s.mean);
+    rows.emplace_back(prefix + "p50", s.p50);
+    rows.emplace_back(prefix + "p90", s.p90);
+    rows.emplace_back(prefix + "p99", s.p99);
+    rows.emplace_back(prefix + "max", s.max);
+  };
+  rows.emplace_back("recovery.incidents",
+                    static_cast<double>(analysis.recovery.incidents.size()));
+  rows.emplace_back("recovery.unmatched_deaths",
+                    static_cast<double>(analysis.recovery.unmatched_deaths));
+  phase("detection", analysis.recovery.detection);
+  phase("request", analysis.recovery.request);
+  phase("startup", analysis.recovery.startup);
+  phase("catchup", analysis.recovery.catchup);
+  phase("total", analysis.recovery.total);
+
+  rows.emplace_back("events.total",
+                    static_cast<double>(analysis.counts.events));
+  rows.emplace_back("events.launches",
+                    static_cast<double>(analysis.counts.launches));
+  rows.emplace_back("events.launch_failures",
+                    static_cast<double>(analysis.counts.launch_failures));
+  rows.emplace_back("events.revocations",
+                    static_cast<double>(analysis.counts.revocations));
+  rows.emplace_back("events.expiries",
+                    static_cast<double>(analysis.counts.expiries));
+  rows.emplace_back("events.detections",
+                    static_cast<double>(analysis.counts.detections));
+  rows.emplace_back("events.checkpoints",
+                    static_cast<double>(analysis.counts.checkpoints));
+  rows.emplace_back("events.checkpoint_retries",
+                    static_cast<double>(analysis.counts.checkpoint_retries));
+  rows.emplace_back("events.restores",
+                    static_cast<double>(analysis.counts.restores));
+  rows.emplace_back("events.rollbacks",
+                    static_cast<double>(analysis.counts.rollbacks));
+  rows.emplace_back("events.session_restarts",
+                    static_cast<double>(analysis.counts.session_restarts));
+  rows.emplace_back("events.scopes",
+                    static_cast<double>(analysis.counts.scopes));
+  return rows;
+}
+
+}  // namespace
+
+LedgerAnalysis analyze_ledger(const Ledger& ledger) {
+  LedgerAnalysis analysis;
+  analysis.counts.events = ledger.size();
+
+  // Group by scope, preserving the per-scope time order (events of one
+  // run are contiguous and ordered in both single-run and merged files,
+  // but grouping keeps the analysis correct even for hand-concatenated
+  // ledgers).
+  std::map<std::string, std::vector<const LedgerEvent*>> scopes;
+  for (const LedgerEvent& event : ledger.events()) {
+    scopes[scope_of(event.source)].push_back(&event);
+  }
+  analysis.counts.scopes = scopes.size();
+  for (const auto& [scope, events] : scopes) {
+    (void)scope;
+    analyze_scope(events, &analysis);
+  }
+
+  const auto collect = [&](auto selector) {
+    std::vector<double> values;
+    values.reserve(analysis.recovery.incidents.size());
+    for (const RecoveryIncident& incident : analysis.recovery.incidents) {
+      values.push_back(selector(incident));
+    }
+    return values;
+  };
+  fill_stats(collect([](const RecoveryIncident& i) { return i.detection_s; }),
+             &analysis.recovery.detection);
+  fill_stats(collect([](const RecoveryIncident& i) { return i.request_s; }),
+             &analysis.recovery.request);
+  fill_stats(collect([](const RecoveryIncident& i) { return i.startup_s; }),
+             &analysis.recovery.startup);
+  fill_stats(collect([](const RecoveryIncident& i) { return i.catchup_s; }),
+             &analysis.recovery.catchup);
+  fill_stats(collect([](const RecoveryIncident& i) { return i.total_s; }),
+             &analysis.recovery.total);
+  return analysis;
+}
+
+void export_to_registry(const LedgerAnalysis& analysis, Registry& registry) {
+  for (const auto& [name, value] : flatten(analysis)) {
+    registry.gauge("analyze." + name).set(value);
+  }
+}
+
+void write_analysis_csv(const LedgerAnalysis& analysis, std::ostream& out) {
+  out << "metric,value\n";
+  for (const auto& [name, value] : flatten(analysis)) {
+    out << name << "," << util::format_double(value, 6) << "\n";
+  }
+}
+
+void write_report(const LedgerAnalysis& analysis, std::ostream& out) {
+  const LedgerCounts& counts = analysis.counts;
+  out << "== Run ledger report ==\n";
+  out << counts.events << " events across " << counts.scopes
+      << (counts.scopes == 1 ? " run\n" : " runs\n");
+  out << "launches " << counts.launches << " (failed "
+      << counts.launch_failures << "), revocations " << counts.revocations
+      << ", expiries " << counts.expiries << ", detections "
+      << counts.detections << "\n";
+  out << "checkpoints " << counts.checkpoints << " (retries "
+      << counts.checkpoint_retries << "), restores " << counts.restores
+      << ", rollbacks " << counts.rollbacks << ", session restarts "
+      << counts.session_restarts << "\n";
+
+  const CostDecomposition& cost = analysis.cost;
+  out << "\n-- Cost decomposition (Eq. 4) --\n";
+  const auto row = [&](const char* name, const CostBucket& bucket) {
+    const double share = cost.billed_seconds > 0.0
+                             ? 100.0 * bucket.seconds / cost.billed_seconds
+                             : 0.0;
+    out << "  " << name << ": " << util::format_duration(bucket.seconds)
+        << "  $" << util::format_double(bucket.usd, 4) << "  ("
+        << util::format_double(share, 1) << "%)\n";
+  };
+  row("useful  ", cost.useful);
+  row("wasted  ", cost.wasted);
+  row("overhead", cost.overhead);
+  row("idle    ", cost.idle);
+  out << "  billed  : " << util::format_duration(cost.billed_seconds) << "  $"
+      << util::format_double(cost.billed_usd, 4) << "\n";
+
+  const RecoveryAnalysis& recovery = analysis.recovery;
+  out << "\n-- Recovery timelines --\n";
+  out << "  incidents: " << recovery.incidents.size()
+      << " completed, " << recovery.unmatched_deaths
+      << " deaths without tracked catch-up\n";
+  if (!recovery.incidents.empty()) {
+    const auto phase = [&](const char* name, const PhaseStats& stats) {
+      out << "  " << name << ": mean "
+          << util::format_double(stats.mean, 2) << " s, p50 "
+          << util::format_double(stats.p50, 2) << " s, p90 "
+          << util::format_double(stats.p90, 2) << " s, p99 "
+          << util::format_double(stats.p99, 2) << " s, max "
+          << util::format_double(stats.max, 2) << " s\n";
+    };
+    phase("detection", recovery.detection);
+    phase("request  ", recovery.request);
+    phase("startup  ", recovery.startup);
+    phase("catch-up ", recovery.catchup);
+    phase("total    ", recovery.total);
+  }
+}
+
+}  // namespace cmdare::obs::analyze

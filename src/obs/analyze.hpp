@@ -1,0 +1,136 @@
+// Ledger analysis: recovery timelines and the Eq. 4 cost decomposition.
+//
+// Folds a finished run ledger (obs/ledger.hpp) into the two artifacts
+// the paper's measurement sections are built from:
+//
+//  * Per-incident **recovery timelines** — for every completed recovery
+//    (a catchup_complete event), the outage is split into the phases
+//    detection (death -> heartbeat verdict), request (verdict -> winning
+//    launch attempt, including failed attempts and backoff), startup
+//    (attempt -> RUNNING) and catch-up (RUNNING -> worker rejoined), with
+//    nearest-rank quantiles across incidents.
+//
+//  * An Eq. 4-aligned **cost decomposition** — every billed second of
+//    every instance is classified as exactly one of idle-waiting (slot
+//    billed but its worker not yet contributing), checkpoint/restore
+//    overhead, wasted compute (work discarded by a rollback), or useful
+//    compute (the residual), in both seconds and dollars. Parameter-
+//    server billing counts as useful. Classification partitions each
+//    billing window exactly — the elementary-segment sweep assigns every
+//    instant one bucket with priority idle > overhead > wasted — so
+//    useful + wasted + overhead + idle == total billed time to within
+//    floating-point reassociation error (far inside 1e-9 relative).
+//
+// Merged campaign ledgers are handled by grouping events into *scopes*
+// (the source prefix up to the last '/': "cell0/replica3/cloud" and
+// "cell0/replica3/run" share the scope "cell0/replica3/"); each scope is
+// one simulator run, analyzed independently, and the results are summed.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+
+namespace cmdare::obs::analyze {
+
+/// One completed recovery: a dead slot's journey back to contributing.
+/// Times are sim seconds; phases are clamped to >= 0.
+struct RecoveryIncident {
+  long long dead_instance = -1;
+  long long replacement_instance = -1;
+  double started_at = 0.0;   // outage begin (death / fence time)
+  double rejoined_at = 0.0;  // replacement worker active again
+  double detection_s = 0.0;  // death -> detector verdict (0 if noticed)
+  double request_s = 0.0;    // verdict -> winning launch attempt
+  double startup_s = 0.0;    // launch attempt -> RUNNING
+  double catchup_s = 0.0;    // RUNNING -> worker rejoined (env setup)
+  double total_s = 0.0;      // started_at -> rejoined_at
+};
+
+/// Nearest-rank summary of one phase across incidents (zeros when empty).
+struct PhaseStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct RecoveryAnalysis {
+  std::vector<RecoveryIncident> incidents;
+  /// Instance deaths (revocations + expiries) with no completed catch-up
+  /// in the ledger — still in flight at the horizon, replaced without
+  /// recovery tracking (unsupervised runs), or abandoned slots.
+  std::size_t unmatched_deaths = 0;
+  PhaseStats detection;
+  PhaseStats request;
+  PhaseStats startup;
+  PhaseStats catchup;
+  PhaseStats total;
+};
+
+/// One bucket of the Eq. 4 decomposition.
+struct CostBucket {
+  double seconds = 0.0;
+  double usd = 0.0;
+};
+
+struct CostDecomposition {
+  CostBucket useful;
+  CostBucket wasted;
+  CostBucket overhead;
+  CostBucket idle;
+  /// Sums of the billing events themselves (the decomposition's target).
+  double billed_seconds = 0.0;
+  double billed_usd = 0.0;
+
+  double classified_seconds() const {
+    return useful.seconds + wasted.seconds + overhead.seconds + idle.seconds;
+  }
+  double classified_usd() const {
+    return useful.usd + wasted.usd + overhead.usd + idle.usd;
+  }
+};
+
+/// Event totals that contextualize the decomposition in the report.
+struct LedgerCounts {
+  std::size_t events = 0;
+  std::size_t launches = 0;
+  std::size_t launch_failures = 0;
+  std::size_t revocations = 0;
+  std::size_t expiries = 0;
+  std::size_t detections = 0;
+  std::size_t checkpoints = 0;
+  std::size_t checkpoint_retries = 0;
+  std::size_t restores = 0;
+  std::size_t rollbacks = 0;
+  std::size_t session_restarts = 0;
+  std::size_t scopes = 0;  // independent runs found in the ledger
+};
+
+struct LedgerAnalysis {
+  RecoveryAnalysis recovery;
+  CostDecomposition cost;
+  LedgerCounts counts;
+};
+
+/// Folds a ledger (single-run or merged-campaign) into the analysis.
+LedgerAnalysis analyze_ledger(const Ledger& ledger);
+
+/// Publishes the analysis as gauges under "analyze." (cost buckets in
+/// seconds and USD, recovery phase quantiles, incident counts).
+void export_to_registry(const LedgerAnalysis& analysis, Registry& registry);
+
+/// Two-column CSV (metric,value) of every exported number.
+void write_analysis_csv(const LedgerAnalysis& analysis, std::ostream& out);
+
+/// Human-readable text report: event totals, the cost decomposition
+/// table, and the recovery-phase quantile table.
+void write_report(const LedgerAnalysis& analysis, std::ostream& out);
+
+}  // namespace cmdare::obs::analyze

@@ -1,0 +1,181 @@
+#include "obs/ledger.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace cmdare::obs {
+namespace {
+
+// Index must match LedgerEventKind; the serializer/reader pair below is
+// the compatibility contract for checked-in golden ledgers.
+constexpr std::array<std::string_view, 24> kKindNames = {
+    "launch_attempt",    "launch_running",  "launch_failed",
+    "fallback",          "preemption_notice", "revocation",
+    "expiry",            "detection",       "assign",
+    "worker_join",       "worker_revoked",  "checkpoint_begin",
+    "checkpoint_commit", "checkpoint_retry", "checkpoint_abandon",
+    "upload",            "upload_failed",   "restore",
+    "restore_failed",    "rollback",        "catchup_complete",
+    "session_restart",   "run_complete",    "billing",
+};
+
+}  // namespace
+
+std::string_view ledger_event_kind_name(LedgerEventKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < kKindNames.size() ? kKindNames[index] : "unknown";
+}
+
+std::optional<LedgerEventKind> ledger_event_kind_from_name(
+    std::string_view name) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (kKindNames[i] == name) return static_cast<LedgerEventKind>(i);
+  }
+  return std::nullopt;
+}
+
+void Ledger::merge(const Ledger& other, std::string_view source_prefix) {
+  events_.reserve(events_.size() + other.events_.size());
+  for (const LedgerEvent& event : other.events_) {
+    LedgerEvent copy = event;
+    copy.source = std::string(source_prefix) + copy.source;
+    events_.push_back(std::move(copy));
+  }
+}
+
+std::string serialize_ledger_event(const LedgerEvent& event) {
+  namespace json = util::json;
+  std::string out = "{\"at\":";
+  out += json::format_number(event.at);
+  out += ",\"kind\":\"";
+  out += ledger_event_kind_name(event.kind);
+  out += "\",\"source\":\"";
+  out += json::escape(event.source);
+  out += "\"";
+  if (event.instance >= 0) {
+    out += ",\"instance\":" + std::to_string(event.instance);
+  }
+  if (event.worker >= 0) {
+    out += ",\"worker\":" + std::to_string(event.worker);
+  }
+  if (event.step >= 0) {
+    out += ",\"step\":" + std::to_string(event.step);
+  }
+  if (event.seconds != 0.0) {
+    out += ",\"seconds\":" + json::format_number(event.seconds);
+  }
+  if (event.usd != 0.0) {
+    out += ",\"usd\":" + json::format_number(event.usd);
+  }
+  if (!event.detail.empty()) {
+    LabelSet sorted = event.detail;
+    std::sort(sorted.begin(), sorted.end());
+    out += ",\"detail\":{";
+    bool first = true;
+    for (const auto& [key, value] : sorted) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + json::escape(key) + "\":\"" + json::escape(value) + "\"";
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+void write_ledger_jsonl(const Ledger& ledger, std::ostream& out) {
+  for (const LedgerEvent& event : ledger.events()) {
+    out << serialize_ledger_event(event) << "\n";
+  }
+}
+
+namespace {
+
+// Integer-valued id field; -1 (absent) otherwise.
+long long read_id(const util::json::Value& line, const char* key) {
+  const util::json::Value* field = line.find(key);
+  if (field == nullptr || !field->is_number()) return -1;
+  const double v = field->number;
+  if (!std::isfinite(v) || v < 0 || v != std::floor(v)) return -1;
+  return static_cast<long long>(v);
+}
+
+double read_number(const util::json::Value& line, const char* key) {
+  const util::json::Value* field = line.find(key);
+  return (field != nullptr && field->is_number()) ? field->number : 0.0;
+}
+
+}  // namespace
+
+LedgerParseResult parse_ledger_jsonl(std::string_view text) {
+  namespace json = util::json;
+  LedgerParseResult result;
+  int line_number = 0;
+  for (const std::string& line : util::split(text, '\n')) {
+    ++line_number;
+    if (util::trim(line).empty()) continue;
+    const auto tag = [&](std::string message) {
+      return "line " + std::to_string(line_number) + ": " +
+             std::move(message);
+    };
+    const json::ParseResult parsed = json::parse(line);
+    if (!parsed.ok()) {
+      result.errors.push_back(tag(parsed.error));
+      continue;
+    }
+    const json::Value& root = *parsed.value;
+    if (!root.is_object()) {
+      result.errors.push_back(tag("ledger line is not an object"));
+      continue;
+    }
+    const json::Value* kind = root.find("kind");
+    if (kind == nullptr || !kind->is_string()) {
+      result.errors.push_back(tag("missing \"kind\""));
+      continue;
+    }
+    const auto parsed_kind = ledger_event_kind_from_name(kind->string);
+    if (!parsed_kind) {
+      result.errors.push_back(tag("unknown kind \"" + kind->string + "\""));
+      continue;
+    }
+    const json::Value* at = root.find("at");
+    if (at == nullptr || !at->is_number()) {
+      result.errors.push_back(tag("missing \"at\""));
+      continue;
+    }
+    LedgerEvent event;
+    event.kind = *parsed_kind;
+    event.at = at->number;
+    if (const json::Value* source = root.find("source");
+        source != nullptr && source->is_string()) {
+      event.source = source->string;
+    }
+    event.instance = read_id(root, "instance");
+    event.worker = read_id(root, "worker");
+    const long long step = read_id(root, "step");
+    event.step = step < 0 ? -1 : static_cast<long>(step);
+    event.seconds = read_number(root, "seconds");
+    event.usd = read_number(root, "usd");
+    if (const json::Value* detail = root.find("detail");
+        detail != nullptr && detail->is_object() && detail->object) {
+      for (const auto& [key, value] : *detail->object) {
+        if (value.is_string()) {
+          event.detail.emplace_back(key, value.string);
+        } else {
+          result.errors.push_back(tag("detail value for \"" + key +
+                                      "\" is not a string"));
+        }
+      }
+    }
+    result.ledger.record(std::move(event));
+  }
+  return result;
+}
+
+}  // namespace cmdare::obs

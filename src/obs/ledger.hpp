@@ -1,0 +1,137 @@
+// Run ledger: a structured, sim-time-ordered event log for a whole run.
+//
+// Counters (Registry) answer "how many?", traces (Tracer) answer "what
+// does the timeline look like?", but neither can answer the paper's core
+// questions — "where did the 41 s of recovery go?" or "which phase
+// dominates $/step under churn?" — because those need *individual
+// events with identity* (which instance, which worker, which step, how
+// long, how much). The Ledger is that third leg: every lifecycle event
+// the sim produces (launch attempt/success/failure, fallback-ladder
+// decision, revocation, heartbeat detection, checkpoint begin / commit /
+// retry, restore, catch-up complete, billing tick, ...) is appended as a
+// LedgerEvent, and obs::analyze folds the finished log into per-incident
+// recovery timelines and the Eq. 4 cost decomposition.
+//
+// Emission contract: recording is strictly *passive* — emitters never
+// consume RNG draws, never schedule simulator events, and guard every
+// append with `if (obs::Ledger* ledger = obs::ledger())`, so a run with
+// telemetry disabled is bit-for-bit identical to one with it enabled.
+//
+// Ordering & determinism: within one simulator the discrete-event loop
+// fires in non-decreasing time, so a single run's ledger is sim-time-
+// ordered by construction. Campaign merges (exp::run_grid) fold replica
+// ledgers in replica-index order with a "replica<r>/" source prefix —
+// the same deterministic order as Registry/Tracer merges — so the
+// merged JSONL is byte-identical for a given seed at any --jobs level:
+// per-source the events are time-ordered, and sources appear in a fixed
+// replica-major order.
+//
+// Serialization is JSONL, one event per line, with a canonical key
+// order, default-valued fields omitted, and shortest-round-trip doubles
+// (util::json::format_number), so parse -> re-serialize is the identity.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "simcore/observer.hpp"
+
+namespace cmdare::obs {
+
+/// Every event kind the sim's layers emit. Names (ledger_event_kind_name)
+/// are the stable serialization tokens — append new kinds at the end and
+/// never rename.
+enum class LedgerEventKind {
+  kLaunchAttempt,      // cloud: request_instance accepted a request
+  kLaunchRunning,      // cloud: instance reached RUNNING (seconds=startup)
+  kLaunchFailed,       // cloud: request failed (stockout/quota)
+  kFallback,           // run: fallback ladder moved (detail stage=...)
+  kPreemptionNotice,   // cloud: revocation notice delivered
+  kRevocation,         // cloud: instance revoked (terminal)
+  kExpiry,             // cloud: instance hit its max lifetime (terminal)
+  kDetection,          // supervisor: failure detected (seconds=latency)
+  kAssign,             // run: worker slot bound to instance (seconds=join delay)
+  kWorkerJoin,         // session: worker became active at step
+  kWorkerRevoked,      // session: worker removed at step
+  kCheckpointBegin,    // session: checkpoint started at step
+  kCheckpointCommit,   // session: checkpoint durable (seconds=duration)
+  kCheckpointRetry,    // session: upload attempt failed, retrying
+  kCheckpointAbandon,  // session: checkpoint abandoned (owner revoked)
+  kUpload,             // store: object PUT completed (seconds, detail bytes)
+  kUploadFailed,       // store: object PUT failed
+  kRestore,            // store: object GET completed (seconds, detail bytes)
+  kRestoreFailed,      // store: object GET failed
+  kRollback,           // session: restart from checkpoint (seconds=lost work)
+  kCatchupComplete,    // run: replacement rejoined (seconds=outage length)
+  kSessionRestart,     // run: full session restart (reconfiguration)
+  kRunComplete,        // run: target steps reached
+  kBilling,            // cloud/run: billed window closed (seconds, usd)
+};
+
+/// Serialization token for `kind` ("launch_attempt", "billing", ...).
+std::string_view ledger_event_kind_name(LedgerEventKind kind);
+
+/// Inverse of ledger_event_kind_name; nullopt for unknown tokens.
+std::optional<LedgerEventKind> ledger_event_kind_from_name(
+    std::string_view name);
+
+/// One ledger entry. Unused id fields stay -1 and numeric fields 0 so
+/// the serializer can omit them.
+struct LedgerEvent {
+  LedgerEventKind kind = LedgerEventKind::kLaunchAttempt;
+  simcore::SimTime at = 0.0;
+  std::string source;    // emitting component, e.g. "cloud", "run";
+                         // campaign merges prepend "replica<r>/" etc.
+  long long instance = -1;
+  long long worker = -1;
+  long step = -1;
+  double seconds = 0.0;  // duration/latency payload, kind-specific
+  double usd = 0.0;      // dollar payload (billing events)
+  LabelSet detail;       // extra kind-specific fields, serialized sorted
+};
+
+/// Append-only event log. Not internally synchronized — same per-thread
+/// sink contract as Registry/Tracer (see obs.hpp).
+class Ledger {
+ public:
+  void record(LedgerEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<LedgerEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Appends `other`'s events with `source_prefix` prepended to each
+  /// event's source. Merging replicas in a fixed index order makes the
+  /// combined ledger deterministic regardless of worker-thread count.
+  void merge(const Ledger& other, std::string_view source_prefix = {});
+
+ private:
+  std::vector<LedgerEvent> events_;
+};
+
+/// Canonical single-line JSON for one event (no trailing newline). Key
+/// order: at, kind, source, instance, worker, step, seconds, usd,
+/// detail — fields at their default values are omitted, detail keys are
+/// emitted sorted.
+std::string serialize_ledger_event(const LedgerEvent& event);
+
+/// One line per event, in ledger order.
+void write_ledger_jsonl(const Ledger& ledger, std::ostream& out);
+
+struct LedgerParseResult {
+  Ledger ledger;                     // successfully parsed events
+  std::vector<std::string> errors;   // "line N: message" per bad line
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parses JSONL text (blank lines ignored). Never throws on malformed
+/// input — bad lines become diagnostics. Events from valid lines are
+/// kept even when other lines fail.
+LedgerParseResult parse_ledger_jsonl(std::string_view text);
+
+}  // namespace cmdare::obs

@@ -26,6 +26,7 @@
 // contract.
 #pragma once
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -36,6 +37,7 @@ namespace cmdare::obs {
 struct Telemetry {
   Registry registry;
   Tracer tracer;
+  Ledger ledger;
 };
 
 namespace detail {
@@ -59,6 +61,10 @@ inline Registry* registry() {
 inline Tracer* tracer() {
   Telemetry* t = detail::g_active;
   return t ? &t->tracer : nullptr;
+}
+inline Ledger* ledger() {
+  Telemetry* t = detail::g_active;
+  return t ? &t->ledger : nullptr;
 }
 inline bool enabled() { return detail::g_active != nullptr; }
 

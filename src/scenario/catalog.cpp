@@ -175,6 +175,8 @@ exp::ReplicaResult detection_replica(const ScenarioCell& cell,
                  static_cast<double>(outcome.false_detections));
   if (outcome.detections > 0) {
     result.observe("detection_latency_s", outcome.detection_latency_p99);
+    result.observe("detection_latency_p50_s", outcome.detection_latency_p50);
+    result.observe("detection_latency_mean_s", outcome.detection_latency_mean);
   }
   // Recovery spans revocation -> replacement running; for abrupt kills it
   // includes the heartbeat detection latency, which is the quantity the

@@ -95,6 +95,7 @@ exp::ReplicaResult resilience_replica(exp::ReplicaContext& context);
 /// short-lived europe-west1 K80 pool with every fault notice-less at
 /// abrupt_kill_rate=1. Observations: "ttr_s" (revocation -> replacement
 /// running, includes detection latency), "detection_latency_s" (p99),
+/// "detection_latency_p50_s", "detection_latency_mean_s",
 /// "detections", "false_detections", "revocations", "abrupt_kills",
 /// "steps", "finished". The catalog sweep crosses
 /// supervise.heartbeat_timeout_s x abrupt_kill_rate; EXPERIMENTS.md

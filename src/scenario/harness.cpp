@@ -56,8 +56,12 @@ util::Table ScenarioResult::table() const {
   table.add_row({"faults_injected", std::to_string(faults_injected)});
   table.add_row({"detections", std::to_string(detections)});
   table.add_row({"false_detections", std::to_string(false_detections)});
+  table.add_row({"detection_latency_p50",
+                 util::format_double(detection_latency_p50, 2)});
   table.add_row({"detection_latency_p99",
                  util::format_double(detection_latency_p99, 2)});
+  table.add_row({"detection_latency_mean",
+                 util::format_double(detection_latency_mean, 2)});
   table.add_row({"interval_retunes", std::to_string(interval_retunes)});
   table.add_row({"fenced_workers", std::to_string(fenced_workers)});
   table.add_row({"hedges_cancelled", std::to_string(hedges_cancelled)});
@@ -168,6 +172,16 @@ const ScenarioResult& SimHarness::result() const {
 }
 
 ScenarioResult SimHarness::collect() {
+  // Close the books before reading them: bill still-running instances
+  // (and the open PS segment) up to now, so a horizon-limited run's
+  // ledger carries every billed second exactly once.
+  if (obs::ledger()) {
+    if (spec_.kind == HarnessKind::kRun && run_) run_->record_billing_tick();
+    if (spec_.kind == HarnessKind::kRun || spec_.kind == HarnessKind::kCloud) {
+      provider_.record_billing_ticks();
+    }
+  }
+
   ScenarioResult result;
   result.sim_now = sim_.now();
   result.checkpoint_blobs = store_.blob_count();
@@ -193,8 +207,11 @@ ScenarioResult SimHarness::collect() {
       if (const supervise::Supervisor* supervisor = run.supervisor()) {
         result.detections = supervisor->detections();
         result.false_detections = supervisor->false_positives();
+        result.detection_latency_p50 =
+            supervisor->detection_latency_quantile(0.50);
         result.detection_latency_p99 =
             supervisor->detection_latency_quantile(0.99);
+        result.detection_latency_mean = supervisor->detection_latency_mean();
         result.interval_retunes = supervisor->controller().retunes();
         result.fenced_workers = run.fenced_workers();
         result.hedges_cancelled = run.hedges_cancelled();

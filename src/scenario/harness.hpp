@@ -60,7 +60,9 @@ struct ScenarioResult {
   // --- supervision (zero unless supervise.enabled) ---
   int detections = 0;
   int false_detections = 0;
+  double detection_latency_p50 = 0.0;
   double detection_latency_p99 = 0.0;
+  double detection_latency_mean = 0.0;
   int interval_retunes = 0;
   int fenced_workers = 0;
   int hedges_cancelled = 0;

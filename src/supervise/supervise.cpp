@@ -386,6 +386,15 @@ void Supervisor::run_sweep() {
                          {{"instance", std::to_string(id)}},
                          /*async=*/true);
       }
+      if (obs::Ledger* ledger = obs::ledger()) {
+        obs::LedgerEvent event;
+        event.kind = obs::LedgerEventKind::kDetection;
+        event.at = now;
+        event.source = "supervisor";
+        event.instance = static_cast<long long>(id);
+        event.seconds = latency;
+        ledger->record(std::move(event));
+      }
     } else {
       // Live instance flagged: a false positive (jitter unluckier than
       // the threshold). The run fences it before replacing.
@@ -394,6 +403,15 @@ void Supervisor::run_sweep() {
       if (obs::Registry* registry = obs::registry()) {
         registry->counter("supervise.detections_total").inc();
         registry->counter("supervise.false_positives_total").inc();
+      }
+      if (obs::Ledger* ledger = obs::ledger()) {
+        obs::LedgerEvent event;
+        event.kind = obs::LedgerEventKind::kDetection;
+        event.at = now;
+        event.source = "supervisor";
+        event.instance = static_cast<long long>(id);
+        event.detail = {{"false_positive", "true"}};
+        ledger->record(std::move(event));
       }
     }
     auto it = watched_.find(id);
@@ -442,6 +460,13 @@ double Supervisor::watched_hazard_rate_per_hour() const {
 double Supervisor::penalty_score(cloud::Region region,
                                  cloud::GpuType gpu) const {
   return estimator_.penalty_score(region, gpu, now_hours());
+}
+
+double Supervisor::detection_latency_mean() const {
+  if (detection_latencies_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double latency : detection_latencies_) sum += latency;
+  return sum / static_cast<double>(detection_latencies_.size());
 }
 
 double Supervisor::detection_latency_quantile(double q) const {

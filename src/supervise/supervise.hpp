@@ -295,6 +295,8 @@ class Supervisor {
   }
   /// Empirical latency quantile (nearest-rank); 0 when nothing detected.
   double detection_latency_quantile(double q) const;
+  /// Mean detection latency; 0 when nothing detected.
+  double detection_latency_mean() const;
 
   const SupervisionConfig& config() const { return config_; }
 

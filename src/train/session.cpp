@@ -114,6 +114,16 @@ void TrainingSession::activate_worker(WorkerId id, bool reuse_chief_ip) {
   if (obs::Registry* registry = obs::registry()) {
     registry->counter("train.worker_joins_total").inc();
   }
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kWorkerJoin;
+    event.at = sim_->now();
+    event.source = "session";
+    event.worker = static_cast<long long>(id);
+    event.step = global_step_;
+    event.detail = {{"label", w.spec.label}};
+    ledger->record(std::move(event));
+  }
   if (!owner_ && !had_owner_ && !reuse_chief_ip) {
     // The first worker to join the session is TensorFlow's chief.
     owner_ = id;
@@ -155,6 +165,16 @@ void TrainingSession::revoke_worker(WorkerId id) {
   }
   if (obs::Registry* registry = obs::registry()) {
     registry->counter("train.worker_revocations_total").inc();
+  }
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kWorkerRevoked;
+    event.at = sim_->now();
+    event.source = "session";
+    event.worker = static_cast<long long>(id);
+    event.step = global_step_;
+    event.detail = {{"label", w.spec.label}};
+    ledger->record(std::move(event));
   }
 
   if (owner_ && *owner_ == id) {
@@ -290,6 +310,15 @@ void TrainingSession::maybe_start_checkpoint(WorkerId id) {
   event.at_step = global_step_;
   event.by_worker = id;
   event.started = sim_->now();
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent entry;
+    entry.kind = obs::LedgerEventKind::kCheckpointBegin;
+    entry.at = sim_->now();
+    entry.source = "session";
+    entry.worker = static_cast<long long>(id);
+    entry.step = global_step_;
+    ledger->record(std::move(entry));
+  }
 
   const std::uint64_t generation = w.generation;
   if (store_ != nullptr) {
@@ -330,11 +359,31 @@ void TrainingSession::start_checkpoint_upload(WorkerId id,
         if (attempt + 1 <= config_.checkpoint_max_retries) {
           LOG_INFO << "checkpoint upload failed (" << error << "), retry "
                    << (attempt + 1) << "/" << config_.checkpoint_max_retries;
+          if (obs::Ledger* ledger = obs::ledger()) {
+            obs::LedgerEvent entry;
+            entry.kind = obs::LedgerEventKind::kCheckpointRetry;
+            entry.at = sim_->now();
+            entry.source = "session";
+            entry.worker = static_cast<long long>(id);
+            entry.step = event.at_step;
+            entry.detail = {{"attempt", std::to_string(attempt + 1)}};
+            ledger->record(std::move(entry));
+          }
           start_checkpoint_upload(id, generation, event, attempt + 1);
         } else {
           LOG_WARN << "checkpoint at step " << event.at_step
                    << " abandoned after "
                    << config_.checkpoint_max_retries + 1 << " attempts";
+          if (obs::Ledger* ledger = obs::ledger()) {
+            obs::LedgerEvent entry;
+            entry.kind = obs::LedgerEventKind::kCheckpointAbandon;
+            entry.at = sim_->now();
+            entry.source = "session";
+            entry.worker = static_cast<long long>(id);
+            entry.step = event.at_step;
+            entry.seconds = sim_->now() - event.started;
+            ledger->record(std::move(entry));
+          }
           abandon_checkpoint(id, generation);
         }
       });
@@ -371,6 +420,16 @@ void TrainingSession::finish_checkpoint(WorkerId id, std::uint64_t generation,
   if (obs::Registry* registry = obs::registry()) {
     registry->counter("train.checkpoints_total").inc();
     registry->histogram("train.checkpoint_seconds").observe(event.duration());
+  }
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent entry;
+    entry.kind = obs::LedgerEventKind::kCheckpointCommit;
+    entry.at = sim_->now();
+    entry.source = "session";
+    entry.worker = static_cast<long long>(event.by_worker);
+    entry.step = event.at_step;
+    entry.seconds = event.duration();
+    ledger->record(std::move(entry));
   }
 
   Worker& w = workers_[id];
@@ -422,6 +481,25 @@ void TrainingSession::rollback_to_last_checkpoint(WorkerId new_chief) {
     registry->histogram("train.rollback_lost_steps")
         .observe(static_cast<double>(global_step_ - last_checkpoint_step_));
   }
+  if (obs::Ledger* ledger = obs::ledger()) {
+    // seconds = wall time being recomputed: now minus the moment the
+    // restored checkpoint's step was originally reached. The analyzer
+    // classifies this window's compute as wasted.
+    double lost = 0.0;
+    if (global_step_ > last_checkpoint_step_) {
+      const auto reached = trace_.try_time_of_step(last_checkpoint_step_);
+      lost = sim_->now() - (reached ? *reached : 0.0);
+    }
+    obs::LedgerEvent entry;
+    entry.kind = obs::LedgerEventKind::kRollback;
+    entry.at = sim_->now();
+    entry.source = "session";
+    entry.worker = static_cast<long long>(new_chief);
+    entry.step = global_step_;
+    entry.seconds = lost;
+    entry.detail = {{"to_step", std::to_string(last_checkpoint_step_)}};
+    ledger->record(std::move(entry));
+  }
   global_step_ = last_checkpoint_step_;
   if (config_.checkpoint_interval_steps > 0) {
     next_checkpoint_step_ =
@@ -434,12 +512,28 @@ void TrainingSession::halt() {
   trace_.record_event(SessionEvent{SessionEventType::kSessionRestart,
                                    sim_->now(), 0, global_step_,
                                    "session halted for reconfiguration"});
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent entry;
+    entry.kind = obs::LedgerEventKind::kSessionRestart;
+    entry.at = sim_->now();
+    entry.source = "session";
+    entry.step = global_step_;
+    ledger->record(std::move(entry));
+  }
 }
 
 void TrainingSession::complete() {
   finished_ = true;
   LOG_DEBUG << "session complete at step " << global_step_ << ", t="
             << sim_->now();
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent entry;
+    entry.kind = obs::LedgerEventKind::kRunComplete;
+    entry.at = sim_->now();
+    entry.source = "session";
+    entry.step = global_step_;
+    ledger->record(std::move(entry));
+  }
   if (on_complete) on_complete();
 }
 

@@ -1,0 +1,83 @@
+// Minimal JSON reader/writer for the repo's own machine artifacts.
+//
+// Two consumers need to read JSON back: the run-ledger JSONL reader
+// (obs/ledger.cpp) and the perf-snapshot checker (bench_snapshot), both
+// of which only ever parse documents this repo wrote itself. The parser
+// is therefore a small strict recursive-descent over the RFC 8259 value
+// grammar — objects, arrays, strings (with escapes), numbers, booleans,
+// null — that fails with a position-tagged error instead of guessing.
+// It must, however, be *safe* on arbitrary bytes (tests/fuzz_test.cpp
+// feeds it garbage): no crashes, bounded recursion, no UB.
+//
+// Numbers are formatted shortest-round-trip via std::to_chars, the same
+// convention as the scenario codec, so write -> parse -> write is
+// byte-identical.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmdare::util::json {
+
+struct Value;
+
+/// std::map keeps object keys sorted, which makes re-serialization
+/// deterministic regardless of insertion order.
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<Array> array;    // set when kind == kArray
+  std::shared_ptr<Object> object;  // set when kind == kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  const Value* find(const std::string& key) const;
+};
+
+Value make_null();
+Value make_bool(bool b);
+Value make_number(double v);
+Value make_string(std::string s);
+Value make_array(Array items = {});
+Value make_object(Object members = {});
+
+struct ParseResult {
+  std::optional<Value> value;  // set on success
+  std::string error;           // "offset N: message" on failure
+  bool ok() const { return value.has_value(); }
+};
+
+/// Parses exactly one JSON value (leading/trailing whitespace allowed;
+/// trailing garbage is an error). Nesting deeper than `max_depth` is
+/// rejected rather than recursed into.
+ParseResult parse(std::string_view text, int max_depth = 64);
+
+/// Escapes `s` for embedding in a JSON string literal (RFC 8259).
+std::string escape(std::string_view s);
+
+/// Shortest decimal representation that round-trips through strtod /
+/// from_chars exactly. Non-finite values (invalid JSON) render as 0.
+std::string format_number(double value);
+
+/// Compact single-line serialization (no whitespace). Object keys are
+/// emitted in map order, so the output is deterministic.
+std::string serialize(const Value& value);
+
+}  // namespace cmdare::util::json

@@ -9,6 +9,7 @@
 
 #include "cmdare/resource_manager.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/ledger.hpp"
 #include "scenario/spec.hpp"
 #include "simcore/simulator.hpp"
 #include "train/session.hpp"
@@ -237,6 +238,50 @@ TEST_P(SpecParseFuzz, RandomBytesNeverCrashTheParser) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Scenarios, SpecParseFuzz, ::testing::Range(0, 8));
+
+class LedgerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(LedgerFuzz, RandomBytesNeverCrashTheReader) {
+  // parse_ledger_jsonl eats whatever file the user hands run_report: any
+  // byte soup must come back as per-line diagnostics, never a throw, and
+  // every event that did parse must re-serialize and re-parse cleanly.
+  util::Rng rng(7000 + GetParam());
+  for (int doc = 0; doc < 50; ++doc) {
+    std::string text;
+    const std::size_t length = rng.uniform_index(2000);
+    text.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      if (rng.bernoulli(0.2)) {
+        // Bias toward JSONL structure so parsing reaches field handling:
+        // braces, quoted keys, kind tokens, numbers, escapes.
+        static const char* kFragments[] = {
+            "\n", "{", "}", "\"", ":", ",", "\"at\"", "\"kind\"",
+            "\"source\"", "\"instance\"", "\"worker\"", "\"step\"",
+            "\"seconds\"", "\"usd\"", "\"detail\"", "billing",
+            "launch_attempt", "revocation", "catchup_complete", "-1",
+            "1e308", "0.25", "\\u00e9", "\\\"", "true", "null", "[", "]"};
+        text += kFragments[rng.uniform_index(std::size(kFragments))];
+      } else {
+        text += static_cast<char>(rng.uniform_index(256));
+      }
+    }
+    const obs::LedgerParseResult result = obs::parse_ledger_jsonl(text);
+    for (const std::string& error : result.errors) {
+      EXPECT_EQ(error.find("line "), 0u) << error;
+    }
+    // Survivors round-trip: serialize -> parse -> serialize is stable.
+    std::ostringstream out;
+    obs::write_ledger_jsonl(result.ledger, out);
+    const obs::LedgerParseResult again = obs::parse_ledger_jsonl(out.str());
+    EXPECT_TRUE(again.ok());
+    EXPECT_EQ(again.ledger.size(), result.ledger.size());
+    std::ostringstream out2;
+    obs::write_ledger_jsonl(again.ledger, out2);
+    EXPECT_EQ(out2.str(), out.str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ledgers, LedgerFuzz, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace cmdare

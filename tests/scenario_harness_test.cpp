@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/ledger.hpp"
 #include "scenario/catalog.hpp"
 #include "scenario/harness.hpp"
 #include "scenario/sweep.hpp"
@@ -278,6 +279,131 @@ TEST(ScenarioCampaign, DefaultReplicaReportsStandardMetrics) {
     EXPECT_TRUE(agg.metrics.count(metric)) << metric;
   }
   EXPECT_DOUBLE_EQ(agg.metrics.at("finished").running.mean(), 1.0);
+}
+
+
+// --- golden run ledger (seed 2020, shrunk resilience sweep) -----------
+
+// Captured from the campaign below at jobs=1 when the ledger layer was
+// introduced. Byte-identity across job counts is the determinism
+// contract of obs::Ledger + exp::run_grid's ordered fold; any drift in
+// emission sites, event ordering, serialization, or merge prefixes
+// fails this pin.
+constexpr const char* kGoldenLedgerJsonl = &R"LEDGER(
+{"at":0,"kind":"launch_attempt","source":"cell0/replica0/cloud","instance":0,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":0,"kind":"launch_attempt","source":"cell0/replica0/cloud","instance":1,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":0,"kind":"launch_attempt","source":"cell0/replica0/cloud","instance":2,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":2,"kind":"launch_failed","source":"cell0/replica0/cloud","instance":0,"detail":{"reason":"stockout"}}
+{"at":2,"kind":"launch_failed","source":"cell0/replica0/cloud","instance":1,"detail":{"reason":"stockout"}}
+{"at":2,"kind":"launch_failed","source":"cell0/replica0/cloud","instance":2,"detail":{"reason":"stockout"}}
+{"at":5.20879349220081,"kind":"launch_attempt","source":"cell0/replica0/cloud","instance":3,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":5.238215251214538,"kind":"launch_attempt","source":"cell0/replica0/cloud","instance":4,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":6.9864206857896125,"kind":"launch_attempt","source":"cell0/replica0/cloud","instance":5,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":7.20879349220081,"kind":"launch_failed","source":"cell0/replica0/cloud","instance":3,"detail":{"reason":"stockout"}}
+{"at":7.20879349220081,"kind":"fallback","source":"cell0/replica0/run","instance":3,"detail":{"stage":"region"}}
+{"at":7.238215251214538,"kind":"launch_failed","source":"cell0/replica0/cloud","instance":4,"detail":{"reason":"stockout"}}
+{"at":7.238215251214538,"kind":"fallback","source":"cell0/replica0/run","instance":4,"detail":{"stage":"region"}}
+{"at":8.986420685789613,"kind":"launch_failed","source":"cell0/replica0/cloud","instance":5,"detail":{"reason":"stockout"}}
+{"at":8.986420685789613,"kind":"fallback","source":"cell0/replica0/run","instance":5,"detail":{"stage":"region"}}
+{"at":15.735197120732833,"kind":"launch_attempt","source":"cell0/replica0/cloud","instance":6,"detail":{"gpu":"K80","region":"us-east1","transient":"true"}}
+{"at":16.238606043504525,"kind":"launch_attempt","source":"cell0/replica0/cloud","instance":7,"detail":{"gpu":"K80","region":"us-east1","transient":"true"}}
+{"at":17.444231562578086,"kind":"launch_attempt","source":"cell0/replica0/cloud","instance":8,"detail":{"gpu":"K80","region":"us-east1","transient":"true"}}
+{"at":96.75306095854029,"kind":"launch_running","source":"cell0/replica0/cloud","instance":6,"seconds":81.01786383780745,"detail":{"gpu":"K80","region":"us-east1"}}
+{"at":96.75306095854029,"kind":"assign","source":"cell0/replica0/run","instance":6,"worker":0,"seconds":82.71179948257061}
+{"at":100.7593479233055,"kind":"launch_running","source":"cell0/replica0/cloud","instance":8,"seconds":83.31511636072742,"detail":{"gpu":"K80","region":"us-east1"}}
+{"at":100.7593479233055,"kind":"assign","source":"cell0/replica0/run","instance":8,"worker":1,"seconds":70.85269007405456}
+{"at":113.8653454068315,"kind":"launch_running","source":"cell0/replica0/cloud","instance":7,"seconds":97.62673936332696,"detail":{"gpu":"K80","region":"us-east1"}}
+{"at":113.8653454068315,"kind":"assign","source":"cell0/replica0/run","instance":7,"worker":2,"seconds":69.28645462396017}
+{"at":148.33078041323697,"kind":"preemption_notice","source":"cell0/replica0/cloud","instance":6,"seconds":30}
+{"at":171.61203799736006,"kind":"worker_join","source":"cell0/replica0/session","worker":1,"step":0,"detail":{"label":"resnet-15"}}
+{"at":178.33078041323697,"kind":"revocation","source":"cell0/replica0/cloud","instance":6,"detail":{"abrupt":"false","gpu":"K80"}}
+{"at":178.33078041323697,"kind":"billing","source":"cell0/replica0/cloud","instance":6,"seconds":81.57771945469668,"usd":0.0030591644795511254,"detail":{"gpu":"K80","transient":"true"}}
+{"at":178.33078041323697,"kind":"launch_attempt","source":"cell0/replica0/cloud","instance":9,"detail":{"gpu":"K80","region":"us-east1","transient":"true"}}
+{"at":179.4648604411109,"kind":"worker_join","source":"cell0/replica0/session","worker":0,"step":42,"detail":{"label":"resnet-15"}}
+{"at":180.14747884550195,"kind":"checkpoint_begin","source":"cell0/replica0/session","worker":1,"step":50}
+{"at":183.15180003079166,"kind":"worker_join","source":"cell0/replica0/session","worker":2,"step":64,"detail":{"label":"resnet-15"}}
+{"at":183.69596194400265,"kind":"upload","source":"cell0/replica0/store","seconds":3.5484830985006965,"detail":{"bytes":"2909820","key":"ckpt-step-50"}}
+{"at":183.69596194400265,"kind":"checkpoint_commit","source":"cell0/replica0/session","worker":1,"step":50,"seconds":3.5484830985006965}
+{"at":185.43110011648156,"kind":"checkpoint_begin","source":"cell0/replica0/session","worker":1,"step":101}
+{"at":188.85282896218504,"kind":"upload","source":"cell0/replica0/store","seconds":3.421728845703484,"detail":{"bytes":"2909820","key":"ckpt-step-101"}}
+{"at":188.85282896218504,"kind":"checkpoint_commit","source":"cell0/replica0/session","worker":1,"step":101,"seconds":3.421728845703484}
+{"at":189.12684458570797,"kind":"checkpoint_begin","source":"cell0/replica0/session","worker":1,"step":150}
+{"at":192.32045877237616,"kind":"run_complete","source":"cell0/replica0/session","step":200}
+{"at":192.32045877237616,"kind":"billing","source":"cell0/replica0/run","seconds":192.32045877237616,"usd":0.01015024643520874,"detail":{"component":"ps","ps_count":"1"}}
+{"at":192.32045877237616,"kind":"billing","source":"cell0/replica0/cloud","instance":7,"seconds":78.45511336554466,"usd":0.002942066751207925,"detail":{"gpu":"K80","transient":"true"}}
+{"at":192.32045877237616,"kind":"billing","source":"cell0/replica0/cloud","instance":8,"seconds":91.56111084907066,"usd":0.00343354165684015,"detail":{"gpu":"K80","transient":"true"}}
+{"at":192.71619966990673,"kind":"upload","source":"cell0/replica0/store","seconds":3.5893550841987576,"detail":{"bytes":"2909820","key":"ckpt-step-150"}}
+{"at":192.71619966990673,"kind":"checkpoint_commit","source":"cell0/replica0/session","worker":1,"step":150,"seconds":3.5893550841987576}
+{"at":0,"kind":"launch_attempt","source":"cell0/replica1/cloud","instance":0,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":0,"kind":"launch_attempt","source":"cell0/replica1/cloud","instance":1,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":0,"kind":"launch_attempt","source":"cell0/replica1/cloud","instance":2,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":2,"kind":"launch_failed","source":"cell0/replica1/cloud","instance":0,"detail":{"reason":"stockout"}}
+{"at":2,"kind":"launch_failed","source":"cell0/replica1/cloud","instance":1,"detail":{"reason":"stockout"}}
+{"at":2,"kind":"launch_failed","source":"cell0/replica1/cloud","instance":2,"detail":{"reason":"stockout"}}
+{"at":5.016265019353369,"kind":"launch_attempt","source":"cell0/replica1/cloud","instance":3,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":5.24712246528047,"kind":"launch_attempt","source":"cell0/replica1/cloud","instance":4,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":5.253007977959837,"kind":"launch_attempt","source":"cell0/replica1/cloud","instance":5,"detail":{"gpu":"K80","region":"us-central1","transient":"true"}}
+{"at":7.016265019353369,"kind":"launch_failed","source":"cell0/replica1/cloud","instance":3,"detail":{"reason":"stockout"}}
+{"at":7.016265019353369,"kind":"fallback","source":"cell0/replica1/run","instance":3,"detail":{"stage":"region"}}
+{"at":7.24712246528047,"kind":"launch_failed","source":"cell0/replica1/cloud","instance":4,"detail":{"reason":"stockout"}}
+{"at":7.24712246528047,"kind":"fallback","source":"cell0/replica1/run","instance":4,"detail":{"stage":"region"}}
+{"at":7.253007977959837,"kind":"launch_failed","source":"cell0/replica1/cloud","instance":5,"detail":{"reason":"stockout"}}
+{"at":7.253007977959837,"kind":"fallback","source":"cell0/replica1/run","instance":5,"detail":{"stage":"region"}}
+{"at":13.727478615610014,"kind":"launch_attempt","source":"cell0/replica1/cloud","instance":6,"detail":{"gpu":"K80","region":"us-east1","transient":"true"}}
+{"at":15.172790786394943,"kind":"launch_attempt","source":"cell0/replica1/cloud","instance":7,"detail":{"gpu":"K80","region":"us-east1","transient":"true"}}
+{"at":16.945231496886265,"kind":"launch_attempt","source":"cell0/replica1/cloud","instance":8,"detail":{"gpu":"K80","region":"us-east1","transient":"true"}}
+{"at":79.50130612880179,"kind":"launch_running","source":"cell0/replica1/cloud","instance":6,"seconds":65.77382751319178,"detail":{"gpu":"K80","region":"us-east1"}}
+{"at":79.50130612880179,"kind":"assign","source":"cell0/replica1/run","instance":6,"worker":0,"seconds":77.35404472373204}
+{"at":79.52388412705176,"kind":"launch_running","source":"cell0/replica1/cloud","instance":7,"seconds":64.35109334065682,"detail":{"gpu":"K80","region":"us-east1"}}
+{"at":79.52388412705176,"kind":"assign","source":"cell0/replica1/run","instance":7,"worker":1,"seconds":82.92041986859729}
+{"at":123.21810445971958,"kind":"launch_running","source":"cell0/replica1/cloud","instance":8,"seconds":106.27287296283332,"detail":{"gpu":"K80","region":"us-east1"}}
+{"at":123.21810445971958,"kind":"assign","source":"cell0/replica1/run","instance":8,"worker":2,"seconds":74.62013939180768}
+{"at":156.85535085253383,"kind":"worker_join","source":"cell0/replica1/session","worker":0,"step":0,"detail":{"label":"resnet-15"}}
+{"at":162.44430399564905,"kind":"worker_join","source":"cell0/replica1/session","worker":1,"step":27,"detail":{"label":"resnet-15"}}
+{"at":164.61460796391492,"kind":"checkpoint_begin","source":"cell0/replica1/session","worker":0,"step":50}
+{"at":168.39434514347244,"kind":"upload","source":"cell0/replica1/store","seconds":3.7797371795575145,"detail":{"bytes":"2909820","key":"ckpt-step-50"}}
+{"at":168.39434514347244,"kind":"checkpoint_commit","source":"cell0/replica1/session","worker":0,"step":50,"seconds":3.7797371795575145}
+{"at":170.25680091173274,"kind":"checkpoint_begin","source":"cell0/replica1/session","worker":0,"step":100}
+{"at":173.81500536547753,"kind":"upload","source":"cell0/replica1/store","seconds":3.5582044537447928,"detail":{"bytes":"2909820","key":"ckpt-step-100"}}
+{"at":173.81500536547753,"kind":"checkpoint_commit","source":"cell0/replica1/session","worker":0,"step":100,"seconds":3.5582044537447928}
+{"at":175.07131755075136,"kind":"checkpoint_begin","source":"cell0/replica1/session","worker":0,"step":150}
+{"at":180.494746478611,"kind":"run_complete","source":"cell0/replica1/session","step":200}
+{"at":180.494746478611,"kind":"billing","source":"cell0/replica1/run","seconds":180.494746478611,"usd":0.009526111619704469,"detail":{"component":"ps","ps_count":"1"}}
+{"at":180.494746478611,"kind":"billing","source":"cell0/replica1/cloud","instance":6,"seconds":100.99344034980922,"usd":0.003787254013117846,"detail":{"gpu":"K80","transient":"true"}}
+{"at":180.494746478611,"kind":"billing","source":"cell0/replica1/cloud","instance":7,"seconds":100.97086235155925,"usd":0.0037864073381834724,"detail":{"gpu":"K80","transient":"true"}}
+{"at":180.494746478611,"kind":"billing","source":"cell0/replica1/cloud","instance":8,"seconds":57.27664201889142,"usd":0.002147874075708429,"detail":{"gpu":"K80","transient":"true"}}
+{"at":185.75053757446224,"kind":"upload_failed","source":"cell0/replica1/store","seconds":10.679220023710883,"detail":{"key":"ckpt-step-150"}}
+)LEDGER"[1];
+
+std::string golden_ledger_jsonl(int jobs) {
+  ScenarioSweep sweep;
+  sweep.name = "ledger-golden";
+  sweep.base = resilience_demo_spec();
+  sweep.base.max_steps = 200;
+  sweep.base.checkpoint_interval_steps = 50;
+  sweep.replicas = 2;
+  sweep.seed = 2020;
+  exp::RunOptions options;
+  options.jobs = jobs;
+  options.capture_telemetry = true;
+  const ScenarioCampaignResult result = run_scenario_campaign(sweep, options);
+  std::ostringstream out;
+  obs::write_ledger_jsonl(result.telemetry->ledger, out);
+  return out.str();
+}
+
+TEST(ScenarioLedger, GoldenLedgerByteIdenticalAtAnyJobs) {
+  EXPECT_EQ(golden_ledger_jsonl(1), kGoldenLedgerJsonl);
+  EXPECT_EQ(golden_ledger_jsonl(4), kGoldenLedgerJsonl);
+}
+
+TEST(ScenarioLedger, GoldenLedgerRoundTripsThroughTheReader) {
+  const obs::LedgerParseResult parsed =
+      obs::parse_ledger_jsonl(kGoldenLedgerJsonl);
+  EXPECT_TRUE(parsed.ok());
+  std::ostringstream out;
+  obs::write_ledger_jsonl(parsed.ledger, out);
+  EXPECT_EQ(out.str(), kGoldenLedgerJsonl);
 }
 
 }  // namespace
