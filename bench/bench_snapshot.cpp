@@ -34,6 +34,7 @@
 #include "nn/model_zoo.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
+#include "scenario/catalog.hpp"
 #include "scenario/sweep.hpp"
 #include "simcore/simulator.hpp"
 #include "train/cluster.hpp"
@@ -199,11 +200,60 @@ MetricMap run_speed() {
   return metrics;
 }
 
+// --- fleet suite -----------------------------------------------------------
+
+/// A shrunk fleet market sweep (32 tenants, 6 h horizon, one cell per
+/// scheduler policy) on one thread: exercises the shared-provider market
+/// tick, endogenous clearing, and both global schedulers end to end, so
+/// a perf regression anywhere in the fleet path shows up as tenant-step
+/// throughput loss.
+MetricMap run_fleet() {
+  const scenario::NamedScenarioSweep& named = scenario::sweep_by_name("fleet");
+  scenario::ScenarioSweep sweep = named.sweep;
+  sweep.name = "bench-fleet";
+  sweep.base.fleet.tenants = 32;
+  sweep.base.fleet.min_steps = 2000;
+  sweep.base.fleet.max_steps = 8000;
+  sweep.base.fleet.checkpoint_interval_steps = 200;
+  sweep.base.horizon_hours = 6.0;
+  sweep.axes = {{"fleet.demand", {"2"}},
+                {"fleet.scheduler", {"round-robin", "cost-optimal"}}};
+  sweep.replicas = 2;
+  sweep.seed = 2020;
+
+  exp::RunOptions options;
+  options.jobs = 1;
+
+  long total_steps = 0;
+  std::size_t total_replicas = 0;
+  const double secs = best_seconds([&] {
+    const scenario::ScenarioCampaignResult result =
+        scenario::run_scenario_campaign(sweep, options, named.replica);
+    total_steps = 0;
+    total_replicas = result.progress.replicas_done;
+    for (const exp::CellAggregate& agg : result.aggregates) {
+      const auto it = agg.metrics.find("steps");
+      if (it != agg.metrics.end()) {
+        total_steps += static_cast<long>(it->second.running.mean() *
+                                         it->second.running.count());
+      }
+    }
+  });
+
+  MetricMap metrics;
+  metrics["replicas_per_sec"] = {static_cast<double>(total_replicas) / secs,
+                                 true};
+  metrics["tenant_steps_per_sec"] = {static_cast<double>(total_steps) / secs,
+                                     true};
+  return metrics;
+}
+
 // --- snapshot codec --------------------------------------------------------
 
 MetricMap run_kind(const std::string& kind) {
   if (kind == "micro") return run_micro();
   if (kind == "speed") return run_speed();
+  if (kind == "fleet") return run_fleet();
   return {};
 }
 
@@ -337,7 +387,8 @@ int main(int argc, char** argv) {
 
   util::ArgParser args("bench_snapshot",
                        "Write or check BENCH_*.json performance snapshots.");
-  args.add_value("kind", "micro|speed", "suite to run (write mode)", &kind);
+  args.add_value("kind", "micro|speed|fleet", "suite to run (write mode)",
+                 &kind);
   args.add_value("out", "FILE", "write the snapshot to FILE", &out_path);
   args.add_repeated("check", "FILE",
                     "check a snapshot file (repeatable); exit 1 on any "
@@ -381,8 +432,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (kind != "micro" && kind != "speed") {
-    std::fprintf(stderr, "error: --kind wants micro or speed\n");
+  if (kind != "micro" && kind != "speed" && kind != "fleet") {
+    std::fprintf(stderr, "error: --kind wants micro, speed, or fleet\n");
     return 1;
   }
   const MetricMap metrics = run_kind(kind);

@@ -19,13 +19,20 @@
 //                   recovery-timeline / cost-decomposition report
 //   --metrics PFX   print registry series whose name starts with PFX as
 //                   CSV (kind,name,labels,field,value)
+//
+// Discovery:
+//   --list          print the named-campaign catalog plus every checked-in
+//                   scenarios/*.scn file with a one-line description
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "obs/analyze.hpp"
+#include "scenario/catalog.hpp"
 #include "scenario/harness.hpp"
 #include "scenario/sweep.hpp"
 #include "util/args.hpp"
@@ -71,6 +78,59 @@ int emit_observability(obs::Telemetry* telemetry, const std::string& ledger_path
   return 0;
 }
 
+/// First `# ...` comment line of a .scn file, as its catalog description.
+std::string scn_description(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = std::string(util::trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed[0] != '#') break;  // spec body reached: no description
+    const std::string text = std::string(util::trim(trimmed.substr(1)));
+    if (!text.empty()) return text;
+  }
+  return "";
+}
+
+/// `--list`: the named campaign/sweep catalog, then every checked-in
+/// scenarios/*.scn (searched relative to the working directory).
+int print_catalog_listing() {
+  util::Table campaigns({"campaign", "cells", "replicas", "description"});
+  for (const scenario::NamedCampaign& c : scenario::named_campaigns()) {
+    campaigns.add_row({c.name, std::to_string(exp::cell_count(c.spec)),
+                       std::to_string(c.spec.replicas), c.description});
+  }
+  for (const scenario::NamedScenarioSweep& s : scenario::named_sweeps()) {
+    campaigns.add_row({s.name,
+                       std::to_string(scenario::expand(s.sweep).size()),
+                       std::to_string(s.sweep.replicas), s.description});
+  }
+  campaigns.set_title("Named campaigns (run with cmdare_campaign <name>):");
+  campaigns.render(std::cout);
+
+  const std::filesystem::path dir = "scenarios";
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".scn") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::printf("\n(no %s directory here — run from the repo root to list "
+                "checked-in scenario files)\n",
+                dir.string().c_str());
+    return 0;
+  }
+  std::sort(files.begin(), files.end());
+  util::Table scenarios({"file", "description"});
+  for (const std::filesystem::path& file : files) {
+    scenarios.add_row({file.string(), scn_description(file)});
+  }
+  scenarios.set_title("Scenario files (run with scenario_runner <file>):");
+  std::printf("\n");
+  scenarios.render(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,10 +146,12 @@ int main(int argc, char** argv) {
   std::string metrics_prefix;
   bool print_only = false;
   bool quiet = false;
+  bool list = false;
 
   util::ArgParser args("scenario_runner",
                        "Run a declarative scenario (.scn) file.");
-  args.add_positional("spec.scn", "scenario file to run", &path);
+  args.add_positional("spec.scn", "scenario file to run", &path,
+                      /*required=*/false);
   args.add_repeated("set", "key=value", "override one spec field", &sets);
   args.add_repeated("sweep", "key=v1,v2,...",
                     "sweep a spec field (turns the run into a campaign)",
@@ -110,6 +172,9 @@ int main(int argc, char** argv) {
   args.add_flag("print", "print the canonical spec text and exit",
                 &print_only);
   args.add_flag("quiet", "suppress the campaign progress line", &quiet);
+  args.add_flag("list",
+                "list named campaigns and checked-in scenario files, then exit",
+                &list);
 
   std::string error;
   if (!args.parse(argc, argv, &error)) {
@@ -120,6 +185,12 @@ int main(int argc, char** argv) {
   if (args.help_requested()) {
     std::fputs(args.help_text().c_str(), stdout);
     return 0;
+  }
+  if (list) return print_catalog_listing();
+  if (path.empty()) {
+    std::fprintf(stderr, "error: missing spec.scn (or pass --list)\n%s",
+                 args.help_text().c_str());
+    return 1;
   }
 
   std::ifstream in(path);

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 (full build + full ctest), the fault/supervise/
-# obs label suites rebuilt under AddressSanitizer, and the
-# concurrency-heavy tests (obs, campaign engine, supervised sweeps)
-# under ThreadSanitizer. The perf-snapshot gate (--bench) is explicit
+# obs/fleet label suites rebuilt under AddressSanitizer, and the
+# concurrency-heavy tests (obs, campaign engine, supervised sweeps,
+# fleet campaigns) under ThreadSanitizer. The perf-snapshot gate (--bench) is explicit
 # only: it re-runs bench_snapshot against the checked-in BENCH_*.json
 # and fails on a regression beyond the tolerance band.
 #
@@ -44,12 +44,12 @@ if $run_tier1; then
 fi
 
 if $run_asan; then
-  echo "=== asan: faults + supervise + obs labels under AddressSanitizer ==="
+  echo "=== asan: faults + supervise + obs + fleet labels under AddressSanitizer ==="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMDARE_SANITIZE=address
   cmake --build build-asan -j "$jobs"
-  ctest --test-dir build-asan -L 'faults|supervise|obs' --output-on-failure \
-    -j "$jobs"
+  ctest --test-dir build-asan -L 'faults|supervise|obs|fleet' \
+    --output-on-failure -j "$jobs"
 fi
 
 if $run_tsan; then
@@ -58,14 +58,15 @@ if $run_tsan; then
     -DCMDARE_SANITIZE=thread
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R '^(ObsConcurrency|ThreadPool|Campaign|CampaignSpec|HeartbeatDetector|HazardEstimator|AdaptiveCheckpointController|SupervisedRun|DetectionCampaign)\.'
+    -R '^(ObsConcurrency|ThreadPool|Campaign|CampaignSpec|HeartbeatDetector|HazardEstimator|AdaptiveCheckpointController|SupervisedRun|DetectionCampaign|FleetCampaign)\.'
 fi
 
 if $run_bench; then
   echo "=== bench: perf-snapshot regression gate ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j "$jobs" --target bench_snapshot
-  ./build/bench/bench_snapshot --check BENCH_micro.json --check BENCH_speed.json
+  ./build/bench/bench_snapshot --check BENCH_micro.json \
+    --check BENCH_speed.json --check BENCH_fleet.json
 fi
 
 echo "CI OK"

@@ -1,5 +1,6 @@
 #include "cloud/provider.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
@@ -73,6 +74,11 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
   record.startup = startup_model_.sample(request.gpu, request.region,
                                          request.transient, request.context,
                                          rng_);
+  record.price_per_hour =
+      request.transient
+          ? gpu_spec(request.gpu).transient_price *
+                pool(request.region, request.gpu).price_multiplier
+          : gpu_spec(request.gpu).on_demand_price;
   records_.push_back(record);
   callbacks_.push_back(std::move(callbacks));
   pending_events_.emplace_back();
@@ -97,13 +103,23 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
     ledger->record(std::move(event));
   }
 
-  // Fault layer: a stockout window or a transient launch error denies the
-  // request; the caller hears about it via on_request_failed after the
-  // API round-trip. Stockouts model exhausted *preemptible* capacity, so
-  // on-demand requests bypass them (this is what makes the fallback
-  // ladder's on-demand rung a guaranteed way out).
-  if (fault_injector_ != nullptr) {
-    std::optional<RequestFailureReason> failure;
+  // Denial paths, checked in market-then-fault order. An endogenous
+  // stockout — a finite-capacity pool with every transient slot held —
+  // needs no fault injector: it is the market itself saying no. The
+  // fault layer then adds exogenous stockout windows and transient
+  // launch errors. Either way the caller hears about it via
+  // on_request_failed after the API round-trip. Stockouts model
+  // exhausted *preemptible* capacity, so on-demand requests bypass them
+  // (this is what makes the fallback ladder's on-demand rung a
+  // guaranteed way out).
+  std::optional<RequestFailureReason> failure;
+  {
+    const PoolState& p = pool(request.region, request.gpu);
+    if (request.transient && p.capacity >= 0 && p.live >= p.capacity) {
+      failure = RequestFailureReason::kStockout;
+    }
+  }
+  if (!failure && fault_injector_ != nullptr) {
     if (request.transient &&
         fault_injector_->stocked_out(request.region, request.gpu,
                                      sim_->now())) {
@@ -111,36 +127,40 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
     } else if (fault_injector_->launch_error()) {
       failure = RequestFailureReason::kLaunchError;
     }
-    if (failure) {
-      pending_events_[id] = sim_->schedule_after(
-          kRequestFailureResponseSeconds,
-          [this, id, reason = *failure] {
-            if (!records_[id].alive()) return;  // terminated meanwhile
-            finish(id, InstanceState::kFailed);
-            if (obs::Registry* registry = obs::registry()) {
-              registry
-                  ->counter("cloud.request_failures_total",
-                            {{"reason", request_failure_reason_name(reason)}})
-                  .inc();
-            }
-            if (obs::Ledger* ledger = obs::ledger()) {
-              obs::LedgerEvent event;
-              event.kind = obs::LedgerEventKind::kLaunchFailed;
-              event.at = sim_->now();
-              event.source = "cloud";
-              event.instance = static_cast<long long>(id);
-              event.detail = {
-                  {"reason", request_failure_reason_name(reason)}};
-              ledger->record(std::move(event));
-            }
-            if (callbacks_[id].on_request_failed) {
-              callbacks_[id].on_request_failed(id, reason);
-            }
-          },
-          "provider.request_failed");
-      return id;
-    }
   }
+  if (failure) {
+    pending_events_[id] = sim_->schedule_after(
+        kRequestFailureResponseSeconds,
+        [this, id, reason = *failure] {
+          if (!records_[id].alive()) return;  // terminated meanwhile
+          finish(id, InstanceState::kFailed);
+          if (obs::Registry* registry = obs::registry()) {
+            registry
+                ->counter("cloud.request_failures_total",
+                          {{"reason", request_failure_reason_name(reason)}})
+                .inc();
+          }
+          if (obs::Ledger* ledger = obs::ledger()) {
+            obs::LedgerEvent event;
+            event.kind = obs::LedgerEventKind::kLaunchFailed;
+            event.at = sim_->now();
+            event.source = "cloud";
+            event.instance = static_cast<long long>(id);
+            event.detail = {
+                {"reason", request_failure_reason_name(reason)}};
+            ledger->record(std::move(event));
+          }
+          if (callbacks_[id].on_request_failed) {
+            callbacks_[id].on_request_failed(id, reason);
+          }
+        },
+        "provider.request_failed");
+    return id;
+  }
+
+  // The request is accepted: a transient instance holds a pool slot from
+  // here to its terminal state (denied requests above never took one).
+  if (request.transient) ++pool(request.region, request.gpu).live;
 
   // Lifecycle: PROVISIONING -> STAGING -> RUNNING.
   const StartupBreakdown& startup = records_[id].startup;
@@ -191,7 +211,19 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
       ledger->record(std::move(event));
     }
 
-    if (r.request.transient) {
+    if (r.request.transient && !hazard_revocations_) {
+      // Hazard draws disabled (fleet market mode): only the platform's
+      // hard 24 h lifetime cap ends the instance on its own — every
+      // earlier revocation must come through reclaim().
+      pending_events_[id] = sim_->schedule_after(
+          kMaxTransientLifetimeSeconds,
+          [this, id] {
+            if (!records_[id].alive()) return;
+            finish(id, InstanceState::kExpired);
+            if (callbacks_[id].on_revoked) callbacks_[id].on_revoked(id);
+          },
+          "provider.lifecycle");
+    } else if (r.request.transient) {
       // Sample the revocation age from the hazard model; the 24h cap is
       // represented by a nullopt sample.
       const auto age = revocation_model_.sample_revocation_age_seconds(
@@ -258,10 +290,25 @@ void CloudProvider::terminate(InstanceId id) {
   finish(id, InstanceState::kTerminated);
 }
 
-void CloudProvider::finish(InstanceId id, InstanceState terminal) {
+void CloudProvider::reclaim(InstanceId id, const char* reason) {
+  InstanceRecord& r = mutable_record(id);
+  if (!r.alive()) return;
+  pending_events_[id].cancel();
+  pending_notices_[id].cancel();
+  finish(id, InstanceState::kRevoked, reason);
+  if (callbacks_[id].on_revoked) callbacks_[id].on_revoked(id);
+}
+
+void CloudProvider::finish(InstanceId id, InstanceState terminal,
+                           const char* reason) {
   InstanceRecord& r = mutable_record(id);
   r.state = terminal;
   r.ended_at = sim_->now();
+  // Release the pool slot. Denied requests (kFailed) never took one.
+  if (r.request.transient && terminal != InstanceState::kFailed) {
+    PoolState& p = pool(r.request.region, r.request.gpu);
+    if (p.live > 0) --p.live;
+  }
   if (terminal == InstanceState::kRevoked ||
       terminal == InstanceState::kExpired) {
     if (obs::Tracer* tracer = obs::tracer()) {
@@ -292,6 +339,7 @@ void CloudProvider::finish(InstanceId id, InstanceState terminal) {
       event.instance = static_cast<long long>(id);
       event.detail = {{"abrupt", r.abrupt_kill ? "true" : "false"},
                       {"gpu", gpu_name(r.request.gpu)}};
+      if (reason != nullptr) event.detail.push_back({"reason", reason});
       ledger->record(std::move(event));
     }
   }
@@ -356,16 +404,77 @@ double CloudProvider::instance_cost(InstanceId id) const {
   if (r.running_at < 0.0) return 0.0;
   const double end = r.ended_at >= 0.0 ? r.ended_at : sim_->now();
   const double hours = (end - r.running_at) / 3600.0;
-  const GpuSpec& spec = gpu_spec(r.request.gpu);
-  const double rate =
-      r.request.transient ? spec.transient_price : spec.on_demand_price;
-  return hours * rate;
+  // The rate was locked in at request time (list price x spot
+  // multiplier); with no market configured it equals the list price.
+  return hours * r.price_per_hour;
 }
 
 double CloudProvider::total_cost() const {
   double sum = 0.0;
   for (const InstanceRecord& r : records_) sum += instance_cost(r.id);
   return sum;
+}
+
+PoolState& CloudProvider::pool(Region region, GpuType gpu) {
+  return pools_[static_cast<int>(region)][static_cast<int>(gpu)];
+}
+
+const PoolState& CloudProvider::pool(Region region, GpuType gpu) const {
+  return pools_[static_cast<int>(region)][static_cast<int>(gpu)];
+}
+
+void CloudProvider::set_pool_capacity(Region region, GpuType gpu,
+                                      int capacity) {
+  if (capacity < -1) {
+    throw std::invalid_argument(
+        "set_pool_capacity: capacity must be >= 0 (or -1 = unbounded)");
+  }
+  pool(region, gpu).capacity = capacity;
+}
+
+int CloudProvider::pool_capacity(Region region, GpuType gpu) const {
+  return pool(region, gpu).capacity;
+}
+
+int CloudProvider::live_transient_count(Region region, GpuType gpu) const {
+  return pool(region, gpu).live;
+}
+
+void CloudProvider::set_price_multiplier(Region region, GpuType gpu,
+                                         double multiplier) {
+  if (!(multiplier > 0.0) || !std::isfinite(multiplier)) {
+    throw std::invalid_argument(
+        "set_price_multiplier: multiplier must be finite and > 0");
+  }
+  pool(region, gpu).price_multiplier = multiplier;
+}
+
+double CloudProvider::price_multiplier(Region region, GpuType gpu) const {
+  return pool(region, gpu).price_multiplier;
+}
+
+double CloudProvider::current_transient_price(Region region,
+                                              GpuType gpu) const {
+  return gpu_spec(gpu).transient_price * pool(region, gpu).price_multiplier;
+}
+
+void CloudProvider::export_market_gauges() const {
+  obs::Registry* registry = obs::registry();
+  if (registry == nullptr) return;
+  for (const Region region : kAllRegions) {
+    for (const GpuType gpu : kAllGpuTypes) {
+      const PoolState& p = pool(region, gpu);
+      if (p.capacity < 0) continue;  // unbounded pools stay silent
+      const obs::LabelSet labels = {{"gpu", gpu_name(gpu)},
+                                    {"region", region_name(region)}};
+      registry->gauge("cloud.market.capacity", labels)
+          .set(static_cast<double>(p.capacity));
+      registry->gauge("cloud.market.live", labels)
+          .set(static_cast<double>(p.live));
+      registry->gauge("cloud.market.price_per_hour", labels)
+          .set(current_transient_price(region, gpu));
+    }
+  }
 }
 
 }  // namespace cmdare::cloud

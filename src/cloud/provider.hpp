@@ -44,11 +44,28 @@ enum class InstanceState {
 
 const char* instance_state_name(InstanceState state);
 
-/// Why an instance request was denied (only with a fault injector
-/// attached; the fault-free provider always succeeds).
+/// Why an instance request was denied. Stockouts arise two ways: an
+/// injected fault window (exogenous), or a finite-capacity pool with no
+/// free transient slots (endogenous — see set_pool_capacity). Without
+/// either, the provider always succeeds.
 enum class RequestFailureReason {
   kStockout,     // no transient capacity for this (region, GPU) right now
   kLaunchError,  // transient API error; retrying may succeed
+};
+
+/// Market state of one (region, GPU) transient capacity pool. Defaults —
+/// unbounded capacity, 1.0 price multiplier — make the provider behave
+/// exactly as the pre-market version, so fleet-free scenarios are
+/// bit-for-bit unchanged.
+struct PoolState {
+  /// Max concurrently alive transient instances; -1 = unbounded.
+  int capacity = -1;
+  /// Alive transient instances (provisioning counts: the slot is held
+  /// from acceptance to terminal state).
+  int live = 0;
+  /// Spot multiplier on the transient list price, locked into each
+  /// instance at request time.
+  double price_multiplier = 1.0;
 };
 
 const char* request_failure_reason_name(RequestFailureReason reason);
@@ -72,9 +89,10 @@ struct InstanceCallbacks {
   /// Instance is gone (revoked or expired). Not called for terminate().
   std::function<void(InstanceId)> on_revoked;
   /// Request denied: the record exists in state kFailed and no other
-  /// callback will ever fire for this id. Only fires when a fault
-  /// injector is attached; fires kRequestFailureResponseSeconds after the
-  /// request (the API round-trip).
+  /// callback will ever fire for this id. Fires for injected faults and
+  /// for endogenous stockouts (a finite-capacity pool with no free
+  /// slot), kRequestFailureResponseSeconds after the request (the API
+  /// round-trip).
   std::function<void(InstanceId, RequestFailureReason)> on_request_failed;
 };
 
@@ -90,6 +108,11 @@ struct InstanceRecord {
   double running_local_hour = 0.0;
   /// Revocation arrived with no preemption notice (injected abrupt kill).
   bool abrupt_kill = false;
+  /// USD per GPU-hour locked in at request time (list price times the
+  /// pool's spot multiplier for transient instances). instance_cost
+  /// bills against this, so later market moves never reprice a running
+  /// instance.
+  double price_per_hour = 0.0;
 
   bool alive() const {
     return state == InstanceState::kProvisioning ||
@@ -125,6 +148,46 @@ class CloudProvider {
   /// Customer-initiated deletion; safe in any non-terminal state.
   void terminate(InstanceId id);
 
+  // --- market interface (fleet layer) ----------------------------------
+  // Per-(region, GPU) transient pools with finite supply and demand-
+  // driven pricing. All defaults preserve the unbounded pre-market
+  // behavior; only callers that configure capacities see any change.
+
+  /// Caps the pool's concurrently alive transient instances; -1 restores
+  /// the unbounded default. A full pool denies further transient
+  /// requests with an *endogenous* kStockout (no fault injector needed).
+  void set_pool_capacity(Region region, GpuType gpu, int capacity);
+  int pool_capacity(Region region, GpuType gpu) const;
+  /// Alive transient instances currently holding a slot in the pool.
+  int live_transient_count(Region region, GpuType gpu) const;
+
+  /// Spot multiplier on the transient list price (must be finite, > 0).
+  /// Applies to instances requested *after* the call; running instances
+  /// keep the rate they were acquired at.
+  void set_price_multiplier(Region region, GpuType gpu, double multiplier);
+  double price_multiplier(Region region, GpuType gpu) const;
+  /// Current transient $/GPU-hour: list price x spot multiplier.
+  double current_transient_price(Region region, GpuType gpu) const;
+
+  /// Enables/disables hazard-sampled revocations (default on). With them
+  /// off only the 24 h lifetime cap ends a transient instance by itself —
+  /// the fleet market turns this off so every revocation is endogenous
+  /// (reclaim / price-out) rather than an exogenous hazard draw.
+  void set_hazard_revocations(bool enabled) { hazard_revocations_ = enabled; }
+  bool hazard_revocations() const { return hazard_revocations_; }
+
+  /// Provider-initiated revocation (capacity reclamation or price-out):
+  /// cancels the instance's hazard timeline and revokes it immediately,
+  /// firing on_revoked. `reason` lands in the ledger event detail. No-op
+  /// on non-alive instances.
+  void reclaim(InstanceId id, const char* reason);
+
+  /// Publishes capacity / live-count / current-price gauges for every
+  /// bounded pool into the ambient obs registry (cloud.market.*). Pools
+  /// left at the unbounded default stay silent, so fleet-free runs'
+  /// metric snapshots are unchanged. No-op without telemetry.
+  void export_market_gauges() const;
+
   const InstanceRecord& record(InstanceId id) const;
   std::size_t instance_count() const { return records_.size(); }
   const std::vector<InstanceRecord>& records() const { return records_; }
@@ -150,7 +213,10 @@ class CloudProvider {
 
  private:
   InstanceRecord& mutable_record(InstanceId id);
-  void finish(InstanceId id, InstanceState terminal);
+  void finish(InstanceId id, InstanceState terminal,
+              const char* reason = nullptr);
+  PoolState& pool(Region region, GpuType gpu);
+  const PoolState& pool(Region region, GpuType gpu) const;
 
   simcore::Simulator* sim_;
   util::Rng rng_;
@@ -162,6 +228,8 @@ class CloudProvider {
   std::vector<InstanceCallbacks> callbacks_;
   std::vector<simcore::EventHandle> pending_events_;
   std::vector<simcore::EventHandle> pending_notices_;
+  PoolState pools_[kAllRegions.size()][kAllGpuTypes.size()];
+  bool hazard_revocations_ = true;
 };
 
 }  // namespace cmdare::cloud

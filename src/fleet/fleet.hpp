@@ -1,0 +1,175 @@
+// FleetSim: N tenant training jobs sharing one market-clearing provider.
+//
+// The paper measures one job at a time against exogenous revocation
+// hazards. The fleet layer closes the loop the measurements hint at:
+// many tenants draw from the same finite per-(region, GPU) transient
+// pools of ONE CloudProvider on ONE simcore event loop, spot prices rise
+// with aggregate utilization (FleetMarket), supply dips each local
+// afternoon, and revocations become *endogenous* — the provider reclaims
+// slots from the lowest-priority tenants when the dip undercuts live
+// instances, and prices tenants out when the multiplier exceeds their
+// bid — instead of being sampled from a hazard.
+//
+// Tenants are modeled analytically: a placed tenant accrues fractional
+// steps at a closed-form rate (workers / step-time, shaved by the
+// checkpoint duty cycle), so the only simulator events per tenant are
+// its placements, market-tick touches, and one cancellable completion
+// event. That keeps 256+ concurrent tenants to a few thousand events —
+// fleet scale without per-step event storms.
+//
+// Eviction rolls a tenant back to its last durable checkpoint multiple;
+// the lost stretch lands in the ledger (kEviction.seconds) and in the
+// per-pool Eq. 4 tallies that the cost-optimal scheduler's quotes are
+// inflated by. Everything is deterministic from the seed: tenant i draws
+// from rng.fork(i), the market curves are RNG-free, and every sweep/
+// placement order is a fixed sort.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "fleet/config.hpp"
+#include "fleet/market.hpp"
+#include "fleet/scheduler.hpp"
+#include "nn/model.hpp"
+#include "obs/analyze.hpp"
+#include "simcore/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace cmdare::fleet {
+
+/// One (region, GPU) transient pool the fleet trades in, in the fixed
+/// region-major enumeration order over the measured combinations.
+struct FleetPool {
+  cloud::Region region;
+  cloud::GpuType gpu;
+  /// Running Eq. 4 tallies (seconds only) feeding waste_ratio quotes.
+  obs::analyze::CostDecomposition cost;
+};
+
+enum class TenantState { kPending, kStarting, kRunning, kDone };
+
+/// One tenant training job: immutable draw (work target, priority, bid,
+/// model) plus live placement/progress state.
+struct TenantJob {
+  // --- spec (drawn once from rng.fork(id)) ---
+  int id = 0;
+  std::string model_name;
+  long work_steps = 0;
+  int workers = 1;
+  int priority = 0;        ///< 0..2; higher survives reclamation longer
+  double bid = 1.0;        ///< max spot multiplier the tenant pays
+  double deadline_s = 0.0;
+  double step_seconds[3] = {0.0, 0.0, 0.0};  ///< per GpuType
+
+  // --- live state ---
+  TenantState state = TenantState::kPending;
+  int pool = -1;  ///< index into pools() while placed, else -1
+  std::vector<cloud::InstanceId> instances;
+  int running_workers = 0;
+  double progress = 0.0;  ///< fractional steps, durable + accrued
+  double anchor = 0.0;    ///< last accrual time
+  double gate = 0.0;      ///< accrual blocked before this (restore)
+  double rate = 0.0;      ///< steps/s while running
+  double ckpt_factor = 1.0;
+  simcore::EventHandle completion;
+  double finished_at = -1.0;
+  int placements = 0;
+  int evictions = 0;
+  double cost_usd = 0.0;  ///< billed USD of terminated instances
+};
+
+/// Fleet-level outcome summary (see FleetSim::stats).
+struct FleetStats {
+  int tenants = 0;
+  int finished = 0;
+  int deadline_hits = 0;
+  long long completed_steps = 0;  ///< floor of summed progress
+  double cost_usd = 0.0;          ///< all tenant instance spend
+  long placements = 0;
+  long evictions_reclaim = 0;
+  long evictions_priceout = 0;
+  long evictions_other = 0;  ///< hazard / expiry / launch-failure
+  long migrations = 0;
+  long evictions_total() const {
+    return evictions_reclaim + evictions_priceout + evictions_other;
+  }
+  double deadline_hit_rate() const {
+    return tenants == 0 ? 0.0
+                        : static_cast<double>(deadline_hits) / tenants;
+  }
+  double usd_per_step() const {
+    return completed_steps == 0 ? 0.0
+                                : cost_usd / static_cast<double>(
+                                                 completed_steps);
+  }
+};
+
+class FleetSim {
+ public:
+  /// `base_model` is every tenant's workload unless config.model_mix
+  /// draws per-tenant models from the canonical zoo. The constructor
+  /// draws all tenant specs and configures the provider's pools (and
+  /// hazard switch) but schedules nothing until start().
+  FleetSim(simcore::Simulator& sim, cloud::CloudProvider& provider,
+           const FleetConfig& config, const nn::CnnModel& base_model,
+           util::Rng rng);
+
+  /// Evaluates the market once at the current time (initial placement)
+  /// and schedules the recurring market / migration ticks. Call once.
+  void start();
+
+  bool all_done() const;
+  /// Snapshot of fleet outcomes; safe mid-run (progress of running
+  /// tenants is extrapolated to now, live instances billed to now).
+  FleetStats stats() const;
+
+  const FleetConfig& config() const { return config_; }
+  const std::vector<TenantJob>& tenants() const { return tenants_; }
+  const std::vector<FleetPool>& pools() const { return pools_; }
+
+ private:
+  void tick();
+  void migration_pass();
+  void placement_pass();
+  void schedule_placement_pass();
+  void begin_running(TenantJob& job);
+  void accrue(TenantJob& job);
+  double progress_at_now(const TenantJob& job) const;
+  void finish_tenant(TenantJob& job);
+  /// Rolls `job` back to its durable checkpoint and releases its
+  /// instances ("reclaim"/"priceout" via provider reclamation, anything
+  /// else via customer termination). `kind` picks the ledger event
+  /// (kEviction vs kMigration).
+  void evict_core(TenantJob& job, const char* reason,
+                  obs::LedgerEventKind kind);
+  void release_instances(TenantJob& job, const char* reason);
+  void on_instance_running(int tenant_id);
+  void on_instance_revoked(int tenant_id, cloud::InstanceId id);
+  void on_request_failed(int tenant_id);
+  std::vector<PoolQuote> quotes_for(const TenantJob& job) const;
+  double quote_usd_per_step(const TenantJob& job, int pool_index,
+                            double price_per_hour) const;
+  void place_tenant(TenantJob& job, int pool_index);
+  void update_gauges() const;
+  void count_eviction(const char* reason);
+
+  simcore::Simulator* sim_;
+  cloud::CloudProvider* provider_;
+  FleetConfig config_;
+  FleetMarket market_;
+  FleetScheduler scheduler_;
+  util::Rng rng_;
+  std::vector<FleetPool> pools_;
+  std::vector<TenantJob> tenants_;
+  bool started_ = false;
+  bool pass_scheduled_ = false;
+  long placements_ = 0;
+  long evictions_reclaim_ = 0;
+  long evictions_priceout_ = 0;
+  long evictions_other_ = 0;
+  long migrations_ = 0;
+};
+
+}  // namespace cmdare::fleet

@@ -1,0 +1,33 @@
+#include "fleet/market.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cmdare::fleet {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+double FleetMarket::price_multiplier(double utilization) const {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  return 1.0 + sensitivity_ * std::pow(u, exponent_);
+}
+
+double FleetMarket::supply_fraction(double local_hour) const {
+  // Raised cosine with period 24 h: 1 at the peak hour, 0 twelve hours
+  // away, so supply = 1 - dip at the peak and exactly 1.0 at the trough.
+  const double phase =
+      2.0 * kPi * (local_hour - kSupplyDipPeakLocalHour) / 24.0;
+  const double cycle = 0.5 * (1.0 + std::cos(phase));
+  return 1.0 - capacity_dip_ * cycle;
+}
+
+int FleetMarket::capacity_at(int base_capacity, double local_hour) const {
+  const double offered =
+      static_cast<double>(base_capacity) * supply_fraction(local_hour);
+  const int slots = static_cast<int>(std::floor(offered + 1e-9));
+  return slots < 1 ? 1 : slots;
+}
+
+}  // namespace cmdare::fleet

@@ -1,0 +1,54 @@
+// Fleet market mechanics: endogenous pricing and supply.
+//
+// The paper's characterization treats each job as a price-taker against
+// exogenous spot dynamics; the fleet layer closes that loop. FleetMarket
+// holds the two deterministic curves the market tick evaluates per
+// (region, GPU) pool:
+//
+//   * price: spot multiplier = 1 + sensitivity * utilization^exponent —
+//     a convex demand curve, so a pool near saturation gets expensive
+//     fast while a half-empty one stays near list price;
+//   * supply: available transient capacity dips below its base level
+//     around the local-afternoon on-demand peak (the same time-of-day
+//     signal the revocation censuses show), which is what forces the
+//     provider to *reclaim* capacity from the fleet.
+//
+// Both are pure functions of observable state (no RNG), so the market is
+// deterministic given the fleet's demand trajectory.
+#pragma once
+
+#include "fleet/config.hpp"
+
+namespace cmdare::fleet {
+
+/// Local hour at which the supply dip bottoms out (mid-afternoon, when
+/// on-demand business load peaks and preemptible capacity is thinnest).
+inline constexpr double kSupplyDipPeakLocalHour = 15.0;
+
+class FleetMarket {
+ public:
+  explicit FleetMarket(const FleetConfig& config)
+      : sensitivity_(config.price_sensitivity),
+        exponent_(config.price_exponent),
+        capacity_dip_(config.capacity_dip) {}
+
+  /// Spot multiplier at `utilization` (clamped to [0, 1]):
+  /// 1 + sensitivity * u^exponent. Always >= 1.
+  double price_multiplier(double utilization) const;
+
+  /// Diurnal supply curve: fraction of the base capacity offered at
+  /// `local_hour` in [0, 24). 1 - dip at the peak, 1.0 at the trough.
+  double supply_fraction(double local_hour) const;
+
+  /// Transient slots a pool offers at `local_hour`: floor(base *
+  /// supply_fraction), never below 1 (a pool is never fully withdrawn —
+  /// floor-capacity liveness is what fleet::validate checks against).
+  int capacity_at(int base_capacity, double local_hour) const;
+
+ private:
+  double sensitivity_;
+  double exponent_;
+  double capacity_dip_;
+};
+
+}  // namespace cmdare::fleet

@@ -1,0 +1,66 @@
+#include "fleet/scheduler.hpp"
+
+namespace cmdare::fleet {
+
+namespace {
+/// Pseudo-count (seconds) keeping the ratio stable before evidence.
+constexpr double kWastePriorSeconds = 3600.0;
+}  // namespace
+
+double waste_ratio(const obs::analyze::CostDecomposition& cost) {
+  const double useful = cost.useful.seconds + kWastePriorSeconds;
+  const double total =
+      cost.useful.seconds + cost.wasted.seconds + cost.overhead.seconds +
+      kWastePriorSeconds;
+  return total / useful;
+}
+
+int FleetScheduler::place(const std::vector<PoolQuote>& quotes) {
+  if (quotes.empty()) return -1;
+  if (policy_ == SchedulerPolicy::kRoundRobin) {
+    // First quote at or after the cursor in pool order, wrapping; the
+    // cursor then moves past the chosen pool so successive placements
+    // rotate even when every pool has room.
+    int best = -1;
+    int best_pool = -1;
+    int first = -1;
+    int first_pool = -1;
+    for (int i = 0; i < static_cast<int>(quotes.size()); ++i) {
+      const int pool = quotes[i].pool_index;
+      if (first < 0 || pool < first_pool) {
+        first = i;
+        first_pool = pool;
+      }
+      if (pool >= cursor_ && (best < 0 || pool < best_pool)) {
+        best = i;
+        best_pool = pool;
+      }
+    }
+    if (best < 0) {  // wrapped: everything is below the cursor
+      best = first;
+      best_pool = first_pool;
+    }
+    cursor_ = best_pool + 1;
+    return best;
+  }
+  // Cost-optimal: cheapest expected $/step among the quotes the tenant
+  // can actually hold (post-entry multiplier within its bid), ties to
+  // the lowest pool index so the choice is deterministic.
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(quotes.size()); ++i) {
+    const PoolQuote& q = quotes[i];
+    if (!q.affordable) continue;
+    if (best < 0) {
+      best = i;
+      continue;
+    }
+    const PoolQuote& b = quotes[best];
+    if (q.usd_per_step < b.usd_per_step ||
+        (q.usd_per_step == b.usd_per_step && q.pool_index < b.pool_index)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace cmdare::fleet

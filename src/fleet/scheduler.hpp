@@ -1,0 +1,63 @@
+// Global fleet scheduler: where does the next tenant run?
+//
+// The FleetSim turns each candidate (region, GPU) pool into a PoolQuote
+// — free slots, the pool's current spot price, and the tenant-specific
+// expected $/step on that hardware — and the scheduler picks one.
+//
+//   * round-robin: rotates through pools in enumeration order, blind to
+//     price and speed. The quota-style baseline the fleet campaign
+//     compares against.
+//   * cost-optimal: argmin over quoted usd_per_step, which bakes in the
+//     Eq. 4 decomposition: the quote inflates the raw billed-rate/step
+//     ratio by the pool's observed waste ratio (wasted + overhead
+//     seconds relative to useful ones), so pools that keep reclaiming
+//     work quote worse than their sticker price suggests.
+//
+// The scheduler is a pure policy object: no simulator or provider
+// handle, fully deterministic given the quote list.
+#pragma once
+
+#include <vector>
+
+#include "fleet/config.hpp"
+#include "obs/analyze.hpp"
+
+namespace cmdare::fleet {
+
+/// One placement candidate, pre-filtered by the caller for room
+/// (enough free slots). Affordability is a per-quote fact, not a
+/// filter: the naive baseline places price-blind and learns about
+/// unaffordable pools the hard way (priced out at the next market
+/// tick), while cost-optimal only considers quotes it can hold.
+struct PoolQuote {
+  int pool_index = -1;        ///< fleet pool id (stable enumeration order)
+  int free_slots = 0;         ///< capacity - live at quote time
+  double price_per_hour = 0.0;  ///< current spot $/GPU-hour (multiplied)
+  double multiplier = 1.0;      ///< post-entry spot multiplier quoted
+  double step_seconds = 0.0;    ///< tenant's per-step compute time here
+  double usd_per_step = 0.0;    ///< waste- and risk-adjusted expected $/step
+  bool affordable = true;       ///< post-entry multiplier <= tenant's bid
+};
+
+/// Waste-adjustment factor >= 1 from a pool's running Eq. 4 tallies:
+/// (useful + wasted + overhead + prior) / (useful + prior) seconds. The
+/// one-hour prior keeps early quotes near 1 until evidence accumulates.
+double waste_ratio(const obs::analyze::CostDecomposition& cost);
+
+class FleetScheduler {
+ public:
+  explicit FleetScheduler(SchedulerPolicy policy) : policy_(policy) {}
+
+  SchedulerPolicy policy() const { return policy_; }
+
+  /// Picks a quote index in [0, quotes.size()), or -1 when the list is
+  /// empty. Round-robin advances an internal cursor over pool indices;
+  /// cost-optimal takes the cheapest $/step (ties to the lowest pool).
+  int place(const std::vector<PoolQuote>& quotes);
+
+ private:
+  SchedulerPolicy policy_;
+  int cursor_ = 0;  ///< next pool index round-robin prefers
+};
+
+}  // namespace cmdare::fleet

@@ -25,6 +25,7 @@ struct ScopeState {
   std::map<long long, long long> worker_to_instance;
   std::map<long long, std::vector<Interval>> idle_by_instance;
   std::map<long long, std::vector<Interval>> overhead_by_instance;
+  std::map<long long, std::vector<Interval>> wasted_by_instance;
   std::vector<Interval> overhead_global;
   std::vector<Interval> wasted_global;
 
@@ -226,14 +227,44 @@ void analyze_scope(const std::vector<const LedgerEvent*>& events,
         break;
       case LedgerEventKind::kRestore:
         ++counts.restores;
-        state.overhead_global.push_back({event.at - event.seconds, event.at});
+        // Instance-scoped restores (fleet re-placements) stall only the
+        // instances being restored; session restores stall everyone.
+        if (event.instance >= 0) {
+          state.overhead_by_instance[event.instance].push_back(
+              {event.at - event.seconds, event.at});
+        } else {
+          state.overhead_global.push_back({event.at - event.seconds, event.at});
+        }
         break;
       case LedgerEventKind::kRestoreFailed:
         state.overhead_global.push_back({event.at - event.seconds, event.at});
         break;
       case LedgerEventKind::kRollback:
         ++counts.rollbacks;
-        state.wasted_global.push_back({event.at - event.seconds, event.at});
+        // A rollback scoped to one instance (fleet evictions emit one
+        // per released instance) wastes only that instance's time; a
+        // session-wide rollback stalls everyone.
+        if (event.instance >= 0) {
+          state.wasted_by_instance[event.instance].push_back(
+              {event.at - event.seconds, event.at});
+        } else {
+          state.wasted_global.push_back({event.at - event.seconds, event.at});
+        }
+        break;
+      case LedgerEventKind::kTenantPlacement:
+        ++counts.tenant_placements;
+        break;
+      case LedgerEventKind::kEviction:
+        // `seconds` carries the recompute debt for reporting; the billed
+        // waste itself arrives as per-instance kRollback companions, so
+        // it is charged to the evicted tenant's instances only.
+        ++counts.evictions;
+        break;
+      case LedgerEventKind::kMigration:
+        ++counts.migrations;
+        break;
+      case LedgerEventKind::kTenantComplete:
+        ++counts.tenants_completed;
         break;
       case LedgerEventKind::kBilling: {
         ScopeState::BillWindow bill;
@@ -306,6 +337,7 @@ void analyze_scope(const std::vector<const LedgerEvent*>& events,
     }
     const auto idle_it = state.idle_by_instance.find(bill.instance);
     const auto overhead_it = state.overhead_by_instance.find(bill.instance);
+    const auto wasted_it = state.wasted_by_instance.find(bill.instance);
     const Classified classified = classify_window(
         {bill.begin, bill.end},
         {idle_it != state.idle_by_instance.end() ? &idle_it->second : &kNone},
@@ -313,7 +345,9 @@ void analyze_scope(const std::vector<const LedgerEvent*>& events,
              ? &overhead_it->second
              : &kNone,
          &state.overhead_global},
-        {&state.wasted_global});
+        {wasted_it != state.wasted_by_instance.end() ? &wasted_it->second
+                                                     : &kNone,
+         &state.wasted_global});
     // Useful is the exact residual, which is what makes the bucket sum
     // reproduce the billed total.
     const double useful_s = bill.seconds - classified.idle -
@@ -386,6 +420,14 @@ std::vector<std::pair<std::string, double>> flatten(
                     static_cast<double>(analysis.counts.rollbacks));
   rows.emplace_back("events.session_restarts",
                     static_cast<double>(analysis.counts.session_restarts));
+  rows.emplace_back("events.tenant_placements",
+                    static_cast<double>(analysis.counts.tenant_placements));
+  rows.emplace_back("events.evictions",
+                    static_cast<double>(analysis.counts.evictions));
+  rows.emplace_back("events.migrations",
+                    static_cast<double>(analysis.counts.migrations));
+  rows.emplace_back("events.tenants_completed",
+                    static_cast<double>(analysis.counts.tenants_completed));
   rows.emplace_back("events.scopes",
                     static_cast<double>(analysis.counts.scopes));
   return rows;
@@ -458,6 +500,12 @@ void write_report(const LedgerAnalysis& analysis, std::ostream& out) {
       << counts.checkpoint_retries << "), restores " << counts.restores
       << ", rollbacks " << counts.rollbacks << ", session restarts "
       << counts.session_restarts << "\n";
+  if (counts.tenant_placements > 0 || counts.evictions > 0 ||
+      counts.tenants_completed > 0) {
+    out << "fleet: placements " << counts.tenant_placements << ", evictions "
+        << counts.evictions << ", migrations " << counts.migrations
+        << ", tenants completed " << counts.tenants_completed << "\n";
+  }
 
   const CostDecomposition& cost = analysis.cost;
   out << "\n-- Cost decomposition (Eq. 4) --\n";

@@ -110,6 +110,11 @@ struct LedgerCounts {
   std::size_t restores = 0;
   std::size_t rollbacks = 0;
   std::size_t session_restarts = 0;
+  // Fleet-market events (zero outside fleet scenarios).
+  std::size_t tenant_placements = 0;
+  std::size_t evictions = 0;  // market reclaims + price-outs
+  std::size_t migrations = 0;
+  std::size_t tenants_completed = 0;
   std::size_t scopes = 0;  // independent runs found in the ledger
 };
 

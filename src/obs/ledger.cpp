@@ -14,7 +14,7 @@ namespace {
 
 // Index must match LedgerEventKind; the serializer/reader pair below is
 // the compatibility contract for checked-in golden ledgers.
-constexpr std::array<std::string_view, 24> kKindNames = {
+constexpr std::array<std::string_view, 28> kKindNames = {
     "launch_attempt",    "launch_running",  "launch_failed",
     "fallback",          "preemption_notice", "revocation",
     "expiry",            "detection",       "assign",
@@ -23,6 +23,8 @@ constexpr std::array<std::string_view, 24> kKindNames = {
     "upload",            "upload_failed",   "restore",
     "restore_failed",    "rollback",        "catchup_complete",
     "session_restart",   "run_complete",    "billing",
+    "tenant_placement",  "eviction",        "migration",
+    "tenant_complete",
 };
 
 }  // namespace

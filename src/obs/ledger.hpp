@@ -70,6 +70,10 @@ enum class LedgerEventKind {
   kSessionRestart,     // run: full session restart (reconfiguration)
   kRunComplete,        // run: target steps reached
   kBilling,            // cloud/run: billed window closed (seconds, usd)
+  kTenantPlacement,    // fleet: tenant assigned to a (region, GPU) pool
+  kEviction,           // fleet: market evicted a tenant (detail reason=...)
+  kMigration,          // fleet: scheduler moved a tenant between pools
+  kTenantComplete,     // fleet: tenant reached its work target
 };
 
 /// Serialization token for `kind` ("launch_attempt", "billing", ...).

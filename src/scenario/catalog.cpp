@@ -187,6 +187,51 @@ exp::ReplicaResult detection_replica(const ScenarioCell& cell,
   return result;
 }
 
+ScenarioSpec fleet_scenario() {
+  ScenarioSpec spec;
+  spec.name = "fleet";
+  spec.kind = HarnessKind::kFleet;
+  spec.seed = 2020;
+  spec.model = "resnet-15";
+  spec.horizon_hours = 12.0;
+  spec.fleet.tenants = 256;
+  spec.fleet.workers_per_tenant = 2;
+  spec.fleet.min_steps = 20000;
+  spec.fleet.max_steps = 80000;
+  spec.fleet.checkpoint_interval_steps = 2000;
+  spec.fleet.checkpoint_seconds = 10.0;
+  spec.fleet.restore_seconds = 30.0;
+  spec.fleet.deadline_hours = 8.0;
+  spec.fleet.model_mix = true;
+  spec.fleet.capacity_per_pool = 24;
+  spec.fleet.scheduler = fleet::SchedulerPolicy::kCostOptimal;
+  return spec;
+}
+
+exp::ReplicaResult fleet_replica(const ScenarioCell& cell, int /*replica*/,
+                                 util::Rng& rng,
+                                 obs::Telemetry* /*telemetry*/) {
+  SimHarness harness(cell.spec, rng);
+  const ScenarioResult outcome = harness.run();
+
+  exp::ReplicaResult result;
+  result.observe("finished", outcome.finished ? 1.0 : 0.0);
+  result.observe("tenants_finished",
+                 static_cast<double>(outcome.tenants_finished));
+  result.observe("deadline_hit_rate", outcome.deadline_hit_rate);
+  result.observe("usd_per_kstep", outcome.usd_per_kstep);
+  result.observe("cost_usd", outcome.cost_usd);
+  result.observe("steps", static_cast<double>(outcome.completed_steps));
+  result.observe("placements", static_cast<double>(outcome.placements));
+  result.observe("evictions_reclaim",
+                 static_cast<double>(outcome.evictions_reclaim));
+  result.observe("evictions_priceout",
+                 static_cast<double>(outcome.evictions_priceout));
+  result.observe("evictions_total", static_cast<double>(outcome.revocations));
+  result.observe("migrations", static_cast<double>(outcome.migrations));
+  return result;
+}
+
 const std::vector<NamedCampaign>& named_campaigns() {
   static const std::vector<NamedCampaign> campaigns = [] {
     std::vector<NamedCampaign> list;
@@ -297,6 +342,26 @@ const std::vector<NamedScenarioSweep>& named_sweeps() {
       s.sweep.replicas = 6;
       s.sweep.seed = 505;
       s.replica = detection_replica;
+      list.push_back(std::move(s));
+    }
+
+    {
+      NamedScenarioSweep s;
+      s.name = "fleet";
+      s.description =
+          "Fleet market study: $/step, deadline hit rate and endogenous "
+          "eviction mix vs tenant count, demand intensity and scheduler "
+          "policy";
+      s.sweep.name = s.name;
+      s.sweep.base = fleet_scenario();
+      s.sweep.axes = {
+          {"fleet.tenants", {"128", "256"}},
+          {"fleet.demand", {"0.5", "1", "2"}},
+          {"fleet.scheduler", {"round-robin", "cost-optimal"}},
+      };
+      s.sweep.replicas = 3;
+      s.sweep.seed = 2020;
+      s.replica = fleet_replica;
       list.push_back(std::move(s));
     }
 

@@ -108,4 +108,22 @@ exp::ReplicaResult detection_replica(const ScenarioCell& cell, int replica,
 /// want to shrink the grid (fewer replicas, fewer timeout values).
 ScenarioSpec detection_scenario();
 
+/// `fleet`: one multi-tenant market run per replica (fleet::FleetSim —
+/// finite pools, endogenous pricing/reclamation, global scheduler).
+/// Observations: "finished" (fleet drained), "tenants_finished",
+/// "deadline_hit_rate", "usd_per_kstep" (the scheduler's objective),
+/// "cost_usd", "steps", "placements", "evictions_reclaim",
+/// "evictions_priceout", "evictions_total", "migrations". The catalog
+/// sweep crosses fleet.tenants x fleet.demand x fleet.scheduler, so the
+/// CSV directly answers "does the Eq. 4-aware scheduler beat
+/// round-robin, and how fast do endogenous revocations rise with
+/// demand?".
+exp::ReplicaResult fleet_replica(const ScenarioCell& cell, int replica,
+                                 util::Rng& rng, obs::Telemetry* telemetry);
+
+/// The base spec behind the `fleet` sweep and scenarios/fleet.scn: 256
+/// tenants on the full 12-pool market, mixed canonical models, a 12 h
+/// horizon against an 8 h deadline. Exposed so tests can shrink it.
+ScenarioSpec fleet_scenario();
+
 }  // namespace cmdare::scenario

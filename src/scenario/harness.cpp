@@ -67,6 +67,18 @@ util::Table ScenarioResult::table() const {
   table.add_row({"hedges_cancelled", std::to_string(hedges_cancelled)});
   table.add_row({"mean_recovery_seconds",
                  util::format_double(mean_recovery_seconds, 2)});
+  if (tenants > 0) {
+    table.add_row({"tenants", std::to_string(tenants)});
+    table.add_row({"tenants_finished", std::to_string(tenants_finished)});
+    table.add_row(
+        {"deadline_hit_rate", util::format_double(deadline_hit_rate, 3)});
+    table.add_row({"placements", std::to_string(placements)});
+    table.add_row({"evictions_reclaim", std::to_string(evictions_reclaim)});
+    table.add_row(
+        {"evictions_priceout", std::to_string(evictions_priceout)});
+    table.add_row({"migrations", std::to_string(migrations)});
+    table.add_row({"usd_per_kstep", util::format_double(usd_per_kstep, 4)});
+  }
   return table;
 }
 
@@ -128,6 +140,10 @@ void SimHarness::build() {
       // Provider-only scenarios drive request_instance() themselves
       // through the provider() accessor before calling run().
       break;
+    case HarnessKind::kFleet:
+      fleet_ = std::make_unique<fleet::FleetSim>(
+          sim_, provider_, spec_.fleet, model, root_.fork("fleet"));
+      break;
   }
 }
 
@@ -148,6 +164,9 @@ ScenarioResult SimHarness::run() {
       break;
     case HarnessKind::kSync:
       sync_->start();
+      break;
+    case HarnessKind::kFleet:
+      fleet_->start();
       break;
     case HarnessKind::kSession:
     case HarnessKind::kCloud:
@@ -177,10 +196,15 @@ ScenarioResult SimHarness::collect() {
   // ledger carries every billed second exactly once.
   if (obs::ledger()) {
     if (spec_.kind == HarnessKind::kRun && run_) run_->record_billing_tick();
-    if (spec_.kind == HarnessKind::kRun || spec_.kind == HarnessKind::kCloud) {
+    if (spec_.kind == HarnessKind::kRun ||
+        spec_.kind == HarnessKind::kCloud ||
+        spec_.kind == HarnessKind::kFleet) {
       provider_.record_billing_ticks();
     }
   }
+  // Final market snapshot so horizon-limited fleet runs expose the
+  // end-state capacity/price gauges.
+  if (spec_.kind == HarnessKind::kFleet) provider_.export_market_gauges();
 
   ScenarioResult result;
   result.sim_now = sim_.now();
@@ -240,6 +264,23 @@ ScenarioResult SimHarness::collect() {
           if (record.abrupt_kill) ++result.abrupt_kills;
         }
       }
+      break;
+    }
+    case HarnessKind::kFleet: {
+      const fleet::FleetStats stats = fleet_->stats();
+      result.finished = fleet_->all_done();
+      result.completed_steps = static_cast<long>(stats.completed_steps);
+      result.elapsed_seconds = sim_.now();
+      result.cost_usd = stats.cost_usd;
+      result.revocations = static_cast<int>(stats.evictions_total());
+      result.tenants = stats.tenants;
+      result.tenants_finished = stats.finished;
+      result.deadline_hit_rate = stats.deadline_hit_rate();
+      result.placements = stats.placements;
+      result.evictions_reclaim = stats.evictions_reclaim;
+      result.evictions_priceout = stats.evictions_priceout;
+      result.migrations = stats.migrations;
+      result.usd_per_kstep = stats.usd_per_step() * 1000.0;
       break;
     }
   }

@@ -22,6 +22,7 @@
 #include "cloud/storage.hpp"
 #include "cmdare/resource_manager.hpp"
 #include "faults/faults.hpp"
+#include "fleet/fleet.hpp"
 #include "obs/obs.hpp"
 #include "scenario/spec.hpp"
 #include "simcore/simulator.hpp"
@@ -68,6 +69,18 @@ struct ScenarioResult {
   int hedges_cancelled = 0;
   double mean_recovery_seconds = 0.0;
 
+  // --- fleet market (zero unless kind=fleet) ---
+  int tenants = 0;
+  int tenants_finished = 0;
+  double deadline_hit_rate = 0.0;
+  long placements = 0;
+  long evictions_reclaim = 0;
+  long evictions_priceout = 0;
+  long migrations = 0;
+  /// Fleet-wide USD per thousand completed steps (the scheduler's
+  /// objective; kilo-steps keep the figure in a readable range).
+  double usd_per_kstep = 0.0;
+
   /// Final simulated time (== elapsed_seconds unless the run finished
   /// before the deadline).
   double sim_now = 0.0;
@@ -108,6 +121,7 @@ class SimHarness {
   train::TrainingSession* session();
   train::SyncTrainingSession* sync_session() { return sync_.get(); }
   core::TransientTrainingRun* training_run() { return run_.get(); }
+  fleet::FleetSim* fleet() { return fleet_.get(); }
 
   /// The thread's active telemetry bundle (the harness-owned one when the
   /// spec asked for telemetry and none was installed, the ambient one —
@@ -130,6 +144,7 @@ class SimHarness {
   std::unique_ptr<train::TrainingSession> session_;
   std::unique_ptr<train::SyncTrainingSession> sync_;
   std::unique_ptr<core::TransientTrainingRun> run_;
+  std::unique_ptr<fleet::FleetSim> fleet_;
   bool ran_ = false;
   ScenarioResult result_;
 };

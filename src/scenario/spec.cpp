@@ -217,7 +217,7 @@ bool parse_kind(std::string_view text, HarnessKind* out) {
   text = util::trim(text);
   for (const HarnessKind kind :
        {HarnessKind::kRun, HarnessKind::kSession, HarnessKind::kSync,
-        HarnessKind::kCloud}) {
+        HarnessKind::kCloud, HarnessKind::kFleet}) {
     if (text == harness_kind_name(kind)) {
       *out = kind;
       return true;
@@ -277,6 +277,8 @@ const char* harness_kind_name(HarnessKind kind) {
       return "sync";
     case HarnessKind::kCloud:
       return "cloud";
+    case HarnessKind::kFleet:
+      return "fleet";
   }
   return "run";
 }
@@ -293,7 +295,7 @@ std::optional<std::string> set_field(ScenarioSpec& spec, std::string_view key,
   }
   if (key == "kind") {
     if (!parse_kind(value, &spec.kind)) {
-      return bad_value(key, value, "run, session, sync, or cloud");
+      return bad_value(key, value, "run, session, sync, cloud, or fleet");
     }
     return std::nullopt;
   }
@@ -446,6 +448,87 @@ std::optional<std::string> set_field(ScenarioSpec& spec, std::string_view key,
     }
     spec.faults.stockouts = std::move(windows);
     return std::nullopt;
+  }
+  if (key == "fleet.tenants") {
+    return set_numeric(key, value, &spec.fleet.tenants, 1, 1 << 16,
+                       "an integer in [1, 65536]");
+  }
+  if (key == "fleet.demand") {
+    return set_numeric(key, value, &spec.fleet.demand, 1e-9, 64.0,
+                       "a multiplier in (0, 64]");
+  }
+  if (key == "fleet.workers_per_tenant") {
+    return set_numeric(key, value, &spec.fleet.workers_per_tenant, 1, 1024,
+                       "an integer in [1, 1024]");
+  }
+  if (key == "fleet.min_steps") {
+    return set_numeric<long>(key, value, &spec.fleet.min_steps, 1, 1L << 40,
+                             "an integer >= 1");
+  }
+  if (key == "fleet.max_steps") {
+    return set_numeric<long>(key, value, &spec.fleet.max_steps, 1, 1L << 40,
+                             "an integer >= 1");
+  }
+  if (key == "fleet.checkpoint_interval_steps") {
+    return set_numeric<long>(key, value,
+                             &spec.fleet.checkpoint_interval_steps, 0,
+                             1L << 40, "an integer >= 0");
+  }
+  if (key == "fleet.checkpoint_seconds") {
+    return set_numeric(key, value, &spec.fleet.checkpoint_seconds, 0.0, kHuge,
+                       "seconds >= 0");
+  }
+  if (key == "fleet.restore_seconds") {
+    return set_numeric(key, value, &spec.fleet.restore_seconds, 0.0, kHuge,
+                       "seconds >= 0");
+  }
+  if (key == "fleet.deadline_hours") {
+    return set_numeric(key, value, &spec.fleet.deadline_hours, 1e-9, kHuge,
+                       "hours > 0");
+  }
+  if (key == "fleet.model_mix") {
+    return set_bool(key, value, &spec.fleet.model_mix);
+  }
+  if (key == "fleet.capacity_per_pool") {
+    return set_numeric(key, value, &spec.fleet.capacity_per_pool, 1, 1 << 20,
+                       "an integer >= 1");
+  }
+  if (key == "fleet.price_sensitivity") {
+    return set_numeric(key, value, &spec.fleet.price_sensitivity, 0.0, 1000.0,
+                       "a factor in [0, 1000]");
+  }
+  if (key == "fleet.price_exponent") {
+    return set_numeric(key, value, &spec.fleet.price_exponent, 0.0, 64.0,
+                       "an exponent in [0, 64]");
+  }
+  if (key == "fleet.capacity_dip") {
+    return set_rate(key, value, &spec.fleet.capacity_dip);
+  }
+  if (key == "fleet.bid_spread") {
+    return set_numeric(key, value, &spec.fleet.bid_spread, 0.0, kHuge,
+                       "a spread >= 0");
+  }
+  if (key == "fleet.market_period_s") {
+    return set_numeric(key, value, &spec.fleet.market_period_s, 1e-9, kHuge,
+                       "seconds > 0");
+  }
+  if (key == "fleet.scheduler") {
+    if (!fleet::scheduler_policy_from_name(util::trim(value),
+                                           &spec.fleet.scheduler)) {
+      return bad_value(key, value, "round-robin or cost-optimal");
+    }
+    return std::nullopt;
+  }
+  if (key == "fleet.migrate_period_s") {
+    return set_numeric(key, value, &spec.fleet.migrate_period_s, 0.0, kHuge,
+                       "seconds >= 0 (0 = never migrate)");
+  }
+  if (key == "fleet.migrate_gain") {
+    return set_numeric(key, value, &spec.fleet.migrate_gain, 0.0, 1.0,
+                       "a fraction in [0, 1]");
+  }
+  if (key == "fleet.hazard_revocations") {
+    return set_bool(key, value, &spec.fleet.hazard_revocations);
   }
   if (key == "telemetry") return set_bool(key, value, &spec.telemetry);
   if (key == "supervise.enabled") {
@@ -606,6 +689,34 @@ std::string serialize(const ScenarioSpec& spec) {
     }
     emit("stockouts", std::move(windows));
   }
+  emit("fleet.tenants", std::to_string(spec.fleet.tenants));
+  emit("fleet.demand", format_double(spec.fleet.demand));
+  emit("fleet.workers_per_tenant",
+       std::to_string(spec.fleet.workers_per_tenant));
+  emit("fleet.min_steps", std::to_string(spec.fleet.min_steps));
+  emit("fleet.max_steps", std::to_string(spec.fleet.max_steps));
+  emit("fleet.checkpoint_interval_steps",
+       std::to_string(spec.fleet.checkpoint_interval_steps));
+  emit("fleet.checkpoint_seconds",
+       format_double(spec.fleet.checkpoint_seconds));
+  emit("fleet.restore_seconds", format_double(spec.fleet.restore_seconds));
+  emit("fleet.deadline_hours", format_double(spec.fleet.deadline_hours));
+  emit("fleet.model_mix", spec.fleet.model_mix ? "true" : "false");
+  emit("fleet.capacity_per_pool",
+       std::to_string(spec.fleet.capacity_per_pool));
+  emit("fleet.price_sensitivity",
+       format_double(spec.fleet.price_sensitivity));
+  emit("fleet.price_exponent", format_double(spec.fleet.price_exponent));
+  emit("fleet.capacity_dip", format_double(spec.fleet.capacity_dip));
+  emit("fleet.bid_spread", format_double(spec.fleet.bid_spread));
+  emit("fleet.market_period_s", format_double(spec.fleet.market_period_s));
+  emit("fleet.scheduler",
+       fleet::scheduler_policy_name(spec.fleet.scheduler));
+  emit("fleet.migrate_period_s",
+       format_double(spec.fleet.migrate_period_s));
+  emit("fleet.migrate_gain", format_double(spec.fleet.migrate_gain));
+  emit("fleet.hazard_revocations",
+       spec.fleet.hazard_revocations ? "true" : "false");
   emit("telemetry", spec.telemetry ? "true" : "false");
   emit("supervise.enabled", spec.supervision.enabled ? "true" : "false");
   emit("supervise.heartbeat_period_s",
@@ -655,10 +766,15 @@ std::vector<std::string> validate(const ScenarioSpec& spec) {
       break;
     }
   }
-  if (spec.kind != HarnessKind::kCloud && spec.max_steps < 1 &&
-      spec.horizon_hours <= 0.0) {
+  if (spec.kind != HarnessKind::kCloud && spec.kind != HarnessKind::kFleet &&
+      spec.max_steps < 1 && spec.horizon_hours <= 0.0) {
     errors.push_back(
         "max_steps = 0 with no horizon_hours would never terminate");
+  }
+  if (spec.kind == HarnessKind::kFleet) {
+    for (std::string& error : fleet::validate(spec.fleet)) {
+      errors.push_back(std::move(error));
+    }
   }
   const auto check_rate = [&](const char* key, double rate) {
     if (rate < 0.0 || rate > 1.0) {

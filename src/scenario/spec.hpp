@@ -30,6 +30,7 @@
 #include "cloud/startup.hpp"
 #include "cmdare/resource_manager.hpp"
 #include "faults/faults.hpp"
+#include "fleet/config.hpp"
 #include "train/cluster.hpp"
 
 namespace cmdare::scenario {
@@ -46,6 +47,10 @@ enum class HarnessKind {
   kSync,
   /// Provider only: no training at all. Revocation censuses (Table V).
   kCloud,
+  /// Multi-tenant fleet market (fleet::FleetSim): N tenant jobs sharing
+  /// one provider with finite pools, endogenous pricing/revocations, and
+  /// a global scheduler. Configured by the `fleet.*` keys.
+  kFleet,
 };
 
 const char* harness_kind_name(HarnessKind kind);
@@ -99,6 +104,11 @@ struct ScenarioSpec {
   /// tracking, adaptive checkpointing, health-scored replacement. All
   /// keys are prefixed `supervise.`; disabled by default.
   supervise::SupervisionConfig supervision;
+
+  // --- fleet market (kind=fleet) ---
+  /// Tenant population, market curves, and global scheduler policy. All
+  /// keys are prefixed `fleet.`; only read when kind=fleet.
+  fleet::FleetConfig fleet;
 
   // --- observability ---
   /// Install an obs::Telemetry bundle for the run (merged telemetry is

@@ -44,6 +44,40 @@ EventHandle Simulator::schedule_after(SimTime delay, std::function<void()> fn,
   return schedule_at(now_ + delay, std::move(fn), tag);
 }
 
+namespace {
+
+/// Self-rescheduling callback behind schedule_every. Copyable (the
+/// simulator's std::function requires it); the predicate is shared so
+/// every generation reschedules the same underlying state.
+struct PeriodicTick {
+  Simulator* sim;
+  SimTime period;
+  std::shared_ptr<std::function<bool()>> fn;
+  const char* tag;
+
+  void operator()() const {
+    if (!(*fn)()) return;
+    sim->schedule_after(period, *this, tag);
+  }
+};
+
+}  // namespace
+
+void Simulator::schedule_every(SimTime period, std::function<bool()> fn,
+                               const char* tag) {
+  if (!(period > 0.0) || !std::isfinite(period)) {
+    throw std::invalid_argument(
+        "Simulator::schedule_every: period must be positive and finite");
+  }
+  if (!fn) {
+    throw std::invalid_argument("Simulator::schedule_every: empty callback");
+  }
+  PeriodicTick tick{this, period,
+                    std::make_shared<std::function<bool()>>(std::move(fn)),
+                    tag};
+  schedule_after(period, std::move(tick), tag);
+}
+
 bool Simulator::fire_next() {
   while (!queue_.empty()) {
     // priority_queue::top is const; the entry must be copied out before

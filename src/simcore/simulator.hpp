@@ -76,6 +76,15 @@ class Simulator {
   EventHandle schedule_after(SimTime delay, std::function<void()> fn,
                              const char* tag = nullptr);
 
+  /// Periodic event: fires `fn` every `period` seconds (first firing at
+  /// now + period) until `fn` returns false. period must be positive and
+  /// finite. The recurrence owns itself — each firing schedules the next
+  /// — so a tick that wants to stop returns false instead of cancelling
+  /// a handle; this is what keeps run() terminating once the periodic
+  /// work (e.g. a market tick with no tenants left) declares itself done.
+  void schedule_every(SimTime period, std::function<bool()> fn,
+                      const char* tag = nullptr);
+
   /// Runs until the event queue empties. Returns the number of events fired.
   std::uint64_t run();
   /// Runs until the queue empties or simulated time would exceed

@@ -213,7 +213,9 @@ TEST_P(SpecParseFuzz, RandomBytesNeverCrashTheParser) {
             "\n", "=", "#", " x ", " @ ", "..", ",", "workers", "kind",
             "seed", "fault_rate", "stockout", "utc_start_hour", "-", "1e",
             "true", "run", "K80", "us-central1", "*", "/", "supervise.",
-            "enabled", "heartbeat_timeout_s", "retune_", "nan", "inf"};
+            "enabled", "heartbeat_timeout_s", "retune_", "nan", "inf",
+            "fleet.", "tenants", "demand", "scheduler", "round-robin",
+            "cost-optimal", "capacity_", "migrate_gain"};
         text += kFragments[rng.uniform_index(std::size(kFragments))];
       } else {
         text += static_cast<char>(rng.uniform_index(256));
@@ -259,7 +261,9 @@ TEST_P(LedgerFuzz, RandomBytesNeverCrashTheReader) {
             "\"source\"", "\"instance\"", "\"worker\"", "\"step\"",
             "\"seconds\"", "\"usd\"", "\"detail\"", "billing",
             "launch_attempt", "revocation", "catchup_complete", "-1",
-            "1e308", "0.25", "\\u00e9", "\\\"", "true", "null", "[", "]"};
+            "1e308", "0.25", "\\u00e9", "\\\"", "true", "null", "[", "]",
+            "tenant_placement", "eviction", "migration",
+            "tenant_complete"};
         text += kFragments[rng.uniform_index(std::size(kFragments))];
       } else {
         text += static_cast<char>(rng.uniform_index(256));

@@ -77,6 +77,26 @@ ScenarioSpec full_spec() {
   spec.supervision.checkpoint.min_interval_steps = 75;
   spec.supervision.score_replacement = true;
   spec.supervision.hedged_replacement = true;
+  spec.fleet.tenants = 48;
+  spec.fleet.demand = 1.75;
+  spec.fleet.workers_per_tenant = 3;
+  spec.fleet.min_steps = 600;
+  spec.fleet.max_steps = 4400;
+  spec.fleet.checkpoint_interval_steps = 250;
+  spec.fleet.checkpoint_seconds = 12.5;
+  spec.fleet.restore_seconds = 42.25;
+  spec.fleet.deadline_hours = 6.5;
+  spec.fleet.model_mix = true;
+  spec.fleet.capacity_per_pool = 20;
+  spec.fleet.price_sensitivity = 1.5;
+  spec.fleet.price_exponent = 3.0;
+  spec.fleet.capacity_dip = 0.375;
+  spec.fleet.bid_spread = 0.75;
+  spec.fleet.market_period_s = 90.5;
+  spec.fleet.scheduler = fleet::SchedulerPolicy::kRoundRobin;
+  spec.fleet.migrate_period_s = 1200.0;
+  spec.fleet.migrate_gain = 0.3;
+  spec.fleet.hazard_revocations = true;
   spec.telemetry = true;
   return spec;
 }
@@ -231,6 +251,68 @@ TEST(ScenarioSpec, ValidateFlagsNonTerminatingRun) {
   EXPECT_FALSE(validate(spec).empty());
   spec.horizon_hours = 1.0;  // a deadline makes it terminate
   EXPECT_TRUE(validate(spec).empty());
+}
+
+TEST(ScenarioSpec, FleetKindNeedsNoWorkersAndSelfTerminates) {
+  // A bare fleet spec is valid: tenants drive their own placement (no
+  // worker groups) and the fleet drains on its own (no horizon needed).
+  const ParseResult result = parse("kind = fleet\n");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.spec.kind, HarnessKind::kFleet);
+  EXPECT_TRUE(validate(result.spec).empty());
+}
+
+TEST(ScenarioSpec, FleetKeysRejectOutOfRangeValues) {
+  ScenarioSpec spec = minimal_valid();
+  EXPECT_TRUE(set_field(spec, "fleet.tenants", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.demand", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.demand", "65").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.workers_per_tenant", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.min_steps", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.checkpoint_seconds", "-1").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.deadline_hours", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.model_mix", "maybe").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.capacity_per_pool", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.capacity_dip", "1.5").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.market_period_s", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.scheduler", "cheapest").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.migrate_gain", "1.5").has_value());
+  EXPECT_TRUE(set_field(spec, "fleet.hazard_revocations", "2").has_value());
+  // None of the rejected values touched the spec.
+  EXPECT_EQ(spec, minimal_valid());
+}
+
+TEST(ScenarioSpec, ValidateFlagsFleetSemantics) {
+  ScenarioSpec spec = minimal_valid();
+  spec.kind = HarnessKind::kFleet;
+  spec.fleet.min_steps = 100;
+  spec.fleet.max_steps = 50;
+  auto errors = validate(spec);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("min_steps"), std::string::npos);
+
+  spec.fleet = fleet::FleetConfig{};
+  // 10 workers can never fit a 12-slot pool dipped to 9 slots.
+  spec.fleet.workers_per_tenant = 10;
+  spec.fleet.capacity_per_pool = 12;
+  spec.fleet.capacity_dip = 0.25;
+  errors = validate(spec);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("workers_per_tenant"), std::string::npos);
+  // The same config under a non-fleet kind is inert.
+  spec.kind = HarnessKind::kSession;
+  EXPECT_TRUE(validate(spec).empty());
+}
+
+TEST(ScenarioSpec, FleetSchedulerPolicyNamesRoundTrip) {
+  fleet::SchedulerPolicy policy = fleet::SchedulerPolicy::kCostOptimal;
+  EXPECT_TRUE(fleet::scheduler_policy_from_name("round-robin", &policy));
+  EXPECT_EQ(policy, fleet::SchedulerPolicy::kRoundRobin);
+  EXPECT_STREQ(fleet::scheduler_policy_name(policy), "round-robin");
+  EXPECT_TRUE(fleet::scheduler_policy_from_name("cost-optimal", &policy));
+  EXPECT_EQ(policy, fleet::SchedulerPolicy::kCostOptimal);
+  EXPECT_STREQ(fleet::scheduler_policy_name(policy), "cost-optimal");
+  EXPECT_FALSE(fleet::scheduler_policy_from_name("greedy", &policy));
 }
 
 TEST(ScenarioSweep, ExpandTakesCartesianProductFirstAxisSlowest) {

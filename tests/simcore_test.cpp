@@ -293,5 +293,34 @@ TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
   EXPECT_DOUBLE_EQ(sim.now(), 3.0);
 }
 
+TEST(Simulator, ScheduleEveryFiresAtFixedPeriodUntilTickSaysStop) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_every(10.0, [&] {
+    fired.push_back(sim.now());
+    return fired.size() < 3;  // stop after the third tick
+  });
+  sim.run();  // must terminate: a false return reschedules nothing
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(fired[0], 10.0);
+  EXPECT_DOUBLE_EQ(fired[1], 20.0);
+  EXPECT_DOUBLE_EQ(fired[2], 30.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulator, ScheduleEveryTicksInterleaveWithOrdinaryEvents) {
+  Simulator sim;
+  std::vector<std::string> order;
+  sim.schedule_every(5.0, [&] {
+    order.push_back("tick@" + std::to_string(static_cast<int>(sim.now())));
+    return sim.now() < 14.0;
+  });
+  sim.schedule_at(7.0, [&] { order.push_back("event@7"); });
+  sim.run();
+  const std::vector<std::string> expected = {"tick@5", "event@7", "tick@10",
+                                             "tick@15"};
+  EXPECT_EQ(order, expected);
+}
+
 }  // namespace
 }  // namespace cmdare::simcore
