@@ -6,14 +6,16 @@
 # only: it re-runs bench_snapshot against the checked-in BENCH_*.json
 # and fails on a regression beyond the tolerance band.
 #
-#   scripts/ci.sh            # tier-1 + asan + tsan
+#   scripts/ci.sh            # tier-1 + asan + tsan + ubsan
 #   scripts/ci.sh --tier1    # tier-1 only
 #   scripts/ci.sh --asan     # ASan stage only
 #   scripts/ci.sh --tsan     # TSan stage only
+#   scripts/ci.sh --ubsan    # UBSan stage only (faults + supervise labels)
 #   scripts/ci.sh --bench    # perf-snapshot regression gate only
 #
-# Build trees: build/ (tier-1 + bench), build-asan/ and build-tsan/
-# (sanitized), all rooted at the repo top so incremental reruns are cheap.
+# Build trees: build/ (tier-1 + bench), build-asan/, build-tsan/, and
+# build-ubsan/ (sanitized), all rooted at the repo top so incremental
+# reruns are cheap.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,15 +23,20 @@ cd "$(dirname "$0")/.."
 run_tier1=true
 run_asan=true
 run_tsan=true
+run_ubsan=true
 run_bench=false
 case "${1:-}" in
-  --tier1) run_asan=false; run_tsan=false ;;
-  --asan) run_tier1=false; run_tsan=false ;;
-  --tsan) run_tier1=false; run_asan=false ;;
-  --bench) run_tier1=false; run_asan=false; run_tsan=false; run_bench=true ;;
+  --tier1) run_asan=false; run_tsan=false; run_ubsan=false ;;
+  --asan) run_tier1=false; run_tsan=false; run_ubsan=false ;;
+  --tsan) run_tier1=false; run_asan=false; run_ubsan=false ;;
+  --ubsan) run_tier1=false; run_asan=false; run_tsan=false ;;
+  --bench)
+    run_tier1=false; run_asan=false; run_tsan=false; run_ubsan=false
+    run_bench=true
+    ;;
   "") ;;
   *)
-    echo "usage: scripts/ci.sh [--tier1|--asan|--tsan|--bench]" >&2
+    echo "usage: scripts/ci.sh [--tier1|--asan|--tsan|--ubsan|--bench]" >&2
     exit 2
     ;;
 esac
@@ -58,7 +65,16 @@ if $run_tsan; then
     -DCMDARE_SANITIZE=thread
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R '^(ObsConcurrency|ThreadPool|Campaign|CampaignSpec|HeartbeatDetector|HazardEstimator|AdaptiveCheckpointController|SupervisedRun|DetectionCampaign|FleetCampaign)\.'
+    -R '^(ObsConcurrency|ThreadPool|Campaign|CampaignSpec|HeartbeatDetector|HazardEstimator|AdaptiveCheckpointController|SupervisedRun|DetectionCampaign|FleetCampaign|StormCampaign)\.'
+fi
+
+if $run_ubsan; then
+  echo "=== ubsan: faults + supervise labels under UndefinedBehaviorSanitizer ==="
+  cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMDARE_SANITIZE=undefined
+  cmake --build build-ubsan -j "$jobs"
+  ctest --test-dir build-ubsan -L 'faults|supervise' \
+    --output-on-failure -j "$jobs"
 fi
 
 if $run_bench; then

@@ -56,6 +56,122 @@ double CloudProvider::local_hour_now(Region region) const {
   return local_hour(region, campaign_start_utc_hour_, sim_->now());
 }
 
+void CloudProvider::set_fault_injector(faults::FaultInjector* injector) {
+  fault_injector_ = injector;
+  arm_storms();
+}
+
+void CloudProvider::arm_storms() {
+  if (storms_armed_ || fault_injector_ == nullptr) return;
+  const std::vector<faults::OutageStorm>& storms =
+      fault_injector_->plan().storms;
+  if (storms.empty()) return;  // storm-free plans schedule nothing
+  storms_armed_ = true;
+  for (std::size_t i = 0; i < storms.size(); ++i) {
+    sim_->schedule_at(
+        storms[i].start_s, [this, i] { storm_burst(i); }, "provider.storm");
+    sim_->schedule_at(
+        storms[i].end_s, [this, i] { storm_clear(i); }, "provider.storm");
+  }
+}
+
+void CloudProvider::set_outage_gauge(const faults::OutageStorm& storm,
+                                     double value) const {
+  obs::Registry* registry = obs::registry();
+  if (registry == nullptr) return;
+  for (const GpuType gpu : kAllGpuTypes) {
+    if (storm.gpu && *storm.gpu != gpu) continue;
+    registry
+        ->gauge("cloud.outage.active", {{"gpu", gpu_name(gpu)},
+                                        {"region", region_name(storm.region)}})
+        .set(value);
+  }
+}
+
+void CloudProvider::storm_burst(std::size_t index) {
+  if (fault_injector_ == nullptr) return;  // detached after arming
+  const faults::OutageStorm storm = fault_injector_->plan().storms[index];
+  set_outage_gauge(storm, 1.0);
+  // Collect victims first: on_revoked callbacks may request replacement
+  // instances, growing records_ mid-sweep.
+  std::vector<InstanceId> victims;
+  for (const InstanceRecord& r : records_) {
+    if (!r.alive() || !r.request.transient) continue;
+    if (r.request.region != storm.region) continue;
+    if (storm.gpu && *storm.gpu != r.request.gpu) continue;
+    if (fault_injector_->storm_kill(storm.kill_fraction)) {
+      victims.push_back(r.id);
+    }
+  }
+  for (const InstanceId id : victims) {
+    if (!records_[id].alive()) continue;  // a victim's callback got here
+    pending_events_[id].cancel();
+    pending_notices_[id].cancel();
+    // Mass capacity loss gives no per-instance warning: storm kills are
+    // abrupt, so supervised runs pay detection latency for them too.
+    records_[id].abrupt_kill = true;
+    ++outage_revocations_;
+    if (obs::Registry* registry = obs::registry()) {
+      registry->counter("cloud.outage.revocations_total").inc();
+    }
+    finish(id, InstanceState::kRevoked, "storm");
+    // Copy before invoking: the handler may request replacements, which
+    // can reallocate callbacks_ under the invocation.
+    if (const auto on_revoked = callbacks_[id].on_revoked) on_revoked(id);
+  }
+  LOG_INFO << "outage storm struck " << region_name(storm.region) << ": "
+           << victims.size() << " instance(s) revoked";
+}
+
+void CloudProvider::storm_clear(std::size_t index) {
+  if (fault_injector_ == nullptr) return;
+  obs::Registry* registry = obs::registry();
+  if (registry == nullptr) return;
+  const faults::OutageStorm& storm = fault_injector_->plan().storms[index];
+  for (const GpuType gpu : kAllGpuTypes) {
+    if (storm.gpu && *storm.gpu != gpu) continue;
+    // Tails are half-open, so at end_s this storm no longer covers; only
+    // clear the gauge if no *other* storm still does.
+    if (outage_active(storm.region, gpu)) continue;
+    registry
+        ->gauge("cloud.outage.active", {{"gpu", gpu_name(gpu)},
+                                        {"region", region_name(storm.region)}})
+        .set(0.0);
+  }
+}
+
+bool CloudProvider::outage_active(Region region, GpuType gpu) const {
+  if (fault_injector_ == nullptr) return false;
+  for (const faults::OutageStorm& storm : fault_injector_->plan().storms) {
+    if (storm.covers(region, gpu, sim_->now())) return true;
+  }
+  return false;
+}
+
+double CloudProvider::outage_hazard_multiplier(Region region,
+                                               GpuType gpu) const {
+  double multiplier = 1.0;
+  if (fault_injector_ == nullptr) return multiplier;
+  for (const faults::OutageStorm& storm : fault_injector_->plan().storms) {
+    if (storm.covers(region, gpu, sim_->now())) {
+      multiplier *= storm.hazard_multiplier;
+    }
+  }
+  return multiplier;
+}
+
+double CloudProvider::outage_startup_slowdown(Region region,
+                                              GpuType gpu) const {
+  double slowdown = 1.0;
+  if (fault_injector_ == nullptr) return slowdown;
+  for (const faults::OutageStorm& storm : fault_injector_->plan().storms) {
+    if (storm.covers(region, gpu, sim_->now())) {
+      slowdown *= storm.startup_slowdown;
+    }
+  }
+  return slowdown;
+}
+
 InstanceId CloudProvider::request_instance(const InstanceRequest& request,
                                            InstanceCallbacks callbacks) {
   if (request.transient &&
@@ -74,6 +190,15 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
   record.startup = startup_model_.sample(request.gpu, request.region,
                                          request.transient, request.context,
                                          rng_);
+  // Partial degradation during an outage tail: in-scope launches crawl.
+  // The sample above is drawn unconditionally so the rng_ stream is
+  // untouched when no storm covers the pool.
+  if (const double slow = outage_startup_slowdown(request.region, request.gpu);
+      slow > 1.0) {
+    record.startup.provisioning_s *= slow;
+    record.startup.staging_s *= slow;
+    record.startup.running_s *= slow;
+  }
   record.price_per_hour =
       request.transient
           ? gpu_spec(request.gpu).transient_price *
@@ -124,6 +249,15 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
         fault_injector_->stocked_out(request.region, request.gpu,
                                      sim_->now())) {
       failure = RequestFailureReason::kStockout;
+    } else if (request.transient &&
+               outage_active(request.region, request.gpu)) {
+      // Storm tail: the pool's transient capacity is gone until the
+      // storm clears. On-demand requests bypass, like any stockout.
+      failure = RequestFailureReason::kStockout;
+      ++outage_denials_;
+      if (obs::Registry* registry = obs::registry()) {
+        registry->counter("cloud.outage.denials_total").inc();
+      }
     } else if (fault_injector_->launch_error()) {
       failure = RequestFailureReason::kLaunchError;
     }
@@ -225,9 +359,16 @@ InstanceId CloudProvider::request_instance(const InstanceRequest& request,
           "provider.lifecycle");
     } else if (r.request.transient) {
       // Sample the revocation age from the hazard model; the 24h cap is
-      // represented by a nullopt sample.
-      const auto age = revocation_model_.sample_revocation_age_seconds(
+      // represented by a nullopt sample. During an outage tail the
+      // sampled age is compressed by the storm's hazard multiplier (the
+      // draw itself is unchanged, so storm-free seeds are unperturbed).
+      auto age = revocation_model_.sample_revocation_age_seconds(
           r.request.region, r.request.gpu, r.running_local_hour, rng_);
+      if (const double mult =
+              outage_hazard_multiplier(r.request.region, r.request.gpu);
+          age && mult > 1.0) {
+        age = *age / mult;
+      }
       const double end_age =
           age.value_or(kMaxTransientLifetimeSeconds);
       const InstanceState terminal =

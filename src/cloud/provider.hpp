@@ -139,11 +139,30 @@ class CloudProvider {
 
   /// Attaches a fault injector (non-owning; nullptr detaches). Without
   /// one, request_instance never fails and every revocation carries the
-  /// full preemption notice — the pre-fault-layer contract.
-  void set_fault_injector(faults::FaultInjector* injector) {
-    fault_injector_ = injector;
-  }
+  /// full preemption notice — the pre-fault-layer contract. If the
+  /// injector's plan carries OutageStorms their burst/clear events are
+  /// armed here (once); storm-free plans schedule nothing, so existing
+  /// seeds stay bit-identical.
+  void set_fault_injector(faults::FaultInjector* injector);
   faults::FaultInjector* fault_injector() const { return fault_injector_; }
+
+  // --- outage storms (correlated failures) -----------------------------
+  // A storm's burst abruptly revokes the drawn fraction of in-scope live
+  // transient instances; its tail [start_s, end_s) then denies in-scope
+  // transient requests like a stockout, scales the sampled revocation
+  // hazard, and slows startup. State is derived from the plan's windows,
+  // so the tail needs no bookkeeping events.
+
+  /// True while any storm tail covers the (region, GPU) pool.
+  bool outage_active(Region region, GpuType gpu) const;
+  /// Product of the hazard multipliers of every active covering storm.
+  double outage_hazard_multiplier(Region region, GpuType gpu) const;
+  /// Product of the startup slowdowns of every active covering storm.
+  double outage_startup_slowdown(Region region, GpuType gpu) const;
+
+  /// Instances revoked by storm bursts / requests denied by storm tails.
+  std::uint64_t outage_revocations() const { return outage_revocations_; }
+  std::uint64_t outage_denials() const { return outage_denials_; }
 
   /// Customer-initiated deletion; safe in any non-terminal state.
   void terminate(InstanceId id);
@@ -217,6 +236,10 @@ class CloudProvider {
               const char* reason = nullptr);
   PoolState& pool(Region region, GpuType gpu);
   const PoolState& pool(Region region, GpuType gpu) const;
+  void arm_storms();
+  void storm_burst(std::size_t index);
+  void storm_clear(std::size_t index);
+  void set_outage_gauge(const faults::OutageStorm& storm, double value) const;
 
   simcore::Simulator* sim_;
   util::Rng rng_;
@@ -230,6 +253,9 @@ class CloudProvider {
   std::vector<simcore::EventHandle> pending_notices_;
   PoolState pools_[kAllRegions.size()][kAllGpuTypes.size()];
   bool hazard_revocations_ = true;
+  bool storms_armed_ = false;
+  std::uint64_t outage_revocations_ = 0;
+  std::uint64_t outage_denials_ = 0;
 };
 
 }  // namespace cmdare::cloud

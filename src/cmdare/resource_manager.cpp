@@ -32,6 +32,10 @@ TransientTrainingRun::TransientTrainingRun(cloud::CloudProvider& provider,
   }
   target_steps_ = config_.session.max_steps;
   ps_count_ = config_.session.ps_count;
+  if (config_.supervision.elastic.enabled && !config_.supervision.enabled) {
+    throw std::invalid_argument(
+        "TransientTrainingRun: elastic membership requires supervision");
+  }
   if (config_.supervision.enabled) {
     // fork() is const, so building the supervisor leaves every other
     // stream of this run untouched: enabling supervision perturbs no
@@ -42,6 +46,33 @@ TransientTrainingRun::TransientTrainingRun(cloud::CloudProvider& provider,
       handle_failure_detected(id);
     };
     supervisor_->on_retune = [this] { retune_checkpoint_interval(); };
+    if (config_.supervision.elastic.enabled) {
+      // Every breaker state change is worth a ledger line: the analyzer
+      // pairs open/close transitions with elastic shrink/grow events to
+      // attribute degraded-capacity time.
+      supervisor_->breaker().on_transition =
+          [this](cloud::Region region, cloud::GpuType gpu,
+                 supervise::BreakerState from, supervise::BreakerState to,
+                 double at) {
+            if (obs::Registry* registry = obs::registry()) {
+              registry
+                  ->counter("supervise.breaker_transitions_total",
+                            {{"to", supervise::breaker_state_name(to)}})
+                  .inc();
+            }
+            if (obs::Ledger* ledger = obs::ledger()) {
+              obs::LedgerEvent event;
+              event.kind = obs::LedgerEventKind::kBreakerTransition;
+              event.at = at;
+              event.source = "run";
+              event.detail = {{"region", cloud::region_name(region)},
+                              {"gpu", cloud::gpu_name(gpu)},
+                              {"from", supervise::breaker_state_name(from)},
+                              {"to", supervise::breaker_state_name(to)}};
+              ledger->record(std::move(event));
+            }
+          };
+    }
   }
   make_session(target_steps_);
 }
@@ -248,6 +279,38 @@ void TransientTrainingRun::handle_running(cloud::InstanceId instance) {
   if (!supervisor_) return;
 
   supervisor_->watch_instance(instance);
+  if (elastic_enabled()) {
+    // A successful launch closes (or keeps closed) the pool's breaker;
+    // a half-open probe success is exactly this call.
+    supervisor_->breaker().record_success(placement.spec.region,
+                                          placement.spec.gpu,
+                                          provider_->simulator().now());
+    if (placement.elastic_regrow) {
+      placement.elastic_regrow = false;
+      ++elastic_grows_;
+      supervisor_->elastic().note_change(provider_->simulator().now());
+      if (obs::Registry* registry = obs::registry()) {
+        registry->counter("supervise.elastic.grows_total").inc();
+        registry->gauge("supervise.elastic.deferred_slots")
+            .set(static_cast<double>(deferred_slots_.size()));
+      }
+      if (obs::Ledger* ledger = obs::ledger()) {
+        obs::LedgerEvent event;
+        event.kind = obs::LedgerEventKind::kElasticGrow;
+        event.at = provider_->simulator().now();
+        event.source = "run";
+        event.instance = static_cast<long long>(instance);
+        event.worker = static_cast<long long>(*placement.worker);
+        event.detail = {
+            {"region", cloud::region_name(placement.spec.region)},
+            {"gpu", cloud::gpu_name(placement.spec.gpu)},
+            {"deficit", std::to_string(deferred_slots_.size())}};
+        ledger->record(std::move(event));
+      }
+      // More slots may be parked behind this probe.
+      arm_regrow();
+    }
+  }
   if (placement.recovering_since >= 0.0) {
     // Recovery latency: slot death (or fencing) to the replacement
     // worker actually rejoining the session.
@@ -350,6 +413,7 @@ void TransientTrainingRun::handle_revoked(cloud::InstanceId instance) {
   }
   if (config_.auto_replace && !finished_) {
     if (supervisor_) {
+      if (maybe_shrink(placement, instance, "revocation")) return;
       launch_replacement(placement.spec, provider_->simulator().now(),
                          instance);
     } else {
@@ -389,6 +453,7 @@ void TransientTrainingRun::handle_failure_detected(
     const double recovering_since = placement.recovering_since;
     placement.recovering_since = -1.0;
     if (config_.auto_replace) {
+      if (maybe_shrink(placement, instance, "detected_kill")) return;
       launch_replacement(placement.spec, recovering_since, instance);
     }
     return;
@@ -429,6 +494,104 @@ void TransientTrainingRun::launch_replacement(
       registry->counter("supervise.hedged_launches_total").inc();
     }
   }
+}
+
+bool TransientTrainingRun::maybe_shrink(const Placement& placement,
+                                        cloud::InstanceId instance,
+                                        const char* trigger) {
+  if (!elastic_enabled() || finished_) return false;
+  const double now = provider_->simulator().now();
+  const train::WorkerSpec& spec = placement.spec;
+  // The lost slot still counts in expected_worker_count() until it is
+  // deferred, so the cluster that remains without it is one smaller.
+  const int live = static_cast<int>(expected_worker_count()) - 1;
+  const bool breaker_allows =
+      supervisor_->breaker().state(spec.region, spec.gpu, now) !=
+      supervise::BreakerState::kOpen;
+  const double hazard = supervisor_->estimator().rate_per_hour(
+      spec.region, spec.gpu, now / 3600.0);
+  const double overhead =
+      provider_->startup_model().mean_stages(spec.gpu, spec.transient).total() +
+      cloud::cold_replacement_seconds(model_);
+  // latest_speed() is empty before the first profiler window closes; the
+  // negative sentinel disables the deadline-urgency override.
+  double remaining_work_s = -1.0;
+  if (const auto speed = profiler_.latest_speed(); speed && *speed > 0.0) {
+    remaining_work_s =
+        static_cast<double>(std::max<long>(0, target_steps_ - completed_steps())) /
+        *speed;
+  }
+  const supervise::ElasticDecision decision =
+      supervisor_->elastic().on_worker_lost(breaker_allows, hazard, overhead,
+                                            live, now, remaining_work_s);
+  if (decision.replace) return false;
+
+  ++elastic_shrinks_;
+  deferred_slots_.push_back(placement.original_spec);
+  supervisor_->elastic().note_change(now);
+  LOG_INFO << "elastic shrink (" << decision.reason << ", " << trigger
+           << "): slot deferred, cluster degrades to "
+           << expected_worker_count() << " workers";
+  if (obs::Registry* registry = obs::registry()) {
+    registry
+        ->counter("supervise.elastic.shrinks_total",
+                  {{"reason", decision.reason}})
+        .inc();
+    registry->gauge("supervise.elastic.deferred_slots")
+        .set(static_cast<double>(deferred_slots_.size()));
+  }
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kElasticShrink;
+    event.at = now;
+    event.source = "run";
+    event.instance = static_cast<long long>(instance);
+    event.detail = {{"reason", decision.reason},
+                    {"trigger", trigger},
+                    {"region", cloud::region_name(spec.region)},
+                    {"gpu", cloud::gpu_name(spec.gpu)},
+                    {"deficit", std::to_string(deferred_slots_.size())}};
+    ledger->record(std::move(event));
+  }
+  arm_regrow();
+  return true;
+}
+
+void TransientTrainingRun::arm_regrow() {
+  if (regrow_armed_ || finished_ || deferred_slots_.empty()) return;
+  regrow_armed_ = true;
+  const double period =
+      std::max(1.0, config_.supervision.elastic.grow_hysteresis_s);
+  provider_->simulator().schedule_after(
+      period, [this] { run_regrow(); }, "elastic.regrow");
+}
+
+void TransientTrainingRun::run_regrow() {
+  regrow_armed_ = false;
+  if (finished_ || deferred_slots_.empty()) return;
+  const double now = provider_->simulator().now();
+  supervise::ElasticPolicy& policy = supervisor_->elastic();
+  const train::WorkerSpec spec = deferred_slots_.front();
+  const double hazard = supervisor_->estimator().rate_per_hour(
+      spec.region, spec.gpu, now / 3600.0);
+  const double overhead =
+      provider_->startup_model().mean_stages(spec.gpu, spec.transient).total() +
+      cloud::cold_replacement_seconds(model_);
+  if (policy.may_grow(now) && policy.regrow_economical(hazard, overhead) &&
+      supervisor_->breaker().allow_request(spec.region, spec.gpu, now)) {
+    // Probe: one deferred slot relaunched through the breaker's
+    // half-open window (a closed breaker admits it directly). Success
+    // lands in handle_running, failure in handle_request_failed.
+    deferred_slots_.erase(deferred_slots_.begin());
+    policy.note_change(now);
+    if (obs::Registry* registry = obs::registry()) {
+      registry->counter("supervise.elastic.grow_attempts_total").inc();
+    }
+    const cloud::InstanceId id =
+        launch_worker(spec, config_.replacement_context);
+    placements_.at(id).elastic_regrow = true;
+  }
+  arm_regrow();
 }
 
 bool TransientTrainingRun::advance_fallback(Placement& placement) {
@@ -512,6 +675,24 @@ void TransientTrainingRun::handle_request_failed(
             ? supervise::FailureKind::kStockout
             : supervise::FailureKind::kLaunchError);
   }
+  if (elastic_enabled()) {
+    supervisor_->breaker().record_failure(it->second.spec.region,
+                                          it->second.spec.gpu,
+                                          provider_->simulator().now());
+    if (it->second.elastic_regrow) {
+      // Failed regrow probe: the breaker just re-opened with a grown
+      // backoff. The slot goes back to the deferred queue and waits for
+      // the next probe window instead of entering the retry chain.
+      deferred_slots_.push_back(it->second.original_spec);
+      if (obs::Registry* registry = obs::registry()) {
+        registry->counter("supervise.elastic.probe_failures_total").inc();
+        registry->gauge("supervise.elastic.deferred_slots")
+            .set(static_cast<double>(deferred_slots_.size()));
+      }
+      arm_regrow();
+      return;
+    }
+  }
   const ResiliencePolicy& policy = config_.resilience;
   // The failed placement stays in the map (its record is terminal); the
   // slot's retry state rides along into the next request.
@@ -571,6 +752,14 @@ void TransientTrainingRun::handle_request_failed(
     }
   } else {
     retry.consecutive_stockouts = 0;
+  }
+
+  // Elastic alternative to grinding the retry chain into a struck pool:
+  // once the breaker opens (or replacement turns uneconomical), park the
+  // slot instead of burning attempts toward permanent abandonment.
+  if (reason == cloud::RequestFailureReason::kStockout &&
+      maybe_shrink(retry, instance, "stockout")) {
+    return;
   }
 
   if (retry.attempt >= policy.max_launch_attempts) {

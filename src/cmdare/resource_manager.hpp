@@ -133,6 +133,13 @@ class TransientTrainingRun {
   int fenced_workers() const { return fenced_workers_; }
   /// Hedged replacement legs cancelled after the partner won the race.
   int hedges_cancelled() const { return hedges_cancelled_; }
+  /// Elastic membership: worker losses absorbed (slot deferred, not
+  /// replaced) / deferred slots regrown to target size.
+  int elastic_shrinks() const { return elastic_shrinks_; }
+  int elastic_grows() const { return elastic_grows_; }
+  /// Slots currently parked in the deferred queue (shrinks minus grows,
+  /// minus any probe in flight).
+  std::size_t deferred_worker_slots() const { return deferred_slots_.size(); }
   /// Death -> replacement-worker-joined durations observed per recovery.
   const std::vector<double>& recovery_seconds() const {
     return recovery_seconds_;
@@ -143,10 +150,12 @@ class TransientTrainingRun {
   long adaptive_checkpoint_interval() const { return adaptive_interval_; }
 
   /// Worker slots the run is still trying to keep filled (the configured
-  /// count minus abandoned slots) — what "full strength" means for the
-  /// controller once the cloud has refused to fill a slot.
+  /// count minus abandoned and elastically deferred slots) — what "full
+  /// strength" means for the controller once the cloud has refused to
+  /// fill a slot or the elastic policy has parked it.
   std::size_t expected_worker_count() const {
-    return config_.workers.size() - static_cast<std::size_t>(slots_abandoned_);
+    return config_.workers.size() -
+           static_cast<std::size_t>(slots_abandoned_) - deferred_slots_.size();
   }
 
   /// Worker GPU-hours cost so far plus parameter-server cost.
@@ -195,6 +204,9 @@ class TransientTrainingRun {
     // eventual replacement can report its recovery latency.
     bool replacement_pending = false;
     bool cancelled = false;
+    /// Regrow probe for a deferred slot: a failure returns the slot to
+    /// the deferred queue instead of entering the launch-retry chain.
+    bool elastic_regrow = false;
     std::optional<cloud::InstanceId> hedge_partner;
     double recovering_since = -1.0;
     /// Instance whose death this placement replaces (recovery-incident
@@ -233,6 +245,21 @@ class TransientTrainingRun {
   /// One adaptive-checkpoint tick: gathers live PlanInputs and applies
   /// the controller's decision to the session.
   void retune_checkpoint_interval();
+  /// Elastic membership (circuit breaker + shrink/regrow) is live only
+  /// when the supervisor exists and the switch is on.
+  bool elastic_enabled() const {
+    return supervisor_ != nullptr && config_.supervision.elastic.enabled;
+  }
+  /// Consults the elastic policy for a lost slot; on a shrink verdict
+  /// parks the slot in the deferred queue (emitting the ledger event and
+  /// arming the regrow loop) and returns true. False means replace.
+  bool maybe_shrink(const Placement& placement, cloud::InstanceId instance,
+                    const char* trigger);
+  /// Schedules the next regrow sweep (idempotent, self-quiescing).
+  void arm_regrow();
+  /// One regrow sweep: launches a probe for the head of the deferred
+  /// queue when hysteresis, breaker admission and economics all allow.
+  void run_regrow();
   /// Mean of recent observed checkpoint durations, falling back to the
   /// calibrated mean before any checkpoint completed.
   double observed_checkpoint_seconds() const;
@@ -279,8 +306,14 @@ class TransientTrainingRun {
   int detected_failures_ = 0;
   int fenced_workers_ = 0;
   int hedges_cancelled_ = 0;
+  int elastic_shrinks_ = 0;
+  int elastic_grows_ = 0;
   long adaptive_interval_ = 0;
   std::vector<double> recovery_seconds_;
+  /// Original specs of slots the elastic policy declined to refill;
+  /// regrow probes drain the queue front-first.
+  std::vector<train::WorkerSpec> deferred_slots_;
+  bool regrow_armed_ = false;
 };
 
 }  // namespace cmdare::core

@@ -20,6 +20,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "restore_error";
     case FaultKind::kAbruptKill:
       return "abrupt_kill";
+    case FaultKind::kStormKill:
+      return "storm_kill";
   }
   return "?";
 }
@@ -31,10 +33,18 @@ bool StockoutWindow::covers(cloud::Region r, cloud::GpuType g,
   return now >= start_s && now < end_s;
 }
 
+bool OutageStorm::covers(cloud::Region r, cloud::GpuType g,
+                         double now) const {
+  if (r != region) return false;
+  if (gpu && *gpu != g) return false;
+  return now >= start_s && now < end_s;
+}
+
 bool FaultPlan::any() const {
   return launch_error_rate > 0.0 || !stockouts.empty() ||
          upload_error_rate > 0.0 || upload_slowdown_rate > 0.0 ||
-         restore_error_rate > 0.0 || abrupt_kill_rate > 0.0;
+         restore_error_rate > 0.0 || abrupt_kill_rate > 0.0 ||
+         !storms.empty();
 }
 
 FaultPlan FaultPlan::uniform(double rate) {
@@ -67,7 +77,8 @@ FaultInjector::FaultInjector(FaultPlan plan, util::Rng rng)
       upload_rng_(rng.fork("upload")),
       slowdown_rng_(rng.fork("slowdown")),
       restore_rng_(rng.fork("restore")),
-      kill_rng_(rng.fork("abrupt-kill")) {
+      kill_rng_(rng.fork("abrupt-kill")),
+      storm_rng_(rng.fork("storm")) {
   validate_rate(plan_.launch_error_rate, "launch_error_rate");
   validate_rate(plan_.upload_error_rate, "upload_error_rate");
   validate_rate(plan_.upload_slowdown_rate, "upload_slowdown_rate");
@@ -81,6 +92,21 @@ FaultInjector::FaultInjector(FaultPlan plan, util::Rng rng)
     if (w.end_s < w.start_s) {
       throw std::invalid_argument(
           "FaultInjector: stockout window ends before it starts");
+    }
+  }
+  for (const OutageStorm& storm : plan_.storms) {
+    if (storm.start_s < 0.0 || storm.end_s < storm.start_s) {
+      throw std::invalid_argument(
+          "FaultInjector: storm window ends before it starts");
+    }
+    validate_rate(storm.kill_fraction, "storm kill_fraction");
+    if (storm.hazard_multiplier < 1.0) {
+      throw std::invalid_argument(
+          "FaultInjector: storm hazard_multiplier must be >= 1");
+    }
+    if (storm.startup_slowdown < 1.0) {
+      throw std::invalid_argument(
+          "FaultInjector: storm startup_slowdown must be >= 1");
     }
   }
 }
@@ -137,6 +163,10 @@ bool FaultInjector::restore_error() {
 
 bool FaultInjector::abrupt_kill() {
   return draw(kill_rng_, plan_.abrupt_kill_rate, FaultKind::kAbruptKill);
+}
+
+bool FaultInjector::storm_kill(double kill_fraction) {
+  return draw(storm_rng_, kill_fraction, FaultKind::kStormKill);
 }
 
 std::uint64_t FaultInjector::injected(FaultKind kind) const {

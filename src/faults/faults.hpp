@@ -38,9 +38,10 @@ enum class FaultKind {
   kUploadSlowdown = 3,  // checkpoint upload degraded
   kRestoreError = 4,    // checkpoint blob unreadable on restore
   kAbruptKill = 5,      // revocation without the 30 s notice
+  kStormKill = 6,       // instance swept by an OutageStorm burst
 };
 
-inline constexpr std::size_t kFaultKindCount = 6;
+inline constexpr std::size_t kFaultKindCount = 7;
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -59,6 +60,33 @@ struct StockoutWindow {
                          const StockoutWindow&) = default;
 };
 
+/// A correlated failure storm: at `start_s` a mass-revocation burst
+/// strikes every live transient instance in the (region, GPU) scope —
+/// each one revoked abruptly with probability `kill_fraction` — and the
+/// scope then stays in an outage tail until `end_s`: transient requests
+/// are denied like a stockout, hazard-sampled revocations arrive
+/// `hazard_multiplier`× faster, and startup crawls by a factor of
+/// `startup_slowdown` (partial degradation). Independent per-instance
+/// revocations (Table V) compose with a storm; the storm models the
+/// *correlated* bulk failure they cannot express.
+struct OutageStorm {
+  cloud::Region region = cloud::Region::kUsCentral1;
+  /// nullopt = every GPU type in the region is struck.
+  std::optional<cloud::GpuType> gpu;
+  double start_s = 0.0;  // burst instant; tail is [start_s, end_s)
+  double end_s = 0.0;
+  /// Probability each in-scope live transient instance dies in the burst.
+  double kill_fraction = 1.0;
+  /// Revocation-hazard multiplier for in-scope launches during the tail.
+  double hazard_multiplier = 1.0;
+  /// Startup-duration multiplier for in-scope launches during the tail.
+  double startup_slowdown = 1.0;
+
+  bool covers(cloud::Region r, cloud::GpuType g, double now) const;
+
+  friend bool operator==(const OutageStorm&, const OutageStorm&) = default;
+};
+
 /// Declarative fault configuration. All rates are per-decision Bernoulli
 /// probabilities in [0, 1]; the default plan injects nothing.
 struct FaultPlan {
@@ -75,6 +103,8 @@ struct FaultPlan {
   double restore_error_rate = 0.0;
   /// Probability a revocation skips the preemption notice entirely.
   double abrupt_kill_rate = 0.0;
+  /// Correlated (region, GPU) outage storms (burst + stockout tail).
+  std::vector<OutageStorm> storms;
 
   /// True when any fault class can fire.
   bool any() const;
@@ -102,6 +132,9 @@ class FaultInjector {
   double upload_slowdown();
   bool restore_error();
   bool abrupt_kill();
+  /// One burst-sweep draw per in-scope instance: does this one die?
+  /// Fractions 0 and 1 short-circuit without touching the storm stream.
+  bool storm_kill(double kill_fraction);
 
   const FaultPlan& plan() const { return plan_; }
   std::uint64_t injected(FaultKind kind) const;
@@ -119,6 +152,7 @@ class FaultInjector {
   util::Rng slowdown_rng_;
   util::Rng restore_rng_;
   util::Rng kill_rng_;
+  util::Rng storm_rng_;
   std::array<std::uint64_t, kFaultKindCount> counts_{};
 };
 

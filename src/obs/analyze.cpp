@@ -45,6 +45,11 @@ struct ScopeState {
   std::map<long long, double> running_at;
   std::map<long long, double> join_delay;
   std::set<long long> recovered_deaths;
+
+  // Elastic shrink-depth integration (degraded-capacity attribution).
+  int elastic_depth = 0;
+  double elastic_depth_since = 0.0;
+  double degraded_slot_seconds = 0.0;
 };
 
 const std::string* find_detail(const LedgerEvent& event, const char* key) {
@@ -266,6 +271,24 @@ void analyze_scope(const std::vector<const LedgerEvent*>& events,
       case LedgerEventKind::kTenantComplete:
         ++counts.tenants_completed;
         break;
+      case LedgerEventKind::kBreakerTransition:
+        ++out->elastic.breaker_transitions;
+        if (detail_is(event, "to", "open")) ++out->elastic.breaker_opens;
+        break;
+      case LedgerEventKind::kElasticShrink:
+        ++out->elastic.shrinks;
+        state.degraded_slot_seconds +=
+            state.elastic_depth * (event.at - state.elastic_depth_since);
+        ++state.elastic_depth;
+        state.elastic_depth_since = event.at;
+        break;
+      case LedgerEventKind::kElasticGrow:
+        ++out->elastic.grows;
+        state.degraded_slot_seconds +=
+            state.elastic_depth * (event.at - state.elastic_depth_since);
+        state.elastic_depth = std::max(0, state.elastic_depth - 1);
+        state.elastic_depth_since = event.at;
+        break;
       case LedgerEventKind::kBilling: {
         ScopeState::BillWindow bill;
         bill.instance = event.instance;
@@ -320,6 +343,15 @@ void analyze_scope(const std::vector<const LedgerEvent*>& events,
       ++out->recovery.unmatched_deaths;
     }
   }
+
+  // A deficit still open at the end of the scope runs until its last
+  // event (run_complete or the final billing tick closes the books).
+  if (state.elastic_depth > 0 && !events.empty()) {
+    state.degraded_slot_seconds +=
+        state.elastic_depth *
+        (events.back()->at - state.elastic_depth_since);
+  }
+  out->elastic.degraded_slot_seconds += state.degraded_slot_seconds;
 
   // Cost classification, one billing window at a time.
   CostDecomposition& cost = out->cost;
@@ -430,6 +462,17 @@ std::vector<std::pair<std::string, double>> flatten(
                     static_cast<double>(analysis.counts.tenants_completed));
   rows.emplace_back("events.scopes",
                     static_cast<double>(analysis.counts.scopes));
+
+  rows.emplace_back("elastic.shrinks",
+                    static_cast<double>(analysis.elastic.shrinks));
+  rows.emplace_back("elastic.grows",
+                    static_cast<double>(analysis.elastic.grows));
+  rows.emplace_back("elastic.breaker_transitions",
+                    static_cast<double>(analysis.elastic.breaker_transitions));
+  rows.emplace_back("elastic.breaker_opens",
+                    static_cast<double>(analysis.elastic.breaker_opens));
+  rows.emplace_back("elastic.degraded_slot_seconds",
+                    analysis.elastic.degraded_slot_seconds);
   return rows;
 }
 
@@ -523,6 +566,20 @@ void write_report(const LedgerAnalysis& analysis, std::ostream& out) {
   row("idle    ", cost.idle);
   out << "  billed  : " << util::format_duration(cost.billed_seconds) << "  $"
       << util::format_double(cost.billed_usd, 4) << "\n";
+
+  const ElasticAnalysis& elastic = analysis.elastic;
+  if (elastic.shrinks > 0 || elastic.breaker_transitions > 0) {
+    // Degraded capacity is deliberately outside the four-bucket identity:
+    // a deferred slot bills nothing, so its absence shows up as capacity
+    // not bought rather than dollars misspent.
+    out << "\n-- Elastic membership --\n";
+    out << "  shrinks " << elastic.shrinks << ", grows " << elastic.grows
+        << ", breaker transitions " << elastic.breaker_transitions
+        << " (opens " << elastic.breaker_opens << ")\n";
+    out << "  degraded capacity: "
+        << util::format_duration(elastic.degraded_slot_seconds)
+        << " slot-seconds below target\n";
+  }
 
   const RecoveryAnalysis& recovery = analysis.recovery;
   out << "\n-- Recovery timelines --\n";

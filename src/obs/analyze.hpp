@@ -118,10 +118,24 @@ struct LedgerCounts {
   std::size_t scopes = 0;  // independent runs found in the ledger
 };
 
+/// Elastic degraded-mode attribution. Deferred slots are exactly the
+/// seconds *not* billed, so they live outside the Eq. 4 identity:
+/// degraded_slot_seconds integrates the shrink depth (slots below the
+/// configured target) over time — shrink events raise it, grow events
+/// lower it, and an open deficit at the last ledger event closes there.
+struct ElasticAnalysis {
+  std::size_t shrinks = 0;
+  std::size_t grows = 0;
+  std::size_t breaker_transitions = 0;
+  std::size_t breaker_opens = 0;
+  double degraded_slot_seconds = 0.0;
+};
+
 struct LedgerAnalysis {
   RecoveryAnalysis recovery;
   CostDecomposition cost;
   LedgerCounts counts;
+  ElasticAnalysis elastic;
 };
 
 /// Folds a ledger (single-run or merged-campaign) into the analysis.

@@ -74,6 +74,9 @@ enum class LedgerEventKind {
   kEviction,           // fleet: market evicted a tenant (detail reason=...)
   kMigration,          // fleet: scheduler moved a tenant between pools
   kTenantComplete,     // fleet: tenant reached its work target
+  kBreakerTransition,  // run: launch breaker changed state (detail from/to)
+  kElasticShrink,      // run: worker loss absorbed, not replaced (degraded)
+  kElasticGrow,        // run: deferred slot regrown to target size
 };
 
 /// Serialization token for `kind` ("launch_attempt", "billing", ...).

@@ -3,7 +3,7 @@
 namespace cmdare::obs {
 
 namespace detail {
-thread_local Telemetry* g_active = nullptr;
+thread_local constinit Telemetry* g_active = nullptr;
 }  // namespace detail
 
 void install(Telemetry* telemetry) { detail::g_active = telemetry; }

@@ -41,7 +41,10 @@ struct Telemetry {
 };
 
 namespace detail {
-extern thread_local Telemetry* g_active;
+// constinit: no dynamic initializer, so cross-TU access skips the TLS
+// init wrapper — keeps the inline accessors a direct TLS load (and
+// avoids GCC 12's spurious -fsanitize=null report on wrapper calls).
+extern thread_local constinit Telemetry* g_active;
 }  // namespace detail
 
 /// Installs `telemetry` as the calling thread's sink (nullptr disables —

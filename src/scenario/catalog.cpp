@@ -232,6 +232,92 @@ exp::ReplicaResult fleet_replica(const ScenarioCell& cell, int /*replica*/,
   return result;
 }
 
+ScenarioSpec storm_scenario() {
+  ScenarioSpec spec;
+  spec.name = "storm";
+  spec.kind = HarnessKind::kRun;
+  spec.seed = 909;
+  spec.model = "resnet-15";
+  spec.workers = {{4, cloud::GpuType::kK80, cloud::Region::kUsCentral1,
+                   true}};
+  // ~32 steps/s at full strength: the storm lands mid-run and the
+  // post-tail regrow window still matters before the target is hit.
+  spec.max_steps = 600000;
+  spec.checkpoint_interval_steps = 10000;
+  spec.horizon_hours = 12.0;
+
+  // One correlated storm an hour in: a mass-revocation burst followed by
+  // a 90-minute stockout tail with inflated hazard and slowed startups.
+  // The sweep's `storms` axis overrides this with its intensity grid.
+  faults::OutageStorm storm;
+  storm.region = cloud::Region::kUsCentral1;
+  storm.gpu = cloud::GpuType::kK80;
+  storm.start_s = 3600.0;
+  storm.end_s = 9000.0;
+  storm.kill_fraction = 0.6;
+  storm.hazard_multiplier = 4.0;
+  storm.startup_slowdown = 2.0;
+  spec.faults.storms.push_back(storm);
+
+  // No fallback ladder: the study isolates membership policy, so a
+  // stockout either retries into the struck pool (1-for-1 arm, which
+  // exhausts max_launch_attempts and abandons the slot) or defers the
+  // slot through the breaker (elastic arm).
+  spec.resilience.allow_region_fallback = false;
+  spec.resilience.allow_gpu_fallback = false;
+  spec.resilience.allow_on_demand_fallback = false;
+
+  spec.supervision.enabled = true;
+  spec.supervision.heartbeat.period_s = 15.0;
+  spec.supervision.heartbeat.timeout_s = 120.0;
+  // Elastic off in the base; the sweep axis flips it. The knobs below
+  // are shared by both arms so the axis isolates the policy itself.
+  spec.supervision.elastic.enabled = false;
+  spec.supervision.elastic.min_workers = 1;
+  spec.supervision.elastic.grow_hysteresis_s = 120.0;
+  spec.supervision.elastic.futility_threshold = 0.5;
+  return spec;
+}
+
+exp::ReplicaResult storm_replica(const ScenarioCell& cell, int /*replica*/,
+                                 util::Rng& rng,
+                                 obs::Telemetry* /*telemetry*/) {
+  SimHarness harness(cell.spec, rng);
+  const ScenarioResult outcome = harness.run();
+
+  exp::ReplicaResult result;
+  result.observe("finished", outcome.finished ? 1.0 : 0.0);
+  result.observe("steps", static_cast<double>(outcome.completed_steps));
+  // elapsed_seconds is the makespan when finished and the horizon
+  // otherwise, so it is directly the time-to-target objective (lower is
+  // better; unfinished runs saturate at the deadline).
+  result.observe("time_to_target_s", outcome.elapsed_seconds);
+  result.observe("cost_usd", outcome.cost_usd);
+  if (outcome.completed_steps > 0) {
+    result.observe("usd_per_kstep",
+                   1000.0 * outcome.cost_usd /
+                       static_cast<double>(outcome.completed_steps));
+  }
+  result.observe("revocations", static_cast<double>(outcome.revocations));
+  result.observe("outage_revocations",
+                 static_cast<double>(outcome.outage_revocations));
+  result.observe("outage_denials",
+                 static_cast<double>(outcome.outage_denials));
+  result.observe("launch_retries",
+                 static_cast<double>(outcome.launch_retries));
+  result.observe("slots_abandoned",
+                 static_cast<double>(outcome.slots_abandoned));
+  result.observe("elastic_shrinks",
+                 static_cast<double>(outcome.elastic_shrinks));
+  result.observe("elastic_grows",
+                 static_cast<double>(outcome.elastic_grows));
+  result.observe("breaker_opens",
+                 static_cast<double>(outcome.breaker_opens));
+  result.observe("breaker_transitions",
+                 static_cast<double>(outcome.breaker_transitions));
+  return result;
+}
+
 const std::vector<NamedCampaign>& named_campaigns() {
   static const std::vector<NamedCampaign> campaigns = [] {
     std::vector<NamedCampaign> list;
@@ -362,6 +448,27 @@ const std::vector<NamedScenarioSweep>& named_sweeps() {
       s.sweep.replicas = 3;
       s.sweep.seed = 2020;
       s.replica = fleet_replica;
+      list.push_back(std::move(s));
+    }
+
+    {
+      NamedScenarioSweep s;
+      s.name = "storm";
+      s.description =
+          "Correlated-failure study: $/kstep and time-to-target for "
+          "elastic degraded-mode training vs 1-for-1 replacement under "
+          "outage storms of rising intensity";
+      s.sweep.name = s.name;
+      s.sweep.base = storm_scenario();
+      s.sweep.axes = {
+          {"storms",
+           {"us-central1/K80 @ 3600..9000 kill=0.5 hazard=4 slow=2",
+            "us-central1/K80 @ 3600..9000 kill=0.9 hazard=4 slow=2"}},
+          {"supervise.elastic.enabled", {"false", "true"}},
+      };
+      s.sweep.replicas = 3;
+      s.sweep.seed = 909;
+      s.replica = storm_replica;
       list.push_back(std::move(s));
     }
 

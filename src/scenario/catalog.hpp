@@ -126,4 +126,24 @@ exp::ReplicaResult fleet_replica(const ScenarioCell& cell, int replica,
 /// horizon against an 8 h deadline. Exposed so tests can shrink it.
 ScenarioSpec fleet_scenario();
 
+/// `storm`: correlated failure storms vs elastic degraded-mode
+/// training. Each cell crosses one OutageStorm intensity (the `storms`
+/// axis) with `supervise.elastic.enabled`; the fallback ladder is
+/// disabled so the 1-for-1 arm burns its launch-attempt budget into the
+/// dead pool and permanently abandons slots, while the elastic arm
+/// shrinks through the circuit breaker and regrows after the stockout
+/// tail. Observations: "finished", "steps", "time_to_target_s",
+/// "cost_usd", "usd_per_kstep", "elastic_shrinks", "elastic_grows",
+/// "breaker_opens", "slots_abandoned", "outage_revocations",
+/// "outage_denials". EXPERIMENTS.md compares the two arms on
+/// usd_per_kstep and time_to_target_s per storm intensity.
+exp::ReplicaResult storm_replica(const ScenarioCell& cell, int replica,
+                                 util::Rng& rng, obs::Telemetry* telemetry);
+
+/// The base spec behind the `storm` sweep and scenarios/storm.scn: four
+/// us-central1 K80s, one 0.6-kill storm with a 90-minute stockout tail,
+/// supervision on, elastic off (the sweep axis flips it). Exposed so
+/// tests can shrink it.
+ScenarioSpec storm_scenario();
+
 }  // namespace cmdare::scenario

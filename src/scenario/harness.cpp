@@ -67,6 +67,18 @@ util::Table ScenarioResult::table() const {
   table.add_row({"hedges_cancelled", std::to_string(hedges_cancelled)});
   table.add_row({"mean_recovery_seconds",
                  util::format_double(mean_recovery_seconds, 2)});
+  if (elastic_shrinks > 0 || elastic_grows > 0 || breaker_transitions > 0) {
+    table.add_row({"elastic_shrinks", std::to_string(elastic_shrinks)});
+    table.add_row({"elastic_grows", std::to_string(elastic_grows)});
+    table.add_row(
+        {"breaker_transitions", std::to_string(breaker_transitions)});
+    table.add_row({"breaker_opens", std::to_string(breaker_opens)});
+  }
+  if (outage_revocations > 0 || outage_denials > 0) {
+    table.add_row(
+        {"outage_revocations", std::to_string(outage_revocations)});
+    table.add_row({"outage_denials", std::to_string(outage_denials)});
+  }
   if (tenants > 0) {
     table.add_row({"tenants", std::to_string(tenants)});
     table.add_row({"tenants_finished", std::to_string(tenants_finished)});
@@ -210,6 +222,8 @@ ScenarioResult SimHarness::collect() {
   result.sim_now = sim_.now();
   result.checkpoint_blobs = store_.blob_count();
   result.faults_injected = injector_.injected_total();
+  result.outage_revocations = provider_.outage_revocations();
+  result.outage_denials = provider_.outage_denials();
 
   switch (spec_.kind) {
     case HarnessKind::kRun: {
@@ -240,6 +254,10 @@ ScenarioResult SimHarness::collect() {
         result.fenced_workers = run.fenced_workers();
         result.hedges_cancelled = run.hedges_cancelled();
         result.mean_recovery_seconds = run.mean_recovery_seconds();
+        result.elastic_shrinks = run.elastic_shrinks();
+        result.elastic_grows = run.elastic_grows();
+        result.breaker_transitions = supervisor->breaker().transitions();
+        result.breaker_opens = supervisor->breaker().opens();
       }
       break;
     }

@@ -69,6 +69,16 @@ struct ScenarioResult {
   int hedges_cancelled = 0;
   double mean_recovery_seconds = 0.0;
 
+  // --- elastic membership (zero unless supervise.elastic.enabled) ---
+  int elastic_shrinks = 0;
+  int elastic_grows = 0;
+  int breaker_transitions = 0;
+  int breaker_opens = 0;
+
+  // --- outage storms (zero unless the fault plan declares storms) ---
+  std::uint64_t outage_revocations = 0;
+  std::uint64_t outage_denials = 0;
+
   // --- fleet market (zero unless kind=fleet) ---
   int tenants = 0;
   int tenants_finished = 0;

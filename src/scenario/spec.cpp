@@ -164,6 +164,99 @@ std::optional<std::string> parse_stockout(std::string_view text,
   return std::nullopt;
 }
 
+std::string format_storm(const faults::OutageStorm& storm) {
+  std::string out = cloud::region_name(storm.region);
+  out += '/';
+  out += storm.gpu ? cloud::gpu_name(*storm.gpu) : "*";
+  out += " @ ";
+  out += format_double(storm.start_s);
+  out += "..";
+  out += format_double(storm.end_s);
+  out += " kill=";
+  out += format_double(storm.kill_fraction);
+  out += " hazard=";
+  out += format_double(storm.hazard_multiplier);
+  out += " slow=";
+  out += format_double(storm.startup_slowdown);
+  return out;
+}
+
+/// "<region>/<gpu-or-*> @ <start_s>..<end_s> [kill=F] [hazard=M] [slow=M]"
+std::optional<std::string> parse_storm(std::string_view text,
+                                       faults::OutageStorm* out) {
+  const auto fail = [&] {
+    return "bad storm \"" + std::string(util::trim(text)) +
+           "\" (want \"<region>/<gpu|*> @ <start_s>..<end_s> "
+           "[kill=<rate>] [hazard=<mult>] [slow=<mult>]\")";
+  };
+  const std::size_t at = text.find(" @ ");
+  if (at == std::string_view::npos) return fail();
+  const std::string_view target = text.substr(0, at);
+  const std::size_t slash = target.find('/');
+  if (slash == std::string_view::npos) return fail();
+  faults::OutageStorm storm;
+  if (!parse_region(target.substr(0, slash), &storm.region)) return fail();
+  const std::string_view gpu = util::trim(target.substr(slash + 1));
+  if (gpu == "*") {
+    storm.gpu.reset();
+  } else {
+    cloud::GpuType parsed;
+    if (!parse_gpu(gpu, &parsed)) return fail();
+    storm.gpu = parsed;
+  }
+  // Range, then optional whitespace-separated key=value modifiers.
+  std::string_view rest = util::trim(text.substr(at + 3));
+  const std::size_t range_end = rest.find(' ');
+  const std::string_view range =
+      range_end == std::string_view::npos ? rest : rest.substr(0, range_end);
+  const std::size_t dots = range.find("..");
+  if (dots == std::string_view::npos) return fail();
+  if (!parse_number(range.substr(0, dots), &storm.start_s) ||
+      !parse_number(range.substr(dots + 2), &storm.end_s)) {
+    return fail();
+  }
+  rest = range_end == std::string_view::npos
+             ? std::string_view()
+             : util::trim(rest.substr(range_end));
+  while (!rest.empty()) {
+    const std::size_t space = rest.find(' ');
+    const std::string_view token =
+        space == std::string_view::npos ? rest : rest.substr(0, space);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) return fail();
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    double parsed = 0.0;
+    if (!parse_number(value, &parsed)) return fail();
+    if (key == "kill") {
+      storm.kill_fraction = parsed;
+    } else if (key == "hazard") {
+      storm.hazard_multiplier = parsed;
+    } else if (key == "slow") {
+      storm.startup_slowdown = parsed;
+    } else {
+      return fail();
+    }
+    rest = space == std::string_view::npos ? std::string_view()
+                                           : util::trim(rest.substr(space));
+  }
+  if (storm.start_s < 0.0 || storm.end_s < storm.start_s) {
+    return "storm window must satisfy 0 <= start_s <= end_s";
+  }
+  if (storm.kill_fraction < 0.0 || storm.kill_fraction > 1.0) {
+    return "storm kill fraction must be in [0, 1]";
+  }
+  if (storm.hazard_multiplier < 1.0 ||
+      !std::isfinite(storm.hazard_multiplier)) {
+    return "storm hazard multiplier must be >= 1";
+  }
+  if (storm.startup_slowdown < 1.0 || !std::isfinite(storm.startup_slowdown)) {
+    return "storm startup slowdown must be >= 1";
+  }
+  *out = storm;
+  return std::nullopt;
+}
+
 // --- enum codecs ---------------------------------------------------------
 
 const char* ft_mode_name(train::FaultToleranceMode mode) {
@@ -449,6 +542,19 @@ std::optional<std::string> set_field(ScenarioSpec& spec, std::string_view key,
     spec.faults.stockouts = std::move(windows);
     return std::nullopt;
   }
+  if (key == "storms" || key == "storm") {
+    std::vector<faults::OutageStorm> storms;
+    if (key == "storm") storms = spec.faults.storms;  // append form
+    if (!value.empty()) {
+      for (const std::string& part : util::split(value, ',')) {
+        faults::OutageStorm storm;
+        if (auto error = parse_storm(part, &storm)) return error;
+        storms.push_back(storm);
+      }
+    }
+    spec.faults.storms = std::move(storms);
+    return std::nullopt;
+  }
   if (key == "fleet.tenants") {
     return set_numeric(key, value, &spec.fleet.tenants, 1, 1 << 16,
                        "an integer in [1, 65536]");
@@ -588,6 +694,46 @@ std::optional<std::string> set_field(ScenarioSpec& spec, std::string_view key,
   if (key == "supervise.hedged_replacement") {
     return set_bool(key, value, &spec.supervision.hedged_replacement);
   }
+  if (key == "supervise.elastic.enabled") {
+    return set_bool(key, value, &spec.supervision.elastic.enabled);
+  }
+  if (key == "supervise.elastic.min_workers") {
+    return set_numeric(key, value, &spec.supervision.elastic.min_workers, 1,
+                       1 << 20, "an integer >= 1");
+  }
+  if (key == "supervise.elastic.breaker_failures") {
+    return set_numeric(key, value,
+                       &spec.supervision.elastic.breaker.open_after_failures,
+                       1, 1 << 20, "an integer >= 1");
+  }
+  if (key == "supervise.elastic.breaker_backoff_s") {
+    return set_numeric(key, value, &spec.supervision.elastic.breaker.backoff_s,
+                       1e-9, kHuge, "seconds > 0");
+  }
+  if (key == "supervise.elastic.breaker_backoff_multiplier") {
+    return set_numeric(key, value,
+                       &spec.supervision.elastic.breaker.backoff_multiplier,
+                       1.0, kHuge, "a multiplier >= 1");
+  }
+  if (key == "supervise.elastic.breaker_max_backoff_s") {
+    return set_numeric(key, value,
+                       &spec.supervision.elastic.breaker.max_backoff_s, 1e-9,
+                       kHuge, "seconds > 0");
+  }
+  if (key == "supervise.elastic.grow_hysteresis_s") {
+    return set_numeric(key, value,
+                       &spec.supervision.elastic.grow_hysteresis_s, 0.0,
+                       kHuge, "seconds >= 0");
+  }
+  if (key == "supervise.elastic.futility_threshold") {
+    return set_numeric(key, value,
+                       &spec.supervision.elastic.futility_threshold, 0.0,
+                       kHuge, "a threshold >= 0 (0 = disabled)");
+  }
+  if (key == "supervise.elastic.deadline_hours") {
+    return set_numeric(key, value, &spec.supervision.elastic.deadline_hours,
+                       0.0, kHuge, "hours >= 0 (0 = no deadline)");
+  }
 
   return "unknown key \"" + std::string(key) + "\"";
 }
@@ -689,6 +835,14 @@ std::string serialize(const ScenarioSpec& spec) {
     }
     emit("stockouts", std::move(windows));
   }
+  if (!spec.faults.storms.empty()) {
+    std::string storms;
+    for (const faults::OutageStorm& storm : spec.faults.storms) {
+      if (!storms.empty()) storms += ", ";
+      storms += format_storm(storm);
+    }
+    emit("storms", std::move(storms));
+  }
   emit("fleet.tenants", std::to_string(spec.fleet.tenants));
   emit("fleet.demand", format_double(spec.fleet.demand));
   emit("fleet.workers_per_tenant",
@@ -745,6 +899,24 @@ std::string serialize(const ScenarioSpec& spec) {
        spec.supervision.score_replacement ? "true" : "false");
   emit("supervise.hedged_replacement",
        spec.supervision.hedged_replacement ? "true" : "false");
+  emit("supervise.elastic.enabled",
+       spec.supervision.elastic.enabled ? "true" : "false");
+  emit("supervise.elastic.min_workers",
+       std::to_string(spec.supervision.elastic.min_workers));
+  emit("supervise.elastic.breaker_failures",
+       std::to_string(spec.supervision.elastic.breaker.open_after_failures));
+  emit("supervise.elastic.breaker_backoff_s",
+       format_double(spec.supervision.elastic.breaker.backoff_s));
+  emit("supervise.elastic.breaker_backoff_multiplier",
+       format_double(spec.supervision.elastic.breaker.backoff_multiplier));
+  emit("supervise.elastic.breaker_max_backoff_s",
+       format_double(spec.supervision.elastic.breaker.max_backoff_s));
+  emit("supervise.elastic.grow_hysteresis_s",
+       format_double(spec.supervision.elastic.grow_hysteresis_s));
+  emit("supervise.elastic.futility_threshold",
+       format_double(spec.supervision.elastic.futility_threshold));
+  emit("supervise.elastic.deadline_hours",
+       format_double(spec.supervision.elastic.deadline_hours));
   return out;
 }
 
@@ -790,6 +962,28 @@ std::vector<std::string> validate(const ScenarioSpec& spec) {
   for (const faults::StockoutWindow& window : spec.faults.stockouts) {
     if (window.start_s < 0.0 || window.end_s < window.start_s) {
       errors.push_back("stockout window must satisfy 0 <= start_s <= end_s");
+      break;
+    }
+  }
+  for (const faults::OutageStorm& storm : spec.faults.storms) {
+    // Mirror the FaultInjector constructor checks so a bad spec fails at
+    // validate() instead of throwing out of SimHarness::build().
+    if (storm.start_s < 0.0 || storm.end_s < storm.start_s) {
+      errors.push_back("storm window must satisfy 0 <= start_s <= end_s");
+      break;
+    }
+    if (storm.kill_fraction < 0.0 || storm.kill_fraction > 1.0) {
+      errors.push_back("storm kill fraction must be in [0, 1]");
+      break;
+    }
+    if (storm.hazard_multiplier < 1.0 ||
+        !std::isfinite(storm.hazard_multiplier)) {
+      errors.push_back("storm hazard multiplier must be >= 1");
+      break;
+    }
+    if (storm.startup_slowdown < 1.0 ||
+        !std::isfinite(storm.startup_slowdown)) {
+      errors.push_back("storm startup slowdown must be >= 1");
       break;
     }
   }
@@ -842,6 +1036,46 @@ std::vector<std::string> validate(const ScenarioSpec& spec) {
     }
     if (sup.checkpoint.min_interval_steps < 1) {
       errors.push_back("supervise.min_interval_steps must be >= 1");
+    }
+  }
+  if (spec.supervision.elastic.enabled && !spec.supervision.enabled) {
+    errors.push_back(
+        "supervise.elastic.enabled requires supervise.enabled = true");
+  }
+  if (spec.supervision.elastic.enabled) {
+    // Mirror the CircuitBreaker / ElasticPolicy constructor checks.
+    const supervise::ElasticConfig& elastic = spec.supervision.elastic;
+    if (elastic.min_workers < 1) {
+      errors.push_back("supervise.elastic.min_workers must be >= 1");
+    }
+    if (elastic.breaker.open_after_failures < 1) {
+      errors.push_back("supervise.elastic.breaker_failures must be >= 1");
+    }
+    if (!(elastic.breaker.backoff_s > 0.0) ||
+        !std::isfinite(elastic.breaker.backoff_s)) {
+      errors.push_back("supervise.elastic.breaker_backoff_s must be > 0");
+    }
+    if (elastic.breaker.backoff_multiplier < 1.0) {
+      errors.push_back(
+          "supervise.elastic.breaker_backoff_multiplier must be >= 1");
+    }
+    if (elastic.breaker.max_backoff_s < elastic.breaker.backoff_s ||
+        !std::isfinite(elastic.breaker.max_backoff_s)) {
+      errors.push_back(
+          "supervise.elastic.breaker_max_backoff_s must be >= "
+          "supervise.elastic.breaker_backoff_s");
+    }
+    if (elastic.grow_hysteresis_s < 0.0 ||
+        !std::isfinite(elastic.grow_hysteresis_s)) {
+      errors.push_back("supervise.elastic.grow_hysteresis_s must be >= 0");
+    }
+    if (elastic.futility_threshold < 0.0 ||
+        !std::isfinite(elastic.futility_threshold)) {
+      errors.push_back("supervise.elastic.futility_threshold must be >= 0");
+    }
+    if (elastic.deadline_hours < 0.0 ||
+        !std::isfinite(elastic.deadline_hours)) {
+      errors.push_back("supervise.elastic.deadline_hours must be >= 0");
     }
   }
   return errors;

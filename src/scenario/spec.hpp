@@ -139,13 +139,13 @@ struct ParseResult {
 ParseResult parse(std::string_view text);
 
 /// Emits the canonical text form: every scalar field in a fixed order,
-/// plus `workers` / `stockouts` lines when non-empty. Lossless:
-/// parse(serialize(spec)).spec == spec for any valid spec.
+/// plus `workers` / `stockouts` / `storms` lines when non-empty.
+/// Lossless: parse(serialize(spec)).spec == spec for any valid spec.
 std::string serialize(const ScenarioSpec& spec);
 
 /// Sets one field by key (the same keys serialize() emits, plus the
 /// write-only conveniences `fault_rate` — FaultPlan::uniform shorthand —
-/// and `worker` / `stockout`, which append one entry). Returns an error
+/// and `worker` / `stockout` / `storm`, which append one entry). Returns an error
 /// message, or std::nullopt on success. This is the extension point that
 /// makes any field sweepable by run_scenario_campaign.
 std::optional<std::string> set_field(ScenarioSpec& spec, std::string_view key,

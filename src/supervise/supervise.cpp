@@ -197,6 +197,204 @@ double HazardEstimator::penalty_score(cloud::Region region,
 }
 
 // ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config) : config_(config) {
+  if (config_.open_after_failures < 1) {
+    throw std::invalid_argument(
+        "CircuitBreaker: open_after_failures must be >= 1");
+  }
+  if (!(config_.backoff_s > 0.0) || !std::isfinite(config_.backoff_s)) {
+    throw std::invalid_argument("CircuitBreaker: backoff_s must be > 0");
+  }
+  if (config_.backoff_multiplier < 1.0 ||
+      !std::isfinite(config_.backoff_multiplier)) {
+    throw std::invalid_argument(
+        "CircuitBreaker: backoff_multiplier must be >= 1");
+  }
+  if (config_.max_backoff_s < config_.backoff_s ||
+      !std::isfinite(config_.max_backoff_s)) {
+    throw std::invalid_argument(
+        "CircuitBreaker: max_backoff_s must be >= backoff_s");
+  }
+}
+
+CircuitBreaker::Cell& CircuitBreaker::cell(cloud::Region region,
+                                           cloud::GpuType gpu) const {
+  const std::size_t index =
+      static_cast<std::size_t>(region) * cloud::kAllGpuTypes.size() +
+      static_cast<std::size_t>(gpu);
+  return cells_[index];
+}
+
+void CircuitBreaker::transition(cloud::Region region, cloud::GpuType gpu,
+                                Cell& c, BreakerState to, double now) {
+  const BreakerState from = c.state;
+  if (from == to) return;
+  c.state = to;
+  ++transitions_;
+  if (to == BreakerState::kOpen) ++opens_;
+  if (on_transition) on_transition(region, gpu, from, to, now);
+}
+
+BreakerState CircuitBreaker::state(cloud::Region region, cloud::GpuType gpu,
+                                   double now) const {
+  const Cell& c = cell(region, gpu);
+  if (c.state == BreakerState::kOpen && now - c.opened_at >= c.backoff_s) {
+    return BreakerState::kHalfOpen;
+  }
+  return c.state;
+}
+
+bool CircuitBreaker::allow_request(cloud::Region region, cloud::GpuType gpu,
+                                   double now) {
+  Cell& c = cell(region, gpu);
+  switch (state(region, gpu, now)) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return false;
+    case BreakerState::kHalfOpen:
+      if (c.probe_inflight) return false;  // one probe at a time
+      transition(region, gpu, c, BreakerState::kHalfOpen, now);
+      c.probe_inflight = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(cloud::Region region, cloud::GpuType gpu,
+                                    double now) {
+  Cell& c = cell(region, gpu);
+  c.consecutive_failures = 0;
+  if (c.state != BreakerState::kClosed) {
+    // The half-open probe (or an out-of-band launch) came back healthy.
+    c.probe_inflight = false;
+    c.backoff_s = 0.0;
+    transition(region, gpu, c, BreakerState::kClosed, now);
+  }
+}
+
+void CircuitBreaker::record_failure(cloud::Region region, cloud::GpuType gpu,
+                                    double now) {
+  Cell& c = cell(region, gpu);
+  switch (c.state) {
+    case BreakerState::kClosed:
+      if (++c.consecutive_failures >= config_.open_after_failures) {
+        c.opened_at = now;
+        c.backoff_s = config_.backoff_s;
+        transition(region, gpu, c, BreakerState::kOpen, now);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+    case BreakerState::kOpen:
+      // A failed probe (or a straggling failure response): re-open with
+      // the backoff grown, saturating the failure count.
+      c.consecutive_failures = config_.open_after_failures;
+      c.probe_inflight = false;
+      c.opened_at = now;
+      c.backoff_s = std::min(
+          config_.max_backoff_s,
+          std::max(config_.backoff_s, c.backoff_s) * config_.backoff_multiplier);
+      if (c.state == BreakerState::kHalfOpen) {
+        transition(region, gpu, c, BreakerState::kOpen, now);
+      }
+      break;
+  }
+}
+
+int CircuitBreaker::consecutive_failures(cloud::Region region,
+                                         cloud::GpuType gpu) const {
+  return cell(region, gpu).consecutive_failures;
+}
+
+// ---------------------------------------------------------------------------
+// ElasticPolicy
+// ---------------------------------------------------------------------------
+
+ElasticPolicy::ElasticPolicy(ElasticConfig config) : config_(std::move(config)) {
+  if (config_.min_workers < 1) {
+    throw std::invalid_argument("ElasticPolicy: min_workers must be >= 1");
+  }
+  if (config_.grow_hysteresis_s < 0.0 ||
+      !std::isfinite(config_.grow_hysteresis_s)) {
+    throw std::invalid_argument(
+        "ElasticPolicy: grow_hysteresis_s must be >= 0");
+  }
+  if (config_.futility_threshold < 0.0 ||
+      !std::isfinite(config_.futility_threshold)) {
+    throw std::invalid_argument(
+        "ElasticPolicy: futility_threshold must be >= 0");
+  }
+  if (config_.deadline_hours < 0.0 || !std::isfinite(config_.deadline_hours)) {
+    throw std::invalid_argument("ElasticPolicy: deadline_hours must be >= 0");
+  }
+}
+
+bool ElasticPolicy::deadline_urgent(double now_s,
+                                    double remaining_work_s) const {
+  if (config_.deadline_hours <= 0.0) return false;
+  if (!std::isfinite(remaining_work_s) || remaining_work_s <= 0.0) {
+    return false;
+  }
+  const double time_left_s = config_.deadline_hours * 3600.0 - now_s;
+  return remaining_work_s >= time_left_s;
+}
+
+ElasticDecision ElasticPolicy::on_worker_lost(bool breaker_allows,
+                                              double hazard_per_hour,
+                                              double replacement_overhead_s,
+                                              int live_workers, double now_s,
+                                              double remaining_work_s) const {
+  // Floor and deadline override everything: degraded mode must never
+  // starve the run or blow a hard completion target.
+  if (live_workers < config_.min_workers) return {true, "floor"};
+  if (deadline_urgent(now_s, remaining_work_s)) return {true, "deadline"};
+  // Dead pool: launching 1-for-1 into it just burns retries.
+  if (!breaker_allows) return {false, "breaker_open"};
+  // PROFET-style economics: expected revocations of the replacement
+  // during its own startup + catch-up window. Above the threshold, the
+  // marginal $/step of replacing is worse than training degraded.
+  if (config_.futility_threshold > 0.0 && hazard_per_hour > 0.0 &&
+      std::isfinite(hazard_per_hour) && replacement_overhead_s > 0.0) {
+    const double expected_deaths =
+        hazard_per_hour * (replacement_overhead_s / 3600.0);
+    if (expected_deaths > config_.futility_threshold) {
+      return {false, "uneconomical"};
+    }
+  }
+  return {true, "replace"};
+}
+
+bool ElasticPolicy::may_grow(double now_s) const {
+  return now_s - last_change_s_ >= config_.grow_hysteresis_s;
+}
+
+bool ElasticPolicy::regrow_economical(double hazard_per_hour,
+                                      double replacement_overhead_s) const {
+  if (config_.futility_threshold <= 0.0) return true;
+  if (hazard_per_hour <= 0.0 || !std::isfinite(hazard_per_hour) ||
+      replacement_overhead_s <= 0.0) {
+    return true;
+  }
+  return hazard_per_hour * (replacement_overhead_s / 3600.0) <=
+         config_.futility_threshold;
+}
+
+// ---------------------------------------------------------------------------
 // AdaptiveCheckpointController
 // ---------------------------------------------------------------------------
 
@@ -269,7 +467,9 @@ Supervisor::Supervisor(cloud::CloudProvider& provider,
       rng_(rng),
       detector_(config_.heartbeat),
       estimator_(config_.hazard),
-      controller_(config_.checkpoint) {
+      controller_(config_.checkpoint),
+      breaker_(config_.elastic.breaker),
+      elastic_(config_.elastic) {
   // Seed the hazard prior from the calibrated revocation model, for every
   // (region, GPU) pair the paper measured.
   for (const cloud::RevocationTarget& target : cloud::revocation_targets()) {

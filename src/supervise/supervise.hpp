@@ -175,6 +175,152 @@ class HazardEstimator {
 };
 
 // ---------------------------------------------------------------------------
+// Per-(region, GPU) launch circuit breaker.
+// ---------------------------------------------------------------------------
+
+enum class BreakerState {
+  kClosed = 0,    // pool healthy: launches flow
+  kOpen = 1,      // pool struck: launches blocked until the backoff lapses
+  kHalfOpen = 2,  // backoff lapsed: exactly one probe launch allowed
+};
+
+const char* breaker_state_name(BreakerState state);
+
+struct CircuitBreakerConfig {
+  /// Consecutive stockouts / launch errors that trip a pool open.
+  int open_after_failures = 3;
+  /// Seconds an opened pool stays blocked before the half-open probe.
+  double backoff_s = 600.0;
+  /// Backoff growth per failed probe (capped at max_backoff_s).
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 7200.0;
+
+  friend bool operator==(const CircuitBreakerConfig&,
+                         const CircuitBreakerConfig&) = default;
+};
+
+/// Pure launch-admission state machine, one cell per (region, GPU) pool
+/// (no simulator: callers pass sim time in). K consecutive stockouts or
+/// launch errors open a cell; after the backoff the next allow_request
+/// becomes the half-open probe — its success closes the cell, its
+/// failure re-opens it with the backoff grown. Successes reset the
+/// consecutive-failure count. Deterministic: no RNG, and state advances
+/// only through the three record/allow calls.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig config);
+
+  /// Fired on every state change (ledger logging hook).
+  std::function<void(cloud::Region, cloud::GpuType, BreakerState,
+                     BreakerState, double)>
+      on_transition;
+
+  /// Effective state at `now`: an open cell whose backoff has lapsed
+  /// reads kHalfOpen (the probe has not necessarily been taken yet).
+  BreakerState state(cloud::Region region, cloud::GpuType gpu,
+                     double now) const;
+  /// May a launch into this pool be attempted? Closed: always. Open:
+  /// only once the backoff lapses, and then exactly one probe at a time.
+  bool allow_request(cloud::Region region, cloud::GpuType gpu, double now);
+  void record_success(cloud::Region region, cloud::GpuType gpu, double now);
+  void record_failure(cloud::Region region, cloud::GpuType gpu, double now);
+
+  int consecutive_failures(cloud::Region region, cloud::GpuType gpu) const;
+  /// Total state changes / closed->open trips across all cells.
+  int transitions() const { return transitions_; }
+  int opens() const { return opens_; }
+
+  const CircuitBreakerConfig& config() const { return config_; }
+
+ private:
+  struct Cell {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    double opened_at = 0.0;
+    double backoff_s = 0.0;
+    bool probe_inflight = false;
+  };
+
+  Cell& cell(cloud::Region region, cloud::GpuType gpu) const;
+  void transition(cloud::Region region, cloud::GpuType gpu, Cell& c,
+                  BreakerState to, double now);
+
+  CircuitBreakerConfig config_;
+  mutable std::array<Cell, cloud::kAllRegions.size() *
+                               cloud::kAllGpuTypes.size()>
+      cells_{};
+  int transitions_ = 0;
+  int opens_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Elastic membership policy.
+// ---------------------------------------------------------------------------
+
+struct ElasticConfig {
+  /// Master switch: off = classic 1-for-1 replacement.
+  bool enabled = false;
+  /// Worker-count floor: losses below this are always replaced.
+  int min_workers = 1;
+  CircuitBreakerConfig breaker;
+  /// Minimum seconds between membership changes before a regrow attempt
+  /// (anti-thrash hysteresis on the grow side).
+  double grow_hysteresis_s = 120.0;
+  /// Shrink instead of replacing when hazard/h x replacement overhead
+  /// (hours) exceeds this — the replacement is likely revoked before it
+  /// repays its startup + catch-up. 0 disables the economic gate.
+  double futility_threshold = 0.5;
+  /// Soft completion deadline; when the remaining work no longer fits
+  /// before it, losses are replaced regardless of economics. 0 = none.
+  double deadline_hours = 0.0;
+
+  friend bool operator==(const ElasticConfig&, const ElasticConfig&) = default;
+};
+
+/// One grow-or-shrink verdict.
+struct ElasticDecision {
+  bool replace = true;
+  /// "floor" | "deadline" | "breaker_open" | "uneconomical" | "replace"
+  const char* reason = "replace";
+};
+
+/// Pure shrink/regrow decision logic (arXiv 1903.00045's shrink-and-
+/// regrow strategy, gated PROFET-style on predicted marginal cost). The
+/// run asks it on every worker loss; deferred slots regrow through the
+/// breaker's half-open probe, throttled by grow hysteresis.
+class ElasticPolicy {
+ public:
+  explicit ElasticPolicy(ElasticConfig config);
+
+  /// Replace 1-for-1 or shrink? `live_workers` counts workers that will
+  /// remain if this loss is not replaced; `remaining_work_s` is the
+  /// projected single-speed time to target; `breaker_allows` is the lost
+  /// slot's pool admission verdict.
+  ElasticDecision on_worker_lost(bool breaker_allows, double hazard_per_hour,
+                                 double replacement_overhead_s,
+                                 int live_workers, double now_s,
+                                 double remaining_work_s) const;
+
+  /// Grow-side hysteresis gate for deferred-slot regrow attempts.
+  bool may_grow(double now_s) const;
+  /// Grow-side economics: relaunching into a pool is worth it once the
+  /// expected hazard-weighted replacement overhead drops back under the
+  /// futility threshold (the shrink gate, applied symmetrically).
+  bool regrow_economical(double hazard_per_hour,
+                         double replacement_overhead_s) const;
+  /// Record a membership change (shrink or grow) for the hysteresis gate.
+  void note_change(double now_s) { last_change_s_ = now_s; }
+
+  const ElasticConfig& config() const { return config_; }
+
+ private:
+  bool deadline_urgent(double now_s, double remaining_work_s) const;
+
+  ElasticConfig config_;
+  double last_change_s_ = -1e18;
+};
+
+// ---------------------------------------------------------------------------
 // Adaptive checkpoint retuning.
 // ---------------------------------------------------------------------------
 
@@ -243,6 +389,8 @@ struct SupervisionConfig {
   /// when the winner reaches RUNNING (both legs are billed for whatever
   /// lifetime they accrue).
   bool hedged_replacement = false;
+  /// Elastic degraded-mode membership (circuit breaker + shrink/regrow).
+  ElasticConfig elastic;
 
   friend bool operator==(const SupervisionConfig&,
                          const SupervisionConfig&) = default;
@@ -287,6 +435,10 @@ class Supervisor {
   const AdaptiveCheckpointController& controller() const { return controller_; }
   const HeartbeatDetector& detector() const { return detector_; }
   const HazardEstimator& estimator() const { return estimator_; }
+  CircuitBreaker& breaker() { return breaker_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  ElasticPolicy& elastic() { return elastic_; }
+  const ElasticPolicy& elastic() const { return elastic_; }
 
   int detections() const { return detections_; }
   int false_positives() const { return false_positives_; }
@@ -322,6 +474,8 @@ class Supervisor {
   HeartbeatDetector detector_;
   HazardEstimator estimator_;
   AdaptiveCheckpointController controller_;
+  CircuitBreaker breaker_;
+  ElasticPolicy elastic_;
 
   std::map<cloud::InstanceId, Watched> watched_;
   bool sweep_armed_ = false;

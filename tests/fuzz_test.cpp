@@ -215,7 +215,10 @@ TEST_P(SpecParseFuzz, RandomBytesNeverCrashTheParser) {
             "true", "run", "K80", "us-central1", "*", "/", "supervise.",
             "enabled", "heartbeat_timeout_s", "retune_", "nan", "inf",
             "fleet.", "tenants", "demand", "scheduler", "round-robin",
-            "cost-optimal", "capacity_", "migrate_gain"};
+            "cost-optimal", "capacity_", "migrate_gain", "storm", "storms",
+            "kill=", "hazard=", "slow=", "elastic.", "min_workers",
+            "breaker_failures", "breaker_backoff_s", "grow_hysteresis_s",
+            "futility_threshold", "deadline_hours"};
         text += kFragments[rng.uniform_index(std::size(kFragments))];
       } else {
         text += static_cast<char>(rng.uniform_index(256));
@@ -263,7 +266,8 @@ TEST_P(LedgerFuzz, RandomBytesNeverCrashTheReader) {
             "launch_attempt", "revocation", "catchup_complete", "-1",
             "1e308", "0.25", "\\u00e9", "\\\"", "true", "null", "[", "]",
             "tenant_placement", "eviction", "migration",
-            "tenant_complete"};
+            "tenant_complete", "breaker_transition", "elastic_shrink",
+            "elastic_grow"};
         text += kFragments[rng.uniform_index(std::size(kFragments))];
       } else {
         text += static_cast<char>(rng.uniform_index(256));

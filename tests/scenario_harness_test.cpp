@@ -94,6 +94,41 @@ TEST(SimHarness, SupervisionKeysUnsetPreserveSeed2020Goldens) {
   EXPECT_EQ(harness.training_run()->supervisor(), nullptr);
 }
 
+TEST(SimHarness, StormElasticKeysUnsetPreserveSeed2020Goldens) {
+  // Same contract for the storm/elastic layer: the codec now carries
+  // every supervise.elastic.* key at its default and emits no storms
+  // line for a storm-free plan, and a control plane that links the
+  // breaker and elastic policy must not disturb a run that leaves them
+  // off. The seed-2020 goldens stay bit-identical.
+  const std::string text = serialize(resilience_demo_spec());
+  EXPECT_EQ(text.find("storms"), std::string::npos);
+  EXPECT_NE(text.find("supervise.elastic.enabled = false"),
+            std::string::npos);
+  const ParseResult parsed = parse(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_FALSE(parsed.spec.supervision.elastic.enabled);
+  ASSERT_TRUE(parsed.spec.faults.storms.empty());
+  ASSERT_EQ(parsed.spec, resilience_demo_spec());
+
+  SimHarness harness(parsed.spec);
+  const ScenarioResult result = harness.run();
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.completed_steps, 2000);
+  EXPECT_DOUBLE_EQ(result.elapsed_seconds, 279.17601694722356);
+  EXPECT_DOUBLE_EQ(result.cost_usd, 0.03357100669575535);
+  EXPECT_EQ(result.launch_retries, 6);
+  EXPECT_EQ(result.fallbacks, 3);
+  EXPECT_EQ(result.checkpoint_blobs, 8u);
+  EXPECT_EQ(result.faults_injected, 11u);
+  // The storm/elastic counters stay inert.
+  EXPECT_EQ(result.elastic_shrinks, 0);
+  EXPECT_EQ(result.elastic_grows, 0);
+  EXPECT_EQ(result.breaker_transitions, 0);
+  EXPECT_EQ(result.breaker_opens, 0);
+  EXPECT_EQ(result.outage_revocations, 0u);
+  EXPECT_EQ(result.outage_denials, 0u);
+}
+
 TEST(SimHarness, RefusesToRunTwice) {
   SimHarness harness(resilience_demo_spec());
   harness.run();

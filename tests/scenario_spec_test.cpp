@@ -63,6 +63,20 @@ ScenarioSpec full_spec() {
   second.start_s = 0.0;
   second.end_s = 50.0;
   spec.faults.stockouts = {first, second};
+  faults::OutageStorm storm_a;
+  storm_a.region = cloud::Region::kUsEast1;
+  storm_a.gpu = cloud::GpuType::kP100;
+  storm_a.start_s = 250.5;
+  storm_a.end_s = 900.25;
+  storm_a.kill_fraction = 0.625;
+  storm_a.hazard_multiplier = 3.5;
+  storm_a.startup_slowdown = 2.25;
+  faults::OutageStorm storm_b;
+  storm_b.region = cloud::Region::kAsiaEast1;
+  storm_b.gpu.reset();
+  storm_b.start_s = 0.0;
+  storm_b.end_s = 75.0;
+  spec.faults.storms = {storm_a, storm_b};
   spec.supervision.enabled = true;
   spec.supervision.heartbeat.period_s = 7.5;
   spec.supervision.heartbeat.timeout_s = 45.25;
@@ -77,6 +91,15 @@ ScenarioSpec full_spec() {
   spec.supervision.checkpoint.min_interval_steps = 75;
   spec.supervision.score_replacement = true;
   spec.supervision.hedged_replacement = true;
+  spec.supervision.elastic.enabled = true;
+  spec.supervision.elastic.min_workers = 2;
+  spec.supervision.elastic.breaker.open_after_failures = 4;
+  spec.supervision.elastic.breaker.backoff_s = 450.5;
+  spec.supervision.elastic.breaker.backoff_multiplier = 3.0;
+  spec.supervision.elastic.breaker.max_backoff_s = 5400.25;
+  spec.supervision.elastic.grow_hysteresis_s = 240.5;
+  spec.supervision.elastic.futility_threshold = 0.75;
+  spec.supervision.elastic.deadline_hours = 10.5;
   spec.fleet.tenants = 48;
   spec.fleet.demand = 1.75;
   spec.fleet.workers_per_tenant = 3;
@@ -220,6 +243,77 @@ TEST(ScenarioSpec, WorkerAndStockoutAppendForms) {
   EXPECT_FALSE(spec.faults.stockouts[0].gpu.has_value());
   EXPECT_DOUBLE_EQ(spec.faults.stockouts[0].start_s, 10.0);
   EXPECT_DOUBLE_EQ(spec.faults.stockouts[0].end_s, 20.0);
+}
+
+TEST(ScenarioSpec, StormAppendFormParsesScopeAndModifiers) {
+  ScenarioSpec spec = minimal_valid();
+  // Wildcard scope, modifiers at their defaults.
+  EXPECT_FALSE(set_field(spec, "storm", "us-central1/* @ 10..20").has_value());
+  ASSERT_EQ(spec.faults.storms.size(), 1u);
+  EXPECT_FALSE(spec.faults.storms[0].gpu.has_value());
+  EXPECT_DOUBLE_EQ(spec.faults.storms[0].start_s, 10.0);
+  EXPECT_DOUBLE_EQ(spec.faults.storms[0].end_s, 20.0);
+  EXPECT_DOUBLE_EQ(spec.faults.storms[0].kill_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(spec.faults.storms[0].hazard_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(spec.faults.storms[0].startup_slowdown, 1.0);
+  // Explicit scope and modifiers, any order.
+  EXPECT_FALSE(set_field(spec, "storm",
+                         "us-east1/P100 @ 100..400 slow=2 kill=0.5 hazard=3")
+                   .has_value());
+  ASSERT_EQ(spec.faults.storms.size(), 2u);
+  EXPECT_EQ(spec.faults.storms[1].gpu, cloud::GpuType::kP100);
+  EXPECT_DOUBLE_EQ(spec.faults.storms[1].kill_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(spec.faults.storms[1].hazard_multiplier, 3.0);
+  EXPECT_DOUBLE_EQ(spec.faults.storms[1].startup_slowdown, 2.0);
+}
+
+TEST(ScenarioSpec, StormAndElasticKeysRejectOutOfRangeValues) {
+  ScenarioSpec spec = minimal_valid();
+  EXPECT_TRUE(set_field(spec, "storm", "garbage").has_value());
+  EXPECT_TRUE(set_field(spec, "storm", "us-central1/K80 @ 10..5").has_value());
+  EXPECT_TRUE(set_field(spec, "storm", "us-central1/K80 @ -5..10").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "storm", "us-central1/K80 @ 0..10 kill=1.5").has_value());
+  EXPECT_TRUE(set_field(spec, "storm", "us-central1/K80 @ 0..10 hazard=0.5")
+                  .has_value());
+  EXPECT_TRUE(
+      set_field(spec, "storm", "us-central1/K80 @ 0..10 slow=0").has_value());
+  EXPECT_TRUE(set_field(spec, "storm", "nowhere/K80 @ 0..10").has_value());
+  EXPECT_TRUE(set_field(spec, "supervise.elastic.enabled", "maybe").has_value());
+  EXPECT_TRUE(set_field(spec, "supervise.elastic.min_workers", "0").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "supervise.elastic.breaker_failures", "0").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "supervise.elastic.breaker_backoff_s", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "supervise.elastic.breaker_backoff_multiplier",
+                        "0.5")
+                  .has_value());
+  EXPECT_TRUE(
+      set_field(spec, "supervise.elastic.grow_hysteresis_s", "-1").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "supervise.elastic.futility_threshold", "nan")
+          .has_value());
+  EXPECT_TRUE(
+      set_field(spec, "supervise.elastic.deadline_hours", "-2").has_value());
+  // None of the rejected values touched the spec.
+  EXPECT_EQ(spec, minimal_valid());
+}
+
+TEST(ScenarioSpec, ValidateFlagsElasticWithoutSupervision) {
+  ScenarioSpec spec = minimal_valid();
+  spec.supervision.enabled = false;
+  spec.supervision.elastic.enabled = true;
+  const auto errors = validate(spec);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("elastic"), std::string::npos);
+
+  // Breaker backoff cap below the base backoff is rejected too.
+  spec.supervision.enabled = true;
+  spec.supervision.elastic.breaker.backoff_s = 600.0;
+  spec.supervision.elastic.breaker.max_backoff_s = 60.0;
+  const auto breaker_errors = validate(spec);
+  ASSERT_FALSE(breaker_errors.empty());
+  EXPECT_NE(breaker_errors[0].find("max_backoff"), std::string::npos);
 }
 
 TEST(ScenarioSpec, FaultRateShorthandSetsEveryRateKeepsWindows) {
