@@ -45,6 +45,34 @@ void BM_SimulatorCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCancel);
 
+// Cancellation-heavy churn: half the scheduled events are cancelled and
+// replaced before the run drains. Exercises slot release/re-lease and the
+// stale-entry skip on pop — the paths a provider retry storm or fleet
+// migration pass hits — rather than pure schedule/fire throughput.
+void BM_SimulatorChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<simcore::EventHandle> handles;
+  for (auto _ : state) {
+    simcore::Simulator sim;
+    std::uint64_t sink = 0;
+    handles.clear();
+    handles.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      handles.push_back(
+          sim.schedule_at(static_cast<double>(i % 97), [&sink] { ++sink; }));
+    }
+    for (std::size_t i = 0; i < n; i += 2) {
+      handles[i].cancel();
+      sim.schedule_at(static_cast<double>(97 + i % 89), [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorChurn)->Arg(100000);
+
 void BM_TrainingSessionSteps(benchmark::State& state) {
   const int workers = static_cast<int>(state.range(0));
   const nn::CnnModel model = nn::resnet32();

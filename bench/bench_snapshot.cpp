@@ -91,6 +91,31 @@ double run_sim_events() {
   return static_cast<double>(kEvents) / secs;
 }
 
+/// Cancellation-heavy variant (bench_micro_sim's BM_SimulatorChurn): half
+/// the events are cancelled and replaced before the run drains, so the
+/// number tracks slot release/re-lease and stale-entry skipping, not just
+/// schedule/fire throughput. Reported as events *fired* per second — the
+/// cancel + replacement cost is folded into the rate.
+double run_sim_churn() {
+  std::uint64_t sink = 0;
+  std::vector<simcore::EventHandle> handles;
+  const double secs = best_seconds([&] {
+    simcore::Simulator sim;
+    handles.clear();
+    handles.reserve(kEvents);
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      handles.push_back(
+          sim.schedule_at(static_cast<double>(i % 97), [&sink] { ++sink; }));
+    }
+    for (std::size_t i = 0; i < kEvents; i += 2) {
+      handles[i].cancel();
+      sim.schedule_at(static_cast<double>(97 + i % 89), [&sink] { ++sink; });
+    }
+    sim.run();
+  });
+  return static_cast<double>(kEvents) / secs;
+}
+
 /// One asynchronous training session to max_steps with `workers` workers;
 /// returns the best wall-clock seconds.
 double session_seconds(bool telemetry) {
@@ -137,6 +162,7 @@ MetricMap run_micro() {
   const double events_per_sec = run_sim_events();
   metrics["sim_events_per_sec"] = {events_per_sec, true};
   metrics["sim_ns_per_event"] = {1e9 / events_per_sec, false};
+  metrics["sim_churn_events_per_sec"] = {run_sim_churn(), true};
 
   const double disabled = session_seconds(false);
   const double enabled = session_seconds(true);

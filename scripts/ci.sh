@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 (full build + full ctest), the fault/supervise/
-# obs/fleet label suites rebuilt under AddressSanitizer, and the
-# concurrency-heavy tests (obs, campaign engine, supervised sweeps,
-# fleet campaigns) under ThreadSanitizer. The perf-snapshot gate (--bench) is explicit
+# obs/fleet/simcore/exp label suites rebuilt under AddressSanitizer, and
+# the concurrency-heavy tests (obs, campaign engine, supervised sweeps,
+# fleet campaigns) under ThreadSanitizer. The simcore label rides along in
+# the ASan/UBSan stages because the event engine hands out arena slots
+# with generation-checked handles — lifetime bugs there are exactly what
+# the sanitizers exist to catch. The perf-snapshot gate (--bench) is explicit
 # only: it re-runs bench_snapshot against the checked-in BENCH_*.json
 # and fails on a regression beyond the tolerance band.
 #
@@ -10,7 +13,7 @@
 #   scripts/ci.sh --tier1    # tier-1 only
 #   scripts/ci.sh --asan     # ASan stage only
 #   scripts/ci.sh --tsan     # TSan stage only
-#   scripts/ci.sh --ubsan    # UBSan stage only (faults + supervise labels)
+#   scripts/ci.sh --ubsan    # UBSan stage only
 #   scripts/ci.sh --bench    # perf-snapshot regression gate only
 #
 # Build trees: build/ (tier-1 + bench), build-asan/, build-tsan/, and
@@ -51,11 +54,11 @@ if $run_tier1; then
 fi
 
 if $run_asan; then
-  echo "=== asan: faults + supervise + obs + fleet labels under AddressSanitizer ==="
+  echo "=== asan: faults + supervise + obs + fleet + simcore + exp labels under AddressSanitizer ==="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMDARE_SANITIZE=address
   cmake --build build-asan -j "$jobs"
-  ctest --test-dir build-asan -L 'faults|supervise|obs|fleet' \
+  ctest --test-dir build-asan -L 'faults|supervise|obs|fleet|simcore|exp' \
     --output-on-failure -j "$jobs"
 fi
 
@@ -69,11 +72,11 @@ if $run_tsan; then
 fi
 
 if $run_ubsan; then
-  echo "=== ubsan: faults + supervise labels under UndefinedBehaviorSanitizer ==="
+  echo "=== ubsan: faults + supervise + simcore + exp labels under UndefinedBehaviorSanitizer ==="
   cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMDARE_SANITIZE=undefined
   cmake --build build-ubsan -j "$jobs"
-  ctest --test-dir build-ubsan -L 'faults|supervise' \
+  ctest --test-dir build-ubsan -L 'faults|supervise|simcore|exp' \
     --output-on-failure -j "$jobs"
 fi
 

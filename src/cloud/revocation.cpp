@@ -117,13 +117,28 @@ RevocationModel::RevocationModel() {
   for (auto& row : base_) {
     for (double& v : row) v = -1.0;
   }
+  for (auto& row : lambda_max_) {
+    for (double& v : row) v = -1.0;
+  }
   for (const RevocationTarget& t : kTargets) {
     // P(revoked within 24h) = 1 - exp(-base * I) with I the integrated
     // tod*shape profile => base = -ln(1 - p) / I.
     const double integral = integrated_hazard_shape(
         t.region, t.gpu, kReferenceLaunchLocalHour, 24.0);
+    const double base = -std::log(1.0 - t.revoked_fraction) / integral;
     base_[static_cast<std::size_t>(t.region)][static_cast<std::size_t>(
-        t.gpu)] = -std::log(1.0 - t.revoked_fraction) / integral;
+        t.gpu)] = base;
+
+    // Thinning majorant: max tod weight times max age-shape value (the age
+    // shapes are maximal at age 0 or asymptotically; 1.0 covers the rising
+    // us-west1 shape). Computed once here instead of on every sample.
+    double max_tod = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      max_tod = std::max(max_tod, kTod[static_cast<std::size_t>(t.gpu)][h]);
+    }
+    const double max_shape = std::max(age_shape(t.region, t.gpu, 0.0), 1.0);
+    lambda_max_[static_cast<std::size_t>(t.region)][static_cast<std::size_t>(
+        t.gpu)] = base * max_tod * max_shape;
   }
 }
 
@@ -150,20 +165,17 @@ double RevocationModel::revocation_probability(Region region, GpuType gpu,
 std::optional<double> RevocationModel::sample_revocation_age_seconds(
     Region region, GpuType gpu, double launch_local_hour,
     util::Rng& rng) const {
-  const double base = base_rate_per_hour(region, gpu);
+  const double lambda_max =
+      lambda_max_[static_cast<std::size_t>(region)]
+                 [static_cast<std::size_t>(gpu)];
+  if (lambda_max < 0.0) base_rate_per_hour(region, gpu);  // throws: N/A pair
 
-  // Upper bound for thinning: max tod weight times max age-shape value
-  // (age shapes here are maximal at age 0 or asymptotically; 1.0 covers
-  // the rising us-west1 shape).
-  double max_tod = 0.0;
-  for (int h = 0; h < 24; ++h) {
-    max_tod = std::max(max_tod,
-                       kTod[static_cast<std::size_t>(gpu)][h]);
-  }
-  const double max_shape =
-      std::max(age_shape(region, gpu, 0.0), 1.0);
-  const double lambda_max = base * max_tod * max_shape;
-
+  // The draws stay scalar on purpose: the loop has two exits that consume
+  // different numbers of uniforms (a horizon exit after the exponential
+  // draw alone, an accept exit after exponential + accept), and `rng` is
+  // the provider's shared stream — batching with Rng::fill_uniform would
+  // overdraw on one exit and shift every later draw in the run. The
+  // inlined generator core already keeps the state in registers here.
   const double horizon_hours = kMaxTransientLifetimeSeconds / 3600.0;
   double age = 0.0;
   while (true) {

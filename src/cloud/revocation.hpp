@@ -94,6 +94,10 @@ class RevocationModel {
 
   // base rates indexed [region][gpu]; negative = N/A.
   double base_[6][3];
+  // Thinning majorant base * max(tod) * max(shape), precomputed per pair so
+  // the sampler (called once per transient launch) does no per-call scan
+  // of the hazard tables. Negative = N/A.
+  double lambda_max_[6][3];
 };
 
 }  // namespace cmdare::cloud

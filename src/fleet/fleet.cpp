@@ -82,8 +82,13 @@ FleetSim::FleetSim(simcore::Simulator& sim, cloud::CloudProvider& provider,
   std::vector<nn::CnnModel> zoo;
   if (config_.model_mix) zoo = nn::canonical_models();
   tenants_.reserve(static_cast<std::size_t>(config_.tenants));
+  // One independent stream per tenant, derived in a single batch; each
+  // element is bit-identical to rng_.fork(i), so tenant draws are pinned
+  // regardless of how many tenants precede them.
+  std::vector<util::Rng> draws =
+      rng_.fork_batch(0, static_cast<std::size_t>(config_.tenants));
   for (int i = 0; i < config_.tenants; ++i) {
-    util::Rng draw = rng_.fork(static_cast<std::uint64_t>(i));
+    util::Rng& draw = draws[static_cast<std::size_t>(i)];
     TenantJob job;
     job.id = i;
     job.work_steps = effective_steps(

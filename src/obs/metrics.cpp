@@ -104,11 +104,28 @@ void Histogram::reset() {
 
 namespace {
 
-std::string series_key(const std::string& name, const LabelSet& labels) {
-  return name + '\0' + format_labels(labels);
+// Appends format_labels(labels) without the sorted-copy round trip for
+// the common zero/one-label cases the hot instrumentation paths use.
+void append_labels(std::string& out, const LabelSet& labels) {
+  if (labels.empty()) return;
+  if (labels.size() == 1) {
+    out += labels.front().first;
+    out += '=';
+    out += labels.front().second;
+    return;
+  }
+  out += format_labels(labels);
 }
 
 }  // namespace
+
+const std::string& Registry::build_key(std::string_view name,
+                                       const LabelSet& labels) {
+  key_buf_.assign(name);
+  key_buf_ += '\0';
+  append_labels(key_buf_, labels);
+  return key_buf_;
+}
 
 void Registry::check_kind_free(const std::string& key,
                                const char* kind) const {
@@ -125,39 +142,43 @@ void Registry::check_kind_free(const std::string& key,
   }
 }
 
-Counter& Registry::counter(const std::string& name, const LabelSet& labels) {
+Counter& Registry::counter(std::string_view name, const LabelSet& labels) {
   if (name.empty()) throw std::invalid_argument("Registry: empty name");
-  const std::string key = series_key(name, labels);
+  const std::string& key = build_key(name, labels);
   auto it = counters_.find(key);
   if (it == counters_.end()) {
     check_kind_free(key, "counter");
-    it = counters_.emplace(key, Series<Counter>{name, labels, {}}).first;
+    it = counters_
+             .emplace(key, Series<Counter>{std::string(name), labels, {}})
+             .first;
   }
   return it->second.metric;
 }
 
-Gauge& Registry::gauge(const std::string& name, const LabelSet& labels) {
+Gauge& Registry::gauge(std::string_view name, const LabelSet& labels) {
   if (name.empty()) throw std::invalid_argument("Registry: empty name");
-  const std::string key = series_key(name, labels);
+  const std::string& key = build_key(name, labels);
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
     check_kind_free(key, "gauge");
-    it = gauges_.emplace(key, Series<Gauge>{name, labels, {}}).first;
+    it = gauges_
+             .emplace(key, Series<Gauge>{std::string(name), labels, {}})
+             .first;
   }
   return it->second.metric;
 }
 
-Histogram& Registry::histogram(const std::string& name, const LabelSet& labels,
+Histogram& Registry::histogram(std::string_view name, const LabelSet& labels,
                                std::vector<double> bounds) {
   if (name.empty()) throw std::invalid_argument("Registry: empty name");
-  const std::string key = series_key(name, labels);
+  const std::string& key = build_key(name, labels);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
     check_kind_free(key, "histogram");
     if (bounds.empty()) bounds = Histogram::default_bounds();
     it = histograms_
              .emplace(key,
-                      Series<Histogram>{name, labels,
+                      Series<Histogram>{std::string(name), labels,
                                         Histogram(std::move(bounds))})
              .first;
   }

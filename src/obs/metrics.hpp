@@ -4,9 +4,13 @@
 // the temporal half): any module can look up a named series — optionally
 // distinguished by labels, e.g. `ps.updates_total{shard=2}` — and bump it.
 // Lookups are find-or-create and return stable references, so hot paths
-// can cache the reference once and pay a plain add per update. Snapshots
-// flatten every series into (kind, name, labels, field, value) rows that
-// the text and CSV exporters share.
+// can cache the reference once and pay a plain add per update (see
+// obs/cached.hpp for helpers that stay valid across telemetry
+// reinstalls). Repeat lookups are allocation-free: the series key is
+// composed in a reusable buffer and matched heterogeneously, so only the
+// first lookup of a series pays for key storage. Snapshots flatten every
+// series into (kind, name, labels, field, value) rows that the text and
+// CSV exporters share.
 #pragma once
 
 #include <cstdint>
@@ -113,11 +117,11 @@ class Registry {
 
   /// Find-or-create. References stay valid for the registry's lifetime.
   /// A name may only be used for one metric kind; mixing kinds throws.
-  Counter& counter(const std::string& name, const LabelSet& labels = {});
-  Gauge& gauge(const std::string& name, const LabelSet& labels = {});
+  Counter& counter(std::string_view name, const LabelSet& labels = {});
+  Gauge& gauge(std::string_view name, const LabelSet& labels = {});
   /// `bounds` applies only when the series is first created (empty ->
   /// Histogram::default_bounds()).
-  Histogram& histogram(const std::string& name, const LabelSet& labels = {},
+  Histogram& histogram(std::string_view name, const LabelSet& labels = {},
                        std::vector<double> bounds = {});
 
   std::size_t series_count() const;
@@ -155,14 +159,21 @@ class Registry {
     LabelSet labels;
     T metric;
   };
+  // std::less<> enables heterogeneous find against the reusable key
+  // buffer without materializing a temporary key string per lookup.
   template <typename T>
-  using SeriesMap = std::map<std::string, Series<T>>;
+  using SeriesMap = std::map<std::string, Series<T>, std::less<>>;
 
+  /// Composes `name + '\0' + canonical-labels` into key_buf_ and returns
+  /// it. The NUL separator cannot occur in a metric name, so distinct
+  /// (name, labels) pairs never collide.
+  const std::string& build_key(std::string_view name, const LabelSet& labels);
   void check_kind_free(const std::string& key, const char* kind) const;
 
   SeriesMap<Counter> counters_;
   SeriesMap<Gauge> gauges_;
   SeriesMap<Histogram> histograms_;
+  std::string key_buf_;
 };
 
 }  // namespace cmdare::obs

@@ -4,9 +4,13 @@ namespace cmdare::obs {
 
 namespace detail {
 thread_local constinit Telemetry* g_active = nullptr;
+thread_local constinit std::uint64_t g_epoch = 0;
 }  // namespace detail
 
-void install(Telemetry* telemetry) { detail::g_active = telemetry; }
+void install(Telemetry* telemetry) {
+  detail::g_active = telemetry;
+  ++detail::g_epoch;
+}
 
 ScopedTelemetry::ScopedTelemetry() : previous_(detail::g_active) {
   install(&telemetry_);

@@ -26,6 +26,8 @@
 // contract.
 #pragma once
 
+#include <cstdint>
+
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -45,12 +47,22 @@ namespace detail {
 // init wrapper — keeps the inline accessors a direct TLS load (and
 // avoids GCC 12's spurious -fsanitize=null report on wrapper calls).
 extern thread_local constinit Telemetry* g_active;
+// Bumped by every install() on this thread. Cached series/track handles
+// (obs/cached.hpp) key their validity on this, not on the Telemetry
+// pointer: a new bundle can reuse a just-destroyed bundle's address (both
+// are typically stack-allocated), so pointer identity alone would let a
+// stale reference through.
+extern thread_local constinit std::uint64_t g_epoch;
 }  // namespace detail
 
 /// Installs `telemetry` as the calling thread's sink (nullptr disables —
 /// the default). The caller keeps ownership. Other threads are
 /// unaffected: the active bundle is thread-local.
 void install(Telemetry* telemetry);
+
+/// The calling thread's install counter; changes whenever the active
+/// bundle may have changed.
+inline std::uint64_t epoch() { return detail::g_epoch; }
 
 /// The calling thread's installed bundle, or nullptr when telemetry is
 /// disabled on this thread.

@@ -1,0 +1,160 @@
+// Small-buffer type-erased callable for the event engine.
+//
+// The engine used to store every callback in a std::function<void()>,
+// whose capture state spills to the heap past ~16 bytes — one allocation
+// per scheduled event. InlineFn is the replacement: a move-only callable
+// with 48 bytes of inline storage (enough for every hot-path capture in
+// this repo: `this` + a couple of ids + a double or two), falling back to
+// a single heap allocation only for oversized or throwing-move captures.
+// Steady-state event dispatch therefore allocates nothing.
+//
+// The ops table carries a `relocate` operation (move-construct into a new
+// address + destroy the source) because the engine stores InlineFn inside
+// a growable slot arena: when the arena's vector reallocates, inline
+// payloads must be moved bytewise-safely via their own move constructor,
+// not memcpy'd.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cmdare::simcore {
+
+template <typename R>
+class InlineFn {
+ public:
+  /// Captures up to this many bytes stay inline (no heap traffic).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn>>>
+  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroys any current payload and constructs `fn` in place — the
+  /// engine's hot path, avoiding the temporary + relocate of move-assign.
+  template <typename F>
+  void assign(F&& fn) {
+    reset();
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Invokes the stored callable. Undefined if empty (the engine only
+  /// invokes slots it has populated).
+  R operator()() { return ops_->invoke(buf_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*);
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename T>
+  static constexpr bool kFitsInline =
+      sizeof(T) <= kInlineBytes && alignof(T) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<T>;
+
+  template <typename T>
+  static R invoke_inline(void* s) {
+    return (*static_cast<T*>(s))();
+  }
+  template <typename T>
+  static void relocate_inline(void* from, void* to) noexcept {
+    T* src = static_cast<T*>(from);
+    ::new (to) T(std::move(*src));
+    src->~T();
+  }
+  template <typename T>
+  static void destroy_inline(void* s) noexcept {
+    static_cast<T*>(s)->~T();
+  }
+
+  // Heap fallback: the buffer holds a single T* and relocation is a
+  // pointer copy.
+  template <typename T>
+  static R invoke_heap(void* s) {
+    T* p;
+    std::memcpy(&p, s, sizeof(p));
+    return (*p)();
+  }
+  template <typename T>
+  static void relocate_heap(void* from, void* to) noexcept {
+    std::memcpy(to, from, sizeof(T*));
+  }
+  template <typename T>
+  static void destroy_heap(void* s) noexcept {
+    T* p;
+    std::memcpy(&p, s, sizeof(p));
+    delete p;
+  }
+
+  template <typename T>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{&invoke_inline<T>, &relocate_inline<T>,
+                             &destroy_inline<T>};
+    return &ops;
+  }
+  template <typename T>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops{&invoke_heap<T>, &relocate_heap<T>,
+                             &destroy_heap<T>};
+    return &ops;
+  }
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using T = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<R, T&>,
+                  "InlineFn: callable has the wrong signature");
+    if constexpr (kFitsInline<T>) {
+      ::new (static_cast<void*>(buf_)) T(std::forward<F>(fn));
+      ops_ = inline_ops<T>();
+    } else {
+      T* p = new T(std::forward<F>(fn));
+      std::memcpy(buf_, &p, sizeof(p));
+      ops_ = heap_ops<T>();
+    }
+  }
+
+  void move_from(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace cmdare::simcore

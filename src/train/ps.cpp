@@ -13,7 +13,12 @@ PsShard::PsShard(simcore::Simulator& sim, util::Rng rng,
       rng_(rng),
       mean_service_(mean_service_seconds),
       cov_(cov),
-      label_(std::move(label)) {
+      label_(std::move(label)),
+      track_("ps-" + label_),
+      queue_wait_("ps.queue_wait_seconds", {{"shard", label_}}),
+      updates_total_("ps.updates_total", {{"shard", label_}}),
+      apply_seconds_("ps.apply_seconds", {{"shard", label_}}),
+      queue_depth_name_("ps.queue_depth/" + label_) {
   if (mean_service_seconds <= 0.0) {
     throw std::invalid_argument("PsShard: service time must be > 0");
   }
@@ -21,7 +26,7 @@ PsShard::PsShard(simcore::Simulator& sim, util::Rng rng,
 
 void PsShard::sample_queue_depth() const {
   if (obs::Tracer* tracer = obs::tracer()) {
-    tracer->counter("ps.queue_depth/" + label_, sim_->now(),
+    tracer->counter(queue_depth_name_, sim_->now(),
                     static_cast<double>(queue_.size()));
   }
 }
@@ -43,15 +48,13 @@ void PsShard::start_next() {
   queue_.pop_front();
 
   const simcore::SimTime service_start = sim_->now();
-  if (obs::Tracer* tracer = obs::tracer()) {
-    const std::uint32_t track = tracer->track("ps-" + label_);
-    tracer->complete(track, "ps.queue", "train", update.enqueued_at,
+  if (obs::Tracer* tracer = track_.get()) {
+    tracer->complete(track_.id(), "ps.queue", "train", update.enqueued_at,
                      service_start, {{"shard", label_}}, /*async=*/true);
     sample_queue_depth();
   }
-  if (obs::Registry* registry = obs::registry()) {
-    registry->histogram("ps.queue_wait_seconds", {{"shard", label_}})
-        .observe(service_start - update.enqueued_at);
+  if (obs::Histogram* wait = queue_wait_.get()) {
+    wait->observe(service_start - update.enqueued_at);
   }
 
   const double service = rng_.lognormal_mean_cv(mean_service_, cov_);
@@ -60,14 +63,15 @@ void PsShard::start_next() {
       service,
       [this, job = std::move(update.on_applied), service_start]() {
         ++applied_;
-        if (obs::Tracer* tracer = obs::tracer()) {
-          tracer->complete(tracer->track("ps-" + label_), "ps.apply", "train",
-                           service_start, sim_->now(), {{"shard", label_}});
+        if (obs::Tracer* tracer = track_.get()) {
+          tracer->complete(track_.id(), "ps.apply", "train", service_start,
+                           sim_->now(), {{"shard", label_}});
         }
-        if (obs::Registry* registry = obs::registry()) {
-          registry->counter("ps.updates_total", {{"shard", label_}}).inc();
-          registry->histogram("ps.apply_seconds", {{"shard", label_}})
-              .observe(sim_->now() - service_start);
+        if (obs::Counter* updates = updates_total_.get()) {
+          updates->inc();
+          if (obs::Histogram* apply = apply_seconds_.get()) {
+            apply->observe(sim_->now() - service_start);
+          }
         }
         job();
         start_next();

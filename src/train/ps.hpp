@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/cached.hpp"
 #include "simcore/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -61,6 +62,15 @@ class PsShard {
   std::deque<PendingUpdate> queue_;
   std::uint64_t applied_ = 0;
   double busy_seconds_ = 0.0;
+
+  // Per-apply instrumentation handles, resolved once per installed
+  // telemetry bundle instead of once per update (mutable: queue-depth
+  // sampling is observation, not shard state).
+  mutable obs::CachedTrack track_;
+  obs::CachedHistogram queue_wait_;
+  obs::CachedCounter updates_total_;
+  obs::CachedHistogram apply_seconds_;
+  std::string queue_depth_name_;
 };
 
 }  // namespace cmdare::train

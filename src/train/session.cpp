@@ -89,6 +89,7 @@ WorkerId TrainingSession::add_worker(const WorkerSpec& spec,
   Worker worker;
   worker.spec = spec;
   workers_.push_back(worker);
+  worker_tracks_.emplace_back(worker_track_name(id));
   if (join_delay_seconds == 0.0) {
     activate_worker(id, reuse_chief_ip);
   } else {
@@ -107,9 +108,9 @@ void TrainingSession::activate_worker(WorkerId id, bool reuse_chief_ip) {
   trace_.record_event(SessionEvent{SessionEventType::kWorkerJoined,
                                    sim_->now(), id, global_step_,
                                    w.spec.label});
-  if (obs::Tracer* tracer = obs::tracer()) {
-    tracer->instant(tracer->track(worker_track_name(id)), "worker.joined",
-                    "train", sim_->now(), {{"label", w.spec.label}});
+  if (obs::Tracer* tracer = worker_tracks_[id].get()) {
+    tracer->instant(worker_tracks_[id].id(), "worker.joined", "train",
+                    sim_->now(), {{"label", w.spec.label}});
   }
   if (obs::Registry* registry = obs::registry()) {
     registry->counter("train.worker_joins_total").inc();
@@ -159,9 +160,9 @@ void TrainingSession::revoke_worker(WorkerId id) {
   trace_.record_event(SessionEvent{SessionEventType::kWorkerRevoked,
                                    sim_->now(), id, global_step_,
                                    w.spec.label});
-  if (obs::Tracer* tracer = obs::tracer()) {
-    tracer->instant(tracer->track(worker_track_name(id)), "worker.revoked",
-                    "train", sim_->now(), {{"label", w.spec.label}});
+  if (obs::Tracer* tracer = worker_tracks_[id].get()) {
+    tracer->instant(worker_tracks_[id].id(), "worker.revoked", "train",
+                    sim_->now(), {{"label", w.spec.label}});
   }
   if (obs::Registry* registry = obs::registry()) {
     registry->counter("train.worker_revocations_total").inc();
@@ -227,14 +228,13 @@ void TrainingSession::on_compute_done(WorkerId id, std::uint64_t generation,
   Worker& w = workers_[id];
   if (!running(w, generation)) return;
   ++w.local_step;
-  if (obs::Tracer* tracer = obs::tracer()) {
-    tracer->complete(tracer->track(worker_track_name(id)), "worker.compute",
-                     "train", started, sim_->now(),
+  if (obs::Tracer* tracer = worker_tracks_[id].get()) {
+    tracer->complete(worker_tracks_[id].id(), "worker.compute", "train",
+                     started, sim_->now(),
                      {{"local_step", std::to_string(w.local_step)}});
   }
-  if (obs::Registry* registry = obs::registry()) {
-    registry->histogram("train.compute_seconds").observe(sim_->now() -
-                                                         started);
+  if (obs::Histogram* compute = compute_seconds_.get()) {
+    compute->observe(sim_->now() - started);
   }
   if (w.update_outstanding || w.checkpointing) {
     // Window-1 pipelining: hold this push until the previous update is
@@ -280,9 +280,11 @@ void TrainingSession::on_update_applied(WorkerId id,
   ++global_step_;
   trace_.record_global_step(global_step_, sim_->now());
   trace_.record_worker_step(id, sim_->now());
-  if (obs::Registry* registry = obs::registry()) {
-    registry->counter("train.steps_total").inc();
-    registry->gauge("train.global_step").set(static_cast<double>(global_step_));
+  if (obs::Counter* steps = steps_total_.get()) {
+    steps->inc();
+    if (obs::Gauge* gauge = global_step_gauge_.get()) {
+      gauge->set(static_cast<double>(global_step_));
+    }
   }
   if (on_step) on_step(global_step_, sim_->now());
 

@@ -30,6 +30,7 @@
 #include "cloud/calibration.hpp"
 #include "cloud/storage.hpp"
 #include "nn/model.hpp"
+#include "obs/cached.hpp"
 #include "simcore/simulator.hpp"
 #include "train/cluster.hpp"
 #include "train/ps.hpp"
@@ -152,6 +153,14 @@ class TrainingSession {
   cloud::ObjectStore* store_;
 
   std::vector<Worker> workers_;
+  // Parallel to workers_ (workers are never removed, only flagged
+  // revoked): the worker's trace track, resolved once per telemetry
+  // bundle instead of once per compute completion.
+  std::vector<obs::CachedTrack> worker_tracks_;
+  // Step-path registry series, same caching rationale.
+  obs::CachedHistogram compute_seconds_{"train.compute_seconds"};
+  obs::CachedCounter steps_total_{"train.steps_total"};
+  obs::CachedGauge global_step_gauge_{"train.global_step"};
   std::vector<std::unique_ptr<PsShard>> shards_;
   std::optional<WorkerId> owner_;
   bool had_owner_ = false;

@@ -15,10 +15,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 // FNV-1a, used to mix stream names into fork() seeds.
 std::uint64_t fnv1a(std::string_view s) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -69,25 +65,66 @@ Rng Rng::fork(std::uint64_t index) const {
   return Rng(s0, s1, s2, s3);
 }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
+std::vector<Rng> Rng::fork_batch(std::uint64_t first_index,
+                                 std::size_t count) const {
+  // Hash the (immutable) parent state once; per index only the SplitMix64
+  // finalizer chain differs. Each element is bit-identical to
+  // fork(first_index + i).
+  const std::uint64_t mix = state_[0] ^ rotl(state_[1], 13) ^
+                            rotl(state_[2], 29) ^ rotl(state_[3], 43);
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t key =
+        (first_index + static_cast<std::uint64_t>(i)) ^ 0xd1b54a32d192ed03ULL;
+    key = splitmix64(key);
+    std::uint64_t x = mix ^ key;
+    std::uint64_t s0 = splitmix64(x);
+    std::uint64_t s1 = splitmix64(x);
+    std::uint64_t s2 = splitmix64(x);
+    std::uint64_t s3 = splitmix64(x);
+    streams.push_back(Rng(s0, s1, s2, s3));
+  }
+  return streams;
 }
 
-double Rng::uniform() {
-  // 53 random bits -> double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+void Rng::fill_u64(std::uint64_t* out, std::size_t n) {
+  std::uint64_t s0 = state_[0], s1 = state_[1], s2 = state_[2],
+                s3 = state_[3];
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = rotl(s0 + s3, 23) + s0;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl(s3, 45);
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
 }
 
-double Rng::uniform(double lo, double hi) {
-  return lo + (hi - lo) * uniform();
+void Rng::fill_uniform(double* out, std::size_t n) {
+  std::uint64_t s0 = state_[0], s1 = state_[1], s2 = state_[2],
+                s3 = state_[3];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = rotl(s0 + s3, 23) + s0;
+    out[i] = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl(s3, 45);
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
 }
 
 std::uint64_t Rng::uniform_index(std::uint64_t n) {

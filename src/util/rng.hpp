@@ -8,8 +8,16 @@
 // Poisson) without depending on the unspecified std::distribution
 // implementations, which differ across standard libraries and would break
 // cross-platform reproducibility.
+//
+// The generator core (next_u64 / uniform) is defined inline here so hot
+// loops keep the four state words in registers instead of paying a
+// cross-TU call per draw. The fill_* batch APIs draw n values in one call
+// and are *defined* to be stream-equivalent to n scalar calls — same
+// values, same state afterwards — so call sites can batch freely without
+// perturbing any seeded experiment (pinned by util_rng_test).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string_view>
@@ -41,8 +49,25 @@ class Rng {
   /// finalizer than the FNV-1a string path.
   [[nodiscard]] Rng fork(std::uint64_t index) const;
 
+  /// Index forks for [first_index, first_index + count): exactly
+  /// equivalent to calling fork(first_index + i) in a loop (fork does not
+  /// advance the parent stream), but hashes the parent state once. Used
+  /// where a component seeds one stream per replica/tenant/shard.
+  [[nodiscard]] std::vector<Rng> fork_batch(std::uint64_t first_index,
+                                            std::size_t count) const;
+
   /// Next raw 64-bit value.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   // UniformRandomBitGenerator interface so Rng works with std::shuffle.
   std::uint64_t operator()() { return next_u64(); }
@@ -52,9 +77,20 @@ class Rng {
   }
 
   /// Uniform double in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 random bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Fills `out[0..n)` with the next n raw values. Stream-equivalent to n
+  /// next_u64() calls; the state round-trips through locals so the
+  /// compiler keeps it in registers across the whole batch.
+  void fill_u64(std::uint64_t* out, std::size_t n);
+  /// Fills `out[0..n)` with the next n uniform [0, 1) doubles.
+  /// Stream-equivalent to n uniform() calls.
+  void fill_uniform(double* out, std::size_t n);
   /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
   std::uint64_t uniform_index(std::uint64_t n);
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
@@ -91,6 +127,10 @@ class Rng {
 
  private:
   Rng(std::uint64_t s0, std::uint64_t s1, std::uint64_t s2, std::uint64_t s3);
+
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
 
   std::uint64_t state_[4];
   bool has_cached_normal_ = false;

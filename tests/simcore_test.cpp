@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -149,10 +152,10 @@ TEST(Simulator, CancelledEventsDoNotAdvanceClockInRunUntil) {
   EXPECT_DOUBLE_EQ(sim.now(), 60.0);
 }
 
-TEST(Simulator, TombstonesStayQueuedUntilPopped) {
+TEST(Simulator, CancelReleasesSlotImmediately) {
   Simulator sim;
-  // Cancellation is O(1): the entry is tombstoned in place, so
-  // queued_events() still counts it until the queue pops past it.
+  // Cancellation is tombstone-free: the arena slot is released on the
+  // spot, so queued_events() (live count) drops immediately.
   std::vector<EventHandle> handles;
   for (double t : {1.0, 2.0, 3.0}) {
     handles.push_back(sim.schedule_at(t, [] {}));
@@ -160,58 +163,126 @@ TEST(Simulator, TombstonesStayQueuedUntilPopped) {
   EXPECT_EQ(sim.queued_events(), 3u);
   handles[0].cancel();
   handles[2].cancel();
-  EXPECT_EQ(sim.queued_events(), 3u);  // tombstones accumulate
+  EXPECT_EQ(sim.queued_events(), 1u);  // only the live event counts
   EXPECT_EQ(sim.run(), 1u);            // only the live event fires
-  EXPECT_EQ(sim.queued_events(), 0u);  // pops discard the tombstones
-  EXPECT_DOUBLE_EQ(sim.now(), 2.0);    // clock never visits cancelled times
+  EXPECT_EQ(sim.queued_events(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);  // clock never visits cancelled times
 }
 
-TEST(Simulator, CompactDropsTombstonesAndKeepsLiveOrder) {
+TEST(Simulator, CancelThenRescheduleReusesArenaSlot) {
   Simulator sim;
+  bool old_fired = false;
+  bool new_fired = false;
+  EventHandle stale = sim.schedule_at(1.0, [&] { old_fired = true; });
+  const std::size_t slots_before = sim.arena_slots();
+  ASSERT_TRUE(stale.cancel());
+  // The released slot is re-leased by the next schedule; the stale handle
+  // must report not-pending via the generation check, not alias the new
+  // event.
+  EventHandle fresh = sim.schedule_at(2.0, [&] { new_fired = true; });
+  EXPECT_EQ(sim.arena_slots(), slots_before);  // slot recycled, not grown
+  EXPECT_FALSE(stale.pending());
+  EXPECT_FALSE(stale.cancel());  // must not cancel the new occupant
+  EXPECT_TRUE(fresh.pending());
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_FALSE(old_fired);
+  EXPECT_TRUE(new_fired);
+}
+
+TEST(Simulator, HandleFromFiredEventStaysInertAfterSlotReuse) {
+  Simulator sim;
+  EventHandle fired_handle = sim.schedule_at(1.0, [] {});
+  sim.run();
+  // The fired event's slot is back on the free list; a new event re-leases
+  // it with a bumped generation.
+  EventHandle fresh = sim.schedule_at(2.0, [] {});
+  EXPECT_FALSE(fired_handle.pending());
+  EXPECT_FALSE(fired_handle.cancel());
+  EXPECT_TRUE(fresh.pending());
+  EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(Simulator, CancelHeavyChurnKeepsLiveOrderIntact) {
+  Simulator sim;
+  // Oracle check: schedule a deterministic pseudo-random event set, cancel
+  // a large subset (some before the run, some from inside callbacks), and
+  // assert the engine's fire log equals the (when, sequence)-sorted live
+  // set — cancellation must never reorder surviving events.
+  constexpr int kEvents = 500;
   std::vector<EventHandle> handles;
-  std::vector<int> fired;
-  for (int i = 0; i < 10; ++i) {
+  std::vector<double> times;
+  std::vector<int> fire_log;
+  std::uint64_t lcg = 0x243f6a8885a308d3ull;
+  for (int i = 0; i < kEvents; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    // Coarse grid so equal times (sequence ties) are common.
+    const double when = static_cast<double>((lcg >> 33) % 97);
+    times.push_back(when);
     handles.push_back(
-        sim.schedule_at(static_cast<double>(i + 1), [&fired, i] {
-          fired.push_back(i);
-        }));
+        sim.schedule_at(when, [&fire_log, i] { fire_log.push_back(i); }));
   }
-  for (int i = 0; i < 10; i += 2) handles[i].cancel();
-  EXPECT_EQ(sim.tombstoned_events(), 5u);
-  sim.compact();
-  EXPECT_EQ(sim.tombstoned_events(), 0u);
-  EXPECT_EQ(sim.queued_events(), 5u);  // only live entries survive
-  EXPECT_EQ(sim.run(), 5u);
-  EXPECT_EQ(fired, (std::vector<int>{1, 3, 5, 7, 9}));  // order intact
+  std::vector<bool> cancelled(kEvents, false);
+  for (int i = 0; i < kEvents; i += 3) {  // pre-run cancellations
+    handles[i].cancel();
+    cancelled[i] = true;
+  }
+  // Mid-run churn: at t=40, cancel every 7th event still pending.
+  sim.schedule_at(40.0, [&] {
+    for (int i = 0; i < kEvents; i += 7) {
+      if (handles[i].cancel()) cancelled[i] = true;
+    }
+  });
+  sim.run();
+
+  std::vector<int> expected;
+  for (int i = 0; i < kEvents; ++i) {
+    // The mid-run canceller only reaches events strictly after t=40 (same
+    // time + later sequence has already fired when it runs).
+    const bool killed_mid_run = i % 7 == 0 && i % 3 != 0 && times[i] > 40.0;
+    if (i % 3 == 0 || killed_mid_run) continue;
+    expected.push_back(i);
+  }
+  std::stable_sort(expected.begin(), expected.end(), [&](int a, int b) {
+    return times[a] < times[b];  // stable: sequence order preserved on ties
+  });
+  EXPECT_EQ(fire_log, expected);
 }
 
-TEST(Simulator, SchedulingCompactsWhenTombstonesDominate) {
+TEST(Simulator, RunUntilLandsExactlyOnBucketBoundary) {
   Simulator sim;
-  // Cancel-heavy load: 8 of 10 entries tombstoned. The next schedule_at
-  // notices tombstones outnumber live entries and compacts in place —
-  // churny cancel-heavy campaigns must not carry dead entries forever.
-  std::vector<EventHandle> handles;
-  for (int i = 0; i < 10; ++i) {
-    handles.push_back(sim.schedule_at(static_cast<double>(i + 1), [] {}));
+  // 65 events spanning [0, 64] make the re-bucketed near tier exactly one
+  // second per bucket, so integer deadlines land exactly on bucket
+  // boundaries; events at the boundary (when == deadline) must fire.
+  std::vector<double> fired;
+  for (int i = 0; i <= 64; ++i) {
+    sim.schedule_at(static_cast<double>(i),
+                    [&fired, &sim] { fired.push_back(sim.now()); });
   }
-  for (int i = 0; i < 8; ++i) handles[i].cancel();
-  EXPECT_EQ(sim.queued_events(), 10u);  // not compacted yet
-  sim.schedule_at(100.0, [] {});
-  EXPECT_EQ(sim.tombstoned_events(), 0u);
-  EXPECT_EQ(sim.queued_events(), 3u);  // 2 live survivors + the new event
-  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(sim.run_until(32.0), 33u);  // 0..32 inclusive
+  EXPECT_DOUBLE_EQ(sim.now(), 32.0);
+  EXPECT_DOUBLE_EQ(fired.back(), 32.0);
+  EXPECT_EQ(sim.run_until(32.0), 0u);  // idempotent at the boundary
+  EXPECT_EQ(sim.run(), 32u);           // 33..64
+  EXPECT_DOUBLE_EQ(sim.now(), 64.0);
 }
 
-TEST(Simulator, CancelAfterCompactionIsSafe) {
+TEST(Simulator, ScheduleEverySelfTerminationReleasesItsSlot) {
   Simulator sim;
-  EventHandle live = sim.schedule_at(5.0, [] {});
-  EventHandle dead = sim.schedule_at(1.0, [] {});
-  dead.cancel();
-  sim.compact();
-  // The compacted-away handle is inert; the surviving one still cancels.
-  EXPECT_FALSE(dead.cancel());
-  EXPECT_TRUE(live.cancel());
-  EXPECT_EQ(sim.run(), 0u);
+  int ticks = 0;
+  sim.schedule_every(1.0, [&] {
+    ++ticks;
+    return ticks < 5;
+  });
+  EXPECT_EQ(sim.queued_events(), 1u);
+  EXPECT_EQ(sim.run(), 5u);  // run() terminates: false reschedules nothing
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.queued_events(), 0u);
+  // The recurrence's arena slot is free again: a fresh event reuses it
+  // instead of growing the arena.
+  const std::size_t slots_after = sim.arena_slots();
+  sim.schedule_after(1.0, [] {});
+  EXPECT_EQ(sim.arena_slots(), slots_after);
+  sim.run();
 }
 
 namespace {

@@ -314,5 +314,63 @@ TEST(Rng, PermutationActuallyShuffles) {
   EXPECT_LT(fixed, 10u);
 }
 
+// --- Batch APIs: pinned stream equivalence -------------------------------
+//
+// fill_u64 / fill_uniform / fork_batch are *defined* as stream-equivalent
+// to their scalar counterparts; callers batch draws on that basis, so a
+// divergence here would silently change every seeded experiment that uses
+// a batched path.
+
+TEST(Rng, FillU64MatchesScalarStream) {
+  Rng batched(2020);
+  Rng scalar(2020);
+  std::uint64_t out[257];
+  batched.fill_u64(out, 257);
+  for (std::size_t i = 0; i < 257; ++i) {
+    EXPECT_EQ(out[i], scalar.next_u64()) << "draw " << i;
+  }
+  // States converge again: the next draws after the batch agree too.
+  EXPECT_EQ(batched.next_u64(), scalar.next_u64());
+}
+
+TEST(Rng, FillUniformMatchesScalarStream) {
+  Rng batched(7);
+  Rng scalar(7);
+  double out[100];
+  batched.fill_uniform(out, 100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i], scalar.uniform()) << "draw " << i;
+  }
+  EXPECT_EQ(batched.uniform(), scalar.uniform());
+}
+
+TEST(Rng, FillZeroLengthIsANoOp) {
+  Rng batched(11);
+  Rng scalar(11);
+  batched.fill_u64(nullptr, 0);
+  batched.fill_uniform(nullptr, 0);
+  EXPECT_EQ(batched.next_u64(), scalar.next_u64());
+}
+
+TEST(Rng, ForkBatchMatchesForkLoop) {
+  const Rng parent(99);
+  const auto streams = parent.fork_batch(3, 16);
+  ASSERT_EQ(streams.size(), 16u);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    Rng batched = streams[i];
+    Rng looped = parent.fork(static_cast<std::uint64_t>(3 + i));
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_EQ(batched.next_u64(), looped.next_u64())
+          << "stream " << i << " draw " << d;
+    }
+  }
+}
+
+TEST(Rng, ForkBatchDoesNotAdvanceParent) {
+  Rng a(123);
+  Rng b(123);
+  (void)a.fork_batch(0, 32);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
 }  // namespace
 }  // namespace cmdare::util
