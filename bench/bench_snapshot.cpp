@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/plane.hpp"
+#include "cloud/storage.hpp"
 #include "nn/model_zoo.hpp"
 #include "obs/ledger.hpp"
 #include "obs/obs.hpp"
@@ -179,6 +181,34 @@ MetricMap run_micro() {
 
 // --- speed suite -----------------------------------------------------------
 
+/// Checkpoint-data-plane hot loop: commit a steady stream of base/delta
+/// generations through the tiered store and re-verify the newest
+/// restorable generation after every commit. Covers manifest planning,
+/// tier placement/demotion, end-to-end verification, and promotion on
+/// restore — the path every rollback pays under churn.
+constexpr int kCkptRestores = 2000;
+
+double run_ckpt_restores() {
+  std::uint64_t sink = 0;
+  const double secs = best_seconds([&] {
+    simcore::Simulator sim;
+    cloud::ObjectStore store(sim, util::Rng(7).fork("store"));
+    ckpt::PlaneConfig config;
+    config.enabled = true;
+    ckpt::CheckpointPlane plane(sim, store, config);
+    for (int i = 0; i < kCkptRestores; ++i) {
+      const ckpt::PlannedWrite write =
+          plane.plan_write((i + 1) * 100L, 90'000'000ull);
+      store.upload(write.key, write.bytes, [] {}, nullptr, write.tier);
+      sim.run();
+      plane.commit_write(write);
+      sink += static_cast<std::uint64_t>(plane.restorable_step());
+    }
+  });
+  (void)sink;
+  return static_cast<double>(kCkptRestores) / secs;
+}
+
 /// A shrunk version of the speed scenario: one cell, 8 replicas of a
 /// 3-worker transient run with checkpoints, on one thread so the number
 /// is a per-core throughput.
@@ -223,6 +253,7 @@ MetricMap run_speed() {
   metrics["replicas_per_sec"] = {static_cast<double>(total_replicas) / secs,
                                  true};
   metrics["steps_per_sec"] = {static_cast<double>(total_steps) / secs, true};
+  metrics["ckpt_restore_per_sec"] = {run_ckpt_restores(), true};
   return metrics;
 }
 

@@ -10,6 +10,12 @@
 // The aggregate CSV is deterministic for a given (spec, seed) at any
 // --jobs value; wall-clock and the progress line are the only things
 // that change with thread count.
+//
+// Long sweeps are crash-resumable: `--journal PATH` appends every
+// completed replica to PATH (flushed, so a kill loses at most one torn
+// trailing line), and re-running with `--resume` replays the journaled
+// replicas and executes only the rest — the final CSV is byte-identical
+// to an uninterrupted run at any --jobs.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -47,9 +53,12 @@ bool is_sweep(const std::string& name) {
   return false;
 }
 
-exp::RunOptions make_options(int jobs, bool quiet) {
+exp::RunOptions make_options(int jobs, bool quiet,
+                             const std::string& journal_path, bool resume) {
   exp::RunOptions options;
   options.jobs = jobs;
+  options.journal_path = journal_path;
+  options.resume = resume;
   if (!quiet) {
     options.on_progress = [](const exp::Progress& p) {
       // Serialized by the engine; one carriage-return line.
@@ -76,6 +85,8 @@ int main(int argc, char** argv) {
   bool seed_set = false;
   std::string seed_text;
   std::string csv_path;
+  std::string journal_path;
+  bool resume = false;
 
   util::ArgParser args("cmdare_campaign",
                        "Run a named Monte-Carlo campaign from the catalog.");
@@ -90,6 +101,12 @@ int main(int argc, char** argv) {
   args.add_value("seed", "S", "campaign seed (default: the spec's)",
                  &seed_text);
   args.add_value("csv", "PATH", "write the aggregate CSV to PATH", &csv_path);
+  args.add_value("journal", "PATH",
+                 "append every completed replica to PATH (crash journal)",
+                 &journal_path);
+  args.add_flag("resume",
+                "replay the --journal file and run only the missing replicas",
+                &resume);
   args.add_flag("quiet", "suppress the progress line", &quiet);
 
   std::string error;
@@ -116,6 +133,10 @@ int main(int argc, char** argv) {
     seed = std::strtoull(seed_text.c_str(), nullptr, 10);
     seed_set = true;
   }
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr, "error: --resume needs --journal PATH\n");
+    return 1;
+  }
 
   if (is_sweep(name)) {
     const scenario::NamedScenarioSweep& named = scenario::sweep_by_name(name);
@@ -126,7 +147,8 @@ int main(int argc, char** argv) {
     scenario::ScenarioCampaignResult result;
     try {
       result = scenario::run_scenario_campaign(
-          sweep, make_options(jobs, quiet), named.replica);
+          sweep, make_options(jobs, quiet, journal_path, resume),
+          named.replica);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -171,7 +193,8 @@ int main(int argc, char** argv) {
 
   exp::CampaignResult result;
   try {
-    result = exp::run_campaign(spec, replica, make_options(jobs, quiet));
+    result = exp::run_campaign(
+        spec, replica, make_options(jobs, quiet, journal_path, resume));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -6,8 +6,10 @@
 //
 // The input is whatever obs::write_ledger_jsonl produced — a single
 // run's ledger or a merged campaign ledger (scopes are analyzed
-// independently and summed). Unparseable lines are reported to stderr
-// and skipped; the analysis runs on the lines that survived.
+// independently and summed). Truncated or malformed lines are reported
+// to stderr with their 1-based line number and the exit code is
+// non-zero; the analysis still runs on the lines that survived unless
+// --strict asked for an immediate abort.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -31,7 +33,10 @@ int main(int argc, char** argv) {
   args.add_positional("ledger.jsonl", "ledger file to analyze", &path);
   args.add_value("csv", "PATH", "also write the metric,value CSV to PATH",
                  &csv_path);
-  args.add_flag("strict", "fail on any unparseable ledger line", &strict);
+  args.add_flag("strict",
+                "abort before analysis on any unparseable ledger line "
+                "(the exit code is non-zero either way)",
+                &strict);
 
   std::string error;
   if (!args.parse(argc, argv, &error)) {
@@ -52,6 +57,11 @@ int main(int argc, char** argv) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
 
+  // Diagnostics are already line-numbered ("line N: ..."); prefixing the
+  // path makes them grep-able across files. A ledger with any bad line —
+  // a truncated final record, malformed JSON, an unknown kind — always
+  // exits non-zero so pipelines notice, but the report still covers the
+  // surviving lines unless --strict aborts first.
   const obs::LedgerParseResult parsed = obs::parse_ledger_jsonl(buffer.str());
   for (const std::string& diagnostic : parsed.errors) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(), diagnostic.c_str());
@@ -75,5 +85,5 @@ int main(int argc, char** argv) {
     obs::analyze::write_analysis_csv(analysis, out);
     std::printf("analysis CSV written to %s\n", csv_path.c_str());
   }
-  return 0;
+  return parsed.ok() ? 0 : 1;
 }

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 (full build + full ctest), the fault/supervise/
-# obs/fleet/simcore/exp label suites rebuilt under AddressSanitizer, and
-# the concurrency-heavy tests (obs, campaign engine, supervised sweeps,
-# fleet campaigns) under ThreadSanitizer. The simcore label rides along in
+# obs/fleet/simcore/exp/ckpt label suites rebuilt under AddressSanitizer,
+# and the concurrency-heavy tests (obs, campaign engine, journal resume,
+# supervised sweeps, fleet campaigns) under ThreadSanitizer. The simcore label rides along in
 # the ASan/UBSan stages because the event engine hands out arena slots
 # with generation-checked handles — lifetime bugs there are exactly what
 # the sanitizers exist to catch. The perf-snapshot gate (--bench) is explicit
@@ -54,11 +54,11 @@ if $run_tier1; then
 fi
 
 if $run_asan; then
-  echo "=== asan: faults + supervise + obs + fleet + simcore + exp labels under AddressSanitizer ==="
+  echo "=== asan: faults + supervise + obs + fleet + simcore + exp + ckpt labels under AddressSanitizer ==="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMDARE_SANITIZE=address
   cmake --build build-asan -j "$jobs"
-  ctest --test-dir build-asan -L 'faults|supervise|obs|fleet|simcore|exp' \
+  ctest --test-dir build-asan -L 'faults|supervise|obs|fleet|simcore|exp|ckpt' \
     --output-on-failure -j "$jobs"
 fi
 
@@ -68,15 +68,15 @@ if $run_tsan; then
     -DCMDARE_SANITIZE=thread
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R '^(ObsConcurrency|ThreadPool|Campaign|CampaignSpec|HeartbeatDetector|HazardEstimator|AdaptiveCheckpointController|SupervisedRun|DetectionCampaign|FleetCampaign|StormCampaign)\.'
+    -R '^(ObsConcurrency|ThreadPool|Campaign|CampaignSpec|CampaignJournal|HeartbeatDetector|HazardEstimator|AdaptiveCheckpointController|SupervisedRun|DetectionCampaign|FleetCampaign|StormCampaign)\.'
 fi
 
 if $run_ubsan; then
-  echo "=== ubsan: faults + supervise + simcore + exp labels under UndefinedBehaviorSanitizer ==="
+  echo "=== ubsan: faults + supervise + simcore + exp + ckpt labels under UndefinedBehaviorSanitizer ==="
   cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMDARE_SANITIZE=undefined
   cmake --build build-ubsan -j "$jobs"
-  ctest --test-dir build-ubsan -L 'faults|supervise|simcore|exp' \
+  ctest --test-dir build-ubsan -L 'faults|supervise|simcore|exp|ckpt' \
     --output-on-failure -j "$jobs"
 fi
 

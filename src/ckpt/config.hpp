@@ -1,0 +1,32 @@
+// Checkpoint data-plane configuration.
+//
+// Default-constructed the plane is off: sessions keep the legacy flat
+// single-blob checkpoint path and every seeded golden stays
+// byte-identical. Enabling it turns checkpoints into checksummed
+// generations — a full base plus a chain of differential deltas — placed
+// across the storage tiers of cloud::TierSet and verified end-to-end
+// before any restore.
+#pragma once
+
+namespace cmdare::ckpt {
+
+struct PlaneConfig {
+  /// Master switch. Off = legacy flat checkpoints, bit-for-bit.
+  bool enabled = false;
+  /// Differential checkpoint size as a fraction of the full serialized
+  /// model (src/nn checkpoint-size model). Gradient sparsity makes
+  /// inter-interval deltas far smaller than the base; 0.12 matches the
+  /// ~8x compression incremental TensorFlow checkpoints see in practice.
+  double delta_ratio = 0.12;
+  /// Deltas per base before the chain is compacted into a fresh base.
+  /// Restore cost and corruption exposure both grow linearly with chain
+  /// depth, so this bounds worst-case verification work.
+  int max_delta_chain = 4;
+  /// Verified generations retained for fallback. Older generations fall
+  /// off the manifest (their blobs stay demoted on the cold tier).
+  int max_generations = 3;
+
+  friend bool operator==(const PlaneConfig&, const PlaneConfig&) = default;
+};
+
+}  // namespace cmdare::ckpt

@@ -1,0 +1,59 @@
+// Checkpoint manifests: the integrity ground truth of the data plane.
+//
+// Every committed checkpoint blob gets a manifest record — expected byte
+// count and checksum at write time — plus the "stored" pair describing
+// what actually landed after fault injection (a torn write truncates
+// stored_bytes, bit-rot flips stored_checksum). A generation is one full
+// base checkpoint plus its ordered delta chain; restore verifies the
+// whole generation record-by-record against the manifest before trusting
+// a single byte of it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/tier.hpp"
+
+namespace cmdare::ckpt {
+
+/// FNV-1a over the blob identity (key, step, bytes). The sim has no real
+/// payload to hash; a content checksum keyed on identity + size gives the
+/// verification path the same detection power against the faults the
+/// model can express (truncation, silent flip) at zero cost.
+std::uint64_t blob_checksum(const std::string& key, long step,
+                            std::uint64_t bytes);
+
+struct BlobRecord {
+  std::string key;
+  long step = 0;
+  /// Manifest truth: what the writer committed.
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+  /// Placement at write time (the store tracks subsequent moves).
+  cloud::StorageTier tier = cloud::StorageTier::kRegional;
+  /// Stored truth: what is actually durable after fault injection.
+  std::uint64_t stored_bytes = 0;
+  std::uint64_t stored_checksum = 0;
+
+  bool truncated() const { return stored_bytes != bytes; }
+  bool corrupted() const { return stored_checksum != checksum; }
+};
+
+struct Generation {
+  std::uint64_t id = 0;
+  BlobRecord base;
+  /// Delta chain in write (= step) order; restoring the generation's
+  /// newest step requires the base and *every* delta to verify.
+  std::vector<BlobRecord> deltas;
+  /// Set once verification fails; a quarantined generation is never
+  /// consulted again.
+  bool quarantined = false;
+
+  long newest_step() const {
+    return deltas.empty() ? base.step : deltas.back().step;
+  }
+  std::size_t blob_count() const { return 1 + deltas.size(); }
+};
+
+}  // namespace cmdare::ckpt

@@ -1,0 +1,265 @@
+#include "ckpt/plane.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace cmdare::ckpt {
+
+namespace {
+
+/// Arbitrary non-zero mask: a bit-rot draw flips the stored checksum so
+/// verification sees a mismatch without modeling payload bits.
+constexpr std::uint64_t kRotMask = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+std::uint64_t blob_checksum(const std::string& key, long step,
+                            std::uint64_t bytes) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  mix(static_cast<std::uint64_t>(step));
+  mix(bytes);
+  return h;
+}
+
+CheckpointPlane::CheckpointPlane(simcore::Simulator& sim,
+                                 cloud::ObjectStore& store, PlaneConfig config,
+                                 faults::FaultInjector* injector)
+    : sim_(&sim), store_(&store), config_(config), injector_(injector) {
+  if (config_.delta_ratio <= 0.0 || config_.delta_ratio > 1.0) {
+    throw std::invalid_argument(
+        "CheckpointPlane: delta_ratio must be in (0, 1]");
+  }
+  if (config_.max_delta_chain < 1) {
+    throw std::invalid_argument("CheckpointPlane: max_delta_chain must be >= 1");
+  }
+  if (config_.max_generations < 1) {
+    throw std::invalid_argument(
+        "CheckpointPlane: max_generations must be >= 1");
+  }
+}
+
+PlannedWrite CheckpointPlane::plan_write(long step,
+                                         std::uint64_t full_bytes) const {
+  PlannedWrite write;
+  write.step = step;
+  const Generation* open =
+      (!generations_.empty() && !generations_.back().quarantined)
+          ? &generations_.back()
+          : nullptr;
+  const bool chain_full =
+      open != nullptr &&
+      open->deltas.size() >= static_cast<std::size_t>(config_.max_delta_chain);
+  if (open == nullptr || chain_full) {
+    write.is_base = true;
+    write.compaction = chain_full;
+    write.bytes = full_bytes;
+    write.tier = cloud::StorageTier::kRegional;
+    write.key = "ckpt/g" + std::to_string(next_generation_id_) + "/base-" +
+                std::to_string(step);
+  } else {
+    write.bytes = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(full_bytes) *
+                                      config_.delta_ratio));
+    write.tier = cloud::StorageTier::kLocal;
+    write.key = "ckpt/g" + std::to_string(open->id) + "/delta-" +
+                std::to_string(step);
+  }
+  return write;
+}
+
+void CheckpointPlane::commit_write(const PlannedWrite& write) {
+  BlobRecord record;
+  record.key = write.key;
+  record.step = write.step;
+  record.bytes = write.bytes;
+  record.checksum = blob_checksum(write.key, write.step, write.bytes);
+  record.tier = write.tier;
+  record.stored_bytes = record.bytes;
+  record.stored_checksum = record.checksum;
+  // Write-time corruption, drawn in a fixed order (torn, then rot) from
+  // dedicated streams so commit sequences replay exactly.
+  if (injector_ != nullptr) {
+    if (injector_->torn_write()) {
+      record.stored_bytes =
+          record.bytes - std::max<std::uint64_t>(1, record.bytes / 3);
+    }
+    if (injector_->bit_rot()) {
+      record.stored_checksum ^= kRotMask;
+    }
+  }
+
+  if (write.is_base) {
+    if (!generations_.empty()) {
+      // The superseded generation is no longer the restore fast path:
+      // demote its blobs to the cold tier (cheap to hold, slow — and
+      // priced — to read back if fallback ever needs them).
+      for (const Generation& old : generations_) {
+        if (old.quarantined) continue;
+        store_->move_blob_to_tier(old.base.key, cloud::StorageTier::kCold);
+        for (const BlobRecord& delta : old.deltas) {
+          store_->move_blob_to_tier(delta.key, cloud::StorageTier::kCold);
+        }
+      }
+    }
+    if (write.compaction) {
+      ++compactions_;
+      if (obs::Registry* registry = obs::registry()) {
+        registry->counter("ckpt.compactions_total").inc();
+      }
+      if (obs::Ledger* ledger = obs::ledger()) {
+        obs::LedgerEvent event;
+        event.kind = obs::LedgerEventKind::kCkptCompact;
+        event.at = sim_->now();
+        event.source = "ckpt";
+        event.step = write.step;
+        event.detail = {
+            {"chain", std::to_string(generations_.back().deltas.size())},
+            {"generation", std::to_string(next_generation_id_)}};
+        ledger->record(std::move(event));
+      }
+    }
+    Generation generation;
+    generation.id = next_generation_id_++;
+    generation.base = record;
+    generations_.push_back(std::move(generation));
+    while (generations_.size() >
+           static_cast<std::size_t>(config_.max_generations)) {
+      generations_.erase(generations_.begin());
+    }
+    ++base_writes_;
+  } else {
+    generations_.back().deltas.push_back(record);
+    ++delta_writes_;
+  }
+  if (obs::Registry* registry = obs::registry()) {
+    registry
+        ->counter("ckpt.writes_total",
+                  {{"kind", write.is_base ? "base" : "delta"}})
+        .inc();
+    registry->counter("ckpt.write_bytes_total")
+        .inc(static_cast<double>(write.bytes));
+  }
+}
+
+CheckpointPlane::Verdict CheckpointPlane::verify(const Generation& generation,
+                                                 std::string& reason) const {
+  const auto check = [&](const BlobRecord& record) -> Verdict {
+    const cloud::StorageTier tier =
+        store_->blob_tier(record.key).value_or(record.tier);
+    if (injector_ != nullptr && injector_->tier_outage(tier, sim_->now())) {
+      reason = "tier_outage";
+      return Verdict::kUnavailable;
+    }
+    const std::optional<std::uint64_t> durable = store_->try_restore(record.key);
+    if (!durable) {
+      reason = store_->contains(record.key) ? "unreadable" : "missing";
+      return Verdict::kCorrupt;
+    }
+    if (*durable != record.bytes || record.truncated()) {
+      reason = "truncated";
+      return Verdict::kCorrupt;
+    }
+    if (record.corrupted()) {
+      reason = "checksum";
+      return Verdict::kCorrupt;
+    }
+    return Verdict::kOk;
+  };
+  // The generation's newest step needs the base and the *entire* delta
+  // chain: one bad link breaks everything after it.
+  const Verdict base = check(generation.base);
+  if (base != Verdict::kOk) return base;
+  for (const BlobRecord& delta : generation.deltas) {
+    const Verdict v = check(delta);
+    if (v != Verdict::kOk) return v;
+  }
+  return Verdict::kOk;
+}
+
+void CheckpointPlane::quarantine(Generation& generation,
+                                 const std::string& reason) {
+  generation.quarantined = true;
+  ++quarantines_;
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("ckpt.quarantines_total", {{"reason", reason}}).inc();
+  }
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kCkptQuarantine;
+    event.at = sim_->now();
+    event.source = "ckpt";
+    event.step = generation.newest_step();
+    event.detail = {{"generation", std::to_string(generation.id)},
+                    {"reason", reason}};
+    ledger->record(std::move(event));
+  }
+}
+
+void CheckpointPlane::emit_restore_event(long step, int fallback_depth,
+                                         const std::string& result) {
+  if (obs::Registry* registry = obs::registry()) {
+    registry->counter("ckpt.restores_total", {{"result", result}}).inc();
+  }
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kCkptRestore;
+    event.at = sim_->now();
+    event.source = "ckpt";
+    event.step = step;
+    event.detail = {{"depth", std::to_string(fallback_depth)},
+                    {"result", result}};
+    ledger->record(std::move(event));
+  }
+}
+
+long CheckpointPlane::restorable_step() {
+  int depth = 0;
+  for (auto it = generations_.rbegin(); it != generations_.rend(); ++it) {
+    Generation& generation = *it;
+    if (generation.quarantined) {
+      ++depth;
+      continue;
+    }
+    std::string reason;
+    switch (verify(generation, reason)) {
+      case Verdict::kOk: {
+        // Restore fast path: every rejoining worker is about to read the
+        // whole generation, so promote it to the local cache tier.
+        store_->move_blob_to_tier(generation.base.key,
+                                  cloud::StorageTier::kLocal);
+        for (const BlobRecord& delta : generation.deltas) {
+          store_->move_blob_to_tier(delta.key, cloud::StorageTier::kLocal);
+        }
+        ++verified_restores_;
+        emit_restore_event(generation.newest_step(), depth, "verified");
+        return generation.newest_step();
+      }
+      case Verdict::kCorrupt:
+        quarantine(generation, reason);
+        ++depth;
+        break;
+      case Verdict::kUnavailable:
+        // Transient: the tier is dark right now, but the generation's
+        // integrity is not in question — skip it without quarantining.
+        ++depth;
+        break;
+    }
+  }
+  ++cold_restarts_;
+  emit_restore_event(/*step=*/-1, depth, "cold_restart");
+  return 0;
+}
+
+}  // namespace cmdare::ckpt

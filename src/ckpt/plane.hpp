@@ -1,0 +1,114 @@
+// The durable checkpoint data plane.
+//
+// The paper's recovery model (Eq. 4, Section IV-B) assumes the newest
+// checkpoint blob is always readable; one corrupt write silently turns a
+// revocation into a cold restart from step 0. CheckpointPlane closes that
+// gap: checkpoints become *generations* — a full base plus a chain of
+// differential deltas sized from the nn checkpoint-size model — written
+// through the multi-tier ObjectStore (deltas to the local cache, bases to
+// the regional store, superseded generations demoted to cold) with a
+// checksummed manifest record per blob. Restore verifies a candidate
+// generation end-to-end (existence, exact size, checksum, tier
+// reachability) before trusting it; a generation that fails integrity is
+// quarantined (ledgered as ckpt_quarantine) and restore deterministically
+// falls back to the newest older generation that verifies, or reports a
+// clean cold restart when none do. Training never resumes from an
+// unverified checkpoint.
+//
+// Determinism contract: all stochastic corruption (bit-rot, torn writes)
+// is drawn from the FaultInjector's dedicated streams at write-commit
+// time — commit order is the simulator's deterministic event order — and
+// tier outages are pure window checks. With the plane disabled no code
+// path here runs, so legacy runs are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/config.hpp"
+#include "ckpt/manifest.hpp"
+#include "cloud/storage.hpp"
+#include "faults/faults.hpp"
+#include "simcore/simulator.hpp"
+
+namespace cmdare::ckpt {
+
+/// One planned checkpoint write. plan_write() is pure (safe to re-plan on
+/// upload retry); commit_write() applies it to the manifest.
+struct PlannedWrite {
+  std::string key;
+  long step = 0;
+  /// Bytes actually transferred (full size for a base, delta_ratio of it
+  /// for a delta).
+  std::uint64_t bytes = 0;
+  cloud::StorageTier tier = cloud::StorageTier::kRegional;
+  bool is_base = false;
+  /// Base forced by the delta chain reaching max_delta_chain.
+  bool compaction = false;
+};
+
+class CheckpointPlane {
+ public:
+  /// `injector` may be null: writes then commit clean and verification
+  /// only checks the manifest (still catches lost blobs).
+  CheckpointPlane(simcore::Simulator& sim, cloud::ObjectStore& store,
+                  PlaneConfig config,
+                  faults::FaultInjector* injector = nullptr);
+
+  /// Plans the blob for the checkpoint at `step` whose full serialized
+  /// size is `full_bytes`: a delta while the open generation's chain has
+  /// room, otherwise a new base (compacting the chain).
+  PlannedWrite plan_write(long step, std::uint64_t full_bytes) const;
+
+  /// Records a durable write into the manifest and draws the write-time
+  /// corruption faults. A base commit closes the previous generation
+  /// (demoting its blobs to cold) and trims the manifest to
+  /// max_generations.
+  void commit_write(const PlannedWrite& write);
+
+  /// Newest step restorable from a generation that verifies end-to-end,
+  /// quarantining generations that fail integrity on the way down; 0
+  /// means no generation verified — clean cold restart. A verified
+  /// generation's blobs are promoted to the local tier (the restore is
+  /// about to read them all again on every rejoining worker).
+  long restorable_step();
+
+  const PlaneConfig& config() const { return config_; }
+  const std::vector<Generation>& generations() const { return generations_; }
+
+  std::uint64_t base_writes() const { return base_writes_; }
+  std::uint64_t delta_writes() const { return delta_writes_; }
+  std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t quarantines() const { return quarantines_; }
+  std::uint64_t verified_restores() const { return verified_restores_; }
+  std::uint64_t cold_restarts() const { return cold_restarts_; }
+  /// Dollars accrued across all storage tiers (store-level ledger).
+  double tier_cost_usd() const { return store_->tier_cost_usd_total(); }
+
+ private:
+  enum class Verdict { kOk, kCorrupt, kUnavailable };
+
+  /// End-to-end generation check; on kCorrupt, `reason` names the first
+  /// failing check (missing | truncated | checksum | unreadable).
+  Verdict verify(const Generation& generation, std::string& reason) const;
+  void quarantine(Generation& generation, const std::string& reason);
+  void emit_restore_event(long step, int fallback_depth,
+                          const std::string& result);
+
+  simcore::Simulator* sim_;
+  cloud::ObjectStore* store_;
+  PlaneConfig config_;
+  faults::FaultInjector* injector_;
+
+  std::vector<Generation> generations_;  // oldest-first
+  std::uint64_t next_generation_id_ = 1;
+  std::uint64_t base_writes_ = 0;
+  std::uint64_t delta_writes_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t verified_restores_ = 0;
+  std::uint64_t cold_restarts_ = 0;
+};
+
+}  // namespace cmdare::ckpt

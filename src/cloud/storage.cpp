@@ -7,15 +7,48 @@
 
 namespace cmdare::cloud {
 
+namespace {
+
+std::string tier_label(std::optional<StorageTier> tier) {
+  return tier ? std::string(storage_tier_name(*tier)) : std::string("flat");
+}
+
+}  // namespace
+
 ObjectStore::ObjectStore(simcore::Simulator& sim, util::Rng rng,
                          CheckpointTimeModel timing)
     : sim_(&sim), rng_(rng), timing_(timing) {}
 
+double ObjectStore::sample_transfer_seconds(std::uint64_t bytes,
+                                            std::optional<StorageTier> tier) {
+  if (!tier) return sample_upload_seconds(bytes);
+  const double mean =
+      tiers_.at(*tier).transfer_seconds(static_cast<double>(bytes));
+  if (mean <= 0.0) return 0.0;
+  if (timing_.cov <= 0.0) return mean;
+  return rng_.lognormal_mean_cv(mean, timing_.cov);
+}
+
+void ObjectStore::accrue_tier_cost(std::optional<StorageTier> tier,
+                                   std::uint64_t bytes) {
+  if (!tier) return;
+  const double usd =
+      static_cast<double>(bytes) / 1e9 * tiers_.at(*tier).usd_per_gb;
+  tier_cost_usd_[static_cast<std::size_t>(*tier)] += usd;
+  if (obs::Registry* registry = obs::registry()) {
+    registry
+        ->counter("storage.tier_cost_usd_total",
+                  {{"tier", std::string(storage_tier_name(*tier))}})
+        .inc(usd);
+  }
+}
+
 double ObjectStore::upload(const std::string& key, std::uint64_t bytes,
                            std::function<void()> on_done,
-                           std::function<void(const std::string&)> on_error) {
+                           std::function<void(const std::string&)> on_error,
+                           std::optional<StorageTier> tier) {
   if (key.empty()) throw std::invalid_argument("ObjectStore: empty key");
-  double duration = sample_upload_seconds(bytes);
+  double duration = sample_transfer_seconds(bytes, tier);
   bool fail = false;
   if (fault_injector_ != nullptr) {
     duration *= fault_injector_->upload_slowdown();
@@ -54,16 +87,17 @@ double ObjectStore::upload(const std::string& key, std::uint64_t bytes,
 
   sim_->schedule_after(
       duration,
-      [this, key, bytes, started, done = std::move(on_done)]() {
+      [this, key, bytes, tier, started, done = std::move(on_done)]() {
         const auto it = blobs_.find(key);
         if (it != blobs_.end()) {
           // Overwrite: replace the old blob's contribution to the total.
-          bytes_stored_ -= it->second;
-          it->second = bytes;
+          bytes_stored_ -= it->second.bytes;
+          it->second = Blob{bytes, tier};
         } else {
-          blobs_.emplace(key, bytes);
+          blobs_.emplace(key, Blob{bytes, tier});
         }
         bytes_stored_ += bytes;
+        accrue_tier_cost(tier, bytes);
         if (obs::Tracer* tracer = obs::tracer()) {
           tracer->complete(tracer->track("storage"), "storage.upload",
                            "storage", started, sim_->now(),
@@ -89,6 +123,7 @@ double ObjectStore::upload(const std::string& key, std::uint64_t bytes,
           event.source = "store";
           event.seconds = sim_->now() - started;
           event.detail = {{"bytes", std::to_string(bytes)}, {"key", key}};
+          if (tier) event.detail.push_back({"tier", tier_label(tier)});
           ledger->record(std::move(event));
         }
         if (done) done();
@@ -111,17 +146,19 @@ double ObjectStore::restore(
         "storage.restore");
     return 0.0;
   }
-  const std::uint64_t bytes = it->second;
-  // Reads move the same bytes through the same service; reuse the
-  // calibrated write-time model for the transfer duration.
-  const double duration = sample_upload_seconds(bytes);
+  const std::uint64_t bytes = it->second.bytes;
+  const std::optional<StorageTier> tier = it->second.tier;
+  // Reads move the same bytes through the same service: the blob's tier
+  // model when it has one, otherwise the calibrated write-time curve.
+  const double duration = sample_transfer_seconds(bytes, tier);
   const bool fail =
       fault_injector_ != nullptr && fault_injector_->restore_error();
   const simcore::SimTime started = sim_->now();
   sim_->schedule_after(
       duration,
-      [this, key, bytes, fail, started, done = std::move(on_done),
+      [this, key, bytes, tier, fail, started, done = std::move(on_done),
        err = std::move(on_error)] {
+        if (!fail) accrue_tier_cost(tier, bytes);
         if (obs::Tracer* tracer = obs::tracer()) {
           tracer->complete(tracer->track("storage"),
                            fail ? "storage.restore_failed" : "storage.restore",
@@ -142,6 +179,7 @@ double ObjectStore::restore(
           event.source = "store";
           event.seconds = sim_->now() - started;
           event.detail = {{"bytes", std::to_string(bytes)}, {"key", key}};
+          if (tier) event.detail.push_back({"tier", tier_label(tier)});
           ledger->record(std::move(event));
         }
         if (fail) {
@@ -154,8 +192,13 @@ double ObjectStore::restore(
   return duration;
 }
 
-bool ObjectStore::try_restore(const std::string& key) {
-  if (blobs_.count(key) == 0) return false;
+std::optional<std::uint64_t> ObjectStore::try_restore(const std::string& key) {
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) return std::nullopt;
+  // Read the requested entry's own size *before* the fault draw so the
+  // accounting can never alias another blob: overwrites and colliding
+  // keys report exactly what this key holds now.
+  const std::uint64_t bytes = it->second.bytes;
   const bool fail =
       fault_injector_ != nullptr && fault_injector_->restore_error();
   if (obs::Registry* registry = obs::registry()) {
@@ -164,11 +207,40 @@ bool ObjectStore::try_restore(const std::string& key) {
                        : "storage.restores_total")
         .inc();
   }
-  return !fail;
+  if (fail) return std::nullopt;
+  return bytes;
 }
 
 double ObjectStore::sample_upload_seconds(std::uint64_t bytes) {
   return sample_checkpoint_seconds(bytes, rng_, timing_);
+}
+
+std::optional<StorageTier> ObjectStore::blob_tier(
+    const std::string& key) const {
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second.tier;
+}
+
+bool ObjectStore::move_blob_to_tier(const std::string& key, StorageTier tier) {
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) return false;
+  if (it->second.tier == tier) return true;
+  it->second.tier = tier;
+  accrue_tier_cost(tier, it->second.bytes);
+  if (obs::Registry* registry = obs::registry()) {
+    registry
+        ->counter("storage.tier_moves_total",
+                  {{"tier", std::string(storage_tier_name(tier))}})
+        .inc();
+  }
+  return true;
+}
+
+double ObjectStore::tier_cost_usd_total() const {
+  double total = 0.0;
+  for (const double usd : tier_cost_usd_) total += usd;
+  return total;
 }
 
 bool ObjectStore::contains(const std::string& key) const {
@@ -176,7 +248,7 @@ bool ObjectStore::contains(const std::string& key) const {
 }
 
 std::uint64_t ObjectStore::blob_size(const std::string& key) const {
-  return blobs_.at(key);
+  return blobs_.at(key).bytes;
 }
 
 }  // namespace cmdare::cloud

@@ -7,14 +7,27 @@
 // fault injector attached (src/faults), uploads can fail or crawl and
 // stored blobs can turn out unreadable on restore — the storage half of
 // the adversarial cloud the resilience layer is exercised against.
+//
+// Multi-tier mode (checkpoint data plane, src/ckpt): a blob may be
+// placed on a StorageTier at upload time. Tiered transfers are timed by
+// the tier's latency/bandwidth model instead of the flat calibrated
+// curve, every transfer and tier move accrues $/GB into a per-tier cost
+// ledger, and restores automatically pay the tier the blob currently
+// lives on — so demoting a generation to cold is cheap to hold and
+// expensive exactly when a revocation forces a read-back. Untiered blobs
+// behave exactly as before; the tier machinery is dormant until a caller
+// opts in.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "cloud/calibration.hpp"
+#include "cloud/tier.hpp"
 #include "faults/faults.hpp"
 #include "simcore/simulator.hpp"
 #include "util/rng.hpp"
@@ -31,27 +44,34 @@ class ObjectStore {
   /// With a fault injector the transfer may be slowed (duration scaled)
   /// or lost: the blob then never becomes durable and `on_error` (when
   /// set) fires after the full transfer duration — timeout semantics.
+  /// With `tier` set the transfer is timed by that tier's model, the blob
+  /// is placed on the tier, and the write accrues the tier's $/GB.
   double upload(const std::string& key, std::uint64_t bytes,
                 std::function<void()> on_done,
-                std::function<void(const std::string&)> on_error = nullptr);
+                std::function<void(const std::string&)> on_error = nullptr,
+                std::optional<StorageTier> tier = std::nullopt);
 
   /// Starts an asynchronous read-back of a durable blob; `on_done(bytes)`
   /// fires when the download completes. A missing key, or an injected
   /// restore fault, reports through `on_error` instead (missing keys
   /// immediately, faults after the transfer duration). Returns the
-  /// sampled transfer duration (0 for a missing key).
+  /// sampled transfer duration (0 for a missing key). A tiered blob pays
+  /// its current tier's latency/bandwidth and read $/GB.
   double restore(const std::string& key,
                  std::function<void(std::uint64_t)> on_done,
                  std::function<void(const std::string&)> on_error = nullptr);
 
   /// Synchronous-model restore probe used by recovery code choosing which
-  /// checkpoint to roll back to: true when the blob exists and the fault
-  /// injector (if any) lets the read succeed. Counts an injected restore
-  /// fault exactly like the asynchronous path.
-  bool try_restore(const std::string& key);
+  /// checkpoint to roll back to: the *requested* blob's exact byte count
+  /// when it exists and the fault injector (if any) lets the read
+  /// succeed; nullopt otherwise. Per-key accounting is exact — an
+  /// overwritten or colliding key reports its own current size, never
+  /// the size of the last blob written anywhere in the store. Counts an
+  /// injected restore fault exactly like the asynchronous path.
+  std::optional<std::uint64_t> try_restore(const std::string& key);
 
   /// Synchronous-model variant used by analytic code: just samples how
-  /// long an upload of `bytes` would take.
+  /// long an upload of `bytes` would take (flat calibrated curve).
   double sample_upload_seconds(std::uint64_t bytes);
 
   /// Attaches a fault injector (non-owning; nullptr detaches). Without
@@ -60,6 +80,25 @@ class ObjectStore {
     fault_injector_ = injector;
   }
   faults::FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// Installs the tier ladder used to time and price tiered transfers.
+  void set_tiers(const TierSet& tiers) { tiers_ = tiers; }
+  const TierSet& tiers() const { return tiers_; }
+
+  /// Tier the blob currently lives on; nullopt for untiered blobs or
+  /// missing keys.
+  std::optional<StorageTier> blob_tier(const std::string& key) const;
+  /// Moves a durable blob between tiers (promotion on restore, demotion
+  /// of old generations). Bookkeeping is immediate — the model treats
+  /// tier moves as background server-side copies — but the destination
+  /// tier's write $/GB is charged. False when the key is absent.
+  bool move_blob_to_tier(const std::string& key, StorageTier tier);
+
+  /// Dollars accrued against one tier (writes + reads + moves in).
+  double tier_cost_usd(StorageTier tier) const {
+    return tier_cost_usd_[static_cast<std::size_t>(tier)];
+  }
+  double tier_cost_usd_total() const;
 
   /// True once a blob with this key is durable.
   bool contains(const std::string& key) const;
@@ -71,12 +110,25 @@ class ObjectStore {
   std::uint64_t bytes_stored() const { return bytes_stored_; }
 
  private:
+  struct Blob {
+    std::uint64_t bytes = 0;
+    std::optional<StorageTier> tier;
+  };
+
+  /// Transfer duration for `bytes` on `tier` (tiered blobs) or from the
+  /// flat calibrated curve (legacy), with the calibrated CoV noise.
+  double sample_transfer_seconds(std::uint64_t bytes,
+                                 std::optional<StorageTier> tier);
+  void accrue_tier_cost(std::optional<StorageTier> tier, std::uint64_t bytes);
+
   simcore::Simulator* sim_;
   util::Rng rng_;
   faults::FaultInjector* fault_injector_ = nullptr;
   CheckpointTimeModel timing_;
-  std::map<std::string, std::uint64_t> blobs_;
+  TierSet tiers_;
+  std::map<std::string, Blob> blobs_;
   std::uint64_t bytes_stored_ = 0;
+  std::array<double, kStorageTierCount> tier_cost_usd_{};
 };
 
 }  // namespace cmdare::cloud

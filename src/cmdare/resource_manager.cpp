@@ -262,7 +262,15 @@ void TransientTrainingRun::handle_running(cloud::InstanceId instance) {
   // included: they also install the framework and download their shard).
   const double join_delay =
       train::sample_cold_replacement_seconds(model_, rng_);
-  placement.worker = session_->add_worker(placement.spec, join_delay);
+  // Vanilla TF (Section V-E): a replacement claims the revoked chief's IP
+  // when checkpoint duty is orphaned, and the session rolls the cluster
+  // back to the newest restorable checkpoint on the claim. CM-DARE hands
+  // checkpoint duty to a survivor instead, so the flag stays false there.
+  const bool reuse_chief_ip =
+      config_.session.mode == train::FaultToleranceMode::kVanillaTf &&
+      placement.replaces.has_value() && !session_->checkpoint_owner();
+  placement.worker =
+      session_->add_worker(placement.spec, join_delay, reuse_chief_ip);
   if (obs::Ledger* ledger = obs::ledger()) {
     obs::LedgerEvent event;
     event.kind = obs::LedgerEventKind::kAssign;

@@ -1,10 +1,13 @@
 #include "exp/campaign.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
+#include "exp/journal.hpp"
 #include "exp/pool.hpp"
 #include "stats/descriptive.hpp"
 #include "util/csv.hpp"
@@ -35,6 +38,8 @@ class ThreadTelemetryGuard {
 struct Slot {
   bool done = false;
   bool failed = false;
+  /// Replayed from the resume journal — already on disk, never re-append.
+  bool from_journal = false;
   ReplicaResult result;
   std::string error;
   std::unique_ptr<obs::Telemetry> telemetry;
@@ -160,12 +165,73 @@ GridResult run_grid(std::size_t cells, int replica_count, std::uint64_t seed,
   std::vector<std::unique_ptr<obs::Telemetry>> cell_telemetry(cells);
   std::mutex fold_mutex;
 
+  // Crash-resumable journal: cached[] points at the journal entry of a
+  // replica already on disk (replayed instead of re-run); journal_out
+  // receives one flushed line per newly completed replica, written under
+  // the fold lock so the file is always whole lines plus at most one
+  // torn trailing append.
+  JournalContents journal;
+  std::vector<const JournalEntry*> cached(total, nullptr);
+  std::ofstream journal_out;
+  if (!options.journal_path.empty()) {
+    const JournalHeader header{seed, cells, replica_count,
+                               options.capture_telemetry};
+    if (options.resume) {
+      std::ifstream in(options.journal_path);
+      if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        journal = parse_journal(buffer.str());
+        if (journal.header.seed != header.seed ||
+            journal.header.cells != header.cells ||
+            journal.header.replicas != header.replicas ||
+            journal.header.telemetry != header.telemetry) {
+          throw std::invalid_argument(
+              "run_grid: journal \"" + options.journal_path +
+              "\" does not match this campaign (journal \"" +
+              format_journal_header(journal.header) + "\", campaign \"" +
+              format_journal_header(header) + "\")");
+        }
+        for (const JournalEntry& entry : journal.entries) {
+          if (entry.cell < cells && entry.replica >= 0 &&
+              entry.replica < replica_count) {
+            cached[entry.cell * replicas +
+                   static_cast<std::size_t>(entry.replica)] = &entry;
+          }
+        }
+      }
+    }
+    // Rewrite from the parsed contents — dropping any torn trailing
+    // line — then keep appending.
+    journal_out.open(options.journal_path, std::ios::trunc);
+    if (!journal_out) {
+      throw std::invalid_argument("run_grid: cannot write journal \"" +
+                                  options.journal_path + "\"");
+    }
+    journal_out << format_journal_header(header) << "\n";
+    for (const JournalEntry& entry : journal.entries) {
+      journal_out << format_journal_entry(entry) << "\n";
+    }
+    journal_out.flush();
+  }
+
   auto fold_ready = [&](std::size_t c) {
     CellAggregate& agg = result.aggregates[c];
     while (next_fold[c] < replicas) {
       Slot& slot = slots[c * replicas + next_fold[c]];
       if (!slot.done) break;
       const int r = static_cast<int>(next_fold[c]);
+      if (journal_out.is_open() && !slot.from_journal) {
+        JournalEntry entry;
+        entry.cell = c;
+        entry.replica = r;
+        entry.failed = slot.failed;
+        entry.error = slot.error;
+        entry.observations = slot.result.observations;
+        if (slot.telemetry) entry.ledger = slot.telemetry->ledger.events();
+        journal_out << format_journal_entry(entry) << "\n";
+        journal_out.flush();
+      }
       if (slot.failed) {
         ++agg.replicas_failed;
         ++result.progress.replicas_failed;
@@ -201,6 +267,26 @@ GridResult run_grid(std::size_t cells, int replica_count, std::uint64_t seed,
       const std::size_t c = task / replicas;
       const std::size_t r = task % replicas;
       Slot& slot = slots[task];
+      if (const JournalEntry* hit = cached[task]) {
+        // Replay the journaled outcome; the replica function never runs.
+        slot.from_journal = true;
+        if (hit->failed) {
+          slot.failed = true;
+          slot.error = hit->error;
+        } else {
+          slot.result.observations = hit->observations;
+        }
+        if (options.capture_telemetry) {
+          slot.telemetry = std::make_unique<obs::Telemetry>();
+          for (const obs::LedgerEvent& event : hit->ledger) {
+            slot.telemetry->ledger.record(event);
+          }
+        }
+        std::lock_guard<std::mutex> lock(fold_mutex);
+        slot.done = true;
+        fold_ready(c);
+        return;
+      }
       util::Rng rng = root.fork(static_cast<std::uint64_t>(c))
                           .fork(static_cast<std::uint64_t>(r));
       obs::Telemetry* telemetry = nullptr;

@@ -109,6 +109,20 @@ struct RunOptions {
   bool capture_telemetry = false;
   /// Serialized progress callback; fires after every folded replica.
   std::function<void(const Progress&)> on_progress;
+  /// Crash-resumable journal (exp/journal.hpp): append every completed
+  /// replica's outcome to this file, flushed under the fold lock, so a
+  /// killed campaign loses at most one torn trailing line. Empty = off.
+  std::string journal_path;
+  /// Re-read `journal_path` first and replay the replicas it already
+  /// holds instead of re-running them (their replica functions are never
+  /// called); only the missing replicas execute. The journal header must
+  /// match this run's seed/cells/replicas/telemetry or run_grid throws
+  /// std::invalid_argument. With a fresh or absent journal this is a
+  /// plain recorded run. The resumed aggregate CSV and merged ledger are
+  /// byte-identical to an uninterrupted run at any job count (replayed
+  /// registry counters / trace spans are not journaled — see
+  /// exp/journal.hpp for the scope contract).
+  bool resume = false;
 };
 
 struct CampaignResult {

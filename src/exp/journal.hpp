@@ -1,0 +1,82 @@
+// Crash-resumable campaign journal.
+//
+// A long sweep that dies at replica 1800/2000 should not start over. The
+// journal is an append-only, line-oriented record of every *completed*
+// replica: the engine appends one line (and flushes) under the fold lock
+// the moment a replica folds, so the file on disk is always a prefix of
+// the campaign plus at most one torn trailing line. On resume the engine
+// re-reads the journal, replays the recorded outcomes for the replicas
+// it already has — skipping their replica functions entirely — and runs
+// only the rest. Because aggregation folds replicas in index order from
+// the same recorded observations, the final CSV and merged ledger are
+// byte-identical to an uninterrupted run at any thread count.
+//
+// Format (tab-separated fields, one line per record):
+//
+//   #cmdare-campaign-journal v1 seed=<s> cells=<C> replicas=<R> telemetry=<0|1>
+//   <cell>\t<replica>\tok\t<n>\t<metric>\t<value>...\t<k>\t<event>...\tend
+//   <cell>\t<replica>\tfail\t<error>\tend
+//
+// Values are shortest-round-trip doubles (std::to_chars), so replayed
+// observations are bit-identical to the originals. Ledger events reuse
+// the ledger JSONL codec (obs::serialize_ledger_event), whose
+// serialize -> parse -> serialize identity the fuzzer pins. Every
+// free-text field (metric names, error text, serialized events) is
+// escaped (\\ \t \n) so the tab grammar survives arbitrary content. A
+// final line without the "end" marker is a torn write from the crash
+// and is ignored; any *earlier* malformed line is real corruption and
+// parse_journal throws.
+//
+// Scope: observations and ledger events are journaled; a replayed
+// replica's registry counters and trace spans are not (they would
+// roughly double every line for telemetry few campaigns export). The
+// resume guarantee therefore covers the aggregate CSV and the merged
+// ledger — the artifacts campaigns persist.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/ledger.hpp"
+
+namespace cmdare::exp {
+
+/// The identity line of a journal. A resume must present the exact same
+/// grid shape and telemetry setting; anything else is a different
+/// campaign and parse-side validation refuses to mix them.
+struct JournalHeader {
+  std::uint64_t seed = 0;
+  std::size_t cells = 0;
+  int replicas = 0;
+  bool telemetry = false;
+};
+
+/// One completed replica, as recorded (the payload of one line).
+struct JournalEntry {
+  std::size_t cell = 0;
+  int replica = 0;
+  bool failed = false;
+  std::string error;  // only when failed
+  std::vector<std::pair<std::string, double>> observations;
+  /// The replica's ledger events (empty unless telemetry was captured).
+  std::vector<obs::LedgerEvent> ledger;
+};
+
+struct JournalContents {
+  JournalHeader header;
+  std::vector<JournalEntry> entries;
+};
+
+std::string format_journal_header(const JournalHeader& header);
+std::string format_journal_entry(const JournalEntry& entry);
+
+/// Parses a journal file. A trailing line without the "end" marker (the
+/// writer died mid-append) is silently dropped; a malformed *completed*
+/// line or a missing/unrecognized header throws std::invalid_argument.
+JournalContents parse_journal(std::string_view text);
+
+}  // namespace cmdare::exp

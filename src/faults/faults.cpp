@@ -22,6 +22,12 @@ const char* fault_kind_name(FaultKind kind) {
       return "abrupt_kill";
     case FaultKind::kStormKill:
       return "storm_kill";
+    case FaultKind::kBitRot:
+      return "bit_rot";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kTierOutage:
+      return "tier_outage";
   }
   return "?";
 }
@@ -40,11 +46,16 @@ bool OutageStorm::covers(cloud::Region r, cloud::GpuType g,
   return now >= start_s && now < end_s;
 }
 
+bool TierOutageWindow::covers(cloud::StorageTier t, double now) const {
+  return t == tier && now >= start_s && now < end_s;
+}
+
 bool FaultPlan::any() const {
   return launch_error_rate > 0.0 || !stockouts.empty() ||
          upload_error_rate > 0.0 || upload_slowdown_rate > 0.0 ||
          restore_error_rate > 0.0 || abrupt_kill_rate > 0.0 ||
-         !storms.empty();
+         !storms.empty() || bit_rot_rate > 0.0 || torn_write_rate > 0.0 ||
+         !tier_outages.empty();
 }
 
 FaultPlan FaultPlan::uniform(double rate) {
@@ -78,12 +89,16 @@ FaultInjector::FaultInjector(FaultPlan plan, util::Rng rng)
       slowdown_rng_(rng.fork("slowdown")),
       restore_rng_(rng.fork("restore")),
       kill_rng_(rng.fork("abrupt-kill")),
-      storm_rng_(rng.fork("storm")) {
+      storm_rng_(rng.fork("storm")),
+      bitrot_rng_(rng.fork("bit-rot")),
+      torn_rng_(rng.fork("torn-write")) {
   validate_rate(plan_.launch_error_rate, "launch_error_rate");
   validate_rate(plan_.upload_error_rate, "upload_error_rate");
   validate_rate(plan_.upload_slowdown_rate, "upload_slowdown_rate");
   validate_rate(plan_.restore_error_rate, "restore_error_rate");
   validate_rate(plan_.abrupt_kill_rate, "abrupt_kill_rate");
+  validate_rate(plan_.bit_rot_rate, "bit_rot_rate");
+  validate_rate(plan_.torn_write_rate, "torn_write_rate");
   if (plan_.upload_slowdown_factor < 1.0) {
     throw std::invalid_argument(
         "FaultInjector: upload_slowdown_factor must be >= 1");
@@ -107,6 +122,12 @@ FaultInjector::FaultInjector(FaultPlan plan, util::Rng rng)
     if (storm.startup_slowdown < 1.0) {
       throw std::invalid_argument(
           "FaultInjector: storm startup_slowdown must be >= 1");
+    }
+  }
+  for (const TierOutageWindow& w : plan_.tier_outages) {
+    if (w.start_s < 0.0 || w.end_s < w.start_s) {
+      throw std::invalid_argument(
+          "FaultInjector: tier outage window ends before it starts");
     }
   }
 }
@@ -167,6 +188,24 @@ bool FaultInjector::abrupt_kill() {
 
 bool FaultInjector::storm_kill(double kill_fraction) {
   return draw(storm_rng_, kill_fraction, FaultKind::kStormKill);
+}
+
+bool FaultInjector::bit_rot() {
+  return draw(bitrot_rng_, plan_.bit_rot_rate, FaultKind::kBitRot);
+}
+
+bool FaultInjector::torn_write() {
+  return draw(torn_rng_, plan_.torn_write_rate, FaultKind::kTornWrite);
+}
+
+bool FaultInjector::tier_outage(cloud::StorageTier tier, double now) {
+  for (const TierOutageWindow& w : plan_.tier_outages) {
+    if (w.covers(tier, now)) {
+      count(FaultKind::kTierOutage);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::uint64_t FaultInjector::injected(FaultKind kind) const {

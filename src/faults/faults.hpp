@@ -27,6 +27,7 @@
 
 #include "cloud/gpu.hpp"
 #include "cloud/region.hpp"
+#include "cloud/tier.hpp"
 #include "util/rng.hpp"
 
 namespace cmdare::faults {
@@ -39,9 +40,12 @@ enum class FaultKind {
   kRestoreError = 4,    // checkpoint blob unreadable on restore
   kAbruptKill = 5,      // revocation without the 30 s notice
   kStormKill = 6,       // instance swept by an OutageStorm burst
+  kBitRot = 7,          // stored checkpoint blob silently corrupted
+  kTornWrite = 8,       // checkpoint blob committed truncated
+  kTierOutage = 9,      // storage tier unreadable inside an outage window
 };
 
-inline constexpr std::size_t kFaultKindCount = 7;
+inline constexpr std::size_t kFaultKindCount = 10;
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -87,6 +91,23 @@ struct OutageStorm {
   friend bool operator==(const OutageStorm&, const OutageStorm&) = default;
 };
 
+/// A storage-tier outage window: every read from the matching tier fails
+/// while sim time is inside [start_s, end_s). Deterministic like a
+/// stockout — no RNG draw — so outage scenarios replay exactly. Writes
+/// during the window still land (the paper's measured PUT path is
+/// regional and multi-homed); it is the *read-back* — exactly the moment
+/// a revocation makes the checkpoint matter — that goes dark.
+struct TierOutageWindow {
+  cloud::StorageTier tier = cloud::StorageTier::kRegional;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  bool covers(cloud::StorageTier t, double now) const;
+
+  friend bool operator==(const TierOutageWindow&,
+                         const TierOutageWindow&) = default;
+};
+
 /// Declarative fault configuration. All rates are per-decision Bernoulli
 /// probabilities in [0, 1]; the default plan injects nothing.
 struct FaultPlan {
@@ -105,11 +126,23 @@ struct FaultPlan {
   double abrupt_kill_rate = 0.0;
   /// Correlated (region, GPU) outage storms (burst + stockout tail).
   std::vector<OutageStorm> storms;
+  /// Probability a committed checkpoint blob silently corrupts (the
+  /// stored checksum no longer matches the manifest). Only drawn by the
+  /// checkpoint data plane (src/ckpt) at write-commit time.
+  double bit_rot_rate = 0.0;
+  /// Probability a checkpoint commit is torn: the blob lands truncated
+  /// (fewer bytes durable than the manifest records). Same drawing site.
+  double torn_write_rate = 0.0;
+  /// Deterministic per-tier read-outage windows.
+  std::vector<TierOutageWindow> tier_outages;
 
   /// True when any fault class can fire.
   bool any() const;
 
   /// Convenience: every probabilistic rate set to `rate` (no stockouts).
+  /// Deliberately leaves the checkpoint-plane rates (bit_rot_rate,
+  /// torn_write_rate) at zero: uniform() predates the data plane and
+  /// seeded goldens depend on its draw sequence staying fixed.
   static FaultPlan uniform(double rate);
 
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
@@ -135,6 +168,13 @@ class FaultInjector {
   /// One burst-sweep draw per in-scope instance: does this one die?
   /// Fractions 0 and 1 short-circuit without touching the storm stream.
   bool storm_kill(double kill_fraction);
+  /// Checkpoint-plane decisions, drawn once per committed blob (write
+  /// order is deterministic, so so are the draws). Own streams so
+  /// enabling the data plane never perturbs the legacy fault sequences.
+  bool bit_rot();
+  bool torn_write();
+  /// Deterministic tier-outage check (no draw), counts on first match.
+  bool tier_outage(cloud::StorageTier tier, double now);
 
   const FaultPlan& plan() const { return plan_; }
   std::uint64_t injected(FaultKind kind) const;
@@ -153,6 +193,8 @@ class FaultInjector {
   util::Rng restore_rng_;
   util::Rng kill_rng_;
   util::Rng storm_rng_;
+  util::Rng bitrot_rng_;
+  util::Rng torn_rng_;
   std::array<std::uint64_t, kFaultKindCount> counts_{};
 };
 

@@ -289,6 +289,40 @@ void analyze_scope(const std::vector<const LedgerEvent*>& events,
         state.elastic_depth = std::max(0, state.elastic_depth - 1);
         state.elastic_depth_since = event.at;
         break;
+      case LedgerEventKind::kCkptQuarantine: {
+        ++out->ckpt.quarantines;
+        if (const std::string* reason = find_detail(event, "reason")) {
+          if (*reason == "checksum") {
+            ++out->ckpt.quarantines_checksum;
+          } else if (*reason == "truncated") {
+            ++out->ckpt.quarantines_truncated;
+          } else {
+            ++out->ckpt.quarantines_missing;
+          }
+        } else {
+          ++out->ckpt.quarantines_missing;
+        }
+        break;
+      }
+      case LedgerEventKind::kCkptRestore: {
+        std::size_t depth = 0;
+        if (const std::string* text = find_detail(event, "depth")) {
+          depth = static_cast<std::size_t>(
+              std::strtoull(text->c_str(), nullptr, 10));
+        }
+        if (detail_is(event, "result", "cold_restart")) {
+          ++out->ckpt.cold_restarts;
+        } else {
+          ++out->ckpt.verified_restores;
+          if (depth > 0) ++out->ckpt.fallback_restores;
+        }
+        out->ckpt.max_fallback_depth =
+            std::max(out->ckpt.max_fallback_depth, depth);
+        break;
+      }
+      case LedgerEventKind::kCkptCompact:
+        ++out->ckpt.compactions;
+        break;
       case LedgerEventKind::kBilling: {
         ScopeState::BillWindow bill;
         bill.instance = event.instance;
@@ -473,6 +507,25 @@ std::vector<std::pair<std::string, double>> flatten(
                     static_cast<double>(analysis.elastic.breaker_opens));
   rows.emplace_back("elastic.degraded_slot_seconds",
                     analysis.elastic.degraded_slot_seconds);
+
+  rows.emplace_back("ckpt.quarantines",
+                    static_cast<double>(analysis.ckpt.quarantines));
+  rows.emplace_back("ckpt.quarantines_checksum",
+                    static_cast<double>(analysis.ckpt.quarantines_checksum));
+  rows.emplace_back("ckpt.quarantines_truncated",
+                    static_cast<double>(analysis.ckpt.quarantines_truncated));
+  rows.emplace_back("ckpt.quarantines_missing",
+                    static_cast<double>(analysis.ckpt.quarantines_missing));
+  rows.emplace_back("ckpt.compactions",
+                    static_cast<double>(analysis.ckpt.compactions));
+  rows.emplace_back("ckpt.verified_restores",
+                    static_cast<double>(analysis.ckpt.verified_restores));
+  rows.emplace_back("ckpt.fallback_restores",
+                    static_cast<double>(analysis.ckpt.fallback_restores));
+  rows.emplace_back("ckpt.cold_restarts",
+                    static_cast<double>(analysis.ckpt.cold_restarts));
+  rows.emplace_back("ckpt.max_fallback_depth",
+                    static_cast<double>(analysis.ckpt.max_fallback_depth));
   return rows;
 }
 
@@ -579,6 +632,21 @@ void write_report(const LedgerAnalysis& analysis, std::ostream& out) {
     out << "  degraded capacity: "
         << util::format_duration(elastic.degraded_slot_seconds)
         << " slot-seconds below target\n";
+  }
+
+  const CkptAnalysis& ckpt = analysis.ckpt;
+  if (ckpt.verified_restores > 0 || ckpt.cold_restarts > 0 ||
+      ckpt.quarantines > 0 || ckpt.compactions > 0) {
+    out << "\n-- Checkpoint data plane --\n";
+    out << "  restores: " << ckpt.verified_restores << " verified ("
+        << ckpt.fallback_restores << " via fallback, max depth "
+        << ckpt.max_fallback_depth << "), " << ckpt.cold_restarts
+        << " cold restarts\n";
+    out << "  quarantines: " << ckpt.quarantines << " (checksum "
+        << ckpt.quarantines_checksum << ", truncated "
+        << ckpt.quarantines_truncated << ", missing "
+        << ckpt.quarantines_missing << "), compactions "
+        << ckpt.compactions << "\n";
   }
 
   const RecoveryAnalysis& recovery = analysis.recovery;

@@ -131,11 +131,31 @@ struct ElasticAnalysis {
   double degraded_slot_seconds = 0.0;
 };
 
+/// Checkpoint data-plane attribution (all zero unless the run emitted
+/// ckpt_* events, i.e. ckpt.enabled). Restore-path decomposition: every
+/// restore decision either *verified* a generation (served at fallback
+/// depth d — d = 0 is the newest generation, d >= 1 means newer
+/// generations were quarantined or unavailable) or gave up and *cold
+/// restarted* from step 0. Quarantines are grouped by integrity-failure
+/// reason; tier outages never quarantine (transient, not corrupt).
+struct CkptAnalysis {
+  std::size_t quarantines = 0;
+  std::size_t quarantines_checksum = 0;   // bit rot detected on read-back
+  std::size_t quarantines_truncated = 0;  // torn write detected
+  std::size_t quarantines_missing = 0;    // blob missing or unreadable
+  std::size_t compactions = 0;            // delta chains folded into bases
+  std::size_t verified_restores = 0;
+  std::size_t fallback_restores = 0;  // verified at depth >= 1
+  std::size_t cold_restarts = 0;
+  std::size_t max_fallback_depth = 0;
+};
+
 struct LedgerAnalysis {
   RecoveryAnalysis recovery;
   CostDecomposition cost;
   LedgerCounts counts;
   ElasticAnalysis elastic;
+  CkptAnalysis ckpt;
 };
 
 /// Folds a ledger (single-run or merged-campaign) into the analysis.

@@ -14,7 +14,7 @@ namespace {
 
 // Index must match LedgerEventKind; the serializer/reader pair below is
 // the compatibility contract for checked-in golden ledgers.
-constexpr std::array<std::string_view, 31> kKindNames = {
+constexpr std::array<std::string_view, 34> kKindNames = {
     "launch_attempt",    "launch_running",  "launch_failed",
     "fallback",          "preemption_notice", "revocation",
     "expiry",            "detection",       "assign",
@@ -25,7 +25,8 @@ constexpr std::array<std::string_view, 31> kKindNames = {
     "session_restart",   "run_complete",    "billing",
     "tenant_placement",  "eviction",        "migration",
     "tenant_complete",   "breaker_transition", "elastic_shrink",
-    "elastic_grow",
+    "elastic_grow",      "ckpt_quarantine",  "ckpt_restore",
+    "ckpt_compact",
 };
 
 }  // namespace

@@ -77,6 +77,9 @@ enum class LedgerEventKind {
   kBreakerTransition,  // run: launch breaker changed state (detail from/to)
   kElasticShrink,      // run: worker loss absorbed, not replaced (degraded)
   kElasticGrow,        // run: deferred slot regrown to target size
+  kCkptQuarantine,     // ckpt: generation failed verification (detail reason)
+  kCkptRestore,        // ckpt: verified restore chosen (detail tier/depth)
+  kCkptCompact,        // ckpt: delta chain compacted into a new base
 };
 
 /// Serialization token for `kind` ("launch_attempt", "billing", ...).

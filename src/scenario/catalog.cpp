@@ -318,6 +318,89 @@ exp::ReplicaResult storm_replica(const ScenarioCell& cell, int /*replica*/,
   return result;
 }
 
+ScenarioSpec ckpt_scenario() {
+  ScenarioSpec spec;
+  spec.name = "ckpt_tiers";
+  spec.kind = HarnessKind::kRun;
+  spec.seed = 1111;
+  spec.model = "resnet-15";
+  spec.workers = {{3, cloud::GpuType::kK80, cloud::Region::kUsCentral1,
+                   true}};
+  // Short enough that one replica stays cheap, long enough that several
+  // checkpoint generations accumulate and revocations force restores
+  // through the verify/fallback path.
+  spec.max_steps = 200000;
+  spec.checkpoint_interval_steps = 8000;
+  spec.horizon_hours = 8.0;
+  // Vanilla TF so chief revocations force rollbacks to the newest
+  // *restorable* checkpoint — the exact moment the plane's end-to-end
+  // verification and generational fallback earn their keep.
+  spec.ft_mode = train::FaultToleranceMode::kVanillaTf;
+
+  // Cloud faults drive restores; storage faults decide whether the
+  // restored bytes can be trusted. The sweep's ckpt.bit_rot_rate axis
+  // overrides the rot pressure per cell.
+  spec.faults = faults::FaultPlan::uniform(0.1);
+  spec.faults.bit_rot_rate = 0.02;
+  spec.faults.torn_write_rate = 0.02;
+
+  // One correlated burst an hour in guarantees chief-killing revocations
+  // (and therefore restores) at every replica; the natural K80 hazard
+  // alone leaves short runs untouched at many seeds.
+  faults::OutageStorm storm;
+  storm.region = cloud::Region::kUsCentral1;
+  storm.gpu = cloud::GpuType::kK80;
+  storm.start_s = 3600.0;
+  storm.end_s = 5400.0;
+  storm.kill_fraction = 0.7;
+  storm.hazard_multiplier = 2.0;
+  storm.startup_slowdown = 1.5;
+  spec.faults.storms.push_back(storm);
+
+  // A mid-run regional outage: bases live on the regional tier, so
+  // restores inside the window must skip (not quarantine) the newest
+  // generation and either fall back or retry after the window.
+  faults::TierOutageWindow outage;
+  outage.tier = cloud::StorageTier::kRegional;
+  outage.start_s = 7200.0;
+  outage.end_s = 10800.0;
+  spec.faults.tier_outages.push_back(outage);
+
+  spec.ckpt.enabled = true;
+  spec.ckpt.delta_ratio = 0.12;
+  spec.ckpt.max_delta_chain = 4;
+  spec.ckpt.max_generations = 3;
+  return spec;
+}
+
+exp::ReplicaResult ckpt_replica(const ScenarioCell& cell, int /*replica*/,
+                                util::Rng& rng,
+                                obs::Telemetry* /*telemetry*/) {
+  SimHarness harness(cell.spec, rng);
+  const ScenarioResult outcome = harness.run();
+
+  exp::ReplicaResult result;
+  result.observe("finished", outcome.finished ? 1.0 : 0.0);
+  result.observe("steps", static_cast<double>(outcome.completed_steps));
+  result.observe("cost_usd", outcome.cost_usd);
+  result.observe("restarts", static_cast<double>(outcome.restarts));
+  result.observe("revocations", static_cast<double>(outcome.revocations));
+  result.observe("ckpt_base_writes",
+                 static_cast<double>(outcome.ckpt_base_writes));
+  result.observe("ckpt_delta_writes",
+                 static_cast<double>(outcome.ckpt_delta_writes));
+  result.observe("ckpt_compactions",
+                 static_cast<double>(outcome.ckpt_compactions));
+  result.observe("ckpt_quarantines",
+                 static_cast<double>(outcome.ckpt_quarantines));
+  result.observe("ckpt_verified_restores",
+                 static_cast<double>(outcome.ckpt_verified_restores));
+  result.observe("ckpt_cold_restarts",
+                 static_cast<double>(outcome.ckpt_cold_restarts));
+  result.observe("ckpt_tier_cost_usd", outcome.ckpt_tier_cost_usd);
+  return result;
+}
+
 const std::vector<NamedCampaign>& named_campaigns() {
   static const std::vector<NamedCampaign> campaigns = [] {
     std::vector<NamedCampaign> list;
@@ -469,6 +552,25 @@ const std::vector<NamedScenarioSweep>& named_sweeps() {
       s.sweep.replicas = 3;
       s.sweep.seed = 909;
       s.replica = storm_replica;
+      list.push_back(std::move(s));
+    }
+
+    {
+      NamedScenarioSweep s;
+      s.name = "ckpt";
+      s.description =
+          "Checkpoint data-plane study: quarantine / fallback / "
+          "cold-restart mix and tier spend for the generational plane vs "
+          "flat checkpoints as silent-corruption pressure rises";
+      s.sweep.name = s.name;
+      s.sweep.base = ckpt_scenario();
+      s.sweep.axes = {
+          {"ckpt.enabled", {"false", "true"}},
+          {"ckpt.bit_rot_rate", {"0", "0.05", "0.2"}},
+      };
+      s.sweep.replicas = 4;
+      s.sweep.seed = 1111;
+      s.replica = ckpt_replica;
       list.push_back(std::move(s));
     }
 

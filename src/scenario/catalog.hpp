@@ -146,4 +146,25 @@ exp::ReplicaResult storm_replica(const ScenarioCell& cell, int replica,
 /// tests can shrink it.
 ScenarioSpec storm_scenario();
 
+/// `ckpt`: durable checkpoint data plane vs flat checkpoints under
+/// storage corruption. Each cell crosses `ckpt.enabled` with the
+/// bit-rot rate; the plane arm writes generational base+delta
+/// checkpoints through the storage tiers, verifies end-to-end on every
+/// restore, and falls back across generations when integrity fails.
+/// Observations: "finished", "steps", "cost_usd", "restarts",
+/// "revocations", "ckpt_base_writes", "ckpt_delta_writes",
+/// "ckpt_compactions", "ckpt_quarantines", "ckpt_verified_restores",
+/// "ckpt_cold_restarts", "ckpt_tier_cost_usd". EXPERIMENTS.md reads the
+/// quarantine/fallback/cold-restart mix as a function of corruption
+/// pressure.
+exp::ReplicaResult ckpt_replica(const ScenarioCell& cell, int replica,
+                                util::Rng& rng, obs::Telemetry* telemetry);
+
+/// The base spec behind the `ckpt` sweep and scenarios/ckpt_tiers.scn:
+/// three us-central1 K80s with uniform cloud faults plus write-time
+/// bit rot, torn writes and a mid-run regional-tier outage; the plane
+/// enabled with a 4-delta chain over 3 retained generations. Exposed so
+/// tests can shrink it.
+ScenarioSpec ckpt_scenario();
+
 }  // namespace cmdare::scenario

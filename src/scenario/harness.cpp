@@ -9,7 +9,8 @@
 namespace cmdare::scenario {
 namespace {
 
-train::SessionConfig session_config(const ScenarioSpec& spec) {
+train::SessionConfig session_config(const ScenarioSpec& spec,
+                                    ckpt::CheckpointPlane* plane) {
   train::SessionConfig config;
   config.ps_count = spec.ps_count;
   config.checkpoint_interval_steps = spec.checkpoint_interval_steps;
@@ -17,6 +18,7 @@ train::SessionConfig session_config(const ScenarioSpec& spec) {
   config.max_steps = spec.max_steps;
   config.mode = spec.ft_mode;
   config.ps_region = spec.ps_region;
+  config.plane = plane;
   return config;
 }
 
@@ -79,6 +81,19 @@ util::Table ScenarioResult::table() const {
         {"outage_revocations", std::to_string(outage_revocations)});
     table.add_row({"outage_denials", std::to_string(outage_denials)});
   }
+  if (ckpt_base_writes > 0 || ckpt_delta_writes > 0 ||
+      ckpt_quarantines > 0 || ckpt_cold_restarts > 0) {
+    table.add_row({"ckpt_base_writes", std::to_string(ckpt_base_writes)});
+    table.add_row({"ckpt_delta_writes", std::to_string(ckpt_delta_writes)});
+    table.add_row({"ckpt_compactions", std::to_string(ckpt_compactions)});
+    table.add_row({"ckpt_quarantines", std::to_string(ckpt_quarantines)});
+    table.add_row(
+        {"ckpt_verified_restores", std::to_string(ckpt_verified_restores)});
+    table.add_row(
+        {"ckpt_cold_restarts", std::to_string(ckpt_cold_restarts)});
+    table.add_row(
+        {"ckpt_tier_cost_usd", util::format_double(ckpt_tier_cost_usd, 4)});
+  }
   if (tenants > 0) {
     table.add_row({"tenants", std::to_string(tenants)});
     table.add_row({"tenants_finished", std::to_string(tenants_finished)});
@@ -117,12 +132,17 @@ SimHarness::SimHarness(ScenarioSpec spec, const util::Rng& root)
 void SimHarness::build() {
   provider_.set_fault_injector(&injector_);
   store_.set_fault_injector(&injector_);
+  if (spec_.ckpt.enabled) {
+    store_.set_tiers(spec_.store_tiers);
+    plane_ = std::make_unique<ckpt::CheckpointPlane>(sim_, store_, spec_.ckpt,
+                                                     &injector_);
+  }
   const nn::CnnModel model = nn::model_by_name(spec_.model);
 
   switch (spec_.kind) {
     case HarnessKind::kRun: {
       core::RunConfig config;
-      config.session = session_config(spec_);
+      config.session = session_config(spec_, plane_.get());
       config.workers = expand_workers(spec_);
       config.auto_replace = spec_.auto_replace;
       config.replacement_context = spec_.replacement_context;
@@ -134,7 +154,8 @@ void SimHarness::build() {
     }
     case HarnessKind::kSession: {
       session_ = std::make_unique<train::TrainingSession>(
-          sim_, model, session_config(spec_), root_.fork("session"), &store_);
+          sim_, model, session_config(spec_, plane_.get()),
+          root_.fork("session"), &store_);
       for (const train::WorkerSpec& worker : expand_workers(spec_)) {
         session_->add_worker(worker);
       }
@@ -222,6 +243,15 @@ ScenarioResult SimHarness::collect() {
   result.sim_now = sim_.now();
   result.checkpoint_blobs = store_.blob_count();
   result.faults_injected = injector_.injected_total();
+  if (plane_) {
+    result.ckpt_base_writes = plane_->base_writes();
+    result.ckpt_delta_writes = plane_->delta_writes();
+    result.ckpt_compactions = plane_->compactions();
+    result.ckpt_quarantines = plane_->quarantines();
+    result.ckpt_verified_restores = plane_->verified_restores();
+    result.ckpt_cold_restarts = plane_->cold_restarts();
+    result.ckpt_tier_cost_usd = plane_->tier_cost_usd();
+  }
   result.outage_revocations = provider_.outage_revocations();
   result.outage_denials = provider_.outage_denials();
 

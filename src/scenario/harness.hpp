@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "ckpt/plane.hpp"
 #include "cloud/provider.hpp"
 #include "cloud/storage.hpp"
 #include "cmdare/resource_manager.hpp"
@@ -79,6 +80,16 @@ struct ScenarioResult {
   std::uint64_t outage_revocations = 0;
   std::uint64_t outage_denials = 0;
 
+  // --- checkpoint data plane (zero unless ckpt.enabled) ---
+  std::uint64_t ckpt_base_writes = 0;
+  std::uint64_t ckpt_delta_writes = 0;
+  std::uint64_t ckpt_compactions = 0;
+  std::uint64_t ckpt_quarantines = 0;
+  std::uint64_t ckpt_verified_restores = 0;
+  std::uint64_t ckpt_cold_restarts = 0;
+  /// Dollars accrued across the storage tiers (writes + reads + moves).
+  double ckpt_tier_cost_usd = 0.0;
+
   // --- fleet market (zero unless kind=fleet) ---
   int tenants = 0;
   int tenants_finished = 0;
@@ -132,6 +143,8 @@ class SimHarness {
   train::SyncTrainingSession* sync_session() { return sync_.get(); }
   core::TransientTrainingRun* training_run() { return run_.get(); }
   fleet::FleetSim* fleet() { return fleet_.get(); }
+  /// The checkpoint data plane; null unless spec.ckpt.enabled.
+  ckpt::CheckpointPlane* plane() { return plane_.get(); }
 
   /// The thread's active telemetry bundle (the harness-owned one when the
   /// spec asked for telemetry and none was installed, the ambient one —
@@ -151,6 +164,9 @@ class SimHarness {
   simcore::Simulator sim_;
   cloud::CloudProvider provider_;
   cloud::ObjectStore store_;
+  /// Built before the substrate when spec.ckpt.enabled: sessions across
+  /// restarts share one manifest (the plane is the durable state).
+  std::unique_ptr<ckpt::CheckpointPlane> plane_;
   std::unique_ptr<train::TrainingSession> session_;
   std::unique_ptr<train::SyncTrainingSession> sync_;
   std::unique_ptr<core::TransientTrainingRun> run_;

@@ -257,6 +257,43 @@ std::optional<std::string> parse_storm(std::string_view text,
   return std::nullopt;
 }
 
+std::string format_tier_outage(const faults::TierOutageWindow& window) {
+  std::string out(cloud::storage_tier_name(window.tier));
+  out += " @ ";
+  out += format_double(window.start_s);
+  out += "..";
+  out += format_double(window.end_s);
+  return out;
+}
+
+/// "<tier> @ <start_s>..<end_s>" (tier: local / regional / cold)
+std::optional<std::string> parse_tier_outage(std::string_view text,
+                                             faults::TierOutageWindow* out) {
+  const auto fail = [&] {
+    return "bad tier outage \"" + std::string(util::trim(text)) +
+           "\" (want \"<local|regional|cold> @ <start_s>..<end_s>\")";
+  };
+  const std::size_t at = text.find(" @ ");
+  if (at == std::string_view::npos) return fail();
+  faults::TierOutageWindow window;
+  const std::optional<cloud::StorageTier> tier =
+      cloud::storage_tier_from_name(util::trim(text.substr(0, at)));
+  if (!tier) return fail();
+  window.tier = *tier;
+  const std::string_view range = text.substr(at + 3);
+  const std::size_t dots = range.find("..");
+  if (dots == std::string_view::npos) return fail();
+  if (!parse_number(range.substr(0, dots), &window.start_s) ||
+      !parse_number(range.substr(dots + 2), &window.end_s)) {
+    return fail();
+  }
+  if (window.start_s < 0.0 || window.end_s < window.start_s) {
+    return "tier outage window must satisfy 0 <= start_s <= end_s";
+  }
+  *out = window;
+  return std::nullopt;
+}
+
 // --- enum codecs ---------------------------------------------------------
 
 const char* ft_mode_name(train::FaultToleranceMode mode) {
@@ -555,6 +592,67 @@ std::optional<std::string> set_field(ScenarioSpec& spec, std::string_view key,
     spec.faults.storms = std::move(storms);
     return std::nullopt;
   }
+  if (key == "ckpt.enabled") return set_bool(key, value, &spec.ckpt.enabled);
+  if (key == "ckpt.delta_ratio") {
+    return set_numeric(key, value, &spec.ckpt.delta_ratio, 1e-9, 1.0,
+                       "a fraction in (0, 1]");
+  }
+  if (key == "ckpt.max_delta_chain") {
+    return set_numeric(key, value, &spec.ckpt.max_delta_chain, 1, 1 << 20,
+                       "an integer >= 1");
+  }
+  if (key == "ckpt.max_generations") {
+    return set_numeric(key, value, &spec.ckpt.max_generations, 1, 1 << 20,
+                       "an integer >= 1");
+  }
+  if (key == "ckpt.bit_rot_rate") {
+    return set_rate(key, value, &spec.faults.bit_rot_rate);
+  }
+  if (key == "ckpt.torn_write_rate") {
+    return set_rate(key, value, &spec.faults.torn_write_rate);
+  }
+  if (key == "ckpt.tier_outages" || key == "ckpt.tier_outage") {
+    std::vector<faults::TierOutageWindow> windows;
+    if (key == "ckpt.tier_outage") {
+      windows = spec.faults.tier_outages;  // append form
+    }
+    if (!value.empty()) {
+      for (const std::string& part : util::split(value, ',')) {
+        faults::TierOutageWindow window;
+        if (auto error = parse_tier_outage(part, &window)) return error;
+        windows.push_back(window);
+      }
+    }
+    spec.faults.tier_outages = std::move(windows);
+    return std::nullopt;
+  }
+  if (key.size() > 11 && key.substr(0, 11) == "store.tier.") {
+    const std::string_view rest = key.substr(11);
+    const std::size_t dot = rest.find('.');
+    if (dot != std::string_view::npos) {
+      const std::optional<cloud::StorageTier> tier =
+          cloud::storage_tier_from_name(rest.substr(0, dot));
+      if (tier) {
+        cloud::TierModel& model = spec.store_tiers.at(*tier);
+        const std::string_view field = rest.substr(dot + 1);
+        if (field == "latency_s") {
+          return set_numeric(key, value, &model.latency_s, 0.0, kHuge,
+                             "seconds >= 0");
+        }
+        if (field == "bandwidth_gbps") {
+          return set_numeric(key, value, &model.bandwidth_gbps, 1e-9, kHuge,
+                             "Gbps > 0");
+        }
+        if (field == "usd_per_gb") {
+          return set_numeric(key, value, &model.usd_per_gb, 0.0, kHuge,
+                             "dollars per GB >= 0");
+        }
+      }
+    }
+    return "unknown key \"" + std::string(key) +
+           "\" (want store.tier.<local|regional|cold>."
+           "<latency_s|bandwidth_gbps|usd_per_gb>)";
+  }
   if (key == "fleet.tenants") {
     return set_numeric(key, value, &spec.fleet.tenants, 1, 1 << 16,
                        "an integer in [1, 65536]");
@@ -843,6 +941,30 @@ std::string serialize(const ScenarioSpec& spec) {
     }
     emit("storms", std::move(storms));
   }
+  emit("ckpt.enabled", spec.ckpt.enabled ? "true" : "false");
+  emit("ckpt.delta_ratio", format_double(spec.ckpt.delta_ratio));
+  emit("ckpt.max_delta_chain", std::to_string(spec.ckpt.max_delta_chain));
+  emit("ckpt.max_generations", std::to_string(spec.ckpt.max_generations));
+  emit("ckpt.bit_rot_rate", format_double(spec.faults.bit_rot_rate));
+  emit("ckpt.torn_write_rate", format_double(spec.faults.torn_write_rate));
+  if (!spec.faults.tier_outages.empty()) {
+    std::string windows;
+    for (const faults::TierOutageWindow& window : spec.faults.tier_outages) {
+      if (!windows.empty()) windows += ", ";
+      windows += format_tier_outage(window);
+    }
+    emit("ckpt.tier_outages", std::move(windows));
+  }
+  for (const cloud::StorageTier tier :
+       {cloud::StorageTier::kLocal, cloud::StorageTier::kRegional,
+        cloud::StorageTier::kCold}) {
+    const cloud::TierModel& model = spec.store_tiers.at(tier);
+    const std::string prefix =
+        "store.tier." + std::string(cloud::storage_tier_name(tier)) + ".";
+    emit(prefix + "latency_s", format_double(model.latency_s));
+    emit(prefix + "bandwidth_gbps", format_double(model.bandwidth_gbps));
+    emit(prefix + "usd_per_gb", format_double(model.usd_per_gb));
+  }
   emit("fleet.tenants", std::to_string(spec.fleet.tenants));
   emit("fleet.demand", format_double(spec.fleet.demand));
   emit("fleet.workers_per_tenant",
@@ -958,7 +1080,42 @@ std::vector<std::string> validate(const ScenarioSpec& spec) {
   check_rate("upload_slowdown_rate", spec.faults.upload_slowdown_rate);
   check_rate("restore_error_rate", spec.faults.restore_error_rate);
   check_rate("abrupt_kill_rate", spec.faults.abrupt_kill_rate);
+  check_rate("ckpt.bit_rot_rate", spec.faults.bit_rot_rate);
+  check_rate("ckpt.torn_write_rate", spec.faults.torn_write_rate);
   check_rate("backoff_jitter", spec.resilience.backoff_jitter);
+  for (const faults::TierOutageWindow& window : spec.faults.tier_outages) {
+    if (window.start_s < 0.0 || window.end_s < window.start_s) {
+      errors.push_back(
+          "tier outage window must satisfy 0 <= start_s <= end_s");
+      break;
+    }
+  }
+  if (spec.ckpt.enabled) {
+    // Mirror the CheckpointPlane constructor checks so a bad spec fails
+    // at validate() instead of throwing out of SimHarness::build().
+    if (!(spec.ckpt.delta_ratio > 0.0) || spec.ckpt.delta_ratio > 1.0) {
+      errors.push_back("ckpt.delta_ratio must be in (0, 1]");
+    }
+    if (spec.ckpt.max_delta_chain < 1) {
+      errors.push_back("ckpt.max_delta_chain must be >= 1");
+    }
+    if (spec.ckpt.max_generations < 1) {
+      errors.push_back("ckpt.max_generations must be >= 1");
+    }
+    for (const cloud::StorageTier tier :
+         {cloud::StorageTier::kLocal, cloud::StorageTier::kRegional,
+          cloud::StorageTier::kCold}) {
+      const cloud::TierModel& model = spec.store_tiers.at(tier);
+      if (model.latency_s < 0.0 || !(model.bandwidth_gbps > 0.0) ||
+          model.usd_per_gb < 0.0) {
+        errors.push_back(std::string("store.tier.") +
+                         std::string(cloud::storage_tier_name(tier)) +
+                         " must have latency_s >= 0, bandwidth_gbps > 0, "
+                         "usd_per_gb >= 0");
+        break;
+      }
+    }
+  }
   for (const faults::StockoutWindow& window : spec.faults.stockouts) {
     if (window.start_s < 0.0 || window.end_s < window.start_s) {
       errors.push_back("stockout window must satisfy 0 <= start_s <= end_s");

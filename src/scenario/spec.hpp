@@ -25,9 +25,11 @@
 #include <string_view>
 #include <vector>
 
+#include "ckpt/config.hpp"
 #include "cloud/gpu.hpp"
 #include "cloud/region.hpp"
 #include "cloud/startup.hpp"
+#include "cloud/tier.hpp"
 #include "cmdare/resource_manager.hpp"
 #include "faults/faults.hpp"
 #include "fleet/config.hpp"
@@ -98,6 +100,15 @@ struct ScenarioSpec {
 
   // --- faults ---
   faults::FaultPlan faults;
+
+  // --- checkpoint data plane ---
+  /// Tiered, checksummed, generational checkpoints (src/ckpt). All keys
+  /// are prefixed `ckpt.`; disabled by default — legacy flat checkpoints
+  /// and byte-identical seeded goldens.
+  ckpt::PlaneConfig ckpt;
+  /// Storage-tier physics/pricing (`store.tier.*` keys); only consulted
+  /// when the data plane is enabled.
+  cloud::TierSet store_tiers;
 
   // --- supervision (kind=run) ---
   /// Online supervision layer: heartbeat failure detection, hazard

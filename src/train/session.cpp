@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "cloud/network.hpp"
+#include "ckpt/plane.hpp"
 #include "nn/checkpoint_size.hpp"
 #include "obs/obs.hpp"
 #include "util/logging.hpp"
@@ -344,9 +345,26 @@ void TrainingSession::start_checkpoint_upload(WorkerId id,
                                               CheckpointEvent event,
                                               int attempt) {
   const auto sizes = nn::checkpoint_sizes(model_);
+  // With a data plane the write is a manifest-planned generation blob (a
+  // delta while the chain has room, a base otherwise) placed on its tier;
+  // without one it is the legacy flat full-size blob. plan_write is pure,
+  // so retries re-plan to the identical write.
+  std::string key = "ckpt-step-" + std::to_string(event.at_step);
+  std::uint64_t bytes = sizes.total_bytes();
+  std::optional<cloud::StorageTier> tier;
+  std::optional<ckpt::PlannedWrite> planned;
+  if (config_.plane != nullptr) {
+    planned = config_.plane->plan_write(event.at_step, sizes.total_bytes());
+    key = planned->key;
+    bytes = planned->bytes;
+    tier = planned->tier;
+  }
   store_->upload(
-      "ckpt-step-" + std::to_string(event.at_step), sizes.total_bytes(),
-      [this, id, generation, event]() mutable {
+      key, bytes,
+      [this, id, generation, event, planned]() mutable {
+        if (planned && config_.plane != nullptr) {
+          config_.plane->commit_write(*planned);
+        }
         event.finished = sim_->now();
         finish_checkpoint(id, generation, event);
       },
@@ -388,7 +406,8 @@ void TrainingSession::start_checkpoint_upload(WorkerId id,
           }
           abandon_checkpoint(id, generation);
         }
-      });
+      },
+      tier);
 }
 
 void TrainingSession::abandon_checkpoint(WorkerId id,
@@ -445,6 +464,14 @@ void TrainingSession::finish_checkpoint(WorkerId id, std::uint64_t generation,
 
 long TrainingSession::restorable_checkpoint_step() {
   if (store_ == nullptr) return last_checkpoint_step_;
+  if (config_.plane != nullptr) {
+    // Data plane: end-to-end verified generational fallback. Either a
+    // whole generation checks out (existence, size, checksum, reachable
+    // tier — base and full delta chain) or it is quarantined and the next
+    // older one is tried; 0 = clean cold restart. Training never resumes
+    // from an unverified checkpoint.
+    return config_.plane->restorable_step();
+  }
   const auto& history = trace_.checkpoints();
   for (auto it = history.rbegin(); it != history.rend(); ++it) {
     if (store_->try_restore("ckpt-step-" + std::to_string(it->at_step))) {

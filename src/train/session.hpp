@@ -37,6 +37,10 @@
 #include "train/trace.hpp"
 #include "util/rng.hpp"
 
+namespace cmdare::ckpt {
+class CheckpointPlane;
+}  // namespace cmdare::ckpt
+
 namespace cmdare::train {
 
 struct SessionConfig {
@@ -54,6 +58,11 @@ struct SessionConfig {
   /// pay the inter-region RTT on every update acknowledgement — the
   /// network cost the paper's same-data-center methodology avoids.
   cloud::Region ps_region = cloud::Region::kUsCentral1;
+  /// Durable checkpoint data plane (src/ckpt); non-owning, may outlive
+  /// the session (it holds the cross-restart generation manifest). Null =
+  /// legacy flat single-blob checkpoints, bit-for-bit the old behaviour.
+  /// Only consulted when an object store is attached.
+  ckpt::CheckpointPlane* plane = nullptr;
 };
 
 class TrainingSession {

@@ -4,12 +4,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "exp/journal.hpp"
 #include "exp/pool.hpp"
+#include "obs/ledger.hpp"
 
 namespace cmdare::exp {
 namespace {
@@ -234,6 +240,225 @@ TEST(Campaign, RecordsSummaryMetricsIntoCallersRegistry) {
   EXPECT_DOUBLE_EQ(
       telemetry->registry.counter("exp.campaign.cells_total", labels).value(),
       4.0);
+}
+
+// --- Crash-resumable campaign journal (exp/journal.hpp) ---
+
+std::string journal_path_for(const std::string& name) {
+  return ::testing::TempDir() + "cmdare_" + name + ".journal";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Keeps the journal header plus the first `entries` completed lines —
+/// the on-disk prefix a crash at that point would leave behind.
+std::string journal_prefix(const std::string& text, std::size_t entries) {
+  std::size_t pos = 0;
+  for (std::size_t line = 0; line < entries + 1; ++line) {
+    pos = text.find('\n', pos);
+    EXPECT_NE(pos, std::string::npos);
+    ++pos;
+  }
+  return text.substr(0, pos);
+}
+
+/// arithmetic_replica plus one ledger event, so resume tests cover the
+/// merged-ledger half of the byte-identity contract too.
+ReplicaResult ledgered_replica(ReplicaContext& context) {
+  ReplicaResult result = arithmetic_replica(context);
+  if (obs::Ledger* ledger = obs::ledger()) {
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::kUpload;
+    event.at = static_cast<double>(context.replica) + 0.5;
+    event.source = "test";
+    event.step = static_cast<long>(context.cell.index);
+    event.detail = {{"bytes", "123"}};
+    ledger->record(std::move(event));
+  }
+  return result;
+}
+
+TEST(CampaignJournal, FormatAndParseRoundTripIncludingEscapes) {
+  JournalHeader header;
+  header.seed = 42;
+  header.cells = 3;
+  header.replicas = 5;
+  header.telemetry = true;
+
+  JournalEntry ok;
+  ok.cell = 2;
+  ok.replica = 4;
+  ok.observations = {{"plain", 1.5},
+                     {"tab\tnewline\nbackslash\\", -0.062500001},
+                     {"plain", 3.0}};  // repeated metric names survive
+  obs::LedgerEvent event;
+  event.kind = obs::LedgerEventKind::kCkptQuarantine;
+  event.at = 12.5;
+  event.source = "ckpt";
+  event.step = 30;
+  event.detail = {{"generation", "2"}, {"reason", "checksum"}};
+  ok.ledger = {event};
+
+  JournalEntry fail;
+  fail.cell = 1;
+  fail.replica = 0;
+  fail.failed = true;
+  fail.error = "boom\twith\nnoise\\";
+
+  const std::string text = format_journal_header(header) + "\n" +
+                           format_journal_entry(ok) + "\n" +
+                           format_journal_entry(fail) + "\n";
+  const JournalContents contents = parse_journal(text);
+  EXPECT_EQ(contents.header.seed, 42u);
+  EXPECT_EQ(contents.header.cells, 3u);
+  EXPECT_EQ(contents.header.replicas, 5);
+  EXPECT_TRUE(contents.header.telemetry);
+  ASSERT_EQ(contents.entries.size(), 2u);
+
+  const JournalEntry& a = contents.entries[0];
+  EXPECT_EQ(a.cell, 2u);
+  EXPECT_EQ(a.replica, 4);
+  EXPECT_FALSE(a.failed);
+  ASSERT_EQ(a.observations.size(), 3u);
+  EXPECT_EQ(a.observations[1].first, "tab\tnewline\nbackslash\\");
+  EXPECT_EQ(a.observations[1].second, -0.062500001);
+  ASSERT_EQ(a.ledger.size(), 1u);
+  EXPECT_EQ(obs::serialize_ledger_event(a.ledger[0]),
+            obs::serialize_ledger_event(event));
+
+  const JournalEntry& b = contents.entries[1];
+  EXPECT_TRUE(b.failed);
+  EXPECT_EQ(b.cell, 1u);
+  EXPECT_EQ(b.replica, 0);
+  EXPECT_EQ(b.error, "boom\twith\nnoise\\");
+}
+
+TEST(CampaignJournal, TornFinalLineDropsButEarlierCorruptionThrows) {
+  JournalHeader header;
+  header.cells = 2;
+  header.replicas = 2;
+  JournalEntry entry;
+  entry.cell = 0;
+  entry.replica = 1;
+  entry.observations = {{"x", 1.0}};
+  const std::string good = format_journal_header(header) + "\n" +
+                           format_journal_entry(entry) + "\n";
+
+  // The writer died mid-append: the final line has no "end" marker.
+  const JournalContents torn = parse_journal(good + "1\t0\tok\t2\tme");
+  ASSERT_EQ(torn.entries.size(), 1u);
+  EXPECT_EQ(torn.entries[0].cell, 0u);
+
+  // The same malformed text *before* a completed line is corruption,
+  // and the diagnostic carries the 1-based line number.
+  const std::string corrupt = format_journal_header(header) + "\n" +
+                              "1\t0\tok\t2\tme\n" +
+                              format_journal_entry(entry) + "\n";
+  try {
+    parse_journal(corrupt);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+
+  // A missing or foreign header is never a resumable journal.
+  EXPECT_THROW(parse_journal(format_journal_entry(entry) + "\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_journal("#some-other-file v9\n"), std::invalid_argument);
+}
+
+TEST(CampaignJournal, ResumeRefusesAMismatchedHeader) {
+  CampaignSpec spec = small_spec();
+  spec.replicas = 2;
+  RunOptions options;
+  options.jobs = 1;
+  options.journal_path = journal_path_for("mismatch");
+  (void)run_campaign(spec, arithmetic_replica, options);
+
+  options.resume = true;
+  spec.seed += 1;  // same grid, different seed: a different campaign
+  EXPECT_THROW(run_campaign(spec, arithmetic_replica, options),
+               std::invalid_argument);
+  spec.seed -= 1;
+  options.capture_telemetry = true;  // telemetry flag is part of identity
+  EXPECT_THROW(run_campaign(spec, arithmetic_replica, options),
+               std::invalid_argument);
+}
+
+TEST(CampaignJournal, ResumedRunIsByteIdenticalAndSkipsJournaledReplicas) {
+  CampaignSpec spec = small_spec();
+  spec.replicas = 3;  // 4 cells x 3 replicas = 12
+
+  // Reference: one uninterrupted recorded run.
+  RunOptions record;
+  record.jobs = 1;
+  record.capture_telemetry = true;
+  record.journal_path = journal_path_for("reference");
+  const CampaignResult reference =
+      run_campaign(spec, ledgered_replica, record);
+  const std::string ref_csv = aggregate_csv(reference);
+  std::ostringstream ref_ledger_out;
+  obs::write_ledger_jsonl(reference.telemetry->ledger, ref_ledger_out);
+  const std::string ref_ledger = ref_ledger_out.str();
+  const std::string full_journal = read_file(record.journal_path);
+
+  // Simulate the crash: 5 of 12 replicas made it to disk, plus a torn
+  // partial line from the append that was in flight.
+  const std::string crashed = journal_prefix(full_journal, 5) + "1\t2\tok\t3";
+
+  for (const int jobs : {1, 4}) {
+    RunOptions resume;
+    resume.jobs = jobs;
+    resume.capture_telemetry = true;
+    resume.journal_path =
+        journal_path_for("resume_j" + std::to_string(jobs));
+    write_file(resume.journal_path, crashed);
+    resume.resume = true;
+
+    std::atomic<int> calls{0};
+    const ReplicaFn counting = [&calls](ReplicaContext& context) {
+      calls.fetch_add(1);
+      return ledgered_replica(context);
+    };
+    const CampaignResult resumed = run_campaign(spec, counting, resume);
+
+    // Journaled replicas replay from disk; only the missing 7 run.
+    EXPECT_EQ(calls.load(), 7) << "--jobs " << jobs;
+    EXPECT_EQ(resumed.progress.replicas_done, 12u);
+    EXPECT_EQ(aggregate_csv(resumed), ref_csv) << "--jobs " << jobs;
+    ASSERT_NE(resumed.telemetry, nullptr);
+    std::ostringstream ledger_out;
+    obs::write_ledger_jsonl(resumed.telemetry->ledger, ledger_out);
+    EXPECT_EQ(ledger_out.str(), ref_ledger) << "--jobs " << jobs;
+
+    // At --jobs 1 the fold order matches the reference run exactly, so
+    // the healed journal is the uninterrupted journal, byte for byte.
+    if (jobs == 1) {
+      EXPECT_EQ(read_file(resume.journal_path), full_journal);
+    }
+  }
+
+  // Resuming from an absent journal is a plain recorded run.
+  RunOptions fresh;
+  fresh.jobs = 1;
+  fresh.capture_telemetry = true;
+  fresh.journal_path = journal_path_for("fresh_resume");
+  std::remove(fresh.journal_path.c_str());
+  fresh.resume = true;
+  const CampaignResult scratch = run_campaign(spec, ledgered_replica, fresh);
+  EXPECT_EQ(aggregate_csv(scratch), ref_csv);
+  EXPECT_EQ(read_file(fresh.journal_path), full_journal);
 }
 
 TEST(ThreadPool, ResolveJobs) {

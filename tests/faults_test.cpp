@@ -352,6 +352,24 @@ TEST(StorageFaults, RestoreErrorAndTryRestore) {
   EXPECT_FALSE(store.try_restore("absent"));
 }
 
+TEST(StorageFaults, TryRestoreReportsPerKeyBytes) {
+  // Regression: try_restore used to report the byte count of the last
+  // blob written anywhere in the store, not the requested key's.
+  simcore::Simulator sim;
+  cloud::ObjectStore store(sim, util::Rng(18));
+  store.upload("a", 1000, [] {});
+  store.upload("b", 500, [] {});
+  sim.run();
+  EXPECT_EQ(store.try_restore("a"), std::optional<std::uint64_t>(1000));
+  EXPECT_EQ(store.try_restore("b"), std::optional<std::uint64_t>(500));
+
+  // An overwrite replaces the key's size; the other key is untouched.
+  store.upload("a", 250, [] {});
+  sim.run();
+  EXPECT_EQ(store.try_restore("a"), std::optional<std::uint64_t>(250));
+  EXPECT_EQ(store.try_restore("b"), std::optional<std::uint64_t>(500));
+}
+
 // ---------------------------------------------------------------------------
 // Resilient control plane.
 

@@ -218,7 +218,11 @@ TEST_P(SpecParseFuzz, RandomBytesNeverCrashTheParser) {
             "cost-optimal", "capacity_", "migrate_gain", "storm", "storms",
             "kill=", "hazard=", "slow=", "elastic.", "min_workers",
             "breaker_failures", "breaker_backoff_s", "grow_hysteresis_s",
-            "futility_threshold", "deadline_hours"};
+            "futility_threshold", "deadline_hours", "ckpt.", "delta_ratio",
+            "max_delta_chain", "max_generations", "bit_rot_rate",
+            "torn_write_rate", "tier_outage", "tier_outages", "store.tier.",
+            "local", "regional", "cold", "latency_s", "bandwidth_gbps",
+            "usd_per_gb"};
         text += kFragments[rng.uniform_index(std::size(kFragments))];
       } else {
         text += static_cast<char>(rng.uniform_index(256));
@@ -267,7 +271,8 @@ TEST_P(LedgerFuzz, RandomBytesNeverCrashTheReader) {
             "1e308", "0.25", "\\u00e9", "\\\"", "true", "null", "[", "]",
             "tenant_placement", "eviction", "migration",
             "tenant_complete", "breaker_transition", "elastic_shrink",
-            "elastic_grow"};
+            "elastic_grow", "ckpt_quarantine", "ckpt_restore",
+            "ckpt_compact"};
         text += kFragments[rng.uniform_index(std::size(kFragments))];
       } else {
         text += static_cast<char>(rng.uniform_index(256));

@@ -77,6 +77,30 @@ ScenarioSpec full_spec() {
   storm_b.start_s = 0.0;
   storm_b.end_s = 75.0;
   spec.faults.storms = {storm_a, storm_b};
+  spec.faults.bit_rot_rate = 0.015;
+  spec.faults.torn_write_rate = 0.025;
+  faults::TierOutageWindow outage_a;
+  outage_a.tier = cloud::StorageTier::kCold;
+  outage_a.start_s = 10.5;
+  outage_a.end_s = 90.25;
+  faults::TierOutageWindow outage_b;
+  outage_b.tier = cloud::StorageTier::kRegional;
+  outage_b.start_s = 0.0;
+  outage_b.end_s = 30.0;
+  spec.faults.tier_outages = {outage_a, outage_b};
+  spec.ckpt.enabled = true;
+  spec.ckpt.delta_ratio = 0.2;
+  spec.ckpt.max_delta_chain = 6;
+  spec.ckpt.max_generations = 4;
+  spec.store_tiers.local.latency_s = 0.025;
+  spec.store_tiers.local.bandwidth_gbps = 12.5;
+  spec.store_tiers.local.usd_per_gb = 0.005;
+  spec.store_tiers.regional.latency_s = 1.25;
+  spec.store_tiers.regional.bandwidth_gbps = 0.45;
+  spec.store_tiers.regional.usd_per_gb = 0.03;
+  spec.store_tiers.cold.latency_s = 6.5;
+  spec.store_tiers.cold.bandwidth_gbps = 0.05;
+  spec.store_tiers.cold.usd_per_gb = 0.002;
   spec.supervision.enabled = true;
   spec.supervision.heartbeat.period_s = 7.5;
   spec.supervision.heartbeat.timeout_s = 45.25;
@@ -297,6 +321,108 @@ TEST(ScenarioSpec, StormAndElasticKeysRejectOutOfRangeValues) {
       set_field(spec, "supervise.elastic.deadline_hours", "-2").has_value());
   // None of the rejected values touched the spec.
   EXPECT_EQ(spec, minimal_valid());
+}
+
+TEST(ScenarioSpec, CkptKeysParseAndRoundTrip) {
+  ScenarioSpec spec = minimal_valid();
+  EXPECT_FALSE(set_field(spec, "ckpt.enabled", "true").has_value());
+  EXPECT_FALSE(set_field(spec, "ckpt.delta_ratio", "0.25").has_value());
+  EXPECT_FALSE(set_field(spec, "ckpt.max_delta_chain", "6").has_value());
+  EXPECT_FALSE(set_field(spec, "ckpt.max_generations", "5").has_value());
+  EXPECT_FALSE(set_field(spec, "ckpt.bit_rot_rate", "0.1").has_value());
+  EXPECT_FALSE(set_field(spec, "ckpt.torn_write_rate", "0.05").has_value());
+  EXPECT_TRUE(spec.ckpt.enabled);
+  EXPECT_DOUBLE_EQ(spec.ckpt.delta_ratio, 0.25);
+  EXPECT_EQ(spec.ckpt.max_delta_chain, 6);
+  EXPECT_EQ(spec.ckpt.max_generations, 5);
+  EXPECT_DOUBLE_EQ(spec.faults.bit_rot_rate, 0.1);
+  EXPECT_DOUBLE_EQ(spec.faults.torn_write_rate, 0.05);
+
+  // The appendable outage form, comma-split like stockouts.
+  EXPECT_FALSE(set_field(spec, "ckpt.tier_outages",
+                         "regional @ 100..200, cold @ 0..50")
+                   .has_value());
+  ASSERT_EQ(spec.faults.tier_outages.size(), 2u);
+  EXPECT_EQ(spec.faults.tier_outages[0].tier, cloud::StorageTier::kRegional);
+  EXPECT_DOUBLE_EQ(spec.faults.tier_outages[0].start_s, 100.0);
+  EXPECT_DOUBLE_EQ(spec.faults.tier_outages[0].end_s, 200.0);
+  EXPECT_EQ(spec.faults.tier_outages[1].tier, cloud::StorageTier::kCold);
+  EXPECT_FALSE(
+      set_field(spec, "ckpt.tier_outage", "local @ 5..6").has_value());
+  ASSERT_EQ(spec.faults.tier_outages.size(), 3u);
+  EXPECT_EQ(spec.faults.tier_outages[2].tier, cloud::StorageTier::kLocal);
+
+  // Per-tier store model keys.
+  EXPECT_FALSE(
+      set_field(spec, "store.tier.local.latency_s", "0.125").has_value());
+  EXPECT_FALSE(set_field(spec, "store.tier.regional.bandwidth_gbps", "0.5")
+                   .has_value());
+  EXPECT_FALSE(
+      set_field(spec, "store.tier.cold.usd_per_gb", "0.001").has_value());
+  EXPECT_DOUBLE_EQ(spec.store_tiers.local.latency_s, 0.125);
+  EXPECT_DOUBLE_EQ(spec.store_tiers.regional.bandwidth_gbps, 0.5);
+  EXPECT_DOUBLE_EQ(spec.store_tiers.cold.usd_per_gb, 0.001);
+
+  // Everything survives serialize -> parse.
+  const ParseResult result = parse(serialize(spec));
+  EXPECT_TRUE(result.ok()) << serialize(spec);
+  EXPECT_EQ(result.spec, spec);
+}
+
+TEST(ScenarioSpec, CkptKeysRejectOutOfRangeValues) {
+  ScenarioSpec spec = minimal_valid();
+  EXPECT_TRUE(set_field(spec, "ckpt.enabled", "maybe").has_value());
+  EXPECT_TRUE(set_field(spec, "ckpt.delta_ratio", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "ckpt.delta_ratio", "1.5").has_value());
+  EXPECT_TRUE(set_field(spec, "ckpt.delta_ratio", "nan").has_value());
+  EXPECT_TRUE(set_field(spec, "ckpt.max_delta_chain", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "ckpt.max_generations", "0").has_value());
+  EXPECT_TRUE(set_field(spec, "ckpt.bit_rot_rate", "1.5").has_value());
+  EXPECT_TRUE(set_field(spec, "ckpt.bit_rot_rate", "-0.1").has_value());
+  EXPECT_TRUE(set_field(spec, "ckpt.torn_write_rate", "2").has_value());
+  EXPECT_TRUE(set_field(spec, "ckpt.tier_outages", "garbage").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "ckpt.tier_outages", "orbital @ 0..10").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "ckpt.tier_outages", "regional @ 10..5").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "ckpt.tier_outages", "regional @ -5..5").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "store.tier.local.latency_s", "-1").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "store.tier.local.bandwidth_gbps", "0").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "store.tier.regional.usd_per_gb", "-0.5").has_value());
+  EXPECT_TRUE(
+      set_field(spec, "store.tier.orbital.latency_s", "1").has_value());
+  EXPECT_TRUE(set_field(spec, "store.tier.local.volume", "1").has_value());
+  // None of the rejected values touched the spec.
+  EXPECT_EQ(spec, minimal_valid());
+}
+
+TEST(ScenarioSpec, ValidateFlagsDegenerateCkptConfig) {
+  ScenarioSpec spec = minimal_valid();
+  spec.ckpt.enabled = true;
+  spec.ckpt.delta_ratio = 2.0;
+  auto errors = validate(spec);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("delta_ratio"), std::string::npos);
+
+  spec = minimal_valid();
+  spec.ckpt.enabled = true;
+  spec.store_tiers.cold.bandwidth_gbps = 0.0;
+  errors = validate(spec);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("bandwidth"), std::string::npos);
+
+  spec = minimal_valid();
+  faults::TierOutageWindow window;
+  window.start_s = 50.0;
+  window.end_s = 10.0;  // end < start
+  spec.faults.tier_outages.push_back(window);
+  errors = validate(spec);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("tier outage"), std::string::npos);
 }
 
 TEST(ScenarioSpec, ValidateFlagsElasticWithoutSupervision) {
